@@ -1,0 +1,415 @@
+package dynocache
+
+// One testing.B benchmark per paper table/figure, plus ablation benches
+// for the design choices called out in DESIGN.md. Each figure bench
+// regenerates its experiment end to end on the quick-scale suite; run the
+// cmd/dynocache-experiments binary for the full-scale reproduction.
+
+import (
+	"sync"
+	"testing"
+
+	"dynocache/internal/core"
+	"dynocache/internal/dbt"
+	"dynocache/internal/experiments"
+	"dynocache/internal/program"
+	"dynocache/internal/sim"
+	"dynocache/internal/stats"
+	"dynocache/internal/trace"
+	"dynocache/internal/workload"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+)
+
+// suiteForBench builds one shared quick-scale suite (workload synthesis
+// and sweeps are memoized inside it, so figure benches measure their own
+// analysis plus any sweeps they are first to need).
+func suiteForBench(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := experiments.QuickConfig()
+		cfg.Pressures = []int{2, 4, 6, 8, 10}
+		s, err := experiments.NewSuite(cfg)
+		if err != nil {
+			panic(err)
+		}
+		benchSuite = s
+	})
+	return benchSuite
+}
+
+func BenchmarkTable1(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if got := len(s.Table1().Rows); got != 20 {
+			b.Fatalf("rows = %d", got)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if got := len(s.Fig4().Rows); got != 20 {
+			b.Fatalf("rows = %d", got)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEq3(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Eq3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEq4(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Eq4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig12(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig13(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig14(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig15(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSec53(b *testing.B) {
+	s := suiteForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sec53(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the core mechanisms ---
+
+// benchTrace synthesizes one medium workload for cache micro-benches.
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	p, err := workload.ByName("vortex")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := p.Scaled(0.25).Synthesize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func benchReplay(b *testing.B, policy core.Policy) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	var accesses uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(tr, policy, 4, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses += res.Stats.Accesses
+	}
+	b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
+}
+
+func BenchmarkCacheFlush(b *testing.B)  { benchReplay(b, Flush()) }
+func BenchmarkCache8Unit(b *testing.B)  { benchReplay(b, MediumGrained(8)) }
+func BenchmarkCache64Unit(b *testing.B) { benchReplay(b, MediumGrained(64)) }
+func BenchmarkCacheFIFO(b *testing.B)   { benchReplay(b, FineGrained()) }
+func BenchmarkCacheLRU(b *testing.B)    { benchReplay(b, LRU()) }
+
+func BenchmarkDBTEndToEnd(b *testing.B) {
+	p, err := program.Generate(program.DefaultGenConfig(77))
+	if err != nil {
+		b.Fatal(err)
+	}
+	code, err := p.Code()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := dbt.New(dbt.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Load(code, program.CodeBase, p.Entry); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Run(50_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md section 5) ---
+
+// BenchmarkAblationUnitSweep measures the headline knob: total priced
+// overhead across the full granularity sweep on one workload.
+func BenchmarkAblationUnitSweep(b *testing.B) {
+	tr := benchTrace(b)
+	model := PaperOverheadModel()
+	policies := GranularitySweep(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var prev float64
+		for _, p := range policies {
+			res, err := sim.Run(tr, p, 10, sim.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			prev = res.Overhead(model, true).Total()
+		}
+		_ = prev
+	}
+}
+
+// BenchmarkAblationLRUFragmentation quantifies §3.3: how many LRU
+// evictions are forced purely by fragmentation.
+func BenchmarkAblationLRUFragmentation(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	var fragPct float64
+	for i := 0; i < b.N; i++ {
+		capacity, err := sim.CapacityFor(tr, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := core.NewLRU(capacity)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, id := range tr.Accesses {
+			if !c.Access(id) {
+				if err := c.Insert(tr.Blocks[id]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if ev := c.Stats().BlocksEvicted; ev > 0 {
+			fragPct = 100 * float64(c.FragEvictions) / float64(ev)
+		}
+	}
+	b.ReportMetric(fragPct, "frag-evictions-%")
+}
+
+// BenchmarkAblationAdaptive compares the future-work adaptive policy
+// against the best static granularity.
+func BenchmarkAblationAdaptive(b *testing.B) {
+	tr := benchTrace(b)
+	model := PaperOverheadModel()
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		static, err := sim.Run(tr, MediumGrained(8), 10, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		adaptive, err := sim.Run(tr, Adaptive(), 10, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = adaptive.Overhead(model, true).Total() / static.Overhead(model, true).Total()
+	}
+	b.ReportMetric(ratio, "adaptive/8unit-overhead")
+}
+
+// BenchmarkAblationPreemptiveFlush compares Dynamo-style phase-triggered
+// flushing against flush-when-full.
+func BenchmarkAblationPreemptiveFlush(b *testing.B) {
+	tr := benchTrace(b)
+	model := PaperOverheadModel()
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		plain, err := sim.Run(tr, Flush(), 6, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pre, err := sim.Run(tr, PreemptiveFlush(), 6, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = pre.Overhead(model, false).Total() / plain.Overhead(model, false).Total()
+	}
+	b.ReportMetric(ratio, "preemptive/flush-overhead")
+}
+
+// BenchmarkAblationPlacement probes the paper's placement future work by
+// varying code-layout link locality and measuring how many links end up
+// crossing unit boundaries: tighter layout locality keeps links
+// intra-unit, which is exactly what a link-aware placement policy buys.
+func BenchmarkAblationPlacement(b *testing.B) {
+	base, err := workload.ByName("gap")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var loose, tight float64
+		for _, loc := range []float64{2, 32} {
+			p := base
+			p.LinkLocality = loc
+			tr, err := p.Synthesize()
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sim.Run(tr, MediumGrained(8), 2, sim.Options{CensusEvery: 500})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if loc == 2 {
+				tight = res.InterUnitLinkFraction()
+			} else {
+				loose = res.InterUnitLinkFraction()
+			}
+		}
+		if i == 0 {
+			b.ReportMetric(100*tight, "tight-interlink-%")
+			b.ReportMetric(100*loose, "loose-interlink-%")
+		}
+	}
+}
+
+// BenchmarkAblationGenerational compares the generational extension to a
+// flat medium-grained cache.
+func BenchmarkAblationGenerational(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		flat, err := sim.Run(tr, MediumGrained(8), 6, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen, err := sim.Run(tr, Generational(8), 6, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = gen.Stats.MissRate() / flat.Stats.MissRate()
+	}
+	b.ReportMetric(ratio, "generational/8unit-missrate")
+}
+
+// BenchmarkRandSampling measures the deterministic PRNG behind trace
+// synthesis.
+func BenchmarkRandSampling(b *testing.B) {
+	r := stats.NewRand(1, 1)
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += r.LogNormal(244, 0.9)
+	}
+	_ = acc
+}

@@ -1,0 +1,125 @@
+// Command dynocache-dbt runs a synthetic DRISC program under the full
+// dynamic binary translator, printing translation, chaining, and cache
+// management statistics plus the modelled execution time.
+//
+// Usage:
+//
+//	dynocache-dbt [-seed 1] [-policy 8-unit] [-capacity 65536]
+//	              [-chaining=true] [-threshold 50] [-budget 100000000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynocache"
+	"dynocache/internal/core"
+	"dynocache/internal/dbt"
+	"dynocache/internal/program"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dynocache-dbt: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Uint64("seed", 1, "synthetic program seed")
+	progFile := flag.String("prog", "", "run a saved program object file instead of generating one")
+	saveProg := flag.String("save", "", "save the generated program to an object file and exit")
+	policyStr := flag.String("policy", "8-unit", "code cache policy (flush, N-unit, fifo)")
+	capacity := flag.Int("capacity", 64<<10, "code cache capacity in bytes")
+	chaining := flag.Bool("chaining", true, "enable superblock chaining")
+	threshold := flag.Int("threshold", 50, "hot threshold (block executions before translation)")
+	budget := flag.Uint64("budget", 100_000_000, "guest instruction budget")
+	record := flag.String("record", "", "record the superblock lookup log and save it as a trace file")
+	flag.Parse()
+
+	policy, err := dynocache.ParsePolicy(*policyStr)
+	if err == nil {
+		switch policy.Kind {
+		case core.PolicyFlush, core.PolicyUnits, core.PolicyFine:
+		default:
+			err = fmt.Errorf("the DBT supports flush, N-unit, and fifo policies, got %q", *policyStr)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	var p *program.Program
+	if *progFile != "" {
+		p, err = program.LoadObj(*progFile)
+	} else {
+		p, err = program.Generate(program.DefaultGenConfig(*seed))
+	}
+	if err != nil {
+		return err
+	}
+	if *saveProg != "" {
+		if err := p.SaveObj(*saveProg); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d instructions, %d functions\n", *saveProg, len(p.Insts), len(p.Funcs))
+		return nil
+	}
+	code, err := p.Code()
+	if err != nil {
+		return err
+	}
+	cfg := dbt.DefaultConfig()
+	cfg.Policy = policy
+	cfg.CacheCapacity = *capacity
+	cfg.Chaining = *chaining
+	cfg.HotThreshold = *threshold
+	d, err := dbt.New(cfg)
+	if err != nil {
+		return err
+	}
+	if *record != "" {
+		d.EnableTraceRecording()
+	}
+	if err := d.Load(code, program.CodeBase, p.Entry); err != nil {
+		return err
+	}
+	if err := d.Run(*budget); err != nil {
+		return err
+	}
+
+	s := d.Stats()
+	cs := d.Cache().Stats()
+	fmt.Printf("program        seed %d, %d instructions, %d functions\n", *seed, len(p.Insts), len(p.Funcs))
+	fmt.Printf("policy         %s   capacity %d   chaining %v   threshold %d\n",
+		policy, *capacity, *chaining, *threshold)
+	fmt.Printf("guest work     %d interpreted + %d cached instructions\n", s.InterpretedInsts, s.CacheInsts)
+	fmt.Printf("blocks         %d discovered, %d interpreted executions\n", s.BBsDiscovered, s.BBExecutions)
+	fmt.Printf("superblocks    %d formed, %d bytes translated, %d wrap pads\n",
+		s.SuperblocksFormed, s.TranslatedBytes, s.PadsInserted)
+	fmt.Printf("chaining       %d stubs patched, %d unpatched on eviction\n", s.StubsPatched, s.StubsUnpatched)
+	fmt.Printf("dispatch       %d cache entries, %d traps (%d indirect)\n",
+		s.CacheEntries, s.Traps, s.IndirectTraps)
+	fmt.Printf("cache          %d blocks inserted (%d bytes), %d eviction invocations, %d blocks evicted\n",
+		cs.InsertedBlocks, cs.InsertedBytes, cs.EvictionInvocations, cs.BlocksEvicted)
+	fmt.Printf("optimizer      %d consts folded, %d dead insts removed, %d loads forwarded\n",
+		s.OptConstFolded, s.OptDeadRemoved, s.OptLoadsForwarded)
+	if d.BBCache() != nil {
+		bs := d.BBCache().Stats()
+		fmt.Printf("bb cache       %d fragments (%d bytes), %d bb->bb links, %d evictions\n",
+			s.BBFragsTranslated, s.BBFragBytes, s.BBToBBLinks, bs.EvictionInvocations)
+	}
+	fmt.Printf("modelled time  %.6f s (%.0f instructions incl. management)\n",
+		d.ModeledSeconds(), d.ModeledInstructions())
+	if *record != "" {
+		tr, err := d.RecordedTrace(fmt.Sprintf("dbt-seed%d", *seed))
+		if err != nil {
+			return err
+		}
+		if err := tr.Save(*record); err != nil {
+			return err
+		}
+		fmt.Printf("recorded       %s -> %s\n", tr.Summarize(), *record)
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dynocache/internal/experiments"
+	"dynocache/internal/report"
+)
+
+// writeCSVs exports the numeric data behind every figure as CSV files in
+// dir, for plotting with external tools.
+func writeCSVs(s *experiments.Suite, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	save := func(name string, t *report.Table) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := t.CSV(f); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+
+	if err := save("table1.csv", s.Table1()); err != nil {
+		return err
+	}
+	if err := save("fig4.csv", s.Fig4()); err != nil {
+		return err
+	}
+
+	f6, err := s.Fig6()
+	if err != nil {
+		return err
+	}
+	t6 := report.NewTable("", "policy", "miss_rate")
+	for i, p := range f6.Policies {
+		t6.AddRowf(p, fmt.Sprintf("%.6f", f6.MissRates[i]))
+	}
+	if err := save("fig6.csv", t6); err != nil {
+		return err
+	}
+
+	f7, err := s.Fig7()
+	if err != nil {
+		return err
+	}
+	h7 := []string{"policy"}
+	for _, p := range f7.Pressures {
+		h7 = append(h7, fmt.Sprintf("p%d", p))
+	}
+	t7 := report.NewTable("", h7...)
+	for i, pol := range f7.Policies {
+		row := []string{pol}
+		for _, v := range f7.Rates[i] {
+			row = append(row, fmt.Sprintf("%.6f", v))
+		}
+		t7.AddRow(row...)
+	}
+	if err := save("fig7.csv", t7); err != nil {
+		return err
+	}
+
+	f8, err := s.Fig8()
+	if err != nil {
+		return err
+	}
+	t8 := report.NewTable("", "policy", "relative_pct", "invocations")
+	for i, p := range f8.Policies {
+		t8.AddRowf(p, fmt.Sprintf("%.3f", f8.Relative[i]), f8.Absolute[i])
+	}
+	if err := save("fig8.csv", t8); err != nil {
+		return err
+	}
+
+	for _, fig := range []struct {
+		name string
+		get  func() (*experiments.OverheadResult, error)
+	}{
+		{"fig10.csv", s.Fig10},
+		{"fig14.csv", s.Fig14},
+	} {
+		r, err := fig.get()
+		if err != nil {
+			return err
+		}
+		t := report.NewTable("", "policy", "relative_overhead")
+		for i, p := range r.Policies {
+			t.AddRowf(p, fmt.Sprintf("%.6f", r.Relative[i]))
+		}
+		if err := save(fig.name, t); err != nil {
+			return err
+		}
+	}
+
+	for _, fig := range []struct {
+		name string
+		get  func() (*experiments.Fig11Result, error)
+	}{
+		{"fig11.csv", s.Fig11},
+		{"fig15.csv", s.Fig15},
+	} {
+		r, err := fig.get()
+		if err != nil {
+			return err
+		}
+		h := []string{"policy"}
+		for _, p := range r.Pressures {
+			h = append(h, fmt.Sprintf("p%d", p))
+		}
+		t := report.NewTable("", h...)
+		for i, pol := range r.Policies {
+			row := []string{pol}
+			for _, v := range r.Relative[i] {
+				row = append(row, fmt.Sprintf("%.6f", v))
+			}
+			t.AddRow(row...)
+		}
+		if err := save(fig.name, t); err != nil {
+			return err
+		}
+	}
+
+	f12, err := s.Fig12()
+	if err != nil {
+		return err
+	}
+	t12 := report.NewTable("", "benchmark", "mean_outbound_links")
+	for i, b := range f12.Benchmarks {
+		t12.AddRowf(b, fmt.Sprintf("%.4f", f12.MeanLinks[i]))
+	}
+	if err := save("fig12.csv", t12); err != nil {
+		return err
+	}
+
+	f13, err := s.Fig13()
+	if err != nil {
+		return err
+	}
+	t13 := report.NewTable("", "policy", "inter_unit_pct")
+	for i, p := range f13.Policies {
+		t13.AddRowf(p, fmt.Sprintf("%.3f", f13.InterPct[i]))
+	}
+	if err := save("fig13.csv", t13); err != nil {
+		return err
+	}
+
+	t2, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	tt2 := report.NewTable("", "benchmark", "linked_s", "unlinked_s", "slowdown_pct")
+	for _, row := range t2.Rows {
+		tt2.AddRowf(row.Benchmark,
+			fmt.Sprintf("%.6f", row.LinkedSec),
+			fmt.Sprintf("%.6f", row.UnlinkedSec),
+			fmt.Sprintf("%.1f", row.SlowdownPct))
+	}
+	if err := save("table2.csv", tt2); err != nil {
+		return err
+	}
+
+	s53, err := s.Sec53()
+	if err != nil {
+		return err
+	}
+	t53 := report.NewTable("", "benchmark", "reduction_pct")
+	for i, b := range s53.Benchmarks {
+		t53.AddRowf(b, fmt.Sprintf("%.2f", s53.ReductionPct[i]))
+	}
+	return save("sec53.csv", t53)
+}

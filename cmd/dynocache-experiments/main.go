@@ -1,0 +1,234 @@
+// Command dynocache-experiments regenerates every table and figure of the
+// paper's evaluation.
+//
+// Usage:
+//
+//	dynocache-experiments [-quick] [-scale 1.0] [-pressures 2,4,6,8,10]
+//	                      [-maxunits 64] [-out report.txt] [-only fig6,...]
+//
+// The full-scale run (-scale 1.0) reproduces Table 1's superblock counts
+// exactly and takes tens of CPU-minutes; -quick runs a 5%-scale version in
+// well under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dynocache/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dynocache-experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", false, "run at 5% workload scale")
+	scale := flag.Float64("scale", 0, "workload scale override (1.0 = paper scale)")
+	pressures := flag.String("pressures", "", "comma-separated cache pressure factors (default 2,4,6,8,10)")
+	maxUnits := flag.Int("maxunits", 0, "largest unit count in the granularity sweep")
+	out := flag.String("out", "", "write the report to a file instead of stdout")
+	csvDir := flag.String("csvdir", "", "also export every figure's data as CSV files into this directory")
+	only := flag.String("only", "", "comma-separated experiment ids (table1,fig3,fig4,fig6..fig15,eq3,eq4,table2,sec53,multiprog,sensitivity,ablations,appendix)")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *maxUnits > 0 {
+		cfg.MaxUnits = *maxUnits
+	}
+	if *pressures != "" {
+		cfg.Pressures = nil
+		for _, f := range strings.Split(*pressures, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return fmt.Errorf("bad pressure %q: %w", f, err)
+			}
+			cfg.Pressures = append(cfg.Pressures, p)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "dynocache experiment suite (scale %.3g, pressures %v, sweep to %d units)\n",
+		cfg.Scale, cfg.Pressures, cfg.MaxUnits)
+
+	if *csvDir != "" {
+		if err := writeCSVs(suite, *csvDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "CSV data written to %s\n", *csvDir)
+	}
+	if *only == "" {
+		return suite.RunAll(w)
+	}
+	for _, id := range strings.Split(*only, ",") {
+		if err := runOne(suite, strings.TrimSpace(strings.ToLower(id)), w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runOne(s *experiments.Suite, id string, w io.Writer) error {
+	fmt.Fprintf(w, "\n==== %s ====\n\n", id)
+	switch id {
+	case "table1":
+		return s.Table1().Render(w)
+	case "fig3":
+		r, err := s.Fig3()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "SPEC:\n%s\nWindows:\n%s\n", r.SPEC, r.Windows)
+		return nil
+	case "fig4":
+		return s.Fig4().Render(w)
+	case "fig6":
+		r, err := s.Fig6()
+		if err != nil {
+			return err
+		}
+		return r.Chart().Render(w)
+	case "fig7":
+		r, err := s.Fig7()
+		if err != nil {
+			return err
+		}
+		return r.Series().Render(w)
+	case "fig8":
+		r, err := s.Fig8()
+		if err != nil {
+			return err
+		}
+		return r.Chart().Render(w)
+	case "fig9":
+		r, err := s.Fig9()
+		if err != nil {
+			return err
+		}
+		return r.Table().Render(w)
+	case "eq3":
+		r, err := s.Eq3()
+		if err != nil {
+			return err
+		}
+		return r.Table().Render(w)
+	case "eq4":
+		r, err := s.Eq4()
+		if err != nil {
+			return err
+		}
+		return r.Table().Render(w)
+	case "fig10":
+		r, err := s.Fig10()
+		if err != nil {
+			return err
+		}
+		return r.Chart().Render(w)
+	case "fig11":
+		r, err := s.Fig11()
+		if err != nil {
+			return err
+		}
+		return r.Series().Render(w)
+	case "fig12":
+		r, err := s.Fig12()
+		if err != nil {
+			return err
+		}
+		if err := r.Chart().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "overall mean links: %.2f; back-pointer table: %.1f%% of cache\n",
+			r.OverallMean, r.BackPtrPctOfCache)
+		return nil
+	case "fig13":
+		r, err := s.Fig13()
+		if err != nil {
+			return err
+		}
+		return r.Chart().Render(w)
+	case "fig14":
+		r, err := s.Fig14()
+		if err != nil {
+			return err
+		}
+		return r.Chart().Render(w)
+	case "fig15":
+		r, err := s.Fig15()
+		if err != nil {
+			return err
+		}
+		return r.Series().Render(w)
+	case "table2":
+		r, err := s.Table2()
+		if err != nil {
+			return err
+		}
+		return r.Table().Render(w)
+	case "sec53":
+		r, err := s.Sec53()
+		if err != nil {
+			return err
+		}
+		return r.Table().Render(w)
+	case "multiprog":
+		r, err := s.Multiprog()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "solo-blend miss rate (8-unit, private caches): %.4f\n", r.SoloBlendMissRate)
+		fmt.Fprintf(w, "shared-cache miss rate (8-unit):               %.4f\n\n", r.SharedMissRate8)
+		return r.Table().Render(w)
+	case "sensitivity":
+		r, err := s.Sensitivity()
+		if err != nil {
+			return err
+		}
+		return r.Table().Render(w)
+	case "appendix":
+		r, err := s.Appendix(10)
+		if err != nil {
+			return err
+		}
+		if err := r.Table().Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "benchmarks with FIFO > FLUSH: %d/20\n", r.CrossedCount)
+		fmt.Fprintf(w, "8-unit miss rate: SPEC %.4f, Windows %.4f\n", r.SPECMissRate, r.WindowsMissRate)
+		return nil
+	case "ablations":
+		r, err := s.Ablations()
+		if err != nil {
+			return err
+		}
+		return r.Table().Render(w)
+	default:
+		return fmt.Errorf("unknown experiment id %q", id)
+	}
+}

@@ -1,0 +1,105 @@
+// Command dynocache-sim runs one trace-driven code cache simulation:
+// a Table 1 benchmark (or a saved trace file) against one eviction policy
+// at one cache pressure factor.
+//
+// Usage:
+//
+//	dynocache-sim -bench gzip -policy 8-unit -pressure 2
+//	dynocache-sim -trace word.trace -policy fifo -pressure 10
+//
+// Policies: flush, fifo, lru, adaptive, preemptive, N-unit (e.g. 8-unit),
+// generational/N.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynocache"
+	"dynocache/internal/overhead"
+	"dynocache/internal/report"
+	"dynocache/internal/sim"
+	"dynocache/internal/trace"
+	"dynocache/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dynocache-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	bench := flag.String("bench", "", "Table 1 benchmark name to synthesize")
+	traceFile := flag.String("trace", "", "saved trace file to replay instead of -bench")
+	scale := flag.Float64("scale", 1.0, "workload scale for -bench")
+	policyStr := flag.String("policy", "8-unit", "eviction policy")
+	pressure := flag.Int("pressure", 2, "cache pressure factor n (capacity = maxCache/n)")
+	links := flag.Bool("links", true, "include link-maintenance costs in the overhead estimate")
+	occupancy := flag.Bool("occupancy", false, "print cache occupancy and live-link timelines")
+	flag.Parse()
+
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	switch {
+	case *traceFile != "":
+		tr, err = trace.Load(*traceFile)
+	case *bench != "":
+		var p workload.Profile
+		p, err = workload.ByName(*bench)
+		if err == nil {
+			tr, err = p.Scaled(*scale).Synthesize()
+		}
+	default:
+		return fmt.Errorf("one of -bench or -trace is required")
+	}
+	if err != nil {
+		return err
+	}
+
+	policy, err := dynocache.ParsePolicy(*policyStr)
+	if err != nil {
+		return err
+	}
+	opts := sim.Options{CensusEvery: 2000}
+	if *occupancy {
+		n := len(tr.Accesses) / 400
+		if n < 1 {
+			n = 1
+		}
+		opts.OccupancyEvery = n
+	}
+	res, err := sim.Run(tr, policy, *pressure, opts)
+	if err != nil {
+		return err
+	}
+
+	model := overhead.Paper()
+	b := res.Overhead(model, *links)
+	s := res.Stats
+	fmt.Printf("benchmark      %s (%d superblocks, %d accesses)\n", tr.Name, tr.NumBlocks(), len(tr.Accesses))
+	fmt.Printf("policy         %s   pressure %d   capacity %d bytes\n", policy, *pressure, res.Capacity)
+	fmt.Printf("miss rate      %.4f (%d misses / %d accesses)\n", s.MissRate(), s.Misses, s.Accesses)
+	fmt.Printf("evictions      %d invocations, %d blocks, %d bytes\n",
+		s.EvictionInvocations, s.BlocksEvicted, s.BytesEvicted)
+	fmt.Printf("links          %d patched, %d inter-unit removals, %.1f%% of live links cross units\n",
+		s.LinksPatched, s.InterUnitLinksRemoved, 100*res.InterUnitLinkFraction())
+	fmt.Printf("overhead       %s instructions\n", b)
+	fmt.Printf("est. time      %.4f s management overhead (CPI %.2f @ %.2f GHz)\n",
+		model.Seconds(b.Total()), model.CPI, model.ClockHz/1e9)
+	if *occupancy && len(res.Occupancy) > 0 {
+		bytes := make([]float64, len(res.Occupancy))
+		linksLive := make([]float64, len(res.Occupancy))
+		for i, o := range res.Occupancy {
+			bytes[i] = float64(o.ResidentBytes)
+			linksLive[i] = float64(o.LiveLinks)
+		}
+		fmt.Printf("occupancy      %s\n", report.Sparkline(bytes, 80))
+		fmt.Printf("live links     %s\n", report.Sparkline(linksLive, 80))
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Command dynocache-trace generates, saves, and inspects code-cache
+// traces — the equivalents of the paper's saved DynamoRIO logs.
+//
+// Usage:
+//
+//	dynocache-trace gen -bench gzip -out gzip.trace [-scale 1.0]
+//	dynocache-trace info gzip.trace
+//	dynocache-trace dump gzip.trace [-n 100]
+//	dynocache-trace list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynocache/internal/trace"
+	"dynocache/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dynocache-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if len(os.Args) < 2 {
+		return fmt.Errorf("usage: dynocache-trace <gen|info|dump|list> [flags]")
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "gen":
+		fs := flag.NewFlagSet("gen", flag.ExitOnError)
+		bench := fs.String("bench", "", "Table 1 benchmark name")
+		scale := fs.Float64("scale", 1.0, "workload scale")
+		out := fs.String("out", "", "output trace file")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if *bench == "" || *out == "" {
+			return fmt.Errorf("gen requires -bench and -out")
+		}
+		p, err := workload.ByName(*bench)
+		if err != nil {
+			return err
+		}
+		tr, err := p.Scaled(*scale).Synthesize()
+		if err != nil {
+			return err
+		}
+		if err := tr.Save(*out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %s\n", *out, tr.Summarize())
+		return nil
+
+	case "info":
+		if len(args) != 1 {
+			return fmt.Errorf("info requires a trace file")
+		}
+		tr, err := trace.Load(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Println(tr.Summarize())
+		fmt.Printf("self-link fraction: %.1f%%\n", 100*tr.SelfLinkFraction())
+		return nil
+
+	case "dump":
+		fs := flag.NewFlagSet("dump", flag.ExitOnError)
+		n := fs.Int("n", 50, "max access lines (0 = all)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("dump requires a trace file")
+		}
+		tr, err := trace.Load(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		return tr.Dump(os.Stdout, *n)
+
+	case "list":
+		for _, p := range workload.Table1() {
+			fmt.Printf("%-14s %6d superblocks  %-12s %s\n",
+				p.Name, p.Superblocks, p.Suite, p.Description)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}

@@ -1,0 +1,224 @@
+// Package dynocache reproduces "Exploring Code Cache Eviction
+// Granularities in Dynamic Optimization Systems" (Hazelwood & Smith,
+// CGO 2004) as a reusable Go library.
+//
+// The package is a facade over the implementation:
+//
+//   - a software code cache with pluggable eviction granularity (FLUSH,
+//     medium-grained n-unit FIFO, fine-grained FIFO, plus LRU, adaptive,
+//     preemptive-flush, and generational extensions), with full superblock
+//     chaining and back-pointer bookkeeping;
+//   - calibrated workload synthesis for the paper's 20 benchmarks
+//     (Table 1) and a trace-driven simulator;
+//   - the analytical overhead model of Equations 2-4 and the execution
+//     time estimator of Section 5.3;
+//   - a complete dynamic binary translator for the DRISC guest ISA that
+//     executes translated superblocks out of the managed cache;
+//   - experiment runners regenerating every table and figure.
+//
+// Quick start:
+//
+//	tr, _ := dynocache.SynthesizeBenchmark("gzip", 1.0)
+//	res, _ := dynocache.Simulate(tr, dynocache.MediumGrained(8), 2)
+//	fmt.Printf("miss rate: %.3f\n", res.Stats.MissRate())
+package dynocache
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dynocache/internal/core"
+	"dynocache/internal/dbt"
+	"dynocache/internal/experiments"
+	"dynocache/internal/overhead"
+	"dynocache/internal/sim"
+	"dynocache/internal/trace"
+	"dynocache/internal/workload"
+)
+
+// Re-exported core types: the code cache and its building blocks.
+type (
+	// Cache is the common interface of every eviction policy.
+	Cache = core.Cache
+	// Superblock describes one translated region presented to the cache.
+	Superblock = core.Superblock
+	// SuperblockID identifies a superblock across eviction and
+	// regeneration.
+	SuperblockID = core.SuperblockID
+	// CacheStats carries the event counters that the overhead model
+	// prices.
+	CacheStats = core.Stats
+	// Policy is a declarative eviction-policy specification.
+	Policy = core.Policy
+
+	// Trace is a replayable code-cache workload (the analogue of the
+	// paper's saved DynamoRIO logs).
+	Trace = trace.Trace
+	// BenchmarkProfile is a calibrated statistical description of one
+	// Table 1 benchmark.
+	BenchmarkProfile = workload.Profile
+
+	// SimResult is the outcome of replaying one trace against one policy.
+	SimResult = sim.Result
+	// SimOptions tunes a simulation run.
+	SimOptions = sim.Options
+	// SweepResult indexes simulation results by policy and benchmark.
+	SweepResult = sim.SweepResult
+
+	// OverheadModel prices cache-management events (Equations 2-4).
+	OverheadModel = overhead.Model
+	// OverheadBreakdown decomposes a run's overhead in instructions.
+	OverheadBreakdown = overhead.Breakdown
+
+	// DBT is the dynamic binary translator over the DRISC guest ISA.
+	DBT = dbt.DBT
+	// DBTConfig parameterizes a translator instance.
+	DBTConfig = dbt.Config
+
+	// ExperimentSuite regenerates the paper's tables and figures.
+	ExperimentSuite = experiments.Suite
+	// ExperimentConfig scales and parameterizes the suite.
+	ExperimentConfig = experiments.Config
+)
+
+// Flush returns the coarsest policy: flush the whole cache when it fills.
+func Flush() Policy { return Policy{Kind: core.PolicyFlush} }
+
+// MediumGrained returns the paper's proposal: the cache is split into n
+// equal units flushed in circular FIFO order (n >= 2).
+func MediumGrained(n int) Policy { return Policy{Kind: core.PolicyUnits, Units: n} }
+
+// FineGrained returns the finest policy: evict just enough of the oldest
+// superblocks to fit each insertion.
+func FineGrained() Policy { return Policy{Kind: core.PolicyFine} }
+
+// LRU returns the recency-based policy used for the fragmentation ablation
+// (§3.3).
+func LRU() Policy { return Policy{Kind: core.PolicyLRU} }
+
+// Adaptive returns the pressure-adaptive granularity policy (the paper's
+// future work).
+func Adaptive() Policy { return Policy{Kind: core.PolicyAdaptive} }
+
+// PreemptiveFlush returns Dynamo's phase-detecting flush policy.
+func PreemptiveFlush() Policy { return Policy{Kind: core.PolicyPreemptive} }
+
+// Generational returns a two-generation cache with an n-unit tenured side
+// (after Hazelwood & Smith's MICRO 2003 generational scheme).
+func Generational(n int) Policy { return Policy{Kind: core.PolicyGenerational, Units: n} }
+
+// GranularitySweep returns the paper's x-axis: FLUSH, 2..maxUnits units in
+// powers of two, then fine-grained FIFO.
+func GranularitySweep(maxUnits int) []Policy { return core.GranularitySweep(maxUnits) }
+
+// NewCache instantiates a policy over a cache of the given capacity.
+func NewCache(p Policy, capacity int) (Cache, error) { return p.New(capacity) }
+
+// ParsePolicy parses a policy display name: "flush", "fifo" (or "fine"),
+// "lru", "compacting-lru", "adaptive", "preemptive", "N-unit" (e.g.
+// "8-unit"), or "generational/N".
+func ParsePolicy(s string) (Policy, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "flush":
+		return Flush(), nil
+	case "fifo", "fine":
+		return FineGrained(), nil
+	case "lru":
+		return LRU(), nil
+	case "compacting-lru":
+		return Policy{Kind: core.PolicyCompactingLRU}, nil
+	case "adaptive":
+		return Adaptive(), nil
+	case "preemptive":
+		return PreemptiveFlush(), nil
+	}
+	if rest, ok := strings.CutPrefix(s, "generational/"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 1 {
+			return Policy{}, fmt.Errorf("dynocache: bad generational unit count %q", rest)
+		}
+		return Generational(n), nil
+	}
+	if unitStr, ok := strings.CutSuffix(s, "-unit"); ok {
+		n, err := strconv.Atoi(unitStr)
+		if err != nil || n < 1 {
+			return Policy{}, fmt.Errorf("dynocache: bad unit count %q", unitStr)
+		}
+		if n == 1 {
+			return Flush(), nil
+		}
+		return MediumGrained(n), nil
+	}
+	return Policy{}, fmt.Errorf("dynocache: unknown policy %q", s)
+}
+
+// Benchmarks returns the paper's 20 calibrated benchmark profiles
+// (Table 1).
+func Benchmarks() []BenchmarkProfile { return workload.Table1() }
+
+// BenchmarkByName returns one Table 1 profile.
+func BenchmarkByName(name string) (BenchmarkProfile, error) { return workload.ByName(name) }
+
+// SynthesizeBenchmark expands a named benchmark into a trace at the given
+// scale (1.0 reproduces the paper's superblock counts exactly).
+func SynthesizeBenchmark(name string, scale float64) (*Trace, error) {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Scaled(scale).Synthesize()
+}
+
+// Simulate replays a trace against a policy at the given cache pressure
+// factor (capacity = maxCache/pressure, §4.2).
+func Simulate(tr *Trace, p Policy, pressure int) (*SimResult, error) {
+	return sim.Run(tr, p, pressure, sim.Options{CensusEvery: 2000})
+}
+
+// SimulateWithOptions is Simulate with explicit options.
+func SimulateWithOptions(tr *Trace, p Policy, pressure int, opts SimOptions) (*SimResult, error) {
+	return sim.Run(tr, p, pressure, opts)
+}
+
+// Sweep replays every trace against every policy at one pressure factor,
+// in parallel.
+func Sweep(traces []*Trace, policies []Policy, pressure int, opts SimOptions) (*SweepResult, error) {
+	return sim.Sweep(traces, policies, pressure, opts)
+}
+
+// PaperOverheadModel returns the cost model with the paper's published
+// coefficients (Equations 2-4, 2.4 GHz Xeon).
+func PaperOverheadModel() OverheadModel { return overhead.Paper() }
+
+// NewDBT creates a dynamic binary translator with the given configuration.
+func NewDBT(cfg DBTConfig) (*DBT, error) { return dbt.New(cfg) }
+
+// DefaultDBTConfig returns a translator configuration suitable for
+// programs generated by the synthetic program generator.
+func DefaultDBTConfig() DBTConfig { return dbt.DefaultConfig() }
+
+// NewExperimentSuite synthesizes the paper's workloads and prepares the
+// experiment runners.
+func NewExperimentSuite(cfg ExperimentConfig) (*ExperimentSuite, error) {
+	return experiments.NewSuite(cfg)
+}
+
+// FullExperimentConfig reproduces the evaluation at full Table 1 scale
+// (tens of CPU-minutes for all figures).
+func FullExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// QuickExperimentConfig runs the same experiments on 5%-scale workloads.
+func QuickExperimentConfig() ExperimentConfig { return experiments.QuickConfig() }
+
+// ReproduceAll regenerates every table and figure, writing rendered
+// artifacts to w.
+func ReproduceAll(cfg ExperimentConfig, w io.Writer) error {
+	s, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	return s.RunAll(w)
+}

@@ -1,0 +1,156 @@
+package dynocache
+
+import (
+	"strings"
+	"testing"
+
+	"dynocache/internal/program"
+)
+
+func TestFacadePolicyConstructors(t *testing.T) {
+	cases := []struct {
+		p    Policy
+		name string
+	}{
+		{Flush(), "FLUSH"},
+		{MediumGrained(8), "8-unit"},
+		{FineGrained(), "FIFO"},
+		{LRU(), "LRU"},
+		{Adaptive(), "adaptive"},
+		{PreemptiveFlush(), "preemptive"},
+		{Generational(8), "generational/8"},
+	}
+	for _, c := range cases {
+		if c.p.String() != c.name {
+			t.Errorf("policy name = %q, want %q", c.p.String(), c.name)
+		}
+		cache, err := NewCache(c.p, 1<<16)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if cache.Capacity() <= 0 {
+			t.Errorf("%s: bad capacity", c.name)
+		}
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	if got := len(Benchmarks()); got != 20 {
+		t.Fatalf("Benchmarks() = %d profiles, want 20", got)
+	}
+	p, err := BenchmarkByName("crafty")
+	if err != nil || p.Superblocks != 1488 {
+		t.Fatalf("BenchmarkByName(crafty) = %+v, %v", p, err)
+	}
+	if _, err := BenchmarkByName("nope"); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	tr, err := SynthesizeBenchmark("gzip", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(tr, MediumGrained(8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MissRate() <= 0 || res.Stats.MissRate() >= 1 {
+		t.Fatalf("implausible miss rate %g", res.Stats.MissRate())
+	}
+	model := PaperOverheadModel()
+	b := res.Overhead(model, true)
+	if b.Total() <= 0 {
+		t.Fatal("zero overhead")
+	}
+	if _, err := SynthesizeBenchmark("nope", 1); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	var traces []*Trace
+	for _, name := range []string{"gzip", "mcf"} {
+		tr, err := SynthesizeBenchmark(name, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+	sw, err := Sweep(traces, GranularitySweep(8), 4, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.UnifiedMissRate(0) <= sw.UnifiedMissRate(len(sw.Policies)-1) {
+		t.Fatal("FLUSH should miss more than FIFO")
+	}
+}
+
+func TestFacadeDBT(t *testing.T) {
+	p, err := program.Generate(program.DefaultGenConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := p.Code()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDBT(DefaultDBTConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(code, program.CodeBase, p.Entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().SuperblocksFormed == 0 {
+		t.Fatal("DBT formed no superblocks")
+	}
+}
+
+func TestFacadeReproduceAllTinyScale(t *testing.T) {
+	cfg := QuickExperimentConfig()
+	cfg.Scale = 0.02
+	cfg.Pressures = []int{2, 10}
+	var b strings.Builder
+	if err := ReproduceAll(cfg, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Section 5.3") {
+		t.Fatal("report incomplete")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]string{
+		"flush":          "FLUSH",
+		"FIFO":           "FIFO",
+		"fine":           "FIFO",
+		"lru":            "LRU",
+		"compacting-lru": "compacting-LRU",
+		"adaptive":       "adaptive",
+		"preemptive":     "preemptive",
+		"8-unit":         "8-unit",
+		"1-unit":         "FLUSH",
+		"generational/4": "generational/4",
+	}
+	for in, want := range cases {
+		p, err := ParsePolicy(in)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", in, err)
+			continue
+		}
+		if p.String() != want {
+			t.Errorf("ParsePolicy(%q) = %s, want %s", in, p, want)
+		}
+	}
+	for _, bad := range []string{"", "x-unit", "0-unit", "generational/x", "random"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) should fail", bad)
+		}
+	}
+}

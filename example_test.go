@@ -1,0 +1,73 @@
+package dynocache_test
+
+import (
+	"fmt"
+
+	"dynocache"
+)
+
+// The basic flow: synthesize a calibrated benchmark, replay it against an
+// eviction policy, and read the cache statistics.
+func ExampleSimulate() {
+	tr, err := dynocache.SynthesizeBenchmark("mcf", 1.0)
+	if err != nil {
+		panic(err)
+	}
+	res, err := dynocache.Simulate(tr, dynocache.MediumGrained(8), 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("superblocks: %d\n", tr.NumBlocks())
+	fmt.Printf("evicted more than inserted? %v\n",
+		res.Stats.BlocksEvicted > res.Stats.InsertedBlocks)
+	// Output:
+	// superblocks: 158
+	// evicted more than inserted? false
+}
+
+// Policies are declarative specs; the granularity sweep is the paper's
+// x-axis.
+func ExampleGranularitySweep() {
+	for _, p := range dynocache.GranularitySweep(8) {
+		fmt.Println(p)
+	}
+	// Output:
+	// FLUSH
+	// 2-unit
+	// 4-unit
+	// 8-unit
+	// FIFO
+}
+
+// The overhead model prices cache-management events with the paper's
+// measured equations.
+func ExampleOverheadModel() {
+	m := dynocache.PaperOverheadModel()
+	// Equation 3: a miss for a 230-byte superblock costs 19,264
+	// instructions.
+	fmt.Printf("%.0f\n", m.MissCost(230, 1))
+	// Equation 2: evicting 230 bytes costs ~3,692 instructions.
+	fmt.Printf("%.0f\n", m.EvictionCost(230, 1))
+	// Output:
+	// 19264
+	// 3692
+}
+
+// ParsePolicy turns CLI-style names into policy specs.
+func ExampleParsePolicy() {
+	for _, name := range []string{"flush", "64-unit", "fifo"} {
+		p, err := dynocache.ParsePolicy(name)
+		if err != nil {
+			panic(err)
+		}
+		cache, err := dynocache.NewCache(p, 1<<16)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d units\n", cache.Name(), cache.Units())
+	}
+	// Output:
+	// FLUSH: 1 units
+	// 64-unit: 64 units
+	// FIFO: 0 units
+}

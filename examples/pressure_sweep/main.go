@@ -1,0 +1,64 @@
+// Pressure sweep: the paper's central experiment on one interactive
+// workload. Interactive applications generate code faster than anything
+// else (the paper's word touches 18k superblocks / 34 MB of code), so
+// their code caches live under permanent pressure. This example sweeps
+// eviction granularity against cache pressure and prints the relative
+// overhead matrix — the data behind Figures 11 and 15.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynocache"
+)
+
+func main() {
+	// A 20%-scale word workload keeps this example under a few seconds.
+	tr, err := dynocache.SynthesizeBenchmark("word", 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s\n\n", tr.Summarize())
+
+	model := dynocache.PaperOverheadModel()
+	policies := dynocache.GranularitySweep(64)
+	pressures := []int{2, 4, 6, 8, 10}
+
+	fmt.Printf("relative overhead vs FLUSH (misses + evictions + link maintenance)\n")
+	fmt.Printf("%-10s", "policy")
+	for _, n := range pressures {
+		fmt.Printf(" %8s", fmt.Sprintf("p=%d", n))
+	}
+	fmt.Println()
+
+	table := make([][]float64, len(policies))
+	for pi := range table {
+		table[pi] = make([]float64, len(pressures))
+	}
+	for ki, pressure := range pressures {
+		var flush float64
+		for pi, pol := range policies {
+			res, err := dynocache.Simulate(tr, pol, pressure)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total := res.Overhead(model, true).Total()
+			if pi == 0 {
+				flush = total
+			}
+			table[pi][ki] = total / flush
+		}
+	}
+	for pi, pol := range policies {
+		fmt.Printf("%-10s", pol)
+		for ki := range pressures {
+			fmt.Printf(" %8.3f", table[pi][ki])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nreading the matrix: medium-grained rows stay lowest as pressure")
+	fmt.Println("rises; the FIFO row climbs back toward (and past) FLUSH — the")
+	fmt.Println("paper's case for medium-grained eviction.")
+}

@@ -1,0 +1,3 @@
+module dynocache
+
+go 1.22

@@ -1,0 +1,192 @@
+package core
+
+import "fmt"
+
+// AdaptiveConfig parameterizes the pressure-adaptive granularity policy.
+// The paper's future work proposes "a cache management strategy that
+// dynamically adjusts the eviction granularity on-the-fly, based on the
+// perceived cache pressure"; AdaptiveCache is that strategy.
+//
+// The controller watches the overhead mix over a sliding window. When
+// eviction/unlink overhead dominates it coarsens the unit quantum (fewer,
+// bigger flushes); when miss overhead dominates it refines it. Cost
+// weights default to the paper's Equations 2-4.
+type AdaptiveConfig struct {
+	Capacity int
+	// InitialUnits is the starting granularity (default 8).
+	InitialUnits int
+	// MinUnits/MaxUnits bound the adjustment range (defaults 2 and 256).
+	MinUnits int
+	MaxUnits int
+	// Window is the number of insertions between controller decisions
+	// (default 64).
+	Window int
+	// CostPerMiss, CostPerMissByte, CostPerEvict, CostPerEvictByte,
+	// CostPerUnlink weight the observed events (defaults: Equations 2-4).
+	CostPerMiss      float64
+	CostPerMissByte  float64
+	CostPerEvict     float64
+	CostPerEvictByte float64
+	CostPerUnlink    float64
+	// Tolerance is the relative cost worsening that makes the climber
+	// reverse direction (default 0.02).
+	Tolerance float64
+}
+
+func (cfg *AdaptiveConfig) setDefaults() {
+	if cfg.InitialUnits == 0 {
+		cfg.InitialUnits = 8
+	}
+	if cfg.MinUnits == 0 {
+		cfg.MinUnits = 2
+	}
+	if cfg.MaxUnits == 0 {
+		cfg.MaxUnits = 256
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 64
+	}
+	if cfg.CostPerMiss == 0 {
+		cfg.CostPerMiss = 1922 // Equation 3 intercept
+	}
+	if cfg.CostPerMissByte == 0 {
+		cfg.CostPerMissByte = 75.4 // Equation 3 slope
+	}
+	if cfg.CostPerEvict == 0 {
+		cfg.CostPerEvict = 3055 // Equation 2 intercept
+	}
+	if cfg.CostPerEvictByte == 0 {
+		cfg.CostPerEvictByte = 2.77 // Equation 2 slope
+	}
+	if cfg.CostPerUnlink == 0 {
+		cfg.CostPerUnlink = 296.5 // Equation 4 slope
+	}
+	if cfg.Tolerance == 0 {
+		cfg.Tolerance = 0.02
+	}
+}
+
+// AdaptiveCache is a medium-grained FIFO cache whose unit count doubles or
+// halves in response to the observed total overhead. Changing the quantum
+// is safe at any insertion boundary: it only affects how far future
+// eviction invocations advance the frontier.
+//
+// The controller is a gradient-free hill climber: each window it prices
+// the window's events (Equations 2-4) per access, keeps moving in the
+// current direction (finer or coarser) while cost improves, and reverses
+// when it worsens beyond Tolerance. It therefore oscillates around
+// whatever granularity currently minimizes overhead — tracking the
+// pressure-dependent optimum of Figures 10-11 without knowing the
+// pressure.
+type AdaptiveCache struct {
+	*FIFOCache
+	cfg AdaptiveConfig
+
+	curUnits  int
+	dir       int // +1 = refine (more units), -1 = coarsen
+	lastCost  float64
+	haveCost  bool
+	lastStats Stats // snapshot at the previous controller decision
+	sinceCtl  int   // insertions since the previous decision
+	// Adjustments counts granularity changes (diagnostic).
+	Adjustments int
+}
+
+var _ Cache = (*AdaptiveCache)(nil)
+
+// NewAdaptive returns an adaptive-granularity cache.
+func NewAdaptive(cfg AdaptiveConfig) (*AdaptiveCache, error) {
+	cfg.setDefaults()
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("core: capacity must be positive, got %d", cfg.Capacity)
+	}
+	if cfg.MinUnits < 2 || cfg.MaxUnits < cfg.MinUnits {
+		return nil, fmt.Errorf("core: bad unit bounds [%d, %d]", cfg.MinUnits, cfg.MaxUnits)
+	}
+	if cfg.InitialUnits < cfg.MinUnits || cfg.InitialUnits > cfg.MaxUnits {
+		return nil, fmt.Errorf("core: InitialUnits %d outside [%d, %d]", cfg.InitialUnits, cfg.MinUnits, cfg.MaxUnits)
+	}
+	base, err := NewUnits(cfg.Capacity, cfg.InitialUnits)
+	if err != nil {
+		return nil, err
+	}
+	base.name = "adaptive"
+	return &AdaptiveCache{FIFOCache: base, cfg: cfg, curUnits: cfg.InitialUnits, dir: 1}, nil
+}
+
+// CurrentUnits returns the granularity currently in force.
+func (c *AdaptiveCache) CurrentUnits() int { return c.curUnits }
+
+// Insert implements Cache, running the controller between insertions.
+func (c *AdaptiveCache) Insert(sb Superblock) error {
+	if err := c.FIFOCache.Insert(sb); err != nil {
+		return err
+	}
+	c.sinceCtl++
+	if c.sinceCtl >= c.cfg.Window {
+		c.adjust()
+		c.sinceCtl = 0
+	}
+	return nil
+}
+
+// adjust prices the window just finished and hill-climbs: keep moving in
+// the improving direction, reverse when cost per access worsens.
+func (c *AdaptiveCache) adjust() {
+	cur := c.stats
+	d := Stats{
+		Accesses:              cur.Accesses - c.lastStats.Accesses,
+		Misses:                cur.Misses - c.lastStats.Misses,
+		InsertedBytes:         cur.InsertedBytes - c.lastStats.InsertedBytes,
+		EvictionInvocations:   cur.EvictionInvocations - c.lastStats.EvictionInvocations,
+		BytesEvicted:          cur.BytesEvicted - c.lastStats.BytesEvicted,
+		UnlinkEvents:          cur.UnlinkEvents - c.lastStats.UnlinkEvents,
+		InterUnitLinksRemoved: cur.InterUnitLinksRemoved - c.lastStats.InterUnitLinksRemoved,
+	}
+	c.lastStats = cur
+	if d.Accesses == 0 {
+		return
+	}
+	window := c.cfg.CostPerMiss*float64(d.Misses) +
+		c.cfg.CostPerMissByte*float64(d.InsertedBytes) +
+		c.cfg.CostPerEvict*float64(d.EvictionInvocations) +
+		c.cfg.CostPerEvictByte*float64(d.BytesEvicted) +
+		c.cfg.CostPerUnlink*float64(d.InterUnitLinksRemoved) +
+		95.7*float64(d.UnlinkEvents)
+	cost := window / float64(d.Accesses)
+
+	if c.haveCost && cost > c.lastCost*(1+c.cfg.Tolerance) {
+		c.dir = -c.dir // the last move hurt: go back the other way
+	}
+	c.lastCost = cost
+	c.haveCost = true
+
+	next := c.curUnits * 2
+	if c.dir < 0 {
+		next = c.curUnits / 2
+	}
+	if next < c.cfg.MinUnits || next > c.cfg.MaxUnits {
+		c.dir = -c.dir // bounce off the bounds
+		return
+	}
+	c.setUnits(next)
+}
+
+func (c *AdaptiveCache) setUnits(n int) {
+	if n < c.cfg.MinUnits {
+		n = c.cfg.MinUnits
+	}
+	if n > c.cfg.MaxUnits {
+		n = c.cfg.MaxUnits
+	}
+	if n == c.curUnits {
+		return
+	}
+	c.curUnits = n
+	c.unitSize = c.capacity / n
+	if c.unitSize < 1 {
+		c.unitSize = 1
+	}
+	c.nUnits = n
+	c.Adjustments++
+}

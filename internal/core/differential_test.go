@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"dynocache/internal/stats"
+)
+
+// Differential tests: FIFOCache against small, independent reference
+// models of the eviction semantics. The references share no code with the
+// production cache — they use plain slices and re-derive residency from
+// first principles every step.
+
+// refFine models fine-grained FIFO: evict oldest blocks, one at a time,
+// until the insertion fits.
+type refFine struct {
+	cap   int
+	used  int
+	order []SuperblockID
+	size  map[SuperblockID]int
+}
+
+func newRefFine(cap int) *refFine {
+	return &refFine{cap: cap, size: map[SuperblockID]int{}}
+}
+
+func (r *refFine) contains(id SuperblockID) bool {
+	_, ok := r.size[id]
+	return ok
+}
+
+func (r *refFine) insert(id SuperblockID, size int) {
+	for r.used+size > r.cap {
+		victim := r.order[0]
+		r.order = r.order[1:]
+		r.used -= r.size[victim]
+		delete(r.size, victim)
+	}
+	r.order = append(r.order, id)
+	r.size[id] = size
+	r.used += size
+}
+
+// refFlush models FLUSH: empty everything when the insertion does not fit.
+type refFlush struct {
+	cap  int
+	used int
+	size map[SuperblockID]int
+}
+
+func newRefFlush(cap int) *refFlush {
+	return &refFlush{cap: cap, size: map[SuperblockID]int{}}
+}
+
+func (r *refFlush) contains(id SuperblockID) bool {
+	_, ok := r.size[id]
+	return ok
+}
+
+func (r *refFlush) insert(id SuperblockID, size int) {
+	if r.used+size > r.cap {
+		r.size = map[SuperblockID]int{}
+		r.used = 0
+	}
+	r.size[id] = size
+	r.used += size
+}
+
+func TestFineMatchesReferenceModel(t *testing.T) {
+	const capacity = 1000
+	c, err := NewFine(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefFine(capacity)
+	r := stats.NewRand(0xD1F, 1)
+	sizes := map[SuperblockID]int{}
+	for step := 0; step < 50000; step++ {
+		id := SuperblockID(r.Intn(250))
+		size, ok := sizes[id]
+		if !ok {
+			size = 10 + r.Intn(120)
+			sizes[id] = size
+		}
+		if got, want := c.Contains(id), ref.contains(id); got != want {
+			t.Fatalf("step %d: residency of %d diverged: cache=%v ref=%v", step, id, got, want)
+		}
+		if !c.Access(id) {
+			if err := c.Insert(Superblock{ID: id, Size: size}); err != nil {
+				t.Fatal(err)
+			}
+			ref.insert(id, size)
+		}
+		if c.ResidentBytes() != ref.used {
+			t.Fatalf("step %d: resident bytes diverged: cache=%d ref=%d", step, c.ResidentBytes(), ref.used)
+		}
+	}
+}
+
+func TestFlushMatchesReferenceModel(t *testing.T) {
+	const capacity = 1000
+	c, err := NewFlush(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefFlush(capacity)
+	r := stats.NewRand(0xD1E, 2)
+	sizes := map[SuperblockID]int{}
+	for step := 0; step < 50000; step++ {
+		id := SuperblockID(r.Intn(250))
+		size, ok := sizes[id]
+		if !ok {
+			size = 10 + r.Intn(120)
+			sizes[id] = size
+		}
+		if got, want := c.Contains(id), ref.contains(id); got != want {
+			t.Fatalf("step %d: residency of %d diverged: cache=%v ref=%v", step, id, got, want)
+		}
+		if !c.Access(id) {
+			if err := c.Insert(Superblock{ID: id, Size: size}); err != nil {
+				t.Fatal(err)
+			}
+			ref.insert(id, size)
+		}
+		if c.ResidentBytes() != ref.used {
+			t.Fatalf("step %d: resident bytes diverged: cache=%d ref=%d", step, c.ResidentBytes(), ref.used)
+		}
+	}
+}
+
+// Unit-cache sandwich property: at every moment, an n-unit cache's
+// resident set sits between FLUSH's (subset of everything finer keeps
+// *longest-lived content*) is not a strict lattice, but two laws do hold
+// exactly and are checked here:
+//  1. every policy's resident bytes never exceed capacity;
+//  2. the most recently inserted block is always resident.
+func TestGranularitySandwichLaws(t *testing.T) {
+	const capacity = 2000
+	var caches []Cache
+	fl, _ := NewFlush(capacity)
+	u4, _ := NewUnits(capacity, 4)
+	u32, _ := NewUnits(capacity, 32)
+	fi, _ := NewFine(capacity)
+	caches = append(caches, fl, u4, u32, fi)
+	r := stats.NewRand(0xD1D, 3)
+	sizes := map[SuperblockID]int{}
+	for step := 0; step < 30000; step++ {
+		id := SuperblockID(r.Intn(300))
+		size, ok := sizes[id]
+		if !ok {
+			size = 10 + r.Intn(150)
+			sizes[id] = size
+		}
+		for _, c := range caches {
+			if !c.Access(id) {
+				if err := c.Insert(Superblock{ID: id, Size: size}); err != nil {
+					t.Fatalf("%s: %v", c.Name(), err)
+				}
+			}
+			if c.ResidentBytes() > c.Capacity() {
+				t.Fatalf("%s: over capacity at step %d", c.Name(), step)
+			}
+			if !c.Contains(id) {
+				t.Fatalf("%s: freshly touched block %d not resident at step %d", c.Name(), id, step)
+			}
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package core
+
+import "fmt"
+
+// evictionMode selects how far the eviction frontier advances per
+// invocation.
+type evictionMode uint8
+
+const (
+	// modeFlush empties the whole cache per invocation (coarsest).
+	modeFlush evictionMode = iota
+	// modeUnit advances the frontier to the next unit boundary (medium).
+	modeUnit
+	// modeFine advances the frontier just past enough blocks to fit the
+	// incoming one (finest).
+	modeFine
+)
+
+// FIFOCache is the paper's circular-buffer code cache. Superblocks tile a
+// virtual byte space [tail, head) with no gaps; physical placement is the
+// virtual offset modulo capacity. Eviction always removes the oldest
+// blocks; the granularity modes differ only in how far the tail advances
+// per eviction invocation:
+//
+//	FLUSH   — to the head (everything goes; Dynamo, naive full flush)
+//	n-unit  — to the next multiple of capacity/n (Figure 5's cache units)
+//	FIFO    — to the first block boundary that frees enough space
+//	          (DynamoRIO's bounded circular buffer)
+//
+// Because blocks tile contiguously, a "unit flush" may also take the block
+// straddling the unit's upper boundary; that block's bytes were partly in
+// the flushed unit, and variable-size entries cannot be split (§3.3).
+type FIFOCache struct {
+	name     string
+	capacity int
+	unitSize int // eviction quantum for modeUnit
+	nUnits   int // reported unit count: 1 flush, n unit, 0 fine
+	mode     evictionMode
+
+	head, tail int64 // virtual byte offsets; head-tail = resident bytes
+	queue      []fifoEntry
+	qfront     int                    // index of the oldest live entry in queue
+	where      map[SuperblockID]int64 // id -> virtual offset
+	sizes      map[SuperblockID]int
+
+	links *linkTable
+	stats Stats
+
+	recordSamples bool
+	samples       []EvictionSample
+
+	// evictHook, when set, observes every eviction (ids in FIFO order)
+	// before link bookkeeping runs. The DBT uses it to unpatch stubs and
+	// drop hash-table entries for physically evicted superblocks.
+	evictHook func(ids []SuperblockID)
+}
+
+type fifoEntry struct {
+	id   SuperblockID
+	voff int64
+	size int
+}
+
+var _ Cache = (*FIFOCache)(nil)
+
+// NewFlush returns a cache that flushes entirely when it fills (the
+// coarsest granularity).
+func NewFlush(capacity int) (*FIFOCache, error) {
+	return newFIFO("FLUSH", capacity, capacity, 1, modeFlush)
+}
+
+// NewUnits returns a medium-grained cache split into n equal units flushed
+// in circular FIFO order. n must be at least 2 and at most capacity.
+// The capacity is rounded down to a multiple of n so units are equal-sized.
+func NewUnits(capacity, n int) (*FIFOCache, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: unit cache needs n >= 2, got %d (use NewFlush for n=1)", n)
+	}
+	if n > capacity {
+		return nil, fmt.Errorf("core: unit count %d exceeds capacity %d", n, capacity)
+	}
+	unitSize := capacity / n
+	return newFIFO(fmt.Sprintf("%d-unit", n), unitSize*n, unitSize, n, modeUnit)
+}
+
+// NewFine returns the finest-grained FIFO cache: evict only enough of the
+// oldest superblocks to make room for each insertion.
+func NewFine(capacity int) (*FIFOCache, error) {
+	return newFIFO("FIFO", capacity, 0, 0, modeFine)
+}
+
+func newFIFO(name string, capacity, unitSize, nUnits int, mode evictionMode) (*FIFOCache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: capacity must be positive, got %d", capacity)
+	}
+	return &FIFOCache{
+		name:     name,
+		capacity: capacity,
+		unitSize: unitSize,
+		nUnits:   nUnits,
+		mode:     mode,
+		where:    make(map[SuperblockID]int64),
+		sizes:    make(map[SuperblockID]int),
+		links:    newLinkTable(),
+	}, nil
+}
+
+// Name implements Cache.
+func (c *FIFOCache) Name() string { return c.name }
+
+// Capacity implements Cache.
+func (c *FIFOCache) Capacity() int { return c.capacity }
+
+// Units implements Cache.
+func (c *FIFOCache) Units() int { return c.nUnits }
+
+// Stats implements Cache.
+func (c *FIFOCache) Stats() *Stats { return &c.stats }
+
+// Contains implements Cache.
+func (c *FIFOCache) Contains(id SuperblockID) bool {
+	_, ok := c.where[id]
+	return ok
+}
+
+// Access implements Cache.
+func (c *FIFOCache) Access(id SuperblockID) bool {
+	c.stats.Accesses++
+	if c.Contains(id) {
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Resident implements Cache.
+func (c *FIFOCache) Resident() int { return len(c.where) }
+
+// ResidentBytes implements Cache.
+func (c *FIFOCache) ResidentBytes() int { return int(c.head - c.tail) }
+
+// SetSampleRecording enables or disables per-invocation eviction sample
+// capture (for the simulated PAPI measurements of Figure 9).
+func (c *FIFOCache) SetSampleRecording(on bool) { c.recordSamples = on }
+
+// SetEvictHook registers a callback invoked with the IDs removed by each
+// eviction invocation, in FIFO order.
+func (c *FIFOCache) SetEvictHook(hook func(ids []SuperblockID)) { c.evictHook = hook }
+
+// Where returns the virtual byte offset of a resident block. The physical
+// placement is voff modulo Capacity().
+func (c *FIFOCache) Where(id SuperblockID) (voff int64, ok bool) {
+	voff, ok = c.where[id]
+	return voff, ok
+}
+
+// VirtualHead returns the virtual offset at which the next insertion will
+// be placed.
+func (c *FIFOCache) VirtualHead() int64 { return c.head }
+
+// Samples returns the recorded eviction samples.
+func (c *FIFOCache) Samples() []EvictionSample { return c.samples }
+
+// Insert implements Cache.
+func (c *FIFOCache) Insert(sb Superblock) error {
+	if err := validateInsert(c, sb); err != nil {
+		return err
+	}
+	// Evict until [head, head+size) fits within the capacity window.
+	if c.head+int64(sb.Size)-c.tail > int64(c.capacity) {
+		c.evictFor(int64(sb.Size))
+	}
+	voff := c.head
+	c.head += int64(sb.Size)
+	c.queue = append(c.queue, fifoEntry{id: sb.ID, voff: voff, size: sb.Size})
+	c.where[sb.ID] = voff
+	c.sizes[sb.ID] = sb.Size
+	c.stats.InsertedBlocks++
+	c.stats.InsertedBytes += uint64(sb.Size)
+	for _, to := range sb.Links {
+		c.links.declare(sb.ID, to, c.Contains, &c.stats)
+	}
+	c.links.onInsert(sb.ID, &c.stats)
+	return nil
+}
+
+// AddLink implements Cache.
+func (c *FIFOCache) AddLink(from, to SuperblockID) error {
+	if !c.Contains(from) {
+		return fmt.Errorf("core: AddLink from non-resident superblock %d", from)
+	}
+	c.links.declare(from, to, c.Contains, &c.stats)
+	return nil
+}
+
+// evictFor runs one eviction invocation making room for an insertion of
+// the given size.
+func (c *FIFOCache) evictFor(size int64) {
+	// The tail must reach at least `need` for the insertion to fit.
+	need := c.head + size - int64(c.capacity)
+	var frontier int64
+	switch c.mode {
+	case modeFlush:
+		frontier = c.head
+	case modeUnit:
+		q := int64(c.unitSize)
+		frontier = (need + q - 1) / q * q
+	case modeFine:
+		frontier = need
+	}
+	c.evictBelow(frontier)
+}
+
+// evictBelow removes, as a single eviction invocation, every block whose
+// start offset is below frontier.
+func (c *FIFOCache) evictBelow(frontier int64) {
+	evicted := make(map[SuperblockID]struct{})
+	var order []SuperblockID
+	var bytes int64
+	for c.qfront < len(c.queue) && c.queue[c.qfront].voff < frontier {
+		e := c.queue[c.qfront]
+		c.qfront++
+		evicted[e.id] = struct{}{}
+		order = append(order, e.id)
+		bytes += int64(e.size)
+		delete(c.where, e.id)
+		delete(c.sizes, e.id)
+	}
+	if len(evicted) == 0 {
+		return
+	}
+	if c.qfront < len(c.queue) {
+		c.tail = c.queue[c.qfront].voff
+	} else {
+		c.tail = c.head
+		c.queue = c.queue[:0]
+		c.qfront = 0
+		c.stats.FullFlushes++
+	}
+	// Reclaim queue space once the dead prefix dominates.
+	if c.qfront > 1024 && c.qfront*2 > len(c.queue) {
+		c.queue = append(c.queue[:0], c.queue[c.qfront:]...)
+		c.qfront = 0
+	}
+
+	if c.evictHook != nil {
+		c.evictHook(order)
+	}
+
+	c.stats.EvictionInvocations++
+	c.stats.BlocksEvicted += uint64(len(evicted))
+	c.stats.BytesEvicted += uint64(bytes)
+	c.stats.UnlinkEvents += c.links.unlinkEventsFor(evicted)
+
+	var sample *EvictionSample
+	if c.recordSamples {
+		c.samples = append(c.samples, EvictionSample{Bytes: int(bytes), Blocks: len(evicted)})
+		sample = &c.samples[len(c.samples)-1]
+	}
+	c.links.onEvict(evicted, &c.stats, sample)
+}
+
+// Flush implements Cache: it empties the cache as one eviction invocation
+// regardless of granularity (used by the preemptive-flush policy).
+func (c *FIFOCache) Flush() {
+	if c.Resident() == 0 {
+		return
+	}
+	c.evictBelow(c.head)
+}
+
+// unitToken maps a resident block to its co-eviction group token.
+func (c *FIFOCache) unitToken(id SuperblockID) (int64, bool) {
+	voff, ok := c.where[id]
+	if !ok {
+		return 0, false
+	}
+	switch c.mode {
+	case modeFlush:
+		return 0, true
+	case modeUnit:
+		return voff / int64(c.unitSize), true
+	default: // modeFine: every block is its own eviction unit
+		return voff, true
+	}
+}
+
+// LinkCensus implements Cache.
+func (c *FIFOCache) LinkCensus() (intra, inter int) {
+	return c.links.census(c.unitToken)
+}
+
+// BackPtrTableBytes implements Cache. The paper estimates 16 bytes per
+// link (an 8-byte pointer plus an 8-byte list link); a FLUSH cache needs
+// no table at all because all links die together.
+func (c *FIFOCache) BackPtrTableBytes() int {
+	if c.mode == modeFlush {
+		return 0
+	}
+	return 16 * c.links.patchedLinks()
+}
+
+// PatchedLinks returns the number of currently patched chaining links.
+func (c *FIFOCache) PatchedLinks() int { return c.links.patchedLinks() }
+
+// CheckInvariants validates internal consistency; it is exported for tests
+// and returns the first violation found.
+func (c *FIFOCache) CheckInvariants() error {
+	if got := int(c.head - c.tail); got > c.capacity {
+		return fmt.Errorf("core: resident bytes %d exceed capacity %d", got, c.capacity)
+	}
+	var bytes int
+	prevEnd := c.tail
+	for i := c.qfront; i < len(c.queue); i++ {
+		e := c.queue[i]
+		if e.voff != prevEnd {
+			return fmt.Errorf("core: block %d at %d does not tile (expected %d)", e.id, e.voff, prevEnd)
+		}
+		prevEnd = e.voff + int64(e.size)
+		if w, ok := c.where[e.id]; !ok || w != e.voff {
+			return fmt.Errorf("core: block %d queue/index mismatch", e.id)
+		}
+		bytes += e.size
+	}
+	if prevEnd != c.head {
+		return fmt.Errorf("core: queue ends at %d, head is %d", prevEnd, c.head)
+	}
+	if bytes != c.ResidentBytes() {
+		return fmt.Errorf("core: block bytes %d != resident bytes %d", bytes, c.ResidentBytes())
+	}
+	if len(c.where) != len(c.queue)-c.qfront {
+		return fmt.Errorf("core: index has %d blocks, queue has %d", len(c.where), len(c.queue)-c.qfront)
+	}
+	return c.links.checkInvariants()
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"testing"
+
+	"dynocache/internal/stats"
+)
+
+func sb(id SuperblockID, size int, links ...SuperblockID) Superblock {
+	return Superblock{ID: id, Size: size, Links: links}
+}
+
+func mustInsert(t *testing.T, c Cache, blocks ...Superblock) {
+	t.Helper()
+	for _, b := range blocks {
+		if err := c.Insert(b); err != nil {
+			t.Fatalf("Insert(%d): %v", b.ID, err)
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewFlush(0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := NewFine(-1); err == nil {
+		t.Error("negative capacity should fail")
+	}
+	if _, err := NewUnits(100, 1); err == nil {
+		t.Error("1 unit should be rejected (use NewFlush)")
+	}
+	if _, err := NewUnits(4, 8); err == nil {
+		t.Error("more units than bytes should fail")
+	}
+}
+
+func TestUnitCapacityRounding(t *testing.T) {
+	c, err := NewUnits(103, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Capacity() != 100 {
+		t.Fatalf("capacity = %d, want 100 (rounded to 4 equal units)", c.Capacity())
+	}
+	if c.Units() != 4 {
+		t.Fatalf("units = %d, want 4", c.Units())
+	}
+}
+
+func TestNamesAndUnits(t *testing.T) {
+	fl, _ := NewFlush(100)
+	un, _ := NewUnits(100, 8)
+	fi, _ := NewFine(100)
+	if fl.Name() != "FLUSH" || fl.Units() != 1 {
+		t.Errorf("flush: %s/%d", fl.Name(), fl.Units())
+	}
+	if un.Name() != "8-unit" || un.Units() != 8 {
+		t.Errorf("unit: %s/%d", un.Name(), un.Units())
+	}
+	if fi.Name() != "FIFO" || fi.Units() != 0 {
+		t.Errorf("fine: %s/%d", fi.Name(), fi.Units())
+	}
+}
+
+func TestAccessHitMissCounting(t *testing.T) {
+	c, _ := NewFine(100)
+	if c.Access(1) {
+		t.Error("access on empty cache should miss")
+	}
+	mustInsert(t, c, sb(1, 10))
+	if !c.Access(1) {
+		t.Error("access after insert should hit")
+	}
+	s := c.Stats()
+	if s.Accesses != 2 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", *s)
+	}
+	if s.MissRate() != 0.5 || s.HitRate() != 0.5 {
+		t.Fatalf("rates = %g/%g", s.MissRate(), s.HitRate())
+	}
+}
+
+func TestStatsZeroRates(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 || s.HitRate() != 0 {
+		t.Error("zero-access rates should be 0")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	c, _ := NewFine(100)
+	if err := c.Insert(sb(1, 0)); err == nil {
+		t.Error("zero size should fail")
+	}
+	if err := c.Insert(sb(1, -5)); err == nil {
+		t.Error("negative size should fail")
+	}
+	if err := c.Insert(sb(1, 101)); err == nil {
+		t.Error("oversized block should fail")
+	}
+	mustInsert(t, c, sb(1, 10))
+	if err := c.Insert(sb(1, 10)); err == nil {
+		t.Error("duplicate insert should fail")
+	}
+}
+
+func TestFineEvictsJustEnough(t *testing.T) {
+	c, _ := NewFine(100)
+	mustInsert(t, c, sb(1, 40), sb(2, 40), sb(3, 20)) // full
+	mustInsert(t, c, sb(4, 30))                       // must evict block 1 only
+	if c.Contains(1) {
+		t.Error("block 1 should have been evicted")
+	}
+	for _, id := range []SuperblockID{2, 3, 4} {
+		if !c.Contains(id) {
+			t.Errorf("block %d should be resident", id)
+		}
+	}
+	s := c.Stats()
+	if s.EvictionInvocations != 1 || s.BlocksEvicted != 1 || s.BytesEvicted != 40 {
+		t.Fatalf("eviction stats = %+v", *s)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFineEvictsMultipleWhenNeeded(t *testing.T) {
+	c, _ := NewFine(100)
+	mustInsert(t, c, sb(1, 30), sb(2, 30), sb(3, 40)) // full
+	mustInsert(t, c, sb(4, 50))                       // needs blocks 1 and 2 gone
+	if c.Contains(1) || c.Contains(2) {
+		t.Error("blocks 1 and 2 should have been evicted")
+	}
+	if !c.Contains(3) || !c.Contains(4) {
+		t.Error("blocks 3 and 4 should be resident")
+	}
+	s := c.Stats()
+	if s.EvictionInvocations != 1 || s.BlocksEvicted != 2 {
+		t.Fatalf("one invocation should evict both: %+v", *s)
+	}
+}
+
+func TestFlushEvictsEverything(t *testing.T) {
+	c, _ := NewFlush(100)
+	mustInsert(t, c, sb(1, 40), sb(2, 40))
+	mustInsert(t, c, sb(3, 40)) // overflow -> full flush
+	if c.Contains(1) || c.Contains(2) {
+		t.Error("flush should have evicted everything old")
+	}
+	if !c.Contains(3) {
+		t.Error("new block should be resident")
+	}
+	s := c.Stats()
+	if s.FullFlushes != 1 || s.BlocksEvicted != 2 || s.BytesEvicted != 80 {
+		t.Fatalf("flush stats = %+v", *s)
+	}
+	if c.Resident() != 1 || c.ResidentBytes() != 40 {
+		t.Fatalf("resident = %d blocks / %d bytes", c.Resident(), c.ResidentBytes())
+	}
+}
+
+func TestFlushAlwaysEmptiesEvenAfterManyLaps(t *testing.T) {
+	c, _ := NewFlush(100)
+	prevInvocations := uint64(0)
+	for i := SuperblockID(1); i <= 40; i++ {
+		mustInsert(t, c, sb(i, 33))
+		s := c.Stats()
+		if s.EvictionInvocations > prevInvocations {
+			// A FLUSH eviction must leave only the block just inserted.
+			if got := c.Resident(); got != 1 {
+				t.Fatalf("insert %d: resident = %d after flush, want 1", i, got)
+			}
+			prevInvocations = s.EvictionInvocations
+		}
+	}
+	s := c.Stats()
+	if s.FullFlushes != s.EvictionInvocations || s.FullFlushes == 0 {
+		t.Fatalf("every FLUSH eviction must be a full flush: %+v", *s)
+	}
+}
+
+func TestUnitEvictsOneUnitAtATime(t *testing.T) {
+	// 4 units of 25 bytes each.
+	c, _ := NewUnits(100, 4)
+	// Blocks of 25 bytes tile exactly one per unit.
+	mustInsert(t, c, sb(1, 25), sb(2, 25), sb(3, 25), sb(4, 25))
+	mustInsert(t, c, sb(5, 5)) // flush unit 0 (block 1) only
+	if c.Contains(1) {
+		t.Error("block 1 should be gone with unit 0")
+	}
+	for _, id := range []SuperblockID{2, 3, 4, 5} {
+		if !c.Contains(id) {
+			t.Errorf("block %d should be resident", id)
+		}
+	}
+	s := c.Stats()
+	if s.EvictionInvocations != 1 || s.BlocksEvicted != 1 {
+		t.Fatalf("unit eviction stats = %+v", *s)
+	}
+	// The rest of the freed 25-byte unit absorbs more small blocks without
+	// another eviction invocation.
+	mustInsert(t, c, sb(6, 5), sb(7, 5), sb(8, 5))
+	if c.Stats().EvictionInvocations != 1 {
+		t.Fatal("inserting into freed unit must not evict")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnitEvictsStraddler(t *testing.T) {
+	// 2 units of 50. Block 2 straddles the unit boundary (40..70).
+	c, _ := NewUnits(100, 2)
+	mustInsert(t, c, sb(1, 40), sb(2, 30), sb(3, 30)) // full
+	mustInsert(t, c, sb(4, 20))
+	// Frontier advances to 50; block 2 starts at 40 < 50, so it goes too.
+	if c.Contains(1) || c.Contains(2) {
+		t.Error("blocks 1 and 2 should be evicted (2 straddles the boundary)")
+	}
+	if !c.Contains(3) || !c.Contains(4) {
+		t.Error("blocks 3 and 4 should be resident")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictionInvocationOrdering(t *testing.T) {
+	// Comparing granularities on the same insert stream: coarser units mean
+	// fewer invocations — the Figure 8 effect in miniature.
+	stream := make([]Superblock, 60)
+	for i := range stream {
+		stream[i] = sb(SuperblockID(i+1), 10)
+	}
+	run := func(c Cache) uint64 {
+		for _, b := range stream {
+			if !c.Access(b.ID) {
+				mustInsert(t, c, b)
+			}
+		}
+		return c.Stats().EvictionInvocations
+	}
+	flush, _ := NewFlush(100)
+	units4, _ := NewUnits(100, 4)
+	fine, _ := NewFine(100)
+	nf, n4, nn := run(flush), run(units4), run(fine)
+	if !(nf <= n4 && n4 <= nn) {
+		t.Fatalf("invocations should grow with granularity: flush=%d 4-unit=%d fine=%d", nf, n4, nn)
+	}
+	if nn != 50 {
+		t.Fatalf("fine-grained: one eviction per overflow insert, got %d", nn)
+	}
+}
+
+func TestManualFlush(t *testing.T) {
+	c, _ := NewUnits(100, 4)
+	c.Flush() // empty flush is a no-op
+	if c.Stats().EvictionInvocations != 0 {
+		t.Error("flushing an empty cache should not count")
+	}
+	mustInsert(t, c, sb(1, 10), sb(2, 10))
+	c.Flush()
+	if c.Resident() != 0 || c.Stats().FullFlushes != 1 {
+		t.Fatalf("manual flush failed: resident=%d stats=%+v", c.Resident(), *c.Stats())
+	}
+}
+
+func TestSampleRecording(t *testing.T) {
+	c, _ := NewFine(50)
+	c.SetSampleRecording(true)
+	mustInsert(t, c, sb(1, 30), sb(2, 20))
+	mustInsert(t, c, sb(3, 25)) // evicts block 1
+	samples := c.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(samples))
+	}
+	if samples[0].Bytes != 30 || samples[0].Blocks != 1 {
+		t.Fatalf("sample = %+v", samples[0])
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	c, _ := NewFine(64)
+	// Thousands of insertions force the dead-prefix compaction path.
+	for i := 0; i < 5000; i++ {
+		id := SuperblockID(i)
+		if !c.Access(id) {
+			mustInsert(t, c, sb(id, 16))
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.queue) > 4096 {
+		t.Fatalf("queue never compacted: len=%d", len(c.queue))
+	}
+}
+
+// Property test: a random access/insert stream preserves every structural
+// invariant under all three granularities.
+func TestFIFOInvariantsUnderRandomWorkload(t *testing.T) {
+	r := stats.NewRand(99, 5)
+	caches := []*FIFOCache{}
+	fl, _ := NewFlush(1000)
+	u8, _ := NewUnits(1000, 8)
+	fi, _ := NewFine(1000)
+	caches = append(caches, fl, u8, fi)
+
+	sizes := make(map[SuperblockID]int)
+	for step := 0; step < 20000; step++ {
+		id := SuperblockID(r.Intn(300))
+		size, ok := sizes[id]
+		if !ok {
+			size = 10 + r.Intn(120)
+			sizes[id] = size
+		}
+		var links []SuperblockID
+		for i := 0; i < r.Geometric(1.7) && i < 6; i++ {
+			links = append(links, SuperblockID(r.Intn(300)))
+		}
+		for _, c := range caches {
+			if !c.Access(id) {
+				if err := c.Insert(Superblock{ID: id, Size: size, Links: links}); err != nil {
+					t.Fatalf("%s step %d: %v", c.Name(), step, err)
+				}
+			}
+		}
+		if step%2000 == 0 {
+			for _, c := range caches {
+				if err := c.CheckInvariants(); err != nil {
+					t.Fatalf("%s step %d: %v", c.Name(), step, err)
+				}
+			}
+		}
+	}
+	for _, c := range caches {
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("%s final: %v", c.Name(), err)
+		}
+		s := c.Stats()
+		if s.Hits+s.Misses != s.Accesses {
+			t.Fatalf("%s: hits+misses != accesses: %+v", c.Name(), *s)
+		}
+		if s.InsertedBlocks != s.Misses {
+			t.Fatalf("%s: inserted %d != misses %d", c.Name(), s.InsertedBlocks, s.Misses)
+		}
+		if got := uint64(c.Resident()); s.InsertedBlocks-s.BlocksEvicted != got {
+			t.Fatalf("%s: inserted-evicted=%d, resident=%d", c.Name(), s.InsertedBlocks-s.BlocksEvicted, got)
+		}
+		if c.ResidentBytes() > c.Capacity() {
+			t.Fatalf("%s: resident bytes exceed capacity", c.Name())
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import "fmt"
+
+// GenerationalCache separates superblocks by observed lifetime, after
+// Hazelwood & Smith's generational cache management (reference [15] in the
+// paper, MICRO 2003): a small nursery absorbs the many short-lived regions
+// cheaply with fine-grained FIFO eviction, while regions that prove
+// themselves hot are copied into a tenured cache managed with
+// medium-grained unit flushes.
+//
+// Links are maintained within each generation; a promotion re-declares the
+// block's links in the tenured cache (the copy gets fresh exit stubs, as a
+// real system would emit).
+type GenerationalCache struct {
+	name    string
+	nursery *FIFOCache
+	tenured *FIFOCache
+
+	// hitCounts tracks nursery hits per block to decide promotion.
+	hitCounts map[SuperblockID]int
+	threshold int
+
+	// blockMeta remembers size and links for promotion-time re-insertion.
+	blockMeta map[SuperblockID]Superblock
+
+	stats      Stats // access-level stats; structural stats come from sub-caches
+	aggregated Stats // scratch for Stats() aggregation
+
+	// Promotions counts blocks copied from nursery to tenured.
+	Promotions uint64
+}
+
+var _ Cache = (*GenerationalCache)(nil)
+
+// NewGenerational creates a generational cache. nurseryFrac is the
+// fraction of capacity given to the nursery (e.g. 0.25); tenuredUnits the
+// unit count of the tenured cache; threshold the nursery hit count that
+// triggers promotion.
+func NewGenerational(capacity int, nurseryFrac float64, tenuredUnits, threshold int) (*GenerationalCache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: capacity must be positive, got %d", capacity)
+	}
+	if nurseryFrac <= 0 || nurseryFrac >= 1 {
+		return nil, fmt.Errorf("core: nursery fraction %g outside (0, 1)", nurseryFrac)
+	}
+	if threshold < 1 {
+		return nil, fmt.Errorf("core: promotion threshold must be >= 1, got %d", threshold)
+	}
+	nurseryCap := int(float64(capacity) * nurseryFrac)
+	if nurseryCap < 1 {
+		nurseryCap = 1
+	}
+	nursery, err := NewFine(nurseryCap)
+	if err != nil {
+		return nil, err
+	}
+	var tenured *FIFOCache
+	if tenuredUnits <= 1 {
+		tenured, err = NewFlush(capacity - nurseryCap)
+	} else {
+		tenured, err = NewUnits(capacity-nurseryCap, tenuredUnits)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &GenerationalCache{
+		name:      fmt.Sprintf("generational(%d%%/%d-unit)", int(nurseryFrac*100), tenuredUnits),
+		nursery:   nursery,
+		tenured:   tenured,
+		hitCounts: make(map[SuperblockID]int),
+		blockMeta: make(map[SuperblockID]Superblock),
+		threshold: threshold,
+	}, nil
+}
+
+// Name implements Cache.
+func (c *GenerationalCache) Name() string { return c.name }
+
+// Capacity implements Cache.
+func (c *GenerationalCache) Capacity() int { return c.nursery.Capacity() + c.tenured.Capacity() }
+
+// Units implements Cache: reported as the tenured generation's units.
+func (c *GenerationalCache) Units() int { return c.tenured.Units() }
+
+// Nursery exposes the young generation for inspection.
+func (c *GenerationalCache) Nursery() *FIFOCache { return c.nursery }
+
+// Tenured exposes the old generation for inspection.
+func (c *GenerationalCache) Tenured() *FIFOCache { return c.tenured }
+
+// Contains implements Cache.
+func (c *GenerationalCache) Contains(id SuperblockID) bool {
+	return c.tenured.Contains(id) || c.nursery.Contains(id)
+}
+
+// Access implements Cache. A nursery hit may promote the block.
+func (c *GenerationalCache) Access(id SuperblockID) bool {
+	c.stats.Accesses++
+	if c.tenured.Contains(id) {
+		c.stats.Hits++
+		return true
+	}
+	if c.nursery.Contains(id) {
+		c.stats.Hits++
+		c.hitCounts[id]++
+		if c.hitCounts[id] >= c.threshold {
+			c.promote(id)
+		}
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+// promote copies a proven-hot block into the tenured generation. The
+// nursery copy is abandoned in place (it ages out with the FIFO), exactly
+// as a copying promotion leaves dead code behind.
+func (c *GenerationalCache) promote(id SuperblockID) {
+	sb, ok := c.blockMeta[id]
+	if !ok || c.tenured.Contains(id) {
+		return
+	}
+	if sb.Size > c.tenured.Capacity() {
+		return // cannot ever tenure; keep serving from the nursery
+	}
+	if err := c.tenured.Insert(sb); err != nil {
+		return // defensive: promotion failure just defers tenure
+	}
+	c.Promotions++
+	delete(c.hitCounts, id)
+}
+
+// Insert implements Cache: new blocks always enter the nursery.
+func (c *GenerationalCache) Insert(sb Superblock) error {
+	if sb.Size > c.nursery.Capacity() {
+		// Too big for the nursery: insert directly into tenured space,
+		// the way jumbo allocations bypass young generations.
+		if err := c.tenured.Insert(sb); err != nil {
+			return err
+		}
+		c.blockMeta[sb.ID] = sb
+		c.stats.InsertedBlocks++
+		c.stats.InsertedBytes += uint64(sb.Size)
+		return nil
+	}
+	if c.Contains(sb.ID) {
+		return fmt.Errorf("core: superblock %d is already resident", sb.ID)
+	}
+	if err := c.nursery.Insert(sb); err != nil {
+		return err
+	}
+	c.blockMeta[sb.ID] = sb
+	c.hitCounts[sb.ID] = 0
+	c.stats.InsertedBlocks++
+	c.stats.InsertedBytes += uint64(sb.Size)
+	return nil
+}
+
+// AddLink implements Cache, routing the link to whichever generation holds
+// the source.
+func (c *GenerationalCache) AddLink(from, to SuperblockID) error {
+	switch {
+	case c.tenured.Contains(from):
+		return c.tenured.AddLink(from, to)
+	case c.nursery.Contains(from):
+		return c.nursery.AddLink(from, to)
+	default:
+		return fmt.Errorf("core: AddLink from non-resident superblock %d", from)
+	}
+}
+
+// Resident implements Cache. Blocks present in both generations (promoted,
+// nursery copy not yet aged out) are counted once.
+func (c *GenerationalCache) Resident() int {
+	n := c.tenured.Resident()
+	for _, e := range c.nursery.queue[c.nursery.qfront:] {
+		if !c.tenured.Contains(e.id) {
+			n++
+		}
+	}
+	return n
+}
+
+// ResidentBytes implements Cache (double-counting promoted blocks' dead
+// nursery copies, which genuinely occupy space).
+func (c *GenerationalCache) ResidentBytes() int {
+	return c.nursery.ResidentBytes() + c.tenured.ResidentBytes()
+}
+
+// LinkCensus implements Cache by summing the generations.
+func (c *GenerationalCache) LinkCensus() (intra, inter int) {
+	i1, e1 := c.nursery.LinkCensus()
+	i2, e2 := c.tenured.LinkCensus()
+	return i1 + i2, e1 + e2
+}
+
+// BackPtrTableBytes implements Cache.
+func (c *GenerationalCache) BackPtrTableBytes() int {
+	return c.nursery.BackPtrTableBytes() + c.tenured.BackPtrTableBytes()
+}
+
+// Flush implements Cache.
+func (c *GenerationalCache) Flush() {
+	c.nursery.Flush()
+	c.tenured.Flush()
+	c.hitCounts = make(map[SuperblockID]int)
+}
+
+// Stats implements Cache: access counters are the wrapper's; structural
+// counters (insertions, evictions, links) are summed from the generations
+// on every call.
+func (c *GenerationalCache) Stats() *Stats {
+	n, t := c.nursery.Stats(), c.tenured.Stats()
+	agg := c.stats // copies access-level counters and insertion counters
+	agg.EvictionInvocations = n.EvictionInvocations + t.EvictionInvocations
+	agg.BlocksEvicted = n.BlocksEvicted + t.BlocksEvicted
+	agg.BytesEvicted = n.BytesEvicted + t.BytesEvicted
+	agg.FullFlushes = n.FullFlushes + t.FullFlushes
+	agg.LinksPatched = n.LinksPatched + t.LinksPatched
+	agg.PendingRelinks = n.PendingRelinks + t.PendingRelinks
+	agg.UnlinkEvents = n.UnlinkEvents + t.UnlinkEvents
+	agg.InterUnitLinksRemoved = n.InterUnitLinksRemoved + t.InterUnitLinksRemoved
+	agg.IntraUnitLinksFlushed = n.IntraUnitLinksFlushed + t.IntraUnitLinksFlushed
+	c.aggregated = agg
+	return &c.aggregated
+}

@@ -1,0 +1,217 @@
+package core
+
+import "fmt"
+
+// linkTable implements superblock chaining (Section 3.1).
+//
+// For each resident block it tracks the links *declared* by the frontend
+// (the block's exits), the subset actually *patched* into cached code
+// (target resident at declaration time, or resolved later when the target
+// arrived), and a back-pointer table mapping each block to the sources
+// patched to jump to it.
+//
+// A declared link whose target is absent waits in the pending table; when
+// the target is (re)inserted, the link is patched and counted as a
+// relink — this models DynamoRIO re-chaining through exit stubs after a
+// regeneration.
+type linkTable struct {
+	// declared[from] lists every link declared by the resident block
+	// `from`, patched or not. Reset when `from` is evicted.
+	declared map[SuperblockID][]SuperblockID
+	// patched[from] is the set of targets from currently jumps to.
+	patched map[SuperblockID]map[SuperblockID]struct{}
+	// backPtrs[to] is the set of sources patched to jump to `to` — the
+	// back-pointer table whose memory cost Section 5.1 estimates at 16
+	// bytes per link.
+	backPtrs map[SuperblockID]map[SuperblockID]struct{}
+	// pending[to] is the set of resident sources with a declared but
+	// unpatched link to the absent block `to`.
+	pending map[SuperblockID]map[SuperblockID]struct{}
+
+	patchedCount int
+}
+
+func newLinkTable() *linkTable {
+	return &linkTable{
+		declared: make(map[SuperblockID][]SuperblockID),
+		patched:  make(map[SuperblockID]map[SuperblockID]struct{}),
+		backPtrs: make(map[SuperblockID]map[SuperblockID]struct{}),
+		pending:  make(map[SuperblockID]map[SuperblockID]struct{}),
+	}
+}
+
+// patch records from->to as patched.
+func (lt *linkTable) patch(from, to SuperblockID) {
+	set, ok := lt.patched[from]
+	if !ok {
+		set = make(map[SuperblockID]struct{})
+		lt.patched[from] = set
+	}
+	if _, dup := set[to]; dup {
+		return
+	}
+	set[to] = struct{}{}
+	bp, ok := lt.backPtrs[to]
+	if !ok {
+		bp = make(map[SuperblockID]struct{})
+		lt.backPtrs[to] = bp
+	}
+	bp[from] = struct{}{}
+	lt.patchedCount++
+}
+
+func (lt *linkTable) addPending(from, to SuperblockID) {
+	set, ok := lt.pending[to]
+	if !ok {
+		set = make(map[SuperblockID]struct{})
+		lt.pending[to] = set
+	}
+	set[from] = struct{}{}
+}
+
+// declare records a link from a resident block and patches it when the
+// target is resident. resident reports residency; stats receives patch
+// counters.
+func (lt *linkTable) declare(from, to SuperblockID, resident func(SuperblockID) bool, stats *Stats) {
+	lt.declared[from] = append(lt.declared[from], to)
+	if resident(to) {
+		lt.patch(from, to)
+		stats.LinksPatched++
+	} else {
+		lt.addPending(from, to)
+	}
+}
+
+// onInsert resolves pending links targeting the newly inserted block.
+func (lt *linkTable) onInsert(id SuperblockID, stats *Stats) {
+	waiting, ok := lt.pending[id]
+	if !ok {
+		return
+	}
+	delete(lt.pending, id)
+	for from := range waiting {
+		lt.patch(from, id)
+		stats.LinksPatched++
+		stats.PendingRelinks++
+	}
+}
+
+// onEvict processes the eviction of a set of blocks in one invocation.
+// Links whose source is also being evicted die with the region for free;
+// links from surviving blocks must be unpatched one at a time, which is
+// what Equation 4 charges for. Unpatched (pending-style) re-links are
+// reinstated so the source re-chains if the target is regenerated.
+//
+// unitOf maps a resident block to its eviction-unit token; two blocks with
+// equal tokens share a unit. The classification only matters for the
+// intra/inter split in stats: by construction every costed unlink crosses
+// a unit boundary (the source survives the flushed region).
+func (lt *linkTable) onEvict(evicted map[SuperblockID]struct{}, stats *Stats, samples *EvictionSample) {
+	for id := range evicted {
+		// Inbound patched links.
+		for from := range lt.backPtrs[id] {
+			if _, also := evicted[from]; also {
+				stats.IntraUnitLinksFlushed++
+				continue
+			}
+			// Surviving source: unpatch, charge, and let it re-chain later.
+			delete(lt.patched[from], id)
+			lt.patchedCount--
+			stats.InterUnitLinksRemoved++
+			if samples != nil {
+				samples.LinksRemoved++
+			}
+			lt.addPending(from, id)
+		}
+		delete(lt.backPtrs, id)
+	}
+	// Outbound bookkeeping for each evicted block: scrub its patched links
+	// from targets' back-pointer sets and drop its pending declarations.
+	for id := range evicted {
+		for to := range lt.patched[id] {
+			if _, also := evicted[to]; !also {
+				if bp, ok := lt.backPtrs[to]; ok {
+					delete(bp, id)
+				}
+			}
+			lt.patchedCount--
+		}
+		delete(lt.patched, id)
+		delete(lt.declared, id)
+		for to, set := range lt.pending {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(lt.pending, to)
+			}
+		}
+	}
+}
+
+// unlinkEventsFor counts, before eviction, how many of the blocks in
+// evicted have at least one inbound link from a surviving source. Call
+// before onEvict mutates the tables.
+func (lt *linkTable) unlinkEventsFor(evicted map[SuperblockID]struct{}) uint64 {
+	var events uint64
+	for id := range evicted {
+		for from := range lt.backPtrs[id] {
+			if _, also := evicted[from]; !also {
+				events++
+				break
+			}
+		}
+	}
+	return events
+}
+
+// census classifies patched links by unit token.
+func (lt *linkTable) census(unitOf func(SuperblockID) (int64, bool)) (intra, inter int) {
+	for from, set := range lt.patched {
+		fu, ok := unitOf(from)
+		if !ok {
+			continue
+		}
+		for to := range set {
+			tu, ok := unitOf(to)
+			if !ok {
+				continue
+			}
+			if fu == tu {
+				intra++
+			} else {
+				inter++
+			}
+		}
+	}
+	return intra, inter
+}
+
+// patchedLinks returns the current patched link count.
+func (lt *linkTable) patchedLinks() int { return lt.patchedCount }
+
+// checkInvariants verifies internal consistency; used by tests.
+func (lt *linkTable) checkInvariants() error {
+	count := 0
+	for from, set := range lt.patched {
+		for to := range set {
+			bp, ok := lt.backPtrs[to]
+			if !ok {
+				return fmt.Errorf("core: link %d->%d missing back-pointer set", from, to)
+			}
+			if _, ok := bp[from]; !ok {
+				return fmt.Errorf("core: link %d->%d missing back-pointer", from, to)
+			}
+			count++
+		}
+	}
+	for to, bp := range lt.backPtrs {
+		for from := range bp {
+			if _, ok := lt.patched[from][to]; !ok {
+				return fmt.Errorf("core: dangling back-pointer %d->%d", from, to)
+			}
+		}
+	}
+	if count != lt.patchedCount {
+		return fmt.Errorf("core: patched count %d != recounted %d", lt.patchedCount, count)
+	}
+	return nil
+}

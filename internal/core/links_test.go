@@ -1,0 +1,215 @@
+package core
+
+import "testing"
+
+func TestLinkPatchOnInsert(t *testing.T) {
+	c, _ := NewFine(1000)
+	mustInsert(t, c, sb(1, 10))
+	mustInsert(t, c, sb(2, 10, 1)) // 2 -> 1, target resident: patched
+	s := c.Stats()
+	if s.LinksPatched != 1 || s.PendingRelinks != 0 {
+		t.Fatalf("link stats = %+v", *s)
+	}
+	if c.PatchedLinks() != 1 {
+		t.Fatalf("PatchedLinks = %d, want 1", c.PatchedLinks())
+	}
+}
+
+func TestLinkPendingResolvedLater(t *testing.T) {
+	c, _ := NewFine(1000)
+	mustInsert(t, c, sb(1, 10, 2)) // 1 -> 2, target absent: pending
+	if c.Stats().LinksPatched != 0 {
+		t.Fatal("link should be pending, not patched")
+	}
+	mustInsert(t, c, sb(2, 10)) // target arrives: pending link patched
+	s := c.Stats()
+	if s.LinksPatched != 1 || s.PendingRelinks != 1 {
+		t.Fatalf("link stats = %+v", *s)
+	}
+}
+
+func TestSelfLinkIsIntraUnit(t *testing.T) {
+	c, _ := NewFine(1000)
+	mustInsert(t, c, sb(1, 10, 1)) // self-loop
+	intra, inter := c.LinkCensus()
+	if intra != 1 || inter != 0 {
+		t.Fatalf("census = %d/%d, want 1 intra 0 inter", intra, inter)
+	}
+}
+
+func TestCensusByGranularity(t *testing.T) {
+	// Two blocks linked to each other, tiled adjacently.
+	build := func(c Cache) {
+		mustInsert(t, c, sb(1, 10), sb(2, 10, 1))
+		if err := c.AddLink(1, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl, _ := NewFlush(100)
+	build(fl)
+	intra, inter := fl.LinkCensus()
+	if intra != 2 || inter != 0 {
+		t.Fatalf("FLUSH census = %d/%d, want all intra", intra, inter)
+	}
+
+	fi, _ := NewFine(100)
+	build(fi)
+	intra, inter = fi.LinkCensus()
+	if intra != 0 || inter != 2 {
+		t.Fatalf("FIFO census = %d/%d, want all inter", intra, inter)
+	}
+
+	// 2 units of 50: both 10-byte blocks land in unit 0 -> intra.
+	un, _ := NewUnits(100, 2)
+	build(un)
+	intra, inter = un.LinkCensus()
+	if intra != 2 || inter != 0 {
+		t.Fatalf("2-unit census = %d/%d, want all intra", intra, inter)
+	}
+
+	// Blocks in different units -> inter.
+	un2, _ := NewUnits(100, 2)
+	mustInsert(t, un2, sb(1, 50), sb(2, 10, 1)) // block 2 starts at 50: unit 1
+	intra, inter = un2.LinkCensus()
+	if intra != 0 || inter != 1 {
+		t.Fatalf("cross-unit census = %d/%d, want 0/1", intra, inter)
+	}
+}
+
+func TestUnlinkCostOnlyForSurvivingSources(t *testing.T) {
+	// Fine cache: 1 and 2 inserted, both link to each other; then 1 evicted.
+	c, _ := NewFine(50)
+	mustInsert(t, c, sb(1, 30))
+	mustInsert(t, c, sb(2, 20, 1)) // 2 -> 1 patched
+	mustInsert(t, c, sb(3, 25))    // evicts 1; 2 survives with a link into 1
+	s := c.Stats()
+	if s.InterUnitLinksRemoved != 1 {
+		t.Fatalf("InterUnitLinksRemoved = %d, want 1", s.InterUnitLinksRemoved)
+	}
+	if s.UnlinkEvents != 1 {
+		t.Fatalf("UnlinkEvents = %d, want 1", s.UnlinkEvents)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoEvictedLinksAreFree(t *testing.T) {
+	// FLUSH: everything dies together; no unlink cost ever.
+	c, _ := NewFlush(50)
+	mustInsert(t, c, sb(1, 25, 2))
+	mustInsert(t, c, sb(2, 25, 1))
+	mustInsert(t, c, sb(3, 25)) // full flush of 1 and 2
+	s := c.Stats()
+	if s.InterUnitLinksRemoved != 0 || s.UnlinkEvents != 0 {
+		t.Fatalf("FLUSH must never pay unlink costs: %+v", *s)
+	}
+	if s.IntraUnitLinksFlushed != 2 {
+		t.Fatalf("IntraUnitLinksFlushed = %d, want 2", s.IntraUnitLinksFlushed)
+	}
+}
+
+func TestEvictedSourceRelinksAfterRegeneration(t *testing.T) {
+	c, _ := NewFine(100)
+	mustInsert(t, c, sb(1, 30))
+	mustInsert(t, c, sb(2, 20, 1)) // 2 -> 1 patched
+	mustInsert(t, c, sb(3, 60))    // evicts 1, unlinks 2->1, 2->1 now pending
+	if c.PatchedLinks() != 0 {
+		t.Fatalf("PatchedLinks = %d, want 0 after unlink", c.PatchedLinks())
+	}
+	// Regenerate 1: the surviving 2 should re-chain to it automatically.
+	mustInsert(t, c, sb(1, 10))
+	if !c.Contains(2) {
+		t.Fatal("test setup: block 2 should still be resident")
+	}
+	s := c.Stats()
+	if s.PendingRelinks != 1 {
+		t.Fatalf("PendingRelinks = %d, want 1", s.PendingRelinks)
+	}
+	if c.PatchedLinks() != 1 {
+		t.Fatalf("PatchedLinks = %d, want 1 after relink", c.PatchedLinks())
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	c, _ := NewFine(100)
+	if err := c.AddLink(1, 2); err == nil {
+		t.Error("AddLink from absent block should fail")
+	}
+	mustInsert(t, c, sb(1, 10))
+	if err := c.AddLink(1, 2); err != nil {
+		t.Fatalf("AddLink to absent target should pend, not fail: %v", err)
+	}
+	mustInsert(t, c, sb(2, 10))
+	if c.PatchedLinks() != 1 {
+		t.Fatal("pending AddLink should patch when target arrives")
+	}
+}
+
+func TestDuplicateLinkNotDoubleCounted(t *testing.T) {
+	c, _ := NewFine(100)
+	mustInsert(t, c, sb(1, 10))
+	mustInsert(t, c, sb(2, 10, 1, 1)) // duplicate declared link
+	if c.PatchedLinks() != 1 {
+		t.Fatalf("PatchedLinks = %d, want 1 (duplicates collapse)", c.PatchedLinks())
+	}
+}
+
+func TestBackPtrTableBytes(t *testing.T) {
+	fi, _ := NewFine(100)
+	mustInsert(t, fi, sb(1, 10))
+	mustInsert(t, fi, sb(2, 10, 1))
+	if got := fi.BackPtrTableBytes(); got != 16 {
+		t.Fatalf("BackPtrTableBytes = %d, want 16", got)
+	}
+	// FLUSH caches need no table at all (Section 5.1).
+	fl, _ := NewFlush(100)
+	mustInsert(t, fl, sb(1, 10))
+	mustInsert(t, fl, sb(2, 10, 1))
+	if got := fl.BackPtrTableBytes(); got != 0 {
+		t.Fatalf("FLUSH BackPtrTableBytes = %d, want 0", got)
+	}
+}
+
+func TestLinkSampleRecordsRemovals(t *testing.T) {
+	c, _ := NewFine(50)
+	c.SetSampleRecording(true)
+	mustInsert(t, c, sb(1, 30))
+	mustInsert(t, c, sb(2, 20, 1))
+	mustInsert(t, c, sb(3, 25)) // evicts 1, removing one inbound link
+	samples := c.Samples()
+	if len(samples) != 1 || samples[0].LinksRemoved != 1 {
+		t.Fatalf("samples = %+v", samples)
+	}
+}
+
+func TestLinkTableInvariantsUnderChurn(t *testing.T) {
+	c, _ := NewUnits(500, 4)
+	sizes := map[SuperblockID]int{}
+	r := newTestRand()
+	for step := 0; step < 10000; step++ {
+		id := SuperblockID(r.Intn(100))
+		size, ok := sizes[id]
+		if !ok {
+			size = 10 + r.Intn(60)
+			sizes[id] = size
+		}
+		if !c.Access(id) {
+			links := []SuperblockID{SuperblockID(r.Intn(100)), SuperblockID(r.Intn(100))}
+			if err := c.Insert(Superblock{ID: id, Size: size, Links: links}); err != nil {
+				t.Fatal(err)
+			}
+		} else if r.Bernoulli(0.1) {
+			if err := c.AddLink(id, SuperblockID(r.Intn(100))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	intra, inter := c.LinkCensus()
+	if intra+inter != c.PatchedLinks() {
+		t.Fatalf("census %d+%d != patched %d", intra, inter, c.PatchedLinks())
+	}
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LRUCache is a recency-based code cache over a first-fit heap allocator.
+//
+// The paper argues (§3.3) that LRU-like eviction of variable-size entries
+// leads to internal fragmentation: freeing recency-ordered blocks leaves
+// holes that incoming blocks do not exactly fill, and compaction would
+// require re-patching every link. This implementation exists to quantify
+// that argument: it tracks how often evictions happen *despite* sufficient
+// total free space (pure fragmentation evictions) and how much of the
+// arena sits in unusable holes.
+type LRUCache struct {
+	name     string
+	capacity int
+
+	blocks map[SuperblockID]*lruNode
+	// Recency list: mru.next ... lru; sentinel-free doubly linked list.
+	mru, lru *lruNode
+
+	holes []hole // sorted by offset, coalesced
+
+	links *linkTable
+	stats Stats
+
+	// FragEvictions counts blocks evicted while total free space already
+	// exceeded the incoming block's size: evictions forced purely by
+	// fragmentation, the cost FIFO circular buffers avoid.
+	FragEvictions uint64
+
+	// preEvict, when set, runs before each eviction step; returning true
+	// means it made room by other means (the compacting variant
+	// defragments here) and allocation should be retried.
+	preEvict func(size int) bool
+}
+
+type lruNode struct {
+	id         SuperblockID
+	off, size  int
+	prev, next *lruNode
+}
+
+type hole struct{ off, size int }
+
+var _ Cache = (*LRUCache)(nil)
+
+// NewLRU returns an LRU cache with the given capacity in bytes.
+func NewLRU(capacity int) (*LRUCache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: capacity must be positive, got %d", capacity)
+	}
+	return &LRUCache{
+		name:     "LRU",
+		capacity: capacity,
+		blocks:   make(map[SuperblockID]*lruNode),
+		holes:    []hole{{off: 0, size: capacity}},
+		links:    newLinkTable(),
+	}, nil
+}
+
+// Name implements Cache.
+func (c *LRUCache) Name() string { return c.name }
+
+// Capacity implements Cache.
+func (c *LRUCache) Capacity() int { return c.capacity }
+
+// Units implements Cache: LRU evicts single blocks, like fine-grained FIFO.
+func (c *LRUCache) Units() int { return 0 }
+
+// Stats implements Cache.
+func (c *LRUCache) Stats() *Stats { return &c.stats }
+
+// Contains implements Cache.
+func (c *LRUCache) Contains(id SuperblockID) bool {
+	_, ok := c.blocks[id]
+	return ok
+}
+
+// Resident implements Cache.
+func (c *LRUCache) Resident() int { return len(c.blocks) }
+
+// ResidentBytes implements Cache.
+func (c *LRUCache) ResidentBytes() int {
+	free := 0
+	for _, h := range c.holes {
+		free += h.size
+	}
+	return c.capacity - free
+}
+
+// FreeBytes returns the total free space across all holes.
+func (c *LRUCache) FreeBytes() int { return c.capacity - c.ResidentBytes() }
+
+// LargestHole returns the size of the biggest contiguous free region.
+func (c *LRUCache) LargestHole() int {
+	best := 0
+	for _, h := range c.holes {
+		if h.size > best {
+			best = h.size
+		}
+	}
+	return best
+}
+
+// Access implements Cache; a hit refreshes recency.
+func (c *LRUCache) Access(id SuperblockID) bool {
+	c.stats.Accesses++
+	n, ok := c.blocks[id]
+	if !ok {
+		c.stats.Misses++
+		return false
+	}
+	c.stats.Hits++
+	c.touch(n)
+	return true
+}
+
+func (c *LRUCache) touch(n *lruNode) {
+	if c.mru == n {
+		return
+	}
+	c.unlink(n)
+	n.next = c.mru
+	if c.mru != nil {
+		c.mru.prev = n
+	}
+	c.mru = n
+	if c.lru == nil {
+		c.lru = n
+	}
+}
+
+func (c *LRUCache) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else if c.mru == n {
+		c.mru = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else if c.lru == n {
+		c.lru = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// alloc finds a first-fit hole; ok is false when no hole is big enough.
+func (c *LRUCache) alloc(size int) (int, bool) {
+	for i, h := range c.holes {
+		if h.size >= size {
+			off := h.off
+			if h.size == size {
+				c.holes = append(c.holes[:i], c.holes[i+1:]...)
+			} else {
+				c.holes[i] = hole{off: h.off + size, size: h.size - size}
+			}
+			return off, true
+		}
+	}
+	return 0, false
+}
+
+// free returns a region to the hole list, coalescing neighbors.
+func (c *LRUCache) free(off, size int) {
+	i := sort.Search(len(c.holes), func(i int) bool { return c.holes[i].off >= off })
+	c.holes = append(c.holes, hole{})
+	copy(c.holes[i+1:], c.holes[i:])
+	c.holes[i] = hole{off: off, size: size}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(c.holes) && c.holes[i].off+c.holes[i].size == c.holes[i+1].off {
+		c.holes[i].size += c.holes[i+1].size
+		c.holes = append(c.holes[:i+1], c.holes[i+2:]...)
+	}
+	if i > 0 && c.holes[i-1].off+c.holes[i-1].size == c.holes[i].off {
+		c.holes[i-1].size += c.holes[i].size
+		c.holes = append(c.holes[:i], c.holes[i+1:]...)
+	}
+}
+
+// Insert implements Cache: evict least-recently-used blocks until a
+// first-fit hole accommodates the new superblock.
+func (c *LRUCache) Insert(sb Superblock) error {
+	if err := validateInsert(c, sb); err != nil {
+		return err
+	}
+	off, ok := c.alloc(sb.Size)
+	if !ok {
+		evicted := make(map[SuperblockID]struct{})
+		var bytes int
+		for {
+			if c.preEvict != nil && c.preEvict(sb.Size) {
+				if off, ok = c.alloc(sb.Size); ok {
+					break
+				}
+			}
+			victim := c.lru
+			if victim == nil {
+				// Whole cache freed and it still doesn't fit: impossible
+				// given the validateInsert capacity check.
+				return fmt.Errorf("core: LRU could not place %d bytes in empty cache", sb.Size)
+			}
+			if c.FreeBytes() >= sb.Size {
+				// There is room in aggregate, yet no hole fits: this
+				// eviction is forced by fragmentation alone.
+				c.FragEvictions++
+			}
+			c.unlink(victim)
+			delete(c.blocks, victim.id)
+			c.free(victim.off, victim.size)
+			evicted[victim.id] = struct{}{}
+			bytes += victim.size
+			if off, ok = c.alloc(sb.Size); ok {
+				break
+			}
+		}
+		if len(evicted) > 0 {
+			c.stats.EvictionInvocations++
+			c.stats.BlocksEvicted += uint64(len(evicted))
+			c.stats.BytesEvicted += uint64(bytes)
+			c.stats.UnlinkEvents += c.links.unlinkEventsFor(evicted)
+			if len(c.blocks) == 0 {
+				c.stats.FullFlushes++
+			}
+			c.links.onEvict(evicted, &c.stats, nil)
+		}
+	}
+	n := &lruNode{id: sb.ID, off: off, size: sb.Size}
+	c.blocks[sb.ID] = n
+	c.touch(n)
+	c.stats.InsertedBlocks++
+	c.stats.InsertedBytes += uint64(sb.Size)
+	for _, to := range sb.Links {
+		c.links.declare(sb.ID, to, c.Contains, &c.stats)
+	}
+	c.links.onInsert(sb.ID, &c.stats)
+	return nil
+}
+
+// AddLink implements Cache.
+func (c *LRUCache) AddLink(from, to SuperblockID) error {
+	if !c.Contains(from) {
+		return fmt.Errorf("core: AddLink from non-resident superblock %d", from)
+	}
+	c.links.declare(from, to, c.Contains, &c.stats)
+	return nil
+}
+
+// Flush implements Cache.
+func (c *LRUCache) Flush() {
+	if len(c.blocks) == 0 {
+		return
+	}
+	evicted := make(map[SuperblockID]struct{})
+	var bytes int
+	for id, n := range c.blocks {
+		evicted[id] = struct{}{}
+		bytes += n.size
+	}
+	c.blocks = make(map[SuperblockID]*lruNode)
+	c.mru, c.lru = nil, nil
+	c.holes = []hole{{off: 0, size: c.capacity}}
+	c.stats.EvictionInvocations++
+	c.stats.BlocksEvicted += uint64(len(evicted))
+	c.stats.BytesEvicted += uint64(bytes)
+	c.stats.FullFlushes++
+	c.stats.UnlinkEvents += c.links.unlinkEventsFor(evicted)
+	c.links.onEvict(evicted, &c.stats, nil)
+}
+
+// LinkCensus implements Cache: every block is its own eviction unit, so
+// only self-links are intra-unit.
+func (c *LRUCache) LinkCensus() (intra, inter int) {
+	return c.links.census(func(id SuperblockID) (int64, bool) {
+		n, ok := c.blocks[id]
+		if !ok {
+			return 0, false
+		}
+		return int64(n.off), true
+	})
+}
+
+// BackPtrTableBytes implements Cache.
+func (c *LRUCache) BackPtrTableBytes() int { return 16 * c.links.patchedLinks() }
+
+// CheckInvariants validates allocator and list consistency.
+func (c *LRUCache) CheckInvariants() error {
+	// Holes sorted, non-overlapping, non-adjacent, in range.
+	for i, h := range c.holes {
+		if h.size <= 0 || h.off < 0 || h.off+h.size > c.capacity {
+			return fmt.Errorf("core: bad hole %+v", h)
+		}
+		if i > 0 {
+			prev := c.holes[i-1]
+			if prev.off+prev.size >= h.off {
+				return fmt.Errorf("core: holes %+v and %+v overlap or touch", prev, h)
+			}
+		}
+	}
+	// Blocks and holes partition the arena.
+	type region struct{ off, size int }
+	regions := make([]region, 0, len(c.blocks)+len(c.holes))
+	for _, n := range c.blocks {
+		regions = append(regions, region{n.off, n.size})
+	}
+	for _, h := range c.holes {
+		regions = append(regions, region{h.off, h.size})
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i].off < regions[j].off })
+	at := 0
+	for _, r := range regions {
+		if r.off != at {
+			return fmt.Errorf("core: arena gap/overlap at %d (next region at %d)", at, r.off)
+		}
+		at += r.size
+	}
+	if at != c.capacity {
+		return fmt.Errorf("core: arena regions end at %d, capacity %d", at, c.capacity)
+	}
+	// Recency list contains exactly the resident blocks.
+	seen := 0
+	for n := c.mru; n != nil; n = n.next {
+		if c.blocks[n.id] != n {
+			return fmt.Errorf("core: recency node %d not indexed", n.id)
+		}
+		seen++
+		if seen > len(c.blocks) {
+			return fmt.Errorf("core: recency list cycle")
+		}
+	}
+	if seen != len(c.blocks) {
+		return fmt.Errorf("core: recency list has %d nodes, index has %d", seen, len(c.blocks))
+	}
+	return c.links.checkInvariants()
+}

@@ -1,0 +1,88 @@
+package core
+
+import "fmt"
+
+// PolicyKind enumerates the eviction policies in this package.
+type PolicyKind uint8
+
+// The available policy families.
+const (
+	PolicyFlush PolicyKind = iota
+	PolicyUnits
+	PolicyFine
+	PolicyLRU
+	PolicyCompactingLRU
+	PolicyAdaptive
+	PolicyPreemptive
+	PolicyGenerational
+)
+
+// Policy is a declarative cache specification, the unit of parameter
+// sweeps in the experiment harness.
+type Policy struct {
+	Kind  PolicyKind
+	Units int // for PolicyUnits (>= 2) and the tenured side of generational
+}
+
+// String names the policy the way the paper labels its x-axes.
+func (p Policy) String() string {
+	switch p.Kind {
+	case PolicyFlush:
+		return "FLUSH"
+	case PolicyUnits:
+		return fmt.Sprintf("%d-unit", p.Units)
+	case PolicyFine:
+		return "FIFO"
+	case PolicyLRU:
+		return "LRU"
+	case PolicyCompactingLRU:
+		return "compacting-LRU"
+	case PolicyAdaptive:
+		return "adaptive"
+	case PolicyPreemptive:
+		return "preemptive"
+	case PolicyGenerational:
+		return fmt.Sprintf("generational/%d", p.Units)
+	default:
+		return fmt.Sprintf("policy(%d)", p.Kind)
+	}
+}
+
+// New instantiates the policy over a cache of the given capacity.
+func (p Policy) New(capacity int) (Cache, error) {
+	switch p.Kind {
+	case PolicyFlush:
+		return NewFlush(capacity)
+	case PolicyUnits:
+		return NewUnits(capacity, p.Units)
+	case PolicyFine:
+		return NewFine(capacity)
+	case PolicyLRU:
+		return NewLRU(capacity)
+	case PolicyCompactingLRU:
+		return NewCompactingLRU(capacity)
+	case PolicyAdaptive:
+		return NewAdaptive(AdaptiveConfig{Capacity: capacity})
+	case PolicyPreemptive:
+		return NewPreemptiveFlush(capacity, 0, 0, 0)
+	case PolicyGenerational:
+		units := p.Units
+		if units == 0 {
+			units = 8
+		}
+		return NewGenerational(capacity, 0.25, units, 2)
+	default:
+		return nil, fmt.Errorf("core: unknown policy kind %d", p.Kind)
+	}
+}
+
+// GranularitySweep returns the paper's x-axis: FLUSH, then 2..maxUnits
+// cache units in powers of two, then fine-grained FIFO. This is the sweep
+// behind Figures 6-8, 10-11, and 13-15.
+func GranularitySweep(maxUnits int) []Policy {
+	ps := []Policy{{Kind: PolicyFlush}}
+	for n := 2; n <= maxUnits; n *= 2 {
+		ps = append(ps, Policy{Kind: PolicyUnits, Units: n})
+	}
+	return append(ps, Policy{Kind: PolicyFine})
+}

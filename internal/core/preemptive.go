@@ -1,0 +1,111 @@
+package core
+
+import "fmt"
+
+// PreemptiveFlushCache models Dynamo's preemptive flushing policy
+// (Bala et al., §2.3): instead of waiting for the cache to fill, the
+// manager watches for program phase changes and flushes the whole cache at
+// the phase boundary, betting that the old working set is dead anyway.
+//
+// The phase detector is Dynamo's: a spike in the rate of new-region
+// creation signals that the program has moved on. Concretely, we flush
+// when the fraction of misses among the last Window accesses exceeds
+// Threshold while the cache is at least MinFill full. A flush-when-full
+// backstop (the underlying FLUSH mechanism) still applies.
+type PreemptiveFlushCache struct {
+	*FIFOCache
+
+	window    int
+	threshold float64
+	minFill   float64
+
+	recent      []bool // ring of hit/miss outcomes, true = miss
+	recentIdx   int
+	recentCount int
+	missInWin   int
+
+	// PreemptiveFlushes counts flushes triggered by the phase detector, as
+	// opposed to capacity flushes.
+	PreemptiveFlushes uint64
+}
+
+var _ Cache = (*PreemptiveFlushCache)(nil)
+
+// NewPreemptiveFlush returns a preemptively flushing cache. window is the
+// number of recent accesses the detector inspects (default 512);
+// threshold the miss fraction that signals a phase change (default 0.5);
+// minFill the occupancy fraction below which flushing is pointless
+// (default 0.5).
+func NewPreemptiveFlush(capacity, window int, threshold, minFill float64) (*PreemptiveFlushCache, error) {
+	if window <= 0 {
+		window = 512
+	}
+	if threshold <= 0 || threshold > 1 {
+		threshold = 0.5
+	}
+	if minFill <= 0 || minFill > 1 {
+		minFill = 0.5
+	}
+	base, err := NewFlush(capacity)
+	if err != nil {
+		return nil, err
+	}
+	base.name = "preemptive-flush"
+	return &PreemptiveFlushCache{
+		FIFOCache: base,
+		window:    window,
+		threshold: threshold,
+		minFill:   minFill,
+		recent:    make([]bool, window),
+	}, nil
+}
+
+// Access implements Cache, feeding the phase detector.
+func (c *PreemptiveFlushCache) Access(id SuperblockID) bool {
+	hit := c.FIFOCache.Access(id)
+	c.observe(!hit)
+	if !hit && c.phaseChange() {
+		c.Flush()
+		c.PreemptiveFlushes++
+		c.resetDetector()
+	}
+	return hit
+}
+
+func (c *PreemptiveFlushCache) observe(miss bool) {
+	if c.recentCount == c.window {
+		if c.recent[c.recentIdx] {
+			c.missInWin--
+		}
+	} else {
+		c.recentCount++
+	}
+	c.recent[c.recentIdx] = miss
+	if miss {
+		c.missInWin++
+	}
+	c.recentIdx = (c.recentIdx + 1) % c.window
+}
+
+func (c *PreemptiveFlushCache) phaseChange() bool {
+	if c.recentCount < c.window {
+		return false // not enough history yet
+	}
+	if float64(c.ResidentBytes()) < c.minFill*float64(c.Capacity()) {
+		return false
+	}
+	return float64(c.missInWin)/float64(c.recentCount) >= c.threshold
+}
+
+func (c *PreemptiveFlushCache) resetDetector() {
+	for i := range c.recent {
+		c.recent[i] = false
+	}
+	c.recentIdx, c.recentCount, c.missInWin = 0, 0, 0
+}
+
+// String describes the detector configuration.
+func (c *PreemptiveFlushCache) String() string {
+	return fmt.Sprintf("preemptive-flush(window=%d, threshold=%.2f, minFill=%.2f)",
+		c.window, c.threshold, c.minFill)
+}

@@ -1,0 +1,142 @@
+// Package core implements the paper's primary contribution: a
+// software-managed code cache with pluggable eviction granularity.
+//
+// The cache stores variable-size superblocks (single-entry multiple-exit
+// translated regions) in a byte-addressed arena. Eviction granularity
+// spans the spectrum studied in the paper:
+//
+//   - FLUSH: the whole cache is one eviction unit (Dynamo, Mojo per-half)
+//   - medium-grained: the cache is split into n equal units, flushed in
+//     circular FIFO order (the paper's proposal, Figure 5)
+//   - fine-grained FIFO: evict just enough of the oldest superblocks to
+//     fit the incoming one (DynamoRIO's bounded-cache mode)
+//
+// All three are a single mechanism here: a circular FIFO byte buffer whose
+// eviction frontier advances in chunks aligned to a configurable quantum
+// (capacity, capacity/n, or exact-fit). The package also implements the
+// superblock-chaining machinery of Section 3.1/5: outbound links, a
+// back-pointer table, intra- vs inter-unit link classification, and the
+// unlink accounting that feeds Equation 4.
+package core
+
+import "fmt"
+
+// SuperblockID identifies a superblock by the source-program region it was
+// translated from. IDs are assigned by the frontend (DBT or trace
+// synthesizer) and stay stable across eviction and regeneration.
+type SuperblockID uint32
+
+// Superblock describes one translated region as presented to the cache.
+// The same value is re-presented when a region is regenerated after
+// eviction.
+type Superblock struct {
+	ID    SuperblockID
+	SrcPC uint64 // source PC of the region entry (diagnostic)
+	Size  int    // bytes occupied in the code cache
+	// Links lists the superblocks this one branches to (chaining
+	// candidates). A link to the block's own ID is a self-loop; such links
+	// never cross unit boundaries, which is why even the finest granularity
+	// keeps some intra-unit links (Figure 13).
+	Links []SuperblockID
+}
+
+// Stats accumulates the event counts from which all paper overheads are
+// computed. Counters are cumulative for the lifetime of a cache.
+type Stats struct {
+	Accesses uint64 // calls to Access
+	Hits     uint64 // accesses that found the block resident
+	Misses   uint64 // accesses that did not
+
+	InsertedBlocks uint64 // blocks (re)generated into the cache
+	InsertedBytes  uint64 // total bytes regenerated (drives Equation 3)
+
+	EvictionInvocations uint64 // times the eviction mechanism ran (Figure 8)
+	BlocksEvicted       uint64 // superblocks removed
+	BytesEvicted        uint64 // bytes removed (drives Equation 2)
+	FullFlushes         uint64 // invocations that emptied the entire cache
+
+	LinksPatched   uint64 // links patched into cached code
+	PendingRelinks uint64 // subset of LinksPatched resolved from the pending table
+
+	UnlinkEvents          uint64 // evicted blocks that had inbound links to remove
+	InterUnitLinksRemoved uint64 // inbound links unpatched one by one (drives Equation 4)
+	IntraUnitLinksFlushed uint64 // links that died for free with their region
+}
+
+// MissRate returns Misses / Accesses, or 0 before any access.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// HitRate returns Hits / Accesses, or 0 before any access.
+func (s *Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// EvictionSample records one eviction invocation for the simulated PAPI
+// measurements behind Figure 9: how many bytes and blocks were evicted and
+// how many inter-unit links had to be unpatched.
+type EvictionSample struct {
+	Bytes        int
+	Blocks       int
+	LinksRemoved int
+}
+
+// Cache is the interface shared by every eviction policy in this package.
+type Cache interface {
+	// Name identifies the policy, e.g. "FLUSH", "8-unit", "FIFO", "LRU".
+	Name() string
+	// Capacity returns the managed arena size in bytes.
+	Capacity() int
+	// Units returns the number of eviction units (1 for FLUSH); 0 means
+	// per-block (fine-grained) eviction.
+	Units() int
+	// Contains reports residency without touching access statistics.
+	Contains(id SuperblockID) bool
+	// Access looks up id, recording a hit or miss, and returns whether it
+	// was a hit. On a miss the caller regenerates the block and calls
+	// Insert.
+	Access(id SuperblockID) bool
+	// Insert places a regenerated superblock into the cache, evicting as
+	// required by the policy. Inserting a block that is already resident
+	// or that cannot fit is an error.
+	Insert(sb Superblock) error
+	// AddLink declares (and if possible patches) a chaining link from a
+	// resident block to a target. Declaring a link from a non-resident
+	// block is an error.
+	AddLink(from, to SuperblockID) error
+	// Resident returns the number of cached superblocks.
+	Resident() int
+	// ResidentBytes returns the bytes currently occupied.
+	ResidentBytes() int
+	// LinkCensus classifies currently patched links into intra-unit and
+	// inter-unit populations (Figure 13).
+	LinkCensus() (intra, inter int)
+	// BackPtrTableBytes returns the memory footprint of the back-pointer
+	// table at 16 bytes per patched link (Section 5.1).
+	BackPtrTableBytes() int
+	// Flush empties the cache as one eviction invocation.
+	Flush()
+	// Stats exposes the cumulative counters.
+	Stats() *Stats
+}
+
+// validateInsert performs the checks shared by all policies.
+func validateInsert(c Cache, sb Superblock) error {
+	if sb.Size <= 0 {
+		return fmt.Errorf("core: superblock %d has non-positive size %d", sb.ID, sb.Size)
+	}
+	if sb.Size > c.Capacity() {
+		return fmt.Errorf("core: superblock %d (%d bytes) exceeds cache capacity %d", sb.ID, sb.Size, c.Capacity())
+	}
+	if c.Contains(sb.ID) {
+		return fmt.Errorf("core: superblock %d is already resident", sb.ID)
+	}
+	return nil
+}

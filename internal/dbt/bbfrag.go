@@ -1,0 +1,142 @@
+package dbt
+
+import (
+	"fmt"
+
+	"dynocache/internal/core"
+	"dynocache/internal/isa"
+)
+
+// This file implements the basic-block cache — the first of DynamoRIO's
+// two code caches (§2.2): "a basic-block cache stores all single-entry,
+// single-exit regions that have been encountered during execution, which
+// allows DynamoRIO to avoid the high overhead of interpretation during
+// every execution of a basic block."
+//
+// Cold blocks are translated individually into a separate cache region and
+// executed from there; once a block's entry count crosses the hotness
+// threshold, the usual superblock machinery takes over. Chaining follows
+// DynamoRIO's trace-head discipline: a fragment may be linked directly to
+// a *forward* basic-block target (straight-line chains bypass the
+// dispatcher), but backward targets — loop heads, the candidates for
+// superblock formation — stay unlinked so the dispatcher keeps counting
+// them. Exits to superblocks always chain.
+
+// Fragment-ID space partitioning: superblocks take the low range, basic
+// block fragments set fragBBBit, wrap pads set bit 30 (see nextPadID).
+const fragBBBit core.SuperblockID = 1 << 29
+
+// isBBFragment reports whether an ID names a basic-block-cache fragment.
+func isBBFragment(id core.SuperblockID) bool {
+	return id&fragBBBit != 0 && id&(1<<30) == 0
+}
+
+// translateBB lowers a single basic block into fragment code. Unlike
+// superblock translation there is no recorded hot direction: a conditional
+// branch keeps both ways as exits (the taken side through a side stub, the
+// fall-through via the tail stub).
+func translateBB(bb *basicBlock) (*translation, error) {
+	t := &translation{headPC: bb.pc}
+	insts := bb.insts
+	for _, in := range insts[:len(insts)-1] {
+		t.body = append(t.body, in)
+	}
+	term := bb.terminator()
+	termPC := bb.pc + uint32((len(insts)-1)*isa.WordSize)
+	fallPC := termPC + isa.WordSize
+	switch {
+	case isa.IsBranch(term.Op):
+		taken := term.BranchTarget(termPC)
+		if taken != fallPC {
+			t.sides = append(t.sides, localStub{target: taken})
+			t.fixups = append(t.fixups, stubFixup{bodyIdx: len(t.body), side: 0})
+			t.body = append(t.body, isa.Inst{Op: term.Op, Rd: term.Rd, Rs1: term.Rs1})
+		}
+		t.tail = &localStub{target: fallPC}
+	case term.Op == isa.OpJmp:
+		t.tail = &localStub{target: term.BranchTarget(termPC)}
+	case term.Op == isa.OpJal:
+		t.body = materializeLink(t.body, fallPC)
+		t.tail = &localStub{target: term.BranchTarget(termPC)}
+	case term.Op == isa.OpJr:
+		t.tail = &localStub{indirect: true, reg: term.Rs1}
+	case term.Op == isa.OpJalr:
+		t.body = materializeLink(t.body, fallPC)
+		t.tail = &localStub{indirect: true, reg: term.Rs1}
+	case term.Op == isa.OpHalt:
+		t.body = append(t.body, term)
+	default:
+		return nil, fmt.Errorf("dbt: unexpected bb terminator %s at %#x", term.Op, bb.pc)
+	}
+	return t, nil
+}
+
+// installBBFragment translates the basic block at pc into the bb cache.
+func (d *DBT) installBBFragment(pc uint32) error {
+	bb, err := d.lookupBB(pc)
+	if err != nil {
+		return err
+	}
+	t, err := translateBB(bb)
+	if err != nil {
+		return err
+	}
+	if d.cfg.Optimize {
+		ost := optimize(t)
+		d.stats.OptConstFolded += uint64(ost.ConstFolded)
+		d.stats.OptDeadRemoved += uint64(ost.DeadRemoved)
+		d.stats.OptLoadsForwarded += uint64(ost.LoadsForwarded)
+	}
+	id := d.nextBBID
+	d.nextBBID++
+	addr, err := d.installFragment(t, id, pc, d.bbFrag, d.bbBase)
+	if err != nil {
+		return fmt.Errorf("dbt: bb fragment at %#x: %w", pc, err)
+	}
+	d.bbHash[pc] = addr
+	d.bbIDOf[pc] = id
+	d.stats.BBFragsTranslated++
+	d.stats.BBFragBytes += uint64(t.instCount() * isa.WordSize)
+
+	if d.cfg.Chaining {
+		// Eagerly chain this fragment's direct exits to superblocks and to
+		// forward bb fragments (never to backward targets: those are trace
+		// heads the dispatcher must keep counting).
+		for _, idx := range d.stubsOf[id] {
+			st := d.stubs[idx]
+			if st.indirect {
+				continue
+			}
+			if taddr, ok := d.hash[st.target]; ok {
+				d.patchStub(idx, taddr, d.idOf[st.target])
+			} else if taddr, ok := d.bbHash[st.target]; ok && st.target > pc {
+				d.patchStub(idx, taddr, d.bbIDOf[st.target])
+			}
+		}
+	}
+	return nil
+}
+
+// dispatchBB handles a dispatcher arrival at a guest PC with the bb cache
+// enabled: count the block (trace-head profiling happens here), promote it
+// to a superblock at the threshold, otherwise execute its fragment,
+// translating it on first contact.
+func (d *DBT) dispatchBB(pc uint32, maxInsts uint64) error {
+	d.hotness[pc]++
+	if d.hotness[pc] >= d.cfg.HotThreshold {
+		// Execute the head once through the interpreter so formation can
+		// record its taken direction, then build the superblock.
+		if _, err := d.executeBB(pc); err != nil {
+			return err
+		}
+		return d.formAndInstall(pc)
+	}
+	addr, ok := d.bbHash[pc]
+	if !ok {
+		if err := d.installBBFragment(pc); err != nil {
+			return err
+		}
+		addr = d.bbHash[pc]
+	}
+	return d.executeCached(addr, maxInsts)
+}

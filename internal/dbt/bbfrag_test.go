@@ -1,0 +1,168 @@
+package dbt
+
+import (
+	"testing"
+
+	"dynocache/internal/isa"
+	"dynocache/internal/program"
+)
+
+func TestTranslateBBForms(t *testing.T) {
+	cases := []struct {
+		name     string
+		insts    []isa.Inst
+		tail     bool
+		indirect bool
+		sides    int
+	}{
+		{"jmp", []isa.Inst{{Op: isa.OpAddi, Rd: 1, Imm: 1}, {Op: isa.OpJmp, Imm: 4}}, true, false, 0},
+		{"branch", []isa.Inst{{Op: isa.OpBeq, Rd: 1, Rs1: 2, Imm: 4}}, true, false, 1},
+		{"jal", []isa.Inst{{Op: isa.OpJal, Imm: 4}}, true, false, 0},
+		{"jr", []isa.Inst{{Op: isa.OpJr, Rs1: 15}}, true, true, 0},
+		{"jalr", []isa.Inst{{Op: isa.OpJalr, Rs1: 3}}, true, true, 0},
+		{"halt", []isa.Inst{{Op: isa.OpHalt}}, false, false, 0},
+	}
+	for _, c := range cases {
+		bb := &basicBlock{pc: 0x100, insts: c.insts}
+		tr, err := translateBB(bb)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if (tr.tail != nil) != c.tail {
+			t.Errorf("%s: tail presence = %v, want %v", c.name, tr.tail != nil, c.tail)
+		}
+		if c.tail && tr.tail.indirect != c.indirect {
+			t.Errorf("%s: indirect = %v, want %v", c.name, tr.tail.indirect, c.indirect)
+		}
+		if len(tr.sides) != c.sides {
+			t.Errorf("%s: sides = %d, want %d", c.name, len(tr.sides), c.sides)
+		}
+	}
+}
+
+func TestTranslateBBDegenerateBranch(t *testing.T) {
+	// A branch to its own fall-through needs no side exit.
+	bb := &basicBlock{pc: 0, insts: []isa.Inst{{Op: isa.OpBeq, Rd: 1, Rs1: 2, Imm: 0}}}
+	tr, err := translateBB(bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.sides) != 0 || tr.tail == nil {
+		t.Fatalf("degenerate branch mishandled: %+v", tr)
+	}
+}
+
+func TestBBFragmentIDSpace(t *testing.T) {
+	if isBBFragment(1) || isBBFragment(1<<30) {
+		t.Error("superblock/pad IDs misclassified as bb fragments")
+	}
+	if !isBBFragment(fragBBBit | 7) {
+		t.Error("bb fragment ID not recognized")
+	}
+}
+
+func TestBBCacheExecutesColdCode(t *testing.T) {
+	// With a sky-high threshold no superblocks ever form; all execution
+	// beyond the first contact of each block comes from the bb cache.
+	p, err := program.Generate(program.DefaultGenConfig(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 50_000_000
+	ref := runRef(t, p, budget)
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 1 << 30
+	d := runDBT(t, p, cfg, budget)
+	assertEquivalent(t, ref, d, "bb-only")
+	s := d.Stats()
+	if s.SuperblocksFormed != 0 {
+		t.Fatalf("no superblocks expected, got %d", s.SuperblocksFormed)
+	}
+	if s.BBFragsTranslated == 0 || s.CacheInsts == 0 {
+		t.Fatalf("bb cache unused: %+v", s)
+	}
+	// The interpreter only runs during block recording; with no trace
+	// formation it should never execute guest code at all.
+	if s.InterpretedInsts != 0 {
+		t.Fatalf("interpreter ran %d insts despite the bb cache", s.InterpretedInsts)
+	}
+}
+
+func TestBBCacheForwardChainingOnly(t *testing.T) {
+	// Straight-line blocks chain forward (bb->bb links exist), while
+	// backward targets keep trapping so they can be counted.
+	p, err := program.Generate(program.DefaultGenConfig(67))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 1 << 30 // keep everything in the bb cache
+	d := runDBT(t, p, cfg, 50_000_000)
+	if d.Stats().BBToBBLinks == 0 {
+		t.Fatal("no bb->bb chaining happened")
+	}
+	// Every patched bb->bb link must point forward.
+	for idx := range d.stubs {
+		st := d.stubs[idx]
+		if st.live && st.patched && isBBFragment(st.owner) && isBBFragment(st.linkTo) {
+			if st.target <= d.pcOf[st.owner] {
+				t.Fatalf("backward bb link patched: %#x -> %#x", d.pcOf[st.owner], st.target)
+			}
+		}
+	}
+}
+
+func TestBBCacheDisabledMatchesInterpreterPath(t *testing.T) {
+	p, err := program.Generate(program.DefaultGenConfig(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 50_000_000
+	ref := runRef(t, p, budget)
+	cfg := DefaultConfig()
+	cfg.EnableBBCache = false
+	d := runDBT(t, p, cfg, budget)
+	assertEquivalent(t, ref, d, "no-bbcache")
+	if d.Stats().BBFragsTranslated != 0 {
+		t.Fatal("bb cache ran while disabled")
+	}
+	if d.BBCache() != nil {
+		t.Fatal("BBCache() should be nil when disabled")
+	}
+}
+
+func TestBBCacheSpeedsUpColdExecution(t *testing.T) {
+	// The architectural point of the bb cache: cold code stops paying the
+	// interpretation factor. Modelled time with the bb cache must beat
+	// the interpreter-only configuration on a workload with a big cold
+	// footprint.
+	gen := program.DefaultGenConfig(73)
+	gen.PhaseIters = 5 // everything stays colder than the threshold
+	p, err := program.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 50_000_000
+	with := DefaultConfig()
+	dWith := runDBT(t, p, with, budget)
+	without := DefaultConfig()
+	without.EnableBBCache = false
+	dWithout := runDBT(t, p, without, budget)
+	if dWith.ModeledSeconds() >= dWithout.ModeledSeconds() {
+		t.Fatalf("bb cache should pay off on cold code: with=%g without=%g",
+			dWith.ModeledSeconds(), dWithout.ModeledSeconds())
+	}
+}
+
+func TestConfigValidateBBCache(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BBCacheCapacity = 100
+	if err := cfg.Validate(); err == nil {
+		t.Error("tiny bb cache should be rejected")
+	}
+	cfg = DefaultConfig()
+	cfg.BBCacheCapacity = program.MemSize
+	if _, err := New(cfg); err == nil {
+		t.Error("oversized bb region should be rejected")
+	}
+}

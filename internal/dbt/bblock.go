@@ -1,0 +1,91 @@
+package dbt
+
+import (
+	"fmt"
+
+	"dynocache/internal/isa"
+)
+
+// basicBlock is a decoded single-entry, single-exit guest region, the unit
+// DynamoRIO's basic-block cache stores (§2.2).
+type basicBlock struct {
+	pc    uint32
+	insts []isa.Inst
+}
+
+// size returns the block's guest footprint in bytes.
+func (b *basicBlock) size() int { return len(b.insts) * isa.WordSize }
+
+// terminator returns the final (block-ending) instruction.
+func (b *basicBlock) terminator() isa.Inst { return b.insts[len(b.insts)-1] }
+
+// maxBBInsts bounds runaway decodes (a block must end eventually; guest
+// programs top out far below this).
+const maxBBInsts = 4096
+
+// lookupBB returns the basic block starting at pc, decoding and caching it
+// on first sight (the basic-block cache lookup of Figure 1).
+func (d *DBT) lookupBB(pc uint32) (*basicBlock, error) {
+	if bb, ok := d.bbCache[pc]; ok {
+		return bb, nil
+	}
+	bb := &basicBlock{pc: pc}
+	for at := pc; ; at += isa.WordSize {
+		in, err := d.m.Fetch(at)
+		if err != nil {
+			return nil, fmt.Errorf("dbt: decoding block at %#x: %w", pc, err)
+		}
+		if in.Op == isa.OpTrap {
+			return nil, fmt.Errorf("dbt: guest code at %#x contains a trap", at)
+		}
+		bb.insts = append(bb.insts, in)
+		if isa.EndsBlock(in.Op) {
+			break
+		}
+		if len(bb.insts) >= maxBBInsts {
+			return nil, fmt.Errorf("dbt: unterminated basic block at %#x", pc)
+		}
+	}
+	d.bbCache[pc] = bb
+	d.stats.BBsDiscovered++
+	return bb, nil
+}
+
+// executeBB interprets one basic block in place, advancing machine state,
+// and returns the block.
+func (d *DBT) executeBB(pc uint32) (*basicBlock, error) {
+	bb, err := d.lookupBB(pc)
+	if err != nil {
+		return nil, err
+	}
+	for _, in := range bb.insts {
+		if err := d.m.Exec(in); err != nil {
+			return nil, err
+		}
+		if d.m.Halted {
+			break
+		}
+	}
+	d.stats.BBExecutions++
+	d.stats.InterpretedInsts += uint64(len(bb.insts))
+	return bb, nil
+}
+
+// interpretAndProfile interprets the block at the current PC, bumps its
+// hotness counter, and forms a superblock once the block crosses the
+// threshold (§4.1: DynamoRIO considers a superblock hot at 50 executions).
+func (d *DBT) interpretAndProfile() error {
+	pc := d.m.PC
+	if _, err := d.executeBB(pc); err != nil {
+		return err
+	}
+	d.hotness[pc]++
+	// ">=" rather than "==": after a superblock is evicted, the next
+	// interpretation regenerates it immediately (its heat is proven).
+	if d.hotness[pc] >= d.cfg.HotThreshold {
+		if err := d.formAndInstall(pc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

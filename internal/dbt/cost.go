@@ -1,0 +1,93 @@
+package dbt
+
+import (
+	"dynocache/internal/overhead"
+)
+
+// CostModel prices the DBT's management work in guest-equivalent
+// instructions. Guest instructions execute for real; management work
+// (dispatch, translation, eviction, protection changes) happens at the
+// host level, so its cost is modelled, using the paper's measurements
+// where it published them.
+type CostModel struct {
+	// InterpFactor is the per-instruction slowdown of interpretation
+	// relative to native execution (dynamic optimizers interpret cold
+	// code; a decode-and-dispatch software interpreter runs two orders of magnitude slower than native code).
+	InterpFactor float64
+	// DispatchCost is charged per dispatcher entry (hash lookup, context
+	// save/restore).
+	DispatchCost float64
+	// ProtectionCost is charged per cache exit/entry pair through the
+	// dispatcher: Table 2's analysis attributes the chaining-disabled
+	// catastrophe to "the memory protection changes (and associated
+	// system calls) that the DynamoRIO system does in order to protect
+	// the translation manager from the user code".
+	ProtectionCost float64
+	// IBLCost is charged per indirect-branch resolution. Real systems
+	// resolve indirect targets through an in-cache lookup routine without
+	// crossing the protection boundary, so indirect exits are far cheaper
+	// than unlinked direct exits.
+	IBLCost float64
+	// BBTranslateFactor scales Equation 3 for basic-block fragments:
+	// building a single block is cheaper than forming and optimizing a
+	// superblock.
+	BBTranslateFactor float64
+	// Translation, eviction, and unlinking costs follow Equations 3, 2,
+	// and 4 respectively via the overhead model.
+	Overhead overhead.Model
+}
+
+// DefaultCostModel returns the calibrated model.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		InterpFactor:      150,
+		DispatchCost:      60,
+		ProtectionCost:    650, // mprotect-class system call pair
+		IBLCost:           40,
+		BBTranslateFactor: 0.4,
+		Overhead:          overhead.Paper(),
+	}
+}
+
+// ModeledInstructions estimates the total instruction count of a run:
+// guest work executed in the cache, interpreted work at its slowdown
+// factor, and every management activity at its modelled price.
+func (d *DBT) ModeledInstructions() float64 {
+	s := d.stats
+	cs := d.cache.Stats()
+	cost := d.cfg.Costs
+	total := float64(s.CacheInsts)
+	total += float64(s.InterpretedInsts) * cost.InterpFactor
+	// Cache entries that follow an indirect exit model the in-cache
+	// indirect-branch lookup; all other entries cross the protection
+	// boundary through the dispatcher. Interpreted blocks also dispatch
+	// (but stay on the manager side of the boundary).
+	directEntries := s.CacheEntries
+	if s.IndirectTraps < directEntries {
+		directEntries -= s.IndirectTraps
+	} else {
+		directEntries = 0
+	}
+	total += float64(directEntries) * (cost.DispatchCost + cost.ProtectionCost)
+	total += float64(s.IndirectTraps) * cost.IBLCost
+	total += float64(s.BBExecutions) * cost.DispatchCost
+	// Translation (Equation 3), eviction (Equation 2), unlinking (Eq. 4).
+	total += cost.Overhead.MissCost(cs.InsertedBytes, cs.InsertedBlocks)
+	total += cost.Overhead.EvictionCost(cs.BytesEvicted, cs.EvictionInvocations)
+	total += cost.Overhead.UnlinkCost(cs.InterUnitLinksRemoved, cs.UnlinkEvents)
+	// The basic-block cache's own management, at its cheaper translation
+	// rate.
+	if bb := d.bbFrag; bb != nil {
+		bs := bb.Stats()
+		total += cost.BBTranslateFactor * cost.Overhead.MissCost(bs.InsertedBytes, bs.InsertedBlocks)
+		total += cost.Overhead.EvictionCost(bs.BytesEvicted, bs.EvictionInvocations)
+		total += cost.Overhead.UnlinkCost(bs.InterUnitLinksRemoved, bs.UnlinkEvents)
+	}
+	return total
+}
+
+// ModeledSeconds converts ModeledInstructions to wall-clock time using the
+// overhead model's CPI and clock.
+func (d *DBT) ModeledSeconds() float64 {
+	return d.cfg.Costs.Overhead.Seconds(d.ModeledInstructions())
+}

@@ -1,0 +1,413 @@
+package dbt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dynocache/internal/core"
+	"dynocache/internal/interp"
+	"dynocache/internal/isa"
+	"dynocache/internal/program"
+)
+
+// runRef executes a program under the plain interpreter.
+func runRef(t *testing.T, p *program.Program, budget uint64) *interp.Machine {
+	t.Helper()
+	code, err := p.Code()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(program.MemSize)
+	if err := m.Load(code, program.CodeBase, p.Entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(budget); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runDBT executes a program under the DBT with the given config.
+func runDBT(t *testing.T, p *program.Program, cfg Config, budget uint64) *DBT {
+	t.Helper()
+	code, err := p.Code()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(code, program.CodeBase, p.Entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(budget); err != nil {
+		t.Fatalf("dbt run: %v", err)
+	}
+	return d
+}
+
+// assertEquivalent compares guest-visible state between interpreter and
+// DBT: all registers except the PC (halt sites differ: the DBT halts
+// inside the code cache) plus the data region of memory.
+func assertEquivalent(t *testing.T, ref *interp.Machine, d *DBT, label string) {
+	t.Helper()
+	m := d.Machine()
+	if !m.Halted {
+		t.Fatalf("%s: DBT did not halt", label)
+	}
+	// Translation legitimately changes dynamic instruction counts a little
+	// (calls expand into return-address materialization, elided jumps
+	// disappear), so counts must only be close, not equal.
+	lo, hi := float64(ref.InstCount)*0.85, float64(ref.InstCount)*1.15
+	if got := float64(m.InstCount); got < lo || got > hi {
+		t.Errorf("%s: guest instruction count %d too far from reference %d", label, m.InstCount, ref.InstCount)
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		if m.Regs[r] != ref.Regs[r] {
+			t.Errorf("%s: r%d = %#x, ref %#x", label, r, m.Regs[r], ref.Regs[r])
+		}
+	}
+	for addr := program.DataBase; addr < program.StackTop; addr += 4 {
+		if m.Mem[addr] != ref.Mem[addr] {
+			t.Fatalf("%s: memory differs at %#x", label, addr)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Policy = core.Policy{Kind: core.PolicyLRU}
+	if err := bad.Validate(); err == nil {
+		t.Error("LRU policy should be rejected")
+	}
+	bad = cfg
+	bad.CacheCapacity = 16
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny capacity should be rejected")
+	}
+	bad = cfg
+	bad.HotThreshold = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero threshold should be rejected")
+	}
+	bad = cfg
+	bad.MaxTraceBlocks = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero trace blocks should be rejected")
+	}
+	bad = cfg
+	bad.CacheBase = program.MemSize - 1024
+	if _, err := New(bad); err == nil {
+		t.Error("cache past memory end should be rejected")
+	}
+}
+
+func TestLoadOverlapRejected(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := make([]byte, int(program.StackTop)+4096)
+	if err := d.Load(huge, 0, 0); err == nil {
+		t.Error("code overlapping the cache region should be rejected")
+	}
+}
+
+func TestDBTSimpleLoopEquivalence(t *testing.T) {
+	src := `
+        addi r1, r0, 200
+        addi r2, r0, 0
+loop:   addi r2, r2, 3
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+`
+	code, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := interp.New(program.MemSize)
+	if err := ref.Load(code, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(code, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if d.Machine().Regs[2] != ref.Regs[2] || d.Machine().Regs[2] != 600 {
+		t.Fatalf("r2 = %d, want 600", d.Machine().Regs[2])
+	}
+	s := d.Stats()
+	if s.SuperblocksFormed == 0 {
+		t.Fatal("hot loop never formed a superblock")
+	}
+	if s.CacheInsts == 0 {
+		t.Fatal("no instructions executed from the code cache")
+	}
+	// Before the superblock exists, each warm-up iteration runs its bb
+	// fragment and traps once (the backward branch targets a trace-head
+	// candidate). After formation the loop closes on itself: at most a
+	// handful of further traps.
+	if s.Traps > uint64(DefaultConfig().HotThreshold)+10 {
+		t.Fatalf("loop should stay in the cache after formation, got %d traps", s.Traps)
+	}
+}
+
+func TestDBTEquivalenceAcrossPolicies(t *testing.T) {
+	p, err := program.Generate(program.DefaultGenConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 50_000_000
+	ref := runRef(t, p, budget)
+	policies := []core.Policy{
+		{Kind: core.PolicyFlush},
+		{Kind: core.PolicyUnits, Units: 4},
+		{Kind: core.PolicyUnits, Units: 16},
+		{Kind: core.PolicyFine},
+	}
+	for _, pol := range policies {
+		cfg := DefaultConfig()
+		cfg.Policy = pol
+		d := runDBT(t, p, cfg, budget)
+		assertEquivalent(t, ref, d, pol.String())
+		if d.Stats().SuperblocksFormed == 0 {
+			t.Errorf("%s: no superblocks formed", pol)
+		}
+	}
+}
+
+func TestDBTEquivalenceUnderHeavyEviction(t *testing.T) {
+	// Deliberately tiny caches force constant eviction, regeneration,
+	// unlinking, and re-chaining in both generations; behaviour must be
+	// unchanged.
+	gen := program.DefaultGenConfig(23)
+	gen.NumFuncs = 48
+	gen.PhaseFuncs = 16
+	gen.Phases = 6
+	p, err := program.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 50_000_000
+	ref := runRef(t, p, budget)
+	for _, pol := range []core.Policy{
+		{Kind: core.PolicyFlush},
+		{Kind: core.PolicyUnits, Units: 8},
+		{Kind: core.PolicyFine},
+	} {
+		cfg := DefaultConfig()
+		cfg.Policy = pol
+		cfg.CacheCapacity = 4 << 10
+		cfg.BBCacheCapacity = 8 << 10
+		d := runDBT(t, p, cfg, budget)
+		assertEquivalent(t, ref, d, "tiny-"+pol.String())
+		evictions := d.Cache().Stats().EvictionInvocations + d.BBCache().Stats().EvictionInvocations
+		if evictions == 0 {
+			t.Errorf("%s: tiny caches never evicted", pol)
+		}
+		if err := d.Cache().CheckInvariants(); err != nil {
+			t.Errorf("%s: %v", pol, err)
+		}
+		if err := d.BBCache().CheckInvariants(); err != nil {
+			t.Errorf("%s: bb cache: %v", pol, err)
+		}
+	}
+}
+
+func TestDBTChainingDisabledEquivalence(t *testing.T) {
+	p, err := program.Generate(program.DefaultGenConfig(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 50_000_000
+	ref := runRef(t, p, budget)
+	cfg := DefaultConfig()
+	cfg.Chaining = false
+	d := runDBT(t, p, cfg, budget)
+	assertEquivalent(t, ref, d, "no-chaining")
+	if d.Stats().StubsPatched != 0 {
+		t.Fatalf("chaining disabled but %d stubs patched", d.Stats().StubsPatched)
+	}
+
+	cfg.Chaining = true
+	dc := runDBT(t, p, cfg, budget)
+	if dc.Stats().StubsPatched == 0 {
+		t.Fatal("chaining enabled but nothing patched")
+	}
+	// Table 2's effect: disabling chaining multiplies dispatcher traffic.
+	if d.Stats().Traps <= dc.Stats().Traps {
+		t.Fatalf("chaining off should trap more: off=%d on=%d", d.Stats().Traps, dc.Stats().Traps)
+	}
+	// And modelled execution time must blow up.
+	slow := d.ModeledSeconds() / dc.ModeledSeconds()
+	if slow < 2 {
+		t.Fatalf("chaining-off slowdown = %.2fx, expected well above 2x", slow)
+	}
+}
+
+func TestDBTDeterministic(t *testing.T) {
+	p, err := program.Generate(program.DefaultGenConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.CacheCapacity = 16 << 10
+	a := runDBT(t, p, cfg, 50_000_000)
+	b := runDBT(t, p, cfg, 50_000_000)
+	if a.Stats() != b.Stats() {
+		t.Fatalf("same run differs:\n%+v\n%+v", a.Stats(), b.Stats())
+	}
+	if *a.Cache().Stats() != *b.Cache().Stats() {
+		t.Fatal("cache stats differ between identical runs")
+	}
+}
+
+func TestDBTBudgetExhaustion(t *testing.T) {
+	src := "loop: jmp loop"
+	code, _ := isa.Assemble(src)
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(code, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(10_000); !errors.Is(err, ErrBudget) {
+		t.Fatalf("infinite loop should exhaust budget, got %v", err)
+	}
+}
+
+func TestDBTIndirectCalls(t *testing.T) {
+	src := `
+        addi r3, r0, 400
+main:   addi r1, r0, 36     ; address of f
+        jalr r1
+        addi r3, r3, -1
+        bne  r3, r0, main
+        halt
+        nop
+        nop
+        nop
+f:      addi r2, r2, 1
+        jr   r15
+`
+	code, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(code, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Machine().Regs[2]; got != 400 {
+		t.Fatalf("r2 = %d, want 400", got)
+	}
+	if d.Stats().SuperblocksFormed == 0 {
+		t.Fatal("indirect-call loop should form superblocks")
+	}
+}
+
+func TestDBTStatsShape(t *testing.T) {
+	p, err := program.Generate(program.DefaultGenConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := runDBT(t, p, DefaultConfig(), 50_000_000)
+	s := d.Stats()
+	if s.BBsDiscovered == 0 || s.BBFragsTranslated == 0 {
+		t.Fatalf("bb stats wrong: %+v", s)
+	}
+	if s.CacheInsts == 0 || s.InterpretedInsts == 0 {
+		t.Fatalf("execution split wrong: %+v", s)
+	}
+	if s.TranslatedBytes == 0 || s.CacheEntries == 0 {
+		t.Fatalf("cache stats wrong: %+v", s)
+	}
+	if d.ModeledInstructions() <= float64(s.CacheInsts) {
+		t.Fatal("modeled cost must exceed raw guest work")
+	}
+	if d.ModeledSeconds() <= 0 {
+		t.Fatal("modeled time must be positive")
+	}
+}
+
+func TestTranslateTraceErrors(t *testing.T) {
+	if _, err := translateTrace([]tracedBlock{
+		{bb: &basicBlock{pc: 0, insts: []isa.Inst{{Op: isa.OpJr, Rs1: 15}}}, next: 64},
+	}, stopIndirect, 0); err != nil {
+		t.Fatalf("indirect trace should translate: %v", err)
+	}
+	// Discontinuous trace.
+	b1 := &basicBlock{pc: 0, insts: []isa.Inst{{Op: isa.OpJmp, Imm: 3}}}
+	b2 := &basicBlock{pc: 100, insts: []isa.Inst{{Op: isa.OpHalt}}}
+	if _, err := translateTrace([]tracedBlock{{bb: b1, next: 16}, {bb: b2, next: 0}}, stopHalt, 0); err == nil {
+		t.Error("discontinuity should be detected")
+	}
+}
+
+func TestInvertBranch(t *testing.T) {
+	pairs := map[isa.Opcode]isa.Opcode{
+		isa.OpBeq: isa.OpBne, isa.OpBne: isa.OpBeq,
+		isa.OpBlt: isa.OpBge, isa.OpBge: isa.OpBlt,
+	}
+	for op, want := range pairs {
+		if got := invertBranch(op); got != want {
+			t.Errorf("invertBranch(%s) = %s, want %s", op, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invertBranch on non-branch should panic")
+		}
+	}()
+	invertBranch(isa.OpAdd)
+}
+
+func TestPadInsertionOnWrap(t *testing.T) {
+	gen := program.DefaultGenConfig(17)
+	gen.NumFuncs = 48
+	gen.PhaseFuncs = 16
+	p, err := program.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.CacheCapacity = 4 << 10 // small enough to wrap many times
+	cfg.BBCacheCapacity = 8 << 10
+	d := runDBT(t, p, cfg, 50_000_000)
+	if d.Stats().PadsInserted == 0 {
+		t.Fatal("expected wrap pads in small caches")
+	}
+}
+
+func TestDBTErrorMessages(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.handleTrap(999); err == nil || !strings.Contains(err.Error(), "dead stub") {
+		t.Errorf("dead stub trap should error, got %v", err)
+	}
+}

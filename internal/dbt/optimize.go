@@ -1,0 +1,323 @@
+package dbt
+
+import "dynocache/internal/isa"
+
+// This file implements the superblock optimizer. Dynamic optimization
+// systems earn their keep by improving the code they cache (§1: "increased
+// instruction locality and code optimization improves steady state
+// performance"); dynocache's translator runs three classic trace
+// optimizations over the straight-line superblock body:
+//
+//  1. constant propagation and folding — immediates flow through ALU ops;
+//     computable results collapse into single addi instructions (this also
+//     shrinks the lui/addi pairs emitted for guest return addresses);
+//  2. dead code elimination — pure register writes that are provably
+//     overwritten before any use or side exit are dropped;
+//  3. store-to-load forwarding — a load from an address just stored to
+//     becomes a register move (or disappears entirely).
+//
+// A superblock is single-entry, so the body is a straight line for
+// dataflow purposes: conditional branches only *exit*. Every exit (branch,
+// trap, halt) is a full barrier — all architectural registers are live
+// there because execution continues in unoptimized guest code.
+// Loop-closing traces re-enter the body top, so constant propagation is
+// disabled for them (facts proven on the first iteration need not hold on
+// the back edge).
+
+// OptStats counts the optimizer's work for one superblock.
+type OptStats struct {
+	ConstFolded    int // instructions replaced by immediate loads
+	DeadRemoved    int // pure writes eliminated
+	LoadsForwarded int // loads turned into moves or removed
+	InstsRemoved   int // total instructions deleted from the body
+}
+
+func (a *OptStats) add(b OptStats) {
+	a.ConstFolded += b.ConstFolded
+	a.DeadRemoved += b.DeadRemoved
+	a.LoadsForwarded += b.LoadsForwarded
+	a.InstsRemoved += b.InstsRemoved
+}
+
+// optimize runs the pass pipeline over the translation body, remapping the
+// side-exit fixups across deletions.
+func optimize(t *translation) OptStats {
+	var total OptStats
+	if !t.loopClose {
+		total.add(propagateConstants(t))
+	}
+	total.add(forwardStores(t))
+	total.add(eliminateDead(t))
+	return total
+}
+
+// regWrites returns the register an instruction writes, if any.
+func regWrites(in isa.Inst) (isa.Reg, bool) {
+	switch in.Op {
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpMul, isa.OpSlt,
+		isa.OpAddi, isa.OpLui, isa.OpLw:
+		if in.Rd != isa.RZero {
+			return in.Rd, true
+		}
+	}
+	return 0, false
+}
+
+// regReads returns the registers an instruction reads.
+func regReads(in isa.Inst) []isa.Reg {
+	switch in.Op {
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpMul, isa.OpSlt:
+		return []isa.Reg{in.Rs1, in.Rs2}
+	case isa.OpAddi, isa.OpLw, isa.OpJr, isa.OpJalr:
+		return []isa.Reg{in.Rs1}
+	case isa.OpSw:
+		return []isa.Reg{in.Rd, in.Rs1}
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		return []isa.Reg{in.Rd, in.Rs1}
+	}
+	return nil
+}
+
+// isBarrier reports whether an instruction ends straight-line reasoning:
+// all registers must be considered live and memory state unknown beyond it.
+func isBarrier(in isa.Inst) bool {
+	return isa.EndsBlock(in.Op) || in.Op == isa.OpSyscall
+}
+
+// propagateConstants runs forward constant propagation and folding.
+func propagateConstants(t *translation) OptStats {
+	var st OptStats
+	known := map[isa.Reg]uint32{}
+	set := func(r isa.Reg, v uint32) {
+		if r != isa.RZero {
+			known[r] = v
+		}
+	}
+	get := func(r isa.Reg) (uint32, bool) {
+		if r == isa.RZero {
+			return 0, true
+		}
+		v, ok := known[r]
+		return v, ok
+	}
+	for i, in := range t.body {
+		switch in.Op {
+		case isa.OpLui:
+			set(in.Rd, uint32(in.Imm)<<16)
+		case isa.OpAddi:
+			if v, ok := get(in.Rs1); ok {
+				val := v + uint32(in.Imm)
+				set(in.Rd, val)
+				// Canonicalize to a direct immediate load when possible
+				// (turns lui/addi pairs into single instructions and lets
+				// DCE collect the dead lui).
+				if in.Rs1 != isa.RZero && fitsImm16(val) {
+					t.body[i] = isa.Inst{Op: isa.OpAddi, Rd: in.Rd, Imm: int32(int16(uint16(val)))}
+					st.ConstFolded++
+				}
+			} else {
+				delete(known, in.Rd)
+			}
+		case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+			isa.OpShl, isa.OpShr, isa.OpMul, isa.OpSlt:
+			a, aok := get(in.Rs1)
+			b, bok := get(in.Rs2)
+			if aok && bok {
+				val := evalALU(in.Op, a, b)
+				set(in.Rd, val)
+				if fitsImm16(val) {
+					t.body[i] = isa.Inst{Op: isa.OpAddi, Rd: in.Rd, Imm: int32(int16(uint16(val)))}
+					st.ConstFolded++
+				}
+			} else {
+				delete(known, in.Rd)
+			}
+		case isa.OpLw:
+			delete(known, in.Rd)
+		case isa.OpSw:
+			// no register writes
+		case isa.OpSyscall:
+			// The handler may modify anything.
+			known = map[isa.Reg]uint32{}
+		default:
+			if isBarrier(in) {
+				// Facts survive a conditional side exit on the
+				// fall-through path, but be conservative anyway: the
+				// payoff past branches is small.
+				known = map[isa.Reg]uint32{}
+			}
+		}
+	}
+	return st
+}
+
+func fitsImm16(v uint32) bool {
+	s := int32(v)
+	return s >= -(1<<15) && s < 1<<15
+}
+
+func evalALU(op isa.Opcode, a, b uint32) uint32 {
+	switch op {
+	case isa.OpAdd:
+		return a + b
+	case isa.OpSub:
+		return a - b
+	case isa.OpAnd:
+		return a & b
+	case isa.OpOr:
+		return a | b
+	case isa.OpXor:
+		return a ^ b
+	case isa.OpShl:
+		return a << (b & 31)
+	case isa.OpShr:
+		return a >> (b & 31)
+	case isa.OpMul:
+		return a * b
+	case isa.OpSlt:
+		if int32(a) < int32(b) {
+			return 1
+		}
+		return 0
+	default:
+		panic("dbt: evalALU on non-ALU opcode")
+	}
+}
+
+// forwardStores turns loads that read a just-stored location into register
+// moves, and deletes them entirely when source and destination coincide.
+type memFact struct {
+	base  isa.Reg
+	off   int32
+	value isa.Reg
+}
+
+func forwardStores(t *translation) OptStats {
+	var st OptStats
+	var facts []memFact
+	invalidateReg := func(r isa.Reg) {
+		out := facts[:0]
+		for _, f := range facts {
+			if f.base != r && f.value != r {
+				out = append(out, f)
+			}
+		}
+		facts = out
+	}
+	lookup := func(base isa.Reg, off int32) (isa.Reg, bool) {
+		for _, f := range facts {
+			if f.base == base && f.off == off {
+				return f.value, true
+			}
+		}
+		return 0, false
+	}
+	keep := make([]isa.Inst, 0, len(t.body))
+	idxMap := make([]int, len(t.body))
+	for i, in := range t.body {
+		emit := true
+		switch in.Op {
+		case isa.OpSw:
+			// A store may alias any other tracked location: keep only the
+			// fact it establishes.
+			facts = facts[:0]
+			facts = append(facts, memFact{base: in.Rs1, off: in.Imm, value: in.Rd})
+		case isa.OpLw:
+			if v, ok := lookup(in.Rs1, in.Imm); ok {
+				st.LoadsForwarded++
+				if v == in.Rd {
+					// The register already holds the value; the store
+					// proved the address maps, so dropping the load is
+					// fault-equivalent.
+					emit = false
+					st.InstsRemoved++
+				} else {
+					in = isa.Inst{Op: isa.OpAdd, Rd: in.Rd, Rs1: v, Rs2: isa.RZero}
+				}
+			}
+			if emit {
+				if w, ok := regWrites(in); ok {
+					invalidateReg(w)
+				}
+			}
+		case isa.OpSyscall:
+			facts = facts[:0]
+		default:
+			if isBarrier(in) {
+				// Conditional exits leave memory intact on the
+				// fall-through path; facts survive. Other barriers end
+				// the body anyway.
+			} else if w, ok := regWrites(in); ok {
+				invalidateReg(w)
+			}
+		}
+		idxMap[i] = len(keep)
+		if emit {
+			keep = append(keep, in)
+		}
+	}
+	remap(t, keep, idxMap)
+	return st
+}
+
+// eliminateDead removes pure register writes that are overwritten before
+// any read or barrier.
+func eliminateDead(t *translation) OptStats {
+	var st OptStats
+	live := allLive()
+	dead := make([]bool, len(t.body))
+	for i := len(t.body) - 1; i >= 0; i-- {
+		in := t.body[i]
+		if isBarrier(in) {
+			live = allLive()
+			continue
+		}
+		w, writes := regWrites(in)
+		pure := writes && in.Op != isa.OpLw // loads can fault; keep them
+		if pure && !live[w] {
+			dead[i] = true
+			st.DeadRemoved++
+			st.InstsRemoved++
+			continue
+		}
+		if writes {
+			live[w] = false
+		}
+		for _, r := range regReads(in) {
+			live[r] = true
+		}
+	}
+	keep := make([]isa.Inst, 0, len(t.body))
+	idxMap := make([]int, len(t.body))
+	for i, in := range t.body {
+		idxMap[i] = len(keep)
+		if !dead[i] {
+			keep = append(keep, in)
+		}
+	}
+	remap(t, keep, idxMap)
+	return st
+}
+
+func allLive() [isa.NumRegs]bool {
+	var l [isa.NumRegs]bool
+	for i := range l {
+		l[i] = true
+	}
+	return l
+}
+
+// remap installs the rewritten body and relocates side-exit fixups.
+// Branch instructions are never deleted, so every fixup survives.
+func remap(t *translation, keep []isa.Inst, idxMap []int) {
+	if len(keep) == len(t.body) {
+		t.body = keep
+		return
+	}
+	for i := range t.fixups {
+		t.fixups[i].bodyIdx = idxMap[t.fixups[i].bodyIdx]
+	}
+	t.body = keep
+}

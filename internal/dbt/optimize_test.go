@@ -1,0 +1,311 @@
+package dbt
+
+import (
+	"testing"
+
+	"dynocache/internal/interp"
+	"dynocache/internal/isa"
+	"dynocache/internal/program"
+)
+
+// transOf builds a translation from raw body instructions (no stubs).
+func transOf(body ...isa.Inst) *translation {
+	return &translation{body: body}
+}
+
+func TestConstantFolding(t *testing.T) {
+	tr := transOf(
+		isa.Inst{Op: isa.OpAddi, Rd: 1, Imm: 10},
+		isa.Inst{Op: isa.OpAddi, Rd: 2, Imm: 20},
+		isa.Inst{Op: isa.OpAdd, Rd: 3, Rs1: 1, Rs2: 2},
+		isa.Inst{Op: isa.OpMul, Rd: 4, Rs1: 3, Rs2: 2},
+	)
+	st := optimize(tr)
+	if st.ConstFolded != 2 {
+		t.Fatalf("ConstFolded = %d, want 2", st.ConstFolded)
+	}
+	if tr.body[2].Op != isa.OpAddi || tr.body[2].Imm != 30 {
+		t.Fatalf("add not folded: %v", tr.body[2])
+	}
+	if tr.body[3].Op != isa.OpAddi || tr.body[3].Imm != 600 {
+		t.Fatalf("mul not folded: %v", tr.body[3])
+	}
+}
+
+func TestLuiAddiPairCollapses(t *testing.T) {
+	// materializeLink for a small guest address: lui r15, 0 + addi folds,
+	// and DCE removes the dead lui.
+	tr := transOf(
+		isa.Inst{Op: isa.OpLui, Rd: 15, Imm: 0},
+		isa.Inst{Op: isa.OpAddi, Rd: 15, Rs1: 15, Imm: 0x54},
+		isa.Inst{Op: isa.OpSw, Rd: 15, Rs1: 8, Imm: 4}, // keep r15 alive
+	)
+	st := optimize(tr)
+	if st.ConstFolded != 1 {
+		t.Fatalf("ConstFolded = %d, want 1", st.ConstFolded)
+	}
+	if st.DeadRemoved != 1 {
+		t.Fatalf("DeadRemoved = %d, want 1 (the lui)", st.DeadRemoved)
+	}
+	if len(tr.body) != 2 {
+		t.Fatalf("body = %v", tr.body)
+	}
+	if tr.body[0].Op != isa.OpAddi || tr.body[0].Rs1 != isa.RZero || tr.body[0].Imm != 0x54 {
+		t.Fatalf("collapsed materialization wrong: %v", tr.body[0])
+	}
+}
+
+func TestFoldingSkipsWideValues(t *testing.T) {
+	tr := transOf(
+		isa.Inst{Op: isa.OpLui, Rd: 1, Imm: 2}, // 0x20000: does not fit imm16
+		isa.Inst{Op: isa.OpAddi, Rd: 2, Rs1: 1, Imm: 1},
+		isa.Inst{Op: isa.OpSw, Rd: 2, Rs1: 8, Imm: 0},
+		isa.Inst{Op: isa.OpSw, Rd: 1, Rs1: 8, Imm: 4},
+	)
+	st := optimize(tr)
+	if st.ConstFolded != 0 {
+		t.Fatalf("wide values must not fold: %+v", st)
+	}
+	if len(tr.body) != 4 {
+		t.Fatalf("nothing should be removed: %v", tr.body)
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	tr := transOf(
+		isa.Inst{Op: isa.OpAddi, Rd: 1, Imm: 1}, // dead: overwritten below
+		isa.Inst{Op: isa.OpAddi, Rd: 1, Imm: 2}, // live: stored
+		isa.Inst{Op: isa.OpSw, Rd: 1, Rs1: 8, Imm: 0},
+	)
+	st := optimize(tr)
+	if st.DeadRemoved != 1 {
+		t.Fatalf("DeadRemoved = %d, want 1", st.DeadRemoved)
+	}
+	if len(tr.body) != 2 {
+		t.Fatalf("body = %v", tr.body)
+	}
+}
+
+func TestDCERespectsExitBarriers(t *testing.T) {
+	// The write before the branch is observable at the side exit: keep it.
+	tr := transOf(
+		isa.Inst{Op: isa.OpAddi, Rd: 1, Imm: 1},
+		isa.Inst{Op: isa.OpBeq, Rd: 2, Rs1: 3, Imm: 0}, // exit barrier
+		isa.Inst{Op: isa.OpAddi, Rd: 1, Imm: 2},
+		isa.Inst{Op: isa.OpSw, Rd: 1, Rs1: 8, Imm: 0},
+	)
+	tr.fixups = []stubFixup{{bodyIdx: 1, side: 0}}
+	tr.sides = []localStub{{target: 0x100}}
+	st := optimize(tr)
+	if st.DeadRemoved != 0 {
+		t.Fatalf("write live at exit was removed: %+v", st)
+	}
+}
+
+func TestDCEKeepsLoads(t *testing.T) {
+	// A load whose result is dead is still kept (fault semantics).
+	tr := transOf(
+		isa.Inst{Op: isa.OpLw, Rd: 1, Rs1: 8, Imm: 0},
+		isa.Inst{Op: isa.OpAddi, Rd: 1, Imm: 2},
+		isa.Inst{Op: isa.OpSw, Rd: 1, Rs1: 8, Imm: 0},
+	)
+	st := optimize(tr)
+	if st.DeadRemoved != 0 || len(tr.body) != 3 {
+		t.Fatalf("load must survive DCE: %v %+v", tr.body, st)
+	}
+}
+
+func TestStoreLoadForwarding(t *testing.T) {
+	tr := transOf(
+		isa.Inst{Op: isa.OpSw, Rd: 3, Rs1: 8, Imm: 16},
+		isa.Inst{Op: isa.OpLw, Rd: 4, Rs1: 8, Imm: 16}, // becomes move r4 = r3
+		isa.Inst{Op: isa.OpSw, Rd: 4, Rs1: 8, Imm: 32},
+	)
+	st := optimize(tr)
+	if st.LoadsForwarded != 1 {
+		t.Fatalf("LoadsForwarded = %d, want 1", st.LoadsForwarded)
+	}
+	if tr.body[1].Op != isa.OpAdd || tr.body[1].Rs1 != 3 || tr.body[1].Rs2 != isa.RZero {
+		t.Fatalf("forwarded load wrong: %v", tr.body[1])
+	}
+}
+
+func TestStoreLoadSameRegisterRemoved(t *testing.T) {
+	tr := transOf(
+		isa.Inst{Op: isa.OpSw, Rd: 3, Rs1: 8, Imm: 16},
+		isa.Inst{Op: isa.OpLw, Rd: 3, Rs1: 8, Imm: 16}, // redundant reload
+		isa.Inst{Op: isa.OpSw, Rd: 3, Rs1: 8, Imm: 32},
+	)
+	st := optimize(tr)
+	if st.LoadsForwarded != 1 || st.InstsRemoved == 0 {
+		t.Fatalf("redundant reload should vanish: %+v", st)
+	}
+	if len(tr.body) != 2 {
+		t.Fatalf("body = %v", tr.body)
+	}
+}
+
+func TestForwardingInvalidatedByBaseWrite(t *testing.T) {
+	tr := transOf(
+		isa.Inst{Op: isa.OpSw, Rd: 3, Rs1: 8, Imm: 16},
+		isa.Inst{Op: isa.OpAddi, Rd: 8, Rs1: 8, Imm: 4}, // base changed
+		isa.Inst{Op: isa.OpLw, Rd: 4, Rs1: 8, Imm: 16},
+		isa.Inst{Op: isa.OpSw, Rd: 4, Rs1: 8, Imm: 0},
+		isa.Inst{Op: isa.OpSw, Rd: 8, Rs1: 0, Imm: 0},
+	)
+	st := optimize(tr)
+	if st.LoadsForwarded != 0 {
+		t.Fatalf("stale fact forwarded: %+v", st)
+	}
+}
+
+func TestForwardingInvalidatedByOtherStore(t *testing.T) {
+	tr := transOf(
+		isa.Inst{Op: isa.OpSw, Rd: 3, Rs1: 8, Imm: 16},
+		isa.Inst{Op: isa.OpSw, Rd: 5, Rs1: 9, Imm: 0}, // may alias
+		isa.Inst{Op: isa.OpLw, Rd: 4, Rs1: 8, Imm: 16},
+		isa.Inst{Op: isa.OpSw, Rd: 4, Rs1: 8, Imm: 32},
+	)
+	st := optimize(tr)
+	if st.LoadsForwarded != 0 {
+		t.Fatalf("aliasing store ignored: %+v", st)
+	}
+}
+
+func TestConstPropSkippedForLoops(t *testing.T) {
+	tr := transOf(
+		isa.Inst{Op: isa.OpAddi, Rd: 1, Rs1: 1, Imm: 1}, // depends on back edge
+		isa.Inst{Op: isa.OpSw, Rd: 1, Rs1: 8, Imm: 0},
+	)
+	tr.loopClose = true
+	st := optimize(tr)
+	if st.ConstFolded != 0 {
+		t.Fatalf("loop bodies must not constant-fold: %+v", st)
+	}
+}
+
+func TestFixupRemapAcrossDeletions(t *testing.T) {
+	tr := transOf(
+		isa.Inst{Op: isa.OpAddi, Rd: 1, Imm: 1},        // dead
+		isa.Inst{Op: isa.OpAddi, Rd: 1, Imm: 2},        // live via branch read
+		isa.Inst{Op: isa.OpBne, Rd: 1, Rs1: 0, Imm: 0}, // fixup target
+	)
+	tr.fixups = []stubFixup{{bodyIdx: 2, side: 0}}
+	tr.sides = []localStub{{target: 0x40}}
+	_ = optimize(tr)
+	if len(tr.body) != 2 {
+		t.Fatalf("body = %v", tr.body)
+	}
+	if tr.fixups[0].bodyIdx != 1 {
+		t.Fatalf("fixup not remapped: %+v", tr.fixups[0])
+	}
+	if !isa.IsBranch(tr.body[tr.fixups[0].bodyIdx].Op) {
+		t.Fatal("fixup no longer points at a branch")
+	}
+}
+
+// The decisive test: optimized DBT execution is behaviourally identical to
+// the interpreter, and strictly cheaper than unoptimized execution.
+func TestOptimizerEquivalenceAndEffect(t *testing.T) {
+	for seed := uint64(41); seed <= 45; seed++ {
+		p, err := program.Generate(program.DefaultGenConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const budget = 50_000_000
+		ref := runRef(t, p, budget)
+
+		cfgOpt := DefaultConfig()
+		cfgOpt.Optimize = true
+		dOpt := runDBT(t, p, cfgOpt, budget)
+		assertEquivalent(t, ref, dOpt, "optimized")
+
+		cfgPlain := DefaultConfig()
+		cfgPlain.Optimize = false
+		dPlain := runDBT(t, p, cfgPlain, budget)
+		assertEquivalent(t, ref, dPlain, "unoptimized")
+
+		so, sp := dOpt.Stats(), dPlain.Stats()
+		if so.OptConstFolded+so.OptDeadRemoved+so.OptLoadsForwarded == 0 {
+			t.Errorf("seed %d: optimizer did nothing", seed)
+		}
+		if sp.OptConstFolded != 0 {
+			t.Errorf("seed %d: optimizer ran while disabled", seed)
+		}
+		if so.TranslatedBytes >= sp.TranslatedBytes {
+			t.Errorf("seed %d: optimization should shrink translations (%d vs %d)",
+				seed, so.TranslatedBytes, sp.TranslatedBytes)
+		}
+	}
+}
+
+func TestOptimizerEquivalenceUnderEviction(t *testing.T) {
+	gen := program.DefaultGenConfig(53)
+	gen.NumFuncs = 48
+	gen.PhaseFuncs = 16
+	gen.Phases = 6
+	p, err := program.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 50_000_000
+	ref := runRef(t, p, budget)
+	cfg := DefaultConfig()
+	cfg.Optimize = true
+	cfg.CacheCapacity = 4 << 10
+	d := runDBT(t, p, cfg, budget)
+	assertEquivalent(t, ref, d, "optimized-tiny-cache")
+	if d.Cache().Stats().EvictionInvocations == 0 {
+		t.Fatal("tiny cache never evicted")
+	}
+}
+
+// Property-style check: optimize never changes the observable effect of a
+// straight-line body executed from a random machine state.
+func TestOptimizePreservesStraightLineSemantics(t *testing.T) {
+	progs := [][]isa.Inst{
+		{
+			{Op: isa.OpAddi, Rd: 1, Imm: 7},
+			{Op: isa.OpAddi, Rd: 2, Imm: 9},
+			{Op: isa.OpMul, Rd: 3, Rs1: 1, Rs2: 2},
+			{Op: isa.OpSw, Rd: 3, Rs1: 8, Imm: 0},
+			{Op: isa.OpLw, Rd: 4, Rs1: 8, Imm: 0},
+			{Op: isa.OpAdd, Rd: 5, Rs1: 4, Rs2: 3},
+			{Op: isa.OpSw, Rd: 5, Rs1: 8, Imm: 8},
+		},
+		{
+			{Op: isa.OpLui, Rd: 1, Imm: 1},
+			{Op: isa.OpAddi, Rd: 1, Rs1: 1, Imm: -4},
+			{Op: isa.OpShr, Rd: 2, Rs1: 1, Rs2: 0},
+			{Op: isa.OpSw, Rd: 2, Rs1: 8, Imm: 16},
+			{Op: isa.OpSw, Rd: 1, Rs1: 8, Imm: 20},
+		},
+	}
+	for pi, body := range progs {
+		run := func(insts []isa.Inst) ([16]uint32, []byte) {
+			m := interp.New(1 << 12)
+			m.Regs[8] = 256 // data base
+			for _, in := range insts {
+				if err := m.Exec(in); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mem := make([]byte, 64)
+			copy(mem, m.Mem[256:256+64])
+			return m.Regs, mem
+		}
+		wantRegs, wantMem := run(body)
+		tr := transOf(append([]isa.Inst(nil), body...)...)
+		optimize(tr)
+		gotRegs, gotMem := run(tr.body)
+		if gotRegs != wantRegs {
+			t.Errorf("prog %d: registers diverge after optimization", pi)
+		}
+		for i := range wantMem {
+			if gotMem[i] != wantMem[i] {
+				t.Errorf("prog %d: memory diverges at %d", pi, i)
+				break
+			}
+		}
+	}
+}

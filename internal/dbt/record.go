@@ -1,0 +1,112 @@
+package dbt
+
+import (
+	"fmt"
+	"sort"
+
+	"dynocache/internal/core"
+	"dynocache/internal/trace"
+)
+
+// Trace recording: the paper "used the verbose output from DynamoRIO to
+// drive the code cache simulator ... we were able to save and reuse the
+// DynamoRIO logs to allow for repeatability" (§4.1). This file is that
+// verbose output for our DBT: while running, the translator logs every
+// superblock lookup, every formation (size), and every chaining link; the
+// log converts into a trace.Trace that package sim replays exactly like a
+// synthesized workload.
+//
+// Identity in the log is the superblock's head PC (stable across eviction
+// and regeneration), mapped to dense trace IDs in first-formation order.
+
+// traceRecorder accumulates the replayable log.
+type traceRecorder struct {
+	idOf   map[uint32]core.SuperblockID // head PC -> dense trace ID
+	pcs    []uint32                     // dense ID -> head PC
+	sizes  []int                        // first-formation size per trace ID
+	links  []map[core.SuperblockID]struct{}
+	access []core.SuperblockID
+}
+
+func newTraceRecorder() *traceRecorder {
+	return &traceRecorder{idOf: make(map[uint32]core.SuperblockID)}
+}
+
+// define registers a (re)formation of the superblock headed at pc.
+func (r *traceRecorder) define(pc uint32, size int) core.SuperblockID {
+	if id, ok := r.idOf[pc]; ok {
+		return id // regeneration: keep the first-formation size
+	}
+	id := core.SuperblockID(len(r.pcs))
+	r.idOf[pc] = id
+	r.pcs = append(r.pcs, pc)
+	r.sizes = append(r.sizes, size)
+	r.links = append(r.links, make(map[core.SuperblockID]struct{}))
+	return id
+}
+
+// link records a chaining link between two recorded head PCs.
+func (r *traceRecorder) link(fromPC, toPC uint32) {
+	from, ok1 := r.idOf[fromPC]
+	to, ok2 := r.idOf[toPC]
+	if ok1 && ok2 {
+		r.links[from][to] = struct{}{}
+	}
+}
+
+// touch records one code cache lookup that resolved to the superblock
+// headed at pc.
+func (r *traceRecorder) touch(pc uint32) {
+	if id, ok := r.idOf[pc]; ok {
+		r.access = append(r.access, id)
+	}
+}
+
+// build converts the log into a validated trace.
+func (r *traceRecorder) build(name string) (*trace.Trace, error) {
+	tr := trace.New(name)
+	for i, pc := range r.pcs {
+		links := make([]core.SuperblockID, 0, len(r.links[i]))
+		for to := range r.links[i] {
+			links = append(links, to)
+		}
+		sort.Slice(links, func(a, b int) bool { return links[a] < links[b] })
+		if err := tr.Define(core.Superblock{
+			ID:    core.SuperblockID(i),
+			SrcPC: uint64(pc),
+			Size:  r.sizes[i],
+			Links: links,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range r.access {
+		if err := tr.Touch(id); err != nil {
+			return nil, err
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("dbt: recorded trace invalid: %w", err)
+	}
+	return tr, nil
+}
+
+// EnableTraceRecording turns on the verbose log. Call before Run.
+func (d *DBT) EnableTraceRecording() {
+	if d.recorder == nil {
+		d.recorder = newTraceRecorder()
+	}
+}
+
+// RecordedTrace converts the log collected so far into a replayable trace
+// named after the recording. It errors if recording was never enabled or
+// if no superblock was ever formed.
+func (d *DBT) RecordedTrace(name string) (*trace.Trace, error) {
+	if d.recorder == nil {
+		return nil, fmt.Errorf("dbt: trace recording was not enabled")
+	}
+	if len(d.recorder.pcs) == 0 {
+		return nil, fmt.Errorf("dbt: no superblocks were formed; nothing to record")
+	}
+	return d.recorder.build(name)
+}

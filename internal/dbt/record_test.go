@@ -1,0 +1,82 @@
+package dbt
+
+import (
+	"testing"
+
+	"dynocache/internal/core"
+	"dynocache/internal/program"
+	"dynocache/internal/sim"
+)
+
+func TestRecordedTraceFromDBT(t *testing.T) {
+	p, err := program.Generate(program.DefaultGenConfig(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := p.Code()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.EnableTraceRecording()
+	if err := d.Load(code, program.CodeBase, p.Entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := d.RecordedTrace("dbt-seed19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The log names exactly the superblocks formed (regenerations collapse
+	// onto their head PC).
+	if uint64(tr.NumBlocks()) > d.Stats().SuperblocksFormed {
+		t.Fatalf("recorded %d blocks but only %d formations", tr.NumBlocks(), d.Stats().SuperblocksFormed)
+	}
+	if tr.NumBlocks() == 0 || len(tr.Accesses) == 0 {
+		t.Fatal("empty recording")
+	}
+	// Every recorded lookup resolves; accesses >= formations.
+	if len(tr.Accesses) < tr.NumBlocks() {
+		t.Fatalf("accesses %d < blocks %d", len(tr.Accesses), tr.NumBlocks())
+	}
+	// Chained loops produce self-links in the log (Figure 13's self-loop).
+	if tr.SelfLinkFraction() == 0 {
+		t.Fatal("no self-links recorded; loop superblocks should produce them")
+	}
+
+	// The recorded log replays through the simulator like any synthesized
+	// workload — the paper's DynamoRIO-log-drives-simulator pipeline.
+	res, err := sim.Run(tr, core.Policy{Kind: core.PolicyUnits, Units: 8}, 2, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Accesses != uint64(len(tr.Accesses)) {
+		t.Fatal("replay did not consume the recording")
+	}
+	if res.Stats.Misses == 0 || res.Stats.Hits == 0 {
+		t.Fatalf("degenerate replay: %+v", res.Stats)
+	}
+}
+
+func TestRecordedTraceErrors(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RecordedTrace("x"); err == nil {
+		t.Error("recording not enabled should fail")
+	}
+	d.EnableTraceRecording()
+	d.EnableTraceRecording() // idempotent
+	if _, err := d.RecordedTrace("x"); err == nil {
+		t.Error("empty recording should fail")
+	}
+}

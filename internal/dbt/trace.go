@@ -1,0 +1,69 @@
+package dbt
+
+import (
+	"fmt"
+
+	"dynocache/internal/isa"
+)
+
+// tracedBlock is one basic block recorded during superblock formation,
+// together with the successor the program actually took.
+type tracedBlock struct {
+	bb   *basicBlock
+	next uint32 // guest PC control went to after this block
+}
+
+// stopReason explains why superblock formation ended.
+type stopReason uint8
+
+const (
+	stopLoopToHead stopReason = iota // execution returned to the trace head
+	stopContinue                     // trace ends with a direct continuation
+	stopIndirect                     // trace ends in an indirect jump
+	stopHalt                         // the program halted
+)
+
+// formTrace records the superblock starting at headPC, following the path
+// the program takes right now — the NET-style "next executing tail" scheme
+// DynamoRIO uses. The head block must already have been executed (its
+// actual successor is the current PC); formation interprets further blocks
+// as it records them.
+func (d *DBT) formTrace(headPC uint32) (blocks []tracedBlock, reason stopReason, cont uint32, err error) {
+	headBB, ok := d.bbCache[headPC]
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("dbt: forming trace for undecoded block %#x", headPC)
+	}
+	blocks = []tracedBlock{{bb: headBB, next: d.m.PC}}
+	inTrace := map[uint32]bool{headPC: true}
+	for {
+		last := blocks[len(blocks)-1]
+		if d.m.Halted {
+			return blocks, stopHalt, 0, nil
+		}
+		if isa.IsIndirect(last.bb.terminator().Op) {
+			return blocks, stopIndirect, 0, nil
+		}
+		next := last.next
+		switch {
+		case next == headPC:
+			return blocks, stopLoopToHead, headPC, nil
+		case len(blocks) >= d.cfg.MaxTraceBlocks:
+			return blocks, stopContinue, next, nil
+		case inTrace[next]:
+			// Internal loop not targeting the head: end the trace; the
+			// target will become hot and get its own superblock, at which
+			// point this exit chains to it.
+			return blocks, stopContinue, next, nil
+		}
+		if _, cached := d.hash[next]; cached {
+			// Already translated: stop and let the exit chain to it.
+			return blocks, stopContinue, next, nil
+		}
+		bb, err := d.executeBB(next)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		blocks = append(blocks, tracedBlock{bb: bb, next: d.m.PC})
+		inTrace[next] = true
+	}
+}

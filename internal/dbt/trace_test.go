@@ -1,0 +1,144 @@
+package dbt
+
+import (
+	"strings"
+	"testing"
+
+	"dynocache/internal/isa"
+)
+
+// dbtFor assembles src at address 0 and returns a DBT ready to run it.
+func dbtFor(t *testing.T, src string, mutate func(*Config)) *DBT {
+	t.Helper()
+	code, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 2 // make formation immediate-ish for tiny tests
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Load(code, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTraceStopsAtMaxBlocks(t *testing.T) {
+	// A long chain of tiny blocks inside a hot loop: formation must stop
+	// at MaxTraceBlocks and still execute correctly.
+	var b strings.Builder
+	b.WriteString("addi r1, r0, 50\nouter:\n")
+	for i := 0; i < 12; i++ {
+		// Each beq r0, r1 is never taken (r1 != 0 while looping) but ends
+		// a basic block.
+		b.WriteString("addi r2, r2, 1\nbeq r0, r1, done\n")
+	}
+	b.WriteString("addi r1, r1, -1\nbne r1, r0, outer\ndone: halt\n")
+	d := dbtFor(t, b.String(), func(c *Config) { c.MaxTraceBlocks = 4 })
+	if err := d.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Machine().Regs[2]; got != 50*12 {
+		t.Fatalf("r2 = %d, want 600", got)
+	}
+	if d.Stats().SuperblocksFormed < 2 {
+		t.Fatalf("capped traces should split into several superblocks, got %d",
+			d.Stats().SuperblocksFormed)
+	}
+}
+
+func TestTraceLoopClosesToHead(t *testing.T) {
+	d := dbtFor(t, `
+        addi r1, r0, 500
+loop:   addi r2, r2, 1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+`, nil)
+	if err := d.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if d.Machine().Regs[2] != 500 {
+		t.Fatalf("r2 = %d, want 500", d.Machine().Regs[2])
+	}
+	// The loop superblock self-links (Figure 13's self-loop case).
+	intra, _ := d.Cache().LinkCensus()
+	if intra == 0 {
+		t.Fatal("loop superblock should carry an intra-unit self-link")
+	}
+}
+
+func TestTraceStopsAtExistingFragment(t *testing.T) {
+	// Two hot regions; the second's trace must stop where the first's
+	// superblock begins and chain to it rather than duplicating it.
+	d := dbtFor(t, `
+        addi r1, r0, 300
+outer:  addi r2, r2, 1
+inner:  addi r3, r3, 1
+        addi r1, r1, -1
+        bne  r1, r0, outer
+        halt
+`, nil)
+	if err := d.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if d.Machine().Regs[2] != 300 || d.Machine().Regs[3] != 300 {
+		t.Fatalf("r2/r3 = %d/%d, want 300/300", d.Machine().Regs[2], d.Machine().Regs[3])
+	}
+	if d.Stats().StubsPatched == 0 {
+		t.Fatal("expected chaining between superblocks")
+	}
+}
+
+func TestIndirectExitEndsTrace(t *testing.T) {
+	d := dbtFor(t, `
+        addi r4, r0, 200
+main:   jal  f
+        addi r4, r4, -1
+        bne  r4, r0, main
+        halt
+f:      addi r5, r5, 2
+        jr   r15
+`, nil)
+	if err := d.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if d.Machine().Regs[5] != 400 {
+		t.Fatalf("r5 = %d, want 400", d.Machine().Regs[5])
+	}
+	if d.Stats().IndirectTraps == 0 {
+		t.Fatal("returns should exit through indirect stubs")
+	}
+}
+
+func TestChainedExecutionMatchesInterpretedCounts(t *testing.T) {
+	// The same program with threshold so high nothing translates: final
+	// state must agree with the default configuration's.
+	src := `
+        addi r1, r0, 400
+loop:   add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+`
+	cold := dbtFor(t, src, func(c *Config) { c.HotThreshold = 1 << 30; c.EnableBBCache = false })
+	if err := cold.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	hot := dbtFor(t, src, nil)
+	if err := hot.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Machine().Regs[2] != hot.Machine().Regs[2] {
+		t.Fatalf("r2 differs: cold %d hot %d", cold.Machine().Regs[2], hot.Machine().Regs[2])
+	}
+	if cold.Stats().SuperblocksFormed != 0 || hot.Stats().SuperblocksFormed == 0 {
+		t.Fatal("threshold control failed")
+	}
+}

@@ -1,0 +1,446 @@
+package dbt
+
+import (
+	"fmt"
+
+	"dynocache/internal/core"
+	"dynocache/internal/isa"
+)
+
+// localStub describes one exit of a superblock before global stub indices
+// are allocated.
+type localStub struct {
+	indirect bool
+	reg      isa.Reg
+	target   uint32 // direct exits: guest continuation PC
+}
+
+// translation is the policy-independent result of translating a trace.
+type translation struct {
+	headPC uint32
+	body   []isa.Inst // straight-line superblock body
+	// tail is the stub occupying the fall-through slot right after the
+	// body (continuation or indirect exit); nil when the trace closes a
+	// loop or halts.
+	tail *localStub
+	// sides are side-exit stubs placed after the tail slot; branch
+	// instructions in the body are fixed up to target them.
+	sides  []localStub
+	fixups []stubFixup
+	// loopClose marks traces that re-enter their own head: a direct jump
+	// back to the body start is appended at install time (after
+	// optimization, which may change the body length).
+	loopClose bool
+}
+
+type stubFixup struct {
+	bodyIdx int // branch instruction position in body
+	side    int // index into sides
+}
+
+// instCount returns the total translated instruction count.
+func (t *translation) instCount() int {
+	n := len(t.body) + len(t.sides)
+	if t.tail != nil {
+		n++
+	}
+	if t.loopClose {
+		n++
+	}
+	return n
+}
+
+// invertBranch returns the opposite condition.
+func invertBranch(op isa.Opcode) isa.Opcode {
+	switch op {
+	case isa.OpBeq:
+		return isa.OpBne
+	case isa.OpBne:
+		return isa.OpBeq
+	case isa.OpBlt:
+		return isa.OpBge
+	case isa.OpBge:
+		return isa.OpBlt
+	default:
+		panic(fmt.Sprintf("dbt: invertBranch(%s)", op))
+	}
+}
+
+// materializeLink emits instructions setting the link register to a guest
+// address (translated calls must expose guest return addresses, never
+// cache addresses, so returns flow through the dispatcher's hash lookup).
+func materializeLink(body []isa.Inst, addr uint32) []isa.Inst {
+	lo := int32(int16(uint16(addr)))
+	hi := int32((addr - uint32(lo)) >> 16)
+	body = append(body, isa.Inst{Op: isa.OpLui, Rd: isa.RLink, Imm: hi})
+	return append(body, isa.Inst{Op: isa.OpAddi, Rd: isa.RLink, Rs1: isa.RLink, Imm: lo})
+}
+
+// translateTrace lowers a recorded trace into superblock code. Branches
+// are re-pointed at exit stubs so that the recorded hot path falls
+// through; calls materialize guest return addresses; indirect transfers
+// and the final continuation become trap stubs.
+func translateTrace(blocks []tracedBlock, reason stopReason, cont uint32) (*translation, error) {
+	t := &translation{headPC: blocks[0].bb.pc}
+	addSide := func(s localStub) int {
+		t.sides = append(t.sides, s)
+		return len(t.sides) - 1
+	}
+	for j, tb := range blocks {
+		insts := tb.bb.insts
+		for _, in := range insts[:len(insts)-1] {
+			t.body = append(t.body, in)
+		}
+		term := tb.bb.terminator()
+		termPC := tb.bb.pc + uint32((len(insts)-1)*isa.WordSize)
+		fallPC := termPC + isa.WordSize
+		switch {
+		case isa.IsBranch(term.Op):
+			taken := term.BranchTarget(termPC)
+			followed := tb.next
+			if taken == fallPC {
+				break // degenerate branch: both ways continue in trace
+			}
+			var exitTo uint32
+			br := isa.Inst{Rd: term.Rd, Rs1: term.Rs1}
+			if followed == taken {
+				// Hot path is the taken side: invert so the exit is the
+				// (cold) fall-through.
+				br.Op = invertBranch(term.Op)
+				exitTo = fallPC
+			} else if followed == fallPC {
+				br.Op = term.Op
+				exitTo = taken
+			} else {
+				return nil, fmt.Errorf("dbt: block %#x branch followed to %#x, neither %#x nor %#x",
+					tb.bb.pc, followed, taken, fallPC)
+			}
+			si := addSide(localStub{target: exitTo})
+			t.fixups = append(t.fixups, stubFixup{bodyIdx: len(t.body), side: si})
+			t.body = append(t.body, br)
+		case term.Op == isa.OpJmp:
+			// Direct jump: the hot path simply falls through.
+		case term.Op == isa.OpJal:
+			t.body = materializeLink(t.body, fallPC)
+		case term.Op == isa.OpJr:
+			t.tail = &localStub{indirect: true, reg: term.Rs1}
+		case term.Op == isa.OpJalr:
+			t.body = materializeLink(t.body, fallPC)
+			t.tail = &localStub{indirect: true, reg: term.Rs1}
+		case term.Op == isa.OpHalt:
+			t.body = append(t.body, term)
+		default:
+			return nil, fmt.Errorf("dbt: unexpected terminator %s in block %#x", term.Op, tb.bb.pc)
+		}
+		// Sanity: the recorded path must be contiguous.
+		if j+1 < len(blocks) && tb.next != blocks[j+1].bb.pc {
+			return nil, fmt.Errorf("dbt: trace discontinuity after block %#x", tb.bb.pc)
+		}
+	}
+	switch reason {
+	case stopLoopToHead:
+		// Close the loop with a direct jump back to the superblock start:
+		// the self-link of Figure 13. The jump itself is emitted at
+		// install time, after optimization has settled the body length.
+		t.loopClose = true
+	case stopContinue:
+		t.tail = &localStub{target: cont}
+	case stopIndirect:
+		if t.tail == nil {
+			return nil, fmt.Errorf("dbt: indirect stop without an indirect tail stub")
+		}
+	case stopHalt:
+		// Body already ends in halt.
+	}
+	return t, nil
+}
+
+// allocStub reserves a global stub index.
+func (d *DBT) allocStub(st stubInfo) (int, error) {
+	if n := len(d.freeStubs); n > 0 {
+		idx := d.freeStubs[n-1]
+		d.freeStubs = d.freeStubs[:n-1]
+		st.live = true
+		d.stubs[idx] = st
+		return idx, nil
+	}
+	if len(d.stubs) >= 1<<15 {
+		return 0, fmt.Errorf("dbt: stub table exhausted (%d live stubs)", len(d.stubs))
+	}
+	st.live = true
+	d.stubs = append(d.stubs, st)
+	return len(d.stubs) - 1, nil
+}
+
+// formAndInstall builds, translates, and installs the superblock headed at
+// headPC, evicting under the configured policy as needed.
+func (d *DBT) formAndInstall(headPC uint32) error {
+	blocks, reason, cont, err := d.formTrace(headPC)
+	if err != nil {
+		return err
+	}
+	if !d.cfg.Chaining && reason == stopLoopToHead {
+		// With linking disabled even the loop-closing self-link is
+		// forbidden: every iteration returns to the dispatcher, which is
+		// exactly why Table 2's slowdowns are so catastrophic.
+		reason, cont = stopContinue, headPC
+	}
+	t, err := translateTrace(blocks, reason, cont)
+	if err != nil {
+		return err
+	}
+	if d.cfg.Optimize {
+		ost := optimize(t)
+		d.stats.OptConstFolded += uint64(ost.ConstFolded)
+		d.stats.OptDeadRemoved += uint64(ost.DeadRemoved)
+		d.stats.OptLoadsForwarded += uint64(ost.LoadsForwarded)
+	}
+
+	id := d.nextID
+	d.nextID++
+	addr, err := d.installFragment(t, id, headPC, d.cache, d.cfg.CacheBase)
+	if err != nil {
+		return fmt.Errorf("dbt: superblock at %#x: %w", headPC, err)
+	}
+	d.hash[headPC] = addr
+	d.idOf[headPC] = id
+	if d.recorder != nil {
+		// Formation is a lookup miss: define the region and log the entry.
+		d.recorder.define(headPC, t.instCount()*isa.WordSize)
+		d.recorder.touch(headPC)
+	}
+	if reason == stopLoopToHead {
+		if err := d.cache.AddLink(id, id); err != nil {
+			return err
+		}
+		d.stats.StubsPatched++ // the loop-closing jump is a baked-in self-link
+		if d.recorder != nil {
+			d.recorder.link(headPC, headPC)
+		}
+	}
+	d.stats.SuperblocksFormed++
+	d.stats.TranslatedBytes += uint64(t.instCount() * isa.WordSize)
+
+	if d.cfg.Chaining {
+		// Eagerly chain: this block's direct exits to resident
+		// superblocks...
+		for _, idx := range d.stubsOf[id] {
+			st := d.stubs[idx]
+			if st.indirect {
+				continue
+			}
+			if taddr, ok := d.hash[st.target]; ok {
+				d.patchStub(idx, taddr, d.idOf[st.target])
+			}
+		}
+		// ...and resident fragments' pending exits to this new head.
+		waiting := d.pendingStubs[headPC]
+		for _, idx := range append([]int(nil), waiting...) {
+			st := d.stubs[idx]
+			if st.live && !st.patched {
+				d.patchStub(idx, addr, id)
+			}
+		}
+	}
+	return nil
+}
+
+// installFragment places a translated fragment into a managed cache
+// region: circular-buffer padding, insertion (with evictions), stub
+// allocation, encoding, and the shared registries. It returns the guest
+// address of the installed code.
+func (d *DBT) installFragment(t *translation, id core.SuperblockID, headPC uint32, cache *core.FIFOCache, base uint32) (uint32, error) {
+	size := t.instCount() * isa.WordSize
+	cap := cache.Capacity()
+	if size > cap/2 {
+		return 0, fmt.Errorf("dbt: fragment of %d bytes too large for cache of %d", size, cap)
+	}
+
+	// Circular-buffer placement: translated code must be physically
+	// contiguous, so a fragment that would wrap pads out the end gap with
+	// a dead pseudo-block that ages out like any other.
+	if phys := int(cache.VirtualHead() % int64(cap)); phys+size > cap {
+		pad := core.Superblock{ID: d.nextPadID, Size: cap - phys}
+		d.nextPadID++
+		if err := cache.Insert(pad); err != nil {
+			return 0, fmt.Errorf("dbt: inserting wrap pad: %w", err)
+		}
+		d.stats.PadsInserted++
+		d.stats.PadBytes += uint64(pad.Size)
+	}
+
+	if err := cache.Insert(core.Superblock{ID: id, SrcPC: uint64(headPC), Size: size}); err != nil {
+		return 0, fmt.Errorf("dbt: inserting fragment: %w", err)
+	}
+	voff, ok := cache.Where(id)
+	if !ok {
+		return 0, fmt.Errorf("dbt: fragment %d vanished after insert", id)
+	}
+	addr := base + uint32(voff%int64(cap))
+
+	// Allocate global stubs and finalize the instruction stream:
+	// [body][loop jump][tail stub][side stubs...]
+	words := make([]isa.Inst, 0, t.instCount())
+	words = append(words, t.body...)
+	if t.loopClose {
+		words = append(words, isa.Inst{Op: isa.OpJmp, Imm: int32(-(len(words) + 1))})
+	}
+	tailCount := 0
+	var stubIdxs []int
+	if t.tail != nil {
+		tailCount = 1
+		idx, err := d.allocStub(stubInfo{
+			owner: id, addr: addr + uint32(len(words)*isa.WordSize),
+			indirect: t.tail.indirect, reg: t.tail.reg, target: t.tail.target,
+		})
+		if err != nil {
+			return 0, err
+		}
+		stubIdxs = append(stubIdxs, idx)
+		words = append(words, isa.Inst{Op: isa.OpTrap, Imm: int32(idx)})
+	}
+	loopCount := 0
+	if t.loopClose {
+		loopCount = 1
+	}
+	for si, s := range t.sides {
+		pos := len(t.body) + loopCount + tailCount + si
+		idx, err := d.allocStub(stubInfo{
+			owner: id, addr: addr + uint32(pos*isa.WordSize),
+			target: s.target,
+		})
+		if err != nil {
+			return 0, err
+		}
+		stubIdxs = append(stubIdxs, idx)
+		words = append(words, isa.Inst{Op: isa.OpTrap, Imm: int32(idx)})
+	}
+	// Branch fixups to side stubs.
+	for _, fx := range t.fixups {
+		pos := len(t.body) + loopCount + tailCount + fx.side
+		words[fx.bodyIdx].Imm = int32(pos - (fx.bodyIdx + 1))
+	}
+
+	code, err := isa.EncodeProgram(words)
+	if err != nil {
+		return 0, fmt.Errorf("dbt: encoding fragment at %#x: %w", headPC, err)
+	}
+	copy(d.m.Mem[addr:], code)
+
+	d.pcOf[id] = headPC
+	d.stubsOf[id] = stubIdxs
+	for _, idx := range stubIdxs {
+		st := d.stubs[idx]
+		if !st.indirect {
+			d.pendingStubs[st.target] = append(d.pendingStubs[st.target], idx)
+		}
+	}
+	return addr, nil
+}
+
+// patchStub rewrites a stub's trap into a direct jump to targetAddr and
+// records the chaining link (Section 3.1's back-pointer bookkeeping).
+func (d *DBT) patchStub(idx int, targetAddr uint32, targetID core.SuperblockID) {
+	st := &d.stubs[idx]
+	if !st.live || st.patched || st.indirect {
+		return
+	}
+	off := (int64(targetAddr) - int64(st.addr) - isa.WordSize) / isa.WordSize
+	jmp := isa.MustEncode(isa.Inst{Op: isa.OpJmp, Imm: int32(off)})
+	putWord(d.m.Mem, st.addr, jmp)
+	st.patched = true
+	st.linkTo = targetID
+	d.inbound[targetID] = append(d.inbound[targetID], idx)
+	d.pendingStubs[st.target] = removeInt(d.pendingStubs[st.target], idx)
+	d.stats.StubsPatched++
+	// Register the link with the owning cache's link table for the
+	// intra/inter-unit accounting; cross-cache links (bb fragment to
+	// superblock) are tracked physically only.
+	switch {
+	case !isBBFragment(st.owner) && !isBBFragment(targetID):
+		_ = d.cache.AddLink(st.owner, targetID)
+		if d.recorder != nil {
+			d.recorder.link(d.pcOf[st.owner], d.pcOf[targetID])
+		}
+	case isBBFragment(st.owner) && isBBFragment(targetID):
+		_ = d.bbFrag.AddLink(st.owner, targetID)
+		d.stats.BBToBBLinks++
+	}
+}
+
+// unpatchStub restores a stub's trap instruction after its target was
+// evicted; the exit returns to the dispatcher until re-chained.
+func (d *DBT) unpatchStub(idx int) {
+	st := &d.stubs[idx]
+	trap := isa.MustEncode(isa.Inst{Op: isa.OpTrap, Imm: int32(idx)})
+	putWord(d.m.Mem, st.addr, trap)
+	st.patched = false
+	st.linkTo = 0
+	d.pendingStubs[st.target] = append(d.pendingStubs[st.target], idx)
+	d.stats.StubsUnpatched++
+}
+
+// onEvict is the cache hook: it runs once per eviction invocation with the
+// superblocks physically removed, restoring traps on surviving inbound
+// links and retiring the dead blocks' own stubs and hash entries.
+func (d *DBT) onEvict(ids []core.SuperblockID) {
+	dead := make(map[core.SuperblockID]bool, len(ids))
+	for _, id := range ids {
+		dead[id] = true
+	}
+	for _, id := range ids {
+		for _, sidx := range d.inbound[id] {
+			st := &d.stubs[sidx]
+			if !st.live || !st.patched || st.linkTo != id {
+				continue
+			}
+			if dead[st.owner] {
+				st.patched = false // dies with its owner; nothing to write
+				continue
+			}
+			d.unpatchStub(sidx)
+		}
+		delete(d.inbound, id)
+	}
+	for _, id := range ids {
+		for _, sidx := range d.stubsOf[id] {
+			st := &d.stubs[sidx]
+			if st.patched {
+				d.inbound[st.linkTo] = removeInt(d.inbound[st.linkTo], sidx)
+			} else if !st.indirect {
+				d.pendingStubs[st.target] = removeInt(d.pendingStubs[st.target], sidx)
+			}
+			st.live = false
+			st.patched = false
+			d.freeStubs = append(d.freeStubs, sidx)
+		}
+		delete(d.stubsOf, id)
+		if pc, ok := d.pcOf[id]; ok {
+			if isBBFragment(id) {
+				delete(d.bbHash, pc)
+				delete(d.bbIDOf, pc)
+			} else {
+				delete(d.hash, pc)
+				delete(d.idOf, pc)
+			}
+			delete(d.pcOf, id)
+		}
+	}
+}
+
+func putWord(mem []byte, addr uint32, w uint32) {
+	mem[addr] = byte(w)
+	mem[addr+1] = byte(w >> 8)
+	mem[addr+2] = byte(w >> 16)
+	mem[addr+3] = byte(w >> 24)
+}
+
+func removeInt(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}

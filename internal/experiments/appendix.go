@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynocache/internal/report"
+	"dynocache/internal/workload"
+)
+
+// AppendixResult carries the per-benchmark breakdown behind the unified
+// curves: where fine-grained FIFO crosses FLUSH, benchmark by benchmark.
+type AppendixResult struct {
+	Pressure   int
+	Benchmarks []string
+	Suites     []string
+	// FIFOOverFlush and Unit8OverFlush are per-benchmark overhead ratios
+	// (link costs included).
+	FIFOOverFlush  []float64
+	Unit8OverFlush []float64
+	// CrossedCount is how many benchmarks have FIFO costlier than FLUSH.
+	CrossedCount int
+	// SPECMissRate / WindowsMissRate are per-suite unified miss rates for
+	// the 8-unit policy.
+	SPECMissRate    float64
+	WindowsMissRate float64
+}
+
+// Appendix computes the per-benchmark view at one pressure. The paper
+// reports unified numbers; this table shows the heterogeneity underneath —
+// in particular which benchmarks push fine-grained FIFO past FLUSH under
+// pressure (the Figure 11 crossover, resolved per benchmark).
+func (s *Suite) Appendix(pressure int) (*AppendixResult, error) {
+	sw, err := s.Sweep(pressure)
+	if err != nil {
+		return nil, err
+	}
+	idx8, err := s.policyIndex("8-unit")
+	if err != nil {
+		return nil, err
+	}
+	fifoIdx := len(s.Policies()) - 1
+	res := &AppendixResult{Pressure: pressure}
+	var specMiss, specAcc, winMiss, winAcc uint64
+	for b, name := range sw.Benchmarks {
+		rf := sw.Results[0][b]
+		r8 := sw.Results[idx8][b]
+		rfifo := sw.Results[fifoIdx][b]
+		flush := rf.Overhead(s.cfg.Model, true).Total()
+		if flush == 0 {
+			return nil, fmt.Errorf("experiments: %s has zero FLUSH overhead", name)
+		}
+		fifoRatio := rfifo.Overhead(s.cfg.Model, true).Total() / flush
+		res.Benchmarks = append(res.Benchmarks, name)
+		res.Suites = append(res.Suites, s.profiles[b].Suite.String())
+		res.FIFOOverFlush = append(res.FIFOOverFlush, fifoRatio)
+		res.Unit8OverFlush = append(res.Unit8OverFlush, r8.Overhead(s.cfg.Model, true).Total()/flush)
+		if fifoRatio > 1 {
+			res.CrossedCount++
+		}
+		if s.profiles[b].Suite == workload.SuiteSPEC {
+			specMiss += r8.Stats.Misses
+			specAcc += r8.Stats.Accesses
+		} else {
+			winMiss += r8.Stats.Misses
+			winAcc += r8.Stats.Accesses
+		}
+	}
+	if specAcc > 0 {
+		res.SPECMissRate = float64(specMiss) / float64(specAcc)
+	}
+	if winAcc > 0 {
+		res.WindowsMissRate = float64(winMiss) / float64(winAcc)
+	}
+	return res, nil
+}
+
+// Table renders the appendix.
+func (r *AppendixResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Appendix: per-benchmark overhead ratios at pressure %d (link costs included)", r.Pressure),
+		"benchmark", "suite", "8-unit/FLUSH", "FIFO/FLUSH")
+	for i, b := range r.Benchmarks {
+		t.AddRowf(b, r.Suites[i],
+			fmt.Sprintf("%.3f", r.Unit8OverFlush[i]),
+			fmt.Sprintf("%.3f", r.FIFOOverFlush[i]))
+	}
+	return t
+}

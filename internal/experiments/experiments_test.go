@@ -1,0 +1,387 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// testSuite builds one small suite shared across tests (synthesis and
+// sweeps are memoized inside).
+var testSuiteOnce *Suite
+
+func getSuite(t *testing.T) *Suite {
+	t.Helper()
+	if testSuiteOnce != nil {
+		return testSuiteOnce
+	}
+	cfg := QuickConfig()
+	cfg.Pressures = []int{2, 6, 10}
+	s, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testSuiteOnce = s
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Scale = 0 },
+		func(c *Config) { c.Pressures = nil },
+		func(c *Config) { c.Pressures = []int{0} },
+		func(c *Config) { c.MaxUnits = 1 },
+		func(c *Config) { c.AppInstrPerAccess = -1 },
+		func(c *Config) { c.Model.CPI = 0 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate config", i)
+		}
+		if _, err := NewSuite(cfg); err == nil {
+			t.Errorf("NewSuite with mutation %d should fail", i)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := getSuite(t)
+	tab := s.Table1()
+	if len(tab.Rows) != 20 {
+		t.Fatalf("Table 1 rows = %d, want 20", len(tab.Rows))
+	}
+	out := tab.String()
+	for _, name := range []string{"gzip", "word", "photoshop"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 1 missing %s", name)
+		}
+	}
+}
+
+func TestFig3Skew(t *testing.T) {
+	s := getSuite(t)
+	f3, err := s.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3.SPEC.Total == 0 || f3.Windows.Total == 0 {
+		t.Fatal("empty histograms")
+	}
+	// Windows regions are larger on average (Figure 3/4).
+	if f3.Windows.Mean() <= f3.SPEC.Mean() {
+		t.Fatalf("Windows mean %g should exceed SPEC mean %g", f3.Windows.Mean(), f3.SPEC.Mean())
+	}
+}
+
+func TestFig4Medians(t *testing.T) {
+	s := getSuite(t)
+	tab := s.Fig4()
+	if len(tab.Rows) != 20 {
+		t.Fatalf("Fig 4 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig6MonotoneDecline(t *testing.T) {
+	s := getSuite(t)
+	f6, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f6.Policies[0] != "FLUSH" || f6.Policies[len(f6.Policies)-1] != "FIFO" {
+		t.Fatalf("unexpected sweep order: %v", f6.Policies)
+	}
+	// The paper's central Figure 6 claim: miss rates decline as evictions
+	// become finer grained.
+	for i := 1; i < len(f6.MissRates); i++ {
+		if f6.MissRates[i] > f6.MissRates[i-1]*1.02 { // 2% noise headroom
+			t.Fatalf("miss rate not declining at %s: %v", f6.Policies[i], f6.MissRates)
+		}
+	}
+	if f6.MissRates[0] <= f6.MissRates[len(f6.MissRates)-1] {
+		t.Fatal("FLUSH must miss strictly more than FIFO")
+	}
+	if !strings.Contains(f6.Chart().String(), "FLUSH") {
+		t.Fatal("chart missing labels")
+	}
+}
+
+func TestFig7PressureWidensSpread(t *testing.T) {
+	s := getSuite(t)
+	f7, err := s.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nP := len(f7.Pressures)
+	flushRow := f7.Rates[0]
+	fifoRow := f7.Rates[len(f7.Rates)-1]
+	// Rates rise with pressure for both extremes.
+	if flushRow[nP-1] <= flushRow[0] || fifoRow[nP-1] <= fifoRow[0] {
+		t.Fatalf("pressure should raise miss rates: flush %v fifo %v", flushRow, fifoRow)
+	}
+	// The granularity ordering holds at every pressure: FLUSH misses more
+	// than fine-grained FIFO throughout the sweep.
+	for k := 0; k < nP; k++ {
+		if flushRow[k] <= fifoRow[k] {
+			t.Fatalf("pressure %d: FLUSH %g should miss more than FIFO %g",
+				f7.Pressures[k], flushRow[k], fifoRow[k])
+		}
+	}
+	if !strings.Contains(f7.Series().String(), "FLUSH") {
+		t.Fatal("series render broken")
+	}
+}
+
+func TestFig8EvictionCollapse(t *testing.T) {
+	s := getSuite(t)
+	f8, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(f8.Relative) - 1
+	if f8.Relative[last] != 100 {
+		t.Fatalf("FIFO baseline should be 100%%, got %g", f8.Relative[last])
+	}
+	// Invocations grow monotonically with granularity.
+	for i := 1; i <= last; i++ {
+		if f8.Absolute[i] < f8.Absolute[i-1] {
+			t.Fatalf("invocations should grow with granularity: %v", f8.Absolute)
+		}
+	}
+	// The paper's headline: 64-unit needs a small fraction of FIFO's
+	// invocations (they report ~3x fewer; exact factor depends on the
+	// benchmark mix).
+	if f8.Relative[last-1] > 60 {
+		t.Fatalf("64-unit at %g%% of FIFO; expected well under 60%%", f8.Relative[last-1])
+	}
+}
+
+func TestFig9RecoversEquation2(t *testing.T) {
+	s := getSuite(t)
+	f9, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f9.Samples < 10000 {
+		t.Fatalf("only %d eviction samples; the paper collected >10,000", f9.Samples)
+	}
+	if math.Abs(f9.Fit.Slope-2.77)/2.77 > 0.15 {
+		t.Fatalf("slope %g too far from 2.77", f9.Fit.Slope)
+	}
+	if math.Abs(f9.Fit.Intercept-3055)/3055 > 0.15 {
+		t.Fatalf("intercept %g too far from 3055", f9.Fit.Intercept)
+	}
+	if !strings.Contains(f9.Table().String(), "slope") {
+		t.Fatal("fit table broken")
+	}
+}
+
+func TestEq3AndEq4Fits(t *testing.T) {
+	s := getSuite(t)
+	e3, err := s.Eq3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e3.Fit.Slope-75.4)/75.4 > 0.1 {
+		t.Fatalf("Eq3 slope %g too far from 75.4", e3.Fit.Slope)
+	}
+	e4, err := s.Eq4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e4.Fit.Slope-296.5)/296.5 > 0.1 {
+		t.Fatalf("Eq4 slope %g too far from 296.5", e4.Fit.Slope)
+	}
+}
+
+func TestFig10UShape(t *testing.T) {
+	s := getSuite(t)
+	f10, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f10.Relative[0] != 1.0 {
+		t.Fatalf("FLUSH must normalize to 1.0, got %g", f10.Relative[0])
+	}
+	// Some medium granularity beats both extremes (the paper's thesis).
+	minVal, minIdx := f10.Relative[0], 0
+	for i, v := range f10.Relative {
+		if v < minVal {
+			minVal, minIdx = v, i
+		}
+	}
+	if minIdx == 0 {
+		t.Fatalf("FLUSH should not be optimal: %v", f10.Relative)
+	}
+	last := len(f10.Relative) - 1
+	if minIdx == last {
+		t.Fatalf("finest-grained FIFO should not be optimal at pressure 10: %v", f10.Relative)
+	}
+	// FIFO's overhead turns back up at the fine end.
+	if f10.Relative[last] <= minVal {
+		t.Fatalf("expected upturn at FIFO: min %g, FIFO %g", minVal, f10.Relative[last])
+	}
+}
+
+func TestFig11FineGrainDegradesUnderPressure(t *testing.T) {
+	s := getSuite(t)
+	f11, err := s.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo := f11.Relative[len(f11.Relative)-1]
+	n := len(fifo)
+	// Figure 11: fine-grained FIFO's relative position degrades as
+	// pressure rises (it starts far below FLUSH and climbs toward/past it).
+	if fifo[n-1] <= fifo[0] {
+		t.Fatalf("FIFO/FLUSH should rise with pressure: %v", fifo)
+	}
+}
+
+func TestFig12LinkDensity(t *testing.T) {
+	s := getSuite(t)
+	f12, err := s.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f12.Benchmarks) != 20 {
+		t.Fatalf("benchmarks = %d", len(f12.Benchmarks))
+	}
+	// Paper: ~1.7 outbound links per superblock on average.
+	if f12.OverallMean < 1.3 || f12.OverallMean > 2.1 {
+		t.Fatalf("mean links = %g, want ~1.7", f12.OverallMean)
+	}
+	// Paper: back-pointer table ~11.5% of cache size.
+	if f12.BackPtrPctOfCache < 4 || f12.BackPtrPctOfCache > 20 {
+		t.Fatalf("back-pointer footprint = %g%%, want ~11.5%%", f12.BackPtrPctOfCache)
+	}
+}
+
+func TestFig13InterUnitGrowth(t *testing.T) {
+	s := getSuite(t)
+	f13, err := s.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f13.InterPct[0] != 0 {
+		t.Fatalf("FLUSH inter-unit links must be 0%%, got %g", f13.InterPct[0])
+	}
+	// 2 units: the paper reports 24.3%; accept a generous band.
+	if f13.InterPct[1] < 5 || f13.InterPct[1] > 45 {
+		t.Fatalf("2-unit inter-links = %g%%, want ~24%%", f13.InterPct[1])
+	}
+	last := len(f13.InterPct) - 1
+	// Monotone growth toward fine grains, yet below 100% (self-links).
+	for i := 2; i <= last; i++ {
+		if f13.InterPct[i] < f13.InterPct[i-1]-2 {
+			t.Fatalf("inter-unit %% should grow: %v", f13.InterPct)
+		}
+	}
+	if f13.InterPct[last] >= 100 {
+		t.Fatal("self-links keep the FIFO fraction below 100%")
+	}
+}
+
+func TestFig14LinksPullPoliciesTowardFlush(t *testing.T) {
+	s := getSuite(t)
+	f10, err := s.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f14, err := s.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Link maintenance costs FLUSH nothing and everyone else something,
+	// so every non-FLUSH relative overhead moves up (closer to FLUSH).
+	for i := 1; i < len(f14.Relative); i++ {
+		if f14.Relative[i] < f10.Relative[i]-1e-9 {
+			t.Fatalf("policy %s: link costs should not lower relative overhead (%g -> %g)",
+				f14.Policies[i], f10.Relative[i], f14.Relative[i])
+		}
+	}
+}
+
+func TestFig15SameTrendAsFig11(t *testing.T) {
+	s := getSuite(t)
+	f15, err := s.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo := f15.Relative[len(f15.Relative)-1]
+	if fifo[len(fifo)-1] <= fifo[0] {
+		t.Fatalf("FIFO/FLUSH with links should rise with pressure: %v", fifo)
+	}
+}
+
+func TestSec53DoubleDigitReductions(t *testing.T) {
+	s := getSuite(t)
+	s53, err := s.Sec53()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s53.Benchmarks) != 20 {
+		t.Fatalf("benchmarks = %d", len(s53.Benchmarks))
+	}
+	// The cache-stressed benchmarks see double-digit reductions (the
+	// paper: crafty 19.33%, twolf 19.79%).
+	best := 0.0
+	for _, r := range s53.ReductionPct {
+		if r > best {
+			best = r
+		}
+	}
+	// At full scale the cache-stressed benchmarks reach double digits
+	// (crafty ~34%); the 5%-scale suite used in tests compresses the
+	// effect but it must remain clearly present.
+	if best < 5 {
+		t.Fatalf("best reduction %g%%, expected a clear effect", best)
+	}
+	if !strings.Contains(s53.Table().String(), "crafty") {
+		t.Fatal("table missing crafty")
+	}
+}
+
+func TestTable2ChainingCatastrophe(t *testing.T) {
+	s := getSuite(t)
+	t2, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Rows) != 11 {
+		t.Fatalf("Table 2 rows = %d, want 11", len(t2.Rows))
+	}
+	for _, row := range t2.Rows {
+		// Every benchmark slows by at least ~2x; the paper's range is
+		// 447%..3357%.
+		if row.SlowdownPct < 100 {
+			t.Errorf("%s: slowdown %g%% too small", row.Benchmark, row.SlowdownPct)
+		}
+		if row.SlowdownPct > 20000 {
+			t.Errorf("%s: slowdown %g%% absurdly large", row.Benchmark, row.SlowdownPct)
+		}
+	}
+	if !strings.Contains(t2.Table().String(), "Slowdown") {
+		t.Fatal("Table 2 render broken")
+	}
+}
+
+func TestRunAllProducesFullReport(t *testing.T) {
+	s := getSuite(t)
+	var b strings.Builder
+	if err := s.RunAll(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, marker := range []string{
+		"Table 1", "Figure 3", "Figure 4", "Figure 6", "Figure 7",
+		"Figure 8", "Figure 9", "Equation 3", "Figure 10", "Figure 11",
+		"Figure 12", "Table 2", "Figure 13", "Equation 4", "Figure 14",
+		"Figure 15", "Section 5.3",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("RunAll output missing %q", marker)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunAll regenerates every table and figure in paper order, writing the
+// rendered artifacts to w. It is the engine behind cmd/dynocache-experiments
+// and the source of EXPERIMENTS.md.
+func (s *Suite) RunAll(w io.Writer) error {
+	section := func(name string) {
+		fmt.Fprintf(w, "\n==== %s ====\n\n", name)
+	}
+
+	section("Table 1")
+	if err := s.Table1().Render(w); err != nil {
+		return err
+	}
+
+	section("Figure 3")
+	f3, err := s.Fig3()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "SPECint2000 superblock sizes (bytes):\n%s\n", f3.SPEC)
+	fmt.Fprintf(w, "Windows superblock sizes (bytes):\n%s\n", f3.Windows)
+
+	section("Figure 4")
+	if err := s.Fig4().Render(w); err != nil {
+		return err
+	}
+
+	section("Figure 6")
+	f6, err := s.Fig6()
+	if err != nil {
+		return err
+	}
+	if err := f6.Chart().Render(w); err != nil {
+		return err
+	}
+
+	section("Figure 7")
+	f7, err := s.Fig7()
+	if err != nil {
+		return err
+	}
+	if err := f7.Series().Render(w); err != nil {
+		return err
+	}
+
+	section("Figure 8")
+	f8, err := s.Fig8()
+	if err != nil {
+		return err
+	}
+	if err := f8.Chart().Render(w); err != nil {
+		return err
+	}
+
+	section("Figure 9 / Equation 2")
+	f9, err := s.Fig9()
+	if err != nil {
+		return err
+	}
+	if err := f9.Table().Render(w); err != nil {
+		return err
+	}
+
+	section("Equation 3")
+	e3, err := s.Eq3()
+	if err != nil {
+		return err
+	}
+	if err := e3.Table().Render(w); err != nil {
+		return err
+	}
+
+	section("Figure 10")
+	f10, err := s.Fig10()
+	if err != nil {
+		return err
+	}
+	if err := f10.Chart().Render(w); err != nil {
+		return err
+	}
+
+	section("Figure 11")
+	f11, err := s.Fig11()
+	if err != nil {
+		return err
+	}
+	if err := f11.Series().Render(w); err != nil {
+		return err
+	}
+
+	section("Figure 12")
+	f12, err := s.Fig12()
+	if err != nil {
+		return err
+	}
+	if err := f12.Chart().Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "overall mean outbound links/superblock: %.2f (paper: 1.7)\n", f12.OverallMean)
+	fmt.Fprintf(w, "back-pointer table footprint: %.1f%% of cache (paper: 11.5%%)\n", f12.BackPtrPctOfCache)
+
+	section("Table 2")
+	t2, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	if err := t2.Table().Render(w); err != nil {
+		return err
+	}
+
+	section("Figure 13")
+	f13, err := s.Fig13()
+	if err != nil {
+		return err
+	}
+	if err := f13.Chart().Render(w); err != nil {
+		return err
+	}
+
+	section("Equation 4")
+	e4, err := s.Eq4()
+	if err != nil {
+		return err
+	}
+	if err := e4.Table().Render(w); err != nil {
+		return err
+	}
+
+	section("Figure 14")
+	f14, err := s.Fig14()
+	if err != nil {
+		return err
+	}
+	if err := f14.Chart().Render(w); err != nil {
+		return err
+	}
+
+	section("Figure 15")
+	f15, err := s.Fig15()
+	if err != nil {
+		return err
+	}
+	if err := f15.Series().Render(w); err != nil {
+		return err
+	}
+
+	section("Section 5.3")
+	s53, err := s.Sec53()
+	if err != nil {
+		return err
+	}
+	if err := s53.Table().Render(w); err != nil {
+		return err
+	}
+
+	// Extensions beyond the paper's figures.
+	section("Extension: multiprogramming")
+	mp, err := s.Multiprog()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "solo-blend miss rate (8-unit, private caches): %.4f\n", mp.SoloBlendMissRate)
+	fmt.Fprintf(w, "shared-cache miss rate (8-unit):               %.4f\n\n", mp.SharedMissRate8)
+	if err := mp.Table().Render(w); err != nil {
+		return err
+	}
+
+	section("Extension: cost-model sensitivity")
+	sens, err := s.Sensitivity()
+	if err != nil {
+		return err
+	}
+	if err := sens.Table().Render(w); err != nil {
+		return err
+	}
+
+	section("Extension: design-choice ablations")
+	abl, err := s.Ablations()
+	if err != nil {
+		return err
+	}
+	if err := abl.Table().Render(w); err != nil {
+		return err
+	}
+
+	section("Appendix: per-benchmark crossover at pressure 10")
+	ap, err := s.Appendix(10)
+	if err != nil {
+		return err
+	}
+	if err := ap.Table().Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "benchmarks with FIFO costlier than FLUSH: %d/%d\n", ap.CrossedCount, len(ap.Benchmarks))
+	return nil
+}

@@ -1,0 +1,270 @@
+// Package interp implements a DRISC interpreter.
+//
+// In the dynocache system the interpreter plays two roles, mirroring
+// Figure 1 of the paper:
+//
+//  1. Cold execution: a dynamic optimization system interprets code until a
+//     region becomes hot enough to translate. The DBT (package dbt) drives
+//     a Machine instruction-by-instruction while profiling block
+//     boundaries.
+//  2. Reference semantics: tests run whole programs under the interpreter
+//     and compare architectural state against DBT-managed execution,
+//     verifying that cache evictions, relinking, and regeneration never
+//     change program behaviour.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"dynocache/internal/isa"
+)
+
+// Common execution errors.
+var (
+	// ErrHalted is returned by Step once the machine has executed halt.
+	ErrHalted = errors.New("interp: machine is halted")
+	// ErrFuel is returned by Run when the instruction budget is exhausted
+	// before the program halts.
+	ErrFuel = errors.New("interp: instruction budget exhausted")
+	// ErrTrap is returned by Step when a translator-inserted trap
+	// instruction executes. The machine's PC is left at the trap; the
+	// stub index is in LastTrap. Only the DBT dispatcher handles this.
+	ErrTrap = errors.New("interp: trap to dispatcher")
+)
+
+// MemoryError describes an out-of-range memory or code access.
+type MemoryError struct {
+	PC   uint32 // PC of the faulting instruction
+	Addr uint32 // faulting address
+	Op   string // "load", "store", "fetch"
+}
+
+func (e *MemoryError) Error() string {
+	return fmt.Sprintf("interp: %s fault at addr %#x (pc %#x)", e.Op, e.Addr, e.PC)
+}
+
+// SyscallHandler is invoked for each syscall instruction. It may inspect
+// and modify machine state. A nil handler makes syscall a no-op.
+type SyscallHandler func(m *Machine)
+
+// Machine is a DRISC processor with a flat little-endian memory.
+// The zero register (r0) always reads as zero; writes to it are discarded.
+type Machine struct {
+	Regs [isa.NumRegs]uint32
+	PC   uint32
+	Mem  []byte
+	// Halted is set once a halt instruction executes.
+	Halted bool
+	// InstCount counts every executed instruction, the unit in which the
+	// paper expresses all cache-management overheads.
+	InstCount uint64
+	// Syscall, if non-nil, handles syscall instructions.
+	Syscall SyscallHandler
+	// LastTrap holds the stub index of the most recent trap instruction
+	// (see ErrTrap).
+	LastTrap int32
+}
+
+// New returns a machine with memSize bytes of zeroed memory.
+func New(memSize int) *Machine {
+	return &Machine{Mem: make([]byte, memSize)}
+}
+
+// Load copies code into memory at base and sets the PC to entry.
+func (m *Machine) Load(code []byte, base, entry uint32) error {
+	if int(base)+len(code) > len(m.Mem) {
+		return fmt.Errorf("interp: code of %d bytes at %#x exceeds memory size %d", len(code), base, len(m.Mem))
+	}
+	copy(m.Mem[base:], code)
+	m.PC = entry
+	return nil
+}
+
+// Reset zeroes registers and counters but leaves memory intact.
+func (m *Machine) Reset(entry uint32) {
+	m.Regs = [isa.NumRegs]uint32{}
+	m.PC = entry
+	m.Halted = false
+	m.InstCount = 0
+}
+
+// ReadReg returns the value of r, honoring the hardwired zero register.
+func (m *Machine) ReadReg(r isa.Reg) uint32 {
+	if r == isa.RZero {
+		return 0
+	}
+	return m.Regs[r]
+}
+
+// WriteReg sets r to v; writes to r0 are discarded.
+func (m *Machine) WriteReg(r isa.Reg, v uint32) {
+	if r != isa.RZero {
+		m.Regs[r] = v
+	}
+}
+
+// Fetch decodes the instruction at pc without executing it.
+func (m *Machine) Fetch(pc uint32) (isa.Inst, error) {
+	if int(pc)+isa.WordSize > len(m.Mem) || pc%isa.WordSize != 0 {
+		return isa.Inst{}, &MemoryError{PC: pc, Addr: pc, Op: "fetch"}
+	}
+	w := uint32(m.Mem[pc]) | uint32(m.Mem[pc+1])<<8 | uint32(m.Mem[pc+2])<<16 | uint32(m.Mem[pc+3])<<24
+	return isa.Decode(w)
+}
+
+// loadWord reads a 32-bit little-endian word.
+func (m *Machine) loadWord(pc, addr uint32) (uint32, error) {
+	if int(addr)+4 > len(m.Mem) {
+		return 0, &MemoryError{PC: pc, Addr: addr, Op: "load"}
+	}
+	return uint32(m.Mem[addr]) | uint32(m.Mem[addr+1])<<8 | uint32(m.Mem[addr+2])<<16 | uint32(m.Mem[addr+3])<<24, nil
+}
+
+// storeWord writes a 32-bit little-endian word.
+func (m *Machine) storeWord(pc, addr, v uint32) error {
+	if int(addr)+4 > len(m.Mem) {
+		return &MemoryError{PC: pc, Addr: addr, Op: "store"}
+	}
+	m.Mem[addr] = byte(v)
+	m.Mem[addr+1] = byte(v >> 8)
+	m.Mem[addr+2] = byte(v >> 16)
+	m.Mem[addr+3] = byte(v >> 24)
+	return nil
+}
+
+// Step executes exactly one instruction.
+func (m *Machine) Step() error {
+	if m.Halted {
+		return ErrHalted
+	}
+	in, err := m.Fetch(m.PC)
+	if err != nil {
+		return err
+	}
+	return m.Exec(in)
+}
+
+// Exec applies one decoded instruction to the machine state. The caller is
+// responsible for having fetched it from m.PC; control-flow semantics are
+// relative to the current PC.
+func (m *Machine) Exec(in isa.Inst) error {
+	pc := m.PC
+	next := isa.FallThrough(pc)
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		m.WriteReg(in.Rd, m.ReadReg(in.Rs1)+m.ReadReg(in.Rs2))
+	case isa.OpSub:
+		m.WriteReg(in.Rd, m.ReadReg(in.Rs1)-m.ReadReg(in.Rs2))
+	case isa.OpAnd:
+		m.WriteReg(in.Rd, m.ReadReg(in.Rs1)&m.ReadReg(in.Rs2))
+	case isa.OpOr:
+		m.WriteReg(in.Rd, m.ReadReg(in.Rs1)|m.ReadReg(in.Rs2))
+	case isa.OpXor:
+		m.WriteReg(in.Rd, m.ReadReg(in.Rs1)^m.ReadReg(in.Rs2))
+	case isa.OpShl:
+		m.WriteReg(in.Rd, m.ReadReg(in.Rs1)<<(m.ReadReg(in.Rs2)&31))
+	case isa.OpShr:
+		m.WriteReg(in.Rd, m.ReadReg(in.Rs1)>>(m.ReadReg(in.Rs2)&31))
+	case isa.OpMul:
+		m.WriteReg(in.Rd, m.ReadReg(in.Rs1)*m.ReadReg(in.Rs2))
+	case isa.OpSlt:
+		if int32(m.ReadReg(in.Rs1)) < int32(m.ReadReg(in.Rs2)) {
+			m.WriteReg(in.Rd, 1)
+		} else {
+			m.WriteReg(in.Rd, 0)
+		}
+	case isa.OpAddi:
+		m.WriteReg(in.Rd, m.ReadReg(in.Rs1)+uint32(in.Imm))
+	case isa.OpLui:
+		m.WriteReg(in.Rd, uint32(in.Imm)<<16)
+	case isa.OpLw:
+		v, err := m.loadWord(pc, m.ReadReg(in.Rs1)+uint32(in.Imm))
+		if err != nil {
+			return err
+		}
+		m.WriteReg(in.Rd, v)
+	case isa.OpSw:
+		if err := m.storeWord(pc, m.ReadReg(in.Rs1)+uint32(in.Imm), m.ReadReg(in.Rd)); err != nil {
+			return err
+		}
+	case isa.OpBeq:
+		if m.ReadReg(in.Rd) == m.ReadReg(in.Rs1) {
+			next = in.BranchTarget(pc)
+		}
+	case isa.OpBne:
+		if m.ReadReg(in.Rd) != m.ReadReg(in.Rs1) {
+			next = in.BranchTarget(pc)
+		}
+	case isa.OpBlt:
+		if int32(m.ReadReg(in.Rd)) < int32(m.ReadReg(in.Rs1)) {
+			next = in.BranchTarget(pc)
+		}
+	case isa.OpBge:
+		if int32(m.ReadReg(in.Rd)) >= int32(m.ReadReg(in.Rs1)) {
+			next = in.BranchTarget(pc)
+		}
+	case isa.OpJmp:
+		next = in.BranchTarget(pc)
+	case isa.OpJal:
+		m.WriteReg(isa.RLink, next)
+		next = in.BranchTarget(pc)
+	case isa.OpJr:
+		next = m.ReadReg(in.Rs1)
+	case isa.OpJalr:
+		target := m.ReadReg(in.Rs1)
+		m.WriteReg(isa.RLink, next)
+		next = target
+	case isa.OpSyscall:
+		if m.Syscall != nil {
+			m.Syscall(m)
+		}
+	case isa.OpHalt:
+		m.Halted = true
+	case isa.OpTrap:
+		// Management exit, not guest work: leave the PC on the trap, do
+		// not count the instruction, and let the dispatcher take over.
+		m.LastTrap = in.Imm
+		return ErrTrap
+	default:
+		return fmt.Errorf("interp: unimplemented opcode %s at pc %#x", in.Op, pc)
+	}
+	m.InstCount++
+	m.PC = next
+	return nil
+}
+
+// Run executes until halt or until maxInsts instructions have executed.
+// It returns nil on a clean halt and ErrFuel if the budget ran out.
+func (m *Machine) Run(maxInsts uint64) error {
+	for m.InstCount < maxInsts {
+		if m.Halted {
+			return nil
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	if m.Halted {
+		return nil
+	}
+	return ErrFuel
+}
+
+// Snapshot captures the architectural state relevant for behavioural
+// equivalence checks: registers and PC. Memory is compared separately when
+// needed (it can be large).
+type Snapshot struct {
+	Regs   [isa.NumRegs]uint32
+	PC     uint32
+	Halted bool
+}
+
+// State returns the current architectural snapshot.
+func (m *Machine) State() Snapshot {
+	return Snapshot{Regs: m.Regs, PC: m.PC, Halted: m.Halted}
+}
+
+// Equal reports whether two snapshots agree on every architectural field.
+func (s Snapshot) Equal(o Snapshot) bool { return s == o }

@@ -1,0 +1,386 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dynocache/internal/isa"
+	"dynocache/internal/program"
+)
+
+// run assembles src, loads it at 0, and runs it to completion.
+func run(t *testing.T, src string, maxInsts uint64) *Machine {
+	t.Helper()
+	code, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := New(1 << 16)
+	if err := m.Load(code, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(maxInsts); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func TestCountdownLoop(t *testing.T) {
+	m := run(t, `
+        addi r1, r0, 10
+        addi r2, r0, 0
+loop:   addi r2, r2, 3
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+`, 1000)
+	if !m.Halted {
+		t.Fatal("machine did not halt")
+	}
+	if m.Regs[2] != 30 {
+		t.Fatalf("r2 = %d, want 30", m.Regs[2])
+	}
+	// 2 setup + 10 iterations * 3 + halt
+	if m.InstCount != 2+30+1 {
+		t.Fatalf("InstCount = %d, want 33", m.InstCount)
+	}
+}
+
+func TestALUOps(t *testing.T) {
+	m := run(t, `
+        addi r1, r0, 12
+        addi r2, r0, 5
+        add  r3, r1, r2
+        sub  r4, r1, r2
+        and  r5, r1, r2
+        or   r6, r1, r2
+        xor  r7, r1, r2
+        mul  r8, r1, r2
+        slt  r9, r2, r1
+        slt  r10, r1, r2
+        halt
+`, 100)
+	want := map[isa.Reg]uint32{3: 17, 4: 7, 5: 4, 6: 13, 7: 9, 8: 60, 9: 1, 10: 0}
+	for r, w := range want {
+		if m.Regs[r] != w {
+			t.Errorf("r%d = %d, want %d", r, m.Regs[r], w)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	m := run(t, `
+        addi r1, r0, 1
+        addi r2, r0, 4
+        shl  r3, r1, r2
+        shr  r4, r3, r2
+        halt
+`, 100)
+	if m.Regs[3] != 16 || m.Regs[4] != 1 {
+		t.Fatalf("shl/shr wrong: r3=%d r4=%d", m.Regs[3], m.Regs[4])
+	}
+}
+
+func TestSignedComparisons(t *testing.T) {
+	m := run(t, `
+        addi r1, r0, -1
+        addi r2, r0, 1
+        slt  r3, r1, r2     ; -1 < 1 signed -> 1
+        blt  r1, r2, less
+        addi r4, r0, 99
+less:   bge  r2, r1, done
+        addi r5, r0, 99
+done:   halt
+`, 100)
+	if m.Regs[3] != 1 {
+		t.Fatalf("slt signed failed: r3=%d", m.Regs[3])
+	}
+	if m.Regs[4] != 0 || m.Regs[5] != 0 {
+		t.Fatalf("branches not taken: r4=%d r5=%d", m.Regs[4], m.Regs[5])
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	m := run(t, `
+        addi r1, r0, 1000
+        addi r2, r0, 77
+        sw   r2, 4(r1)
+        lw   r3, 4(r1)
+        halt
+`, 100)
+	if m.Regs[3] != 77 {
+		t.Fatalf("load/store round trip: r3=%d, want 77", m.Regs[3])
+	}
+}
+
+func TestLuiAddiMaterialization(t *testing.T) {
+	m := run(t, `
+        lui  r1, 2
+        addi r1, r1, 52
+        halt
+`, 100)
+	if m.Regs[1] != 2<<16+52 {
+		t.Fatalf("r1 = %d, want %d", m.Regs[1], 2<<16+52)
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	m := run(t, `
+        jal  f
+        addi r2, r0, 5
+        halt
+f:      addi r1, r0, 7
+        jr   r15
+`, 100)
+	if m.Regs[1] != 7 || m.Regs[2] != 5 {
+		t.Fatalf("call/return wrong: r1=%d r2=%d", m.Regs[1], m.Regs[2])
+	}
+}
+
+func TestIndirectCall(t *testing.T) {
+	m := run(t, `
+        addi r1, r0, 20    ; address of f (inst 5)
+        jalr r1
+        halt
+        nop
+        nop
+f:      addi r2, r0, 9
+        jr   r15
+`, 100)
+	if m.Regs[2] != 9 {
+		t.Fatalf("indirect call wrong: r2=%d", m.Regs[2])
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	m := run(t, `
+        addi r0, r0, 55
+        add  r1, r0, r0
+        halt
+`, 100)
+	if m.Regs[0] != 0 || m.Regs[1] != 0 {
+		t.Fatalf("r0 should stay zero: r0=%d r1=%d", m.Regs[0], m.Regs[1])
+	}
+}
+
+func TestSyscallHandler(t *testing.T) {
+	code, err := isa.Assemble("addi r1, r0, 3\nsyscall\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(1 << 12)
+	if err := m.Load(code, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var got uint32
+	m.Syscall = func(mm *Machine) { got = mm.Regs[1] }
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("syscall saw r1=%d, want 3", got)
+	}
+}
+
+func TestSyscallNilHandlerIsNoop(t *testing.T) {
+	m := run(t, "syscall\nhalt", 10)
+	if !m.Halted {
+		t.Fatal("should halt after syscall")
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	m := run(t, "halt", 10)
+	if err := m.Step(); !errors.Is(err, ErrHalted) {
+		t.Fatalf("Step after halt = %v, want ErrHalted", err)
+	}
+	if err := m.Run(10); err != nil {
+		t.Fatalf("Run on halted machine = %v, want nil", err)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	code, _ := isa.Assemble("loop: jmp loop")
+	m := New(1 << 12)
+	if err := m.Load(code, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100); !errors.Is(err, ErrFuel) {
+		t.Fatalf("infinite loop = %v, want ErrFuel", err)
+	}
+	if m.InstCount != 100 {
+		t.Fatalf("InstCount = %d, want 100", m.InstCount)
+	}
+}
+
+func TestMemoryFaults(t *testing.T) {
+	// Load fault
+	code, _ := isa.Assemble("lui r1, 255\nlw r2, 0(r1)\nhalt")
+	m := New(1 << 12)
+	if err := m.Load(code, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Run(100)
+	var me *MemoryError
+	if !errors.As(err, &me) || me.Op != "load" {
+		t.Fatalf("expected load MemoryError, got %v", err)
+	}
+	if !strings.Contains(me.Error(), "load fault") {
+		t.Errorf("error text: %v", me)
+	}
+
+	// Store fault
+	code, _ = isa.Assemble("lui r1, 255\nsw r2, 0(r1)\nhalt")
+	m = New(1 << 12)
+	_ = m.Load(code, 0, 0)
+	if err := m.Run(100); !errors.As(err, &me) || me.Op != "store" {
+		t.Fatalf("expected store MemoryError, got %v", err)
+	}
+
+	// Fetch fault: jump outside memory
+	code, _ = isa.Assemble("lui r1, 255\njr r1")
+	m = New(1 << 12)
+	_ = m.Load(code, 0, 0)
+	if err := m.Run(100); !errors.As(err, &me) || me.Op != "fetch" {
+		t.Fatalf("expected fetch MemoryError, got %v", err)
+	}
+
+	// Misaligned fetch
+	code, _ = isa.Assemble("addi r1, r0, 2\njr r1")
+	m = New(1 << 12)
+	_ = m.Load(code, 0, 0)
+	if err := m.Run(100); !errors.As(err, &me) || me.Op != "fetch" {
+		t.Fatalf("expected misaligned fetch fault, got %v", err)
+	}
+}
+
+func TestLoadTooBig(t *testing.T) {
+	m := New(8)
+	if err := m.Load(make([]byte, 16), 0, 0); err == nil {
+		t.Fatal("oversized code should fail to load")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := run(t, "addi r1, r0, 5\nhalt", 10)
+	m.Reset(0)
+	if m.Halted || m.InstCount != 0 || m.Regs[1] != 0 || m.PC != 0 {
+		t.Fatalf("Reset incomplete: %+v", m.State())
+	}
+}
+
+func TestSnapshotEqual(t *testing.T) {
+	a := Snapshot{PC: 4}
+	b := Snapshot{PC: 4}
+	if !a.Equal(b) {
+		t.Error("equal snapshots compare unequal")
+	}
+	b.Regs[3] = 1
+	if a.Equal(b) {
+		t.Error("different snapshots compare equal")
+	}
+}
+
+// Integration: a generated program runs to a clean halt under the
+// interpreter and executes a healthy number of instructions.
+func TestGeneratedProgramRunsToHalt(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		cfg := program.DefaultGenConfig(seed)
+		p, err := program.Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		code, err := p.Code()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		m := New(program.MemSize)
+		if err := m.Load(code, program.CodeBase, p.Entry); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := m.Run(100_000_000); err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+		if !m.Halted {
+			t.Fatalf("seed %d: did not halt", seed)
+		}
+		if m.InstCount < 10_000 {
+			t.Errorf("seed %d: only %d instructions executed; workload too small", seed, m.InstCount)
+		}
+	}
+}
+
+// Determinism: running the same generated program twice gives identical
+// final state.
+func TestGeneratedProgramDeterministicExecution(t *testing.T) {
+	p, err := program.Generate(program.DefaultGenConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := p.Code()
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := func() Snapshot {
+		m := New(program.MemSize)
+		if err := m.Load(code, program.CodeBase, p.Entry); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m.State()
+	}
+	if a, b := final(), final(); !a.Equal(b) {
+		t.Fatal("same program produced different final states")
+	}
+}
+
+func TestRunTraced(t *testing.T) {
+	code, err := isa.Assemble("addi r1, r0, 5\naddi r2, r1, 2\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(1 << 12)
+	if err := m.Load(code, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := m.RunTraced(&buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "00000000: addi r1, r0, 5") {
+		t.Fatalf("trace missing first instruction:\n%s", out)
+	}
+	if !strings.Contains(out, "r1 <- 0x5") || !strings.Contains(out, "r2 <- 0x7") {
+		t.Fatalf("trace missing register deltas:\n%s", out)
+	}
+	if !strings.Contains(out, "halt") {
+		t.Fatalf("trace missing halt:\n%s", out)
+	}
+}
+
+func TestRunTracedFaults(t *testing.T) {
+	code, _ := isa.Assemble("lui r1, 255\nlw r2, 0(r1)")
+	m := New(1 << 12)
+	_ = m.Load(code, 0, 0)
+	var buf strings.Builder
+	if err := m.RunTraced(&buf, 100); err == nil {
+		t.Fatal("fault should propagate")
+	}
+	if !strings.Contains(buf.String(), "!") {
+		t.Fatalf("fault not annotated:\n%s", buf.String())
+	}
+}
+
+func TestRunTracedFuel(t *testing.T) {
+	code, _ := isa.Assemble("loop: jmp loop")
+	m := New(1 << 12)
+	_ = m.Load(code, 0, 0)
+	var buf strings.Builder
+	if err := m.RunTraced(&buf, 5); !errors.Is(err, ErrFuel) {
+		t.Fatalf("got %v, want ErrFuel", err)
+	}
+}

@@ -1,0 +1,42 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+
+	"dynocache/internal/isa"
+)
+
+// RunTraced executes like Run but writes a per-instruction execution log
+// to w: the PC, the disassembled instruction, and any register it changed.
+// It is a debugging aid for small guest programs and for inspecting
+// translated superblocks in place.
+func (m *Machine) RunTraced(w io.Writer, maxInsts uint64) error {
+	for m.InstCount < maxInsts {
+		if m.Halted {
+			return nil
+		}
+		pc := m.PC
+		in, err := m.Fetch(pc)
+		if err != nil {
+			return err
+		}
+		before := m.Regs
+		if err := m.Exec(in); err != nil {
+			fmt.Fprintf(w, "%08x: %-24s ! %v\n", pc, in, err)
+			return err
+		}
+		delta := ""
+		for r := 1; r < isa.NumRegs; r++ {
+			if m.Regs[r] != before[r] {
+				delta = fmt.Sprintf("  r%d <- %#x", r, m.Regs[r])
+				break
+			}
+		}
+		fmt.Fprintf(w, "%08x: %-24s%s\n", pc, in, delta)
+	}
+	if m.Halted {
+		return nil
+	}
+	return ErrFuel
+}

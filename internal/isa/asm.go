@@ -1,0 +1,292 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates DRISC assembler text into machine code.
+//
+// Syntax, one instruction per line:
+//
+//	loop:                    ; labels end with ':'
+//	    addi r1, r1, -1      ; comments start with ';' or '#'
+//	    bne  r1, r0, loop    ; branch targets may be labels or integers
+//	    jal  helper
+//	    jr   r15
+//	    lw   r2, 8(r3)
+//	    halt
+//
+// Branch/jump label operands are resolved to pc-relative word offsets.
+func Assemble(src string) ([]byte, error) {
+	insts, err := AssembleInsts(src)
+	if err != nil {
+		return nil, err
+	}
+	return EncodeProgram(insts)
+}
+
+// AssembleInsts is Assemble but returns the decoded instruction list.
+func AssembleInsts(src string) ([]Inst, error) {
+	type pending struct {
+		instIdx int
+		label   string
+		line    int
+	}
+	var (
+		insts   []Inst
+		labels  = map[string]int{} // label -> instruction index
+		fixups  []pending
+		lineNum int
+	)
+	for _, rawLine := range strings.Split(src, "\n") {
+		lineNum++
+		line := stripComment(rawLine)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels: allow "label:" alone or "label: inst".
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("isa: line %d: bad label %q", lineNum, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNum, label)
+			}
+			labels[label] = len(insts)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		in, labelRef, err := parseInst(line)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineNum, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{instIdx: len(insts), label: labelRef, line: lineNum})
+		}
+		insts = append(insts, in)
+	}
+	for _, fx := range fixups {
+		target, ok := labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", fx.line, fx.label)
+		}
+		// pc-relative word offset from the *next* instruction.
+		insts[fx.instIdx].Imm = int32(target - (fx.instIdx + 1))
+	}
+	return insts, nil
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexAny(line, ";#"); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		digit := r >= '0' && r <= '9'
+		if !alpha && !(digit && i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+var mnemonics = func() map[string]Opcode {
+	m := make(map[string]Opcode, int(numOpcodes))
+	for op := Opcode(0); op < numOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// parseInst parses one instruction. If the final operand is a label
+// reference (for branches/jumps), it is returned for later fixup.
+func parseInst(line string) (Inst, string, error) {
+	fields := strings.Fields(line)
+	mnem := strings.ToLower(fields[0])
+	op, ok := mnemonics[mnem]
+	if !ok {
+		return Inst{}, "", fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	var ops []string
+	if rest != "" {
+		for _, o := range strings.Split(rest, ",") {
+			ops = append(ops, strings.TrimSpace(o))
+		}
+	}
+	in := Inst{Op: op}
+	switch op {
+	case OpNop, OpHalt, OpSyscall:
+		if len(ops) != 0 {
+			return Inst{}, "", fmt.Errorf("%s takes no operands", mnem)
+		}
+		return in, "", nil
+	case OpJr, OpJalr:
+		if len(ops) != 1 {
+			return Inst{}, "", fmt.Errorf("%s takes one register operand", mnem)
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		in.Rs1 = r
+		return in, "", nil
+	case OpJmp, OpJal:
+		if len(ops) != 1 {
+			return Inst{}, "", fmt.Errorf("%s takes one target operand", mnem)
+		}
+		if n, err := strconv.ParseInt(ops[0], 10, 32); err == nil {
+			in.Imm = int32(n)
+			return in, "", nil
+		}
+		if !isIdent(ops[0]) {
+			return Inst{}, "", fmt.Errorf("bad jump target %q", ops[0])
+		}
+		return in, ops[0], nil
+	case OpTrap:
+		if len(ops) != 1 {
+			return Inst{}, "", fmt.Errorf("trap takes one stub index")
+		}
+		n, err := strconv.ParseInt(ops[0], 10, 32)
+		if err != nil {
+			return Inst{}, "", fmt.Errorf("bad stub index %q", ops[0])
+		}
+		in.Imm = int32(n)
+		return in, "", nil
+	case OpLui:
+		if len(ops) != 2 {
+			return Inst{}, "", fmt.Errorf("lui takes rd, imm")
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		n, err := strconv.ParseInt(ops[1], 10, 32)
+		if err != nil {
+			return Inst{}, "", fmt.Errorf("bad immediate %q", ops[1])
+		}
+		in.Rd, in.Imm = r, int32(n)
+		return in, "", nil
+	case OpLw, OpSw:
+		if len(ops) != 2 {
+			return Inst{}, "", fmt.Errorf("%s takes rd, imm(rs1)", mnem)
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		imm, base, err := parseMem(ops[1])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		in.Rd, in.Rs1, in.Imm = r, base, imm
+		return in, "", nil
+	case OpBeq, OpBne, OpBlt, OpBge:
+		if len(ops) != 3 {
+			return Inst{}, "", fmt.Errorf("%s takes rd, rs1, target", mnem)
+		}
+		a, err := parseReg(ops[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		b, err := parseReg(ops[1])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		in.Rd, in.Rs1 = a, b
+		if n, err := strconv.ParseInt(ops[2], 10, 32); err == nil {
+			in.Imm = int32(n)
+			return in, "", nil
+		}
+		if !isIdent(ops[2]) {
+			return Inst{}, "", fmt.Errorf("bad branch target %q", ops[2])
+		}
+		return in, ops[2], nil
+	case OpAddi:
+		if len(ops) != 3 {
+			return Inst{}, "", fmt.Errorf("addi takes rd, rs1, imm")
+		}
+		a, err := parseReg(ops[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		b, err := parseReg(ops[1])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		n, err := strconv.ParseInt(ops[2], 10, 32)
+		if err != nil {
+			return Inst{}, "", fmt.Errorf("bad immediate %q", ops[2])
+		}
+		in.Rd, in.Rs1, in.Imm = a, b, int32(n)
+		return in, "", nil
+	default: // three-register ALU
+		if len(ops) != 3 {
+			return Inst{}, "", fmt.Errorf("%s takes rd, rs1, rs2", mnem)
+		}
+		a, err := parseReg(ops[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		b, err := parseReg(ops[1])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		c, err := parseReg(ops[2])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		in.Rd, in.Rs1, in.Rs2 = a, b, c
+		return in, "", nil
+	}
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+// parseMem parses "imm(rN)" memory operands.
+func parseMem(s string) (int32, Reg, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	immStr := strings.TrimSpace(s[:open])
+	if immStr == "" {
+		immStr = "0"
+	}
+	n, err := strconv.ParseInt(immStr, 10, 32)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad displacement %q", immStr)
+	}
+	r, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(n), r, nil
+}

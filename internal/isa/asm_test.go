@@ -1,0 +1,137 @@
+package isa
+
+import (
+	"testing"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+        ; count down from 10
+        addi r1, r0, 10
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+`
+	insts, err := AssembleInsts(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 4 {
+		t.Fatalf("got %d instructions, want 4", len(insts))
+	}
+	// bne at index 2 targets index 1 -> offset 1 - 3 = -2
+	if insts[2].Op != OpBne || insts[2].Imm != -2 {
+		t.Fatalf("branch fixup wrong: %+v", insts[2])
+	}
+}
+
+func TestAssembleForwardLabelAndJal(t *testing.T) {
+	src := `
+        jal helper
+        halt
+helper: addi r2, r0, 1
+        jr r15
+`
+	insts, err := AssembleInsts(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// jal at 0 targets index 2 -> offset 2 - 1 = 1
+	if insts[0].Op != OpJal || insts[0].Imm != 1 {
+		t.Fatalf("jal fixup wrong: %+v", insts[0])
+	}
+}
+
+func TestAssembleLabelOnOwnLineAndSameLine(t *testing.T) {
+	src := `
+a:
+b: addi r1, r0, 1
+   jmp a
+   jmp b
+`
+	insts, err := AssembleInsts(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts[1].Imm != -2 || insts[2].Imm != -3 {
+		t.Fatalf("both labels should point at inst 0: %+v %+v", insts[1], insts[2])
+	}
+}
+
+func TestAssembleMemoryOperands(t *testing.T) {
+	insts, err := AssembleInsts("lw r1, 8(r2)\nsw r3, (r4)\nsw r5, -12(r6)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts[0].Imm != 8 || insts[0].Rs1 != 2 {
+		t.Fatalf("lw parsed wrong: %+v", insts[0])
+	}
+	if insts[1].Imm != 0 || insts[1].Rs1 != 4 {
+		t.Fatalf("bare (rN) parsed wrong: %+v", insts[1])
+	}
+	if insts[2].Imm != -12 {
+		t.Fatalf("negative displacement wrong: %+v", insts[2])
+	}
+}
+
+func TestAssembleNumericTargets(t *testing.T) {
+	insts, err := AssembleInsts("beq r1, r2, -3\njmp 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts[0].Imm != -3 || insts[1].Imm != 7 {
+		t.Fatalf("numeric targets wrong: %+v %+v", insts[0], insts[1])
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	insts, err := AssembleInsts("addi r1, r0, 1 ; trailing\n# whole line\nhalt # another")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 2 {
+		t.Fatalf("got %d instructions, want 2", len(insts))
+	}
+}
+
+func TestAssembleRoundTripThroughEncode(t *testing.T) {
+	src := "addi r1, r0, 5\nmul r2, r1, r1\nhalt"
+	code, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := DecodeProgram(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts[1].Op != OpMul || insts[1].Rd != 2 {
+		t.Fatalf("mul decoded wrong: %+v", insts[1])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"frob r1, r2, r3",    // unknown mnemonic
+		"addi r1, r0",        // too few operands
+		"addi r1, r0, x",     // bad immediate
+		"add r1, r2",         // too few ALU operands
+		"jr r1, r2",          // too many operands
+		"jr 5",               // register expected
+		"beq r1, r2, 9q",     // bad target
+		"jmp nowhere",        // undefined label
+		"lw r1, r2",          // bad memory operand
+		"lw r1, 4(x2)",       // bad base register
+		"lw r1, z(r2)",       // bad displacement
+		"halt r1",            // operand on nullary op
+		"lui r1",             // too few lui operands
+		"addi r99, r0, 1",    // bad register number
+		"dup: nop\ndup: nop", // duplicate label
+		"9bad: nop",          // invalid label
+		"jmp 1.5",            // bad numeric jump target
+	}
+	for _, src := range cases {
+		if _, err := AssembleInsts(src); err == nil {
+			t.Errorf("Assemble(%q) should have failed", src)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encoding field layout constants.
+const (
+	opShift  = 26
+	rdShift  = 22
+	rs1Shift = 18
+	rs2Shift = 14
+
+	regMask  = 0xF
+	imm16Max = 1<<15 - 1
+	imm16Min = -(1 << 15)
+	imm26Max = 1<<25 - 1
+	imm26Min = -(1 << 25)
+)
+
+// Encode packs in into its 32-bit machine encoding.
+func Encode(in Inst) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: invalid opcode %d", uint8(in.Op))
+	}
+	if !in.Rd.Valid() || !in.Rs1.Valid() || !in.Rs2.Valid() {
+		return 0, fmt.Errorf("isa: invalid register in %v", in)
+	}
+	w := uint32(in.Op) << opShift
+	switch FormatOf(in.Op) {
+	case FormatR:
+		w |= uint32(in.Rd) << rdShift
+		w |= uint32(in.Rs1) << rs1Shift
+		w |= uint32(in.Rs2) << rs2Shift
+	case FormatI:
+		if in.Imm < imm16Min || in.Imm > imm16Max {
+			return 0, fmt.Errorf("isa: imm16 out of range: %d", in.Imm)
+		}
+		w |= uint32(in.Rd) << rdShift
+		w |= uint32(in.Rs1) << rs1Shift
+		w |= uint32(uint16(in.Imm))
+	case FormatJ:
+		if in.Imm < imm26Min || in.Imm > imm26Max {
+			return 0, fmt.Errorf("isa: imm26 out of range: %d", in.Imm)
+		}
+		w |= uint32(in.Imm) & 0x03FFFFFF
+	case FormatNone:
+		// opcode only
+	}
+	return w, nil
+}
+
+// MustEncode is Encode that panics on error; for use with instruction
+// streams constructed by trusted generators.
+func MustEncode(in Inst) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit machine word into an Inst.
+func Decode(w uint32) (Inst, error) {
+	op := Opcode(w >> opShift)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid opcode %d in %#x", uint8(op), w)
+	}
+	in := Inst{Op: op}
+	switch FormatOf(op) {
+	case FormatR:
+		in.Rd = Reg((w >> rdShift) & regMask)
+		in.Rs1 = Reg((w >> rs1Shift) & regMask)
+		in.Rs2 = Reg((w >> rs2Shift) & regMask)
+	case FormatI:
+		in.Rd = Reg((w >> rdShift) & regMask)
+		in.Rs1 = Reg((w >> rs1Shift) & regMask)
+		in.Imm = int32(int16(uint16(w)))
+	case FormatJ:
+		imm := w & 0x03FFFFFF
+		// sign-extend 26 -> 32
+		if imm&(1<<25) != 0 {
+			imm |= 0xFC000000
+		}
+		in.Imm = int32(imm)
+	}
+	return in, nil
+}
+
+// EncodeProgram serializes a sequence of instructions into little-endian
+// machine code.
+func EncodeProgram(insts []Inst) ([]byte, error) {
+	buf := make([]byte, 0, len(insts)*WordSize)
+	for i, in := range insts {
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, w)
+	}
+	return buf, nil
+}
+
+// DecodeProgram deserializes little-endian machine code into instructions.
+func DecodeProgram(code []byte) ([]Inst, error) {
+	if len(code)%WordSize != 0 {
+		return nil, fmt.Errorf("isa: code length %d is not a multiple of %d", len(code), WordSize)
+	}
+	insts := make([]Inst, 0, len(code)/WordSize)
+	for off := 0; off < len(code); off += WordSize {
+		w := binary.LittleEndian.Uint32(code[off:])
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("isa: offset %d: %w", off, err)
+		}
+		insts = append(insts, in)
+	}
+	return insts, nil
+}
+
+// Disassemble renders machine code as one assembler line per instruction,
+// prefixed with the PC relative to base.
+func Disassemble(code []byte, base uint32) (string, error) {
+	insts, err := DecodeProgram(code)
+	if err != nil {
+		return "", err
+	}
+	out := make([]byte, 0, len(insts)*24)
+	for i, in := range insts {
+		out = fmt.Appendf(out, "%08x: %s\n", base+uint32(i*WordSize), in)
+	}
+	return string(out), nil
+}

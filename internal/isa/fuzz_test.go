@@ -1,0 +1,48 @@
+package isa
+
+import "testing"
+
+// FuzzDecode checks that Decode never panics and that every successfully
+// decoded word re-encodes to itself modulo silent fields (the canonical
+// encoding property).
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xFFFFFFFF))
+	f.Add(MustEncode(Inst{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -7}))
+	f.Add(MustEncode(Inst{Op: OpJmp, Imm: -(1 << 25)}))
+	f.Add(MustEncode(Inst{Op: OpTrap, Imm: 77}))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(w)
+		if err != nil {
+			return // invalid opcodes are fine; they must just not panic
+		}
+		back, err := Encode(in)
+		if err != nil {
+			t.Fatalf("decoded %#x to %+v which does not re-encode: %v", w, in, err)
+		}
+		// Re-decoding the canonical encoding must be a fixpoint.
+		again, err := Decode(back)
+		if err != nil || again != in {
+			t.Fatalf("canonical encoding not stable: %#x -> %+v -> %#x -> %+v", w, in, back, again)
+		}
+	})
+}
+
+// FuzzAssemble checks the assembler never panics on arbitrary text.
+func FuzzAssemble(f *testing.F) {
+	f.Add("addi r1, r0, 5\nhalt")
+	f.Add("loop: bne r1, r0, loop")
+	f.Add("lw r1, 4(r2)")
+	f.Add("x: y: z:")
+	f.Add("; comment only")
+	f.Fuzz(func(t *testing.T, src string) {
+		insts, err := AssembleInsts(src)
+		if err != nil {
+			return
+		}
+		// Whatever assembles must encode.
+		if _, err := EncodeProgram(insts); err != nil {
+			t.Fatalf("assembled %q but cannot encode: %v", src, err)
+		}
+	})
+}

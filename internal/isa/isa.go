@@ -1,0 +1,206 @@
+// Package isa defines DRISC, the small 32-bit RISC instruction set that the
+// dynocache dynamic binary translator operates on.
+//
+// The paper drives its code cache simulator with superblock streams from
+// DynamoRIO running IA-32 binaries. We have no IA-32 frontend, so DRISC
+// plays the role of the guest architecture: the program generator emits
+// DRISC binaries, the interpreter executes them, and the DBT discovers,
+// profiles, and translates DRISC code into the managed code cache.
+//
+// DRISC deliberately has just enough surface to exercise every DBT code
+// path: ALU ops, loads/stores, conditional branches, direct and indirect
+// jumps, calls/returns, and a syscall/halt escape.
+//
+// Encoding (32-bit words, fixed width):
+//
+//	R-type: opcode[31:26] rd[25:22] rs1[21:18] rs2[17:14] unused[13:0]
+//	I-type: opcode[31:26] rd[25:22] rs1[21:18] imm16[15:0] (sign-extended)
+//	J-type: opcode[31:26] imm26[25:0] (sign-extended word offset)
+package isa
+
+import "fmt"
+
+// WordSize is the size in bytes of every DRISC instruction.
+const WordSize = 4
+
+// NumRegs is the size of the architectural register file. R0 reads as zero
+// and ignores writes; R15 is the conventional link register.
+const NumRegs = 16
+
+// Reg names an architectural register.
+type Reg uint8
+
+// Conventional register roles.
+const (
+	RZero Reg = 0  // hardwired zero
+	RSP   Reg = 14 // stack pointer by convention
+	RLink Reg = 15 // link register written by JAL
+)
+
+// String returns the assembler name of the register.
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Opcode identifies a DRISC operation.
+type Opcode uint8
+
+// The DRISC opcode space.
+const (
+	OpNop Opcode = iota
+	// R-type ALU
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpMul
+	OpSlt // rd = (rs1 < rs2) ? 1 : 0, signed
+	// I-type
+	OpAddi
+	OpLui // rd = imm << 16
+	OpLw  // rd = mem[rs1 + imm]
+	OpSw  // mem[rs1 + imm] = rd
+	// Control flow
+	OpBeq // if rd == rs1: pc += imm words
+	OpBne
+	OpBlt
+	OpBge
+	OpJmp  // pc += imm26 words
+	OpJal  // r15 = pc+4; pc += imm26 words
+	OpJr   // pc = rs1 (indirect jump / return)
+	OpJalr // r15 = pc+4; pc = rs1 (indirect call)
+	// System
+	OpSyscall
+	OpHalt
+	// OpTrap is reserved for the dynamic binary translator: it never
+	// appears in guest programs. Exit stubs in translated superblocks trap
+	// back to the dispatcher with a 16-bit stub index in the immediate.
+	OpTrap
+
+	numOpcodes
+)
+
+var opNames = [numOpcodes]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpShl: "shl", OpShr: "shr", OpMul: "mul", OpSlt: "slt",
+	OpAddi: "addi", OpLui: "lui", OpLw: "lw", OpSw: "sw",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpJmp: "jmp", OpJal: "jal", OpJr: "jr", OpJalr: "jalr",
+	OpSyscall: "syscall", OpHalt: "halt", OpTrap: "trap",
+}
+
+// String returns the assembler mnemonic.
+func (op Opcode) String() string {
+	if op < numOpcodes {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op%d", uint8(op))
+}
+
+// Valid reports whether op is a defined DRISC opcode.
+func (op Opcode) Valid() bool { return op < numOpcodes }
+
+// Format classifies the encoding layout of an opcode.
+type Format uint8
+
+// The three DRISC encoding formats plus the degenerate no-operand format.
+const (
+	FormatR Format = iota
+	FormatI
+	FormatJ
+	FormatNone
+)
+
+// FormatOf returns the encoding format of op.
+func FormatOf(op Opcode) Format {
+	switch op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMul, OpSlt, OpJr, OpJalr:
+		return FormatR
+	case OpAddi, OpLui, OpLw, OpSw, OpBeq, OpBne, OpBlt, OpBge, OpTrap:
+		return FormatI
+	case OpJmp, OpJal:
+		return FormatJ
+	default:
+		return FormatNone
+	}
+}
+
+// IsBranch reports whether op is a conditional branch.
+func IsBranch(op Opcode) bool {
+	return op == OpBeq || op == OpBne || op == OpBlt || op == OpBge
+}
+
+// IsDirectJump reports whether op is an unconditional pc-relative jump.
+func IsDirectJump(op Opcode) bool { return op == OpJmp || op == OpJal }
+
+// IsIndirect reports whether op transfers control through a register.
+func IsIndirect(op Opcode) bool { return op == OpJr || op == OpJalr }
+
+// IsCall reports whether op writes the link register.
+func IsCall(op Opcode) bool { return op == OpJal || op == OpJalr }
+
+// EndsBlock reports whether op terminates a basic block: any control
+// transfer, plus halt (syscalls return to the next instruction and so do
+// not end a block in our model).
+func EndsBlock(op Opcode) bool {
+	return IsBranch(op) || IsDirectJump(op) || IsIndirect(op) || op == OpHalt || op == OpTrap
+}
+
+// Inst is a decoded DRISC instruction.
+type Inst struct {
+	Op  Opcode
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int32 // imm16 for I-type, imm26 (word offset) for J-type
+}
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	switch FormatOf(in.Op) {
+	case FormatR:
+		switch in.Op {
+		case OpJr:
+			return fmt.Sprintf("jr %s", in.Rs1)
+		case OpJalr:
+			return fmt.Sprintf("jalr %s", in.Rs1)
+		default:
+			return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+		}
+	case FormatI:
+		switch in.Op {
+		case OpLui:
+			return fmt.Sprintf("lui %s, %d", in.Rd, in.Imm)
+		case OpLw:
+			return fmt.Sprintf("lw %s, %d(%s)", in.Rd, in.Imm, in.Rs1)
+		case OpSw:
+			return fmt.Sprintf("sw %s, %d(%s)", in.Rd, in.Imm, in.Rs1)
+		case OpBeq, OpBne, OpBlt, OpBge:
+			return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+		case OpTrap:
+			return fmt.Sprintf("trap %d", in.Imm)
+		default:
+			return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+		}
+	case FormatJ:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	default:
+		return in.Op.String()
+	}
+}
+
+// BranchTarget returns the target PC of a pc-relative control transfer
+// located at pc. It panics if the instruction is not pc-relative.
+func (in Inst) BranchTarget(pc uint32) uint32 {
+	if !IsBranch(in.Op) && !IsDirectJump(in.Op) {
+		panic(fmt.Sprintf("isa: BranchTarget on %s", in.Op))
+	}
+	return pc + WordSize + uint32(in.Imm)*WordSize
+}
+
+// FallThrough returns the address of the next sequential instruction.
+func FallThrough(pc uint32) uint32 { return pc + WordSize }

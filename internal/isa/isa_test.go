@@ -1,0 +1,258 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	if RZero.String() != "r0" || RLink.String() != "r15" {
+		t.Fatalf("unexpected register names: %s %s", RZero, RLink)
+	}
+	if !Reg(15).Valid() || Reg(16).Valid() {
+		t.Error("register validity wrong at boundary")
+	}
+}
+
+func TestOpcodeNamesUnique(t *testing.T) {
+	seen := map[string]Opcode{}
+	for op := Opcode(0); op < numOpcodes; op++ {
+		name := op.String()
+		if name == "" {
+			t.Fatalf("opcode %d has empty name", op)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("opcodes %d and %d share name %q", prev, op, name)
+		}
+		seen[name] = op
+	}
+	if got := Opcode(200).String(); got != "op200" {
+		t.Fatalf("invalid opcode name = %q", got)
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	cases := []struct {
+		op                             Opcode
+		branch, direct, indirect, call bool
+	}{
+		{OpAdd, false, false, false, false},
+		{OpBeq, true, false, false, false},
+		{OpBge, true, false, false, false},
+		{OpJmp, false, true, false, false},
+		{OpJal, false, true, false, true},
+		{OpJr, false, false, true, false},
+		{OpJalr, false, false, true, true},
+	}
+	for _, c := range cases {
+		if IsBranch(c.op) != c.branch || IsDirectJump(c.op) != c.direct ||
+			IsIndirect(c.op) != c.indirect || IsCall(c.op) != c.call {
+			t.Errorf("classification wrong for %s", c.op)
+		}
+	}
+	for _, op := range []Opcode{OpBeq, OpJmp, OpJr, OpHalt} {
+		if !EndsBlock(op) {
+			t.Errorf("%s should end a block", op)
+		}
+	}
+	for _, op := range []Opcode{OpAdd, OpLw, OpSyscall, OpNop} {
+		if EndsBlock(op) {
+			t.Errorf("%s should not end a block", op)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripAll(t *testing.T) {
+	insts := []Inst{
+		{Op: OpNop},
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSlt, Rd: 15, Rs1: 14, Rs2: 13},
+		{Op: OpAddi, Rd: 4, Rs1: 5, Imm: -123},
+		{Op: OpLui, Rd: 6, Imm: 32767},
+		{Op: OpLw, Rd: 7, Rs1: 8, Imm: 16},
+		{Op: OpSw, Rd: 9, Rs1: 10, Imm: -32768},
+		{Op: OpBeq, Rd: 1, Rs1: 2, Imm: -5},
+		{Op: OpBge, Rd: 3, Rs1: 4, Imm: 100},
+		{Op: OpJmp, Imm: -33554432},
+		{Op: OpJal, Imm: 33554431},
+		{Op: OpJr, Rs1: 15},
+		{Op: OpJalr, Rs1: 3},
+		{Op: OpSyscall},
+		{Op: OpHalt},
+	}
+	for _, in := range insts {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#x): %v", w, err)
+		}
+		if got != in {
+			t.Fatalf("round trip: got %+v, want %+v", got, in)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(Inst{Op: numOpcodes}); err == nil {
+		t.Error("invalid opcode should fail")
+	}
+	if _, err := Encode(Inst{Op: OpAdd, Rd: 16}); err == nil {
+		t.Error("invalid register should fail")
+	}
+	if _, err := Encode(Inst{Op: OpAddi, Imm: 1 << 20}); err == nil {
+		t.Error("oversized imm16 should fail")
+	}
+	if _, err := Encode(Inst{Op: OpJmp, Imm: 1 << 26}); err == nil {
+		t.Error("oversized imm26 should fail")
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode with bad inst should panic")
+		}
+	}()
+	MustEncode(Inst{Op: OpAddi, Imm: 1 << 30})
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	if _, err := Decode(uint32(numOpcodes) << 26); err == nil {
+		t.Error("decoding invalid opcode should fail")
+	}
+}
+
+// Property: every encodable instruction round-trips through Encode/Decode.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(opRaw, rd, rs1, rs2 uint8, imm int32) bool {
+		op := Opcode(opRaw % uint8(numOpcodes))
+		in := Inst{Op: op}
+		switch FormatOf(op) {
+		case FormatR:
+			in.Rd = Reg(rd % NumRegs)
+			in.Rs1 = Reg(rs1 % NumRegs)
+			in.Rs2 = Reg(rs2 % NumRegs)
+		case FormatI:
+			in.Rd = Reg(rd % NumRegs)
+			in.Rs1 = Reg(rs1 % NumRegs)
+			in.Imm = int32(int16(imm))
+		case FormatJ:
+			in.Imm = imm % (1 << 25)
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	insts := []Inst{
+		{Op: OpAddi, Rd: 1, Rs1: 0, Imm: 10},
+		{Op: OpAddi, Rd: 1, Rs1: 1, Imm: -1},
+		{Op: OpBne, Rd: 1, Rs1: 0, Imm: -2},
+		{Op: OpHalt},
+	}
+	code, err := EncodeProgram(insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) != len(insts)*WordSize {
+		t.Fatalf("code size = %d, want %d", len(code), len(insts)*WordSize)
+	}
+	back, err := DecodeProgram(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range insts {
+		if back[i] != insts[i] {
+			t.Fatalf("inst %d: got %+v, want %+v", i, back[i], insts[i])
+		}
+	}
+}
+
+func TestDecodeProgramErrors(t *testing.T) {
+	if _, err := DecodeProgram([]byte{1, 2, 3}); err == nil {
+		t.Error("non-multiple length should fail")
+	}
+	bad := make([]byte, 4)
+	bad[3] = 0xFF // opcode 63: invalid
+	if _, err := DecodeProgram(bad); err == nil {
+		t.Error("invalid word should fail")
+	}
+	if _, err := EncodeProgram([]Inst{{Op: numOpcodes}}); err == nil {
+		t.Error("EncodeProgram with bad inst should fail")
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	in := Inst{Op: OpBeq, Imm: 3}
+	if got := in.BranchTarget(100); got != 100+4+12 {
+		t.Fatalf("BranchTarget = %d, want 116", got)
+	}
+	in = Inst{Op: OpJmp, Imm: -2}
+	if got := in.BranchTarget(100); got != 96 {
+		t.Fatalf("backward BranchTarget = %d, want 96", got)
+	}
+	if FallThrough(100) != 104 {
+		t.Error("FallThrough wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("BranchTarget on non-branch should panic")
+		}
+	}()
+	Inst{Op: OpAdd}.BranchTarget(0)
+}
+
+func TestDisassemble(t *testing.T) {
+	code, err := EncodeProgram([]Inst{
+		{Op: OpAddi, Rd: 1, Rs1: 0, Imm: 7},
+		{Op: OpHalt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Disassemble(code, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "00001000: addi r1, r0, 7") {
+		t.Fatalf("disassembly missing first line:\n%s", text)
+	}
+	if !strings.Contains(text, "00001004: halt") {
+		t.Fatalf("disassembly missing halt:\n%s", text)
+	}
+	if _, err := Disassemble([]byte{1}, 0); err == nil {
+		t.Error("bad code should fail to disassemble")
+	}
+}
+
+func TestInstStringForms(t *testing.T) {
+	cases := map[string]Inst{
+		"add r1, r2, r3":  {Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		"jr r15":          {Op: OpJr, Rs1: 15},
+		"jalr r3":         {Op: OpJalr, Rs1: 3},
+		"lui r6, 100":     {Op: OpLui, Rd: 6, Imm: 100},
+		"lw r7, 16(r8)":   {Op: OpLw, Rd: 7, Rs1: 8, Imm: 16},
+		"sw r9, -4(r10)":  {Op: OpSw, Rd: 9, Rs1: 10, Imm: -4},
+		"beq r1, r2, -5":  {Op: OpBeq, Rd: 1, Rs1: 2, Imm: -5},
+		"jmp 42":          {Op: OpJmp, Imm: 42},
+		"halt":            {Op: OpHalt},
+		"addi r4, r5, -1": {Op: OpAddi, Rd: 4, Rs1: 5, Imm: -1},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"dynocache/internal/stats"
+)
+
+// randomInst draws a uniformly random well-formed instruction.
+func randomInst(r *stats.Rand) Inst {
+	op := Opcode(r.Intn(int(numOpcodes)))
+	in := Inst{Op: op}
+	switch FormatOf(op) {
+	case FormatR:
+		in.Rd = Reg(r.Intn(NumRegs))
+		in.Rs1 = Reg(r.Intn(NumRegs))
+		in.Rs2 = Reg(r.Intn(NumRegs))
+	case FormatI:
+		in.Rd = Reg(r.Intn(NumRegs))
+		in.Rs1 = Reg(r.Intn(NumRegs))
+		in.Imm = int32(r.Intn(1<<16)) - (1 << 15)
+	case FormatJ:
+		in.Imm = int32(r.Intn(1<<26)) - (1 << 25)
+	}
+	return in
+}
+
+// Property: the assembler parses the disassembler's output back to the
+// identical instruction — for every opcode, including traps.
+func TestAsmDisasmFixpoint(t *testing.T) {
+	r := stats.NewRand(0xA53, 1)
+	for trial := 0; trial < 5000; trial++ {
+		in := randomInst(r)
+		switch FormatOf(in.Op) {
+		case FormatR:
+			if in.Op == OpJr || in.Op == OpJalr {
+				// Only rs1 is printed; normalize the silent fields.
+				in.Rd, in.Rs2 = 0, 0
+			}
+		case FormatI:
+			if in.Op == OpLui || in.Op == OpTrap {
+				in.Rs1 = 0
+			}
+			if in.Op == OpTrap {
+				in.Rd = 0
+			}
+		case FormatNone:
+			in = Inst{Op: in.Op}
+		}
+		text := in.String()
+		back, err := AssembleInsts(text)
+		if err != nil {
+			t.Fatalf("trial %d: %q did not parse: %v", trial, text, err)
+		}
+		if len(back) != 1 || back[0] != in {
+			t.Fatalf("trial %d: %q round-tripped to %+v, want %+v", trial, text, back[0], in)
+		}
+	}
+}
+
+// Property: a whole random program survives assemble -> encode ->
+// disassemble -> assemble unchanged.
+func TestProgramTextualRoundTrip(t *testing.T) {
+	r := stats.NewRand(0xA54, 2)
+	var lines []string
+	var want []Inst
+	for i := 0; i < 400; i++ {
+		in := randomInst(r)
+		// Normalize silent fields the way the printer does.
+		switch {
+		case in.Op == OpJr || in.Op == OpJalr:
+			in.Rd, in.Rs2 = 0, 0
+		case in.Op == OpLui || in.Op == OpTrap:
+			in.Rs1 = 0
+			if in.Op == OpTrap {
+				in.Rd = 0
+			}
+		case FormatOf(in.Op) == FormatNone:
+			in = Inst{Op: in.Op}
+		}
+		want = append(want, in)
+		lines = append(lines, in.String())
+	}
+	got, err := AssembleInsts(strings.Join(lines, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("inst %d: %q -> %+v, want %+v", i, lines[i], got[i], want[i])
+		}
+	}
+}
+
+func TestTrapAssembly(t *testing.T) {
+	insts, err := AssembleInsts("trap 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts[0].Op != OpTrap || insts[0].Imm != 42 {
+		t.Fatalf("trap parsed as %+v", insts[0])
+	}
+	for _, bad := range []string{"trap", "trap x", "trap 1, 2"} {
+		if _, err := AssembleInsts(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}

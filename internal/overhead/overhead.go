@@ -1,0 +1,134 @@
+// Package overhead turns simulated event counts into instruction-count and
+// execution-time estimates, using the analytical cost models the paper
+// measured with PAPI hardware counters on DynamoRIO (Section 4.3, 5.2):
+//
+//	evictionOverhead = 2.77*sizeBytes + 3055      (Equation 2)
+//	missOverhead     = 75.4*sizeBytes + 1922      (Equation 3)
+//	unlinkingOverhead = 296.5*numLinks + 95.7     (Equation 4)
+//
+// Because the models are linear, whole-run costs depend only on the
+// aggregate counters in core.Stats: e.g. the summed eviction cost over all
+// invocations is 2.77*totalBytesEvicted + 3055*invocations.
+package overhead
+
+import (
+	"fmt"
+
+	"dynocache/internal/core"
+)
+
+// Model holds the linear cost coefficients and the machine parameters used
+// to convert instructions to seconds (Section 5.3 used the measured CPI
+// and the clock frequency of a 2.4 GHz Xeon).
+type Model struct {
+	EvictPerByte float64 // Equation 2 slope
+	EvictBase    float64 // Equation 2 intercept (the dominant fixed cost)
+
+	MissPerByte float64 // Equation 3 slope (regeneration scales with size)
+	MissBase    float64 // Equation 3 intercept
+
+	UnlinkPerLink float64 // Equation 4 slope
+	UnlinkBase    float64 // Equation 4 intercept, charged per unlink event
+
+	CPI     float64 // cycles per instruction
+	ClockHz float64 // processor frequency
+}
+
+// Paper returns the model with the paper's published coefficients and the
+// evaluation machine's parameters (dual-Xeon 2.4 GHz; CPI 1.0 is the
+// neutral default since the paper reports only that it used "the measured
+// CPI").
+func Paper() Model {
+	return Model{
+		EvictPerByte:  2.77,
+		EvictBase:     3055,
+		MissPerByte:   75.4,
+		MissBase:      1922,
+		UnlinkPerLink: 296.5,
+		UnlinkBase:    95.7,
+		CPI:           1.0,
+		ClockHz:       2.4e9,
+	}
+}
+
+// Validate reports the first problem with the model.
+func (m Model) Validate() error {
+	if m.CPI <= 0 {
+		return fmt.Errorf("overhead: CPI must be positive, got %g", m.CPI)
+	}
+	if m.ClockHz <= 0 {
+		return fmt.Errorf("overhead: clock must be positive, got %g", m.ClockHz)
+	}
+	return nil
+}
+
+// EvictionCost returns the instructions spent on eviction invocations that
+// removed totalBytes in total (Equation 2, summed).
+func (m Model) EvictionCost(totalBytes, invocations uint64) float64 {
+	return m.EvictPerByte*float64(totalBytes) + m.EvictBase*float64(invocations)
+}
+
+// MissCost returns the instructions spent regenerating totalBytes across
+// the given number of misses (Equation 3, summed).
+func (m Model) MissCost(totalBytes, misses uint64) float64 {
+	return m.MissPerByte*float64(totalBytes) + m.MissBase*float64(misses)
+}
+
+// UnlinkCost returns the instructions spent removing links inbound links
+// spread over events evicted blocks (Equation 4, summed).
+func (m Model) UnlinkCost(links, events uint64) float64 {
+	return m.UnlinkPerLink*float64(links) + m.UnlinkBase*float64(events)
+}
+
+// Breakdown decomposes a run's cache-management overhead in instructions.
+type Breakdown struct {
+	Miss   float64 // Equation 3 total
+	Evict  float64 // Equation 2 total
+	Unlink float64 // Equation 4 total (zero when links are excluded)
+}
+
+// Total returns the summed overhead instructions.
+func (b Breakdown) Total() float64 { return b.Miss + b.Evict + b.Unlink }
+
+// String renders the breakdown.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("miss=%.3g evict=%.3g unlink=%.3g total=%.3g",
+		b.Miss, b.Evict, b.Unlink, b.Total())
+}
+
+// FromStats computes the overhead breakdown for a run. includeLinks
+// selects whether unlink maintenance is charged: Figures 10-11 exclude it,
+// Figures 14-15 include it.
+func (m Model) FromStats(s *core.Stats, includeLinks bool) Breakdown {
+	b := Breakdown{
+		Miss:  m.MissCost(s.InsertedBytes, s.Misses),
+		Evict: m.EvictionCost(s.BytesEvicted, s.EvictionInvocations),
+	}
+	if includeLinks {
+		b.Unlink = m.UnlinkCost(s.InterUnitLinksRemoved, s.UnlinkEvents)
+	}
+	return b
+}
+
+// Seconds converts an instruction count to wall-clock time.
+func (m Model) Seconds(instructions float64) float64 {
+	return instructions * m.CPI / m.ClockHz
+}
+
+// ExecutionTime estimates total run time in seconds for a program that
+// executes appInstructions of useful guest work plus the given
+// cache-management overhead (Section 5.3's methodology: calculated
+// instruction overheads, measured CPI, processor clock).
+func (m Model) ExecutionTime(appInstructions float64, b Breakdown) float64 {
+	return m.Seconds(appInstructions + b.Total())
+}
+
+// Reduction returns the fractional execution-time reduction achieved by
+// `to` relative to `from` (Section 5.3 reports 19.33% for crafty and
+// 19.79% for twolf when moving FLUSH -> 8-unit at pressure 10).
+func Reduction(from, to float64) float64 {
+	if from == 0 {
+		return 0
+	}
+	return (from - to) / from
+}

@@ -1,0 +1,117 @@
+package overhead
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dynocache/internal/core"
+)
+
+func TestPaperCoefficients(t *testing.T) {
+	m := Paper()
+	// Equation 2: an eviction of 230 bytes requires ~3,690 instructions.
+	got := m.EvictionCost(230, 1)
+	if math.Abs(got-3692.1) > 0.5 {
+		t.Fatalf("EvictionCost(230) = %g, paper says ~3690", got)
+	}
+	// Equation 3: a miss for a 230-byte superblock requires ~19,264.
+	got = m.MissCost(230, 1)
+	if math.Abs(got-19264.0) > 1 {
+		t.Fatalf("MissCost(230) = %g, paper says 19,264", got)
+	}
+	// Equation 4 at 2 links.
+	got = m.UnlinkCost(2, 1)
+	if math.Abs(got-(296.5*2+95.7)) > 0.01 {
+		t.Fatalf("UnlinkCost(2,1) = %g", got)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := Paper()
+	m.CPI = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero CPI should fail")
+	}
+	m = Paper()
+	m.ClockHz = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative clock should fail")
+	}
+}
+
+func TestCostsAreLinearInTotals(t *testing.T) {
+	// The whole-run cost must equal the sum of per-event costs; this is
+	// the property that lets the simulator keep only aggregate counters.
+	m := Paper()
+	events := []struct{ bytes uint64 }{{100}, {250}, {431}, {16}}
+	var sumIndividual float64
+	var totalBytes uint64
+	for _, e := range events {
+		sumIndividual += m.MissCost(e.bytes, 1)
+		totalBytes += e.bytes
+	}
+	if got := m.MissCost(totalBytes, uint64(len(events))); math.Abs(got-sumIndividual) > 1e-6 {
+		t.Fatalf("aggregate %g != summed %g", got, sumIndividual)
+	}
+}
+
+func TestFromStats(t *testing.T) {
+	m := Paper()
+	s := &core.Stats{
+		Misses:                10,
+		InsertedBytes:         2300,
+		EvictionInvocations:   4,
+		BytesEvicted:          1000,
+		UnlinkEvents:          3,
+		InterUnitLinksRemoved: 7,
+	}
+	b := m.FromStats(s, false)
+	if b.Unlink != 0 {
+		t.Fatal("links excluded but unlink cost nonzero")
+	}
+	wantMiss := 75.4*2300 + 1922*10
+	wantEvict := 2.77*1000 + 3055*4
+	if math.Abs(b.Miss-wantMiss) > 1e-9 || math.Abs(b.Evict-wantEvict) > 1e-9 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	bl := m.FromStats(s, true)
+	wantUnlink := 296.5*7 + 95.7*3
+	if math.Abs(bl.Unlink-wantUnlink) > 1e-9 {
+		t.Fatalf("unlink = %g, want %g", bl.Unlink, wantUnlink)
+	}
+	if bl.Total() != bl.Miss+bl.Evict+bl.Unlink {
+		t.Fatal("Total is not the sum")
+	}
+	if !strings.Contains(bl.String(), "unlink=") {
+		t.Fatalf("String() = %q", bl.String())
+	}
+}
+
+func TestSecondsAndExecutionTime(t *testing.T) {
+	m := Paper()
+	m.CPI = 2
+	m.ClockHz = 1e9
+	if got := m.Seconds(5e8); got != 1.0 {
+		t.Fatalf("Seconds = %g, want 1", got)
+	}
+	b := Breakdown{Miss: 1e9}
+	if got := m.ExecutionTime(1e9, b); got != 4.0 {
+		t.Fatalf("ExecutionTime = %g, want 4", got)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(100, 80); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("Reduction = %g, want 0.2", got)
+	}
+	if got := Reduction(0, 10); got != 0 {
+		t.Fatalf("Reduction from zero = %g, want 0", got)
+	}
+	if got := Reduction(100, 120); got >= 0 {
+		t.Fatalf("regression should be negative, got %g", got)
+	}
+}

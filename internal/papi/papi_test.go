@@ -1,0 +1,121 @@
+package papi
+
+import (
+	"math"
+	"testing"
+
+	"dynocache/internal/core"
+	"dynocache/internal/stats"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.MeasureMiss(200) != b.MeasureMiss(200) {
+			t.Fatal("same-seed instrumentation diverged")
+		}
+	}
+}
+
+func TestMeasurementsPositive(t *testing.T) {
+	ins := New(1)
+	for i := 0; i < 1000; i++ {
+		if ins.MeasureEviction(10, 1) < 1 || ins.MeasureMiss(10) < 1 || ins.MeasureUnlink(0) < 1 {
+			t.Fatal("measurement below floor")
+		}
+	}
+}
+
+func TestEvictionFitRecoversEquation2(t *testing.T) {
+	// Build a realistic eviction log: unit-flush-sized evictions over a
+	// spread of byte counts, as a DynamoRIO run would produce.
+	r := stats.NewRand(3, 1)
+	ins := New(3)
+	samples := make([]core.EvictionSample, 12000)
+	for i := range samples {
+		blocks := 1 + r.Intn(12)
+		bytes := 0
+		for j := 0; j < blocks; j++ {
+			bytes += 60 + r.Intn(500)
+		}
+		samples[i] = core.EvictionSample{Bytes: bytes, Blocks: blocks}
+	}
+	xs, ys := ins.EvictionLog(samples)
+	fit, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equation 2: 2.77x + 3055. The per-block micro-cost folds into the
+	// slope, so allow a modest tolerance band.
+	if math.Abs(fit.Slope-2.77)/2.77 > 0.08 {
+		t.Fatalf("slope = %g, want ~2.77", fit.Slope)
+	}
+	if math.Abs(fit.Intercept-3055)/3055 > 0.08 {
+		t.Fatalf("intercept = %g, want ~3055", fit.Intercept)
+	}
+}
+
+func TestMissFitRecoversEquation3(t *testing.T) {
+	r := stats.NewRand(5, 1)
+	ins := New(5)
+	sizes := make([]int, 11000)
+	for i := range sizes {
+		sizes[i] = 30 + int(r.LogNormal(230, 0.9))
+	}
+	xs, ys := ins.MissLog(sizes)
+	fit, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-75.4)/75.4 > 0.05 {
+		t.Fatalf("slope = %g, want ~75.4", fit.Slope)
+	}
+	if math.Abs(fit.Intercept-1922)/1922 > 0.15 {
+		t.Fatalf("intercept = %g, want ~1922", fit.Intercept)
+	}
+	if fit.R2 < 0.95 {
+		t.Fatalf("R2 = %g; the paper's regression was tight", fit.R2)
+	}
+}
+
+func TestUnlinkFitRecoversEquation4(t *testing.T) {
+	r := stats.NewRand(7, 1)
+	ins := New(7)
+	counts := make([]int, 10500)
+	for i := range counts {
+		counts[i] = r.Geometric(1.7)
+	}
+	xs, ys := ins.UnlinkLog(counts)
+	fit, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-296.5)/296.5 > 0.05 {
+		t.Fatalf("slope = %g, want ~296.5", fit.Slope)
+	}
+	if math.Abs(fit.Intercept-95.7) > 40 {
+		t.Fatalf("intercept = %g, want ~95.7", fit.Intercept)
+	}
+}
+
+func TestFitRequiresEnoughSamples(t *testing.T) {
+	if _, err := Fit(make([]float64, 50), make([]float64, 50)); err == nil {
+		t.Error("the paper collected >10,000 samples; tiny logs should be rejected")
+	}
+}
+
+func TestLogsPairwiseShapes(t *testing.T) {
+	ins := New(9)
+	xs, ys := ins.MissLog([]int{100, 200})
+	if len(xs) != 2 || len(ys) != 2 || xs[0] != 100 || xs[1] != 200 {
+		t.Fatalf("MissLog shapes wrong: %v %v", xs, ys)
+	}
+	xs, ys = ins.UnlinkLog([]int{0, 3})
+	if len(xs) != 2 || xs[1] != 3 {
+		t.Fatalf("UnlinkLog shapes wrong: %v %v", xs, ys)
+	}
+	xs, ys = ins.EvictionLog([]core.EvictionSample{{Bytes: 500, Blocks: 2}})
+	if len(xs) != 1 || xs[0] != 500 || ys[0] <= 0 {
+		t.Fatalf("EvictionLog shapes wrong: %v %v", xs, ys)
+	}
+}

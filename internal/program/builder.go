@@ -1,0 +1,232 @@
+// Package program generates synthetic DRISC guest programs for the
+// dynocache dynamic binary translator.
+//
+// The paper's workloads are real binaries (SPECint2000 and interactive
+// Windows applications) run under DynamoRIO. Our substitute is a program
+// generator that emits control-flow graphs with the structural features
+// that matter for code cache studies: many basic blocks, counted loops,
+// biased conditional branches, direct and indirect calls, and phased
+// execution so that the hot working set drifts over time.
+package program
+
+import (
+	"fmt"
+
+	"dynocache/internal/isa"
+)
+
+// Memory layout conventions shared by the generator and the interpreter.
+const (
+	// CodeBase is the address programs are loaded at.
+	CodeBase uint32 = 0
+	// DataBase is the start of the scratch data region.
+	DataBase uint32 = 1 << 20 // 1 MiB
+	// StackTop is the initial stack pointer (stack grows down).
+	StackTop uint32 = DataBase + (1 << 19) // 1.5 MiB
+	// MemSize is the flat guest memory size needed to run a program.
+	MemSize = 1 << 21 // 2 MiB
+)
+
+// FuncInfo describes one generated function for reporting purposes.
+type FuncInfo struct {
+	Name   string
+	Entry  uint32 // byte address of the entry block
+	Blocks int    // static basic block count
+}
+
+// Program is a generated DRISC binary plus metadata.
+type Program struct {
+	Insts []isa.Inst
+	Entry uint32 // byte address of the first instruction to execute
+	Funcs []FuncInfo
+}
+
+// Code returns the little-endian machine code image of the program.
+func (p *Program) Code() ([]byte, error) {
+	return isa.EncodeProgram(p.Insts)
+}
+
+// Size returns the code image size in bytes.
+func (p *Program) Size() int { return len(p.Insts) * isa.WordSize }
+
+// fixupKind distinguishes branch fixups (imm16) from jump fixups (imm26).
+type fixupKind uint8
+
+const (
+	fixBranch fixupKind = iota
+	fixJump
+)
+
+type fixup struct {
+	idx   int // instruction index to patch
+	label string
+	kind  fixupKind
+}
+
+// addrFixup patches a lui/addi pair so that it materializes the absolute
+// byte address of a label (used for function-pointer tables).
+type addrFixup struct {
+	lui, addi int
+	label     string
+}
+
+// Builder incrementally constructs an instruction stream with symbolic
+// labels, resolving pc-relative offsets at Build time.
+type Builder struct {
+	insts      []isa.Inst
+	labels     map[string]int
+	fixups     []fixup
+	addrFixups []addrFixup
+	funcs      []FuncInfo
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int)}
+}
+
+// PC returns the byte address the next emitted instruction will occupy.
+func (b *Builder) PC() uint32 { return CodeBase + uint32(len(b.insts)*isa.WordSize) }
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.insts) }
+
+// Label binds name to the current position. Rebinding a name is an error
+// reported at Build time via a panic-free sentinel: we record it eagerly.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("program: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.insts)
+}
+
+// Emit appends one instruction and returns its index.
+func (b *Builder) Emit(in isa.Inst) int {
+	b.insts = append(b.insts, in)
+	return len(b.insts) - 1
+}
+
+// ALU emits a three-register ALU operation.
+func (b *Builder) ALU(op isa.Opcode, rd, rs1, rs2 isa.Reg) {
+	b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Addi emits rd = rs1 + imm.
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int32) {
+	b.Emit(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Lw emits rd = mem[rs1+imm].
+func (b *Builder) Lw(rd, rs1 isa.Reg, imm int32) {
+	b.Emit(isa.Inst{Op: isa.OpLw, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Sw emits mem[rs1+imm] = rd.
+func (b *Builder) Sw(rd, rs1 isa.Reg, imm int32) {
+	b.Emit(isa.Inst{Op: isa.OpSw, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Branch emits a conditional branch to label.
+func (b *Builder) Branch(op isa.Opcode, rd, rs1 isa.Reg, label string) {
+	if !isa.IsBranch(op) {
+		panic(fmt.Sprintf("program: Branch with non-branch opcode %s", op))
+	}
+	idx := b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1})
+	b.fixups = append(b.fixups, fixup{idx: idx, label: label, kind: fixBranch})
+}
+
+// Jump emits jmp or jal to label.
+func (b *Builder) Jump(op isa.Opcode, label string) {
+	if !isa.IsDirectJump(op) {
+		panic(fmt.Sprintf("program: Jump with non-jump opcode %s", op))
+	}
+	idx := b.Emit(isa.Inst{Op: op})
+	b.fixups = append(b.fixups, fixup{idx: idx, label: label, kind: fixJump})
+}
+
+// JumpReg emits an indirect jump or call through rs1.
+func (b *Builder) JumpReg(op isa.Opcode, rs1 isa.Reg) {
+	if !isa.IsIndirect(op) {
+		panic(fmt.Sprintf("program: JumpReg with non-indirect opcode %s", op))
+	}
+	b.Emit(isa.Inst{Op: op, Rs1: rs1})
+}
+
+// Const materializes an arbitrary 32-bit constant into rd using a lui/addi
+// pair (or a single addi when the value fits in a signed 16-bit immediate).
+// The low half is sign-extended by addi, so the high half is adjusted the
+// way MIPS %hi/%lo relocations are.
+func (b *Builder) Const(rd isa.Reg, val uint32) {
+	sval := int32(val)
+	if sval >= -(1<<15) && sval < 1<<15 {
+		b.Addi(rd, isa.RZero, sval)
+		return
+	}
+	lo := int32(int16(uint16(val)))
+	hi := int32((val - uint32(lo)) >> 16)
+	b.Emit(isa.Inst{Op: isa.OpLui, Rd: rd, Imm: hi})
+	if lo != 0 {
+		b.Addi(rd, rd, lo)
+	}
+}
+
+// Halt emits a halt instruction.
+func (b *Builder) Halt() { b.Emit(isa.Inst{Op: isa.OpHalt}) }
+
+// Ret emits a return through the link register.
+func (b *Builder) Ret() { b.JumpReg(isa.OpJr, isa.RLink) }
+
+// beginFunc records function metadata; the entry label must already be
+// bound at the current position.
+func (b *Builder) beginFunc(name string) *FuncInfo {
+	b.funcs = append(b.funcs, FuncInfo{Name: name, Entry: b.PC()})
+	return &b.funcs[len(b.funcs)-1]
+}
+
+// Build resolves all fixups and returns the finished program with the given
+// entry label.
+func (b *Builder) Build(entry string) (*Program, error) {
+	entryIdx, ok := b.labels[entry]
+	if !ok {
+		return nil, fmt.Errorf("program: undefined entry label %q", entry)
+	}
+	for _, fx := range b.fixups {
+		target, ok := b.labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("program: undefined label %q", fx.label)
+		}
+		off := int32(target - (fx.idx + 1))
+		switch fx.kind {
+		case fixBranch:
+			if off < -(1<<15) || off >= 1<<15 {
+				return nil, fmt.Errorf("program: branch to %q out of range (%d words)", fx.label, off)
+			}
+		case fixJump:
+			if off < -(1<<25) || off >= 1<<25 {
+				return nil, fmt.Errorf("program: jump to %q out of range (%d words)", fx.label, off)
+			}
+		}
+		b.insts[fx.idx].Imm = off
+	}
+	for _, fx := range b.addrFixups {
+		target, ok := b.labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("program: undefined label %q", fx.label)
+		}
+		addr := CodeBase + uint32(target*isa.WordSize)
+		lo := int32(int16(uint16(addr)))
+		hi := int32((addr - uint32(lo)) >> 16)
+		b.insts[fx.lui].Imm = hi
+		b.insts[fx.addi].Imm = lo
+	}
+	// Validate encodability eagerly so callers get errors here, not at run
+	// time deep inside the interpreter.
+	if _, err := isa.EncodeProgram(b.insts); err != nil {
+		return nil, err
+	}
+	return &Program{
+		Insts: b.insts,
+		Entry: CodeBase + uint32(entryIdx*isa.WordSize),
+		Funcs: b.funcs,
+	}, nil
+}

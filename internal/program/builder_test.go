@@ -1,0 +1,147 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"dynocache/internal/isa"
+)
+
+func TestBuilderSimpleLoop(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main")
+	b.Addi(1, isa.RZero, 3)
+	b.Label("loop")
+	b.Addi(1, 1, -1)
+	b.Branch(isa.OpBne, 1, isa.RZero, "loop")
+	b.Halt()
+	p, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 0 {
+		t.Fatalf("Entry = %d, want 0", p.Entry)
+	}
+	if p.Insts[2].Imm != -2 {
+		t.Fatalf("branch offset = %d, want -2", p.Insts[2].Imm)
+	}
+	if p.Size() != 16 {
+		t.Fatalf("Size = %d, want 16", p.Size())
+	}
+}
+
+func TestBuilderForwardJump(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main")
+	b.Jump(isa.OpJmp, "end")
+	b.Addi(1, isa.RZero, 1) // skipped
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != 1 {
+		t.Fatalf("jump offset = %d, want 1", p.Insts[0].Imm)
+	}
+}
+
+func TestBuilderConstSmallAndLarge(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main")
+	b.Const(1, 100)        // single addi
+	b.Const(2, 0x12345678) // lui+addi
+	b.Const(3, 0x00018000) // low half has the sign bit set: needs hi adjustment
+	b.Const(4, 0x00010000) // low half zero: lui only
+	b.Halt()
+	p, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.OpAddi || p.Insts[0].Imm != 100 {
+		t.Fatalf("small const not a single addi: %+v", p.Insts[0])
+	}
+	// Verify materialized values by symbolic evaluation.
+	vals := map[isa.Reg]uint32{}
+	for _, in := range p.Insts {
+		switch in.Op {
+		case isa.OpLui:
+			vals[in.Rd] = uint32(in.Imm) << 16
+		case isa.OpAddi:
+			vals[in.Rd] = vals[in.Rs1] + uint32(in.Imm)
+		}
+	}
+	want := map[isa.Reg]uint32{1: 100, 2: 0x12345678, 3: 0x18000, 4: 0x10000}
+	for r, w := range want {
+		if vals[r] != w {
+			t.Errorf("Const into r%d = %#x, want %#x", r, vals[r], w)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main")
+	b.Jump(isa.OpJmp, "nowhere")
+	if _, err := b.Build("main"); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("undefined label should fail, got %v", err)
+	}
+
+	b2 := NewBuilder()
+	b2.Halt()
+	if _, err := b2.Build("missing"); err == nil {
+		t.Error("undefined entry should fail")
+	}
+}
+
+func TestBuilderPanicsOnMisuse(t *testing.T) {
+	cases := []func(*Builder){
+		func(b *Builder) { b.Label("x"); b.Label("x") },
+		func(b *Builder) { b.Branch(isa.OpAdd, 1, 2, "l") },
+		func(b *Builder) { b.Jump(isa.OpBeq, "l") },
+		func(b *Builder) { b.JumpReg(isa.OpJmp, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f(NewBuilder())
+		}()
+	}
+}
+
+func TestBuilderBranchRangeCheck(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main")
+	b.Label("target")
+	b.Branch(isa.OpBeq, 0, 0, "target")
+	// Pad far beyond imm16 range, then branch back.
+	for i := 0; i < (1<<15)+10; i++ {
+		b.Emit(isa.Inst{Op: isa.OpNop})
+	}
+	b.Branch(isa.OpBeq, 0, 0, "target")
+	b.Halt()
+	if _, err := b.Build("main"); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("expected out-of-range error, got %v", err)
+	}
+}
+
+func TestProgramCode(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main")
+	b.Halt()
+	p, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := p.Code()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) != 4 {
+		t.Fatalf("code length = %d, want 4", len(code))
+	}
+}

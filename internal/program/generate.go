@@ -1,0 +1,312 @@
+package program
+
+import (
+	"fmt"
+
+	"dynocache/internal/isa"
+	"dynocache/internal/stats"
+)
+
+// GenConfig controls synthetic program generation. The defaults produce a
+// program on the order of a few hundred basic blocks — comparable to the
+// smaller SPECint2000 benchmarks in Table 1 when run under the DBT.
+type GenConfig struct {
+	Seed uint64 // PRNG seed; equal seeds give identical programs
+
+	NumFuncs  int // number of generated functions
+	MinBlocks int // minimum basic blocks per function
+	MaxBlocks int // maximum basic blocks per function
+
+	LoopProb    float64 // probability a block carries a counted inner loop
+	MaxLoopTrip int     // maximum inner-loop trip count
+	CallProb    float64 // probability a block calls another function
+	IndirectPct float64 // fraction of main's calls made through a function-pointer table
+	BranchProb  float64 // probability a block ends with a conditional skip
+
+	Phases     int // number of execution phases in main
+	PhaseFuncs int // functions called per phase (sliding window with overlap)
+	PhaseIters int // iterations of each phase loop
+}
+
+// DefaultGenConfig returns a small but structurally rich configuration.
+func DefaultGenConfig(seed uint64) GenConfig {
+	return GenConfig{
+		Seed:        seed,
+		NumFuncs:    24,
+		MinBlocks:   4,
+		MaxBlocks:   12,
+		LoopProb:    0.3,
+		MaxLoopTrip: 6,
+		// Calls go only to higher-numbered functions, forming a branching
+		// process along the function list; keep the expected offspring per
+		// invocation (executed blocks x CallProb) comfortably subcritical
+		// so program run lengths stay bounded.
+		CallProb:    0.08,
+		IndirectPct: 0.2,
+		BranchProb:  0.6,
+		Phases:      4,
+		PhaseFuncs:  8,
+		PhaseIters:  40,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c GenConfig) Validate() error {
+	switch {
+	case c.NumFuncs < 1:
+		return fmt.Errorf("program: NumFuncs must be >= 1, got %d", c.NumFuncs)
+	case c.MinBlocks < 1 || c.MaxBlocks < c.MinBlocks:
+		return fmt.Errorf("program: bad block range [%d, %d]", c.MinBlocks, c.MaxBlocks)
+	case c.Phases < 1:
+		return fmt.Errorf("program: Phases must be >= 1, got %d", c.Phases)
+	case c.PhaseFuncs < 1 || c.PhaseFuncs > c.NumFuncs:
+		return fmt.Errorf("program: PhaseFuncs %d out of range [1, %d]", c.PhaseFuncs, c.NumFuncs)
+	case c.PhaseIters < 1:
+		return fmt.Errorf("program: PhaseIters must be >= 1, got %d", c.PhaseIters)
+	case c.MaxLoopTrip < 1:
+		return fmt.Errorf("program: MaxLoopTrip must be >= 1, got %d", c.MaxLoopTrip)
+	}
+	return nil
+}
+
+// Register allocation conventions inside generated code:
+//
+//	r1-r8   scratch (ALU/memory ops, indirect call targets)
+//	r9      main's phase-loop counter (never touched by callees)
+//	r10     global LCG state driving branch directions
+//	r11     LCG multiplier constant
+//	r12     branch-test bit mask constant
+//	r13     innermost loop counter (loop bodies never contain calls)
+//	r14     stack pointer
+//	r15     link register
+const (
+	regLCG    = isa.Reg(10)
+	regLCGMul = isa.Reg(11)
+	regMask   = isa.Reg(12)
+	regLoop   = isa.Reg(13)
+	regPhase  = isa.Reg(9)
+	regData   = isa.Reg(8) // set to DataBase in main; callees reload as needed
+)
+
+// FuncTableOff is the offset from DataBase of the function-pointer table
+// used for indirect calls. It sits above the 4 KiB scratch window that
+// generated work instructions read and write, so scratch stores can never
+// corrupt call targets.
+const FuncTableOff = 0x4000
+
+// Generate builds a synthetic program from cfg. The same configuration
+// always yields the same program.
+func Generate(cfg GenConfig) (*Program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := stats.NewRand(cfg.Seed, 0x9a7)
+	b := NewBuilder()
+
+	// main sits first so the entry PC is stable.
+	b.Label("main")
+	b.beginFunc("main")
+	emitMainProlog(b)
+
+	// Function pointer table setup (for indirect calls): the table lives at
+	// DataBase and is filled in after we know function addresses; we emit
+	// the stores at the end of codegen via a second pass. To keep a single
+	// pass, main jumps to an init stub placed after all functions.
+	b.Jump(isa.OpJal, "inittable")
+
+	// Decide each function's callees up front so prologues know whether to
+	// save the link register.
+	type funcPlan struct {
+		blocks  int
+		callees []int // callee function indices, one per calling block
+	}
+	plans := make([]funcPlan, cfg.NumFuncs)
+	for i := range plans {
+		nb := cfg.MinBlocks
+		if cfg.MaxBlocks > cfg.MinBlocks {
+			nb += r.Intn(cfg.MaxBlocks - cfg.MinBlocks + 1)
+		}
+		plans[i].blocks = nb
+		for blk := 0; blk < nb; blk++ {
+			// Only allow calls to strictly higher-numbered functions: keeps
+			// the call graph acyclic so generated programs always halt.
+			if i+1 < cfg.NumFuncs && r.Bernoulli(cfg.CallProb) {
+				callee := i + 1 + r.Intn(cfg.NumFuncs-i-1)
+				plans[i].callees = append(plans[i].callees, callee)
+			} else {
+				plans[i].callees = append(plans[i].callees, -1)
+			}
+		}
+	}
+
+	// Phase schedule: a sliding window over the function list with 50%
+	// overlap between consecutive phases, mimicking working-set drift.
+	phaseMembers := make([][]int, cfg.Phases)
+	for p := range phaseMembers {
+		start := 0
+		if cfg.NumFuncs > cfg.PhaseFuncs {
+			span := cfg.NumFuncs - cfg.PhaseFuncs
+			start = (p * span * 2 / max(1, cfg.Phases)) % (span + 1)
+		}
+		members := make([]int, cfg.PhaseFuncs)
+		for i := range members {
+			members[i] = start + i
+		}
+		phaseMembers[p] = members
+	}
+
+	// main body: phase loops.
+	for p, members := range phaseMembers {
+		b.Const(regPhase, uint32(cfg.PhaseIters))
+		loop := fmt.Sprintf("phase%d", p)
+		b.Label(loop)
+		for _, f := range members {
+			if r.Bernoulli(cfg.IndirectPct) {
+				// Indirect call through the function-pointer table.
+				b.Lw(isa.Reg(1), regData, FuncTableOff+int32(f*4))
+				b.JumpReg(isa.OpJalr, isa.Reg(1))
+			} else {
+				b.Jump(isa.OpJal, funcLabel(f))
+			}
+		}
+		b.Addi(regPhase, regPhase, -1)
+		b.Branch(isa.OpBne, regPhase, isa.RZero, loop)
+	}
+	b.Halt()
+
+	// Generate the functions.
+	for i := 0; i < cfg.NumFuncs; i++ {
+		emitFunc(b, r, cfg, i, plans[i].blocks, plans[i].callees)
+	}
+
+	// Table init stub: store each function's address into the pointer table
+	// at DataBase + 4*i, then return to main.
+	b.Label("inittable")
+	b.beginFunc("inittable")
+	for i := 0; i < cfg.NumFuncs; i++ {
+		// Function addresses are known only at Build time; record a fixup
+		// by emitting Const against the label position. We cheat slightly:
+		// emit a placeholder Const and patch below via addrFixups.
+		b.constOfLabel(isa.Reg(1), funcLabel(i))
+		b.Sw(isa.Reg(1), regData, FuncTableOff+int32(i*4))
+	}
+	b.Ret()
+
+	prog, err := b.Build("main")
+	if err != nil {
+		return nil, fmt.Errorf("program: generation produced invalid code: %w", err)
+	}
+	return prog, nil
+}
+
+func funcLabel(i int) string { return fmt.Sprintf("f%d", i) }
+
+func emitMainProlog(b *Builder) {
+	b.Const(isa.RSP, StackTop)
+	b.Const(regData, DataBase)
+	b.Const(regLCG, 12345)
+	b.Const(regLCGMul, 75)
+	b.Const(regMask, 64)
+}
+
+// emitFunc generates one function: entry, body blocks with optional loops,
+// calls and conditional skips, and a return epilogue.
+func emitFunc(b *Builder, r *stats.Rand, cfg GenConfig, idx, blocks int, callees []int) {
+	name := funcLabel(idx)
+	b.Label(name)
+	fi := b.beginFunc(name)
+	fi.Blocks = blocks
+
+	makesCalls := false
+	for _, c := range callees {
+		if c >= 0 {
+			makesCalls = true
+			break
+		}
+	}
+	// Prologue: push the link register if this function calls out.
+	if makesCalls {
+		b.Addi(isa.RSP, isa.RSP, -4)
+		b.Sw(isa.RLink, isa.RSP, 0)
+	}
+	// Callees may clobber the data-base register; reload defensively.
+	b.Const(regData, DataBase)
+
+	epilogue := name + "_ret"
+	for blk := 0; blk < blocks; blk++ {
+		b.Label(blockLabel(idx, blk))
+		emitWork(b, r, 2+r.Intn(6))
+
+		if r.Bernoulli(cfg.LoopProb) {
+			trips := 1 + r.Intn(cfg.MaxLoopTrip)
+			loop := fmt.Sprintf("%s_l%d", blockLabel(idx, blk), blk)
+			b.Addi(regLoop, isa.RZero, int32(trips))
+			b.Label(loop)
+			emitWork(b, r, 1+r.Intn(4))
+			b.Addi(regLoop, regLoop, -1)
+			b.Branch(isa.OpBne, regLoop, isa.RZero, loop)
+		}
+
+		if callees[blk] >= 0 {
+			b.Jump(isa.OpJal, funcLabel(callees[blk]))
+			b.Const(regData, DataBase) // callee may have clobbered scratch
+		}
+
+		// Conditional skip over the next block, driven by the LCG.
+		if blk+1 < blocks && r.Bernoulli(cfg.BranchProb) {
+			stepLCG(b)
+			b.ALU(isa.OpAnd, isa.Reg(1), regLCG, regMask)
+			target := blockLabel(idx, blk+2)
+			if blk+2 >= blocks {
+				target = epilogue
+			}
+			b.Branch(isa.OpBne, isa.Reg(1), isa.RZero, target)
+		}
+	}
+
+	b.Label(epilogue)
+	if makesCalls {
+		b.Lw(isa.RLink, isa.RSP, 0)
+		b.Addi(isa.RSP, isa.RSP, 4)
+	}
+	b.Ret()
+}
+
+func blockLabel(f, b int) string { return fmt.Sprintf("f%d_b%d", f, b) }
+
+// stepLCG advances the branch-direction pseudo-random state:
+// r10 = r10*75 + 74 (a Lehmer-style generator good enough for bit tests).
+func stepLCG(b *Builder) {
+	b.ALU(isa.OpMul, regLCG, regLCG, regLCGMul)
+	b.Addi(regLCG, regLCG, 74)
+}
+
+// emitWork emits n filler ALU/memory instructions over the scratch
+// registers. Memory traffic stays inside the data region.
+func emitWork(b *Builder, r *stats.Rand, n int) {
+	aluOps := []isa.Opcode{isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpMul, isa.OpSlt}
+	for i := 0; i < n; i++ {
+		switch r.Intn(5) {
+		case 0: // load
+			b.Lw(scratch(r), regData, int32(4*(1+r.Intn(1000))))
+		case 1: // store
+			b.Sw(scratch(r), regData, int32(4*(1+r.Intn(1000))))
+		case 2: // immediate
+			b.Addi(scratch(r), scratch(r), int32(r.Intn(256))-128)
+		default: // three-register ALU
+			op := aluOps[r.Intn(len(aluOps))]
+			b.ALU(op, scratch(r), scratch(r), scratch(r))
+		}
+	}
+}
+
+// scratch picks one of r1-r7 (r8 is the data base pointer).
+func scratch(r *stats.Rand) isa.Reg { return isa.Reg(1 + r.Intn(7)) }
+
+// constOfLabel emits a lui/addi pair that materializes the byte address of
+// label into rd, resolved at Build time.
+func (b *Builder) constOfLabel(rd isa.Reg, label string) {
+	luiIdx := b.Emit(isa.Inst{Op: isa.OpLui, Rd: rd})
+	addiIdx := b.Emit(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: rd})
+	b.addrFixups = append(b.addrFixups, addrFixup{lui: luiIdx, addi: addiIdx, label: label})
+}

@@ -1,0 +1,129 @@
+package program
+
+import (
+	"testing"
+
+	"dynocache/internal/isa"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig(7)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Insts) != len(b.Insts) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.Insts), len(b.Insts))
+	}
+	for i := range a.Insts {
+		if a.Insts[i] != b.Insts[i] {
+			t.Fatalf("instruction %d differs: %v vs %v", i, a.Insts[i], b.Insts[i])
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, err := Generate(DefaultGenConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultGenConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Insts) == len(b.Insts) {
+		same := true
+		for i := range a.Insts {
+			if a.Insts[i] != b.Insts[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical programs")
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	cfg := DefaultGenConfig(3)
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// main + NumFuncs + inittable functions recorded.
+	if got, want := len(p.Funcs), cfg.NumFuncs+2; got != want {
+		t.Fatalf("func count = %d, want %d", got, want)
+	}
+	if p.Funcs[0].Name != "main" || p.Entry != p.Funcs[0].Entry {
+		t.Fatalf("entry should be main: %+v entry=%d", p.Funcs[0], p.Entry)
+	}
+	// Exactly one halt (end of main).
+	halts := 0
+	var hasCall, hasBranch, hasIndirect, hasLoad bool
+	for _, in := range p.Insts {
+		switch {
+		case in.Op == isa.OpHalt:
+			halts++
+		case isa.IsCall(in.Op):
+			hasCall = true
+		case isa.IsBranch(in.Op):
+			hasBranch = true
+		case in.Op == isa.OpLw:
+			hasLoad = true
+		}
+		if in.Op == isa.OpJalr {
+			hasIndirect = true
+		}
+	}
+	if halts != 1 {
+		t.Errorf("halt count = %d, want 1", halts)
+	}
+	if !hasCall || !hasBranch || !hasLoad {
+		t.Errorf("program missing structure: call=%v branch=%v load=%v", hasCall, hasBranch, hasLoad)
+	}
+	if cfg.IndirectPct > 0 && !hasIndirect {
+		t.Error("expected at least one indirect call")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenConfig{
+		{},
+		{NumFuncs: 0, MinBlocks: 1, MaxBlocks: 2, Phases: 1, PhaseFuncs: 1, PhaseIters: 1, MaxLoopTrip: 1},
+		{NumFuncs: 2, MinBlocks: 3, MaxBlocks: 2, Phases: 1, PhaseFuncs: 1, PhaseIters: 1, MaxLoopTrip: 1},
+		{NumFuncs: 2, MinBlocks: 1, MaxBlocks: 2, Phases: 0, PhaseFuncs: 1, PhaseIters: 1, MaxLoopTrip: 1},
+		{NumFuncs: 2, MinBlocks: 1, MaxBlocks: 2, Phases: 1, PhaseFuncs: 3, PhaseIters: 1, MaxLoopTrip: 1},
+		{NumFuncs: 2, MinBlocks: 1, MaxBlocks: 2, Phases: 1, PhaseFuncs: 1, PhaseIters: 0, MaxLoopTrip: 1},
+		{NumFuncs: 2, MinBlocks: 1, MaxBlocks: 2, Phases: 1, PhaseFuncs: 1, PhaseIters: 1, MaxLoopTrip: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("Generate with config %d should fail", i)
+		}
+	}
+	if err := DefaultGenConfig(0).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestGenerateTinyConfig(t *testing.T) {
+	cfg := GenConfig{
+		Seed: 1, NumFuncs: 1, MinBlocks: 1, MaxBlocks: 1,
+		MaxLoopTrip: 1, Phases: 1, PhaseFuncs: 1, PhaseIters: 1,
+	}
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) == 0 {
+		t.Fatal("empty program")
+	}
+}

@@ -1,0 +1,165 @@
+package program
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"dynocache/internal/isa"
+)
+
+// Object-file format for generated guest programs, so workloads can be
+// saved once and re-run under different DBT configurations (all integers
+// little-endian):
+//
+//	magic    [4]byte "DOBJ"
+//	version  uint16 (currently 1)
+//	entry    uint32
+//	nFuncs   uint32
+//	  per func: nameLen uint16, name []byte, entry uint32, blocks uint32
+//	nInsts   uint32
+//	  insts  []uint32 (encoded DRISC words)
+const (
+	objMagic   = "DOBJ"
+	objVersion = 1
+)
+
+// WriteObj serializes the program to w.
+func (p *Program) WriteObj(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(objMagic); err != nil {
+		return fmt.Errorf("program: write magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(objVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, p.Entry); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Funcs))); err != nil {
+		return err
+	}
+	for _, f := range p.Funcs {
+		if len(f.Name) > 1<<16-1 {
+			return fmt.Errorf("program: function name too long: %q", f.Name)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(f.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(f.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, f.Entry); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(f.Blocks)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(p.Insts))); err != nil {
+		return err
+	}
+	for i, in := range p.Insts {
+		word, err := isa.Encode(in)
+		if err != nil {
+			return fmt.Errorf("program: instruction %d: %w", i, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, word); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadObj deserializes a program from r.
+func ReadObj(r io.Reader) (*Program, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("program: read magic: %w", err)
+	}
+	if string(head) != objMagic {
+		return nil, fmt.Errorf("program: bad magic %q", head)
+	}
+	var ver uint16
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != objVersion {
+		return nil, fmt.Errorf("program: unsupported object version %d", ver)
+	}
+	p := &Program{}
+	if err := binary.Read(br, binary.LittleEndian, &p.Entry); err != nil {
+		return nil, err
+	}
+	var nFuncs uint32
+	if err := binary.Read(br, binary.LittleEndian, &nFuncs); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nFuncs; i++ {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("program: function %d: %w", i, err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		var fi FuncInfo
+		fi.Name = string(name)
+		if err := binary.Read(br, binary.LittleEndian, &fi.Entry); err != nil {
+			return nil, err
+		}
+		var blocks uint32
+		if err := binary.Read(br, binary.LittleEndian, &blocks); err != nil {
+			return nil, err
+		}
+		fi.Blocks = int(blocks)
+		p.Funcs = append(p.Funcs, fi)
+	}
+	var nInsts uint32
+	if err := binary.Read(br, binary.LittleEndian, &nInsts); err != nil {
+		return nil, err
+	}
+	p.Insts = make([]isa.Inst, 0, nInsts)
+	buf := make([]byte, 4)
+	for i := uint32(0); i < nInsts; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("program: instruction %d: %w", i, err)
+		}
+		in, err := isa.Decode(binary.LittleEndian.Uint32(buf))
+		if err != nil {
+			return nil, fmt.Errorf("program: instruction %d: %w", i, err)
+		}
+		p.Insts = append(p.Insts, in)
+	}
+	if int(p.Entry) >= len(p.Insts)*isa.WordSize {
+		return nil, fmt.Errorf("program: entry %#x outside code", p.Entry)
+	}
+	return p, nil
+}
+
+// SaveObj writes the program to a file.
+func (p *Program) SaveObj(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("program: %w", err)
+	}
+	defer f.Close()
+	if err := p.WriteObj(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadObj reads a program from a file.
+func LoadObj(path string) (*Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("program: %w", err)
+	}
+	defer f.Close()
+	return ReadObj(f)
+}

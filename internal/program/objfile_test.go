@@ -1,0 +1,98 @@
+package program
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestObjRoundTrip(t *testing.T) {
+	p, err := Generate(DefaultGenConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteObj(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadObj(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Entry != p.Entry {
+		t.Fatalf("entry = %d, want %d", back.Entry, p.Entry)
+	}
+	if len(back.Insts) != len(p.Insts) {
+		t.Fatalf("insts = %d, want %d", len(back.Insts), len(p.Insts))
+	}
+	for i := range p.Insts {
+		if back.Insts[i] != p.Insts[i] {
+			t.Fatalf("instruction %d differs: %v vs %v", i, back.Insts[i], p.Insts[i])
+		}
+	}
+	if len(back.Funcs) != len(p.Funcs) {
+		t.Fatalf("funcs = %d, want %d", len(back.Funcs), len(p.Funcs))
+	}
+	for i := range p.Funcs {
+		if back.Funcs[i] != p.Funcs[i] {
+			t.Fatalf("func %d differs: %+v vs %+v", i, back.Funcs[i], p.Funcs[i])
+		}
+	}
+}
+
+func TestObjSaveLoad(t *testing.T) {
+	p, err := Generate(DefaultGenConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "prog.dobj")
+	if err := p.SaveObj(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadObj(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != p.Size() {
+		t.Fatalf("size = %d, want %d", back.Size(), p.Size())
+	}
+	if _, err := LoadObj(filepath.Join(t.TempDir(), "missing.dobj")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestObjReadErrors(t *testing.T) {
+	if _, err := ReadObj(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := ReadObj(bytes.NewReader([]byte("DO"))); err == nil {
+		t.Error("truncated magic should fail")
+	}
+	bad := append([]byte(objMagic), 9, 0)
+	if _, err := ReadObj(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version should fail")
+	}
+	// Truncations at various depths.
+	p, err := Generate(DefaultGenConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	if err := p.WriteObj(&full); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{6, 10, 14, 20, full.Len() - 2} {
+		if _, err := ReadObj(bytes.NewReader(full.Bytes()[:cut])); err == nil {
+			t.Errorf("truncation at %d should fail", cut)
+		}
+	}
+	// Entry out of range.
+	tiny := &Program{Entry: 4096, Insts: p.Insts[:2], Funcs: nil}
+	var buf bytes.Buffer
+	if err := tiny.WriteObj(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadObj(&buf); err == nil {
+		t.Error("out-of-range entry should fail")
+	}
+}

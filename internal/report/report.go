@@ -1,0 +1,327 @@
+// Package report renders experiment results as aligned ASCII tables, bar
+// charts, and CSV — the textual equivalents of the paper's tables and
+// figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are kept
+// and widen the table.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row of formatted values: each argument is rendered
+// with %v except float64, which uses %.4g.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.AddRow(row...)
+}
+
+func (t *Table) widths() []int {
+	n := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	for i, h := range t.Headers {
+		w[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := t.widths()
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, width := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			// Right-align numeric-looking cells, left-align text.
+			if looksNumeric(cell) {
+				fmt.Fprintf(&b, "%*s", width, cell)
+			} else {
+				fmt.Fprintf(&b, "%-*s", width, cell)
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if len(t.Headers) > 0 {
+		if _, err := fmt.Fprintln(w, line(t.Headers)); err != nil {
+			return err
+		}
+		total := 0
+		for _, width := range widths {
+			total += width + 2
+		}
+		if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// CSV writes the table as comma-separated values (headers first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if len(t.Headers) > 0 {
+		if err := writeRow(t.Headers); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot := false
+	for i, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '-' || r == '+':
+			if i != 0 {
+				return false
+			}
+		case r == '.' || r == '%' || r == 'e' || r == 'E':
+			dot = true
+		default:
+			return false
+		}
+	}
+	_ = dot
+	return true
+}
+
+// BarChart renders labelled horizontal bars, the textual stand-in for the
+// paper's bar figures.
+type BarChart struct {
+	Title  string
+	Width  int // bar width in characters (default 50)
+	labels []string
+	values []float64
+}
+
+// NewBarChart creates an empty chart.
+func NewBarChart(title string) *BarChart {
+	return &BarChart{Title: title, Width: 50}
+}
+
+// Add appends one labelled bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, value)
+}
+
+// Render writes the chart to w; bars are scaled to the maximum value.
+func (c *BarChart) Render(w io.Writer) error {
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	var max float64
+	for _, v := range c.values {
+		if v > max {
+			max = v
+		}
+	}
+	labelWidth := 0
+	for _, l := range c.labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	for i, l := range c.labels {
+		bar := 0
+		if max > 0 && c.values[i] > 0 {
+			bar = int(math.Round(float64(c.Width) * c.values[i] / max))
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%-*s| %.4g\n",
+			labelWidth, l, c.Width, strings.Repeat("#", bar), c.values[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the chart to a string.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	_ = c.Render(&b)
+	return b.String()
+}
+
+// Sparkline renders a value series as a compact unicode strip, resampled
+// to the given width. It backs the cache-occupancy timelines: the paper's
+// future work calls for "a more detailed analysis and visualization" of
+// cache contents over time.
+func Sparkline(vals []float64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	// Resample by averaging buckets.
+	if width > len(vals) {
+		width = len(vals)
+	}
+	var min, max float64
+	min, max = vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, width)
+	for i := 0; i < width; i++ {
+		lo := i * len(vals) / width
+		hi := (i + 1) * len(vals) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range vals[lo:hi] {
+			sum += v
+		}
+		avg := sum / float64(hi-lo)
+		idx := 0
+		if max > min {
+			idx = int((avg - min) / (max - min) * float64(len(levels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		out[i] = levels[idx]
+	}
+	return string(out)
+}
+
+// Series renders multi-series data (e.g. one line per granularity across
+// pressure factors) as a compact matrix table — the textual form of the
+// paper's line figures (7, 11, 15).
+type Series struct {
+	Title   string
+	XLabel  string
+	XValues []string             // e.g. pressure factors
+	Lines   map[string][]float64 // series name -> one value per XValue
+	Order   []string             // series rendering order
+}
+
+// NewSeries creates an empty multi-series container.
+func NewSeries(title, xLabel string, xValues ...string) *Series {
+	return &Series{Title: title, XLabel: xLabel, XValues: xValues, Lines: map[string][]float64{}}
+}
+
+// Set stores a named series; the value slice must match XValues in length.
+func (s *Series) Set(name string, values []float64) error {
+	if len(values) != len(s.XValues) {
+		return fmt.Errorf("report: series %q has %d values, want %d", name, len(values), len(s.XValues))
+	}
+	if _, dup := s.Lines[name]; !dup {
+		s.Order = append(s.Order, name)
+	}
+	s.Lines[name] = values
+	return nil
+}
+
+// Render writes the series matrix to w.
+func (s *Series) Render(w io.Writer) error {
+	t := NewTable(s.Title, append([]string{s.XLabel}, s.XValues...)...)
+	for _, name := range s.Order {
+		row := []string{name}
+		for _, v := range s.Lines[name] {
+			row = append(row, fmt.Sprintf("%.4g", v))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render(w)
+}
+
+// String renders the series to a string.
+func (s *Series) String() string {
+	var b strings.Builder
+	_ = s.Render(&b)
+	return b.String()
+}

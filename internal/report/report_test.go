@@ -1,0 +1,147 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Table 1. Benchmarks", "Name", "Superblocks", "Description")
+	tab.AddRow("gzip", "301", "Compression")
+	tab.AddRow("word", "18043", "Word Processor")
+	out := tab.String()
+	if !strings.Contains(out, "Table 1. Benchmarks") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows -> 5? title+header+rule+2 = 5
+		if len(lines) != 5 {
+			t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+	// Numeric column should be right-aligned: "  301" under "Superblocks".
+	if !strings.Contains(out, "  301") {
+		t.Fatalf("numeric cell not right-aligned:\n%s", out)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.AddRowf("x", 3.14159265, 42)
+	out := tab.String()
+	if !strings.Contains(out, "3.142") || !strings.Contains(out, "42") {
+		t.Fatalf("AddRowf formatting wrong:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "name", "desc")
+	tab.AddRow("a", "plain")
+	tab.AddRow("b", "has, comma")
+	tab.AddRow("c", `has "quote"`)
+	var b strings.Builder
+	if err := tab.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "name,desc") {
+		t.Fatalf("missing header: %s", out)
+	}
+	if !strings.Contains(out, `"has, comma"`) {
+		t.Fatalf("comma not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"has ""quote"""`) {
+		t.Fatalf("quote not escaped: %s", out)
+	}
+}
+
+func TestLooksNumeric(t *testing.T) {
+	for _, s := range []string{"301", "-1.5", "3.1e4", "19.33%", "+2"} {
+		if !looksNumeric(s) {
+			t.Errorf("%q should look numeric", s)
+		}
+	}
+	for _, s := range []string{"", "gzip", "1-unit", "a1", "1a", "1-2"} {
+		if looksNumeric(s) {
+			t.Errorf("%q should not look numeric", s)
+		}
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("Figure 6. Miss rates")
+	c.Add("FLUSH", 0.24)
+	c.Add("8-unit", 0.14)
+	c.Add("FIFO", 0.12)
+	out := c.String()
+	if !strings.Contains(out, "Figure 6") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	// FLUSH bar must be the longest.
+	lines := strings.Split(strings.TrimSpace(out), "\n")[1:]
+	flushLen := strings.Count(lines[0], "#")
+	fifoLen := strings.Count(lines[2], "#")
+	if flushLen <= fifoLen {
+		t.Fatalf("bar scaling wrong:\n%s", out)
+	}
+	if flushLen != 50 {
+		t.Fatalf("max bar should fill width, got %d", flushLen)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	c := NewBarChart("empty")
+	c.Add("a", 0)
+	c.Add("b", 0)
+	out := c.String()
+	if strings.Count(out, "#") != 0 {
+		t.Fatalf("zero values should render empty bars:\n%s", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("Figure 7. Miss rate under pressure", "policy", "2", "4", "6", "8", "10")
+	if err := s.Set("FLUSH", []float64{0.1, 0.2, 0.3, 0.4, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("FIFO", []float64{0.05, 0.1, 0.15, 0.2, 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("FLUSH", []float64{0.1, 0.2, 0.3, 0.4, 0.6}); err != nil {
+		t.Fatal(err) // overwrite allowed, no duplicate order entry
+	}
+	if len(s.Order) != 2 {
+		t.Fatalf("Order = %v", s.Order)
+	}
+	if err := s.Set("bad", []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	out := s.String()
+	if !strings.Contains(out, "FLUSH") || !strings.Contains(out, "0.6") {
+		t.Fatalf("series render missing data:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" || Sparkline([]float64{1}, 0) != "" {
+		t.Error("degenerate sparklines should be empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if s != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp = %q", s)
+	}
+	// Constant series renders at the floor.
+	s = Sparkline([]float64{5, 5, 5, 5}, 4)
+	if s != "▁▁▁▁" {
+		t.Fatalf("constant = %q", s)
+	}
+	// Resampling: more values than width.
+	s = Sparkline([]float64{0, 0, 0, 0, 10, 10, 10, 10}, 2)
+	if []rune(s)[0] == []rune(s)[1] {
+		t.Fatalf("resampled = %q, halves should differ", s)
+	}
+	// Width larger than series clamps.
+	if got := Sparkline([]float64{1, 2}, 10); len([]rune(got)) != 2 {
+		t.Fatalf("clamped width = %q", got)
+	}
+}

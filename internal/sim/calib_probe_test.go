@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"dynocache/internal/core"
+	"dynocache/internal/overhead"
+	"dynocache/internal/trace"
+	"dynocache/internal/workload"
+)
+
+// TestProbeShapes is a calibration probe: it prints the shapes of the key
+// figures (miss rate, evictions, overhead, inter-unit links) across the
+// granularity sweep so workload parameters can be tuned. It never fails;
+// assertions live in the regular tests. Run with -v to see the tables.
+func TestProbeShapes(t *testing.T) {
+	if os.Getenv("DYNOCACHE_PROBE") == "" {
+		t.Skip("calibration probe is expensive; set DYNOCACHE_PROBE=1 to run")
+	}
+	scale := 1.0
+	if s := os.Getenv("DYNOCACHE_PROBE_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			scale = f
+		}
+	}
+	var traces []*trace.Trace
+	for _, p := range workload.ScaledTable1(scale) {
+		tr, err := p.Synthesize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+	policies := core.GranularitySweep(64)
+	model := overhead.Paper()
+	for _, pressure := range []int{2, 10} {
+		sw, err := Sweep(traces, policies, pressure, Options{CensusEvery: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var flushOH float64
+		fmt.Printf("pressure=%d\n%-10s %10s %12s %12s %10s %10s\n",
+			pressure, "policy", "missrate", "evictions", "oh/FLUSH", "oh+l/FLUSH", "interlink%")
+		for p := range policies {
+			oh := sw.TotalOverhead(p, model, false)
+			ohl := sw.TotalOverhead(p, model, true)
+			if p == 0 {
+				flushOH = oh
+			}
+			fmt.Printf("%-10s %10.4f %12d %12.3f %12.3f %10.1f\n",
+				policies[p], sw.UnifiedMissRate(p), sw.TotalEvictionInvocations(p),
+				oh/flushOH, ohl/flushOH, 100*sw.MeanInterUnitLinkFraction(p))
+		}
+		// Per-benchmark FLUSH -> 8-unit execution-time reduction (Sec 5.3).
+		const appPerAccess = 2000.0
+		for b, name := range sw.Benchmarks {
+			rf, r8, rfifo := sw.Results[0][b], sw.Results[3][b], sw.Results[len(policies)-1][b]
+			tf := model.ExecutionTime(appPerAccess*float64(rf.Stats.Accesses), rf.Overhead(model, true))
+			t8 := model.ExecutionTime(appPerAccess*float64(r8.Stats.Accesses), r8.Overhead(model, true))
+			tfifo := model.ExecutionTime(appPerAccess*float64(rfifo.Stats.Accesses), rfifo.Overhead(model, true))
+			fmt.Printf("  %-14s reduction FLUSH->8unit %6.2f%%  FIFO/FLUSH %5.3f  miss F/8/f %.3f/%.3f/%.3f\n",
+				name, 100*overhead.Reduction(tf, t8), tfifo/tf,
+				rf.Stats.MissRate(), r8.Stats.MissRate(), rfifo.Stats.MissRate())
+		}
+	}
+}

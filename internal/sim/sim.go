@@ -1,0 +1,341 @@
+// Package sim replays code-cache traces against eviction policies — the
+// "code cache simulator" of the paper's experimental setup (§4.1).
+//
+// A trace (from the DBT or the workload synthesizer) supplies the actual
+// region sizes, inter-region links, and entry order that the cache must
+// manage; the simulator runs them through a core.Cache and accumulates the
+// event counts that the overhead model prices.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dynocache/internal/core"
+	"dynocache/internal/overhead"
+	"dynocache/internal/trace"
+)
+
+// Options tunes a simulation run.
+type Options struct {
+	// CensusEvery samples the live-link census every n accesses to
+	// estimate the average intra/inter-unit link split (Figure 13).
+	// 0 disables sampling.
+	CensusEvery int
+	// RecordSamples captures per-invocation eviction samples (Figure 9);
+	// only FIFO-family caches support it.
+	RecordSamples bool
+	// DisableChaining suppresses link declaration entirely, modelling the
+	// Table 2 "linking disabled" configuration at the simulator level.
+	DisableChaining bool
+	// Capacity overrides the maxCache/pressure sizing rule with an
+	// explicit byte capacity (still floored at the largest block). Used
+	// by experiments that compare workloads on equal hardware budgets.
+	Capacity int
+	// OccupancyEvery samples the cache occupancy timeline every n
+	// accesses (0 disables): resident bytes, resident blocks, and live
+	// links, for visualization.
+	OccupancyEvery int
+}
+
+// OccupancySample is one point of the occupancy timeline.
+type OccupancySample struct {
+	Access        uint64 // access index at which the sample was taken
+	ResidentBytes int
+	Resident      int
+	LiveLinks     int
+}
+
+// Result is the outcome of replaying one trace against one policy.
+type Result struct {
+	Benchmark string
+	Policy    core.Policy
+	Pressure  int // cache pressure factor n (capacity = maxCache/n)
+	Capacity  int // actual cache capacity in bytes
+
+	Stats core.Stats
+
+	// AppInstructions estimates the guest work executed: each access runs
+	// its superblock once at one instruction per 4 bytes of cached code
+	// (the DRISC instruction width). This anchors overhead percentages to
+	// program run time (§5.3).
+	AppInstructions float64
+
+	// MeanIntraLinks/MeanInterLinks are the census averages over the run;
+	// MeanBackPtrBytes the average back-pointer table footprint.
+	MeanIntraLinks   float64
+	MeanInterLinks   float64
+	MeanBackPtrBytes float64
+
+	// Samples holds per-invocation eviction samples when requested.
+	Samples []core.EvictionSample
+
+	// Occupancy holds the occupancy timeline when requested.
+	Occupancy []OccupancySample
+}
+
+// InterUnitLinkFraction returns the average fraction of live links that
+// crossed unit boundaries (Figure 13's y-axis).
+func (r *Result) InterUnitLinkFraction() float64 {
+	total := r.MeanIntraLinks + r.MeanInterLinks
+	if total == 0 {
+		return 0
+	}
+	return r.MeanInterLinks / total
+}
+
+// Overhead prices the run with the given model (Figures 10/11 exclude
+// link maintenance; Figures 14/15 include it).
+func (r *Result) Overhead(m overhead.Model, includeLinks bool) overhead.Breakdown {
+	return m.FromStats(&r.Stats, includeLinks)
+}
+
+// CapacityFor computes the paper's cache sizing rule: maxCache/pressure,
+// floored at the largest single superblock so every block remains
+// cacheable (§4.2 sizes caches to stress the policy, never to break it).
+func CapacityFor(tr *trace.Trace, pressure int) (int, error) {
+	if pressure < 1 {
+		return 0, fmt.Errorf("sim: pressure factor must be >= 1, got %d", pressure)
+	}
+	maxBlock := 0
+	for _, sb := range tr.Blocks {
+		if sb.Size > maxBlock {
+			maxBlock = sb.Size
+		}
+	}
+	cap := tr.TotalBytes() / pressure
+	// Unit caches round capacity down to an equal-unit multiple (up to the
+	// unit count in bytes), so leave headroom above the largest block.
+	if floor := maxBlock + 512; cap < floor {
+		cap = floor
+	}
+	if maxBlock == 0 {
+		return 0, fmt.Errorf("sim: trace %q is empty", tr.Name)
+	}
+	return cap, nil
+}
+
+// Run replays tr against the policy at the given cache pressure.
+func Run(tr *trace.Trace, policy core.Policy, pressure int, opts Options) (*Result, error) {
+	capacity, err := CapacityFor(tr, pressure)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Capacity > 0 {
+		maxBlock := 0
+		for _, sb := range tr.Blocks {
+			if sb.Size > maxBlock {
+				maxBlock = sb.Size
+			}
+		}
+		capacity = opts.Capacity
+		if floor := maxBlock + 512; capacity < floor {
+			capacity = floor
+		}
+	}
+	cache, err := policy.New(capacity)
+	if err != nil {
+		return nil, err
+	}
+	if opts.RecordSamples {
+		if fc, ok := cache.(*core.FIFOCache); ok {
+			fc.SetSampleRecording(true)
+		}
+	}
+
+	res := &Result{
+		Benchmark: tr.Name,
+		Policy:    policy,
+		Pressure:  pressure,
+		Capacity:  capacity,
+	}
+	var censusSamples int
+	for i, id := range tr.Accesses {
+		sb, ok := tr.Blocks[id]
+		if !ok {
+			return nil, fmt.Errorf("sim: trace %q access %d references undefined block %d", tr.Name, i, id)
+		}
+		res.AppInstructions += float64(sb.Size) / 4
+		if !cache.Access(id) {
+			if opts.DisableChaining {
+				sb.Links = nil
+			}
+			if err := cache.Insert(sb); err != nil {
+				return nil, fmt.Errorf("sim: trace %q access %d: %w", tr.Name, i, err)
+			}
+		}
+		if opts.CensusEvery > 0 && (i+1)%opts.CensusEvery == 0 {
+			intra, inter := cache.LinkCensus()
+			res.MeanIntraLinks += float64(intra)
+			res.MeanInterLinks += float64(inter)
+			res.MeanBackPtrBytes += float64(cache.BackPtrTableBytes())
+			censusSamples++
+		}
+		if opts.OccupancyEvery > 0 && (i+1)%opts.OccupancyEvery == 0 {
+			intra, inter := cache.LinkCensus()
+			res.Occupancy = append(res.Occupancy, OccupancySample{
+				Access:        uint64(i + 1),
+				ResidentBytes: cache.ResidentBytes(),
+				Resident:      cache.Resident(),
+				LiveLinks:     intra + inter,
+			})
+		}
+	}
+	if censusSamples > 0 {
+		res.MeanIntraLinks /= float64(censusSamples)
+		res.MeanInterLinks /= float64(censusSamples)
+		res.MeanBackPtrBytes /= float64(censusSamples)
+	}
+	res.Stats = *cache.Stats()
+	if fc, ok := cache.(*core.FIFOCache); ok && opts.RecordSamples {
+		res.Samples = fc.Samples()
+	}
+	return res, nil
+}
+
+// SweepResult indexes results by [policy][benchmark].
+type SweepResult struct {
+	Policies   []core.Policy
+	Benchmarks []string
+	// Results[p][b] corresponds to Policies[p] and Benchmarks[b].
+	Results [][]*Result
+}
+
+// Sweep replays every trace against every policy at one pressure factor,
+// in parallel across available CPUs. Results are deterministic: each
+// (policy, trace) simulation is independent and stored by index.
+func Sweep(traces []*trace.Trace, policies []core.Policy, pressure int, opts Options) (*SweepResult, error) {
+	sw := &SweepResult{
+		Policies: policies,
+		Results:  make([][]*Result, len(policies)),
+	}
+	for _, tr := range traces {
+		sw.Benchmarks = append(sw.Benchmarks, tr.Name)
+	}
+	type job struct{ p, b int }
+	jobs := make(chan job, len(policies)*len(traces))
+	for p := range policies {
+		sw.Results[p] = make([]*Result, len(traces))
+		for b := range traces {
+			jobs <- job{p, b}
+		}
+	}
+	close(jobs)
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res, err := Run(traces[j.b], policies[j.p], pressure, opts)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				sw.Results[j.p][j.b] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return sw, nil
+}
+
+// UnifiedMissRate computes Equation 1 for one policy row: total misses
+// over total accesses across all benchmarks.
+func (sw *SweepResult) UnifiedMissRate(policyIdx int) float64 {
+	var misses, accesses uint64
+	for _, r := range sw.Results[policyIdx] {
+		misses += r.Stats.Misses
+		accesses += r.Stats.Accesses
+	}
+	if accesses == 0 {
+		return 0
+	}
+	return float64(misses) / float64(accesses)
+}
+
+// TotalEvictionInvocations sums eviction invocations across benchmarks for
+// one policy (Figure 8's numerator).
+func (sw *SweepResult) TotalEvictionInvocations(policyIdx int) uint64 {
+	var total uint64
+	for _, r := range sw.Results[policyIdx] {
+		total += r.Stats.EvictionInvocations
+	}
+	return total
+}
+
+// TotalOverhead sums priced overhead across benchmarks for one policy.
+func (sw *SweepResult) TotalOverhead(policyIdx int, m overhead.Model, includeLinks bool) float64 {
+	var total float64
+	for _, r := range sw.Results[policyIdx] {
+		total += r.Overhead(m, includeLinks).Total()
+	}
+	return total
+}
+
+// MeanInterUnitLinkFraction averages Figure 13's metric across benchmarks
+// for one policy.
+func (sw *SweepResult) MeanInterUnitLinkFraction(policyIdx int) float64 {
+	var sum float64
+	n := 0
+	for _, r := range sw.Results[policyIdx] {
+		sum += r.InterUnitLinkFraction()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SizeForMissRate finds, by bisection over capacity, the smallest cache
+// (within tolerance bytes) whose replay of tr under the policy achieves at
+// most the target miss rate. It answers the provisioning question the
+// paper's bimodal observation raises (§4.2): below the knee "performance
+// can suffer precipitously", so how much cache does this workload need?
+func SizeForMissRate(tr *trace.Trace, policy core.Policy, target float64, tolerance int) (int, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("sim: target miss rate %g outside (0, 1)", target)
+	}
+	if tolerance < 1 {
+		tolerance = 1
+	}
+	missAt := func(capacity int) (float64, error) {
+		res, err := Run(tr, policy, 1, Options{Capacity: capacity})
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.MissRate(), nil
+	}
+	lo, hi := 1, tr.TotalBytes()+4096
+	// Even an unbounded cache pays one compulsory miss per block; the
+	// target must be reachable.
+	if m, err := missAt(hi); err != nil {
+		return 0, err
+	} else if m > target {
+		return 0, fmt.Errorf("sim: target %.4f unreachable (compulsory miss rate %.4f)", target, m)
+	}
+	for hi-lo > tolerance {
+		mid := lo + (hi-lo)/2
+		m, err := missAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if m <= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi, nil
+}

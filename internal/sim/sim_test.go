@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"testing"
+
+	"dynocache/internal/core"
+	"dynocache/internal/overhead"
+	"dynocache/internal/trace"
+	"dynocache/internal/workload"
+)
+
+// testTraces synthesizes a small but non-trivial benchmark set.
+func testTraces(t testing.TB, scale float64, names ...string) []*trace.Trace {
+	t.Helper()
+	var out []*trace.Trace
+	for _, name := range names {
+		p, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := p.Scaled(scale).Synthesize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+func TestCapacityFor(t *testing.T) {
+	tr := trace.New("x")
+	if _, err := CapacityFor(tr, 2); err == nil {
+		t.Error("empty trace should fail")
+	}
+	if err := tr.Define(core.Superblock{ID: 1, Size: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Define(core.Superblock{ID: 2, Size: 200}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := CapacityFor(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// total=1200, /2 = 600 < maxBlock+512 = 1512: floored.
+	if c != 1512 {
+		t.Fatalf("capacity = %d, want 1512 (floored at maxBlock+512)", c)
+	}
+	if _, err := CapacityFor(tr, 0); err == nil {
+		t.Error("zero pressure should fail")
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	tr := testTraces(t, 0.5, "gzip")[0]
+	res, err := Run(tr, core.Policy{Kind: core.PolicyFine}, 2, Options{CensusEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.Accesses != uint64(len(tr.Accesses)) {
+		t.Fatalf("accesses = %d, want %d", s.Accesses, len(tr.Accesses))
+	}
+	if s.Hits+s.Misses != s.Accesses {
+		t.Fatal("conservation violated")
+	}
+	if s.Misses == 0 || s.Hits == 0 {
+		t.Fatalf("degenerate run: %+v", s)
+	}
+	if res.AppInstructions <= 0 {
+		t.Fatal("AppInstructions not estimated")
+	}
+	if res.MeanIntraLinks+res.MeanInterLinks <= 0 {
+		t.Fatal("census never sampled")
+	}
+	if res.Capacity <= 0 || res.Benchmark != "gzip" || res.Pressure != 2 {
+		t.Fatalf("metadata wrong: %+v", res)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	tr := testTraces(t, 0.3, "vpr")[0]
+	a, err := Run(tr, core.Policy{Kind: core.PolicyUnits, Units: 8}, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, core.Policy{Kind: core.PolicyUnits, Units: 8}, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("same run differs: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+func TestRunRecordsSamples(t *testing.T) {
+	tr := testTraces(t, 0.5, "gzip")[0]
+	res, err := Run(tr, core.Policy{Kind: core.PolicyFine}, 8, Options{RecordSamples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no eviction samples recorded under pressure 8")
+	}
+	if uint64(len(res.Samples)) != res.Stats.EvictionInvocations {
+		t.Fatalf("samples %d != invocations %d", len(res.Samples), res.Stats.EvictionInvocations)
+	}
+}
+
+func TestRunDisableChaining(t *testing.T) {
+	tr := testTraces(t, 0.5, "gzip")[0]
+	res, err := Run(tr, core.Policy{Kind: core.PolicyFine}, 4, Options{DisableChaining: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.LinksPatched != 0 {
+		t.Fatalf("chaining disabled but %d links patched", res.Stats.LinksPatched)
+	}
+}
+
+func TestInterUnitLinkFraction(t *testing.T) {
+	r := &Result{MeanIntraLinks: 3, MeanInterLinks: 1}
+	if got := r.InterUnitLinkFraction(); got != 0.25 {
+		t.Fatalf("fraction = %g, want 0.25", got)
+	}
+	empty := &Result{}
+	if empty.InterUnitLinkFraction() != 0 {
+		t.Error("empty fraction should be 0")
+	}
+}
+
+func TestSweepShapes(t *testing.T) {
+	traces := testTraces(t, 0.4, "gzip", "vpr", "mcf")
+	policies := core.GranularitySweep(16)
+	sw, err := Sweep(traces, policies, 4, Options{CensusEvery: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Results) != len(policies) {
+		t.Fatalf("results rows = %d", len(sw.Results))
+	}
+	for p := range policies {
+		for b := range traces {
+			if sw.Results[p][b] == nil {
+				t.Fatalf("missing result [%d][%d]", p, b)
+			}
+		}
+	}
+	// Figure 6 shape: unified miss rate declines from FLUSH to FIFO.
+	first := sw.UnifiedMissRate(0)
+	last := sw.UnifiedMissRate(len(policies) - 1)
+	if !(first > last) {
+		t.Fatalf("miss rate should decline with granularity: FLUSH %g vs FIFO %g", first, last)
+	}
+	// Figure 8 shape: eviction invocations grow with granularity.
+	if sw.TotalEvictionInvocations(0) >= sw.TotalEvictionInvocations(len(policies)-1) {
+		t.Fatal("eviction invocations should grow with granularity")
+	}
+	// Figure 13 shape: FLUSH has zero inter-unit links; finer policies more.
+	if sw.MeanInterUnitLinkFraction(0) != 0 {
+		t.Fatal("FLUSH must have no inter-unit links")
+	}
+	if sw.MeanInterUnitLinkFraction(1) <= 0 {
+		t.Fatal("2-unit should have inter-unit links")
+	}
+	if sw.MeanInterUnitLinkFraction(len(policies)-1) <= sw.MeanInterUnitLinkFraction(1) {
+		t.Fatal("inter-unit fraction should grow toward fine granularity")
+	}
+	// Overheads are positive and FLUSH pays no unlink cost.
+	m := overhead.Paper()
+	if sw.TotalOverhead(0, m, true) != sw.TotalOverhead(0, m, false) {
+		t.Fatal("FLUSH overhead must not change when links are included")
+	}
+	for p := range policies {
+		if sw.TotalOverhead(p, m, true) < sw.TotalOverhead(p, m, false) {
+			t.Fatal("link-inclusive overhead cannot be smaller")
+		}
+	}
+}
+
+func TestSweepMissRatesWorsenWithPressure(t *testing.T) {
+	traces := testTraces(t, 0.4, "gzip", "crafty")
+	policies := []core.Policy{{Kind: core.PolicyFlush}, {Kind: core.PolicyFine}}
+	low, err := Sweep(traces, policies, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Sweep(traces, policies, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range policies {
+		if high.UnifiedMissRate(p) <= low.UnifiedMissRate(p) {
+			t.Fatalf("policy %v: pressure should raise miss rate (%g vs %g)",
+				policies[p], low.UnifiedMissRate(p), high.UnifiedMissRate(p))
+		}
+	}
+}
+
+func TestSweepErrorPropagates(t *testing.T) {
+	tr := trace.New("bad")
+	if err := tr.Define(core.Superblock{ID: 1, Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Accesses = append(tr.Accesses, 99) // undefined block: Run must fail
+	if _, err := Sweep([]*trace.Trace{tr}, []core.Policy{{Kind: core.PolicyFine}}, 2, Options{}); err == nil {
+		t.Fatal("sweep should propagate run errors")
+	}
+}
+
+func TestUnifiedMissRateMatchesEquation1(t *testing.T) {
+	traces := testTraces(t, 0.4, "gzip", "vpr")
+	sw, err := Sweep(traces, []core.Policy{{Kind: core.PolicyFlush}}, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var misses, accesses uint64
+	for _, r := range sw.Results[0] {
+		misses += r.Stats.Misses
+		accesses += r.Stats.Accesses
+	}
+	want := float64(misses) / float64(accesses)
+	if got := sw.UnifiedMissRate(0); got != want {
+		t.Fatalf("unified miss rate = %g, want %g", got, want)
+	}
+}
+
+func TestOccupancyTimeline(t *testing.T) {
+	tr := testTraces(t, 0.5, "gzip")[0]
+	res, err := Run(tr, core.Policy{Kind: core.PolicyFlush}, 4, Options{OccupancyEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Occupancy) != len(tr.Accesses)/100 {
+		t.Fatalf("samples = %d, want %d", len(res.Occupancy), len(tr.Accesses)/100)
+	}
+	sawDrop := false
+	prev := 0
+	for i, o := range res.Occupancy {
+		if o.ResidentBytes > res.Capacity {
+			t.Fatalf("sample %d: occupancy %d exceeds capacity %d", i, o.ResidentBytes, res.Capacity)
+		}
+		if o.ResidentBytes < prev {
+			sawDrop = true // a flush emptied the cache between samples
+		}
+		prev = o.ResidentBytes
+		if o.Access == 0 {
+			t.Fatal("sample missing access index")
+		}
+	}
+	if res.Stats.FullFlushes > 2 && !sawDrop {
+		t.Fatal("FLUSH timeline should show occupancy collapses")
+	}
+}
+
+func TestCapacityOverride(t *testing.T) {
+	tr := testTraces(t, 0.5, "gzip")[0]
+	res, err := Run(tr, core.Policy{Kind: core.PolicyFine}, 2, Options{Capacity: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capacity != 5000 {
+		t.Fatalf("capacity = %d, want 5000", res.Capacity)
+	}
+	// Override below the largest block floors at maxBlock+512.
+	res, err = Run(tr, core.Policy{Kind: core.PolicyFine}, 2, Options{Capacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capacity <= 1 {
+		t.Fatalf("capacity = %d, floor not applied", res.Capacity)
+	}
+}
+
+func TestSizeForMissRate(t *testing.T) {
+	tr := testTraces(t, 0.5, "gzip")[0]
+	size, err := SizeForMissRate(tr, core.Policy{Kind: core.PolicyUnits, Units: 8}, 0.1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size <= 0 || size > tr.TotalBytes()+4096 {
+		t.Fatalf("size = %d out of range", size)
+	}
+	// The found size must actually achieve the target...
+	res, err := Run(tr, core.Policy{Kind: core.PolicyUnits, Units: 8}, 1, Options{Capacity: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MissRate() > 0.1 {
+		t.Fatalf("size %d misses %.4f > target", size, res.Stats.MissRate())
+	}
+	// ...and meaningfully less cache must not (when the gap is real).
+	if size > 4096 {
+		res, err = Run(tr, core.Policy{Kind: core.PolicyUnits, Units: 8}, 1, Options{Capacity: size / 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.MissRate() <= 0.1 {
+			t.Fatalf("half the cache (%d) still meets the target; search converged too high", size/2)
+		}
+	}
+	// Unreachable target errors out.
+	if _, err := SizeForMissRate(tr, core.Policy{Kind: core.PolicyFine}, 1e-9, 64); err == nil {
+		t.Error("sub-compulsory target should be unreachable")
+	}
+	if _, err := SizeForMissRate(tr, core.Policy{Kind: core.PolicyFine}, 2, 64); err == nil {
+		t.Error("target >= 1 should be rejected")
+	}
+}

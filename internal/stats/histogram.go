@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over float64 samples. It backs the
+// size-distribution plots (Figure 3) in the report package.
+type Histogram struct {
+	Lo, Hi float64  // range covered by the bins
+	Counts []uint64 // one per bin
+	Under  uint64   // samples below Lo
+	Over   uint64   // samples at or above Hi
+	Total  uint64   // all observed samples, including under/overflow
+	width  float64  // bin width
+	sum    float64  // running sum for Mean
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs positive bin count, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram range [%g, %g) is empty", lo, hi)
+	}
+	return &Histogram{
+		Lo:     lo,
+		Hi:     hi,
+		Counts: make([]uint64, bins),
+		width:  (hi - lo) / float64(bins),
+	}, nil
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.Total++
+	h.sum += x
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		idx := int((x - h.Lo) / h.width)
+		if idx >= len(h.Counts) { // guard against FP edge at Hi
+			idx = len(h.Counts) - 1
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Mean returns the mean of all observed samples.
+func (h *Histogram) Mean() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.Total)
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.width
+}
+
+// Fraction returns the fraction of in-range samples landing in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	inRange := h.Total - h.Under - h.Over
+	if inRange == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(inRange)
+}
+
+// CDF returns the cumulative fraction of all samples at or below the upper
+// edge of bin i (underflow included, overflow excluded).
+func (h *Histogram) CDF(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	c := h.Under
+	for j := 0; j <= i && j < len(h.Counts); j++ {
+		c += h.Counts[j]
+	}
+	return float64(c) / float64(h.Total)
+}
+
+// String renders a compact ASCII sketch of the histogram.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	var max uint64
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := 0
+		if max > 0 {
+			bar = int(math.Round(40 * float64(c) / float64(max)))
+		}
+		fmt.Fprintf(&b, "%10.1f |%-40s| %d\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// LogBucketHistogram aggregates positive samples into power-of-two buckets;
+// convenient for superblock sizes, which span ~16 B to ~16 KB.
+type LogBucketHistogram struct {
+	Counts map[int]uint64 // exponent -> count, bucket holds [2^e, 2^(e+1))
+	Total  uint64
+}
+
+// NewLogBucketHistogram creates an empty power-of-two histogram.
+func NewLogBucketHistogram() *LogBucketHistogram {
+	return &LogBucketHistogram{Counts: make(map[int]uint64)}
+}
+
+// Observe records one positive sample; non-positive samples are counted in
+// bucket 0.
+func (h *LogBucketHistogram) Observe(x float64) {
+	h.Total++
+	e := 0
+	if x >= 1 {
+		e = int(math.Floor(math.Log2(x)))
+	}
+	h.Counts[e]++
+}
+
+// Buckets returns the populated exponents in ascending order.
+func (h *LogBucketHistogram) Buckets() []int {
+	es := make([]int, 0, len(h.Counts))
+	for e := range h.Counts {
+		es = append(es, e)
+	}
+	sort.Ints(es)
+	return es
+}
+
+// Fraction returns the fraction of samples in bucket e.
+func (h *LogBucketHistogram) Fraction(e int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[e]) / float64(h.Total)
+}

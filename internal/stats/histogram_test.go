@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+	if _, err := NewHistogram(10, 10, 5); err == nil {
+		t.Error("empty range should error")
+	}
+	if _, err := NewHistogram(10, 0, 5); err == nil {
+		t.Error("inverted range should error")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram(0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(5)   // bin 0
+	h.Observe(15)  // bin 1
+	h.Observe(95)  // bin 9
+	h.Observe(-1)  // underflow
+	h.Observe(100) // overflow
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[9] != 1 {
+		t.Fatalf("unexpected bin counts: %v", h.Counts)
+	}
+	if h.Under != 1 || h.Over != 1 {
+		t.Fatalf("under/over = %d/%d, want 1/1", h.Under, h.Over)
+	}
+	if h.Total != 5 {
+		t.Fatalf("Total = %d, want 5", h.Total)
+	}
+}
+
+func TestHistogramMeanAndCenters(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 10)
+	h.Observe(2)
+	h.Observe(4)
+	if got := h.Mean(); got != 3 {
+		t.Fatalf("Mean = %g, want 3", got)
+	}
+	if got := h.BinCenter(0); got != 0.5 {
+		t.Fatalf("BinCenter(0) = %g, want 0.5", got)
+	}
+	var empty Histogram
+	if empty.Mean() != 0 {
+		t.Error("empty histogram mean should be 0")
+	}
+}
+
+func TestHistogramFractionAndCDF(t *testing.T) {
+	h, _ := NewHistogram(0, 4, 4)
+	for _, x := range []float64{0.5, 1.5, 1.6, 3.5} {
+		h.Observe(x)
+	}
+	if got := h.Fraction(1); got != 0.5 {
+		t.Fatalf("Fraction(1) = %g, want 0.5", got)
+	}
+	if got := h.CDF(1); got != 0.75 {
+		t.Fatalf("CDF(1) = %g, want 0.75", got)
+	}
+	if got := h.CDF(3); got != 1 {
+		t.Fatalf("CDF(3) = %g, want 1", got)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h, _ := NewHistogram(0, 2, 2)
+	h.Observe(0.5)
+	h.Observe(0.6)
+	h.Observe(1.5)
+	s := h.String()
+	if !strings.Contains(s, "#") || strings.Count(s, "\n") != 2 {
+		t.Fatalf("unexpected histogram rendering:\n%s", s)
+	}
+}
+
+func TestLogBucketHistogram(t *testing.T) {
+	h := NewLogBucketHistogram()
+	h.Observe(1)    // e=0
+	h.Observe(2)    // e=1
+	h.Observe(3)    // e=1
+	h.Observe(1024) // e=10
+	h.Observe(0)    // clamped to e=0
+	if h.Total != 5 {
+		t.Fatalf("Total = %d, want 5", h.Total)
+	}
+	bs := h.Buckets()
+	if len(bs) != 3 || bs[0] != 0 || bs[1] != 1 || bs[2] != 10 {
+		t.Fatalf("Buckets = %v", bs)
+	}
+	if got := h.Fraction(1); got != 0.4 {
+		t.Fatalf("Fraction(1) = %g, want 0.4", got)
+	}
+	var empty LogBucketHistogram
+	if empty.Fraction(0) != 0 {
+		t.Error("empty log histogram fraction should be 0")
+	}
+}

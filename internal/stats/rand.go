@@ -1,0 +1,155 @@
+package stats
+
+import "math"
+
+// Rand is a small, deterministic PRNG (PCG-XSH-RR 64/32 variant state with
+// splitmix-style output) with the distribution samplers dynocache needs.
+// We implement it directly rather than wrapping math/rand so that trace
+// generation is bit-reproducible across Go releases — the paper stresses
+// that its saved DynamoRIO logs made experiments repeatable, and our
+// synthetic logs must have the same property.
+type Rand struct {
+	state uint64
+	inc   uint64
+
+	// cached spare normal deviate for the Box-Muller transform
+	hasSpare bool
+	spare    float64
+}
+
+// NewRand returns a generator seeded from seed and an odd stream id derived
+// from stream.
+func NewRand(seed, stream uint64) *Rand {
+	r := &Rand{inc: (stream << 1) | 1}
+	r.state = 0
+	r.Uint64()
+	r.state += seed
+	r.Uint64()
+	return r
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	// splitmix64-style step with a PCG-like stream increment: fast, good
+	// equidistribution, and trivially reproducible.
+	r.state += 0x9E3779B97F4A7C15 + r.inc
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform deviate in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Normal returns a normal deviate with the given mean and standard
+// deviation, via the Box-Muller transform.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return mean + stddev*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	mul := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * mul
+	r.hasSpare = true
+	return mean + stddev*u*mul
+}
+
+// LogNormal returns a log-normal deviate parameterized by the *median* of
+// the distribution and the shape sigma (the stddev of the underlying
+// normal). Superblock sizes are modelled as log-normal: Figure 3 shows
+// heavily right-skewed size distributions and Figure 4 reports medians.
+func (r *Rand) LogNormal(median, sigma float64) float64 {
+	return median * math.Exp(r.Normal(0, sigma))
+}
+
+// Geometric returns a deviate in {0, 1, 2, ...} with the given mean
+// (mean = (1-p)/p for success probability p).
+func (r *Rand) Geometric(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 / (1 + mean)
+	// Inversion: floor(log(U) / log(1-p)).
+	u := r.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	g := math.Floor(math.Log(u) / math.Log(1-p))
+	if g < 0 {
+		return 0
+	}
+	if g > 1<<30 {
+		return 1 << 30
+	}
+	return int(g)
+}
+
+// Zipf returns a deviate in [0, n) drawn from a Zipf-like distribution with
+// exponent s >= 0 (s = 0 is uniform). Used for reuse-distance sampling in
+// the temporal-locality model: small ranks (recently used superblocks) are
+// much more likely than deep ones.
+func (r *Rand) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	if s <= 0 {
+		return r.Intn(n)
+	}
+	// Inverse-CDF on the continuous approximation of the Zipf mass:
+	// P(rank <= k) ~ H(k)/H(n) where H is the generalized harmonic sum.
+	// The continuous approximation integral of x^-s from 1 to k is
+	// (k^(1-s)-1)/(1-s) for s != 1, log(k) for s = 1.
+	u := r.Float64()
+	fn := float64(n)
+	var k float64
+	if math.Abs(s-1) < 1e-9 {
+		k = math.Exp(u * math.Log(fn))
+	} else {
+		total := (math.Pow(fn, 1-s) - 1) / (1 - s)
+		k = math.Pow(u*total*(1-s)+1, 1/(1-s))
+	}
+	idx := int(k) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool { return r.Float64() < p }

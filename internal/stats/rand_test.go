@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a := NewRand(7, 3)
+	b := NewRand(7, 3)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestRandStreamsDiffer(t *testing.T) {
+	a := NewRand(7, 1)
+	b := NewRand(7, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different streams coincide %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(1, 1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestIntnRangeAndPanic(t *testing.T) {
+	r := NewRand(2, 1)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRand(3, 1)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm(50) invalid at value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRand(4, 1)
+	const n = 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(10, 3)
+	}
+	if m := Mean(xs); math.Abs(m-10) > 0.05 {
+		t.Fatalf("Normal mean = %g, want ~10", m)
+	}
+	if s := StdDev(xs); math.Abs(s-3) > 0.05 {
+		t.Fatalf("Normal stddev = %g, want ~3", s)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := NewRand(5, 1)
+	const n = 100001
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.LogNormal(244, 1.0) // gzip-like median superblock size
+	}
+	med := Median(xs)
+	if math.Abs(med-244)/244 > 0.05 {
+		t.Fatalf("LogNormal median = %g, want ~244", med)
+	}
+	// Log-normal is right-skewed: mean > median.
+	if Mean(xs) <= med {
+		t.Fatalf("LogNormal mean %g should exceed median %g", Mean(xs), med)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRand(6, 1)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(1.7)) // Figure 12's mean outbound links
+	}
+	got := sum / n
+	if math.Abs(got-1.7) > 0.05 {
+		t.Fatalf("Geometric mean = %g, want ~1.7", got)
+	}
+	if r.Geometric(0) != 0 {
+		t.Error("Geometric(0) should be 0")
+	}
+	if r.Geometric(-1) != 0 {
+		t.Error("Geometric(-1) should be 0")
+	}
+}
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	r := NewRand(7, 1)
+	const n = 100000
+	counts := make([]int, 100)
+	for i := 0; i < n; i++ {
+		v := r.Zipf(100, 1.2)
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 should dominate rank 50 heavily for s=1.2.
+	if counts[0] < 5*counts[50]+1 {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	if r.Zipf(1, 1.2) != 0 {
+		t.Error("Zipf(1, s) must be 0")
+	}
+	if v := r.Zipf(10, 0); v < 0 || v >= 10 {
+		t.Errorf("Zipf with s=0 out of range: %d", v)
+	}
+}
+
+func TestZipfNearOneExponent(t *testing.T) {
+	r := NewRand(8, 1)
+	for i := 0; i < 1000; i++ {
+		v := r.Zipf(64, 1.0)
+		if v < 0 || v >= 64 {
+			t.Fatalf("Zipf(s=1) out of range: %d", v)
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := NewRand(9, 1)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %g", got)
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LinearFit is the result of an ordinary least-squares fit of y = Slope*x +
+// Intercept. It is the tool behind the paper's Equations 2-4, which were
+// derived from least-squares trendlines over PAPI instruction-count samples
+// (Figure 9).
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+	N         int     // number of samples fitted
+}
+
+// String renders the fit the way the paper prints its equations, e.g.
+// "y = 2.77*x + 3055 (R^2=0.98, n=10000)".
+func (f LinearFit) String() string {
+	return fmt.Sprintf("y = %.4g*x + %.4g (R^2=%.4f, n=%d)", f.Slope, f.Intercept, f.R2, f.N)
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// LeastSquares fits y = a*x + b by ordinary least squares.
+func LeastSquares(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: mismatched x/y lengths")
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinearFit{}, errors.New("stats: need at least two samples for a line fit")
+	}
+	meanX := Mean(xs)
+	meanY := Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - meanX
+		sxx += dx * dx
+		sxy += dx * (ys[i] - meanY)
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: degenerate fit (all x identical)")
+	}
+	slope := sxy / sxx
+	intercept := meanY - slope*meanX
+
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		r := ys[i] - pred
+		ssRes += r * r
+		d := ys[i] - meanY
+		ssTot += d * d
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2, N: n}, nil
+}
+
+// Pearson returns the Pearson correlation coefficient of xs and ys.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, errors.New("stats: need two equal-length samples of size >= 2")
+	}
+	meanX, meanY := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - meanX
+		dy := ys[i] - meanY
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

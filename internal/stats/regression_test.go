@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLeastSquaresExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.77*x + 3055 // the paper's Equation 2
+	}
+	fit, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2.77, 1e-9) || !almostEqual(fit.Intercept, 3055, 1e-6) {
+		t.Fatalf("fit = %+v, want slope 2.77 intercept 3055", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %g, want 1", fit.R2)
+	}
+	if fit.N != 5 {
+		t.Fatalf("N = %d, want 5", fit.N)
+	}
+}
+
+func TestLeastSquaresNoisyRecovery(t *testing.T) {
+	r := NewRand(42, 1)
+	var xs, ys []float64
+	for i := 0; i < 5000; i++ {
+		x := 100 + r.Float64()*4000
+		y := 75.4*x + 1922 + r.Normal(0, 500) // Equation 3 with noise
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	fit, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-75.4) > 0.5 {
+		t.Fatalf("slope = %g, want ~75.4", fit.Slope)
+	}
+	if math.Abs(fit.Intercept-1922) > 200 {
+		t.Fatalf("intercept = %g, want ~1922", fit.Intercept)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %g, want > 0.99", fit.R2)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := LeastSquares([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := LeastSquares([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x should error")
+	}
+}
+
+func TestLinearFitPredictAndString(t *testing.T) {
+	fit := LinearFit{Slope: 2, Intercept: 1, R2: 0.5, N: 3}
+	if got := fit.Predict(10); got != 21 {
+		t.Fatalf("Predict(10) = %g, want 21", got)
+	}
+	s := fit.String()
+	if !strings.Contains(s, "n=3") || !strings.Contains(s, "2*x") {
+		t.Fatalf("String() = %q, missing expected pieces", s)
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{10, 20, 30, 40}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Pearson = %g, want 1", r)
+	}
+	neg := []float64{40, 30, 20, 10}
+	r, err = Pearson(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("Pearson = %g, want -1", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("too few samples should error")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("zero variance should error")
+	}
+}

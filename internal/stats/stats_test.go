@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %g, want 0", got)
+	}
+}
+
+func TestMeanSimple(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestSumKahanAccuracy(t *testing.T) {
+	// 1 followed by many tiny values: naive summation loses them.
+	xs := make([]float64, 1_000_001)
+	xs[0] = 1
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-16
+	}
+	got := Sum(xs)
+	want := 1 + 1e-10
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("Sum = %.17g, want %.17g", got, want)
+	}
+}
+
+func TestWeightedMeanMatchesEquation1(t *testing.T) {
+	// Equation 1: unified miss rate = sum(misses) / sum(accesses)
+	// = weighted mean of per-benchmark miss rates with access weights.
+	misses := []float64{10, 30, 5}
+	accesses := []float64{100, 200, 50}
+	rates := make([]float64, len(misses))
+	for i := range rates {
+		rates[i] = misses[i] / accesses[i]
+	}
+	got, err := WeightedMean(rates, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (10.0 + 30 + 5) / (100.0 + 200 + 50)
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("WeightedMean = %g, want %g", got, want)
+	}
+}
+
+func TestWeightedMeanErrors(t *testing.T) {
+	if _, err := WeightedMean(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := WeightedMean([]float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Error("zero total weight should error")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %g, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %g, want 2.5", got)
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	xs := []float64{5, 1, 9, 3}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %g, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 9 {
+		t.Fatalf("q1 = %g, want 9", got)
+	}
+}
+
+func TestQuantilesConsistentWithQuantile(t *testing.T) {
+	xs := []float64{7, 2, 9, 4, 4, 1}
+	qs := []float64{0.1, 0.5, 0.9}
+	multi := Quantiles(xs, qs...)
+	for i, q := range qs {
+		if single := Quantile(xs, q); single != multi[i] {
+			t.Fatalf("Quantiles[%d] = %g, Quantile = %g", i, multi[i], single)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %g, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != -1 || max != 7 {
+		t.Fatalf("MinMax = (%g, %g), want (-1, 7)", min, max)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Error("MinMax(nil) should error")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 4, 1e-9) {
+		t.Fatalf("GeoMean = %g, want 4", got)
+	}
+	if _, err := GeoMean([]float64{1, -2}); err == nil {
+		t.Error("negative sample should error")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty sample should error")
+	}
+}
+
+// Property: the median lies between min and max, and quantiles are monotone.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.125 {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		min, max, _ := MinMax(xs)
+		med := Median(xs)
+		return med >= min && med <= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean of xs is within [min, max].
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		min, max, _ := MinMax(xs)
+		const eps = 1e-6
+		return m >= min-eps*math.Abs(min)-eps && m <= max+eps*math.Abs(max)+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"dynocache/internal/core"
+)
+
+// Binary trace format (all integers little-endian):
+//
+//	magic   [4]byte  "DYNT"
+//	version uint16   (currently 1)
+//	nameLen uint16, name []byte
+//	nBlocks uint32
+//	  per block: id uint32, size uint32, nLinks uint16, links []uint32
+//	nAccesses uint64
+//	  accesses []uint32
+const (
+	magic   = "DYNT"
+	version = 1
+)
+
+// Write serializes the trace to w in the binary format.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return fmt.Errorf("trace: write magic: %w", err)
+	}
+	if len(t.Name) > 1<<16-1 {
+		return fmt.Errorf("trace: name too long (%d bytes)", len(t.Name))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(version)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.Blocks))); err != nil {
+		return err
+	}
+	for _, id := range t.SortedIDs() {
+		sb := t.Blocks[id]
+		if len(sb.Links) > 1<<16-1 {
+			return fmt.Errorf("trace: superblock %d has too many links (%d)", id, len(sb.Links))
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(sb.ID)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(sb.Size)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(sb.Links))); err != nil {
+			return err
+		}
+		for _, to := range sb.Links {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(to)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Accesses))); err != nil {
+		return err
+	}
+	for _, id := range t.Accesses {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(id)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	var ver uint16
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, err
+	}
+	t := New(string(nameBuf))
+	var nBlocks uint32
+	if err := binary.Read(br, binary.LittleEndian, &nBlocks); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nBlocks; i++ {
+		var id, size uint32
+		var nLinks uint16
+		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+			return nil, fmt.Errorf("trace: block %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &size); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &nLinks); err != nil {
+			return nil, err
+		}
+		links := make([]core.SuperblockID, nLinks)
+		for j := range links {
+			var to uint32
+			if err := binary.Read(br, binary.LittleEndian, &to); err != nil {
+				return nil, err
+			}
+			links[j] = core.SuperblockID(to)
+		}
+		if err := t.Define(core.Superblock{ID: core.SuperblockID(id), Size: int(size), Links: links}); err != nil {
+			return nil, err
+		}
+	}
+	var nAccesses uint64
+	if err := binary.Read(br, binary.LittleEndian, &nAccesses); err != nil {
+		return nil, err
+	}
+	// Never trust a length field with an allocation: a corrupt header
+	// could claim 2^60 accesses. Preallocate a bounded amount and let
+	// append grow if the data really is that large.
+	prealloc := nAccesses
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	t.Accesses = make([]core.SuperblockID, 0, prealloc)
+	buf := make([]byte, 4)
+	for i := uint64(0); i < nAccesses; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("trace: access %d: %w", i, err)
+		}
+		t.Accesses = append(t.Accesses, core.SuperblockID(binary.LittleEndian.Uint32(buf)))
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Save writes the trace to a file.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := t.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trace from a file.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Dump writes a human-readable rendering of the trace to w: the block
+// table followed by the access sequence (capped at maxAccesses lines;
+// 0 means all).
+func (t *Trace) Dump(w io.Writer, maxAccesses int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# trace %s\n# %s\n", t.Name, t.Summarize())
+	for _, id := range t.SortedIDs() {
+		sb := t.Blocks[id]
+		fmt.Fprintf(bw, "block %d size %d links %v\n", sb.ID, sb.Size, sb.Links)
+	}
+	n := len(t.Accesses)
+	if maxAccesses > 0 && maxAccesses < n {
+		n = maxAccesses
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(bw, "access %d\n", t.Accesses[i])
+	}
+	if n < len(t.Accesses) {
+		fmt.Fprintf(bw, "# ... %d more accesses\n", len(t.Accesses)-n)
+	}
+	return bw.Flush()
+}

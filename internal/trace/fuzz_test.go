@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"dynocache/internal/core"
+)
+
+// FuzzRead checks the trace decoder never panics or accepts corrupt data
+// that then fails validation.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid trace and some mutations.
+	tr := New("seed")
+	_ = tr.Define(core.Superblock{ID: 1, Size: 100, Links: []core.SuperblockID{1}})
+	_ = tr.Define(core.Superblock{ID: 2, Size: 50})
+	_ = tr.Touch(1)
+	_ = tr.Touch(2)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte("DYNT"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	if len(mutated) > 10 {
+		mutated[8] ^= 0xFF
+	}
+	f.Add(mutated)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything the reader accepts must be internally consistent and
+		// round-trip byte-identically.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("reader accepted invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("accepted trace does not re-serialize: %v", err)
+		}
+		back, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-serialized trace does not parse: %v", err)
+		}
+		if back.Summarize() != got.Summarize() {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}

@@ -1,0 +1,211 @@
+// Package trace defines the code-cache event traces that drive the
+// simulator.
+//
+// The paper used the verbose output of DynamoRIO — actual region sizes,
+// inter-region links, and the order in which regions were entered — and
+// saved those logs so experiments were repeatable. A Trace is our
+// equivalent artifact: a table of superblock definitions (size and
+// outbound links) plus the sequence of superblock entries observed during
+// execution. Traces come from two frontends (the full DBT, and the
+// calibrated workload synthesizer) and are replayed identically by
+// package sim.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"dynocache/internal/core"
+	"dynocache/internal/stats"
+)
+
+// Trace is a complete, replayable code-cache workload.
+type Trace struct {
+	// Name identifies the benchmark (Table 1 naming).
+	Name string
+	// Blocks defines every superblock that appears in Accesses.
+	Blocks map[core.SuperblockID]core.Superblock
+	// Accesses is the superblock entry sequence: each element is one
+	// transfer of control to a superblock's entry (a code cache lookup).
+	Accesses []core.SuperblockID
+}
+
+// New returns an empty trace with the given name.
+func New(name string) *Trace {
+	return &Trace{Name: name, Blocks: make(map[core.SuperblockID]core.Superblock)}
+}
+
+// Define registers a superblock definition. Redefining an ID with a
+// different size is an error; redefining with identical data is idempotent
+// (frontends may emit definitions lazily).
+func (t *Trace) Define(sb core.Superblock) error {
+	if prev, ok := t.Blocks[sb.ID]; ok {
+		if prev.Size != sb.Size {
+			return fmt.Errorf("trace: superblock %d redefined with size %d (was %d)", sb.ID, sb.Size, prev.Size)
+		}
+		return nil
+	}
+	if sb.Size <= 0 {
+		return fmt.Errorf("trace: superblock %d has non-positive size %d", sb.ID, sb.Size)
+	}
+	t.Blocks[sb.ID] = sb
+	return nil
+}
+
+// Touch appends one access to the sequence. The block must be defined.
+func (t *Trace) Touch(id core.SuperblockID) error {
+	if _, ok := t.Blocks[id]; !ok {
+		return fmt.Errorf("trace: access to undefined superblock %d", id)
+	}
+	t.Accesses = append(t.Accesses, id)
+	return nil
+}
+
+// Validate checks referential integrity: every access and every link
+// target must be defined.
+func (t *Trace) Validate() error {
+	for i, id := range t.Accesses {
+		if _, ok := t.Blocks[id]; !ok {
+			return fmt.Errorf("trace: access %d references undefined superblock %d", i, id)
+		}
+	}
+	for id, sb := range t.Blocks {
+		if sb.ID != id {
+			return fmt.Errorf("trace: block table key %d holds superblock %d", id, sb.ID)
+		}
+		for _, to := range sb.Links {
+			if _, ok := t.Blocks[to]; !ok {
+				return fmt.Errorf("trace: superblock %d links to undefined %d", id, to)
+			}
+		}
+	}
+	return nil
+}
+
+// NumBlocks returns the number of defined superblocks — the "hot
+// superblocks" column of Table 1.
+func (t *Trace) NumBlocks() int { return len(t.Blocks) }
+
+// TotalBytes returns the summed size of all defined superblocks. This is
+// maxCache: the size an unbounded code cache would reach for this
+// workload (§4.2).
+func (t *Trace) TotalBytes() int {
+	total := 0
+	for _, sb := range t.Blocks {
+		total += sb.Size
+	}
+	return total
+}
+
+// Sizes returns every block size as float64s (for distribution plots).
+func (t *Trace) Sizes() []float64 {
+	out := make([]float64, 0, len(t.Blocks))
+	for _, sb := range t.Blocks {
+		out = append(out, float64(sb.Size))
+	}
+	return out
+}
+
+// MedianSize returns the median superblock size (Figure 4).
+func (t *Trace) MedianSize() float64 { return stats.Median(t.Sizes()) }
+
+// MeanOutboundLinks returns the mean number of outbound links per
+// superblock (Figure 12; the paper reports ~1.7).
+func (t *Trace) MeanOutboundLinks() float64 {
+	if len(t.Blocks) == 0 {
+		return 0
+	}
+	total := 0
+	for _, sb := range t.Blocks {
+		total += len(sb.Links)
+	}
+	return float64(total) / float64(len(t.Blocks))
+}
+
+// SelfLinkFraction returns the fraction of blocks with a self-loop link.
+func (t *Trace) SelfLinkFraction() float64 {
+	if len(t.Blocks) == 0 {
+		return 0
+	}
+	n := 0
+	for _, sb := range t.Blocks {
+		for _, to := range sb.Links {
+			if to == sb.ID {
+				n++
+				break
+			}
+		}
+	}
+	return float64(n) / float64(len(t.Blocks))
+}
+
+// SortedIDs returns all defined IDs in ascending order (deterministic
+// iteration for serialization and reporting).
+func (t *Trace) SortedIDs() []core.SuperblockID {
+	ids := make([]core.SuperblockID, 0, len(t.Blocks))
+	for id := range t.Blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Summary is a compact description used in reports.
+type Summary struct {
+	Name       string
+	Blocks     int
+	Accesses   int
+	TotalBytes int
+	MedianSize float64
+	MeanLinks  float64
+}
+
+// Summarize computes the trace's summary.
+func (t *Trace) Summarize() Summary {
+	return Summary{
+		Name:       t.Name,
+		Blocks:     t.NumBlocks(),
+		Accesses:   len(t.Accesses),
+		TotalBytes: t.TotalBytes(),
+		MedianSize: t.MedianSize(),
+		MeanLinks:  t.MeanOutboundLinks(),
+	}
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("%s: %d superblocks, %d accesses, %d bytes (median %.0f B, %.2f links/block)",
+		s.Name, s.Blocks, s.Accesses, s.TotalBytes, s.MedianSize, s.MeanLinks)
+}
+
+// ReuseDistances returns, for every access after the first to each block,
+// the number of *distinct* superblocks touched since that block's previous
+// access — the classic reuse-distance (LRU stack distance) profile. The
+// distribution determines how a workload responds to cache sizing and is
+// the quantity our synthesizer's locality model shapes.
+func (t *Trace) ReuseDistances() []int {
+	lastSeen := make(map[core.SuperblockID]int, len(t.Blocks))
+	var out []int
+	// For each access, count distinct IDs in the window since the previous
+	// occurrence using a per-position set scan bounded by the window; to
+	// stay near-linear we recompute with a timestamp + ordered list.
+	type stamp struct {
+		id core.SuperblockID
+		at int
+	}
+	var order []stamp
+	for i, id := range t.Accesses {
+		if prev, ok := lastSeen[id]; ok {
+			distinct := make(map[core.SuperblockID]struct{})
+			for j := len(order) - 1; j >= 0 && order[j].at > prev; j-- {
+				if order[j].id != id {
+					distinct[order[j].id] = struct{}{}
+				}
+			}
+			out = append(out, len(distinct))
+		}
+		lastSeen[id] = i
+		order = append(order, stamp{id: id, at: i})
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynocache/internal/core"
+)
+
+func buildTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := New("gzip")
+	blocks := []core.Superblock{
+		{ID: 1, Size: 100, Links: []core.SuperblockID{2, 1}},
+		{ID: 2, Size: 250, Links: []core.SuperblockID{3}},
+		{ID: 3, Size: 400},
+	}
+	for _, b := range blocks {
+		if err := tr.Define(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []core.SuperblockID{1, 2, 3, 1, 1, 2} {
+		if err := tr.Touch(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestDefineAndTouch(t *testing.T) {
+	tr := buildTrace(t)
+	if tr.NumBlocks() != 3 || len(tr.Accesses) != 6 {
+		t.Fatalf("blocks=%d accesses=%d", tr.NumBlocks(), len(tr.Accesses))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefineErrors(t *testing.T) {
+	tr := New("x")
+	if err := tr.Define(core.Superblock{ID: 1, Size: 0}); err == nil {
+		t.Error("zero size should fail")
+	}
+	if err := tr.Define(core.Superblock{ID: 1, Size: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Define(core.Superblock{ID: 1, Size: 10}); err != nil {
+		t.Error("idempotent redefinition should succeed")
+	}
+	if err := tr.Define(core.Superblock{ID: 1, Size: 20}); err == nil {
+		t.Error("conflicting redefinition should fail")
+	}
+	if err := tr.Touch(99); err == nil {
+		t.Error("touching undefined block should fail")
+	}
+}
+
+func TestValidateCatchesBadLinks(t *testing.T) {
+	tr := New("x")
+	if err := tr.Define(core.Superblock{ID: 1, Size: 10, Links: []core.SuperblockID{7}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err == nil {
+		t.Error("link to undefined block should fail validation")
+	}
+}
+
+func TestDerivedStatistics(t *testing.T) {
+	tr := buildTrace(t)
+	if got := tr.TotalBytes(); got != 750 {
+		t.Fatalf("TotalBytes = %d, want 750", got)
+	}
+	if got := tr.MedianSize(); got != 250 {
+		t.Fatalf("MedianSize = %g, want 250", got)
+	}
+	if got := tr.MeanOutboundLinks(); got != 1.0 {
+		t.Fatalf("MeanOutboundLinks = %g, want 1", got)
+	}
+	if got := tr.SelfLinkFraction(); got < 0.33 || got > 0.34 {
+		t.Fatalf("SelfLinkFraction = %g, want 1/3", got)
+	}
+	sum := tr.Summarize()
+	if sum.Blocks != 3 || sum.Accesses != 6 || !strings.Contains(sum.String(), "gzip") {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestEmptyTraceStats(t *testing.T) {
+	tr := New("empty")
+	if tr.MeanOutboundLinks() != 0 || tr.SelfLinkFraction() != 0 || tr.TotalBytes() != 0 {
+		t.Error("empty trace stats should be zero")
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	tr := New("x")
+	for _, id := range []core.SuperblockID{5, 1, 3} {
+		if err := tr.Define(core.Superblock{ID: id, Size: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := tr.SortedIDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 3 || ids[2] != 5 {
+		t.Fatalf("SortedIDs = %v", ids)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := buildTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != tr.Name {
+		t.Fatalf("name = %q, want %q", back.Name, tr.Name)
+	}
+	if back.NumBlocks() != tr.NumBlocks() || len(back.Accesses) != len(tr.Accesses) {
+		t.Fatal("shape mismatch after round trip")
+	}
+	for id, sb := range tr.Blocks {
+		got := back.Blocks[id]
+		if got.Size != sb.Size || len(got.Links) != len(sb.Links) {
+			t.Fatalf("block %d mismatch: %+v vs %+v", id, got, sb)
+		}
+		for i := range sb.Links {
+			if got.Links[i] != sb.Links[i] {
+				t.Fatalf("block %d link %d mismatch", id, i)
+			}
+		}
+	}
+	for i := range tr.Accesses {
+		if back.Accesses[i] != tr.Accesses[i] {
+			t.Fatalf("access %d mismatch", i)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("JUNK"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := Read(bytes.NewReader([]byte("DY"))); err == nil {
+		t.Error("truncated magic should fail")
+	}
+	// Valid magic, bad version.
+	buf := append([]byte(magic), 9, 0)
+	if _, err := Read(bytes.NewReader(buf)); err == nil {
+		t.Error("bad version should fail")
+	}
+	// Truncated after header.
+	var full bytes.Buffer
+	tr := buildTrace(t)
+	if err := tr.Write(&full); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{6, 10, 20, full.Len() - 3} {
+		if _, err := Read(bytes.NewReader(full.Bytes()[:cut])); err == nil {
+			t.Errorf("truncation at %d should fail", cut)
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	tr := buildTrace(t)
+	path := filepath.Join(t.TempDir(), "gzip.trace")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Summarize() != tr.Summarize() {
+		t.Fatalf("summaries differ: %+v vs %+v", back.Summarize(), tr.Summarize())
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.trace")); err == nil {
+		t.Error("loading missing file should fail")
+	}
+}
+
+func TestDump(t *testing.T) {
+	tr := buildTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "block 1 size 100") {
+		t.Fatalf("dump missing block line:\n%s", out)
+	}
+	if !strings.Contains(out, "3 more accesses") {
+		t.Fatalf("dump missing truncation note:\n%s", out)
+	}
+	buf.Reset()
+	if err := tr.Dump(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "access "); got != 6 {
+		t.Fatalf("full dump has %d access lines, want 6", got)
+	}
+}
+
+func TestReuseDistances(t *testing.T) {
+	tr := New("x")
+	for _, id := range []core.SuperblockID{1, 2, 3} {
+		if err := tr.Define(core.Superblock{ID: id, Size: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sequence: 1 2 3 1 1 2 -> distances: 1:{2,3}=2, 1:{}=0, 2:{1,3}...
+	for _, id := range []core.SuperblockID{1, 2, 3, 1, 1, 2} {
+		if err := tr.Touch(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tr.ReuseDistances()
+	want := []int{2, 0, 2}
+	if len(got) != len(want) {
+		t.Fatalf("distances = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("distances = %v, want %v", got, want)
+		}
+	}
+	empty := New("e")
+	if len(empty.ReuseDistances()) != 0 {
+		t.Error("empty trace should have no distances")
+	}
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"fmt"
+
+	"dynocache/internal/core"
+	"dynocache/internal/trace"
+)
+
+// Interleave merges several benchmark traces into one multiprogrammed
+// workload. The paper motivates bounded code caches by observing that
+// "users tend to execute several programs at once" (§2.3): a shared cache
+// then sees each program's working set evicted while others run. The
+// merged trace round-robins through the inputs in quanta of the given
+// number of accesses — each quantum boundary is a context switch.
+//
+// Block IDs are remapped into disjoint ranges so distinct programs never
+// collide; link targets are remapped with them.
+func Interleave(name string, quantum int, traces ...*trace.Trace) (*trace.Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("workload: Interleave needs at least one trace")
+	}
+	if quantum < 1 {
+		return nil, fmt.Errorf("workload: quantum must be >= 1, got %d", quantum)
+	}
+	const stride = 1 << 22 // max blocks per program in the merged ID space
+	out := trace.New(name)
+	for ti, tr := range traces {
+		if tr.NumBlocks() >= stride {
+			return nil, fmt.Errorf("workload: trace %q has %d blocks, exceeding the per-program ID range", tr.Name, tr.NumBlocks())
+		}
+		base := core.SuperblockID(ti * stride)
+		for _, id := range tr.SortedIDs() {
+			sb := tr.Blocks[id]
+			links := make([]core.SuperblockID, len(sb.Links))
+			for i, to := range sb.Links {
+				links[i] = base + to
+			}
+			if err := out.Define(core.Superblock{
+				ID:    base + sb.ID,
+				SrcPC: sb.SrcPC,
+				Size:  sb.Size,
+				Links: links,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Round-robin the access streams in quanta until every stream drains.
+	cursors := make([]int, len(traces))
+	remaining := len(traces)
+	for remaining > 0 {
+		for ti, tr := range traces {
+			cur := cursors[ti]
+			if cur >= len(tr.Accesses) {
+				continue
+			}
+			end := cur + quantum
+			if end >= len(tr.Accesses) {
+				end = len(tr.Accesses)
+				remaining--
+			}
+			base := core.SuperblockID(ti * stride)
+			for _, id := range tr.Accesses[cur:end] {
+				if err := out.Touch(base + id); err != nil {
+					return nil, err
+				}
+			}
+			cursors[ti] = end
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: interleaved trace invalid: %w", err)
+	}
+	return out, nil
+}
+
+// Multiprogram builds a canonical multiprogrammed workload from named
+// Table 1 benchmarks at the given scale, context-switching every quantum
+// accesses.
+func Multiprogram(scale float64, quantum int, names ...string) (*trace.Trace, error) {
+	var traces []*trace.Trace
+	label := "multiprog"
+	for _, n := range names {
+		p, err := ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := p.Scaled(scale).Synthesize()
+		if err != nil {
+			return nil, err
+		}
+		traces = append(traces, tr)
+		label += "+" + n
+	}
+	return Interleave(label, quantum, traces...)
+}

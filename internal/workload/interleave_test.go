@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"testing"
+
+	"dynocache/internal/core"
+	"dynocache/internal/trace"
+)
+
+func synth(t *testing.T, name string, scale float64) *trace.Trace {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := p.Scaled(scale).Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestInterleaveValidation(t *testing.T) {
+	if _, err := Interleave("x", 100); err == nil {
+		t.Error("no traces should fail")
+	}
+	tr := synth(t, "gzip", 0.1)
+	if _, err := Interleave("x", 0, tr); err == nil {
+		t.Error("zero quantum should fail")
+	}
+}
+
+func TestInterleavePreservesEverything(t *testing.T) {
+	a := synth(t, "gzip", 0.2)
+	b := synth(t, "mcf", 0.5)
+	merged, err := Interleave("gzip+mcf", 500, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.NumBlocks(), a.NumBlocks()+b.NumBlocks(); got != want {
+		t.Fatalf("blocks = %d, want %d", got, want)
+	}
+	if got, want := len(merged.Accesses), len(a.Accesses)+len(b.Accesses); got != want {
+		t.Fatalf("accesses = %d, want %d", got, want)
+	}
+	if got, want := merged.TotalBytes(), a.TotalBytes()+b.TotalBytes(); got != want {
+		t.Fatalf("bytes = %d, want %d", got, want)
+	}
+}
+
+func TestInterleaveRemapsIDsDisjointly(t *testing.T) {
+	a := synth(t, "gzip", 0.1)
+	b := synth(t, "bzip2", 0.5)
+	merged, err := Interleave("m", 200, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stride = 1 << 22
+	seenSecond := false
+	for id := range merged.Blocks {
+		if id >= stride {
+			seenSecond = true
+			if int(id-stride) >= b.NumBlocks() {
+				t.Fatalf("remapped ID %d outside program 1's range", id)
+			}
+		}
+	}
+	if !seenSecond {
+		t.Fatal("no IDs from the second program")
+	}
+}
+
+func TestInterleaveQuantumStructure(t *testing.T) {
+	a := synth(t, "gzip", 0.1)
+	b := synth(t, "mcf", 0.5)
+	const quantum = 100
+	merged, err := Interleave("m", quantum, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first quantum must come entirely from program 0, the second
+	// entirely from program 1.
+	const stride = 1 << 22
+	for i := 0; i < quantum; i++ {
+		if merged.Accesses[i] >= stride {
+			t.Fatalf("access %d belongs to program 1 inside program 0's quantum", i)
+		}
+	}
+	for i := quantum; i < 2*quantum; i++ {
+		if merged.Accesses[i] < stride {
+			t.Fatalf("access %d belongs to program 0 inside program 1's quantum", i)
+		}
+	}
+}
+
+func TestInterleaveLinkRemap(t *testing.T) {
+	a := synth(t, "gzip", 0.1)
+	merged, err := Interleave("m", 50, a, a) // same trace twice
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Program 1's links must point into program 1's ID range.
+	const stride = 1 << 22
+	for id, sb := range merged.Blocks {
+		if id < stride {
+			continue
+		}
+		for _, to := range sb.Links {
+			if to < stride {
+				t.Fatalf("program 1 block %d links into program 0 (%d)", id, to)
+			}
+		}
+	}
+}
+
+func TestMultiprogram(t *testing.T) {
+	tr, err := Multiprogram(0.1, 200, "gzip", "mcf", "bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "multiprog+gzip+mcf+bzip2" {
+		t.Fatalf("name = %q", tr.Name)
+	}
+	if _, err := Multiprogram(0.1, 200, "nope"); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+// Multiprogramming raises effective cache pressure: the merged workload at
+// a given capacity misses more than the weighted blend of the solo runs.
+func TestMultiprogrammingRaisesPressure(t *testing.T) {
+	a := synth(t, "gzip", 0.5)
+	b := synth(t, "vpr", 0.5)
+	merged, err := Interleave("m", 2000, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(tr *trace.Trace, capacity int) *core.Stats {
+		c, err := core.NewUnits(capacity, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range tr.Accesses {
+			if !c.Access(id) {
+				if err := c.Insert(tr.Blocks[id]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return c.Stats()
+	}
+	// Capacity sized for one program: generous solo, starved shared.
+	capacity := a.TotalBytes() / 2
+	sa := run(a, capacity)
+	sb := run(b, capacity)
+	sm := run(merged, capacity)
+	soloBlend := float64(sa.Misses+sb.Misses) / float64(sa.Accesses+sb.Accesses)
+	if sm.MissRate() <= soloBlend {
+		t.Fatalf("shared-cache miss rate %.4f should exceed solo blend %.4f",
+			sm.MissRate(), soloBlend)
+	}
+}

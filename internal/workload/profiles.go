@@ -1,0 +1,253 @@
+// Package workload synthesizes calibrated code-cache traces.
+//
+// The paper drives its simulator with DynamoRIO logs of 12 SPECint2000
+// benchmarks and 8 interactive Windows applications. We cannot run those
+// binaries, so each benchmark is replaced by a statistical profile
+// calibrated to the paper's published characteristics:
+//
+//   - hot-superblock count: Table 1, reproduced exactly;
+//   - superblock size distribution: log-normal with the per-benchmark
+//     medians of Figure 4 and the right-skewed dispersion of Figure 3
+//     (Windows applications carry larger regions than SPEC);
+//   - outbound link density: geometric with mean ~1.7 (Figure 12),
+//     including self-loops, mostly targeting temporally nearby blocks;
+//   - temporal locality: an LRU-stack reference model with Zipf-distributed
+//     reuse depths and periodic working-set turnover (program phases),
+//     the structure that makes eviction-policy choices matter.
+//
+// A profile deterministically expands into a trace.Trace; equal profiles
+// always produce identical traces, mirroring the paper's saved logs.
+package workload
+
+import "fmt"
+
+// Suite labels a benchmark's origin.
+type Suite uint8
+
+// The two benchmark suites of Table 1.
+const (
+	SuiteSPEC Suite = iota
+	SuiteWindows
+)
+
+// String names the suite.
+func (s Suite) String() string {
+	if s == SuiteSPEC {
+		return "SPECint2000"
+	}
+	return "Windows"
+}
+
+// Profile is a calibrated statistical description of one benchmark.
+type Profile struct {
+	Name        string
+	Suite       Suite
+	Description string // Table 1's description column
+
+	// Superblocks is the number of hot superblocks the code cache must
+	// manage (Table 1's middle column).
+	Superblocks int
+
+	// MedianSize is the median superblock size in bytes (Figure 4) and
+	// SizeSigma the log-normal shape parameter controlling the right skew
+	// of Figure 3.
+	MedianSize int
+	SizeSigma  float64
+
+	// MeanLinks is the mean number of outbound links per superblock
+	// (Figure 12 reports an average of 1.7), SelfLinkProb the probability
+	// a block loops to itself, LinkLocality the mean |creation distance|
+	// of a link target, and FarLinkProb the chance a link instead targets
+	// a uniformly random block.
+	MeanLinks    float64
+	SelfLinkProb float64
+	LinkLocality float64
+	FarLinkProb  float64
+
+	// ReuseFactor is the mean number of accesses per superblock in the
+	// synthesized trace; SPEC loop nests re-enter regions far more often
+	// than interactive applications.
+	ReuseFactor int
+
+	// WSFrac sizes the sliding working-set window as a fraction of the
+	// superblock population. It is the profile's main cache-pressure
+	// lever: the window fits a maxCache/2 cache but overflows a
+	// maxCache/10 one.
+	WSFrac float64
+	// SeqJumpProb is the chance a working-set access restarts the cyclic
+	// walk at a random in-window position instead of continuing in order.
+	SeqJumpProb float64
+
+	// HotFrac sizes the global always-hot set (dispatchers, utility
+	// routines) as a fraction of the population; HotProb is the chance an
+	// access goes there; ZipfS skews popularity inside it.
+	HotFrac float64
+	HotProb float64
+	ZipfS   float64
+
+	// ExcursionProb is the chance an access touches a uniformly random
+	// cold block (error paths, one-off code).
+	ExcursionProb float64
+
+	// Phases is the number of window slides across the trace and
+	// TurnoverFrac the slide distance as a fraction of the window width.
+	Phases       int
+	TurnoverFrac float64
+
+	// Seed makes the expansion deterministic per benchmark.
+	Seed uint64
+}
+
+// Validate reports the first problem with the profile.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile missing name")
+	case p.Superblocks < 1:
+		return fmt.Errorf("workload: %s: Superblocks must be >= 1, got %d", p.Name, p.Superblocks)
+	case p.MedianSize < 1:
+		return fmt.Errorf("workload: %s: MedianSize must be >= 1, got %d", p.Name, p.MedianSize)
+	case p.SizeSigma < 0:
+		return fmt.Errorf("workload: %s: negative SizeSigma", p.Name)
+	case p.MeanLinks < 0:
+		return fmt.Errorf("workload: %s: negative MeanLinks", p.Name)
+	case p.ReuseFactor < 1:
+		return fmt.Errorf("workload: %s: ReuseFactor must be >= 1, got %d", p.Name, p.ReuseFactor)
+	case p.ZipfS < 0:
+		return fmt.Errorf("workload: %s: negative ZipfS", p.Name)
+	case p.Phases < 1:
+		return fmt.Errorf("workload: %s: Phases must be >= 1, got %d", p.Name, p.Phases)
+	case p.TurnoverFrac < 0 || p.TurnoverFrac > 1:
+		return fmt.Errorf("workload: %s: TurnoverFrac %g outside [0, 1]", p.Name, p.TurnoverFrac)
+	case p.WSFrac <= 0 || p.WSFrac > 1:
+		return fmt.Errorf("workload: %s: WSFrac %g outside (0, 1]", p.Name, p.WSFrac)
+	case p.HotFrac < 0 || p.HotFrac > 1:
+		return fmt.Errorf("workload: %s: HotFrac %g outside [0, 1]", p.Name, p.HotFrac)
+	case p.HotProb < 0 || p.HotProb > 1:
+		return fmt.Errorf("workload: %s: HotProb %g outside [0, 1]", p.Name, p.HotProb)
+	case p.ExcursionProb < 0 || p.ExcursionProb > 1:
+		return fmt.Errorf("workload: %s: ExcursionProb %g outside [0, 1]", p.Name, p.ExcursionProb)
+	case p.SeqJumpProb < 0 || p.SeqJumpProb > 1:
+		return fmt.Errorf("workload: %s: SeqJumpProb %g outside [0, 1]", p.Name, p.SeqJumpProb)
+	}
+	return nil
+}
+
+// Scaled returns a copy of the profile with the superblock count scaled by
+// f (minimum 8 blocks), for fast tests and benchmarks. Distribution
+// parameters are untouched.
+func (p Profile) Scaled(f float64) Profile {
+	q := p
+	q.Superblocks = int(float64(p.Superblocks) * f)
+	if q.Superblocks < 8 {
+		q.Superblocks = 8
+	}
+	return q
+}
+
+// spec builds a SPECint2000 profile with suite-typical locality defaults.
+// wsFrac is per-benchmark: it controls how hard the benchmark stresses a
+// pressured cache (a small working set still fits at maxCache/10, so FLUSH
+// hurts it badly while any FIFO variant keeps it resident; a large one
+// defeats every policy equally).
+func spec(name, desc string, superblocks, medianSize int, wsFrac float64, seed uint64) Profile {
+	return Profile{
+		Name: name, Suite: SuiteSPEC, Description: desc,
+		Superblocks: superblocks,
+		MedianSize:  medianSize, SizeSigma: 0.9,
+		MeanLinks: 1.7, SelfLinkProb: 0.25, LinkLocality: 4, FarLinkProb: 0.08,
+		ReuseFactor: 150,
+		WSFrac:      wsFrac, SeqJumpProb: 0.02,
+		HotFrac: 0.002, HotProb: 0.18, ZipfS: 1.1,
+		ExcursionProb: 0.02,
+		Phases:        8, TurnoverFrac: 0.5,
+		Seed: seed,
+	}
+}
+
+// win builds an interactive-Windows profile: bigger regions, more
+// superblocks, less reuse per region, and more frequent phase shifts —
+// the behaviour reference [15] reports stresses cache management hardest.
+func win(name, desc string, superblocks, medianSize int, wsFrac float64, seed uint64) Profile {
+	return Profile{
+		Name: name, Suite: SuiteWindows, Description: desc,
+		Superblocks: superblocks,
+		MedianSize:  medianSize, SizeSigma: 1.1,
+		MeanLinks: 1.7, SelfLinkProb: 0.2, LinkLocality: 6, FarLinkProb: 0.12,
+		ReuseFactor: 60,
+		WSFrac:      wsFrac, SeqJumpProb: 0.03,
+		HotFrac: 0.002, HotProb: 0.15, ZipfS: 1.05,
+		ExcursionProb: 0.04,
+		Phases:        12, TurnoverFrac: 0.6,
+		Seed: seed,
+	}
+}
+
+// Table1 returns the paper's 20 benchmarks (Table 1): name, description,
+// and hot-superblock count are reproduced from the paper; the remaining
+// parameters are suite-level calibrations described in the package
+// comment.
+func Table1() []Profile {
+	return []Profile{
+		spec("gzip", "Compression", 301, 244, 0.30, 0x6721),
+		spec("vpr", "FPGA Place+Route", 449, 242, 0.25, 0x6722),
+		spec("gcc", "C Compiler", 8751, 237, 0.45, 0x6723),
+		spec("mcf", "Combinatorial Optimization", 158, 233, 0.20, 0x6724),
+		spec("crafty", "Chess Game", 1488, 223, 0.12, 0x6725),
+		spec("parser", "Word Processing", 2418, 225, 0.35, 0x6726),
+		spec("eon", "Computer Visualization", 448, 224, 0.25, 0x6727),
+		spec("perlbmk", "PERL Language", 2144, 220, 0.40, 0x6728),
+		spec("gap", "Group Theory Interpreter", 667, 213, 0.30, 0x6729),
+		spec("vortex", "Object-Oriented Database", 1985, 190, 0.45, 0x672A),
+		spec("bzip2", "Compression", 224, 230, 0.15, 0x672B),
+		spec("twolf", "Place+Route", 574, 210, 0.12, 0x672C),
+		win("iexplore", "Web Browser", 14846, 420, 0.50, 0x7731),
+		win("outlook", "E-Mail App", 13233, 410, 0.45, 0x7732),
+		win("photoshop", "Photo Editor", 9434, 450, 0.50, 0x7733),
+		win("pinball", "3D Game Demo", 1086, 380, 0.20, 0x7734),
+		win("powerpoint", "Presentation", 14475, 430, 0.45, 0x7735),
+		win("visualstudio", "Development Env", 7063, 440, 0.50, 0x7736),
+		win("winzip", "Compression", 3198, 390, 0.25, 0x7737),
+		win("word", "Word Processor", 18043, 415, 0.55, 0x7738),
+	}
+}
+
+// SPECProfiles returns only the SPECint2000 rows of Table 1.
+func SPECProfiles() []Profile {
+	return filterSuite(Table1(), SuiteSPEC)
+}
+
+// WindowsProfiles returns only the interactive Windows rows of Table 1.
+func WindowsProfiles() []Profile {
+	return filterSuite(Table1(), SuiteWindows)
+}
+
+func filterSuite(ps []Profile, s Suite) []Profile {
+	out := ps[:0:0]
+	for _, p := range ps {
+		if p.Suite == s {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ByName returns the Table 1 profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, p := range Table1() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// ScaledTable1 returns every Table 1 profile scaled by f; handy for tests
+// and quick benchmark runs.
+func ScaledTable1(f float64) []Profile {
+	ps := Table1()
+	for i := range ps {
+		ps[i] = ps[i].Scaled(f)
+	}
+	return ps
+}

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"fmt"
+
+	"dynocache/internal/core"
+	"dynocache/internal/stats"
+	"dynocache/internal/trace"
+)
+
+// Synthesize expands the profile into a replayable trace.
+//
+// The reference stream models how programs actually walk their code:
+//
+//   - A sliding *phase window* over the superblock population is the
+//     current working set; execution predominantly cycles through it in
+//     order (loop nests re-entering the same regions), with occasional
+//     in-window jumps. Every Phases-th of the trace, the window slides by
+//     TurnoverFrac of its width: old code cools off, fresh code heats up.
+//   - A small global *hot set* (dispatch loops, utility routines) is
+//     re-entered throughout the run with Zipf-skewed popularity.
+//   - Rare *excursions* touch uniformly random cold blocks (error paths,
+//     one-off initialization), which is what fills a code cache with
+//     short-lived regions.
+//
+// This structure is what differentiates eviction granularities, matching
+// the paper's observations: when the cache holds the working set (low
+// pressure), FIFO-like policies evict mostly dead previous-phase code
+// while FLUSH destroys the live window; when the window exceeds the cache
+// (high pressure), cyclic reuse defeats every replacement policy and miss
+// rates converge — leaving fine-grained eviction paying its per-invocation
+// and unlinking overheads for nearly no miss benefit (Figures 7, 11, 15).
+func (p Profile) Synthesize() (*trace.Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := stats.NewRand(p.Seed, 0x517)
+	tr := trace.New(p.Name)
+
+	// 1. Definitions: sizes and links for every superblock (Table 1 count,
+	// Figure 3/4 sizes, Figure 12 links).
+	n := p.Superblocks
+	for i := 0; i < n; i++ {
+		size := int(r.LogNormal(float64(p.MedianSize), p.SizeSigma))
+		if size < 16 {
+			size = 16 // a superblock carries at least a branch and a stub
+		}
+		sb := core.Superblock{
+			ID:    core.SuperblockID(i),
+			SrcPC: uint64(0x400000 + 64*i), // synthetic source address
+			Size:  size,
+			Links: p.genLinks(r, i, n),
+		}
+		if err := tr.Define(sb); err != nil {
+			return nil, err
+		}
+	}
+
+	// 2. Access stream.
+	total := n * p.ReuseFactor
+
+	// Working-set window.
+	w := int(float64(n) * p.WSFrac)
+	if w < 2 {
+		w = 2
+	}
+	if w > n {
+		w = n
+	}
+	step := int(float64(w) * p.TurnoverFrac)
+	if step < 1 {
+		step = 1
+	}
+	phaseLen := total / p.Phases
+	if phaseLen < 1 {
+		phaseLen = 1
+	}
+
+	// Global hot set: spread across the ID space with Zipf popularity.
+	hotN := int(float64(n) * p.HotFrac)
+	if hotN < 1 {
+		hotN = 1
+	}
+	hot := make([]core.SuperblockID, hotN)
+	for i := range hot {
+		hot[i] = core.SuperblockID((i * n) / hotN)
+	}
+
+	winStart := 0
+	cursor := 0
+	for i := 0; i < total; i++ {
+		if i > 0 && i%phaseLen == 0 {
+			winStart = (winStart + step) % n
+		}
+		var id core.SuperblockID
+		switch {
+		case r.Bernoulli(p.HotProb):
+			id = hot[r.Zipf(hotN, p.ZipfS)]
+		case r.Bernoulli(p.ExcursionProb):
+			id = core.SuperblockID(r.Intn(n))
+		default:
+			// Cyclic walk through the current window, with occasional
+			// short forward skips (branches past cold paths). Skips move
+			// with the walk direction, so they land ahead of the cursor in
+			// code not visited for almost a full cycle.
+			if r.Bernoulli(p.SeqJumpProb) {
+				maxSkip := w / 8
+				if maxSkip < 1 {
+					maxSkip = 1
+				}
+				cursor += r.Intn(maxSkip)
+			}
+			id = core.SuperblockID((winStart + cursor) % n)
+			cursor++
+			if cursor >= w {
+				cursor = 0
+			}
+		}
+		if err := tr.Touch(id); err != nil {
+			return nil, err
+		}
+	}
+	// Touch any block the walk never reached so Table 1 counts are exact
+	// and every definition is exercised.
+	seen := make([]bool, n)
+	for _, id := range tr.Accesses {
+		seen[id] = true
+	}
+	for i, s := range seen {
+		if !s {
+			if err := tr.Touch(core.SuperblockID(i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: %s: synthesized invalid trace: %w", p.Name, err)
+	}
+	return tr, nil
+}
+
+// genLinks draws the outbound links of block i (Figure 12 calibration):
+// an optional self-loop, plus geometrically many targets that are mostly
+// temporal neighbours in creation order, with an occasional far jump.
+func (p Profile) genLinks(r *stats.Rand, i, n int) []core.SuperblockID {
+	var links []core.SuperblockID
+	seen := map[core.SuperblockID]bool{}
+	add := func(id core.SuperblockID) {
+		if !seen[id] {
+			seen[id] = true
+			links = append(links, id)
+		}
+	}
+	meanOut := p.MeanLinks
+	if r.Bernoulli(p.SelfLinkProb) {
+		add(core.SuperblockID(i))
+		meanOut -= p.SelfLinkProb // keep the overall mean at MeanLinks
+	}
+	if meanOut < 0 {
+		meanOut = 0
+	}
+	k := r.Geometric(meanOut)
+	for j := 0; j < k && j < 8; j++ {
+		var target int
+		if r.Bernoulli(p.FarLinkProb) {
+			target = r.Intn(n)
+		} else {
+			// Temporal neighbour: displacement is geometric, direction
+			// random (forward links model not-yet-translated successors).
+			d := 1 + r.Geometric(p.LinkLocality)
+			if r.Bernoulli(0.5) {
+				d = -d
+			}
+			target = i + d
+		}
+		if target < 0 || target >= n || target == i {
+			continue
+		}
+		add(core.SuperblockID(target))
+	}
+	return links
+}

@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"dynocache/internal/core"
+)
+
+func TestTable1Fidelity(t *testing.T) {
+	// The paper's Table 1 counts, reproduced exactly.
+	want := map[string]int{
+		"gzip": 301, "vpr": 449, "gcc": 8751, "mcf": 158, "crafty": 1488,
+		"parser": 2418, "eon": 448, "perlbmk": 2144, "gap": 667,
+		"vortex": 1985, "bzip2": 224, "twolf": 574,
+		"iexplore": 14846, "outlook": 13233, "photoshop": 9434,
+		"pinball": 1086, "powerpoint": 14475, "visualstudio": 7063,
+		"winzip": 3198, "word": 18043,
+	}
+	ps := Table1()
+	if len(ps) != 20 {
+		t.Fatalf("Table1 has %d profiles, want 20", len(ps))
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if got := p.Superblocks; got != want[p.Name] {
+			t.Errorf("%s: superblocks = %d, want %d", p.Name, got, want[p.Name])
+		}
+	}
+	if got := len(SPECProfiles()); got != 12 {
+		t.Errorf("SPEC profiles = %d, want 12", got)
+	}
+	if got := len(WindowsProfiles()); got != 8 {
+		t.Errorf("Windows profiles = %d, want 8", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("gzip")
+	if err != nil || p.Superblocks != 301 {
+		t.Fatalf("ByName(gzip) = %+v, %v", p, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestSuiteString(t *testing.T) {
+	if SuiteSPEC.String() != "SPECint2000" || SuiteWindows.String() != "Windows" {
+		t.Error("suite names wrong")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p, _ := ByName("word")
+	s := p.Scaled(0.01)
+	if s.Superblocks != 180 {
+		t.Fatalf("scaled superblocks = %d, want 180", s.Superblocks)
+	}
+	tiny := p.Scaled(0.00001)
+	if tiny.Superblocks != 8 {
+		t.Fatalf("scaling floors at 8, got %d", tiny.Superblocks)
+	}
+	if len(ScaledTable1(0.01)) != 20 {
+		t.Error("ScaledTable1 should keep all profiles")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	good, _ := ByName("gzip")
+	mutations := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.Superblocks = 0 },
+		func(p *Profile) { p.MedianSize = 0 },
+		func(p *Profile) { p.SizeSigma = -1 },
+		func(p *Profile) { p.MeanLinks = -1 },
+		func(p *Profile) { p.ReuseFactor = 0 },
+		func(p *Profile) { p.ZipfS = -0.1 },
+		func(p *Profile) { p.Phases = 0 },
+		func(p *Profile) { p.TurnoverFrac = 1.5 },
+		func(p *Profile) { p.WSFrac = 0 },
+		func(p *Profile) { p.WSFrac = 1.5 },
+		func(p *Profile) { p.HotFrac = -0.1 },
+		func(p *Profile) { p.HotProb = 2 },
+		func(p *Profile) { p.ExcursionProb = -1 },
+		func(p *Profile) { p.SeqJumpProb = 1.1 },
+	}
+	for i, mut := range mutations {
+		p := good
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate the profile", i)
+		}
+		if _, err := p.Synthesize(); err == nil {
+			t.Errorf("mutation %d: Synthesize should fail", i)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	p, _ := ByName("gzip")
+	a, err := p.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumBlocks() != b.NumBlocks() || len(a.Accesses) != len(b.Accesses) {
+		t.Fatal("shapes differ between identical syntheses")
+	}
+	for i := range a.Accesses {
+		if a.Accesses[i] != b.Accesses[i] {
+			t.Fatalf("access %d differs", i)
+		}
+	}
+	for id, sb := range a.Blocks {
+		if b.Blocks[id].Size != sb.Size {
+			t.Fatalf("block %d size differs", id)
+		}
+	}
+}
+
+func TestSynthesizeCalibration(t *testing.T) {
+	p, _ := ByName("gzip")
+	tr, err := p.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumBlocks() != 301 {
+		t.Fatalf("blocks = %d, want 301 (Table 1)", tr.NumBlocks())
+	}
+	if got := len(tr.Accesses); got < 301*p.ReuseFactor {
+		t.Fatalf("accesses = %d, want >= %d", got, 301*p.ReuseFactor)
+	}
+	// Median size within 15% of the Figure 4 calibration target.
+	med := tr.MedianSize()
+	if math.Abs(med-244)/244 > 0.15 {
+		t.Fatalf("median size = %g, want ~244", med)
+	}
+	// Mean outbound links near the Figure 12 value for this suite.
+	links := tr.MeanOutboundLinks()
+	if links < 1.0 || links > 2.4 {
+		t.Fatalf("mean links = %g, want ~1.7", links)
+	}
+	// Some self-loops must exist.
+	if tr.SelfLinkFraction() < 0.05 {
+		t.Fatalf("self-link fraction = %g, too low", tr.SelfLinkFraction())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesizeSizesRightSkewed(t *testing.T) {
+	p, _ := ByName("photoshop")
+	tr, err := p.Scaled(0.2).Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := tr.Sizes()
+	var mean float64
+	for _, s := range sizes {
+		mean += s
+	}
+	mean /= float64(len(sizes))
+	if mean <= tr.MedianSize() {
+		t.Fatalf("Figure 3 skew missing: mean %g <= median %g", mean, tr.MedianSize())
+	}
+	// Minimum block size floor.
+	for _, s := range sizes {
+		if s < 16 {
+			t.Fatalf("block smaller than floor: %g", s)
+		}
+	}
+}
+
+func TestSynthesizeTemporalLocality(t *testing.T) {
+	// The access stream must be far more concentrated than uniform:
+	// the top-10% most accessed blocks should absorb a large share.
+	p, _ := ByName("crafty")
+	tr, err := p.Scaled(0.3).Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[core.SuperblockID]int{}
+	for _, id := range tr.Accesses {
+		counts[id]++
+	}
+	freq := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freq = append(freq, c)
+	}
+	// Top decile share.
+	total := 0
+	for _, c := range freq {
+		total += c
+	}
+	// Partial selection: simple sort.
+	for i := 0; i < len(freq); i++ {
+		for j := i + 1; j < len(freq); j++ {
+			if freq[j] > freq[i] {
+				freq[i], freq[j] = freq[j], freq[i]
+			}
+		}
+	}
+	top := len(freq) / 10
+	if top < 1 {
+		top = 1
+	}
+	topSum := 0
+	for _, c := range freq[:top] {
+		topSum += c
+	}
+	share := float64(topSum) / float64(total)
+	if share < 0.2 {
+		t.Fatalf("top-decile share = %g, stream looks uniform", share)
+	}
+}
+
+func TestSynthesizeTinyProfile(t *testing.T) {
+	p, _ := ByName("mcf")
+	p = p.Scaled(0.0001) // floors at 8 blocks
+	p.ReuseFactor = 2
+	tr, err := p.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumBlocks() != 8 {
+		t.Fatalf("blocks = %d, want 8", tr.NumBlocks())
+	}
+	// Every defined block must be touched at least once.
+	seen := map[core.SuperblockID]bool{}
+	for _, id := range tr.Accesses {
+		seen[id] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("only %d of 8 blocks accessed", len(seen))
+	}
+}
+
+func TestWindowsBlocksLargerThanSPEC(t *testing.T) {
+	g, _ := ByName("gzip")
+	w, _ := ByName("word")
+	gt, err := g.Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := w.Scaled(0.05).Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wt.MedianSize() <= gt.MedianSize() {
+		t.Fatalf("Windows median %g should exceed SPEC median %g (Figure 4)",
+			wt.MedianSize(), gt.MedianSize())
+	}
+}
