@@ -7,7 +7,7 @@
 //	                      [-maxunits 64] [-out report.txt] [-only fig6,...]
 //
 // The full-scale run (-scale 1.0) reproduces Table 1's superblock counts
-// exactly and takes tens of CPU-minutes; -quick runs a 5%-scale version in
+// exactly and takes about a CPU-minute; -quick runs a 5%-scale version in
 // well under a minute.
 package main
 

@@ -207,7 +207,7 @@ func NewExperimentSuite(cfg ExperimentConfig) (*ExperimentSuite, error) {
 }
 
 // FullExperimentConfig reproduces the evaluation at full Table 1 scale
-// (tens of CPU-minutes for all figures).
+// (about a CPU-minute for all figures).
 func FullExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
 
 // QuickExperimentConfig runs the same experiments on 5%-scale workloads.

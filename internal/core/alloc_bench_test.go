@@ -1,0 +1,169 @@
+package core
+
+import "testing"
+
+// Benchmarks and tests for the dense-ID hot path's allocation behavior:
+// after warmup (tables grown, scratch buffers at steady-state capacity),
+// the Access hit path and eviction invocations must not touch the heap.
+
+// allocRing builds a ring of linked superblocks for churn workloads: block
+// i links to its two successors, so evictions constantly unpatch links
+// from surviving sources and re-pend them.
+func allocRing(n, size int) []Superblock {
+	blocks := make([]Superblock, n)
+	for i := range blocks {
+		id := SuperblockID(i)
+		blocks[i] = Superblock{
+			ID:   id,
+			Size: size,
+			Links: []SuperblockID{
+				SuperblockID((i + 1) % n),
+				SuperblockID((i + 7) % n),
+			},
+		}
+	}
+	return blocks
+}
+
+// churn replays k sequential misses over the ring, inserting on each.
+func churn(c Cache, blocks []Superblock, start, k int) (int, error) {
+	n := len(blocks)
+	for j := 0; j < k; j++ {
+		sb := blocks[start%n]
+		start++
+		if c.Access(sb.ID) {
+			continue
+		}
+		if err := c.Insert(sb); err != nil {
+			return start, err
+		}
+	}
+	return start, nil
+}
+
+func TestZeroAllocSteadyState(t *testing.T) {
+	const (
+		nBlocks = 256
+		blkSize = 64
+	)
+	blocks := allocRing(nBlocks, blkSize)
+
+	t.Run("access-hit", func(t *testing.T) {
+		// Capacity holds the whole ring: every access after warmup hits.
+		c, err := NewFine(nBlocks * blkSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := churn(c, blocks, 0, nBlocks); err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(1000, func() {
+			if !c.Access(SuperblockID(i % nBlocks)) {
+				t.Error("unexpected miss")
+			}
+			i++
+		})
+		if allocs != 0 {
+			t.Errorf("Access hit path allocated %.1f times per run, want 0", allocs)
+		}
+	})
+
+	evictionCases := []struct {
+		name string
+		mk   func(capacity int) (Cache, error)
+	}{
+		{"fine", func(cap int) (Cache, error) { return NewFine(cap) }},
+		{"8-unit", func(cap int) (Cache, error) { return NewUnits(cap, 8) }},
+		{"flush", func(cap int) (Cache, error) { return NewFlush(cap) }},
+	}
+	for _, tc := range evictionCases {
+		t.Run("evict-"+tc.name, func(t *testing.T) {
+			// Capacity holds a quarter of the ring: cycling through it
+			// keeps the eviction mechanism permanently busy.
+			c, err := tc.mk(nBlocks * blkSize / 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm up for several full laps so the dense tables cover the
+			// ID space and every scratch buffer (victim list, queue,
+			// link-record sets) reaches its steady-state capacity.
+			cursor, err := churn(c, blocks, 0, 8*nBlocks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var insertErr error
+			allocs := testing.AllocsPerRun(1000, func() {
+				cursor, insertErr = churn(c, blocks, cursor, 1)
+				if insertErr != nil {
+					t.Error(insertErr)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state eviction allocated %.1f times per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkAccessHot measures the Access hit path.
+func BenchmarkAccessHot(b *testing.B) {
+	const (
+		nBlocks = 256
+		blkSize = 64
+	)
+	blocks := allocRing(nBlocks, blkSize)
+	c, err := NewFine(nBlocks * blkSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := churn(c, blocks, 0, nBlocks); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Access(SuperblockID(i % nBlocks)) {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+// BenchmarkEvictionStorm measures insertion under permanent cache
+// pressure: every few inserts trigger an eviction invocation with link
+// unpatching.
+func BenchmarkEvictionStorm(b *testing.B) {
+	const (
+		nBlocks = 256
+		blkSize = 64
+	)
+	blocks := allocRing(nBlocks, blkSize)
+	for _, n := range []int{0, 8, 1} { // fine, 8-unit, flush
+		name := map[int]string{0: "fine", 8: "8-unit", 1: "flush"}[n]
+		b.Run(name, func(b *testing.B) {
+			capacity := nBlocks * blkSize / 4
+			var c Cache
+			var err error
+			switch n {
+			case 0:
+				c, err = NewFine(capacity)
+			case 1:
+				c, err = NewFlush(capacity)
+			default:
+				c, err = NewUnits(capacity, n)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			cursor, err := churn(c, blocks, 0, 8*nBlocks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := churn(c, blocks, cursor, b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

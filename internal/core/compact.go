@@ -27,6 +27,13 @@ type CompactingLRUCache struct {
 	// LinksRepatched counts patched links with at least one moved
 	// endpoint; each needs its encoded jump target rewritten.
 	LinksRepatched uint64
+
+	// Reusable compaction scratch: the offset-sorted node list and an
+	// epoch-stamped moved set, so steady-state compaction allocates
+	// nothing.
+	compactScratch []*lruNode
+	movedMarks     []uint32
+	movedEpoch     uint32
 }
 
 var _ Cache = (*CompactingLRUCache)(nil)
@@ -61,26 +68,43 @@ func (c *LRUCache) fits(size int) bool {
 	return false
 }
 
+// markMoved stamps id into the current compaction's moved set.
+func (c *CompactingLRUCache) markMoved(id SuperblockID) {
+	if int(id) >= len(c.movedMarks) {
+		marks := make([]uint32, len(c.nodes))
+		copy(marks, c.movedMarks)
+		c.movedMarks = marks
+	}
+	c.movedMarks[id] = c.movedEpoch
+}
+
+func (c *CompactingLRUCache) moved(id SuperblockID) bool {
+	return int(id) < len(c.movedMarks) && c.movedMarks[id] == c.movedEpoch
+}
+
 // compact slides all resident blocks to the bottom of the arena in offset
 // order, leaving one coalesced hole at the top, and accounts for the link
 // re-patching the move forces.
 func (c *CompactingLRUCache) compact() {
-	nodes := make([]*lruNode, 0, len(c.blocks))
-	for _, n := range c.blocks {
-		nodes = append(nodes, n)
+	nodes := c.compactScratch[:0]
+	for _, n := range c.nodes {
+		if n != nil {
+			nodes = append(nodes, n)
+		}
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].off < nodes[j].off })
-	moved := make(map[SuperblockID]bool)
+	c.movedEpoch++
 	at := 0
 	var bytesMoved uint64
 	for _, n := range nodes {
 		if n.off != at {
-			moved[n.id] = true
+			c.markMoved(n.id)
 			bytesMoved += uint64(n.size)
 			n.off = at
 		}
 		at += n.size
 	}
+	c.compactScratch = nodes
 	c.holes = c.holes[:0]
 	if at < c.capacity {
 		c.holes = append(c.holes, hole{off: at, size: c.capacity - at})
@@ -90,13 +114,11 @@ func (c *CompactingLRUCache) compact() {
 	// relative target changed; if the target moved, the source's encoded
 	// target is stale. Count each once.
 	var repatched uint64
-	for from, set := range c.links.patched {
-		for to := range set {
-			if moved[from] || moved[to] {
-				repatched++
-			}
+	c.links.forEachPatched(func(from, to SuperblockID) {
+		if c.moved(from) || c.moved(to) {
+			repatched++
 		}
-	}
+	})
 	c.Compactions++
 	c.BytesMoved += bytesMoved
 	c.LinksRepatched += repatched

@@ -128,6 +128,128 @@ func TestFlushMatchesReferenceModel(t *testing.T) {
 	}
 }
 
+// TestLinkTableMatchesMapOracle drives the dense slice-indexed linkTable
+// and the retained map-based reference (links_oracle_test.go) through the
+// same randomized schedule of inserts, link declarations, partial
+// evictions, and full flushes — including re-insertion of evicted blocks
+// (regeneration), which exercises the pending/relink path. The two must
+// agree on every Stats counter, the unlink-event count, the eviction
+// samples, and the exact patched and pending relations.
+func TestLinkTableMatchesMapOracle(t *testing.T) {
+	const nIDs = 200
+	dense := newLinkTable()
+	oracle := newMapLinkTable()
+	var denseStats, oracleStats Stats
+	r := stats.NewRand(0xD1C, 4)
+
+	resident := make(map[SuperblockID]bool)
+	var order []SuperblockID // insertion order, for FIFO-style evictions
+	isResident := func(id SuperblockID) bool { return resident[id] }
+
+	compareRelations := func(step int) {
+		t.Helper()
+		if err := dense.checkInvariants(); err != nil {
+			t.Fatalf("step %d: dense invariants: %v", step, err)
+		}
+		if err := oracle.checkInvariants(); err != nil {
+			t.Fatalf("step %d: oracle invariants: %v", step, err)
+		}
+		dp, op := dense.pairs(), oracle.pairs()
+		if len(dp) != len(op) {
+			t.Fatalf("step %d: patched relation sizes diverged: dense=%d oracle=%d", step, len(dp), len(op))
+		}
+		for pair := range op {
+			if !dp[pair] {
+				t.Fatalf("step %d: oracle link %d->%d missing from dense table", step, pair.from, pair.to)
+			}
+		}
+		dq, oq := dense.pendingPairs(), oracle.pendingPairs()
+		if len(dq) != len(oq) {
+			t.Fatalf("step %d: pending relation sizes diverged: dense=%d oracle=%d", step, len(dq), len(oq))
+		}
+		for pair := range oq {
+			if !dq[pair] {
+				t.Fatalf("step %d: oracle pending %d->%d missing from dense table", step, pair.from, pair.to)
+			}
+		}
+		unitOf := func(id SuperblockID) (int64, bool) {
+			if !resident[id] {
+				return 0, false
+			}
+			return int64(id % 5), true
+		}
+		di, de := dense.census(unitOf)
+		oi, oe := oracle.census(unitOf)
+		if di != oi || de != oe {
+			t.Fatalf("step %d: census diverged: dense=(%d,%d) oracle=(%d,%d)", step, di, de, oi, oe)
+		}
+	}
+
+	for step := 0; step < 20000; step++ {
+		switch op := r.Intn(10); {
+		case op < 5: // insert (initial generation or regeneration)
+			id := SuperblockID(r.Intn(nIDs))
+			if resident[id] {
+				continue
+			}
+			resident[id] = true
+			order = append(order, id)
+			for k := r.Intn(4); k > 0; k-- {
+				to := SuperblockID(r.Intn(nIDs))
+				dense.declare(id, to, isResident, &denseStats)
+				oracle.declare(id, to, isResident, &oracleStats)
+			}
+			dense.onInsert(id, &denseStats)
+			oracle.onInsert(id, &oracleStats)
+		case op < 8: // declare a link from a resident block (AddLink path)
+			if len(order) == 0 {
+				continue
+			}
+			from := order[r.Intn(len(order))]
+			to := SuperblockID(r.Intn(nIDs))
+			dense.declare(from, to, isResident, &denseStats)
+			oracle.declare(from, to, isResident, &oracleStats)
+		default: // evict a FIFO prefix (op==9 flushes everything)
+			if len(order) == 0 {
+				continue
+			}
+			n := 1 + r.Intn(len(order))
+			if op == 9 {
+				n = len(order)
+			}
+			ids := make([]SuperblockID, n)
+			copy(ids, order[:n])
+			order = order[n:]
+			set := make(map[SuperblockID]struct{}, n)
+			for _, id := range ids {
+				set[id] = struct{}{}
+				delete(resident, id)
+			}
+			de, oe := dense.unlinkEventsFor(ids), oracle.unlinkEventsFor(set)
+			if de != oe {
+				t.Fatalf("step %d: unlink events diverged: dense=%d oracle=%d", step, de, oe)
+			}
+			var ds, os EvictionSample
+			dense.onEvict(ids, &denseStats, &ds)
+			oracle.onEvict(set, &oracleStats, &os)
+			if ds != os {
+				t.Fatalf("step %d: eviction samples diverged: dense=%+v oracle=%+v", step, ds, os)
+			}
+		}
+		if dense.patchedLinks() != oracle.patchedCount {
+			t.Fatalf("step %d: patched counts diverged: dense=%d oracle=%d",
+				step, dense.patchedLinks(), oracle.patchedCount)
+		}
+		if denseStats != oracleStats {
+			t.Fatalf("step %d: stats diverged:\ndense:  %+v\noracle: %+v", step, denseStats, oracleStats)
+		}
+		if step%500 == 0 {
+			compareRelations(step)
+		}
+	}
+	compareRelations(20000)
+}
+
 // Unit-cache sandwich property: at every moment, an n-unit cache's
 // resident set sits between FLUSH's (subset of everything finer keeps
 // *longest-lived content*) is not a strict lattice, but two laws do hold

@@ -16,6 +16,9 @@ const (
 	modeFine
 )
 
+// absentVoff marks an ID with no resident block in the dense offset table.
+const absentVoff = -1
+
 // FIFOCache is the paper's circular-buffer code cache. Superblocks tile a
 // virtual byte space [tail, head) with no gaps; physical placement is the
 // virtual offset modulo capacity. Eviction always removes the oldest
@@ -30,6 +33,11 @@ const (
 // Because blocks tile contiguously, a "unit flush" may also take the block
 // straddling the unit's upper boundary; that block's bytes were partly in
 // the flushed unit, and variable-size entries cannot be split (§3.3).
+//
+// Residency is tracked in dense slices indexed by SuperblockID (IDs are
+// frontend-assigned from 0; see the dense-ID invariant in DESIGN.md), and
+// each eviction invocation reuses a scratch victim list, so the hit path
+// and steady-state eviction perform no heap allocations.
 type FIFOCache struct {
 	name     string
 	capacity int
@@ -39,19 +47,25 @@ type FIFOCache struct {
 
 	head, tail int64 // virtual byte offsets; head-tail = resident bytes
 	queue      []fifoEntry
-	qfront     int                    // index of the oldest live entry in queue
-	where      map[SuperblockID]int64 // id -> virtual offset
-	sizes      map[SuperblockID]int
+	qfront     int     // index of the oldest live entry in queue
+	where      []int64 // id -> virtual offset, absentVoff when not resident
+	sizes      []int32 // id -> size of the resident block
+	resident   int
 
 	links *linkTable
 	stats Stats
+
+	// evictScratch is the reusable per-invocation victim list (FIFO
+	// order); valid only for the duration of one eviction invocation.
+	evictScratch []SuperblockID
 
 	recordSamples bool
 	samples       []EvictionSample
 
 	// evictHook, when set, observes every eviction (ids in FIFO order)
 	// before link bookkeeping runs. The DBT uses it to unpatch stubs and
-	// drop hash-table entries for physically evicted superblocks.
+	// drop hash-table entries for physically evicted superblocks. The
+	// slice is reused across invocations; hooks must not retain it.
 	evictHook func(ids []SuperblockID)
 }
 
@@ -99,8 +113,6 @@ func newFIFO(name string, capacity, unitSize, nUnits int, mode evictionMode) (*F
 		unitSize: unitSize,
 		nUnits:   nUnits,
 		mode:     mode,
-		where:    make(map[SuperblockID]int64),
-		sizes:    make(map[SuperblockID]int),
 		links:    newLinkTable(),
 	}, nil
 }
@@ -117,10 +129,29 @@ func (c *FIFOCache) Units() int { return c.nUnits }
 // Stats implements Cache.
 func (c *FIFOCache) Stats() *Stats { return &c.stats }
 
+// grow extends the dense residency tables to cover id.
+func (c *FIFOCache) grow(id SuperblockID) {
+	if int(id) < len(c.where) {
+		return
+	}
+	n := int(id) + 1
+	if n < 2*len(c.where) {
+		n = 2 * len(c.where)
+	}
+	where := make([]int64, n)
+	for i := range where {
+		where[i] = absentVoff
+	}
+	copy(where, c.where)
+	c.where = where
+	sizes := make([]int32, n)
+	copy(sizes, c.sizes)
+	c.sizes = sizes
+}
+
 // Contains implements Cache.
 func (c *FIFOCache) Contains(id SuperblockID) bool {
-	_, ok := c.where[id]
-	return ok
+	return int(id) < len(c.where) && c.where[id] != absentVoff
 }
 
 // Access implements Cache.
@@ -135,7 +166,7 @@ func (c *FIFOCache) Access(id SuperblockID) bool {
 }
 
 // Resident implements Cache.
-func (c *FIFOCache) Resident() int { return len(c.where) }
+func (c *FIFOCache) Resident() int { return c.resident }
 
 // ResidentBytes implements Cache.
 func (c *FIFOCache) ResidentBytes() int { return int(c.head - c.tail) }
@@ -145,14 +176,17 @@ func (c *FIFOCache) ResidentBytes() int { return int(c.head - c.tail) }
 func (c *FIFOCache) SetSampleRecording(on bool) { c.recordSamples = on }
 
 // SetEvictHook registers a callback invoked with the IDs removed by each
-// eviction invocation, in FIFO order.
+// eviction invocation, in FIFO order. The slice is reused across
+// invocations; the hook must not retain it past its return.
 func (c *FIFOCache) SetEvictHook(hook func(ids []SuperblockID)) { c.evictHook = hook }
 
 // Where returns the virtual byte offset of a resident block. The physical
 // placement is voff modulo Capacity().
 func (c *FIFOCache) Where(id SuperblockID) (voff int64, ok bool) {
-	voff, ok = c.where[id]
-	return voff, ok
+	if !c.Contains(id) {
+		return 0, false
+	}
+	return c.where[id], true
 }
 
 // VirtualHead returns the virtual offset at which the next insertion will
@@ -174,8 +208,10 @@ func (c *FIFOCache) Insert(sb Superblock) error {
 	voff := c.head
 	c.head += int64(sb.Size)
 	c.queue = append(c.queue, fifoEntry{id: sb.ID, voff: voff, size: sb.Size})
+	c.grow(sb.ID)
 	c.where[sb.ID] = voff
-	c.sizes[sb.ID] = sb.Size
+	c.sizes[sb.ID] = int32(sb.Size)
+	c.resident++
 	c.stats.InsertedBlocks++
 	c.stats.InsertedBytes += uint64(sb.Size)
 	for _, to := range sb.Links {
@@ -189,6 +225,9 @@ func (c *FIFOCache) Insert(sb Superblock) error {
 func (c *FIFOCache) AddLink(from, to SuperblockID) error {
 	if !c.Contains(from) {
 		return fmt.Errorf("core: AddLink from non-resident superblock %d", from)
+	}
+	if err := validateID(to); err != nil {
+		return err
 	}
 	c.links.declare(from, to, c.Contains, &c.stats)
 	return nil
@@ -215,21 +254,20 @@ func (c *FIFOCache) evictFor(size int64) {
 // evictBelow removes, as a single eviction invocation, every block whose
 // start offset is below frontier.
 func (c *FIFOCache) evictBelow(frontier int64) {
-	evicted := make(map[SuperblockID]struct{})
-	var order []SuperblockID
+	order := c.evictScratch[:0]
 	var bytes int64
 	for c.qfront < len(c.queue) && c.queue[c.qfront].voff < frontier {
 		e := c.queue[c.qfront]
 		c.qfront++
-		evicted[e.id] = struct{}{}
 		order = append(order, e.id)
 		bytes += int64(e.size)
-		delete(c.where, e.id)
-		delete(c.sizes, e.id)
+		c.where[e.id] = absentVoff
 	}
-	if len(evicted) == 0 {
+	c.evictScratch = order
+	if len(order) == 0 {
 		return
 	}
+	c.resident -= len(order)
 	if c.qfront < len(c.queue) {
 		c.tail = c.queue[c.qfront].voff
 	} else {
@@ -249,16 +287,16 @@ func (c *FIFOCache) evictBelow(frontier int64) {
 	}
 
 	c.stats.EvictionInvocations++
-	c.stats.BlocksEvicted += uint64(len(evicted))
+	c.stats.BlocksEvicted += uint64(len(order))
 	c.stats.BytesEvicted += uint64(bytes)
-	c.stats.UnlinkEvents += c.links.unlinkEventsFor(evicted)
+	c.stats.UnlinkEvents += c.links.unlinkEventsFor(order)
 
 	var sample *EvictionSample
 	if c.recordSamples {
-		c.samples = append(c.samples, EvictionSample{Bytes: int(bytes), Blocks: len(evicted)})
+		c.samples = append(c.samples, EvictionSample{Bytes: int(bytes), Blocks: len(order)})
 		sample = &c.samples[len(c.samples)-1]
 	}
-	c.links.onEvict(evicted, &c.stats, sample)
+	c.links.onEvict(order, &c.stats, sample)
 }
 
 // Flush implements Cache: it empties the cache as one eviction invocation
@@ -272,10 +310,10 @@ func (c *FIFOCache) Flush() {
 
 // unitToken maps a resident block to its co-eviction group token.
 func (c *FIFOCache) unitToken(id SuperblockID) (int64, bool) {
-	voff, ok := c.where[id]
-	if !ok {
+	if !c.Contains(id) {
 		return 0, false
 	}
+	voff := c.where[id]
 	switch c.mode {
 	case modeFlush:
 		return 0, true
@@ -318,8 +356,11 @@ func (c *FIFOCache) CheckInvariants() error {
 			return fmt.Errorf("core: block %d at %d does not tile (expected %d)", e.id, e.voff, prevEnd)
 		}
 		prevEnd = e.voff + int64(e.size)
-		if w, ok := c.where[e.id]; !ok || w != e.voff {
+		if w, ok := c.Where(e.id); !ok || w != e.voff {
 			return fmt.Errorf("core: block %d queue/index mismatch", e.id)
+		}
+		if int(c.sizes[e.id]) != e.size {
+			return fmt.Errorf("core: block %d size table mismatch", e.id)
 		}
 		bytes += e.size
 	}
@@ -329,8 +370,8 @@ func (c *FIFOCache) CheckInvariants() error {
 	if bytes != c.ResidentBytes() {
 		return fmt.Errorf("core: block bytes %d != resident bytes %d", bytes, c.ResidentBytes())
 	}
-	if len(c.where) != len(c.queue)-c.qfront {
-		return fmt.Errorf("core: index has %d blocks, queue has %d", len(c.where), len(c.queue)-c.qfront)
+	if c.resident != len(c.queue)-c.qfront {
+		return fmt.Errorf("core: index has %d blocks, queue has %d", c.resident, len(c.queue)-c.qfront)
 	}
 	return c.links.checkInvariants()
 }

@@ -17,12 +17,14 @@ type GenerationalCache struct {
 	nursery *FIFOCache
 	tenured *FIFOCache
 
-	// hitCounts tracks nursery hits per block to decide promotion.
-	hitCounts map[SuperblockID]int
+	// hitCounts tracks nursery hits per block to decide promotion,
+	// indexed by dense SuperblockID.
+	hitCounts []int32
 	threshold int
 
-	// blockMeta remembers size and links for promotion-time re-insertion.
-	blockMeta map[SuperblockID]Superblock
+	// blockMeta remembers size and links for promotion-time re-insertion,
+	// indexed by dense SuperblockID; Size == 0 means never seen.
+	blockMeta []Superblock
 
 	stats      Stats // access-level stats; structural stats come from sub-caches
 	aggregated Stats // scratch for Stats() aggregation
@@ -68,8 +70,6 @@ func NewGenerational(capacity int, nurseryFrac float64, tenuredUnits, threshold 
 		name:      fmt.Sprintf("generational(%d%%/%d-unit)", int(nurseryFrac*100), tenuredUnits),
 		nursery:   nursery,
 		tenured:   tenured,
-		hitCounts: make(map[SuperblockID]int),
-		blockMeta: make(map[SuperblockID]Superblock),
 		threshold: threshold,
 	}, nil
 }
@@ -89,6 +89,23 @@ func (c *GenerationalCache) Nursery() *FIFOCache { return c.nursery }
 // Tenured exposes the old generation for inspection.
 func (c *GenerationalCache) Tenured() *FIFOCache { return c.tenured }
 
+// grow extends the dense per-block tables to cover id.
+func (c *GenerationalCache) grow(id SuperblockID) {
+	if int(id) < len(c.blockMeta) {
+		return
+	}
+	n := int(id) + 1
+	if n < 2*len(c.blockMeta) {
+		n = 2 * len(c.blockMeta)
+	}
+	meta := make([]Superblock, n)
+	copy(meta, c.blockMeta)
+	c.blockMeta = meta
+	hits := make([]int32, n)
+	copy(hits, c.hitCounts)
+	c.hitCounts = hits
+}
+
 // Contains implements Cache.
 func (c *GenerationalCache) Contains(id SuperblockID) bool {
 	return c.tenured.Contains(id) || c.nursery.Contains(id)
@@ -104,7 +121,7 @@ func (c *GenerationalCache) Access(id SuperblockID) bool {
 	if c.nursery.Contains(id) {
 		c.stats.Hits++
 		c.hitCounts[id]++
-		if c.hitCounts[id] >= c.threshold {
+		if int(c.hitCounts[id]) >= c.threshold {
 			c.promote(id)
 		}
 		return true
@@ -117,8 +134,11 @@ func (c *GenerationalCache) Access(id SuperblockID) bool {
 // nursery copy is abandoned in place (it ages out with the FIFO), exactly
 // as a copying promotion leaves dead code behind.
 func (c *GenerationalCache) promote(id SuperblockID) {
-	sb, ok := c.blockMeta[id]
-	if !ok || c.tenured.Contains(id) {
+	if int(id) >= len(c.blockMeta) {
+		return
+	}
+	sb := c.blockMeta[id]
+	if sb.Size == 0 || c.tenured.Contains(id) {
 		return
 	}
 	if sb.Size > c.tenured.Capacity() {
@@ -128,17 +148,20 @@ func (c *GenerationalCache) promote(id SuperblockID) {
 		return // defensive: promotion failure just defers tenure
 	}
 	c.Promotions++
-	delete(c.hitCounts, id)
 }
 
 // Insert implements Cache: new blocks always enter the nursery.
 func (c *GenerationalCache) Insert(sb Superblock) error {
+	if err := validateID(sb.ID); err != nil {
+		return err
+	}
 	if sb.Size > c.nursery.Capacity() {
 		// Too big for the nursery: insert directly into tenured space,
 		// the way jumbo allocations bypass young generations.
 		if err := c.tenured.Insert(sb); err != nil {
 			return err
 		}
+		c.grow(sb.ID)
 		c.blockMeta[sb.ID] = sb
 		c.stats.InsertedBlocks++
 		c.stats.InsertedBytes += uint64(sb.Size)
@@ -150,6 +173,7 @@ func (c *GenerationalCache) Insert(sb Superblock) error {
 	if err := c.nursery.Insert(sb); err != nil {
 		return err
 	}
+	c.grow(sb.ID)
 	c.blockMeta[sb.ID] = sb
 	c.hitCounts[sb.ID] = 0
 	c.stats.InsertedBlocks++
@@ -204,7 +228,9 @@ func (c *GenerationalCache) BackPtrTableBytes() int {
 func (c *GenerationalCache) Flush() {
 	c.nursery.Flush()
 	c.tenured.Flush()
-	c.hitCounts = make(map[SuperblockID]int)
+	for i := range c.hitCounts {
+		c.hitCounts[i] = 0
+	}
 }
 
 // Stats implements Cache: access counters are the wrapper's; structural

@@ -4,76 +4,140 @@ import "fmt"
 
 // linkTable implements superblock chaining (Section 3.1).
 //
-// For each resident block it tracks the links *declared* by the frontend
-// (the block's exits), the subset actually *patched* into cached code
-// (target resident at declaration time, or resolved later when the target
-// arrived), and a back-pointer table mapping each block to the sources
-// patched to jump to it.
+// For each resident block it tracks the subset of declared links actually
+// *patched* into cached code (target resident at declaration time, or
+// resolved later when the target arrived), and a back-pointer table mapping
+// each block to the sources patched to jump to it.
 //
 // A declared link whose target is absent waits in the pending table; when
 // the target is (re)inserted, the link is patched and counted as a
 // relink — this models DynamoRIO re-chaining through exit stubs after a
 // regeneration.
-type linkTable struct {
-	// declared[from] lists every link declared by the resident block
-	// `from`, patched or not. Reset when `from` is evicted.
-	declared map[SuperblockID][]SuperblockID
-	// patched[from] is the set of targets from currently jumps to.
-	patched map[SuperblockID]map[SuperblockID]struct{}
-	// backPtrs[to] is the set of sources patched to jump to `to` — the
+//
+// Layout: the table is indexed by dense SuperblockIDs. Every frontend in
+// this repository (the DBT, the workload synthesizer, the interleaver)
+// assigns IDs densely from 0, so a flat []linkRecord replaces the four
+// map[SuperblockID]set tables the reference implementation uses (see
+// mapLinkTable in links_oracle_test.go). Each record holds small unordered
+// ID slices that are truncated — never freed — on eviction, so the table
+// stops allocating once the workload's link population has been seen: the
+// steady-state eviction path performs zero heap allocations.
+type linkRecord struct {
+	// patched lists the targets this block currently jumps to.
+	patched []SuperblockID
+	// backPtrs lists the sources patched to jump to this block — the
 	// back-pointer table whose memory cost Section 5.1 estimates at 16
 	// bytes per link.
-	backPtrs map[SuperblockID]map[SuperblockID]struct{}
-	// pending[to] is the set of resident sources with a declared but
-	// unpatched link to the absent block `to`.
-	pending map[SuperblockID]map[SuperblockID]struct{}
+	backPtrs []SuperblockID
+	// pendIn lists the resident sources with a declared but unpatched link
+	// to this (absent) block.
+	pendIn []SuperblockID
+	// pendOut lists the absent targets this block has pending links to;
+	// it mirrors pendIn so eviction can scrub a block's pending
+	// declarations without scanning every record.
+	pendOut []SuperblockID
+}
+
+type linkTable struct {
+	recs []linkRecord
 
 	patchedCount int
+
+	// marks[id] == epoch means id belongs to the eviction set currently
+	// being processed; bumping epoch clears the whole set in O(1).
+	marks []uint32
+	epoch uint32
 }
 
 func newLinkTable() *linkTable {
-	return &linkTable{
-		declared: make(map[SuperblockID][]SuperblockID),
-		patched:  make(map[SuperblockID]map[SuperblockID]struct{}),
-		backPtrs: make(map[SuperblockID]map[SuperblockID]struct{}),
-		pending:  make(map[SuperblockID]map[SuperblockID]struct{}),
+	return &linkTable{}
+}
+
+// grow extends the dense tables to cover id.
+func (lt *linkTable) grow(id SuperblockID) {
+	if int(id) < len(lt.recs) {
+		return
 	}
+	n := int(id) + 1
+	if n < 2*len(lt.recs) {
+		n = 2 * len(lt.recs)
+	}
+	recs := make([]linkRecord, n)
+	copy(recs, lt.recs)
+	lt.recs = recs
+	marks := make([]uint32, n)
+	copy(marks, lt.marks)
+	lt.marks = marks
+}
+
+// contains reports membership in an unordered ID set slice.
+func contains(set []SuperblockID, id SuperblockID) bool {
+	for _, x := range set {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// remove deletes id from an unordered set slice by swap-with-last.
+func remove(set []SuperblockID, id SuperblockID) []SuperblockID {
+	for i, x := range set {
+		if x == id {
+			set[i] = set[len(set)-1]
+			return set[:len(set)-1]
+		}
+	}
+	return set
+}
+
+// markEvicted stamps the eviction set for O(1) membership tests.
+func (lt *linkTable) markEvicted(ids []SuperblockID) {
+	lt.epoch++
+	for _, id := range ids {
+		lt.grow(id)
+		lt.marks[id] = lt.epoch
+	}
+}
+
+func (lt *linkTable) evicted(id SuperblockID) bool {
+	return int(id) < len(lt.marks) && lt.marks[id] == lt.epoch
 }
 
 // patch records from->to as patched.
 func (lt *linkTable) patch(from, to SuperblockID) {
-	set, ok := lt.patched[from]
-	if !ok {
-		set = make(map[SuperblockID]struct{})
-		lt.patched[from] = set
+	if from > to {
+		lt.grow(from)
+	} else {
+		lt.grow(to)
 	}
-	if _, dup := set[to]; dup {
+	f := &lt.recs[from]
+	if contains(f.patched, to) {
 		return
 	}
-	set[to] = struct{}{}
-	bp, ok := lt.backPtrs[to]
-	if !ok {
-		bp = make(map[SuperblockID]struct{})
-		lt.backPtrs[to] = bp
-	}
-	bp[from] = struct{}{}
+	f.patched = append(f.patched, to)
+	lt.recs[to].backPtrs = append(lt.recs[to].backPtrs, from)
 	lt.patchedCount++
 }
 
 func (lt *linkTable) addPending(from, to SuperblockID) {
-	set, ok := lt.pending[to]
-	if !ok {
-		set = make(map[SuperblockID]struct{})
-		lt.pending[to] = set
+	if from > to {
+		lt.grow(from)
+	} else {
+		lt.grow(to)
 	}
-	set[from] = struct{}{}
+	t := &lt.recs[to]
+	if contains(t.pendIn, from) {
+		return
+	}
+	t.pendIn = append(t.pendIn, from)
+	lt.recs[from].pendOut = append(lt.recs[from].pendOut, to)
 }
 
 // declare records a link from a resident block and patches it when the
 // target is resident. resident reports residency; stats receives patch
 // counters.
 func (lt *linkTable) declare(from, to SuperblockID, resident func(SuperblockID) bool, stats *Stats) {
-	lt.declared[from] = append(lt.declared[from], to)
 	if resident(to) {
 		lt.patch(from, to)
 		stats.LinksPatched++
@@ -84,16 +148,20 @@ func (lt *linkTable) declare(from, to SuperblockID, resident func(SuperblockID) 
 
 // onInsert resolves pending links targeting the newly inserted block.
 func (lt *linkTable) onInsert(id SuperblockID, stats *Stats) {
-	waiting, ok := lt.pending[id]
-	if !ok {
+	if int(id) >= len(lt.recs) {
 		return
 	}
-	delete(lt.pending, id)
-	for from := range waiting {
+	waiting := lt.recs[id].pendIn
+	if len(waiting) == 0 {
+		return
+	}
+	for _, from := range waiting {
+		lt.recs[from].pendOut = remove(lt.recs[from].pendOut, id)
 		lt.patch(from, id)
 		stats.LinksPatched++
 		stats.PendingRelinks++
 	}
+	lt.recs[id].pendIn = lt.recs[id].pendIn[:0]
 }
 
 // onEvict processes the eviction of a set of blocks in one invocation.
@@ -102,20 +170,21 @@ func (lt *linkTable) onInsert(id SuperblockID, stats *Stats) {
 // what Equation 4 charges for. Unpatched (pending-style) re-links are
 // reinstated so the source re-chains if the target is regenerated.
 //
-// unitOf maps a resident block to its eviction-unit token; two blocks with
-// equal tokens share a unit. The classification only matters for the
-// intra/inter split in stats: by construction every costed unlink crosses
-// a unit boundary (the source survives the flushed region).
-func (lt *linkTable) onEvict(evicted map[SuperblockID]struct{}, stats *Stats, samples *EvictionSample) {
-	for id := range evicted {
+// The classification only matters for the intra/inter split in stats: by
+// construction every costed unlink crosses a unit boundary (the source
+// survives the flushed region).
+func (lt *linkTable) onEvict(ids []SuperblockID, stats *Stats, samples *EvictionSample) {
+	lt.markEvicted(ids)
+	for _, id := range ids {
 		// Inbound patched links.
-		for from := range lt.backPtrs[id] {
-			if _, also := evicted[from]; also {
+		rec := &lt.recs[id]
+		for _, from := range rec.backPtrs {
+			if lt.evicted(from) {
 				stats.IntraUnitLinksFlushed++
 				continue
 			}
 			// Surviving source: unpatch, charge, and let it re-chain later.
-			delete(lt.patched[from], id)
+			lt.recs[from].patched = remove(lt.recs[from].patched, id)
 			lt.patchedCount--
 			stats.InterUnitLinksRemoved++
 			if samples != nil {
@@ -123,38 +192,35 @@ func (lt *linkTable) onEvict(evicted map[SuperblockID]struct{}, stats *Stats, sa
 			}
 			lt.addPending(from, id)
 		}
-		delete(lt.backPtrs, id)
+		rec.backPtrs = rec.backPtrs[:0]
 	}
 	// Outbound bookkeeping for each evicted block: scrub its patched links
 	// from targets' back-pointer sets and drop its pending declarations.
-	for id := range evicted {
-		for to := range lt.patched[id] {
-			if _, also := evicted[to]; !also {
-				if bp, ok := lt.backPtrs[to]; ok {
-					delete(bp, id)
-				}
+	for _, id := range ids {
+		rec := &lt.recs[id]
+		for _, to := range rec.patched {
+			if !lt.evicted(to) {
+				lt.recs[to].backPtrs = remove(lt.recs[to].backPtrs, id)
 			}
 			lt.patchedCount--
 		}
-		delete(lt.patched, id)
-		delete(lt.declared, id)
-		for to, set := range lt.pending {
-			delete(set, id)
-			if len(set) == 0 {
-				delete(lt.pending, to)
-			}
+		rec.patched = rec.patched[:0]
+		for _, to := range rec.pendOut {
+			lt.recs[to].pendIn = remove(lt.recs[to].pendIn, id)
 		}
+		rec.pendOut = rec.pendOut[:0]
 	}
 }
 
-// unlinkEventsFor counts, before eviction, how many of the blocks in
-// evicted have at least one inbound link from a surviving source. Call
-// before onEvict mutates the tables.
-func (lt *linkTable) unlinkEventsFor(evicted map[SuperblockID]struct{}) uint64 {
+// unlinkEventsFor counts, before eviction, how many of the blocks in ids
+// have at least one inbound link from a surviving source. Call before
+// onEvict mutates the tables.
+func (lt *linkTable) unlinkEventsFor(ids []SuperblockID) uint64 {
+	lt.markEvicted(ids)
 	var events uint64
-	for id := range evicted {
-		for from := range lt.backPtrs[id] {
-			if _, also := evicted[from]; !also {
+	for _, id := range ids {
+		for _, from := range lt.recs[id].backPtrs {
+			if !lt.evicted(from) {
 				events++
 				break
 			}
@@ -165,12 +231,16 @@ func (lt *linkTable) unlinkEventsFor(evicted map[SuperblockID]struct{}) uint64 {
 
 // census classifies patched links by unit token.
 func (lt *linkTable) census(unitOf func(SuperblockID) (int64, bool)) (intra, inter int) {
-	for from, set := range lt.patched {
-		fu, ok := unitOf(from)
+	for from := range lt.recs {
+		set := lt.recs[from].patched
+		if len(set) == 0 {
+			continue
+		}
+		fu, ok := unitOf(SuperblockID(from))
 		if !ok {
 			continue
 		}
-		for to := range set {
+		for _, to := range set {
 			tu, ok := unitOf(to)
 			if !ok {
 				continue
@@ -185,28 +255,43 @@ func (lt *linkTable) census(unitOf func(SuperblockID) (int64, bool)) (intra, int
 	return intra, inter
 }
 
+// forEachPatched visits every patched link once.
+func (lt *linkTable) forEachPatched(fn func(from, to SuperblockID)) {
+	for from := range lt.recs {
+		for _, to := range lt.recs[from].patched {
+			fn(SuperblockID(from), to)
+		}
+	}
+}
+
 // patchedLinks returns the current patched link count.
 func (lt *linkTable) patchedLinks() int { return lt.patchedCount }
 
 // checkInvariants verifies internal consistency; used by tests.
 func (lt *linkTable) checkInvariants() error {
 	count := 0
-	for from, set := range lt.patched {
-		for to := range set {
-			bp, ok := lt.backPtrs[to]
-			if !ok {
-				return fmt.Errorf("core: link %d->%d missing back-pointer set", from, to)
-			}
-			if _, ok := bp[from]; !ok {
+	for from := range lt.recs {
+		for _, to := range lt.recs[from].patched {
+			if !contains(lt.recs[to].backPtrs, SuperblockID(from)) {
 				return fmt.Errorf("core: link %d->%d missing back-pointer", from, to)
 			}
 			count++
 		}
 	}
-	for to, bp := range lt.backPtrs {
-		for from := range bp {
-			if _, ok := lt.patched[from][to]; !ok {
+	for to := range lt.recs {
+		for _, from := range lt.recs[to].backPtrs {
+			if !contains(lt.recs[from].patched, SuperblockID(to)) {
 				return fmt.Errorf("core: dangling back-pointer %d->%d", from, to)
+			}
+		}
+		for _, from := range lt.recs[to].pendIn {
+			if !contains(lt.recs[from].pendOut, SuperblockID(to)) {
+				return fmt.Errorf("core: pending link %d->%d missing pendOut mirror", from, to)
+			}
+		}
+		for _, t2 := range lt.recs[to].pendOut {
+			if !contains(lt.recs[t2].pendIn, SuperblockID(to)) {
+				return fmt.Errorf("core: pendOut %d->%d missing pendIn mirror", to, t2)
 			}
 		}
 	}

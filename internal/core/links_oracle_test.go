@@ -1,0 +1,217 @@
+package core
+
+import "fmt"
+
+// mapLinkTable is the reference implementation of the link table: the
+// map-backed version linkTable replaced when the package moved to dense
+// slice-indexed records. It is kept verbatim (modulo the rename) as a
+// differential-testing oracle: both implementations must produce identical
+// Stats and identical patched/pending relations on any operation schedule.
+type mapLinkTable struct {
+	// patched[from] is the set of targets from currently jumps to.
+	patched map[SuperblockID]map[SuperblockID]struct{}
+	// backPtrs[to] is the set of sources patched to jump to `to`.
+	backPtrs map[SuperblockID]map[SuperblockID]struct{}
+	// pending[to] is the set of resident sources with a declared but
+	// unpatched link to the absent block `to`.
+	pending map[SuperblockID]map[SuperblockID]struct{}
+
+	patchedCount int
+}
+
+func newMapLinkTable() *mapLinkTable {
+	return &mapLinkTable{
+		patched:  make(map[SuperblockID]map[SuperblockID]struct{}),
+		backPtrs: make(map[SuperblockID]map[SuperblockID]struct{}),
+		pending:  make(map[SuperblockID]map[SuperblockID]struct{}),
+	}
+}
+
+func (lt *mapLinkTable) patch(from, to SuperblockID) {
+	set, ok := lt.patched[from]
+	if !ok {
+		set = make(map[SuperblockID]struct{})
+		lt.patched[from] = set
+	}
+	if _, dup := set[to]; dup {
+		return
+	}
+	set[to] = struct{}{}
+	bp, ok := lt.backPtrs[to]
+	if !ok {
+		bp = make(map[SuperblockID]struct{})
+		lt.backPtrs[to] = bp
+	}
+	bp[from] = struct{}{}
+	lt.patchedCount++
+}
+
+func (lt *mapLinkTable) addPending(from, to SuperblockID) {
+	set, ok := lt.pending[to]
+	if !ok {
+		set = make(map[SuperblockID]struct{})
+		lt.pending[to] = set
+	}
+	set[from] = struct{}{}
+}
+
+func (lt *mapLinkTable) declare(from, to SuperblockID, resident func(SuperblockID) bool, stats *Stats) {
+	if resident(to) {
+		lt.patch(from, to)
+		stats.LinksPatched++
+	} else {
+		lt.addPending(from, to)
+	}
+}
+
+func (lt *mapLinkTable) onInsert(id SuperblockID, stats *Stats) {
+	waiting, ok := lt.pending[id]
+	if !ok {
+		return
+	}
+	delete(lt.pending, id)
+	for from := range waiting {
+		lt.patch(from, id)
+		stats.LinksPatched++
+		stats.PendingRelinks++
+	}
+}
+
+func (lt *mapLinkTable) onEvict(evicted map[SuperblockID]struct{}, stats *Stats, samples *EvictionSample) {
+	for id := range evicted {
+		for from := range lt.backPtrs[id] {
+			if _, also := evicted[from]; also {
+				stats.IntraUnitLinksFlushed++
+				continue
+			}
+			delete(lt.patched[from], id)
+			lt.patchedCount--
+			stats.InterUnitLinksRemoved++
+			if samples != nil {
+				samples.LinksRemoved++
+			}
+			lt.addPending(from, id)
+		}
+		delete(lt.backPtrs, id)
+	}
+	for id := range evicted {
+		for to := range lt.patched[id] {
+			if _, also := evicted[to]; !also {
+				if bp, ok := lt.backPtrs[to]; ok {
+					delete(bp, id)
+				}
+			}
+			lt.patchedCount--
+		}
+		delete(lt.patched, id)
+		for to, set := range lt.pending {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(lt.pending, to)
+			}
+		}
+	}
+}
+
+func (lt *mapLinkTable) unlinkEventsFor(evicted map[SuperblockID]struct{}) uint64 {
+	var events uint64
+	for id := range evicted {
+		for from := range lt.backPtrs[id] {
+			if _, also := evicted[from]; !also {
+				events++
+				break
+			}
+		}
+	}
+	return events
+}
+
+func (lt *mapLinkTable) census(unitOf func(SuperblockID) (int64, bool)) (intra, inter int) {
+	for from, set := range lt.patched {
+		fu, ok := unitOf(from)
+		if !ok {
+			continue
+		}
+		for to := range set {
+			tu, ok := unitOf(to)
+			if !ok {
+				continue
+			}
+			if fu == tu {
+				intra++
+			} else {
+				inter++
+			}
+		}
+	}
+	return intra, inter
+}
+
+func (lt *mapLinkTable) checkInvariants() error {
+	count := 0
+	for from, set := range lt.patched {
+		for to := range set {
+			bp, ok := lt.backPtrs[to]
+			if !ok {
+				return fmt.Errorf("core: link %d->%d missing back-pointer set", from, to)
+			}
+			if _, ok := bp[from]; !ok {
+				return fmt.Errorf("core: link %d->%d missing back-pointer", from, to)
+			}
+			count++
+		}
+	}
+	for to, bp := range lt.backPtrs {
+		for from := range bp {
+			if _, ok := lt.patched[from][to]; !ok {
+				return fmt.Errorf("core: dangling back-pointer %d->%d", from, to)
+			}
+		}
+	}
+	if count != lt.patchedCount {
+		return fmt.Errorf("core: patched count %d != recounted %d", lt.patchedCount, count)
+	}
+	return nil
+}
+
+// linkPairs flattens a patched relation into a set of from->to pairs.
+type linkPair struct{ from, to SuperblockID }
+
+func (lt *mapLinkTable) pairs() map[linkPair]bool {
+	out := make(map[linkPair]bool)
+	for from, set := range lt.patched {
+		for to := range set {
+			out[linkPair{from, to}] = true
+		}
+	}
+	return out
+}
+
+func (lt *linkTable) pairs() map[linkPair]bool {
+	out := make(map[linkPair]bool)
+	lt.forEachPatched(func(from, to SuperblockID) {
+		out[linkPair{from, to}] = true
+	})
+	return out
+}
+
+// pendingPairs flattens the pending relation into from->to pairs.
+func (lt *mapLinkTable) pendingPairs() map[linkPair]bool {
+	out := make(map[linkPair]bool)
+	for to, set := range lt.pending {
+		for from := range set {
+			out[linkPair{from, to}] = true
+		}
+	}
+	return out
+}
+
+func (lt *linkTable) pendingPairs() map[linkPair]bool {
+	out := make(map[linkPair]bool)
+	for to := range lt.recs {
+		for _, from := range lt.recs[to].pendIn {
+			out[linkPair{from, SuperblockID(to)}] = true
+		}
+	}
+	return out
+}

@@ -14,11 +14,16 @@ import (
 // that argument: it tracks how often evictions happen *despite* sufficient
 // total free space (pure fragmentation evictions) and how much of the
 // arena sits in unusable holes.
+//
+// Like the FIFO family, residency is indexed by dense SuperblockID, and
+// eviction reuses scratch buffers plus a node free list so the steady
+// state allocates nothing.
 type LRUCache struct {
 	name     string
 	capacity int
 
-	blocks map[SuperblockID]*lruNode
+	nodes    []*lruNode // id -> node, nil when not resident
+	resident int
 	// Recency list: mru.next ... lru; sentinel-free doubly linked list.
 	mru, lru *lruNode
 
@@ -26,6 +31,11 @@ type LRUCache struct {
 
 	links *linkTable
 	stats Stats
+
+	// evictScratch is the reusable per-invocation victim list.
+	evictScratch []SuperblockID
+	// freeNodes recycles evicted list nodes.
+	freeNodes []*lruNode
 
 	// FragEvictions counts blocks evicted while total free space already
 	// exceeded the incoming block's size: evictions forced purely by
@@ -56,7 +66,6 @@ func NewLRU(capacity int) (*LRUCache, error) {
 	return &LRUCache{
 		name:     "LRU",
 		capacity: capacity,
-		blocks:   make(map[SuperblockID]*lruNode),
 		holes:    []hole{{off: 0, size: capacity}},
 		links:    newLinkTable(),
 	}, nil
@@ -74,14 +83,33 @@ func (c *LRUCache) Units() int { return 0 }
 // Stats implements Cache.
 func (c *LRUCache) Stats() *Stats { return &c.stats }
 
-// Contains implements Cache.
-func (c *LRUCache) Contains(id SuperblockID) bool {
-	_, ok := c.blocks[id]
-	return ok
+// grow extends the dense node table to cover id.
+func (c *LRUCache) grow(id SuperblockID) {
+	if int(id) < len(c.nodes) {
+		return
+	}
+	n := int(id) + 1
+	if n < 2*len(c.nodes) {
+		n = 2 * len(c.nodes)
+	}
+	nodes := make([]*lruNode, n)
+	copy(nodes, c.nodes)
+	c.nodes = nodes
 }
 
+// node returns the resident node for id, or nil.
+func (c *LRUCache) node(id SuperblockID) *lruNode {
+	if int(id) >= len(c.nodes) {
+		return nil
+	}
+	return c.nodes[id]
+}
+
+// Contains implements Cache.
+func (c *LRUCache) Contains(id SuperblockID) bool { return c.node(id) != nil }
+
 // Resident implements Cache.
-func (c *LRUCache) Resident() int { return len(c.blocks) }
+func (c *LRUCache) Resident() int { return c.resident }
 
 // ResidentBytes implements Cache.
 func (c *LRUCache) ResidentBytes() int {
@@ -109,8 +137,8 @@ func (c *LRUCache) LargestHole() int {
 // Access implements Cache; a hit refreshes recency.
 func (c *LRUCache) Access(id SuperblockID) bool {
 	c.stats.Accesses++
-	n, ok := c.blocks[id]
-	if !ok {
+	n := c.node(id)
+	if n == nil {
 		c.stats.Misses++
 		return false
 	}
@@ -146,6 +174,24 @@ func (c *LRUCache) unlink(n *lruNode) {
 		c.lru = n.prev
 	}
 	n.prev, n.next = nil, nil
+}
+
+// newNode takes a node from the free list or allocates one.
+func (c *LRUCache) newNode(id SuperblockID, off, size int) *lruNode {
+	if k := len(c.freeNodes); k > 0 {
+		n := c.freeNodes[k-1]
+		c.freeNodes = c.freeNodes[:k-1]
+		*n = lruNode{id: id, off: off, size: size}
+		return n
+	}
+	return &lruNode{id: id, off: off, size: size}
+}
+
+// retire removes a resident node from the index and recycles it.
+func (c *LRUCache) retire(n *lruNode) {
+	c.nodes[n.id] = nil
+	c.resident--
+	c.freeNodes = append(c.freeNodes, n)
 }
 
 // alloc finds a first-fit hole; ok is false when no hole is big enough.
@@ -189,7 +235,7 @@ func (c *LRUCache) Insert(sb Superblock) error {
 	}
 	off, ok := c.alloc(sb.Size)
 	if !ok {
-		evicted := make(map[SuperblockID]struct{})
+		evicted := c.evictScratch[:0]
 		var bytes int
 		for {
 			if c.preEvict != nil && c.preEvict(sb.Size) {
@@ -201,6 +247,7 @@ func (c *LRUCache) Insert(sb Superblock) error {
 			if victim == nil {
 				// Whole cache freed and it still doesn't fit: impossible
 				// given the validateInsert capacity check.
+				c.evictScratch = evicted
 				return fmt.Errorf("core: LRU could not place %d bytes in empty cache", sb.Size)
 			}
 			if c.FreeBytes() >= sb.Size {
@@ -209,27 +256,30 @@ func (c *LRUCache) Insert(sb Superblock) error {
 				c.FragEvictions++
 			}
 			c.unlink(victim)
-			delete(c.blocks, victim.id)
 			c.free(victim.off, victim.size)
-			evicted[victim.id] = struct{}{}
+			evicted = append(evicted, victim.id)
 			bytes += victim.size
+			c.retire(victim)
 			if off, ok = c.alloc(sb.Size); ok {
 				break
 			}
 		}
+		c.evictScratch = evicted
 		if len(evicted) > 0 {
 			c.stats.EvictionInvocations++
 			c.stats.BlocksEvicted += uint64(len(evicted))
 			c.stats.BytesEvicted += uint64(bytes)
 			c.stats.UnlinkEvents += c.links.unlinkEventsFor(evicted)
-			if len(c.blocks) == 0 {
+			if c.resident == 0 {
 				c.stats.FullFlushes++
 			}
 			c.links.onEvict(evicted, &c.stats, nil)
 		}
 	}
-	n := &lruNode{id: sb.ID, off: off, size: sb.Size}
-	c.blocks[sb.ID] = n
+	n := c.newNode(sb.ID, off, sb.Size)
+	c.grow(sb.ID)
+	c.nodes[sb.ID] = n
+	c.resident++
 	c.touch(n)
 	c.stats.InsertedBlocks++
 	c.stats.InsertedBytes += uint64(sb.Size)
@@ -245,24 +295,34 @@ func (c *LRUCache) AddLink(from, to SuperblockID) error {
 	if !c.Contains(from) {
 		return fmt.Errorf("core: AddLink from non-resident superblock %d", from)
 	}
+	if err := validateID(to); err != nil {
+		return err
+	}
 	c.links.declare(from, to, c.Contains, &c.stats)
 	return nil
 }
 
 // Flush implements Cache.
 func (c *LRUCache) Flush() {
-	if len(c.blocks) == 0 {
+	if c.resident == 0 {
 		return
 	}
-	evicted := make(map[SuperblockID]struct{})
+	evicted := c.evictScratch[:0]
 	var bytes int
-	for id, n := range c.blocks {
-		evicted[id] = struct{}{}
+	for n := c.mru; n != nil; n = n.next {
+		evicted = append(evicted, n.id)
 		bytes += n.size
 	}
-	c.blocks = make(map[SuperblockID]*lruNode)
+	for n := c.mru; n != nil; {
+		next := n.next
+		n.prev, n.next = nil, nil
+		c.retire(n)
+		n = next
+	}
+	c.evictScratch = evicted
 	c.mru, c.lru = nil, nil
-	c.holes = []hole{{off: 0, size: c.capacity}}
+	c.holes = c.holes[:0]
+	c.holes = append(c.holes, hole{off: 0, size: c.capacity})
 	c.stats.EvictionInvocations++
 	c.stats.BlocksEvicted += uint64(len(evicted))
 	c.stats.BytesEvicted += uint64(bytes)
@@ -275,8 +335,8 @@ func (c *LRUCache) Flush() {
 // only self-links are intra-unit.
 func (c *LRUCache) LinkCensus() (intra, inter int) {
 	return c.links.census(func(id SuperblockID) (int64, bool) {
-		n, ok := c.blocks[id]
-		if !ok {
+		n := c.node(id)
+		if n == nil {
 			return 0, false
 		}
 		return int64(n.off), true
@@ -302,9 +362,20 @@ func (c *LRUCache) CheckInvariants() error {
 	}
 	// Blocks and holes partition the arena.
 	type region struct{ off, size int }
-	regions := make([]region, 0, len(c.blocks)+len(c.holes))
-	for _, n := range c.blocks {
+	regions := make([]region, 0, c.resident+len(c.holes))
+	live := 0
+	for id, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		if n.id != SuperblockID(id) {
+			return fmt.Errorf("core: node for %d carries id %d", id, n.id)
+		}
 		regions = append(regions, region{n.off, n.size})
+		live++
+	}
+	if live != c.resident {
+		return fmt.Errorf("core: resident count %d != indexed nodes %d", c.resident, live)
 	}
 	for _, h := range c.holes {
 		regions = append(regions, region{h.off, h.size})
@@ -323,16 +394,16 @@ func (c *LRUCache) CheckInvariants() error {
 	// Recency list contains exactly the resident blocks.
 	seen := 0
 	for n := c.mru; n != nil; n = n.next {
-		if c.blocks[n.id] != n {
+		if c.node(n.id) != n {
 			return fmt.Errorf("core: recency node %d not indexed", n.id)
 		}
 		seen++
-		if seen > len(c.blocks) {
+		if seen > c.resident {
 			return fmt.Errorf("core: recency list cycle")
 		}
 	}
-	if seen != len(c.blocks) {
-		return fmt.Errorf("core: recency list has %d nodes, index has %d", seen, len(c.blocks))
+	if seen != c.resident {
+		return fmt.Errorf("core: recency list has %d nodes, index has %d", seen, c.resident)
 	}
 	return c.links.checkInvariants()
 }

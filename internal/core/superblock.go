@@ -24,7 +24,26 @@ import "fmt"
 // SuperblockID identifies a superblock by the source-program region it was
 // translated from. IDs are assigned by the frontend (DBT or trace
 // synthesizer) and stay stable across eviction and regeneration.
+//
+// Dense-ID invariant: every cache in this package indexes its residency
+// and link tables by ID, so frontends must assign IDs densely from 0 (the
+// DBT, the workload synthesizer, and the interleaver all do). Sparse IDs
+// still work but waste table memory proportional to the largest ID;
+// MaxSuperblockID bounds the damage.
 type SuperblockID uint32
+
+// MaxSuperblockID is the largest ID the dense-indexed caches accept
+// (inclusive). 1<<26 IDs keep worst-case table footprints in the
+// low gigabytes; every in-repo frontend stays far below it.
+const MaxSuperblockID SuperblockID = 1<<26 - 1
+
+// validateID rejects IDs that would blow up the dense tables.
+func validateID(id SuperblockID) error {
+	if id > MaxSuperblockID {
+		return fmt.Errorf("core: superblock ID %d exceeds the dense-ID limit %d", id, MaxSuperblockID)
+	}
+	return nil
+}
 
 // Superblock describes one translated region as presented to the cache.
 // The same value is re-presented when a region is regenerated after
@@ -129,6 +148,14 @@ type Cache interface {
 
 // validateInsert performs the checks shared by all policies.
 func validateInsert(c Cache, sb Superblock) error {
+	if err := validateID(sb.ID); err != nil {
+		return err
+	}
+	for _, to := range sb.Links {
+		if err := validateID(to); err != nil {
+			return err
+		}
+	}
 	if sb.Size <= 0 {
 		return fmt.Errorf("core: superblock %d has non-positive size %d", sb.ID, sb.Size)
 	}

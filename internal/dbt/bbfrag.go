@@ -3,7 +3,6 @@ package dbt
 import (
 	"fmt"
 
-	"dynocache/internal/core"
 	"dynocache/internal/isa"
 )
 
@@ -22,14 +21,9 @@ import (
 // superblock formation — stay unlinked so the dispatcher keeps counting
 // them. Exits to superblocks always chain.
 
-// Fragment-ID space partitioning: superblocks take the low range, basic
-// block fragments set fragBBBit, wrap pads set bit 30 (see nextPadID).
-const fragBBBit core.SuperblockID = 1 << 29
-
-// isBBFragment reports whether an ID names a basic-block-cache fragment.
-func isBBFragment(id core.SuperblockID) bool {
-	return id&fragBBBit != 0 && id&(1<<30) == 0
-}
+// Fragment IDs come from the DBT's single dense allocator (allocID); the
+// idKind table — not ID bits — tells superblocks, bb fragments, and wrap
+// pads apart, keeping the ID space dense for the caches' slice tables.
 
 // translateBB lowers a single basic block into fragment code. Unlike
 // superblock translation there is no recorded hot direction: a conditional
@@ -87,8 +81,7 @@ func (d *DBT) installBBFragment(pc uint32) error {
 		d.stats.OptDeadRemoved += uint64(ost.DeadRemoved)
 		d.stats.OptLoadsForwarded += uint64(ost.LoadsForwarded)
 	}
-	id := d.nextBBID
-	d.nextBBID++
+	id := d.allocID(kindBB)
 	addr, err := d.installFragment(t, id, pc, d.bbFrag, d.bbBase)
 	if err != nil {
 		return fmt.Errorf("dbt: bb fragment at %#x: %w", pc, err)

@@ -53,11 +53,21 @@ func TestTranslateBBDegenerateBranch(t *testing.T) {
 }
 
 func TestBBFragmentIDSpace(t *testing.T) {
-	if isBBFragment(1) || isBBFragment(1<<30) {
+	d := &DBT{}
+	sb := d.allocID(kindSuperblock)
+	bb := d.allocID(kindBB)
+	pad := d.allocID(kindPad)
+	if sb != 0 || bb != 1 || pad != 2 {
+		t.Errorf("IDs not allocated densely: %d, %d, %d", sb, bb, pad)
+	}
+	if d.isBB(sb) || d.isBB(pad) {
 		t.Error("superblock/pad IDs misclassified as bb fragments")
 	}
-	if !isBBFragment(fragBBBit | 7) {
+	if !d.isBB(bb) {
 		t.Error("bb fragment ID not recognized")
+	}
+	if d.isBB(99) {
+		t.Error("unallocated ID classified as bb fragment")
 	}
 }
 
@@ -104,7 +114,7 @@ func TestBBCacheForwardChainingOnly(t *testing.T) {
 	// Every patched bb->bb link must point forward.
 	for idx := range d.stubs {
 		st := d.stubs[idx]
-		if st.live && st.patched && isBBFragment(st.owner) && isBBFragment(st.linkTo) {
+		if st.live && st.patched && d.isBB(st.owner) && d.isBB(st.linkTo) {
 			if st.target <= d.pcOf[st.owner] {
 				t.Fatalf("backward bb link patched: %#x -> %#x", d.pcOf[st.owner], st.target)
 			}

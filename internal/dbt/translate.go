@@ -196,8 +196,7 @@ func (d *DBT) formAndInstall(headPC uint32) error {
 		d.stats.OptLoadsForwarded += uint64(ost.LoadsForwarded)
 	}
 
-	id := d.nextID
-	d.nextID++
+	id := d.allocID(kindSuperblock)
 	addr, err := d.installFragment(t, id, headPC, d.cache, d.cfg.CacheBase)
 	if err != nil {
 		return fmt.Errorf("dbt: superblock at %#x: %w", headPC, err)
@@ -260,8 +259,7 @@ func (d *DBT) installFragment(t *translation, id core.SuperblockID, headPC uint3
 	// contiguous, so a fragment that would wrap pads out the end gap with
 	// a dead pseudo-block that ages out like any other.
 	if phys := int(cache.VirtualHead() % int64(cap)); phys+size > cap {
-		pad := core.Superblock{ID: d.nextPadID, Size: cap - phys}
-		d.nextPadID++
+		pad := core.Superblock{ID: d.allocID(kindPad), Size: cap - phys}
 		if err := cache.Insert(pad); err != nil {
 			return 0, fmt.Errorf("dbt: inserting wrap pad: %w", err)
 		}
@@ -357,12 +355,12 @@ func (d *DBT) patchStub(idx int, targetAddr uint32, targetID core.SuperblockID) 
 	// intra/inter-unit accounting; cross-cache links (bb fragment to
 	// superblock) are tracked physically only.
 	switch {
-	case !isBBFragment(st.owner) && !isBBFragment(targetID):
+	case !d.isBB(st.owner) && !d.isBB(targetID):
 		_ = d.cache.AddLink(st.owner, targetID)
 		if d.recorder != nil {
 			d.recorder.link(d.pcOf[st.owner], d.pcOf[targetID])
 		}
-	case isBBFragment(st.owner) && isBBFragment(targetID):
+	case d.isBB(st.owner) && d.isBB(targetID):
 		_ = d.bbFrag.AddLink(st.owner, targetID)
 		d.stats.BBToBBLinks++
 	}
@@ -416,7 +414,7 @@ func (d *DBT) onEvict(ids []core.SuperblockID) {
 		}
 		delete(d.stubsOf, id)
 		if pc, ok := d.pcOf[id]; ok {
-			if isBBFragment(id) {
+			if d.isBB(id) {
 				delete(d.bbHash, pc)
 				delete(d.bbIDOf, pc)
 			} else {

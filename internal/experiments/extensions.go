@@ -6,7 +6,6 @@ import (
 	"dynocache/internal/core"
 	"dynocache/internal/report"
 	"dynocache/internal/sim"
-	"dynocache/internal/workload"
 )
 
 // This file holds experiments beyond the paper's figures: the
@@ -36,7 +35,7 @@ func (s *Suite) Multiprog(names ...string) (*MultiprogResult, error) {
 	if len(names) == 0 {
 		names = []string{"gzip", "vpr", "crafty", "twolf"}
 	}
-	merged, err := workload.Multiprogram(s.cfg.Scale, 2000, names...)
+	merged, err := s.multiprogTrace(2000, names)
 	if err != nil {
 		return nil, err
 	}
@@ -69,11 +68,7 @@ func (s *Suite) Multiprog(names ...string) (*MultiprogResult, error) {
 	// Solo blend on private caches of the same capacity.
 	var misses, accesses uint64
 	for _, name := range names {
-		p, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		tr, err := p.Scaled(s.cfg.Scale).Synthesize()
+		tr, err := s.traceByName(name)
 		if err != nil {
 			return nil, err
 		}
@@ -181,11 +176,7 @@ type AblationResult struct {
 
 // Ablations runs the design-choice studies on one mid-sized benchmark.
 func (s *Suite) Ablations() (*AblationResult, error) {
-	p, err := workload.ByName("vortex")
-	if err != nil {
-		return nil, err
-	}
-	tr, err := p.Scaled(s.cfg.Scale).Synthesize()
+	tr, err := s.traceByName("vortex")
 	if err != nil {
 		return nil, err
 	}

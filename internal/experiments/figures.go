@@ -75,6 +75,7 @@ func (s *Suite) Fig6() (*Fig6Result, error) {
 		return nil, err
 	}
 	res := &Fig6Result{Policies: s.PolicyNames()}
+	res.MissRates = make([]float64, 0, len(res.Policies))
 	for p := range s.Policies() {
 		res.MissRates = append(res.MissRates, sw.UnifiedMissRate(p))
 	}
@@ -102,6 +103,9 @@ type Fig7Result struct {
 func (s *Suite) Fig7() (*Fig7Result, error) {
 	res := &Fig7Result{Policies: s.PolicyNames(), Pressures: s.cfg.Pressures}
 	res.Rates = make([][]float64, len(res.Policies))
+	for p := range res.Rates {
+		res.Rates[p] = make([]float64, 0, len(res.Pressures))
+	}
 	for _, pressure := range s.cfg.Pressures {
 		sw, err := s.Sweep(pressure)
 		if err != nil {
@@ -148,6 +152,8 @@ func (s *Suite) Fig8() (*Fig8Result, error) {
 		return nil, fmt.Errorf("experiments: fine-grained FIFO recorded no evictions at pressure 2")
 	}
 	res := &Fig8Result{Policies: s.PolicyNames()}
+	res.Relative = make([]float64, 0, len(policies))
+	res.Absolute = make([]uint64, 0, len(policies))
 	for p := range policies {
 		n := sw.TotalEvictionInvocations(p)
 		res.Absolute = append(res.Absolute, n)
@@ -221,8 +227,11 @@ func (s *Suite) Eq3() (*FitResult, error) {
 	ins := papi.New(0xE3)
 	var sizes []int
 	for _, tr := range s.traces {
-		for _, sb := range tr.Blocks {
-			sizes = append(sizes, sb.Size)
+		// Iterate in sorted-ID order: the simulated PAPI noise sequence is
+		// consumed per call, so map-order iteration would pair sizes with
+		// noise draws nondeterministically and jitter the fit run-to-run.
+		for _, id := range tr.SortedIDs() {
+			sizes = append(sizes, tr.Blocks[id].Size)
 		}
 	}
 	// Replicate if a scaled-down suite has too few blocks.
@@ -291,6 +300,7 @@ func (s *Suite) relativeOverhead(pressure int, includeLinks bool, title string) 
 	if flush == 0 {
 		return nil, fmt.Errorf("experiments: FLUSH overhead is zero at pressure %d", pressure)
 	}
+	res.Relative = make([]float64, 0, len(res.Policies))
 	for p := range s.Policies() {
 		res.Relative = append(res.Relative, sw.TotalOverhead(p, s.cfg.Model, includeLinks)/flush)
 	}
@@ -328,6 +338,9 @@ func (r *Fig11Result) Series() *report.Series {
 func (s *Suite) overheadUnderPressure(includeLinks bool, title string) (*Fig11Result, error) {
 	res := &Fig11Result{Title: title, Policies: s.PolicyNames(), Pressures: s.cfg.Pressures}
 	res.Relative = make([][]float64, len(res.Policies))
+	for p := range res.Relative {
+		res.Relative[p] = make([]float64, 0, len(res.Pressures))
+	}
 	for _, pressure := range s.cfg.Pressures {
 		oh, err := s.relativeOverhead(pressure, includeLinks, "")
 		if err != nil {
@@ -408,6 +421,7 @@ func (s *Suite) Fig13() (*Fig13Result, error) {
 		return nil, err
 	}
 	res := &Fig13Result{Policies: s.PolicyNames()}
+	res.InterPct = make([]float64, 0, len(res.Policies))
 	for p := range s.Policies() {
 		res.InterPct = append(res.InterPct, 100*sw.MeanInterUnitLinkFraction(p))
 	}

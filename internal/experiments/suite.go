@@ -39,7 +39,7 @@ type Config struct {
 }
 
 // DefaultConfig reproduces the paper's setup at full Table 1 scale.
-// A complete RunAll takes tens of minutes of CPU time.
+// A complete RunAll takes about a minute of CPU time.
 func DefaultConfig() Config {
 	return Config{
 		Scale:             1.0,
@@ -89,9 +89,14 @@ type Suite struct {
 	cfg      Config
 	profiles []workload.Profile
 	traces   []*trace.Trace
+	byName   map[string]*trace.Trace
+
+	policies    []core.Policy
+	policyNames []string
 
 	mu     sync.Mutex
 	sweeps map[int]*sim.SweepResult // keyed by pressure factor
+	merged map[string]*trace.Trace  // interleaved workloads, keyed by label
 }
 
 // NewSuite synthesizes all Table 1 workloads at the configured scale.
@@ -99,7 +104,12 @@ func NewSuite(cfg Config) (*Suite, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Suite{cfg: cfg, sweeps: make(map[int]*sim.SweepResult)}
+	s := &Suite{
+		cfg:    cfg,
+		byName: make(map[string]*trace.Trace),
+		sweeps: make(map[int]*sim.SweepResult),
+		merged: make(map[string]*trace.Trace),
+	}
 	s.profiles = workload.ScaledTable1(cfg.Scale)
 	for _, p := range s.profiles {
 		tr, err := p.Synthesize()
@@ -107,6 +117,12 @@ func NewSuite(cfg Config) (*Suite, error) {
 			return nil, err
 		}
 		s.traces = append(s.traces, tr)
+		s.byName[p.Name] = tr
+	}
+	s.policies = core.GranularitySweep(cfg.MaxUnits)
+	s.policyNames = make([]string, len(s.policies))
+	for i, p := range s.policies {
+		s.policyNames[i] = p.String()
 	}
 	return s, nil
 }
@@ -117,18 +133,49 @@ func (s *Suite) Config() Config { return s.cfg }
 // Traces exposes the synthesized workloads.
 func (s *Suite) Traces() []*trace.Trace { return s.traces }
 
-// Policies returns the granularity sweep used across figures.
-func (s *Suite) Policies() []core.Policy { return core.GranularitySweep(s.cfg.MaxUnits) }
-
-// PolicyNames returns the sweep's display labels.
-func (s *Suite) PolicyNames() []string {
-	ps := s.Policies()
-	names := make([]string, len(ps))
-	for i, p := range ps {
-		names[i] = p.String()
+// traceByName returns the suite's synthesized trace for a Table 1
+// benchmark, so experiments never re-synthesize what NewSuite built.
+func (s *Suite) traceByName(name string) (*trace.Trace, error) {
+	if tr, ok := s.byName[name]; ok {
+		return tr, nil
 	}
-	return names
+	return nil, fmt.Errorf("experiments: benchmark %q not in suite", name)
 }
+
+// multiprogTrace returns (building and memoizing on first use) the
+// interleaved multiprogrammed workload over the named benchmarks, reusing
+// the suite's solo traces.
+func (s *Suite) multiprogTrace(quantum int, names []string) (*trace.Trace, error) {
+	label := "multiprog"
+	solos := make([]*trace.Trace, 0, len(names))
+	for _, n := range names {
+		tr, err := s.traceByName(n)
+		if err != nil {
+			return nil, err
+		}
+		solos = append(solos, tr)
+		label += "+" + n
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tr, ok := s.merged[label]; ok {
+		return tr, nil
+	}
+	tr, err := workload.Interleave(label, quantum, solos...)
+	if err != nil {
+		return nil, err
+	}
+	s.merged[label] = tr
+	return tr, nil
+}
+
+// Policies returns the granularity sweep used across figures. Callers
+// must not mutate the returned slice.
+func (s *Suite) Policies() []core.Policy { return s.policies }
+
+// PolicyNames returns the sweep's display labels. Callers must not mutate
+// the returned slice.
+func (s *Suite) PolicyNames() []string { return s.policyNames }
 
 // Sweep returns (computing and memoizing on first use) the full
 // policy x benchmark simulation at one pressure factor.

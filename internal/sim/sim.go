@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dynocache/internal/core"
 	"dynocache/internal/overhead"
@@ -118,21 +119,38 @@ func CapacityFor(tr *trace.Trace, pressure int) (int, error) {
 
 // Run replays tr against the policy at the given cache pressure.
 func Run(tr *trace.Trace, policy core.Policy, pressure int, opts Options) (*Result, error) {
-	capacity, err := CapacityFor(tr, pressure)
-	if err != nil {
-		return nil, err
+	// One pass over the block table serves capacity sizing and builds the
+	// dense lookup used by the replay loop (trace IDs are dense, so a flat
+	// slice replaces a map lookup per access).
+	var maxID core.SuperblockID
+	maxBlock := 0
+	for id, sb := range tr.Blocks {
+		if id > maxID {
+			maxID = id
+		}
+		if sb.Size > maxBlock {
+			maxBlock = sb.Size
+		}
 	}
+	if maxBlock == 0 {
+		return nil, fmt.Errorf("sim: trace %q is empty", tr.Name)
+	}
+	blocks := make([]core.Superblock, int(maxID)+1)
+	for id, sb := range tr.Blocks {
+		blocks[id] = sb
+	}
+
+	if pressure < 1 {
+		return nil, fmt.Errorf("sim: pressure factor must be >= 1, got %d", pressure)
+	}
+	capacity := tr.TotalBytes() / pressure
 	if opts.Capacity > 0 {
-		maxBlock := 0
-		for _, sb := range tr.Blocks {
-			if sb.Size > maxBlock {
-				maxBlock = sb.Size
-			}
-		}
 		capacity = opts.Capacity
-		if floor := maxBlock + 512; capacity < floor {
-			capacity = floor
-		}
+	}
+	// Unit caches round capacity down to an equal-unit multiple, so leave
+	// headroom above the largest block (see CapacityFor).
+	if floor := maxBlock + 512; capacity < floor {
+		capacity = floor
 	}
 	cache, err := policy.New(capacity)
 	if err != nil {
@@ -150,12 +168,15 @@ func Run(tr *trace.Trace, policy core.Policy, pressure int, opts Options) (*Resu
 		Pressure:  pressure,
 		Capacity:  capacity,
 	}
+	if opts.OccupancyEvery > 0 {
+		res.Occupancy = make([]OccupancySample, 0, len(tr.Accesses)/opts.OccupancyEvery+1)
+	}
 	var censusSamples int
 	for i, id := range tr.Accesses {
-		sb, ok := tr.Blocks[id]
-		if !ok {
+		if int(id) >= len(blocks) || blocks[id].Size == 0 {
 			return nil, fmt.Errorf("sim: trace %q access %d references undefined block %d", tr.Name, i, id)
 		}
+		sb := blocks[id]
 		res.AppInstructions += float64(sb.Size) / 4
 		if !cache.Access(id) {
 			if opts.DisableChaining {
@@ -227,6 +248,7 @@ func Sweep(traces []*trace.Trace, policies []core.Policy, pressure int, opts Opt
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
+		failed   atomic.Bool
 	)
 	workers := runtime.GOMAXPROCS(0)
 	for w := 0; w < workers; w++ {
@@ -234,9 +256,18 @@ func Sweep(traces []*trace.Trace, policies []core.Policy, pressure int, opts Opt
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				// After the first failure the sweep's result can never be
+				// returned; drain remaining jobs instead of simulating them.
+				if failed.Load() {
+					continue
+				}
 				res, err := Run(traces[j.b], policies[j.p], pressure, opts)
 				if err != nil {
-					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("sim: sweep (policy %s, benchmark %q): %w",
+							policies[j.p], traces[j.b].Name, err)
+					})
 					continue
 				}
 				sw.Results[j.p][j.b] = res

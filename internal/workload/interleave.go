@@ -15,7 +15,10 @@ import (
 // number of accesses — each quantum boundary is a context switch.
 //
 // Block IDs are remapped into disjoint ranges so distinct programs never
-// collide; link targets are remapped with them.
+// collide; link targets are remapped with them. Program i's base is the
+// cumulative ID span of programs 0..i-1, so merging dense-ID traces (the
+// synthesizer always emits IDs 0..n-1) yields a dense merged ID space —
+// required for the core caches' slice-indexed tables to stay compact.
 func Interleave(name string, quantum int, traces ...*trace.Trace) (*trace.Trace, error) {
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("workload: Interleave needs at least one trace")
@@ -23,13 +26,25 @@ func Interleave(name string, quantum int, traces ...*trace.Trace) (*trace.Trace,
 	if quantum < 1 {
 		return nil, fmt.Errorf("workload: quantum must be >= 1, got %d", quantum)
 	}
-	const stride = 1 << 22 // max blocks per program in the merged ID space
+	// Assign each program a contiguous ID range starting where the previous
+	// program's range ends (its span is maxID+1 to tolerate sparse inputs).
+	bases := make([]core.SuperblockID, len(traces))
+	next := core.SuperblockID(0)
+	for ti, tr := range traces {
+		bases[ti] = next
+		ids := tr.SortedIDs()
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("workload: trace %q has no blocks", tr.Name)
+		}
+		span := ids[len(ids)-1] + 1
+		if next > core.MaxSuperblockID-span {
+			return nil, fmt.Errorf("workload: merged ID space exceeds %d at trace %q", core.MaxSuperblockID, tr.Name)
+		}
+		next += span
+	}
 	out := trace.New(name)
 	for ti, tr := range traces {
-		if tr.NumBlocks() >= stride {
-			return nil, fmt.Errorf("workload: trace %q has %d blocks, exceeding the per-program ID range", tr.Name, tr.NumBlocks())
-		}
-		base := core.SuperblockID(ti * stride)
+		base := bases[ti]
 		for _, id := range tr.SortedIDs() {
 			sb := tr.Blocks[id]
 			links := make([]core.SuperblockID, len(sb.Links))
@@ -60,7 +75,7 @@ func Interleave(name string, quantum int, traces ...*trace.Trace) (*trace.Trace,
 				end = len(tr.Accesses)
 				remaining--
 			}
-			base := core.SuperblockID(ti * stride)
+			base := bases[ti]
 			for _, id := range tr.Accesses[cur:end] {
 				if err := out.Touch(base + id); err != nil {
 					return nil, err

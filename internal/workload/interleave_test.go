@@ -58,18 +58,27 @@ func TestInterleaveRemapsIDsDisjointly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const stride = 1 << 22
+	// Program 1's range starts right after program 0's (dense remapping).
+	base := core.SuperblockID(a.NumBlocks())
 	seenSecond := false
 	for id := range merged.Blocks {
-		if id >= stride {
+		if id >= base {
 			seenSecond = true
-			if int(id-stride) >= b.NumBlocks() {
+			if int(id-base) >= b.NumBlocks() {
 				t.Fatalf("remapped ID %d outside program 1's range", id)
 			}
 		}
 	}
 	if !seenSecond {
 		t.Fatal("no IDs from the second program")
+	}
+	// Dense inputs must merge into a dense ID space: every ID in
+	// [0, total) is defined.
+	total := a.NumBlocks() + b.NumBlocks()
+	for i := 0; i < total; i++ {
+		if _, ok := merged.Blocks[core.SuperblockID(i)]; !ok {
+			t.Fatalf("merged ID space has a gap at %d", i)
+		}
 	}
 }
 
@@ -83,14 +92,14 @@ func TestInterleaveQuantumStructure(t *testing.T) {
 	}
 	// The first quantum must come entirely from program 0, the second
 	// entirely from program 1.
-	const stride = 1 << 22
+	base := core.SuperblockID(a.NumBlocks())
 	for i := 0; i < quantum; i++ {
-		if merged.Accesses[i] >= stride {
+		if merged.Accesses[i] >= base {
 			t.Fatalf("access %d belongs to program 1 inside program 0's quantum", i)
 		}
 	}
 	for i := quantum; i < 2*quantum; i++ {
-		if merged.Accesses[i] < stride {
+		if merged.Accesses[i] < base {
 			t.Fatalf("access %d belongs to program 0 inside program 1's quantum", i)
 		}
 	}
@@ -103,13 +112,13 @@ func TestInterleaveLinkRemap(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Program 1's links must point into program 1's ID range.
-	const stride = 1 << 22
+	base := core.SuperblockID(a.NumBlocks())
 	for id, sb := range merged.Blocks {
-		if id < stride {
+		if id < base {
 			continue
 		}
 		for _, to := range sb.Links {
-			if to < stride {
+			if to < base {
 				t.Fatalf("program 1 block %d links into program 0 (%d)", id, to)
 			}
 		}
