@@ -5,6 +5,13 @@
 //
 //	dynocache-experiments [-quick] [-scale 1.0] [-pressures 2,4,6,8,10]
 //	                      [-maxunits 64] [-out report.txt] [-only fig6,...]
+//	                      [-check]
+//
+// -check replays every simulation under the verification layer
+// (internal/check): structural invariants are validated after every cache
+// operation and FIFO-family runs are compared in lockstep against an
+// independent oracle simulator. Output is identical; the run is a few
+// times slower.
 //
 // The full-scale run (-scale 1.0) reproduces Table 1's superblock counts
 // exactly and takes about a CPU-minute; -quick runs a 5%-scale version in
@@ -37,6 +44,7 @@ func run() error {
 	out := flag.String("out", "", "write the report to a file instead of stdout")
 	csvDir := flag.String("csvdir", "", "also export every figure's data as CSV files into this directory")
 	only := flag.String("only", "", "comma-separated experiment ids (table1,fig3,fig4,fig6..fig15,eq3,eq4,table2,sec53,multiprog,sensitivity,ablations,appendix)")
+	checkRuns := flag.Bool("check", false, "verify every simulation against invariants and the oracle simulator")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -49,6 +57,7 @@ func run() error {
 	if *maxUnits > 0 {
 		cfg.MaxUnits = *maxUnits
 	}
+	cfg.Verify = *checkRuns
 	if *pressures != "" {
 		cfg.Pressures = nil
 		for _, f := range strings.Split(*pressures, ",") {

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPressureSweepRuns executes the example end to end so `go test ./...`
+// catches API drift in the sweep helpers it demonstrates. A failure inside
+// main exits via log.Fatal, which fails the test binary.
+func TestPressureSweepRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = f
+	defer func() { os.Stdout = orig }()
+
+	main()
+
+	os.Stdout = orig
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{"workload:", "relative overhead vs FLUSH", "p=10", "FLUSH", "FIFO"} {
+		if !strings.Contains(string(out), marker) {
+			t.Errorf("output missing %q", marker)
+		}
+	}
+	// Every matrix cell must have rendered as a finite ratio; a NaN would
+	// print as "NaN" and break the row format.
+	if strings.Contains(string(out), "NaN") {
+		t.Error("overhead matrix contains NaN")
+	}
+}

@@ -1,0 +1,334 @@
+// Package check is the verification layer around the dense-ID cache
+// engine: an invariant wall, a naive reference simulator (the oracle), a
+// trace differ, and metamorphic trace relations.
+//
+// The package exists because every performance PR rewrites state machines
+// (residency tables, FIFO unit order, link/back-pointer symmetry) whose
+// correctness the paper's event counts silently depend on. The shape here
+// is the standard one for validating a fast kernel: a slow, obviously
+// correct model runs alongside, and structural invariants are re-checked
+// after every mutation, so the optimized engine is never trusted on its
+// own word. See DESIGN.md §9 for the invariant catalogue and how each maps
+// onto a defect class.
+package check
+
+import (
+	"fmt"
+	"reflect"
+
+	"dynocache/internal/core"
+)
+
+// Violation describes the first failed check of a verified run, with
+// enough context to replay it: which operation, on which superblock, at
+// which step, and what the engine and the reference disagreed about.
+type Violation struct {
+	Step  uint64 // 1-based operation count on the wrapper
+	Op    string // "Access", "Insert", "AddLink", "Flush"
+	ID    core.SuperblockID
+	Field string // what diverged or which invariant broke
+	Got   string // engine-side value
+	Want  string // oracle-side / required value
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("check: step %d (%s id=%d): %s: engine=%s want=%s",
+		v.Step, v.Op, v.ID, v.Field, v.Got, v.Want)
+}
+
+// structuralChecker is implemented by caches that can self-validate
+// (FIFOCache, LRUCache and the policies embedding them).
+type structuralChecker interface {
+	CheckInvariants() error
+}
+
+// patchedCounter is implemented by caches exposing their patched-link
+// count (the FIFO family).
+type patchedCounter interface {
+	PatchedLinks() int
+}
+
+// Checked wraps a core.Cache and validates it after every operation. Two
+// independent walls run, as far as the wrapped policy supports them:
+//
+//   - the invariant wall: occupancy never exceeds capacity, counter
+//     algebra stays consistent (hits+misses=accesses, evicted ≤ inserted),
+//     a freshly inserted block is resident, and — for caches implementing
+//     CheckInvariants — the structural self-checks (queue tiling, no block
+//     resident twice, link/back-pointer symmetry, no dangling inter-unit
+//     links after unit flushes);
+//   - the oracle differ: for the FIFO family (FLUSH, n-unit, fine FIFO) a
+//     map-based reference simulator replays every operation and the two
+//     must agree on residency, resident counts and bytes, patched links,
+//     and the entire core.Stats counter set. FIFO circular eviction order
+//     and minimum-sufficient-bytes fine eviction are enforced here: any
+//     wrong victim choice desynchronizes the residency sets or the
+//     BytesEvicted counter.
+//
+// The wrapper is transparent: it never mutates the inner cache beyond
+// delegating, so a verified run produces byte-identical results to an
+// unchecked one. The first violation is recorded (with full context) and
+// surfaced through Err and through the next Insert error return; later
+// checks are skipped so the original divergence is never masked.
+type Checked struct {
+	inner  core.Cache
+	oracle *Oracle // nil when the policy has no reference model
+	strict structuralChecker
+	// evictLEInsert enables the "evicted <= inserted" counter identity; it
+	// holds for single-arena policies but not for the generational cache,
+	// whose promotions re-insert blocks inside the sub-caches without
+	// raising the wrapper-level insertion counters.
+	evictLEInsert bool
+	step          uint64
+	first         *Violation
+}
+
+var _ core.Cache = (*Checked)(nil)
+
+// Wrap builds the verification wrapper for a cache instantiated from the
+// given policy. Every policy gets the invariant wall; the FIFO family
+// additionally gets the oracle differ.
+func Wrap(inner core.Cache, p core.Policy) *Checked {
+	c := &Checked{inner: inner, evictLEInsert: p.Kind != core.PolicyGenerational}
+	if sc, ok := inner.(structuralChecker); ok {
+		c.strict = sc
+	}
+	switch p.Kind {
+	case core.PolicyFlush, core.PolicyUnits, core.PolicyFine:
+		// The engine may have rounded the capacity (NewUnits floors to an
+		// equal-unit multiple); build the oracle over the same arena.
+		if o, err := NewOracle(p, inner.Capacity()); err == nil {
+			c.oracle = o
+		}
+	}
+	return c
+}
+
+// HasOracle reports whether the wrapped policy has a reference model.
+func (c *Checked) HasOracle() bool { return c.oracle != nil }
+
+// Err returns the first recorded violation, or nil.
+func (c *Checked) Err() error {
+	if c.first == nil {
+		return nil
+	}
+	return c.first
+}
+
+// Unwrap exposes the verified cache.
+func (c *Checked) Unwrap() core.Cache { return c.inner }
+
+func (c *Checked) fail(op string, id core.SuperblockID, field, got, want string) {
+	if c.first != nil {
+		return
+	}
+	c.first = &Violation{Step: c.step, Op: op, ID: id, Field: field, Got: got, Want: want}
+}
+
+// Name implements core.Cache.
+func (c *Checked) Name() string { return c.inner.Name() }
+
+// Capacity implements core.Cache.
+func (c *Checked) Capacity() int { return c.inner.Capacity() }
+
+// Units implements core.Cache.
+func (c *Checked) Units() int { return c.inner.Units() }
+
+// Stats implements core.Cache.
+func (c *Checked) Stats() *core.Stats { return c.inner.Stats() }
+
+// Contains implements core.Cache.
+func (c *Checked) Contains(id core.SuperblockID) bool { return c.inner.Contains(id) }
+
+// Resident implements core.Cache.
+func (c *Checked) Resident() int { return c.inner.Resident() }
+
+// ResidentBytes implements core.Cache.
+func (c *Checked) ResidentBytes() int { return c.inner.ResidentBytes() }
+
+// LinkCensus implements core.Cache.
+func (c *Checked) LinkCensus() (intra, inter int) { return c.inner.LinkCensus() }
+
+// BackPtrTableBytes implements core.Cache.
+func (c *Checked) BackPtrTableBytes() int { return c.inner.BackPtrTableBytes() }
+
+// Samples forwards to the wrapped cache when it records eviction samples.
+func (c *Checked) Samples() []core.EvictionSample {
+	if fc, ok := c.inner.(*core.FIFOCache); ok {
+		return fc.Samples()
+	}
+	return nil
+}
+
+// Access implements core.Cache, stepping the oracle in lockstep.
+func (c *Checked) Access(id core.SuperblockID) bool {
+	hit := c.inner.Access(id)
+	c.step++
+	if c.first == nil && c.oracle != nil {
+		if ohit := c.oracle.Access(id); ohit != hit {
+			c.fail("Access", id, "hit/miss", fmt.Sprintf("%v", hit), fmt.Sprintf("%v", ohit))
+		}
+		c.compare("Access", id)
+	}
+	c.checkAlgebra("Access", id)
+	return hit
+}
+
+// Insert implements core.Cache. A successful insert is mirrored into the
+// oracle and followed by the full wall (cheap algebra, oracle comparison,
+// structural self-checks, residency-set sweep). Any previously recorded
+// violation is surfaced through the error return so replay loops stop at
+// the first divergence.
+func (c *Checked) Insert(sb core.Superblock) error {
+	err := c.inner.Insert(sb)
+	c.step++
+	if err != nil {
+		// validateInsert rejects before mutating: the engine and the oracle
+		// are still in sync; just report the engine's error.
+		return err
+	}
+	if c.first == nil && c.oracle != nil {
+		c.oracle.Insert(sb)
+		c.compare("Insert", sb.ID)
+		c.sweepResidency("Insert", sb.ID)
+	}
+	if c.first == nil && !c.inner.Contains(sb.ID) {
+		c.fail("Insert", sb.ID, "freshly inserted block resident", "false", "true")
+	}
+	c.checkAlgebra("Insert", sb.ID)
+	c.checkStructure("Insert", sb.ID)
+	return c.Err()
+}
+
+// AddLink implements core.Cache.
+func (c *Checked) AddLink(from, to core.SuperblockID) error {
+	err := c.inner.AddLink(from, to)
+	c.step++
+	if err != nil {
+		return err
+	}
+	if c.first == nil && c.oracle != nil {
+		c.oracle.AddLink(from, to)
+		c.compare("AddLink", from)
+	}
+	return c.Err()
+}
+
+// Flush implements core.Cache.
+func (c *Checked) Flush() {
+	c.inner.Flush()
+	c.step++
+	if c.first == nil && c.oracle != nil {
+		c.oracle.Flush()
+		c.compare("Flush", 0)
+		c.sweepResidency("Flush", 0)
+	}
+	c.checkAlgebra("Flush", 0)
+	c.checkStructure("Flush", 0)
+}
+
+// compare cross-checks the engine against the oracle after one operation.
+func (c *Checked) compare(op string, id core.SuperblockID) {
+	if c.first != nil {
+		return
+	}
+	o := c.oracle
+	if got, want := c.inner.Contains(id), o.Contains(id); got != want {
+		c.fail(op, id, "residency of touched block", fmt.Sprintf("%v", got), fmt.Sprintf("%v", want))
+		return
+	}
+	if got, want := c.inner.Resident(), o.Resident(); got != want {
+		c.fail(op, id, "resident block count", fmt.Sprint(got), fmt.Sprint(want))
+		return
+	}
+	if got, want := c.inner.ResidentBytes(), o.ResidentBytes(); got != want {
+		c.fail(op, id, "resident bytes", fmt.Sprint(got), fmt.Sprint(want))
+		return
+	}
+	if pc, ok := c.inner.(patchedCounter); ok {
+		if got, want := pc.PatchedLinks(), o.PatchedLinks(); got != want {
+			c.fail(op, id, "patched link count", fmt.Sprint(got), fmt.Sprint(want))
+			return
+		}
+	}
+	if got, want := c.inner.BackPtrTableBytes(), o.BackPtrTableBytes(); got != want {
+		c.fail(op, id, "back-pointer table bytes", fmt.Sprint(got), fmt.Sprint(want))
+		return
+	}
+	if got, want := *c.inner.Stats(), *o.Stats(); got != want {
+		field, g, w := firstStatsDiff(got, want)
+		c.fail(op, id, "stats counter "+field, g, w)
+	}
+}
+
+// sweepResidency verifies the resident sets agree as sets, not just in
+// cardinality: every oracle-resident block must be engine-resident, which
+// together with equal counts makes the sets identical (and rules out a
+// block resident twice on the oracle side of the ledger).
+func (c *Checked) sweepResidency(op string, id core.SuperblockID) {
+	if c.first != nil {
+		return
+	}
+	for rid := range c.oracle.resident {
+		if !c.inner.Contains(rid) {
+			c.fail(op, id, fmt.Sprintf("oracle-resident block %d in engine", rid), "absent", "resident")
+			return
+		}
+	}
+	if got, want := c.oracle.ResidentBytes(), c.oracle.tallyBytes(); got != want {
+		c.fail(op, id, "oracle byte counter vs tally", fmt.Sprint(got), fmt.Sprint(want))
+	}
+}
+
+// checkAlgebra enforces the counter identities every policy must satisfy.
+func (c *Checked) checkAlgebra(op string, id core.SuperblockID) {
+	if c.first != nil {
+		return
+	}
+	if got, cap := c.inner.ResidentBytes(), c.inner.Capacity(); got > cap {
+		c.fail(op, id, "occupancy within capacity", fmt.Sprint(got), fmt.Sprintf("<= %d", cap))
+		return
+	}
+	s := c.inner.Stats()
+	if s.Hits+s.Misses != s.Accesses {
+		c.fail(op, id, "hits+misses == accesses",
+			fmt.Sprintf("%d+%d", s.Hits, s.Misses), fmt.Sprint(s.Accesses))
+		return
+	}
+	if !c.evictLEInsert {
+		return
+	}
+	if s.BlocksEvicted > s.InsertedBlocks {
+		c.fail(op, id, "blocks evicted <= inserted", fmt.Sprint(s.BlocksEvicted), fmt.Sprintf("<= %d", s.InsertedBlocks))
+		return
+	}
+	if s.BytesEvicted > s.InsertedBytes {
+		c.fail(op, id, "bytes evicted <= inserted", fmt.Sprint(s.BytesEvicted), fmt.Sprintf("<= %d", s.InsertedBytes))
+	}
+}
+
+// checkStructure runs the cache's own structural self-validation, when it
+// has one. Insert and Flush are the only operations that evict, so this
+// covers every state transition that rearranges the arena.
+func (c *Checked) checkStructure(op string, id core.SuperblockID) {
+	if c.first != nil || c.strict == nil {
+		return
+	}
+	if err := c.strict.CheckInvariants(); err != nil {
+		c.fail(op, id, "structural invariants", err.Error(), "no violation")
+	}
+}
+
+// firstStatsDiff names the first differing counter between two Stats
+// values (both are flat uint64 structs).
+func firstStatsDiff(got, want core.Stats) (field, g, w string) {
+	gv, wv := reflect.ValueOf(got), reflect.ValueOf(want)
+	t := gv.Type()
+	for i := 0; i < t.NumField(); i++ {
+		if gv.Field(i).Uint() != wv.Field(i).Uint() {
+			return t.Field(i).Name, fmt.Sprint(gv.Field(i).Uint()), fmt.Sprint(wv.Field(i).Uint())
+		}
+	}
+	return "(none)", "", ""
+}

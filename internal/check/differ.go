@@ -1,0 +1,56 @@
+package check
+
+import (
+	"fmt"
+
+	"dynocache/internal/core"
+	"dynocache/internal/trace"
+)
+
+// Diff replays a trace through the dense-ID engine and the map-based
+// oracle in lockstep and returns nil only if every operation agreed on
+// residency, occupancy, patched links, and the full core.Stats counter
+// set. On divergence it returns an error naming the trace, the access
+// index, the superblock, and the first field the two engines disagreed on
+// — everything needed to shrink and replay the failure.
+//
+// Only the FIFO policy family (FLUSH, n-unit, fine FIFO) has an oracle;
+// other policies return an error immediately.
+func Diff(tr *trace.Trace, policy core.Policy, capacity int) error {
+	cache, err := policy.New(capacity)
+	if err != nil {
+		return fmt.Errorf("check: diff %q: %w", tr.Name, err)
+	}
+	chk := Wrap(cache, policy)
+	if !chk.HasOracle() {
+		return fmt.Errorf("check: policy %s has no oracle to diff against", policy)
+	}
+	for i, id := range tr.Accesses {
+		sb, ok := tr.Blocks[id]
+		if !ok {
+			return fmt.Errorf("check: diff %q: access %d references undefined block %d", tr.Name, i, id)
+		}
+		if !chk.Access(id) {
+			if err := chk.Insert(sb); err != nil {
+				return fmt.Errorf("check: diff %q (policy %s, capacity %d) diverged at access %d: %w",
+					tr.Name, policy, capacity, i, err)
+			}
+		}
+		if err := chk.Err(); err != nil {
+			return fmt.Errorf("check: diff %q (policy %s, capacity %d) diverged at access %d: %w",
+				tr.Name, policy, capacity, i, err)
+		}
+	}
+	return nil
+}
+
+// DiffAll diffs the trace against every oracle-backed policy in the
+// granularity sweep at the given capacity, returning the first failure.
+func DiffAll(tr *trace.Trace, maxUnits, capacity int) error {
+	for _, p := range core.GranularitySweep(maxUnits) {
+		if err := Diff(tr, p, capacity); err != nil {
+			return err
+		}
+	}
+	return nil
+}

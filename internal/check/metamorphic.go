@@ -1,0 +1,202 @@
+package check
+
+import (
+	"fmt"
+
+	"dynocache/internal/core"
+	"dynocache/internal/stats"
+	"dynocache/internal/trace"
+)
+
+// Metamorphic relations: properties that must hold between a replay of a
+// trace and a replay of a transformed version of it, without either run
+// needing a known-good answer. They complement the oracle differ — the
+// oracle catches the engine disagreeing with a reference, the relations
+// catch both agreeing on something that cannot be right.
+
+// PermuteIDs returns a copy of tr with every superblock ID remapped
+// through a pseudo-random dense permutation of [0, maxID]: block
+// definitions, link targets, and the access sequence all move together.
+// Sizes, link structure, and access order are untouched, so any
+// ID-agnostic policy must behave identically on the two traces.
+func PermuteIDs(tr *trace.Trace, seed uint64) (*trace.Trace, error) {
+	var maxID core.SuperblockID
+	for id := range tr.Blocks {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	r := stats.NewRand(seed, 0xC0FFEE)
+	perm := r.Perm(int(maxID) + 1)
+	remap := func(id core.SuperblockID) core.SuperblockID {
+		return core.SuperblockID(perm[id])
+	}
+	out := trace.New(tr.Name + "-perm")
+	for _, id := range tr.SortedIDs() {
+		sb := tr.Blocks[id]
+		sb.ID = remap(id)
+		links := make([]core.SuperblockID, len(sb.Links))
+		for i, to := range sb.Links {
+			links[i] = remap(to)
+		}
+		sb.Links = links
+		if err := out.Define(sb); err != nil {
+			return nil, fmt.Errorf("check: permute %q: %w", tr.Name, err)
+		}
+	}
+	for _, id := range tr.Accesses {
+		if err := out.Touch(remap(id)); err != nil {
+			return nil, fmt.Errorf("check: permute %q: %w", tr.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// Concat returns a trace that replays tr twice back to back over the same
+// block table — the second pass starts against whatever the first pass
+// left resident.
+func Concat(tr *trace.Trace) (*trace.Trace, error) {
+	out := trace.New(tr.Name + "-x2")
+	for _, id := range tr.SortedIDs() {
+		if err := out.Define(tr.Blocks[id]); err != nil {
+			return nil, fmt.Errorf("check: concat %q: %w", tr.Name, err)
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, id := range tr.Accesses {
+			if err := out.Touch(id); err != nil {
+				return nil, fmt.Errorf("check: concat %q: %w", tr.Name, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// floorCapacity applies the simulator's sizing floor (§4.2): the cache is
+// never smaller than the largest single superblock plus headroom, so every
+// block stays cacheable under any policy's rounding.
+func floorCapacity(tr *trace.Trace, capacity int) int {
+	maxBlock := 0
+	for _, sb := range tr.Blocks {
+		if sb.Size > maxBlock {
+			maxBlock = sb.Size
+		}
+	}
+	if floor := maxBlock + 512; capacity < floor {
+		return floor
+	}
+	return capacity
+}
+
+// replayStats replays tr against a fresh cache and returns the final
+// counters, plus a snapshot taken after `mark` accesses (mark <= 0 skips
+// the snapshot). The replay loop is the canonical miss-regenerate cycle
+// the simulator uses; it is re-implemented here so package check stays
+// independent of package sim.
+func replayStats(tr *trace.Trace, policy core.Policy, capacity, mark int) (at, final core.Stats, err error) {
+	cache, err := policy.New(capacity)
+	if err != nil {
+		return at, final, err
+	}
+	for i, id := range tr.Accesses {
+		sb, ok := tr.Blocks[id]
+		if !ok {
+			return at, final, fmt.Errorf("check: replay %q: access %d references undefined block %d", tr.Name, i, id)
+		}
+		if !cache.Access(id) {
+			if err := cache.Insert(sb); err != nil {
+				return at, final, fmt.Errorf("check: replay %q: access %d: %w", tr.Name, i, err)
+			}
+		}
+		if i+1 == mark {
+			at = *cache.Stats()
+		}
+	}
+	return at, *cache.Stats(), nil
+}
+
+// CheckPermutationInvariance verifies that remapping IDs through a dense
+// permutation leaves every counter unchanged: the policies under study
+// decide by size, order, and link structure, never by ID value.
+func CheckPermutationInvariance(tr *trace.Trace, policy core.Policy, capacity int, seed uint64) error {
+	capacity = floorCapacity(tr, capacity)
+	perm, err := PermuteIDs(tr, seed)
+	if err != nil {
+		return err
+	}
+	_, orig, err := replayStats(tr, policy, capacity, 0)
+	if err != nil {
+		return err
+	}
+	_, permuted, err := replayStats(perm, policy, capacity, 0)
+	if err != nil {
+		return err
+	}
+	if orig != permuted {
+		field, g, w := firstStatsDiff(permuted, orig)
+		return fmt.Errorf("check: %q under %s: ID permutation changed %s (%s, original %s)",
+			tr.Name, policy, field, g, w)
+	}
+	return nil
+}
+
+// CheckFlushCapacityMonotone verifies that doubling the capacity of a
+// full-flush cache never increases the number of flush invocations: a
+// bigger arena accumulates at least as much code between consecutive
+// flushes, so flushes can only become rarer.
+func CheckFlushCapacityMonotone(tr *trace.Trace, capacity int) error {
+	capacity = floorCapacity(tr, capacity)
+	policy := core.Policy{Kind: core.PolicyFlush}
+	_, small, err := replayStats(tr, policy, capacity, 0)
+	if err != nil {
+		return err
+	}
+	_, big, err := replayStats(tr, policy, 2*capacity, 0)
+	if err != nil {
+		return err
+	}
+	if big.FullFlushes > small.FullFlushes {
+		return fmt.Errorf("check: %q: doubling FLUSH capacity %d raised flush invocations %d -> %d",
+			tr.Name, capacity, small.FullFlushes, big.FullFlushes)
+	}
+	return nil
+}
+
+// CheckConcatSteadyState verifies two properties of replaying a trace
+// twice back to back: (1) prefix determinism — the counters after the
+// first pass are exactly the counters of a single replay, because the
+// engine's behavior depends only on the operations seen so far; and
+// (2) steady-state hit behavior — the warm second pass misses no more
+// than the cold first pass did, within a small tolerance. The tolerance
+// is necessary, not defensive: residual first-pass content shifts where
+// flush/unit boundaries fall in the second pass, and that misalignment
+// genuinely costs extra misses (a Belady-style anomaly, observed up to
+// ~2% of the cold-pass miss count). The bound of 1/16th of the cold
+// misses plus one per distinct block still catches any real regression,
+// where a warm pass would miss on a large fraction of reuses.
+func CheckConcatSteadyState(tr *trace.Trace, policy core.Policy, capacity int) error {
+	capacity = floorCapacity(tr, capacity)
+	doubled, err := Concat(tr)
+	if err != nil {
+		return err
+	}
+	_, single, err := replayStats(tr, policy, capacity, 0)
+	if err != nil {
+		return err
+	}
+	mid, full, err := replayStats(doubled, policy, capacity, len(tr.Accesses))
+	if err != nil {
+		return err
+	}
+	if mid != single {
+		field, g, w := firstStatsDiff(mid, single)
+		return fmt.Errorf("check: %q under %s: concat prefix diverged from single replay on %s (%s, single %s)",
+			tr.Name, policy, field, g, w)
+	}
+	secondPassMisses := full.Misses - mid.Misses
+	if slack := single.Misses/16 + uint64(tr.NumBlocks()); secondPassMisses > single.Misses+slack {
+		return fmt.Errorf("check: %q under %s: warm second pass missed %d times, cold pass %d (+%d slack)",
+			tr.Name, policy, secondPassMisses, single.Misses, slack)
+	}
+	return nil
+}

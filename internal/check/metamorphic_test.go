@@ -1,0 +1,99 @@
+package check
+
+import (
+	"testing"
+
+	"dynocache/internal/core"
+	"dynocache/internal/trace"
+	"dynocache/internal/workload"
+)
+
+// metamorphicWorkloads synthesizes a few calibrated Table 1 benchmarks at
+// small scale — one SPEC-like, one Windows-like — plus an adversarial
+// random trace, so the relations run against realistic size and link
+// distributions, not just uniform noise.
+func metamorphicWorkloads(t *testing.T) []*trace.Trace {
+	t.Helper()
+	var out []*trace.Trace
+	for _, name := range []string{"gzip", "word"} {
+		p, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := p.Scaled(0.05).Synthesize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tr)
+	}
+	out = append(out, randomTrace(t, "meta-random", 250, 25000, 0xA11CE))
+	return out
+}
+
+func TestMetamorphicPermutationInvariance(t *testing.T) {
+	for _, tr := range metamorphicWorkloads(t) {
+		capacity := tr.TotalBytes() / 6
+		for _, p := range oraclePolicies() {
+			if err := CheckPermutationInvariance(tr, p, capacity, 0xD15C0); err != nil {
+				t.Errorf("%s: %v", tr.Name, err)
+			}
+		}
+	}
+}
+
+func TestMetamorphicFlushCapacityMonotone(t *testing.T) {
+	for _, tr := range metamorphicWorkloads(t) {
+		for _, div := range []int{3, 6, 10} {
+			if err := CheckFlushCapacityMonotone(tr, tr.TotalBytes()/div); err != nil {
+				t.Errorf("%s (capacity /%d): %v", tr.Name, div, err)
+			}
+		}
+	}
+}
+
+func TestMetamorphicConcatSteadyState(t *testing.T) {
+	for _, tr := range metamorphicWorkloads(t) {
+		capacity := tr.TotalBytes() / 6
+		for _, p := range oraclePolicies() {
+			if err := CheckConcatSteadyState(tr, p, capacity); err != nil {
+				t.Errorf("%s: %v", tr.Name, err)
+			}
+		}
+	}
+}
+
+func TestPermuteIDsPreservesShape(t *testing.T) {
+	tr := randomTrace(t, "shape", 120, 4000, 42)
+	perm, err := PermuteIDs(tr, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm.NumBlocks() != tr.NumBlocks() || perm.TotalBytes() != tr.TotalBytes() {
+		t.Fatalf("permutation changed the block table: %d/%d blocks, %d/%d bytes",
+			perm.NumBlocks(), tr.NumBlocks(), perm.TotalBytes(), tr.TotalBytes())
+	}
+	if len(perm.Accesses) != len(tr.Accesses) {
+		t.Fatalf("permutation changed the access count: %d vs %d", len(perm.Accesses), len(tr.Accesses))
+	}
+	if err := perm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The permuted trace must itself pass the oracle differ.
+	if err := Diff(perm, core.Policy{Kind: core.PolicyUnits, Units: 8}, tr.TotalBytes()/4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatDoublesAccesses(t *testing.T) {
+	tr := randomTrace(t, "double", 60, 900, 43)
+	doubled, err := Concat(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doubled.Accesses) != 2*len(tr.Accesses) {
+		t.Fatalf("concat accesses = %d, want %d", len(doubled.Accesses), 2*len(tr.Accesses))
+	}
+	if err := doubled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,309 @@
+package check
+
+import (
+	"fmt"
+
+	"dynocache/internal/core"
+)
+
+// Oracle is a deliberately naive reference simulator for the FIFO policy
+// family (FLUSH, n-unit, fine-grained FIFO). It shares no code with the
+// dense-ID engine in package core: residency is a map keyed by
+// SuperblockID, the FIFO order is a plain slice of live entries with no
+// dead prefix, and the link table is map-backed. Everything is re-derived
+// from the paper's semantics (§3.2-3.3) rather than from the engine, so a
+// divergence between the two is evidence of a bug in one of them — almost
+// always the optimized one.
+//
+// The oracle maintains the full core.Stats counter set, which makes
+// whole-struct equality against the engine the single strongest check the
+// package performs: any residency, eviction-order, eviction-amount, or
+// link-bookkeeping defect eventually lands in a counter.
+type Oracle struct {
+	mode     core.PolicyKind // PolicyFlush, PolicyUnits, or PolicyFine
+	capacity int
+	unitSize int // eviction quantum for PolicyUnits
+
+	head, tail int64
+	fifo       []oracleEntry // live blocks, oldest first
+	resident   map[core.SuperblockID]oracleEntry
+	// liveBytes tracks the occupied-byte sum so the per-operation
+	// comparison stays O(1); tallyBytes re-derives it for self-checks.
+	liveBytes int
+
+	links *oracleLinks
+	stats core.Stats
+}
+
+type oracleEntry struct {
+	id   core.SuperblockID
+	voff int64
+	size int
+}
+
+// NewOracle builds a reference simulator for the given policy over a cache
+// of exactly the given capacity. The capacity must already honor the
+// policy's own rounding (core.NewUnits floors to an equal-unit multiple);
+// callers normally pass cache.Capacity() of the engine under test.
+// Policies outside the FIFO family have no oracle and return an error.
+func NewOracle(p core.Policy, capacity int) (*Oracle, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("check: oracle capacity must be positive, got %d", capacity)
+	}
+	o := &Oracle{
+		mode:     p.Kind,
+		capacity: capacity,
+		resident: make(map[core.SuperblockID]oracleEntry),
+		links:    newOracleLinks(),
+	}
+	switch p.Kind {
+	case core.PolicyFlush:
+		o.unitSize = capacity
+	case core.PolicyUnits:
+		if p.Units < 2 || p.Units > capacity {
+			return nil, fmt.Errorf("check: bad unit count %d for capacity %d", p.Units, capacity)
+		}
+		if capacity%p.Units != 0 {
+			return nil, fmt.Errorf("check: capacity %d not a multiple of %d units (pass the engine's rounded capacity)", capacity, p.Units)
+		}
+		o.unitSize = capacity / p.Units
+	case core.PolicyFine:
+		o.unitSize = 0
+	default:
+		return nil, fmt.Errorf("check: policy %s has no oracle", p)
+	}
+	return o, nil
+}
+
+// Stats exposes the oracle's cumulative counters.
+func (o *Oracle) Stats() *core.Stats { return &o.stats }
+
+// Contains reports residency without touching counters.
+func (o *Oracle) Contains(id core.SuperblockID) bool {
+	_, ok := o.resident[id]
+	return ok
+}
+
+// Resident returns the number of cached superblocks.
+func (o *Oracle) Resident() int { return len(o.resident) }
+
+// ResidentBytes returns the bytes currently occupied.
+func (o *Oracle) ResidentBytes() int { return o.liveBytes }
+
+// tallyBytes re-derives the occupied-byte sum from the residency map,
+// cross-checking the running counter the fast path reports.
+func (o *Oracle) tallyBytes() int {
+	total := 0
+	for _, e := range o.resident {
+		total += e.size
+	}
+	return total
+}
+
+// PatchedLinks returns the number of currently patched chaining links.
+func (o *Oracle) PatchedLinks() int { return o.links.patchedCount }
+
+// BackPtrTableBytes mirrors the engine's estimate: 16 bytes per patched
+// link, except FLUSH caches which need no table at all.
+func (o *Oracle) BackPtrTableBytes() int {
+	if o.mode == core.PolicyFlush {
+		return 0
+	}
+	return 16 * o.links.patchedCount
+}
+
+// Access records a hit or miss and returns whether id was resident.
+func (o *Oracle) Access(id core.SuperblockID) bool {
+	o.stats.Accesses++
+	if o.Contains(id) {
+		o.stats.Hits++
+		return true
+	}
+	o.stats.Misses++
+	return false
+}
+
+// Insert places a superblock, evicting per the policy's granularity. The
+// caller must only present blocks the engine accepted (valid size, not
+// already resident); the oracle re-derives everything else.
+func (o *Oracle) Insert(sb core.Superblock) {
+	if o.head+int64(sb.Size)-o.tail > int64(o.capacity) {
+		need := o.head + int64(sb.Size) - int64(o.capacity)
+		var frontier int64
+		switch o.mode {
+		case core.PolicyFlush:
+			frontier = o.head
+		case core.PolicyUnits:
+			q := int64(o.unitSize)
+			frontier = (need + q - 1) / q * q
+		default: // PolicyFine: free exactly the minimum sufficient bytes
+			frontier = need
+		}
+		o.evictBelow(frontier)
+	}
+	e := oracleEntry{id: sb.ID, voff: o.head, size: sb.Size}
+	o.head += int64(sb.Size)
+	o.fifo = append(o.fifo, e)
+	o.resident[sb.ID] = e
+	o.liveBytes += sb.Size
+	o.stats.InsertedBlocks++
+	o.stats.InsertedBytes += uint64(sb.Size)
+	for _, to := range sb.Links {
+		o.links.declare(sb.ID, to, o.Contains, &o.stats)
+	}
+	o.links.onInsert(sb.ID, &o.stats)
+}
+
+// AddLink declares a chaining link from a resident block.
+func (o *Oracle) AddLink(from, to core.SuperblockID) {
+	o.links.declare(from, to, o.Contains, &o.stats)
+}
+
+// Flush empties the cache as one eviction invocation.
+func (o *Oracle) Flush() {
+	if len(o.resident) == 0 {
+		return
+	}
+	o.evictBelow(o.head)
+}
+
+// evictBelow removes, as one invocation, every block starting below
+// frontier — the oldest blocks first, by construction of the FIFO slice.
+func (o *Oracle) evictBelow(frontier int64) {
+	victims := make(map[core.SuperblockID]struct{})
+	var order []core.SuperblockID
+	var bytes int64
+	n := 0
+	for n < len(o.fifo) && o.fifo[n].voff < frontier {
+		e := o.fifo[n]
+		victims[e.id] = struct{}{}
+		order = append(order, e.id)
+		bytes += int64(e.size)
+		delete(o.resident, e.id)
+		o.liveBytes -= e.size
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	o.fifo = append([]oracleEntry(nil), o.fifo[n:]...)
+	if len(o.fifo) > 0 {
+		o.tail = o.fifo[0].voff
+	} else {
+		o.tail = o.head
+		o.stats.FullFlushes++
+	}
+	o.stats.EvictionInvocations++
+	o.stats.BlocksEvicted += uint64(len(order))
+	o.stats.BytesEvicted += uint64(bytes)
+	o.stats.UnlinkEvents += o.links.unlinkEventsFor(victims)
+	o.links.onEvict(order, victims, &o.stats)
+}
+
+// oracleLinks is a from-scratch map-backed model of superblock chaining
+// (§3.1): patched links, the back-pointer table, and pending declarations
+// waiting for an absent target.
+type oracleLinks struct {
+	patched  map[core.SuperblockID]map[core.SuperblockID]struct{} // from -> targets
+	backPtrs map[core.SuperblockID]map[core.SuperblockID]struct{} // to -> sources
+	pendIn   map[core.SuperblockID]map[core.SuperblockID]struct{} // absent to -> waiting sources
+
+	patchedCount int
+}
+
+func newOracleLinks() *oracleLinks {
+	return &oracleLinks{
+		patched:  make(map[core.SuperblockID]map[core.SuperblockID]struct{}),
+		backPtrs: make(map[core.SuperblockID]map[core.SuperblockID]struct{}),
+		pendIn:   make(map[core.SuperblockID]map[core.SuperblockID]struct{}),
+	}
+}
+
+func addTo(m map[core.SuperblockID]map[core.SuperblockID]struct{}, k, v core.SuperblockID) {
+	set, ok := m[k]
+	if !ok {
+		set = make(map[core.SuperblockID]struct{})
+		m[k] = set
+	}
+	set[v] = struct{}{}
+}
+
+func (l *oracleLinks) patch(from, to core.SuperblockID) {
+	if _, dup := l.patched[from][to]; dup {
+		return
+	}
+	addTo(l.patched, from, to)
+	addTo(l.backPtrs, to, from)
+	l.patchedCount++
+}
+
+func (l *oracleLinks) declare(from, to core.SuperblockID, resident func(core.SuperblockID) bool, stats *core.Stats) {
+	if resident(to) {
+		l.patch(from, to)
+		stats.LinksPatched++
+	} else {
+		addTo(l.pendIn, to, from)
+	}
+}
+
+func (l *oracleLinks) onInsert(id core.SuperblockID, stats *core.Stats) {
+	waiting := l.pendIn[id]
+	if len(waiting) == 0 {
+		return
+	}
+	delete(l.pendIn, id)
+	for from := range waiting {
+		l.patch(from, id)
+		stats.LinksPatched++
+		stats.PendingRelinks++
+	}
+}
+
+func (l *oracleLinks) unlinkEventsFor(victims map[core.SuperblockID]struct{}) uint64 {
+	var events uint64
+	for id := range victims {
+		for from := range l.backPtrs[id] {
+			if _, also := victims[from]; !also {
+				events++
+				break
+			}
+		}
+	}
+	return events
+}
+
+// onEvict removes a set of blocks in one invocation. Inbound links from
+// co-evicted sources die for free; links from survivors are unpatched one
+// by one (Equation 4's cost) and reinstated as pending so the source
+// re-chains on regeneration.
+func (l *oracleLinks) onEvict(order []core.SuperblockID, victims map[core.SuperblockID]struct{}, stats *core.Stats) {
+	for _, id := range order {
+		for from := range l.backPtrs[id] {
+			if _, also := victims[from]; also {
+				stats.IntraUnitLinksFlushed++
+				continue
+			}
+			delete(l.patched[from], id)
+			l.patchedCount--
+			stats.InterUnitLinksRemoved++
+			addTo(l.pendIn, id, from)
+		}
+		delete(l.backPtrs, id)
+	}
+	for _, id := range order {
+		for to := range l.patched[id] {
+			if _, also := victims[to]; !also {
+				delete(l.backPtrs[to], id)
+			}
+			l.patchedCount--
+		}
+		delete(l.patched, id)
+		// Scrub the evicted block's own pending declarations.
+		for to, set := range l.pendIn {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(l.pendIn, to)
+			}
+		}
+	}
+}

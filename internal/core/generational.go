@@ -233,6 +233,23 @@ func (c *GenerationalCache) Flush() {
 	}
 }
 
+// CheckInvariants validates both generations and the promotion tables; it
+// is exported for the verification layer and returns the first violation.
+func (c *GenerationalCache) CheckInvariants() error {
+	if err := c.nursery.CheckInvariants(); err != nil {
+		return fmt.Errorf("core: generational nursery: %w", err)
+	}
+	if err := c.tenured.CheckInvariants(); err != nil {
+		return fmt.Errorf("core: generational tenured: %w", err)
+	}
+	for _, e := range c.nursery.queue[c.nursery.qfront:] {
+		if int(e.id) >= len(c.blockMeta) || c.blockMeta[e.id].Size == 0 {
+			return fmt.Errorf("core: generational: resident block %d has no recorded metadata", e.id)
+		}
+	}
+	return nil
+}
+
 // Stats implements Cache: access counters are the wrapper's; structural
 // counters (insertions, evictions, links) are summed from the generations
 // on every call.

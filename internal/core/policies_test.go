@@ -319,6 +319,38 @@ func TestGenerationalPromotion(t *testing.T) {
 	}
 }
 
+func TestGenerationalCheckInvariants(t *testing.T) {
+	c, err := NewGenerational(1000, 0.25, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		id := SuperblockID(i % 40)
+		if !c.Access(id) {
+			mustInsert(t, c, sb(id, 20+int(id)))
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	c.Flush()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A nursery-resident block with scrubbed metadata must be flagged.
+	for i := range c.blockMeta {
+		c.blockMeta[i] = Superblock{}
+	}
+	if c.Nursery().Resident() > 0 {
+		t.Fatal("expected an empty nursery after Flush")
+	}
+	mustInsert(t, c, sb(1, 30))
+	c.blockMeta[1] = Superblock{}
+	if err := c.CheckInvariants(); err == nil {
+		t.Fatal("missing promotion metadata should fail the invariant check")
+	}
+}
+
 func TestGenerationalJumboBypassesNursery(t *testing.T) {
 	c, _ := NewGenerational(1000, 0.1, 2, 2) // nursery 100 bytes
 	mustInsert(t, c, sb(1, 500))

@@ -46,7 +46,7 @@ func (s *Suite) Multiprog(names ...string) (*MultiprogResult, error) {
 	// each program on a private cache of exactly the same capacity. The
 	// difference between the two is pure multiprogramming interference.
 	capacity := merged.TotalBytes() / (2 * len(names))
-	opts := sim.Options{CensusEvery: s.cfg.CensusEvery, Capacity: capacity}
+	opts := sim.Options{CensusEvery: s.cfg.CensusEvery, Capacity: capacity, Verify: s.cfg.Verify}
 
 	var flush float64
 	for i, pol := range s.Policies() {
@@ -72,7 +72,7 @@ func (s *Suite) Multiprog(names ...string) (*MultiprogResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(tr, core.Policy{Kind: core.PolicyUnits, Units: 8}, 1, sim.Options{Capacity: capacity})
+		r, err := sim.Run(tr, core.Policy{Kind: core.PolicyUnits, Units: 8}, 1, sim.Options{Capacity: capacity, Verify: s.cfg.Verify})
 		if err != nil {
 			return nil, err
 		}
@@ -226,7 +226,7 @@ func (s *Suite) Ablations() (*AblationResult, error) {
 	// Adaptive vs best static at pressure 10.
 	var bestStatic float64
 	for _, pol := range s.Policies() {
-		r, err := sim.Run(tr, pol, 10, sim.Options{})
+		r, err := sim.Run(tr, pol, 10, sim.Options{Verify: s.cfg.Verify})
 		if err != nil {
 			return nil, err
 		}
@@ -235,29 +235,29 @@ func (s *Suite) Ablations() (*AblationResult, error) {
 			bestStatic = total
 		}
 	}
-	ra, err := sim.Run(tr, core.Policy{Kind: core.PolicyAdaptive}, 10, sim.Options{})
+	ra, err := sim.Run(tr, core.Policy{Kind: core.PolicyAdaptive}, 10, sim.Options{Verify: s.cfg.Verify})
 	if err != nil {
 		return nil, err
 	}
 	res.AdaptiveVsBestStatic = ra.Overhead(model, true).Total() / bestStatic
 
 	// Preemptive flush vs plain flush at pressure 6.
-	rf, err := sim.Run(tr, core.Policy{Kind: core.PolicyFlush}, 6, sim.Options{})
+	rf, err := sim.Run(tr, core.Policy{Kind: core.PolicyFlush}, 6, sim.Options{Verify: s.cfg.Verify})
 	if err != nil {
 		return nil, err
 	}
-	rp, err := sim.Run(tr, core.Policy{Kind: core.PolicyPreemptive}, 6, sim.Options{})
+	rp, err := sim.Run(tr, core.Policy{Kind: core.PolicyPreemptive}, 6, sim.Options{Verify: s.cfg.Verify})
 	if err != nil {
 		return nil, err
 	}
 	res.PreemptiveVsFlush = rp.Overhead(model, false).Total() / rf.Overhead(model, false).Total()
 
 	// Generational vs flat.
-	r8, err := sim.Run(tr, core.Policy{Kind: core.PolicyUnits, Units: 8}, 6, sim.Options{})
+	r8, err := sim.Run(tr, core.Policy{Kind: core.PolicyUnits, Units: 8}, 6, sim.Options{Verify: s.cfg.Verify})
 	if err != nil {
 		return nil, err
 	}
-	rg, err := sim.Run(tr, core.Policy{Kind: core.PolicyGenerational, Units: 8}, 6, sim.Options{})
+	rg, err := sim.Run(tr, core.Policy{Kind: core.PolicyGenerational, Units: 8}, 6, sim.Options{Verify: s.cfg.Verify})
 	if err != nil {
 		return nil, err
 	}

@@ -200,7 +200,7 @@ func (s *Suite) Fig9() (*FitResult, error) {
 	// superblocks up to whole units, as the paper's mixed log did.
 	for _, pol := range []core.Policy{{Kind: core.PolicyFine}, {Kind: core.PolicyUnits, Units: 64}} {
 		for _, tr := range s.traces {
-			res, err := sim.Run(tr, pol, 8, sim.Options{RecordSamples: true})
+			res, err := sim.Run(tr, pol, 8, sim.Options{RecordSamples: true, Verify: s.cfg.Verify})
 			if err != nil {
 				return nil, err
 			}

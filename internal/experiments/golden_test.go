@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+const goldenPath = "testdata/quick_report.golden"
+
+// quickReport runs the full quick-config suite and returns the rendered
+// report. Every experiment is deterministic (seeded synthesis, indexed
+// parallel sweeps), so the bytes are stable across runs and machines.
+func quickReport(t *testing.T, verify bool) string {
+	t.Helper()
+	cfg := QuickConfig()
+	cfg.Verify = verify
+	s, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := s.RunAll(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// section is one "==== name ====" block of the report.
+type section struct {
+	name string
+	body string
+}
+
+func splitSections(report string) []section {
+	var out []section
+	for _, chunk := range strings.Split(report, "\n==== ")[1:] {
+		name, body, ok := strings.Cut(chunk, " ====\n")
+		if !ok {
+			continue
+		}
+		out = append(out, section{name: name, body: body})
+	}
+	return out
+}
+
+// firstLineDiff locates the first differing line between two texts.
+func firstLineDiff(got, want string) (line int, g, w string) {
+	gl := strings.Split(got, "\n")
+	wl := strings.Split(want, "\n")
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		g, w = "<missing>", "<missing>"
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			return i + 1, g, w
+		}
+	}
+	return 0, "", ""
+}
+
+// compareToGolden checks a report against the committed golden file
+// section by section, so a regression names the experiment it broke
+// rather than a byte offset.
+func compareToGolden(t *testing.T, got string) {
+	t.Helper()
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/experiments -run TestQuickReportGolden -update` to create it)", err)
+	}
+	gotSecs, wantSecs := splitSections(got), splitSections(string(want))
+	if len(gotSecs) != len(wantSecs) {
+		t.Fatalf("report has %d sections, golden has %d", len(gotSecs), len(wantSecs))
+	}
+	for i, ws := range wantSecs {
+		gs := gotSecs[i]
+		if gs.name != ws.name {
+			t.Fatalf("section %d is %q, golden has %q", i, gs.name, ws.name)
+		}
+		if gs.body != ws.body {
+			line, g, w := firstLineDiff(gs.body, ws.body)
+			t.Errorf("section %q diverges from golden at line %d:\n  got:  %s\n  want: %s",
+				ws.name, line, g, w)
+		}
+	}
+	if !t.Failed() && got != string(want) {
+		// Belt and braces: anything outside the section structure.
+		line, g, w := firstLineDiff(got, string(want))
+		t.Errorf("report diverges from golden outside sections at line %d:\n  got:  %s\n  want: %s", line, g, w)
+	}
+}
+
+// TestQuickReportGolden pins the entire quick-config evaluation output.
+// Any change to a policy, the overhead model, the synthesizer, or the
+// renderers shows up here as a named section diff; intentional changes are
+// recorded with -update.
+func TestQuickReportGolden(t *testing.T) {
+	got := quickReport(t, false)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	compareToGolden(t, got)
+}
+
+// TestVerifiedQuickReportIsByteIdentical replays the whole quick-config
+// suite under the verification layer — invariant wall after every cache
+// operation, oracle differ in lockstep for FIFO-family runs — and demands
+// the output match the golden bytes exactly. Together with
+// TestQuickReportGolden this proves the checked run equals the unchecked
+// run with zero violations.
+func TestVerifiedQuickReportIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verified full suite is slow; skipped with -short")
+	}
+	if raceEnabled {
+		// ~100s unraced, ~10x that raced — past the package timeout. The
+		// assertion is byte equality of deterministic single-run output,
+		// which the race detector cannot influence; the verification code
+		// paths get their race coverage from internal/check's tests and
+		// sim's TestRunVerifyIsTransparent.
+		t.Skip("verified full suite skipped under the race detector")
+	}
+	got := quickReport(t, true)
+	if *update {
+		t.Skip("golden updates run unverified")
+	}
+	compareToGolden(t, got)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; slow
+// single-goroutine tests consult it to stay inside the package timeout.
+const raceEnabled = true

@@ -36,6 +36,11 @@ type Config struct {
 	// number of guest instructions executed inside the cache per code
 	// cache lookup.
 	AppInstrPerAccess float64
+	// Verify runs every simulation under the check package's
+	// verification wrapper (structural invariant wall plus the map-based
+	// oracle differ for FIFO-family policies). Results are identical to
+	// an unverified run; the run is a few times slower.
+	Verify bool
 }
 
 // DefaultConfig reproduces the paper's setup at full Table 1 scale.
@@ -185,7 +190,7 @@ func (s *Suite) Sweep(pressure int) (*sim.SweepResult, error) {
 	if sw, ok := s.sweeps[pressure]; ok {
 		return sw, nil
 	}
-	sw, err := sim.Sweep(s.traces, s.Policies(), pressure, sim.Options{CensusEvery: s.cfg.CensusEvery})
+	sw, err := sim.Sweep(s.traces, s.Policies(), pressure, sim.Options{CensusEvery: s.cfg.CensusEvery, Verify: s.cfg.Verify})
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dynocache/internal/check"
 	"dynocache/internal/core"
 	"dynocache/internal/overhead"
 	"dynocache/internal/trace"
@@ -38,6 +39,12 @@ type Options struct {
 	// accesses (0 disables): resident bytes, resident blocks, and live
 	// links, for visualization.
 	OccupancyEvery int
+	// Verify runs the replay under the check package's verification
+	// wrapper: structural invariants after every operation, plus
+	// lockstep comparison against the map-based oracle for FIFO-family
+	// policies. The first violation aborts the run with full context.
+	// Verified runs produce byte-identical results to unverified ones.
+	Verify bool
 }
 
 // OccupancySample is one point of the occupancy timeline.
@@ -152,14 +159,20 @@ func Run(tr *trace.Trace, policy core.Policy, pressure int, opts Options) (*Resu
 	if floor := maxBlock + 512; capacity < floor {
 		capacity = floor
 	}
-	cache, err := policy.New(capacity)
+	raw, err := policy.New(capacity)
 	if err != nil {
 		return nil, err
 	}
 	if opts.RecordSamples {
-		if fc, ok := cache.(*core.FIFOCache); ok {
+		if fc, ok := raw.(*core.FIFOCache); ok {
 			fc.SetSampleRecording(true)
 		}
+	}
+	cache := raw
+	var chk *check.Checked
+	if opts.Verify {
+		chk = check.Wrap(raw, policy)
+		cache = chk
 	}
 
 	res := &Result{
@@ -186,6 +199,11 @@ func Run(tr *trace.Trace, policy core.Policy, pressure int, opts Options) (*Resu
 				return nil, fmt.Errorf("sim: trace %q access %d: %w", tr.Name, i, err)
 			}
 		}
+		if chk != nil {
+			if err := chk.Err(); err != nil {
+				return nil, fmt.Errorf("sim: trace %q access %d: verification failed: %w", tr.Name, i, err)
+			}
+		}
 		if opts.CensusEvery > 0 && (i+1)%opts.CensusEvery == 0 {
 			intra, inter := cache.LinkCensus()
 			res.MeanIntraLinks += float64(intra)
@@ -209,7 +227,7 @@ func Run(tr *trace.Trace, policy core.Policy, pressure int, opts Options) (*Resu
 		res.MeanBackPtrBytes /= float64(censusSamples)
 	}
 	res.Stats = *cache.Stats()
-	if fc, ok := cache.(*core.FIFOCache); ok && opts.RecordSamples {
+	if fc, ok := raw.(*core.FIFOCache); ok && opts.RecordSamples {
 		res.Samples = fc.Samples()
 	}
 	return res, nil

@@ -307,3 +307,98 @@ func TestSizeForMissRate(t *testing.T) {
 		t.Error("target >= 1 should be rejected")
 	}
 }
+
+func TestCapacityForOversizedBlock(t *testing.T) {
+	// One block dwarfs the rest: at any pressure the floor keeps it
+	// cacheable, so capacity never drops below maxBlock+512.
+	tr := trace.New("oversized")
+	if err := tr.Define(core.Superblock{ID: 1, Size: 50000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Define(core.Superblock{ID: 2, Size: 64}); err != nil {
+		t.Fatal(err)
+	}
+	for _, pressure := range []int{2, 10, 1000} {
+		c, err := CapacityFor(tr, pressure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < 50512 {
+			t.Fatalf("pressure %d: capacity %d below the oversized-block floor 50512", pressure, c)
+		}
+	}
+	// Run honors the same floor: the oversized block must insert cleanly.
+	tr.Accesses = []core.SuperblockID{1, 2, 1}
+	res, err := Run(tr, core.Policy{Kind: core.PolicyFine}, 1000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capacity < 50512 {
+		t.Fatalf("run capacity %d below floor", res.Capacity)
+	}
+}
+
+func TestSizeForMissRateEdgeCases(t *testing.T) {
+	tr := testTraces(t, 0.3, "gzip")[0]
+	policy := core.Policy{Kind: core.PolicyUnits, Units: 8}
+	// Targets outside (0, 1) are rejected up front.
+	for _, target := range []float64{0, -0.5, 1, 1.5} {
+		if _, err := SizeForMissRate(tr, policy, target, 64); err == nil {
+			t.Errorf("target %g should be rejected", target)
+		}
+	}
+	// Zero (and negative) tolerance is coerced to one byte: the search
+	// still terminates and the result still achieves the target.
+	size, err := SizeForMissRate(tr, policy, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr, policy, 1, Options{Capacity: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MissRate() > 0.2 {
+		t.Fatalf("size %d from zero-tolerance search misses %.4f > 0.2", size, res.Stats.MissRate())
+	}
+	// An empty trace cannot be replayed, so the bisection reports the
+	// underlying run error instead of looping.
+	if _, err := SizeForMissRate(trace.New("empty"), policy, 0.2, 64); err == nil {
+		t.Error("empty trace should fail")
+	}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	if _, err := Run(trace.New("empty"), core.Policy{Kind: core.PolicyFine}, 2, Options{}); err == nil {
+		t.Fatal("empty trace should fail")
+	}
+}
+
+func TestRunVerifyIsTransparent(t *testing.T) {
+	// A verified run must be indistinguishable from a plain one — same
+	// counters, same census means, same samples — for every policy,
+	// including those without an oracle (invariant wall only).
+	tr := testTraces(t, 0.3, "vpr")[0]
+	policies := append(core.GranularitySweep(8),
+		core.Policy{Kind: core.PolicyLRU},
+		core.Policy{Kind: core.PolicyGenerational, Units: 8},
+	)
+	for _, p := range policies {
+		plain, err := Run(tr, p, 6, Options{CensusEvery: 200, RecordSamples: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		verified, err := Run(tr, p, 6, Options{CensusEvery: 200, RecordSamples: true, Verify: true})
+		if err != nil {
+			t.Fatalf("policy %s: verified run failed: %v", p, err)
+		}
+		if plain.Stats != verified.Stats {
+			t.Fatalf("policy %s: verified stats diverge:\nplain:    %+v\nverified: %+v", p, plain.Stats, verified.Stats)
+		}
+		if plain.MeanIntraLinks != verified.MeanIntraLinks || plain.MeanInterLinks != verified.MeanInterLinks {
+			t.Fatalf("policy %s: census means diverge", p)
+		}
+		if len(plain.Samples) != len(verified.Samples) {
+			t.Fatalf("policy %s: sample counts diverge (%d vs %d)", p, len(plain.Samples), len(verified.Samples))
+		}
+	}
+}

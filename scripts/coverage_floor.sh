@@ -1,0 +1,31 @@
+#!/bin/sh
+# Fails if statement coverage of a guarded package drops below its recorded
+# baseline. Baselines are the measured coverage at the time the guard was
+# added, rounded down half a point for timing-independent headroom; raise
+# them when new tests land, never lower them to make a regression pass.
+set -eu
+
+fail=0
+
+check() {
+    pkg=$1
+    floor=$2
+    out=$(go test -cover "$pkg")
+    pct=$(printf '%s\n' "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "error: no coverage figure in output for $pkg:"
+        printf '%s\n' "$out"
+        fail=1
+        return
+    fi
+    echo "$pkg: $pct% (floor $floor%)"
+    if ! awk -v p="$pct" -v f="$floor" 'BEGIN { exit (p + 0 >= f + 0) ? 0 : 1 }'; then
+        echo "error: $pkg coverage $pct% fell below the $floor% floor"
+        fail=1
+    fi
+}
+
+check ./internal/core 89.5
+check ./internal/sim 94.4
+
+exit $fail
