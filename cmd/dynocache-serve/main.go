@@ -1,0 +1,323 @@
+// Command dynocache-serve is the load harness for the sharded multi-tenant
+// cache service (internal/service): K goroutine "tenants" replay Table 1
+// traces concurrently against shared code-cache shards, and the harness
+// reports aggregate throughput, batch-amortized access latency percentiles,
+// backpressure rejections, and shard imbalance.
+//
+// Usage:
+//
+//	dynocache-serve [-tenants 8] [-shards 0] [-policy 8-unit] [-scale 0.05]
+//	                [-pressure 2] [-batch 64] [-duration 3s] [-passes 0]
+//	                [-queue 32] [-benchmarks gzip,mcf,...] [-check]
+//
+// -shards 0 means one shard per tenant (dedicated shards, pinned routing);
+// fewer shards than tenants exercises shared-shard contention with
+// hash routing. -passes N replays each tenant's trace exactly N times
+// (reproducible); -passes 0 runs until -duration elapses.
+//
+// -check turns on the full verification stack: the invariant wall and
+// oracle differ around every shard (internal/check), the service's
+// double-entry ledger check (per-tenant counters must sum to the
+// engine-side counters), and — when every tenant has a dedicated shard —
+// an exact comparison of each tenant's miss/eviction counters against a
+// single-threaded sim replay of the same access stream. Any violation
+// exits non-zero, as does a deadlock (no worker progress before the
+// watchdog fires).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dynocache"
+	"dynocache/internal/core"
+	"dynocache/internal/service"
+	"dynocache/internal/sim"
+	"dynocache/internal/stats"
+	"dynocache/internal/trace"
+	"dynocache/internal/workload"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dynocache-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// tenantRun is one client goroutine's workload and measurements.
+type tenantRun struct {
+	name   string
+	tr     *trace.Trace
+	tenant *service.Tenant
+
+	issued    int       // accesses issued (full + partial passes)
+	latencies []float64 // per-access amortized latency, ns, one sample per batch
+	err       error
+}
+
+func run(w io.Writer) error {
+	tenants := flag.Int("tenants", 8, "number of concurrent tenant goroutines")
+	shards := flag.Int("shards", 0, "cache shards (0 = one per tenant, pinned)")
+	policyStr := flag.String("policy", "8-unit", "eviction policy per shard (flush, N-unit, fifo, lru, ...)")
+	scale := flag.Float64("scale", 0.05, "workload scale (1.0 = paper scale)")
+	pressure := flag.Int("pressure", 2, "cache pressure factor for shard sizing")
+	batch := flag.Int("batch", 64, "accesses per batch (one lock acquisition)")
+	duration := flag.Duration("duration", 3*time.Second, "how long to drive load (ignored when -passes > 0)")
+	passes := flag.Int("passes", 0, "replay each tenant trace exactly N times (0 = duration mode)")
+	queue := flag.Int("queue", service.DefaultQueueDepth, "admission queue depth per shard")
+	benchmarks := flag.String("benchmarks", "", "comma-separated Table 1 benchmarks to cycle through (default: all)")
+	check := flag.Bool("check", false, "verify invariants, ledger consistency, and (dedicated shards) solo-replay equality")
+	flag.Parse()
+
+	if *tenants < 1 {
+		return fmt.Errorf("need at least 1 tenant")
+	}
+	if *batch < 1 {
+		return fmt.Errorf("batch size must be >= 1")
+	}
+	nShards := *shards
+	dedicated := nShards == 0 || nShards == *tenants
+	if nShards == 0 {
+		nShards = *tenants
+	}
+
+	names := benchmarkNames(*benchmarks)
+	policy, err := dynocache.ParsePolicy(*policyStr)
+	if err != nil {
+		return err
+	}
+
+	// Synthesize one trace per tenant, cycling through the benchmark list,
+	// and size every shard for the hungriest tenant at the given pressure.
+	runs := make([]*tenantRun, *tenants)
+	capacity := 0
+	for i := range runs {
+		bench := names[i%len(names)]
+		p, err := workload.ByName(bench)
+		if err != nil {
+			return err
+		}
+		tr, err := p.Scaled(*scale).Synthesize()
+		if err != nil {
+			return err
+		}
+		c, err := sim.CapacityFor(tr, *pressure)
+		if err != nil {
+			return err
+		}
+		if c > capacity {
+			capacity = c
+		}
+		runs[i] = &tenantRun{name: fmt.Sprintf("t%02d-%s", i, bench), tr: tr}
+	}
+
+	svc, err := service.New(service.Config{
+		Shards:        nShards,
+		Policy:        policy,
+		ShardCapacity: capacity,
+		QueueDepth:    *queue,
+		Verify:        *check,
+	})
+	if err != nil {
+		return err
+	}
+	for i, r := range runs {
+		span := core.SuperblockID(r.tr.NumBlocks())
+		if dedicated {
+			r.tenant, err = svc.RegisterPinned(r.name, i, span)
+		} else {
+			r.tenant, err = svc.Register(r.name, span)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "dynocache-serve: %d tenants over %d shards (%s, %d B/shard, batch %d, queue %d, verify %v)\n",
+		*tenants, nShards, policy, capacity, *batch, *queue, *check)
+
+	// Drive the tenants; a watchdog converts a deadlock into a failure
+	// instead of a hang.
+	start := time.Now()
+	done := make(chan int, len(runs))
+	for i, r := range runs {
+		go func(i int, r *tenantRun) {
+			r.err = r.drive(*batch, *passes, *duration)
+			done <- i
+		}(i, r)
+	}
+	watchdog := 2**duration + 120*time.Second
+	for range runs {
+		select {
+		case <-done:
+		case <-time.After(watchdog):
+			return fmt.Errorf("deadlock: no worker progress within %v", watchdog)
+		}
+	}
+	elapsed := time.Since(start)
+	for _, r := range runs {
+		if r.err != nil {
+			return r.err
+		}
+	}
+
+	reportRun(w, svc, runs, elapsed)
+
+	// Always close the double-entry ledger; -check additionally demands
+	// solo-replay equality on dedicated shards.
+	if err := svc.CheckConsistency(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ledger: per-tenant counters sum to engine counters on every shard\n")
+	if *check && dedicated {
+		if err := verifySoloReplay(runs, policy, capacity); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "solo-replay: per-tenant miss/eviction counters match single-threaded sim replay\n")
+	}
+	return nil
+}
+
+// drive replays the tenant's trace in batches until the pass count or the
+// deadline is reached, backing off on backpressure.
+func (r *tenantRun) drive(batch, passes int, duration time.Duration) error {
+	regen := func(id core.SuperblockID) (core.Superblock, error) {
+		return r.tr.Blocks[id], nil
+	}
+	deadline := time.Now().Add(duration)
+	accesses := r.tr.Accesses
+	for pass := 0; ; pass++ {
+		if passes > 0 && pass >= passes {
+			return nil
+		}
+		for cur := 0; cur < len(accesses); cur += batch {
+			if passes == 0 && !time.Now().Before(deadline) {
+				return nil
+			}
+			end := cur + batch
+			if end > len(accesses) {
+				end = len(accesses)
+			}
+			ids := accesses[cur:end]
+			for {
+				t0 := time.Now()
+				err := r.tenant.ReplayBatch(ids, regen)
+				if err == nil {
+					r.latencies = append(r.latencies,
+						float64(time.Since(t0).Nanoseconds())/float64(len(ids)))
+					break
+				}
+				var busy *service.BacklogError
+				if !errors.As(err, &busy) {
+					return err
+				}
+				backoff := busy.RetryAfter
+				if backoff > 5*time.Millisecond {
+					backoff = 5 * time.Millisecond
+				}
+				time.Sleep(backoff)
+			}
+			r.issued += len(ids)
+		}
+	}
+}
+
+// verifySoloReplay re-runs each tenant's issued access stream through the
+// single-threaded simulator and demands exact counter equality — the
+// concurrency layer must not change what the cache did.
+func verifySoloReplay(runs []*tenantRun, policy core.Policy, capacity int) error {
+	for _, r := range runs {
+		solo := trace.New(r.name)
+		for _, id := range r.tr.SortedIDs() {
+			if err := solo.Define(r.tr.Blocks[id]); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < r.issued; i++ {
+			if err := solo.Touch(r.tr.Accesses[i%len(r.tr.Accesses)]); err != nil {
+				return err
+			}
+		}
+		res, err := sim.Run(solo, policy, 1, sim.Options{Capacity: capacity})
+		if err != nil {
+			return err
+		}
+		got := r.tenant.Stats()
+		want := res.Stats
+		if got.Accesses != want.Accesses || got.Hits != want.Hits || got.Misses != want.Misses ||
+			got.InsertedBlocks != want.InsertedBlocks || got.InsertedBytes != want.InsertedBytes ||
+			got.EvictionInvocations != want.EvictionInvocations ||
+			got.BlocksEvicted != want.BlocksEvicted || got.BytesEvicted != want.BytesEvicted {
+			return fmt.Errorf("solo-replay mismatch for %s: service (a=%d h=%d m=%d ins=%d/%dB ev=%d/%d/%dB) vs solo (a=%d h=%d m=%d ins=%d/%dB ev=%d/%d/%dB)",
+				r.name,
+				got.Accesses, got.Hits, got.Misses, got.InsertedBlocks, got.InsertedBytes,
+				got.EvictionInvocations, got.BlocksEvicted, got.BytesEvicted,
+				want.Accesses, want.Hits, want.Misses, want.InsertedBlocks, want.InsertedBytes,
+				want.EvictionInvocations, want.BlocksEvicted, want.BytesEvicted)
+		}
+	}
+	return nil
+}
+
+// reportRun prints the per-tenant table and the aggregate service metrics.
+func reportRun(w io.Writer, svc *service.Service, runs []*tenantRun, elapsed time.Duration) {
+	fmt.Fprintf(w, "\n%-14s %5s %10s %10s %9s %10s %9s %9s %9s\n",
+		"tenant", "shard", "accesses", "misses", "missrate", "evictions", "rejected", "p50(µs)", "p99(µs)")
+	var all []float64
+	var totalAccesses uint64
+	for _, r := range runs {
+		st := r.tenant.Stats()
+		totalAccesses += st.Accesses
+		all = append(all, r.latencies...)
+		qs := stats.Quantiles(r.latencies, 0.5, 0.99)
+		missRate := 0.0
+		if st.Accesses > 0 {
+			missRate = float64(st.Misses) / float64(st.Accesses)
+		}
+		fmt.Fprintf(w, "%-14s %5d %10d %10d %9.4f %10d %9d %9.2f %9.2f\n",
+			r.name, r.tenant.Shard(), st.Accesses, st.Misses, missRate,
+			st.EvictionInvocations, st.Rejected, qs[0]/1e3, qs[1]/1e3)
+	}
+	qs := stats.Quantiles(all, 0.5, 0.99)
+	fmt.Fprintf(w, "\naggregate throughput: %.2f M accesses/s (%d accesses in %v)\n",
+		float64(totalAccesses)/elapsed.Seconds()/1e6, totalAccesses, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "access latency (batch-amortized): p50 %.2fµs p99 %.2fµs\n", qs[0]/1e3, qs[1]/1e3)
+
+	shardAcc := make([]float64, 0, svc.NumShards())
+	var maxAcc, sumAcc float64
+	for _, st := range svc.ShardStats() {
+		a := float64(st.Accesses)
+		shardAcc = append(shardAcc, a)
+		sumAcc += a
+		if a > maxAcc {
+			maxAcc = a
+		}
+	}
+	if sumAcc > 0 {
+		mean := sumAcc / float64(len(shardAcc))
+		fmt.Fprintf(w, "shard imbalance: max/mean accesses %.3f (stddev %.0f)\n",
+			maxAcc/mean, stats.StdDev(shardAcc))
+	}
+}
+
+// benchmarkNames resolves the -benchmarks flag (default: all of Table 1).
+func benchmarkNames(flagVal string) []string {
+	if flagVal == "" {
+		var names []string
+		for _, p := range workload.Table1() {
+			names = append(names, p.Name)
+		}
+		return names
+	}
+	var names []string
+	for _, n := range strings.Split(flagVal, ",") {
+		names = append(names, strings.TrimSpace(n))
+	}
+	return names
+}

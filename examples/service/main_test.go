@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServiceExampleRuns executes the example end to end so `go test
+// ./...` catches drift in the service API the docs demonstrate. A failure
+// inside main exits via log.Fatal, which fails the test binary.
+func TestServiceExampleRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = f
+	defer func() { os.Stdout = orig }()
+
+	main()
+
+	os.Stdout = orig
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, marker := range []string{"tenant", "gzip", "twolf", "ledger consistent"} {
+		if !strings.Contains(string(out), marker) {
+			t.Errorf("output missing %q", marker)
+		}
+	}
+}

@@ -1,0 +1,544 @@
+// Package service turns the single-threaded code-cache engine into a
+// thread-safe, sharded, multi-tenant cache service.
+//
+// The paper motivates bounded code caches by multiprogramming (§2.3):
+// several programs pressure one cache at once. ShareJIT pushes the same
+// idea to production shape — one shared code cache serving many concurrent
+// clients. This package is that frontend for the dynocache engine:
+//
+//   - the arena is split into independent shards, each one core.Cache
+//     behind its own mutex, so unrelated tenants never contend;
+//   - tenants are routed to shards by name hash (or pinned explicitly),
+//     and tenants that share a shard share its cache capacity, the way
+//     ShareJIT clients share one translation cache; each tenant declares
+//     an ID span at registration and the service remaps its superblock
+//     IDs onto a contiguous per-shard base (exactly the discipline
+//     workload.Interleave uses), so tenants can never alias each other's
+//     code;
+//   - the client protocol is batched (AccessBatch / InsertBatch /
+//     ReplayBatch) so one lock acquisition amortizes over many cache
+//     operations;
+//   - admission is bounded: each shard accepts at most QueueDepth
+//     concurrent batches, and excess load is rejected with a
+//     retry-after hint instead of queueing without bound;
+//   - every counter is double-entry: per-tenant stats accumulate under
+//     the same shard lock as the engine's own core.Stats, and
+//     CheckConsistency proves the two ledgers agree, on top of the
+//     per-operation invariant wall internal/check provides in Verify
+//     mode.
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynocache/internal/check"
+	"dynocache/internal/core"
+)
+
+// DefaultQueueDepth bounds concurrent batches per shard when Config leaves
+// QueueDepth zero.
+const DefaultQueueDepth = 32
+
+// Config describes the shard layout of a Service.
+type Config struct {
+	// Shards is the number of independent cache shards (>= 1).
+	Shards int
+	// Policy is the eviction policy instantiated in every shard.
+	Policy core.Policy
+	// ShardCapacity is the arena size of each shard in bytes.
+	ShardCapacity int
+	// QueueDepth bounds the batches a shard admits at once (queued on the
+	// shard mutex plus executing). Load beyond it is rejected with a
+	// *BacklogError. 0 means DefaultQueueDepth.
+	QueueDepth int
+	// Verify wraps every shard in the check package's invariant wall (and
+	// oracle differ for FIFO-family policies): each cache operation is
+	// validated while the shard lock is held.
+	Verify bool
+}
+
+// BacklogError reports that a shard's admission queue was full. Clients
+// should back off for roughly RetryAfter and resubmit the same batch.
+type BacklogError struct {
+	Shard      int
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *BacklogError) Error() string {
+	return fmt.Sprintf("service: shard %d backlogged, retry after %v", e.Shard, e.RetryAfter)
+}
+
+// TenantStats is one tenant's side of the double-entry ledger: the subset
+// of core.Stats attributable to a single client, plus service-level
+// admission counters. Eviction counters are attributed to the tenant whose
+// insert triggered the eviction (the victim blocks may belong to any
+// tenant on the shard).
+type TenantStats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+
+	InsertedBlocks uint64
+	InsertedBytes  uint64
+
+	EvictionInvocations uint64
+	BlocksEvicted       uint64
+	BytesEvicted        uint64
+
+	Batches  uint64 // batches admitted and executed
+	Rejected uint64 // batches refused with a BacklogError
+}
+
+// shard is one lock domain: a cache, its admission gate, and the tenants
+// routed to it.
+type shard struct {
+	idx   int
+	depth int // admission bound (Config.QueueDepth)
+	mu    sync.Mutex
+	cache core.Cache     // the engine, possibly wrapped
+	chk   *check.Checked // non-nil in Verify mode
+
+	// pending counts batches admitted but not yet finished (waiting on mu
+	// or executing); admission compares it against the queue depth without
+	// taking the lock.
+	pending atomic.Int64
+	// ewmaNanos tracks recent batch service time for retry-after hints.
+	ewmaNanos atomic.Int64
+
+	tenants  []*Tenant         // registered tenants routed here (guarded by Service.mu)
+	nextBase core.SuperblockID // next free tenant ID base (guarded by Service.mu)
+}
+
+// Tenant is a registered client's handle. All methods are safe for
+// concurrent use, but a single tenant is typically driven by one
+// goroutine.
+type Tenant struct {
+	name  string
+	shard *shard
+	// base/span place the tenant's dense ID range [0, span) at
+	// [base, base+span) in its shard's ID space, so co-located tenants
+	// never collide and the shard's slice-indexed tables stay compact.
+	base  core.SuperblockID
+	span  core.SuperblockID
+	stats TenantStats // guarded by shard.mu, except Rejected
+	// rejected is updated outside the shard lock (rejection happens at
+	// admission, before the lock) and folded into Stats() snapshots.
+	rejected atomic.Uint64
+}
+
+// Name returns the tenant's registered name.
+func (t *Tenant) Name() string { return t.name }
+
+// Shard returns the index of the shard this tenant is routed to.
+func (t *Tenant) Shard() int { return t.shard.idx }
+
+// Service is the sharded multi-tenant frontend over core caches.
+type Service struct {
+	cfg    Config
+	shards []*shard
+
+	mu      sync.Mutex
+	tenants map[string]*Tenant
+}
+
+// New builds a service with cfg.Shards independent caches.
+func New(cfg Config) (*Service, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("service: need at least 1 shard, got %d", cfg.Shards)
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("service: negative queue depth %d", cfg.QueueDepth)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	s := &Service{cfg: cfg, tenants: make(map[string]*Tenant)}
+	for i := 0; i < cfg.Shards; i++ {
+		raw, err := cfg.Policy.New(cfg.ShardCapacity)
+		if err != nil {
+			return nil, fmt.Errorf("service: shard %d: %w", i, err)
+		}
+		sh := &shard{idx: i, depth: cfg.QueueDepth, cache: raw}
+		if cfg.Verify {
+			sh.chk = check.Wrap(raw, cfg.Policy)
+			sh.cache = sh.chk
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Service) NumShards() int { return len(s.shards) }
+
+// routeFor hashes a tenant name onto a shard index.
+func (s *Service) routeFor(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// Register adds a tenant, routing it to a shard by name hash. idSpan
+// declares the tenant's dense ID universe: every superblock ID the tenant
+// will ever present must lie in [0, idSpan). The service remaps the range
+// onto a contiguous base in the shard's ID space. Registering the same
+// name twice is an error.
+func (s *Service) Register(name string, idSpan core.SuperblockID) (*Tenant, error) {
+	return s.register(name, s.routeFor(name), idSpan)
+}
+
+// RegisterPinned adds a tenant on an explicit shard, for callers that
+// manage placement themselves (e.g. one tenant per shard for reproducible
+// load tests).
+func (s *Service) RegisterPinned(name string, shard int, idSpan core.SuperblockID) (*Tenant, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil, fmt.Errorf("service: shard %d out of range [0, %d)", shard, len(s.shards))
+	}
+	return s.register(name, shard, idSpan)
+}
+
+func (s *Service) register(name string, shardIdx int, idSpan core.SuperblockID) (*Tenant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("service: tenant name must be non-empty")
+	}
+	if idSpan < 1 {
+		return nil, fmt.Errorf("service: tenant %q declares empty ID span", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tenants[name]; ok {
+		return nil, fmt.Errorf("service: tenant %q already registered", name)
+	}
+	sh := s.shards[shardIdx]
+	if sh.nextBase > core.MaxSuperblockID-idSpan {
+		return nil, fmt.Errorf("service: shard %d ID space exhausted registering %q (base %d + span %d > %d)",
+			shardIdx, name, sh.nextBase, idSpan, core.MaxSuperblockID)
+	}
+	t := &Tenant{name: name, shard: sh, base: sh.nextBase, span: idSpan}
+	sh.nextBase += idSpan
+	s.tenants[name] = t
+	sh.tenants = append(sh.tenants, t)
+	return t, nil
+}
+
+// Tenant looks up a registered tenant by name.
+func (s *Service) Tenant(name string) (*Tenant, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	return t, ok
+}
+
+// admit reserves an admission slot on the shard, or rejects with a
+// *BacklogError carrying a retry hint scaled by the current backlog.
+func (sh *shard) admit(depth int) error {
+	if n := sh.pending.Add(1); int(n) > depth {
+		sh.pending.Add(-1)
+		ewma := time.Duration(sh.ewmaNanos.Load())
+		if ewma <= 0 {
+			ewma = 100 * time.Microsecond
+		}
+		return &BacklogError{Shard: sh.idx, RetryAfter: time.Duration(n) * ewma}
+	}
+	return nil
+}
+
+// finish releases the admission slot and folds the batch's service time
+// into the retry-hint EWMA (α = 1/8; a plain store is fine — the value is
+// a hint, not an invariant).
+func (sh *shard) finish(start time.Time) {
+	last := time.Since(start).Nanoseconds()
+	old := sh.ewmaNanos.Load()
+	sh.ewmaNanos.Store(old - old/8 + last/8)
+	sh.pending.Add(-1)
+}
+
+// verifyErr surfaces the first invariant-wall violation in Verify mode.
+// Called with the shard lock held.
+func (sh *shard) verifyErr() error {
+	if sh.chk == nil {
+		return nil
+	}
+	return sh.chk.Err()
+}
+
+// AccessBatch looks up every id under one lock acquisition and returns the
+// ids that missed, in order. The caller regenerates the missing blocks and
+// submits them with InsertBatch.
+func (t *Tenant) AccessBatch(ids []core.SuperblockID) (missed []core.SuperblockID, err error) {
+	sh := t.shard
+	if err := sh.admit(sh.depth); err != nil {
+		t.rejected.Add(1)
+		return nil, err
+	}
+	start := time.Now()
+	defer sh.finish(start)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, id := range ids {
+		if id >= t.span {
+			return missed, fmt.Errorf("service: tenant %q access %d outside declared ID span %d", t.name, id, t.span)
+		}
+		t.stats.Accesses++
+		if sh.cache.Access(t.base + id) {
+			t.stats.Hits++
+		} else {
+			t.stats.Misses++
+			missed = append(missed, id)
+		}
+	}
+	t.stats.Batches++
+	return missed, sh.verifyErr()
+}
+
+// remap translates a tenant-local superblock into the shard's ID space.
+func (t *Tenant) remap(sb core.Superblock) (core.Superblock, error) {
+	if sb.ID >= t.span {
+		return sb, fmt.Errorf("service: tenant %q block %d outside declared ID span %d", t.name, sb.ID, t.span)
+	}
+	sb.ID += t.base
+	if len(sb.Links) > 0 {
+		links := make([]core.SuperblockID, len(sb.Links))
+		for i, to := range sb.Links {
+			if to >= t.span {
+				return sb, fmt.Errorf("service: tenant %q link target %d outside declared ID span %d", t.name, to, t.span)
+			}
+			links[i] = t.base + to
+		}
+		sb.Links = links
+	}
+	return sb, nil
+}
+
+// InsertBatch installs regenerated blocks under one lock acquisition.
+// Blocks that became resident since the miss was observed (another tenant
+// on the shard regenerated them first) are skipped, not errors — sharing
+// translations is the point of a shared cache. Returns how many blocks
+// this call actually inserted.
+func (t *Tenant) InsertBatch(blocks []core.Superblock) (inserted int, err error) {
+	sh := t.shard
+	if err := sh.admit(sh.depth); err != nil {
+		t.rejected.Add(1)
+		return 0, err
+	}
+	start := time.Now()
+	defer sh.finish(start)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	before := snapshotEvictions(sh.cache.Stats())
+	for _, sb := range blocks {
+		mapped, err := t.remap(sb)
+		if err != nil {
+			t.creditEvictions(before)
+			return inserted, err
+		}
+		if sh.cache.Contains(mapped.ID) {
+			continue
+		}
+		if err := sh.cache.Insert(mapped); err != nil {
+			t.creditEvictions(before)
+			return inserted, fmt.Errorf("service: tenant %q shard %d: %w", t.name, sh.idx, err)
+		}
+		inserted++
+		t.stats.InsertedBlocks++
+		t.stats.InsertedBytes += uint64(mapped.Size)
+	}
+	t.creditEvictions(before)
+	t.stats.Batches++
+	return inserted, sh.verifyErr()
+}
+
+// ReplayBatch runs the miss-driven replay protocol (access, regenerate on
+// miss, insert — exactly what package sim does single-threaded) for a
+// batch of ids under one lock acquisition. regen supplies the superblock
+// for a missed id. This is the client driver the load harness uses: with a
+// tenant alone on its shard, the tenant's counters after ReplayBatch
+// replay are bit-identical to a single-threaded sim replay of the same
+// stream.
+func (t *Tenant) ReplayBatch(ids []core.SuperblockID, regen func(core.SuperblockID) (core.Superblock, error)) error {
+	sh := t.shard
+	if err := sh.admit(sh.depth); err != nil {
+		t.rejected.Add(1)
+		return err
+	}
+	start := time.Now()
+	defer sh.finish(start)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	before := snapshotEvictions(sh.cache.Stats())
+	for _, id := range ids {
+		if id >= t.span {
+			t.creditEvictions(before)
+			return fmt.Errorf("service: tenant %q access %d outside declared ID span %d", t.name, id, t.span)
+		}
+		t.stats.Accesses++
+		if sh.cache.Access(t.base + id) {
+			t.stats.Hits++
+			continue
+		}
+		t.stats.Misses++
+		sb, err := regen(id)
+		if err != nil {
+			t.creditEvictions(before)
+			return fmt.Errorf("service: tenant %q regenerate %d: %w", t.name, id, err)
+		}
+		mapped, err := t.remap(sb)
+		if err != nil {
+			t.creditEvictions(before)
+			return err
+		}
+		if err := sh.cache.Insert(mapped); err != nil {
+			t.creditEvictions(before)
+			return fmt.Errorf("service: tenant %q shard %d: %w", t.name, sh.idx, err)
+		}
+		t.stats.InsertedBlocks++
+		t.stats.InsertedBytes += uint64(mapped.Size)
+	}
+	t.creditEvictions(before)
+	t.stats.Batches++
+	return sh.verifyErr()
+}
+
+// evictionCounters is the slice of core.Stats attributed per tenant.
+type evictionCounters struct {
+	invocations, blocks, bytes uint64
+}
+
+func snapshotEvictions(s *core.Stats) evictionCounters {
+	return evictionCounters{s.EvictionInvocations, s.BlocksEvicted, s.BytesEvicted}
+}
+
+// creditEvictions attributes the evictions since before to this tenant.
+// Called with the shard lock held.
+func (t *Tenant) creditEvictions(before evictionCounters) {
+	now := snapshotEvictions(t.shard.cache.Stats())
+	t.stats.EvictionInvocations += now.invocations - before.invocations
+	t.stats.BlocksEvicted += now.blocks - before.blocks
+	t.stats.BytesEvicted += now.bytes - before.bytes
+}
+
+// Stats snapshots the tenant's ledger.
+func (t *Tenant) Stats() TenantStats {
+	t.shard.mu.Lock()
+	s := t.stats
+	t.shard.mu.Unlock()
+	s.Rejected = t.rejected.Load()
+	return s
+}
+
+// ShardStats snapshots every shard's engine-side core.Stats, indexed by
+// shard.
+func (s *Service) ShardStats() []core.Stats {
+	out := make([]core.Stats, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = *sh.cache.Stats()
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// AggregateStats sums the engine-side counters across shards.
+func (s *Service) AggregateStats() core.Stats {
+	var agg core.Stats
+	for _, st := range s.ShardStats() {
+		agg.Accesses += st.Accesses
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.InsertedBlocks += st.InsertedBlocks
+		agg.InsertedBytes += st.InsertedBytes
+		agg.EvictionInvocations += st.EvictionInvocations
+		agg.BlocksEvicted += st.BlocksEvicted
+		agg.BytesEvicted += st.BytesEvicted
+		agg.FullFlushes += st.FullFlushes
+		agg.LinksPatched += st.LinksPatched
+		agg.PendingRelinks += st.PendingRelinks
+		agg.UnlinkEvents += st.UnlinkEvents
+		agg.InterUnitLinksRemoved += st.InterUnitLinksRemoved
+		agg.IntraUnitLinksFlushed += st.IntraUnitLinksFlushed
+	}
+	return agg
+}
+
+// CheckConsistency closes the double-entry ledger: for every shard, the
+// tenant-side counters must sum exactly to the engine-side core.Stats, the
+// invariant wall (Verify mode) must be clean, and caches that self-validate
+// must pass their structural checks. Quiesce the service before calling —
+// in-flight batches hold shard locks, so the check serializes with them
+// but a snapshot taken mid-burst reflects whichever batches finished.
+func (s *Service) CheckConsistency() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		err := sh.checkLedgerLocked()
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type structuralChecker interface{ CheckInvariants() error }
+
+// checkLedgerLocked verifies one shard with its lock held.
+func (sh *shard) checkLedgerLocked() error {
+	if err := sh.verifyErr(); err != nil {
+		return fmt.Errorf("service: shard %d invariant wall: %w", sh.idx, err)
+	}
+	if sc, ok := sh.cache.(structuralChecker); ok {
+		if err := sc.CheckInvariants(); err != nil {
+			return fmt.Errorf("service: shard %d structure: %w", sh.idx, err)
+		}
+	}
+	var sum TenantStats
+	for _, t := range sh.tenants {
+		sum.Accesses += t.stats.Accesses
+		sum.Hits += t.stats.Hits
+		sum.Misses += t.stats.Misses
+		sum.InsertedBlocks += t.stats.InsertedBlocks
+		sum.InsertedBytes += t.stats.InsertedBytes
+		sum.EvictionInvocations += t.stats.EvictionInvocations
+		sum.BlocksEvicted += t.stats.BlocksEvicted
+		sum.BytesEvicted += t.stats.BytesEvicted
+	}
+	eng := sh.cache.Stats()
+	for _, c := range []struct {
+		name           string
+		tenant, engine uint64
+	}{
+		{"Accesses", sum.Accesses, eng.Accesses},
+		{"Hits", sum.Hits, eng.Hits},
+		{"Misses", sum.Misses, eng.Misses},
+		{"InsertedBlocks", sum.InsertedBlocks, eng.InsertedBlocks},
+		{"InsertedBytes", sum.InsertedBytes, eng.InsertedBytes},
+		{"EvictionInvocations", sum.EvictionInvocations, eng.EvictionInvocations},
+		{"BlocksEvicted", sum.BlocksEvicted, eng.BlocksEvicted},
+		{"BytesEvicted", sum.BytesEvicted, eng.BytesEvicted},
+	} {
+		if c.tenant != c.engine {
+			return fmt.Errorf("service: shard %d ledger mismatch on %s: tenants sum to %d, engine counted %d",
+				sh.idx, c.name, c.tenant, c.engine)
+		}
+	}
+	return nil
+}
+
+// TenantNames returns the registered tenant names, sorted.
+func (s *Service) TenantNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.tenants))
+	for n := range s.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

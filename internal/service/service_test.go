@@ -1,0 +1,431 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"dynocache/internal/core"
+	"dynocache/internal/sim"
+	"dynocache/internal/trace"
+	"dynocache/internal/workload"
+)
+
+func synth(t *testing.T, name string, scale float64) *trace.Trace {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := p.Scaled(scale).Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// span returns the dense ID universe of a synthesized trace (IDs 0..n-1).
+func span(tr *trace.Trace) core.SuperblockID {
+	return core.SuperblockID(tr.NumBlocks())
+}
+
+// replayAll drives one tenant through its whole trace via ReplayBatch in
+// fixed-size batches, retrying on backpressure.
+func replayAll(t *testing.T, ten *Tenant, tr *trace.Trace, batch int) {
+	t.Helper()
+	regen := func(id core.SuperblockID) (core.Superblock, error) {
+		return tr.Blocks[id], nil
+	}
+	for cur := 0; cur < len(tr.Accesses); cur += batch {
+		end := cur + batch
+		if end > len(tr.Accesses) {
+			end = len(tr.Accesses)
+		}
+		for {
+			err := ten.ReplayBatch(tr.Accesses[cur:end], regen)
+			if err == nil {
+				break
+			}
+			var busy *BacklogError
+			if !errors.As(err, &busy) {
+				t.Error(err)
+				return
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Shards: 0}); err == nil {
+		t.Error("zero shards should fail")
+	}
+	if _, err := New(Config{Shards: 2, QueueDepth: -1}); err == nil {
+		t.Error("negative queue depth should fail")
+	}
+	if _, err := New(Config{Shards: 2, Policy: core.Policy{Kind: core.PolicyUnits, Units: 4}, ShardCapacity: 0}); err == nil {
+		t.Error("zero capacity should fail")
+	}
+}
+
+func TestRegistration(t *testing.T) {
+	svc, err := New(Config{Shards: 4, Policy: core.Policy{Kind: core.PolicyFine}, ShardCapacity: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := svc.Register("alpha", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten.Name() != "alpha" {
+		t.Fatalf("name = %q", ten.Name())
+	}
+	if _, err := svc.Register("alpha", 100); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if _, err := svc.Register("", 100); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := svc.Register("beta", 0); err == nil {
+		t.Error("empty ID span should fail")
+	}
+	if _, err := svc.RegisterPinned("gamma", 99, 10); err == nil {
+		t.Error("out-of-range shard should fail")
+	}
+	if _, err := svc.RegisterPinned("delta", 1, core.MaxSuperblockID); err != nil {
+		t.Fatal(err)
+	}
+	// The next tenant on shard 1 cannot fit any span.
+	if _, err := svc.RegisterPinned("epsilon", 1, 2); err == nil {
+		t.Error("ID-space exhaustion should fail")
+	}
+	if got, ok := svc.Tenant("alpha"); !ok || got != ten {
+		t.Error("Tenant lookup failed")
+	}
+	if _, ok := svc.Tenant("nobody"); ok {
+		t.Error("unknown tenant should not resolve")
+	}
+}
+
+// The acceptance bar for the whole service layer: N concurrent tenants on
+// dedicated shards must produce per-tenant miss/eviction counters exactly
+// equal to a single-threaded sim replay of the same per-tenant streams.
+// Run under -race this also proves the locking discipline.
+func TestConcurrentMatchesSoloReplay(t *testing.T) {
+	names := []string{"gzip", "mcf", "bzip2", "twolf", "vpr", "crafty", "eon", "gap"}
+	policy := core.Policy{Kind: core.PolicyUnits, Units: 8}
+	traces := make([]*trace.Trace, len(names))
+	capacity := 0
+	for i, n := range names {
+		traces[i] = synth(t, n, 0.25)
+		c, err := sim.CapacityFor(traces[i], 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c > capacity {
+			capacity = c
+		}
+	}
+	svc, err := New(Config{
+		Shards:        len(names),
+		Policy:        policy,
+		ShardCapacity: capacity,
+		Verify:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := make([]*Tenant, len(names))
+	for i, n := range names {
+		tenants[i], err = svc.RegisterPinned(n, i, span(traces[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := range tenants {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			replayAll(t, tenants[i], traces[i], 64)
+		}(i)
+	}
+	wg.Wait()
+	if err := svc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ten := range tenants {
+		solo, err := sim.Run(traces[i], policy, 1, sim.Options{Capacity: capacity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ten.Stats()
+		want := solo.Stats
+		if got.Accesses != want.Accesses || got.Hits != want.Hits || got.Misses != want.Misses {
+			t.Errorf("%s: access counters (a=%d h=%d m=%d) != solo (a=%d h=%d m=%d)",
+				names[i], got.Accesses, got.Hits, got.Misses, want.Accesses, want.Hits, want.Misses)
+		}
+		if got.InsertedBlocks != want.InsertedBlocks || got.InsertedBytes != want.InsertedBytes {
+			t.Errorf("%s: insert counters (%d blocks, %d bytes) != solo (%d, %d)",
+				names[i], got.InsertedBlocks, got.InsertedBytes, want.InsertedBlocks, want.InsertedBytes)
+		}
+		if got.EvictionInvocations != want.EvictionInvocations ||
+			got.BlocksEvicted != want.BlocksEvicted || got.BytesEvicted != want.BytesEvicted {
+			t.Errorf("%s: eviction counters (inv=%d blocks=%d bytes=%d) != solo (inv=%d blocks=%d bytes=%d)",
+				names[i], got.EvictionInvocations, got.BlocksEvicted, got.BytesEvicted,
+				want.EvictionInvocations, want.BlocksEvicted, want.BytesEvicted)
+		}
+	}
+}
+
+// Tenants sharing shards: hash routing, remapped ID spaces, concurrent
+// replay. The double-entry ledger must close and every tenant must have
+// replayed its full stream.
+func TestSharedShardsLedger(t *testing.T) {
+	names := []string{"gzip", "mcf", "bzip2", "twolf", "vpr", "crafty", "eon", "gap"}
+	traces := make([]*trace.Trace, len(names))
+	total := 0
+	for i, n := range names {
+		traces[i] = synth(t, n, 0.2)
+		total += traces[i].TotalBytes()
+	}
+	svc, err := New(Config{
+		Shards:        3,
+		Policy:        core.Policy{Kind: core.PolicyUnits, Units: 8},
+		ShardCapacity: total / 4, // starved: evictions guaranteed
+		Verify:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := make([]*Tenant, len(names))
+	for i, n := range names {
+		tenants[i], err = svc.Register(n, span(traces[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := range tenants {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			replayAll(t, tenants[i], traces[i], 32)
+		}(i)
+	}
+	wg.Wait()
+	if err := svc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	var wantAccesses uint64
+	for i, ten := range tenants {
+		st := ten.Stats()
+		if st.Accesses != uint64(len(traces[i].Accesses)) {
+			t.Errorf("%s: accesses %d, want %d", names[i], st.Accesses, len(traces[i].Accesses))
+		}
+		wantAccesses += st.Accesses
+	}
+	if agg := svc.AggregateStats(); agg.Accesses != wantAccesses {
+		t.Errorf("aggregate accesses %d, want %d", agg.Accesses, wantAccesses)
+	}
+}
+
+// Two-phase AccessBatch/InsertBatch protocol: misses reported by
+// AccessBatch are inserted by InsertBatch; a second AccessBatch of the
+// same ids hits entirely. A co-located tenant that raced its regeneration
+// gets its insert skipped, not an error.
+func TestAccessInsertBatchProtocol(t *testing.T) {
+	tr := synth(t, "gzip", 0.2)
+	svc, err := New(Config{
+		Shards:        1,
+		Policy:        core.Policy{Kind: core.PolicyFine},
+		ShardCapacity: tr.TotalBytes() + 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := svc.Register("gzip", span(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := tr.Accesses[:200]
+	missed, err := ten.AccessBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missed) == 0 {
+		t.Fatal("cold cache should miss")
+	}
+	// The miss list can repeat an id (several cold accesses to the same
+	// block within the batch); InsertBatch installs each block once.
+	distinct := make(map[core.SuperblockID]struct{})
+	blocks := make([]core.Superblock, len(missed))
+	for i, id := range missed {
+		distinct[id] = struct{}{}
+		blocks[i] = tr.Blocks[id]
+	}
+	inserted, err := ten.InsertBatch(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inserted != len(distinct) {
+		t.Fatalf("inserted %d, want %d distinct missed blocks", inserted, len(distinct))
+	}
+	// Re-inserting the same blocks is a no-op, not an error (lost
+	// regeneration race semantics).
+	again, err := ten.InsertBatch(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != 0 {
+		t.Fatalf("re-insert installed %d blocks, want 0", again)
+	}
+	remiss, err := ten.AccessBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remiss) != 0 {
+		t.Fatalf("warm cache missed %d ids", len(remiss))
+	}
+	if err := svc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Co-located tenants present overlapping local IDs; the per-tenant base
+// remap must keep them disjoint in the shared shard.
+func TestTenantIDIsolation(t *testing.T) {
+	svc, err := New(Config{
+		Shards:        1,
+		Policy:        core.Policy{Kind: core.PolicyFine},
+		ShardCapacity: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := svc.Register("a", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Register("b", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant a installs its block 0; tenant b's block 0 must still miss.
+	if _, err := a.InsertBatch([]core.Superblock{{ID: 0, Size: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	missed, err := b.AccessBatch([]core.SuperblockID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missed) != 1 {
+		t.Fatal("tenant b hit tenant a's block: ID spaces alias")
+	}
+	// Out-of-span IDs are rejected.
+	if _, err := a.AccessBatch([]core.SuperblockID{10}); err == nil {
+		t.Error("access outside declared span should fail")
+	}
+	if _, err := a.InsertBatch([]core.Superblock{{ID: 11, Size: 1}}); err == nil {
+		t.Error("insert outside declared span should fail")
+	}
+	if _, err := a.InsertBatch([]core.Superblock{{ID: 1, Size: 1, Links: []core.SuperblockID{99}}}); err == nil {
+		t.Error("link target outside declared span should fail")
+	}
+}
+
+// Admission control: a full shard rejects with a BacklogError carrying a
+// positive retry hint, and the rejection is counted on the tenant.
+func TestBackpressureRejection(t *testing.T) {
+	svc, err := New(Config{
+		Shards:        1,
+		Policy:        core.Policy{Kind: core.PolicyFine},
+		ShardCapacity: 1 << 16,
+		QueueDepth:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := svc.Register("a", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the only admission slot by hand, as an in-flight batch would.
+	sh := ten.shard
+	sh.pending.Add(1)
+	_, err = ten.AccessBatch([]core.SuperblockID{0})
+	var busy *BacklogError
+	if !errors.As(err, &busy) {
+		t.Fatalf("want BacklogError, got %v", err)
+	}
+	if busy.Shard != 0 || busy.RetryAfter <= 0 {
+		t.Fatalf("bad backlog hint: %+v", busy)
+	}
+	if got := ten.Stats().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+	sh.pending.Add(-1)
+	// Slot free again: the same batch is admitted.
+	if _, err := ten.AccessBatch([]core.SuperblockID{0}); err != nil {
+		t.Fatal(err)
+	}
+	// The pending counter must return to zero after the batch.
+	if n := sh.pending.Load(); n != 0 {
+		t.Fatalf("pending = %d after quiesce", n)
+	}
+}
+
+// Saturation: many tenants, tiny queue, tiny shard count. No deadlock, no
+// lost updates (ledger closes), rejections surface as BacklogError only.
+func TestSaturationNoDeadlock(t *testing.T) {
+	svc, err := New(Config{
+		Shards:        2,
+		Policy:        core.Policy{Kind: core.PolicyUnits, Units: 4},
+		ShardCapacity: 1 << 15,
+		QueueDepth:    2,
+		Verify:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tenants = 16
+	const batches = 50
+	ids := make([]core.SuperblockID, 64)
+	for i := range ids {
+		ids[i] = core.SuperblockID(i % 32)
+	}
+	regen := func(id core.SuperblockID) (core.Superblock, error) {
+		return core.Superblock{ID: id, Size: 128 + int(id)*8}, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		ten, err := svc.Register(string(rune('a'+i))+"-tenant", 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				for {
+					err := ten.ReplayBatch(ids, regen)
+					if err == nil {
+						break
+					}
+					var busy *BacklogError
+					if !errors.As(err, &busy) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := svc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	agg := svc.AggregateStats()
+	if want := uint64(tenants * batches * len(ids)); agg.Accesses != want {
+		t.Fatalf("aggregate accesses %d, want %d", agg.Accesses, want)
+	}
+}

@@ -32,8 +32,9 @@ type Options struct {
 	// Table 2 "linking disabled" configuration at the simulator level.
 	DisableChaining bool
 	// Capacity overrides the maxCache/pressure sizing rule with an
-	// explicit byte capacity (still floored at the largest block). Used
-	// by experiments that compare workloads on equal hardware budgets.
+	// explicit byte capacity (still floored at the largest block plus
+	// unit-rounding headroom; see effectiveCapacity). Used by experiments
+	// that compare workloads on equal hardware budgets.
 	Capacity int
 	// OccupancyEvery samples the cache occupancy timeline every n
 	// accesses (0 disables): resident bytes, resident blocks, and live
@@ -99,29 +100,43 @@ func (r *Result) Overhead(m overhead.Model, includeLinks bool) overhead.Breakdow
 	return m.FromStats(&r.Stats, includeLinks)
 }
 
-// CapacityFor computes the paper's cache sizing rule: maxCache/pressure,
-// floored at the largest single superblock so every block remains
-// cacheable (§4.2 sizes caches to stress the policy, never to break it).
-func CapacityFor(tr *trace.Trace, pressure int) (int, error) {
-	if pressure < 1 {
-		return 0, fmt.Errorf("sim: pressure factor must be >= 1, got %d", pressure)
-	}
+// maxBlockSize returns the size of the largest superblock in tr, or 0 for
+// a trace with no blocks.
+func maxBlockSize(tr *trace.Trace) int {
 	maxBlock := 0
 	for _, sb := range tr.Blocks {
 		if sb.Size > maxBlock {
 			maxBlock = sb.Size
 		}
 	}
-	cap := tr.TotalBytes() / pressure
-	// Unit caches round capacity down to an equal-unit multiple (up to the
-	// unit count in bytes), so leave headroom above the largest block.
-	if floor := maxBlock + 512; cap < floor {
-		cap = floor
+	return maxBlock
+}
+
+// effectiveCapacity is the one sizing rule every replay path shares: the
+// requested capacity, floored at the largest block plus 512 bytes of
+// headroom (unit caches round capacity down to an equal-unit multiple, so
+// the arena must clear the largest block even after rounding). Run,
+// CapacityFor, and SizeForMissRate all size through here so they cannot
+// drift apart.
+func effectiveCapacity(requested, maxBlock int) int {
+	if floor := maxBlock + 512; requested < floor {
+		return floor
 	}
+	return requested
+}
+
+// CapacityFor computes the paper's cache sizing rule: maxCache/pressure,
+// floored via effectiveCapacity so every block remains cacheable (§4.2
+// sizes caches to stress the policy, never to break it).
+func CapacityFor(tr *trace.Trace, pressure int) (int, error) {
+	if pressure < 1 {
+		return 0, fmt.Errorf("sim: pressure factor must be >= 1, got %d", pressure)
+	}
+	maxBlock := maxBlockSize(tr)
 	if maxBlock == 0 {
 		return 0, fmt.Errorf("sim: trace %q is empty", tr.Name)
 	}
-	return cap, nil
+	return effectiveCapacity(tr.TotalBytes()/pressure, maxBlock), nil
 }
 
 // Run replays tr against the policy at the given cache pressure.
@@ -154,11 +169,7 @@ func Run(tr *trace.Trace, policy core.Policy, pressure int, opts Options) (*Resu
 	if opts.Capacity > 0 {
 		capacity = opts.Capacity
 	}
-	// Unit caches round capacity down to an equal-unit multiple, so leave
-	// headroom above the largest block (see CapacityFor).
-	if floor := maxBlock + 512; capacity < floor {
-		capacity = floor
-	}
+	capacity = effectiveCapacity(capacity, maxBlock)
 	raw, err := policy.New(capacity)
 	if err != nil {
 		return nil, err
@@ -352,12 +363,20 @@ func (sw *SweepResult) MeanInterUnitLinkFraction(policyIdx int) float64 {
 // most the target miss rate. It answers the provisioning question the
 // paper's bimodal observation raises (§4.2): below the knee "performance
 // can suffer precipitously", so how much cache does this workload need?
+//
+// The returned size is always a capacity Run actually simulates: the
+// search space is clamped to the effectiveCapacity floor, so the result
+// can never name a cache smaller than the arena the replay used.
 func SizeForMissRate(tr *trace.Trace, policy core.Policy, target float64, tolerance int) (int, error) {
 	if target <= 0 || target >= 1 {
 		return 0, fmt.Errorf("sim: target miss rate %g outside (0, 1)", target)
 	}
 	if tolerance < 1 {
 		tolerance = 1
+	}
+	maxBlock := maxBlockSize(tr)
+	if maxBlock == 0 {
+		return 0, fmt.Errorf("sim: trace %q is empty", tr.Name)
 	}
 	missAt := func(capacity int) (float64, error) {
 		res, err := Run(tr, policy, 1, Options{Capacity: capacity})
@@ -366,7 +385,7 @@ func SizeForMissRate(tr *trace.Trace, policy core.Policy, target float64, tolera
 		}
 		return res.Stats.MissRate(), nil
 	}
-	lo, hi := 1, tr.TotalBytes()+4096
+	lo, hi := effectiveCapacity(1, maxBlock), tr.TotalBytes()+4096
 	// Even an unbounded cache pays one compulsory miss per block; the
 	// target must be reachable.
 	if m, err := missAt(hi); err != nil {

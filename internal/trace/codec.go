@@ -13,15 +13,20 @@ import (
 // Binary trace format (all integers little-endian):
 //
 //	magic   [4]byte  "DYNT"
-//	version uint16   (currently 1)
+//	version uint16   (currently 2)
 //	nameLen uint16, name []byte
 //	nBlocks uint32
-//	  per block: id uint32, size uint32, nLinks uint16, links []uint32
+//	  per block: id uint32, srcPC uint64 (v2+), size uint32,
+//	             nLinks uint16, links []uint32
 //	nAccesses uint64
 //	  accesses []uint32
+//
+// Version 1 omitted the per-block srcPC field, so a Save→Load roundtrip
+// silently dropped Superblock.SrcPC. Write always emits v2; Read accepts
+// both, decoding v1 blocks with SrcPC zero.
 const (
 	magic   = "DYNT"
-	version = 1
+	version = 2
 )
 
 // Write serializes the trace to w in the binary format.
@@ -51,6 +56,9 @@ func (t *Trace) Write(w io.Writer) error {
 			return fmt.Errorf("trace: superblock %d has too many links (%d)", id, len(sb.Links))
 		}
 		if err := binary.Write(bw, binary.LittleEndian, uint32(sb.ID)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, sb.SrcPC); err != nil {
 			return err
 		}
 		if err := binary.Write(bw, binary.LittleEndian, uint32(sb.Size)); err != nil {
@@ -90,7 +98,7 @@ func Read(r io.Reader) (*Trace, error) {
 	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
 		return nil, err
 	}
-	if ver != version {
+	if ver != 1 && ver != version {
 		return nil, fmt.Errorf("trace: unsupported version %d", ver)
 	}
 	var nameLen uint16
@@ -108,9 +116,15 @@ func Read(r io.Reader) (*Trace, error) {
 	}
 	for i := uint32(0); i < nBlocks; i++ {
 		var id, size uint32
+		var srcPC uint64
 		var nLinks uint16
 		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
 			return nil, fmt.Errorf("trace: block %d: %w", i, err)
+		}
+		if ver >= 2 {
+			if err := binary.Read(br, binary.LittleEndian, &srcPC); err != nil {
+				return nil, fmt.Errorf("trace: block %d srcPC: %w", i, err)
+			}
 		}
 		if err := binary.Read(br, binary.LittleEndian, &size); err != nil {
 			return nil, err
@@ -118,7 +132,12 @@ func Read(r io.Reader) (*Trace, error) {
 		if err := binary.Read(br, binary.LittleEndian, &nLinks); err != nil {
 			return nil, err
 		}
-		links := make([]core.SuperblockID, nLinks)
+		// nil for a link-free block, so a decoded trace is DeepEqual to the
+		// one that was encoded (frontends leave Links nil when empty).
+		var links []core.SuperblockID
+		if nLinks > 0 {
+			links = make([]core.SuperblockID, nLinks)
+		}
 		for j := range links {
 			var to uint32
 			if err := binary.Read(br, binary.LittleEndian, &to); err != nil {
@@ -126,7 +145,7 @@ func Read(r io.Reader) (*Trace, error) {
 			}
 			links[j] = core.SuperblockID(to)
 		}
-		if err := t.Define(core.Superblock{ID: core.SuperblockID(id), Size: int(size), Links: links}); err != nil {
+		if err := t.Define(core.Superblock{ID: core.SuperblockID(id), SrcPC: srcPC, Size: int(size), Links: links}); err != nil {
 			return nil, err
 		}
 	}
@@ -141,7 +160,9 @@ func Read(r io.Reader) (*Trace, error) {
 	if prealloc > 1<<20 {
 		prealloc = 1 << 20
 	}
-	t.Accesses = make([]core.SuperblockID, 0, prealloc)
+	if prealloc > 0 {
+		t.Accesses = make([]core.SuperblockID, 0, prealloc)
+	}
 	buf := make([]byte, 4)
 	for i := uint64(0); i < nAccesses; i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {

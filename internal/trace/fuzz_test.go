@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"dynocache/internal/core"
@@ -12,7 +13,7 @@ import (
 func FuzzRead(f *testing.F) {
 	// Seed with a valid trace and some mutations.
 	tr := New("seed")
-	_ = tr.Define(core.Superblock{ID: 1, Size: 100, Links: []core.SuperblockID{1}})
+	_ = tr.Define(core.Superblock{ID: 1, SrcPC: 0x40abcd, Size: 100, Links: []core.SuperblockID{1}})
 	_ = tr.Define(core.Superblock{ID: 2, Size: 50})
 	_ = tr.Touch(1)
 	_ = tr.Touch(2)
@@ -47,8 +48,8 @@ func FuzzRead(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-serialized trace does not parse: %v", err)
 		}
-		if back.Summarize() != got.Summarize() {
-			t.Fatal("round trip changed the trace")
+		if !reflect.DeepEqual(back, got) {
+			t.Fatalf("round trip changed the trace:\ngot  %+v\nback %+v", got, back)
 		}
 	})
 }

@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -13,9 +15,9 @@ func buildTrace(t *testing.T) *Trace {
 	t.Helper()
 	tr := New("gzip")
 	blocks := []core.Superblock{
-		{ID: 1, Size: 100, Links: []core.SuperblockID{2, 1}},
-		{ID: 2, Size: 250, Links: []core.SuperblockID{3}},
-		{ID: 3, Size: 400},
+		{ID: 1, SrcPC: 0x400120, Size: 100, Links: []core.SuperblockID{2, 1}},
+		{ID: 2, SrcPC: 0x400858, Size: 250, Links: []core.SuperblockID{3}},
+		{ID: 3, SrcPC: 0xfeed0042deadbeef, Size: 400},
 	}
 	for _, b := range blocks {
 		if err := tr.Define(b); err != nil {
@@ -119,27 +121,76 @@ func TestBinaryRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Name != tr.Name {
-		t.Fatalf("name = %q, want %q", back.Name, tr.Name)
+	// Write→Read must be identity on the whole struct — SrcPC included
+	// (v1 of the format silently dropped it).
+	if !reflect.DeepEqual(back, tr) {
+		t.Fatalf("round trip is not identity:\ngot  %+v\nwant %+v", back, tr)
 	}
-	if back.NumBlocks() != tr.NumBlocks() || len(back.Accesses) != len(tr.Accesses) {
-		t.Fatal("shape mismatch after round trip")
+}
+
+// writeV1 encodes tr in the legacy v1 format (no per-block SrcPC), as
+// produced by pre-v2 builds.
+func writeV1(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	le := binary.LittleEndian
+	w := func(v any) {
+		if err := binary.Write(&buf, le, v); err != nil {
+			t.Fatal(err)
+		}
 	}
-	for id, sb := range tr.Blocks {
-		got := back.Blocks[id]
-		if got.Size != sb.Size || len(got.Links) != len(sb.Links) {
-			t.Fatalf("block %d mismatch: %+v vs %+v", id, got, sb)
-		}
-		for i := range sb.Links {
-			if got.Links[i] != sb.Links[i] {
-				t.Fatalf("block %d link %d mismatch", id, i)
-			}
+	w(uint16(1))
+	w(uint16(len(tr.Name)))
+	buf.WriteString(tr.Name)
+	w(uint32(len(tr.Blocks)))
+	for _, id := range tr.SortedIDs() {
+		sb := tr.Blocks[id]
+		w(uint32(sb.ID))
+		w(uint32(sb.Size))
+		w(uint16(len(sb.Links)))
+		for _, to := range sb.Links {
+			w(uint32(to))
 		}
 	}
-	for i := range tr.Accesses {
-		if back.Accesses[i] != tr.Accesses[i] {
-			t.Fatalf("access %d mismatch", i)
+	w(uint64(len(tr.Accesses)))
+	for _, id := range tr.Accesses {
+		w(uint32(id))
+	}
+	return buf.Bytes()
+}
+
+func TestReadV1Compat(t *testing.T) {
+	tr := buildTrace(t)
+	back, err := Read(bytes.NewReader(writeV1(t, tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 carries no SrcPC: decoded blocks get zero, everything else is
+	// preserved exactly.
+	want := New(tr.Name)
+	for _, id := range tr.SortedIDs() {
+		sb := tr.Blocks[id]
+		sb.SrcPC = 0
+		if err := want.Define(sb); err != nil {
+			t.Fatal(err)
 		}
+	}
+	want.Accesses = append(want.Accesses, tr.Accesses...)
+	if !reflect.DeepEqual(back, want) {
+		t.Fatalf("v1 decode mismatch:\ngot  %+v\nwant %+v", back, want)
+	}
+	// Re-encoding upgrades to v2: the second roundtrip is identity.
+	var buf bytes.Buffer
+	if err := back.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, back) {
+		t.Fatal("v2 re-encode of a v1 trace is not identity")
 	}
 }
 
@@ -178,8 +229,8 @@ func TestSaveLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Summarize() != tr.Summarize() {
-		t.Fatalf("summaries differ: %+v vs %+v", back.Summarize(), tr.Summarize())
+	if !reflect.DeepEqual(back, tr) {
+		t.Fatalf("Save→Load is not identity:\ngot  %+v\nwant %+v", back, tr)
 	}
 	if _, err := Load(filepath.Join(t.TempDir(), "missing.trace")); err == nil {
 		t.Error("loading missing file should fail")

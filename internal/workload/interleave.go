@@ -62,8 +62,17 @@ func Interleave(name string, quantum int, traces ...*trace.Trace) (*trace.Trace,
 		}
 	}
 	// Round-robin the access streams in quanta until every stream drains.
+	// A trace may define blocks but record zero accesses (a program that
+	// never ran); such streams are born drained and must not be counted in
+	// remaining, or the loop below would spin forever waiting for a
+	// decrement that never happens.
 	cursors := make([]int, len(traces))
-	remaining := len(traces)
+	remaining := 0
+	for _, tr := range traces {
+		if len(tr.Accesses) > 0 {
+			remaining++
+		}
+	}
 	for remaining > 0 {
 		for ti, tr := range traces {
 			cur := cursors[ti]

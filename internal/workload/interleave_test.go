@@ -2,6 +2,7 @@ package workload
 
 import (
 	"testing"
+	"time"
 
 	"dynocache/internal/core"
 	"dynocache/internal/trace"
@@ -122,6 +123,90 @@ func TestInterleaveLinkRemap(t *testing.T) {
 				t.Fatalf("program 1 block %d links into program 0 (%d)", id, to)
 			}
 		}
+	}
+}
+
+// A trace with defined blocks but zero accesses used to hang Interleave:
+// it was counted in remaining but its cursor never advanced, so the
+// round-robin loop spun forever. The stream must instead merge as
+// already-drained (its blocks defined, contributing no accesses).
+func TestInterleaveEmptyAccessStream(t *testing.T) {
+	a := synth(t, "gzip", 0.1)
+	empty := trace.New("idle")
+	if err := empty.Define(core.Superblock{ID: 0, Size: 64}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var merged *trace.Trace
+	var mergeErr error
+	go func() {
+		defer close(done)
+		merged, mergeErr = Interleave("m", 100, a, empty)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Interleave did not terminate on an empty access stream")
+	}
+	if mergeErr != nil {
+		t.Fatal(mergeErr)
+	}
+	if got, want := len(merged.Accesses), len(a.Accesses); got != want {
+		t.Fatalf("accesses = %d, want %d", got, want)
+	}
+	if got, want := merged.NumBlocks(), a.NumBlocks()+1; got != want {
+		t.Fatalf("blocks = %d, want %d", got, want)
+	}
+	// All-empty inputs are fine too: a valid merged trace with no accesses.
+	onlyEmpty, err := Interleave("m", 5, empty, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onlyEmpty.Accesses) != 0 {
+		t.Fatalf("accesses = %d, want 0", len(onlyEmpty.Accesses))
+	}
+}
+
+// Property: for any quantum, the merged access count equals the sum of the
+// inputs' counts — exercised at the adversarial quanta that sit on the
+// drain-detection boundary (1, the stream length, one past it) and with an
+// empty stream in the mix.
+func TestInterleaveAccessCountProperty(t *testing.T) {
+	a := synth(t, "gzip", 0.1)
+	b := synth(t, "mcf", 0.3)
+	empty := trace.New("idle")
+	if err := empty.Define(core.Superblock{ID: 0, Size: 64}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		quantum int
+		traces  []*trace.Trace
+	}{
+		{"quantum-1", 1, []*trace.Trace{a, b}},
+		{"quantum-len", len(a.Accesses), []*trace.Trace{a, b}},
+		{"quantum-len-plus-1", len(a.Accesses) + 1, []*trace.Trace{a, b}},
+		{"quantum-shorter-len", len(b.Accesses), []*trace.Trace{a, b}},
+		{"one-empty-stream", 7, []*trace.Trace{a, empty, b}},
+		{"huge-quantum", 1 << 30, []*trace.Trace{a, b}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			merged, err := Interleave("m", tc.quantum, tc.traces...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0
+			for _, tr := range tc.traces {
+				want += len(tr.Accesses)
+			}
+			if got := len(merged.Accesses); got != want {
+				t.Fatalf("accesses = %d, want %d", got, want)
+			}
+			if err := merged.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

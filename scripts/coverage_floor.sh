@@ -26,6 +26,6 @@ check() {
 }
 
 check ./internal/core 89.5
-check ./internal/sim 94.4
+check ./internal/sim 97.0
 
 exit $fail
