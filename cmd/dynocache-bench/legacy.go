@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+
+	"dynocache/internal/check"
+	"dynocache/internal/core"
+	"dynocache/internal/sim"
+	"dynocache/internal/trace"
+)
+
+// legacyRun is a frozen copy of sim.Run as it stood before the replay
+// kernels were split out (interface dispatch per access, a full
+// Superblock struct copy per access, and float64 instruction
+// accumulation). It exists only as the benchmark baseline: the report's
+// speedup column compares the current kernels against this loop, and a
+// startup self-check asserts both produce identical results.
+func legacyRun(tr *trace.Trace, policy core.Policy, pressure int, opts sim.Options) (*sim.Result, error) {
+	var maxID core.SuperblockID
+	maxBlock := 0
+	for id, sb := range tr.Blocks {
+		if id > maxID {
+			maxID = id
+		}
+		if sb.Size > maxBlock {
+			maxBlock = sb.Size
+		}
+	}
+	if maxBlock == 0 {
+		return nil, fmt.Errorf("sim: trace %q is empty", tr.Name)
+	}
+	blocks := make([]core.Superblock, int(maxID)+1)
+	for id, sb := range tr.Blocks {
+		blocks[id] = sb
+	}
+
+	if pressure < 1 {
+		return nil, fmt.Errorf("sim: pressure factor must be >= 1, got %d", pressure)
+	}
+	capacity := tr.TotalBytes() / pressure
+	if opts.Capacity > 0 {
+		capacity = opts.Capacity
+	}
+	if floor := maxBlock + 512; capacity < floor {
+		capacity = floor
+	}
+	raw, err := policy.New(capacity)
+	if err != nil {
+		return nil, err
+	}
+	if opts.RecordSamples {
+		if fc, ok := raw.(*core.FIFOCache); ok {
+			fc.SetSampleRecording(true)
+		}
+	}
+	cache := raw
+	var chk *check.Checked
+	if opts.Verify {
+		chk = check.Wrap(raw, policy)
+		cache = chk
+	}
+
+	res := &sim.Result{
+		Benchmark: tr.Name,
+		Policy:    policy,
+		Pressure:  pressure,
+		Capacity:  capacity,
+	}
+	var censusSamples int
+	for i, id := range tr.Accesses {
+		if int(id) >= len(blocks) || blocks[id].Size == 0 {
+			return nil, fmt.Errorf("sim: trace %q access %d references undefined block %d", tr.Name, i, id)
+		}
+		sb := blocks[id]
+		res.AppInstructions += float64(sb.Size) / 4
+		if !cache.Access(id) {
+			if opts.DisableChaining {
+				sb.Links = nil
+			}
+			if err := cache.Insert(sb); err != nil {
+				return nil, fmt.Errorf("sim: trace %q access %d: %w", tr.Name, i, err)
+			}
+		}
+		if chk != nil {
+			if err := chk.Err(); err != nil {
+				return nil, fmt.Errorf("sim: trace %q access %d: verification failed: %w", tr.Name, i, err)
+			}
+		}
+		if opts.CensusEvery > 0 && (i+1)%opts.CensusEvery == 0 {
+			intra, inter := cache.LinkCensus()
+			res.MeanIntraLinks += float64(intra)
+			res.MeanInterLinks += float64(inter)
+			res.MeanBackPtrBytes += float64(cache.BackPtrTableBytes())
+			censusSamples++
+		}
+	}
+	if censusSamples > 0 {
+		res.MeanIntraLinks /= float64(censusSamples)
+		res.MeanInterLinks /= float64(censusSamples)
+		res.MeanBackPtrBytes /= float64(censusSamples)
+	}
+	res.Stats = *cache.Stats()
+	if fc, ok := raw.(*core.FIFOCache); ok && opts.RecordSamples {
+		res.Samples = fc.Samples()
+	}
+	return res, nil
+}

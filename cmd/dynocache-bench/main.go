@@ -1,0 +1,367 @@
+// Command dynocache-bench measures the simulator's critical paths and
+// writes a machine-readable report. It pins three workloads:
+//
+//   - single-run replay of the largest Table 1 trace (word) under the
+//     fine-grained FIFO policy, through four loops: the frozen pre-kernel
+//     baseline (legacy.go), the generic interface kernel, the
+//     devirtualized FIFO kernel, and the streaming decoder feeding the
+//     devirtualized kernel;
+//   - a full granularity sweep (every FIFO-family policy times every
+//     Table 1 benchmark at quick scale) — the parallel path the
+//     experiments suite spends its time in;
+//   - the service's ReplayBatch loop, a tenant alone on one shard.
+//
+// Before timing anything it replays the trace through every loop once
+// and insists the results are identical, so the speedups it reports are
+// speedups of the same computation.
+//
+// Usage:
+//
+//	dynocache-bench -scale 1.0 -pressure 2 -o BENCH_report.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"dynocache/internal/core"
+	"dynocache/internal/service"
+	"dynocache/internal/sim"
+	"dynocache/internal/trace"
+	"dynocache/internal/workload"
+)
+
+// benchResult is one benchmark's line in the report.
+type benchResult struct {
+	Name           string  `json:"name"`
+	Iterations     int     `json:"iterations"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AccessesPerSec float64 `json:"accesses_per_sec,omitempty"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the JSON document bench.sh commits as BENCH_report.json.
+type benchReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+
+	Trace    string  `json:"trace"`
+	Blocks   int     `json:"blocks"`
+	Accesses int     `json:"accesses"`
+	Bytes    int     `json:"bytes"`
+	Scale    float64 `json:"scale"`
+	Pressure int     `json:"pressure"`
+
+	Benchmarks []benchResult `json:"benchmarks"`
+
+	// Baseline, when provided (-baseline-commit/-baseline-ns), records a
+	// measurement of this same replay workload taken from a checkout of
+	// an earlier commit — the whole earlier binary, old core included —
+	// which the in-binary legacy loop cannot represent because it links
+	// against the current core.
+	Baseline *baselineInfo `json:"baseline,omitempty"`
+
+	// ReplaySpeedupVsLegacy is the specialized kernel's accesses/sec over
+	// the frozen pre-kernel loop's, on the single-run replay workload.
+	ReplaySpeedupVsLegacy float64 `json:"replay_speedup_vs_legacy"`
+
+	// ReplaySpeedupVsBaseline is the same ratio against the out-of-tree
+	// baseline measurement, when one was provided.
+	ReplaySpeedupVsBaseline float64 `json:"replay_speedup_vs_baseline,omitempty"`
+}
+
+// baselineInfo is an externally measured replay datum for comparison.
+type baselineInfo struct {
+	Commit         string  `json:"commit"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AccessesPerSec float64 `json:"accesses_per_sec"`
+	AllocsPerOp    int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dynocache-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	bench := flag.String("bench", "word", "Table 1 benchmark to replay (word is the largest)")
+	scale := flag.Float64("scale", 1.0, "workload scale for the replay trace")
+	sweepScale := flag.Float64("sweep-scale", 0.05, "workload scale for the sweep benchmark")
+	pressure := flag.Int("pressure", 2, "cache pressure factor n (capacity = maxCache/n)")
+	out := flag.String("o", "BENCH_report.json", "report output path ('-' for stdout)")
+	baselineCommit := flag.String("baseline-commit", "", "commit an out-of-tree baseline replay was measured at")
+	baselineNs := flag.Float64("baseline-ns", 0, "out-of-tree baseline replay ns/op (same trace, scale, pressure)")
+	baselineAllocs := flag.Int64("baseline-allocs", 0, "out-of-tree baseline replay allocs/op")
+	benchtime := flag.String("benchtime", "1s", "measurement window per benchmark (longer = steadier on busy machines)")
+	flag.Parse()
+
+	// testing.Benchmark reads the measurement window from the testing
+	// package's own flag, which exists only after testing.Init.
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		return err
+	}
+
+	p, err := workload.ByName(*bench)
+	if err != nil {
+		return err
+	}
+	tr, err := p.Scaled(*scale).Synthesize()
+	if err != nil {
+		return err
+	}
+	policy := core.Policy{Kind: core.PolicyFine}
+
+	if err := selfCheck(tr, policy, *pressure); err != nil {
+		return err
+	}
+
+	rep := &benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Trace:       tr.Name,
+		Blocks:      tr.NumBlocks(),
+		Accesses:    len(tr.Accesses),
+		Bytes:       tr.TotalBytes(),
+		Scale:       *scale,
+		Pressure:    *pressure,
+	}
+
+	accesses := len(tr.Accesses)
+	var legacyAPS, specializedAPS float64
+
+	fmt.Fprintf(os.Stderr, "replaying %s: %d blocks, %d accesses, %d bytes\n",
+		tr.Name, tr.NumBlocks(), accesses, tr.TotalBytes())
+
+	record := func(name string, perOpAccesses int, f func(b *testing.B)) benchResult {
+		r := testing.Benchmark(f)
+		br := benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if perOpAccesses > 0 && r.NsPerOp() > 0 {
+			br.AccessesPerSec = float64(perOpAccesses) / (float64(r.NsPerOp()) / 1e9)
+		}
+		fmt.Fprintf(os.Stderr, "%-24s %12.0f ns/op %14.0f acc/s %8d allocs/op\n",
+			name, br.NsPerOp, br.AccessesPerSec, br.AllocsPerOp)
+		rep.Benchmarks = append(rep.Benchmarks, br)
+		return br
+	}
+
+	legacyAPS = record("replay/legacy", accesses, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := legacyRun(tr, policy, *pressure, sim.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}).AccessesPerSec
+
+	record("replay/generic", accesses, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(tr, policy, *pressure, sim.Options{ForceGeneric: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	specializedAPS = record("replay/specialized", accesses, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(tr, policy, *pressure, sim.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}).AccessesPerSec
+
+	var enc bytes.Buffer
+	if err := tr.Write(&enc); err != nil {
+		return err
+	}
+	raw := enc.Bytes()
+	record("replay/stream", accesses, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st, err := trace.NewStream(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.RunStream(st, policy, *pressure, sim.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	sweepTraces, sweepAccesses, err := sweepWorkload(*sweepScale)
+	if err != nil {
+		return err
+	}
+	sweepPolicies := core.GranularitySweep(8)
+	record("sweep", sweepAccesses*len(sweepPolicies), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Sweep(sweepTraces, sweepPolicies, *pressure, sim.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	capacity, err := sim.CapacityFor(tr, *pressure)
+	if err != nil {
+		return err
+	}
+	record("service/replay-batch", accesses, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := serviceReplay(tr, policy, capacity); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	if legacyAPS > 0 {
+		rep.ReplaySpeedupVsLegacy = specializedAPS / legacyAPS
+	}
+	fmt.Fprintf(os.Stderr, "replay speedup vs legacy: %.2fx\n", rep.ReplaySpeedupVsLegacy)
+
+	if *baselineNs > 0 {
+		rep.Baseline = &baselineInfo{
+			Commit:         *baselineCommit,
+			NsPerOp:        *baselineNs,
+			AccessesPerSec: float64(accesses) / (*baselineNs / 1e9),
+			AllocsPerOp:    *baselineAllocs,
+		}
+		rep.ReplaySpeedupVsBaseline = specializedAPS / rep.Baseline.AccessesPerSec
+		fmt.Fprintf(os.Stderr, "replay speedup vs baseline %s: %.2fx\n",
+			rep.Baseline.Commit, rep.ReplaySpeedupVsBaseline)
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	return os.WriteFile(*out, doc, 0o644)
+}
+
+// selfCheck replays the trace once through every loop the report times
+// and fails loudly unless they agree, so a kernel regression can never
+// hide behind a flattering benchmark number.
+func selfCheck(tr *trace.Trace, policy core.Policy, pressure int) error {
+	want, err := legacyRun(tr, policy, pressure, sim.Options{})
+	if err != nil {
+		return fmt.Errorf("self-check: legacy replay: %w", err)
+	}
+	check := func(name string, got *sim.Result) error {
+		if !reflect.DeepEqual(got.Stats, want.Stats) {
+			return fmt.Errorf("self-check: %s stats diverge from legacy:\n got %+v\nwant %+v", name, got.Stats, want.Stats)
+		}
+		if got.AppInstructions != want.AppInstructions {
+			return fmt.Errorf("self-check: %s AppInstructions = %v, legacy %v", name, got.AppInstructions, want.AppInstructions)
+		}
+		return nil
+	}
+	got, err := sim.Run(tr, policy, pressure, sim.Options{})
+	if err != nil {
+		return fmt.Errorf("self-check: specialized replay: %w", err)
+	}
+	if err := check("specialized", got); err != nil {
+		return err
+	}
+	got, err = sim.Run(tr, policy, pressure, sim.Options{ForceGeneric: true})
+	if err != nil {
+		return fmt.Errorf("self-check: generic replay: %w", err)
+	}
+	if err := check("generic", got); err != nil {
+		return err
+	}
+	var enc bytes.Buffer
+	if err := tr.Write(&enc); err != nil {
+		return err
+	}
+	st, err := trace.NewStream(bytes.NewReader(enc.Bytes()))
+	if err != nil {
+		return err
+	}
+	got, err = sim.RunStream(st, policy, pressure, sim.Options{})
+	if err != nil {
+		return fmt.Errorf("self-check: streamed replay: %w", err)
+	}
+	return check("stream", got)
+}
+
+// sweepWorkload synthesizes every Table 1 benchmark at the given scale
+// and returns the traces plus their summed access count.
+func sweepWorkload(scale float64) ([]*trace.Trace, int, error) {
+	var (
+		traces   []*trace.Trace
+		accesses int
+	)
+	for _, p := range workload.ScaledTable1(scale) {
+		tr, err := p.Synthesize()
+		if err != nil {
+			return nil, 0, err
+		}
+		traces = append(traces, tr)
+		accesses += len(tr.Accesses)
+	}
+	return traces, accesses, nil
+}
+
+// serviceReplay drives the trace through a single-shard service tenant
+// with ReplayBatch, chunked the way a client would submit it.
+func serviceReplay(tr *trace.Trace, policy core.Policy, capacity int) error {
+	svc, err := service.New(service.Config{Shards: 1, Policy: policy, ShardCapacity: capacity})
+	if err != nil {
+		return err
+	}
+	var maxID core.SuperblockID
+	for id := range tr.Blocks {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	tn, err := svc.Register(tr.Name, maxID+1)
+	if err != nil {
+		return err
+	}
+	regen := func(id core.SuperblockID) (core.Superblock, error) {
+		sb, ok := tr.Blocks[id]
+		if !ok {
+			return core.Superblock{}, fmt.Errorf("undefined block %d", id)
+		}
+		return sb, nil
+	}
+	ids := tr.Accesses
+	for len(ids) > 0 {
+		n := trace.AccessChunk
+		if n > len(ids) {
+			n = len(ids)
+		}
+		if err := tn.ReplayBatch(ids[:n], regen); err != nil {
+			return err
+		}
+		ids = ids[n:]
+	}
+	return nil
+}

@@ -5,7 +5,7 @@
 //
 //	dynocache-experiments [-quick] [-scale 1.0] [-pressures 2,4,6,8,10]
 //	                      [-maxunits 64] [-out report.txt] [-only fig6,...]
-//	                      [-check]
+//	                      [-check] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // -check replays every simulation under the verification layer
 // (internal/check): structural invariants are validated after every cache
@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"dynocache/internal/experiments"
+	"dynocache/internal/profiling"
 )
 
 func main() {
@@ -45,7 +46,19 @@ func run() error {
 	csvDir := flag.String("csvdir", "", "also export every figure's data as CSV files into this directory")
 	only := flag.String("only", "", "comma-separated experiment ids (table1,fig3,fig4,fig6..fig15,eq3,eq4,table2,sec53,multiprog,sensitivity,ablations,appendix)")
 	checkRuns := flag.Bool("check", false, "verify every simulation against invariants and the oracle simulator")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintf(os.Stderr, "dynocache-experiments: %v\n", perr)
+		}
+	}()
 
 	cfg := experiments.DefaultConfig()
 	if *quick {

@@ -9,6 +9,7 @@
 //	dynocache-serve [-tenants 8] [-shards 0] [-policy 8-unit] [-scale 0.05]
 //	                [-pressure 2] [-batch 64] [-duration 3s] [-passes 0]
 //	                [-queue 32] [-benchmarks gzip,mcf,...] [-check]
+//	                [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // -shards 0 means one shard per tenant (dedicated shards, pinned routing);
 // fewer shards than tenants exercises shared-shard contention with
@@ -36,6 +37,7 @@ import (
 
 	"dynocache"
 	"dynocache/internal/core"
+	"dynocache/internal/profiling"
 	"dynocache/internal/service"
 	"dynocache/internal/sim"
 	"dynocache/internal/stats"
@@ -73,7 +75,19 @@ func run(w io.Writer) error {
 	queue := flag.Int("queue", service.DefaultQueueDepth, "admission queue depth per shard")
 	benchmarks := flag.String("benchmarks", "", "comma-separated Table 1 benchmarks to cycle through (default: all)")
 	check := flag.Bool("check", false, "verify invariants, ledger consistency, and (dedicated shards) solo-replay equality")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintf(os.Stderr, "dynocache-serve: %v\n", perr)
+		}
+	}()
 
 	if *tenants < 1 {
 		return fmt.Errorf("need at least 1 tenant")

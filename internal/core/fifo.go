@@ -149,6 +149,40 @@ func (c *FIFOCache) grow(id SuperblockID) {
 	c.sizes = sizes
 }
 
+// Reserve pre-sizes the dense residency and link tables for IDs in
+// [0, maxID]. Purely an optimization: it avoids the doubling copies of
+// incremental growth when the caller knows the trace's ID span up front
+// (the replay kernels do).
+func (c *FIFOCache) Reserve(maxID SuperblockID) {
+	c.grow(maxID)
+	c.links.reserve(maxID)
+}
+
+// FreezeLinks switches link maintenance to frozen-adjacency mode: blocks
+// is the dense (ID-indexed) block table, and blocks[id].Links is the
+// immutable link row every future Insert of id promises to declare
+// verbatim (or nil for every insert when chainingDisabled). AddLink is
+// rejected once frozen. The replay kernels uphold this contract — each
+// insertion replays the trace's fixed definition — and in exchange all
+// link bookkeeping becomes sequential scans of flat CSR arrays, which
+// dominates the replay profile at high cache pressure.
+func (c *FIFOCache) FreezeLinks(blocks []Superblock, chainingDisabled bool) {
+	c.links.freeze(blocks, chainingDisabled)
+}
+
+// SetLazyPatchedCount defers patched-link counting to PatchedLinks (and
+// BackPtrTableBytes) queries instead of maintaining the count on every
+// insert and eviction. Requires frozen link adjacency, and is only safe
+// when nothing observes the count mid-run — no verification wrapper, no
+// census sampling. The fast replay kernel opts in; the count remains
+// queryable afterwards via on-demand recomputation.
+func (c *FIFOCache) SetLazyPatchedCount(on bool) {
+	if on && !c.links.frozen {
+		return
+	}
+	c.links.deferPatched = on
+}
+
 // Contains implements Cache.
 func (c *FIFOCache) Contains(id SuperblockID) bool {
 	return int(id) < len(c.where) && c.where[id] != absentVoff
@@ -163,6 +197,17 @@ func (c *FIFOCache) Access(id SuperblockID) bool {
 	}
 	c.stats.Misses++
 	return false
+}
+
+// BatchAccessStats folds a batch of access outcomes into the counters in
+// one call: accesses total probes, hits of which hit (the rest were
+// misses). Equivalent to that many Access calls; the replay kernel
+// accumulates per chunk and flushes once, keeping its per-access path to
+// a single residency probe.
+func (c *FIFOCache) BatchAccessStats(accesses, hits uint64) {
+	c.stats.Accesses += accesses
+	c.stats.Hits += hits
+	c.stats.Misses += accesses - hits
 }
 
 // Resident implements Cache.
@@ -196,9 +241,37 @@ func (c *FIFOCache) VirtualHead() int64 { return c.head }
 // Samples returns the recorded eviction samples.
 func (c *FIFOCache) Samples() []EvictionSample { return c.samples }
 
+// validateInsert mirrors the package-level validateInsert with concrete
+// receivers so every check inlines on the insert hot path. The messages
+// must stay identical to the shared helper's.
+func (c *FIFOCache) validateInsert(sb Superblock) error {
+	if err := validateID(sb.ID); err != nil {
+		return err
+	}
+	if !c.links.linksValid {
+		// With frozen, prevalidated adjacency the row was checked once at
+		// freeze time and inserts are bound to redeclare it verbatim.
+		for _, to := range sb.Links {
+			if err := validateID(to); err != nil {
+				return err
+			}
+		}
+	}
+	if sb.Size <= 0 {
+		return fmt.Errorf("core: superblock %d has non-positive size %d", sb.ID, sb.Size)
+	}
+	if sb.Size > c.capacity {
+		return fmt.Errorf("core: superblock %d (%d bytes) exceeds cache capacity %d", sb.ID, sb.Size, c.capacity)
+	}
+	if c.Contains(sb.ID) {
+		return fmt.Errorf("core: superblock %d is already resident", sb.ID)
+	}
+	return nil
+}
+
 // Insert implements Cache.
 func (c *FIFOCache) Insert(sb Superblock) error {
-	if err := validateInsert(c, sb); err != nil {
+	if err := c.validateInsert(sb); err != nil {
 		return err
 	}
 	// Evict until [head, head+size) fits within the capacity window.
@@ -214,8 +287,12 @@ func (c *FIFOCache) Insert(sb Superblock) error {
 	c.resident++
 	c.stats.InsertedBlocks++
 	c.stats.InsertedBytes += uint64(sb.Size)
-	for _, to := range sb.Links {
-		c.links.declare(sb.ID, to, c.Contains, &c.stats)
+	if c.links.frozen {
+		c.links.declareAll(sb.ID, sb.Links, &c.stats)
+	} else {
+		for _, to := range sb.Links {
+			c.links.declare(sb.ID, to, c.Contains, &c.stats)
+		}
 	}
 	c.links.onInsert(sb.ID, &c.stats)
 	return nil
@@ -228,6 +305,9 @@ func (c *FIFOCache) AddLink(from, to SuperblockID) error {
 	}
 	if err := validateID(to); err != nil {
 		return err
+	}
+	if c.links.frozen {
+		return fmt.Errorf("core: AddLink on a cache with frozen link adjacency")
 	}
 	c.links.declare(from, to, c.Contains, &c.stats)
 	return nil
@@ -289,14 +369,13 @@ func (c *FIFOCache) evictBelow(frontier int64) {
 	c.stats.EvictionInvocations++
 	c.stats.BlocksEvicted += uint64(len(order))
 	c.stats.BytesEvicted += uint64(bytes)
-	c.stats.UnlinkEvents += c.links.unlinkEventsFor(order)
 
 	var sample *EvictionSample
 	if c.recordSamples {
 		c.samples = append(c.samples, EvictionSample{Bytes: int(bytes), Blocks: len(order)})
 		sample = &c.samples[len(c.samples)-1]
 	}
-	c.links.onEvict(order, &c.stats, sample)
+	c.stats.UnlinkEvents += c.links.onEvict(order, &c.stats, sample)
 }
 
 // Flush implements Cache: it empties the cache as one eviction invocation

@@ -1,0 +1,386 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// frozenBlocks builds a dense block table for frozen-adjacency tests.
+// dirty adds the raw-row irregularities freeze must tolerate: duplicate
+// link declarations and targets outside the dense table (valid IDs that
+// are simply never defined, so they can never become resident).
+func frozenBlocks(r *rand.Rand, n int, dirty bool) []Superblock {
+	blocks := make([]Superblock, n)
+	for i := range blocks {
+		var links []SuperblockID
+		for j := 0; j < r.Intn(4); j++ {
+			to := SuperblockID(r.Intn(n))
+			if !contains(links, to) {
+				links = append(links, to)
+			}
+		}
+		if self := SuperblockID(i); r.Intn(4) == 0 && !contains(links, self) {
+			links = append(links, self) // self-link
+		}
+		if dirty {
+			if len(links) > 0 && r.Intn(3) == 0 {
+				links = append(links, links[0]) // duplicate declaration
+			}
+			if r.Intn(3) == 0 {
+				links = append(links, SuperblockID(n+r.Intn(3))) // out of range
+			}
+		}
+		blocks[i] = Superblock{
+			ID:    SuperblockID(i),
+			Size:  40 + r.Intn(200),
+			Links: links,
+		}
+	}
+	return blocks
+}
+
+// patchedSet collects forEachPatched's visit set as sorted "from->to"
+// pairs for order-insensitive comparison.
+func patchedSet(c *FIFOCache) [][2]SuperblockID {
+	var set [][2]SuperblockID
+	c.links.forEachPatched(func(from, to SuperblockID) {
+		set = append(set, [2]SuperblockID{from, to})
+	})
+	sort.Slice(set, func(i, j int) bool {
+		if set[i][0] != set[j][0] {
+			return set[i][0] < set[j][0]
+		}
+		return set[i][1] < set[j][1]
+	})
+	return set
+}
+
+// TestFrozenMatchesDynamic is the frozen-adjacency contract test: a
+// frozen cache and a plain dynamic cache replaying the same access
+// sequence (every insert declaring the block's fixed link row, as the
+// replay kernels do) must agree on every statistic, the patched-link
+// gauge, the census, the patched relation itself, and their internal
+// invariants — across granularities, clean and dirty link rows, and
+// eager vs deferred patched counting.
+func TestFrozenMatchesDynamic(t *testing.T) {
+	newCaches := map[string]func(capacity int) (*FIFOCache, *FIFOCache){
+		"flush": func(cap int) (*FIFOCache, *FIFOCache) {
+			a, _ := NewFlush(cap)
+			b, _ := NewFlush(cap)
+			return a, b
+		},
+		"4-unit": func(cap int) (*FIFOCache, *FIFOCache) {
+			a, _ := NewUnits(cap, 4)
+			b, _ := NewUnits(cap, 4)
+			return a, b
+		},
+		"fine": func(cap int) (*FIFOCache, *FIFOCache) {
+			a, _ := NewFine(cap)
+			b, _ := NewFine(cap)
+			return a, b
+		},
+	}
+	for name, mk := range newCaches {
+		for _, dirty := range []bool{false, true} {
+			for _, lazy := range []bool{false, true} {
+				r := rand.New(rand.NewSource(int64(len(name)) + 17))
+				blocks := frozenBlocks(r, 60, dirty)
+				frozen, dynamic := mk(1200)
+				frozen.Reserve(SuperblockID(len(blocks) - 1))
+				frozen.FreezeLinks(blocks, false)
+				frozen.SetLazyPatchedCount(lazy)
+				if dirty && frozen.links.rowsExact {
+					t.Fatalf("%s: dirty rows should not be exact", name)
+				}
+				if !dirty && !frozen.links.rowsExact {
+					t.Fatalf("%s: clean rows should be exact", name)
+				}
+
+				for step := 0; step < 4000; step++ {
+					id := SuperblockID(r.Intn(len(blocks)))
+					fh := frozen.Access(id)
+					dh := dynamic.Access(id)
+					if fh != dh {
+						t.Fatalf("%s dirty=%v lazy=%v step %d: hit %v vs %v", name, dirty, lazy, step, fh, dh)
+					}
+					if !fh {
+						if err := frozen.Insert(blocks[id]); err != nil {
+							t.Fatal(err)
+						}
+						if err := dynamic.Insert(blocks[id]); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if step%500 == 0 {
+						if got, want := frozen.PatchedLinks(), dynamic.PatchedLinks(); got != want {
+							t.Fatalf("%s dirty=%v lazy=%v step %d: PatchedLinks %d vs %d", name, dirty, lazy, step, got, want)
+						}
+					}
+				}
+
+				if frozen.stats != dynamic.stats {
+					t.Errorf("%s dirty=%v lazy=%v: stats diverge:\nfrozen  %+v\ndynamic %+v",
+						name, dirty, lazy, frozen.stats, dynamic.stats)
+				}
+				if got, want := frozen.PatchedLinks(), dynamic.PatchedLinks(); got != want {
+					t.Errorf("%s dirty=%v lazy=%v: PatchedLinks %d vs %d", name, dirty, lazy, got, want)
+				}
+				if got, want := frozen.BackPtrTableBytes(), dynamic.BackPtrTableBytes(); got != want {
+					t.Errorf("%s dirty=%v lazy=%v: BackPtrTableBytes %d vs %d", name, dirty, lazy, got, want)
+				}
+				fi, fe := frozen.LinkCensus()
+				di, de := dynamic.LinkCensus()
+				if fi != di || fe != de {
+					t.Errorf("%s dirty=%v lazy=%v: census (%d,%d) vs (%d,%d)", name, dirty, lazy, fi, fe, di, de)
+				}
+				if !reflect.DeepEqual(patchedSet(frozen), patchedSet(dynamic)) {
+					t.Errorf("%s dirty=%v lazy=%v: patched relations diverge", name, dirty, lazy)
+				}
+				if err := frozen.CheckInvariants(); err != nil {
+					t.Errorf("%s dirty=%v lazy=%v: frozen invariants: %v", name, dirty, lazy, err)
+				}
+				if err := dynamic.CheckInvariants(); err != nil {
+					t.Errorf("%s dirty=%v lazy=%v: dynamic invariants: %v", name, dirty, lazy, err)
+				}
+			}
+		}
+	}
+}
+
+// TestFrozenUnlinkEventsMatchDynamic pins the standalone pre-eviction
+// unlink-event counter (the fused onEvict return is covered by the
+// differential above) in both modes.
+func TestFrozenUnlinkEventsMatchDynamic(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	blocks := frozenBlocks(r, 40, true)
+	frozen, _ := NewFine(900)
+	dynamic, _ := NewFine(900)
+	frozen.FreezeLinks(blocks, false)
+	for step := 0; step < 2000; step++ {
+		id := SuperblockID(r.Intn(len(blocks)))
+		if !frozen.Access(id) {
+			if err := frozen.Insert(blocks[id]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !dynamic.Access(id) {
+			if err := dynamic.Insert(blocks[id]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if step%200 == 0 {
+			// Probe a hypothetical eviction of a random resident subset.
+			var set []SuperblockID
+			for _, b := range blocks {
+				if frozen.Contains(b.ID) && r.Intn(3) == 0 {
+					set = append(set, b.ID)
+				}
+			}
+			if got, want := frozen.links.unlinkEventsFor(set), dynamic.links.unlinkEventsFor(set); got != want {
+				t.Fatalf("step %d: unlinkEventsFor %d vs %d", step, got, want)
+			}
+		}
+	}
+	if frozen.stats != dynamic.stats {
+		t.Errorf("stats diverge:\nfrozen  %+v\ndynamic %+v", frozen.stats, dynamic.stats)
+	}
+}
+
+// TestFreezeChainingDisabled freezes an empty relation: inserts carry no
+// links, nothing patches, and validation is skipped wholesale.
+func TestFreezeChainingDisabled(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	blocks := frozenBlocks(r, 30, false)
+	c, _ := NewFine(700)
+	c.FreezeLinks(blocks, true)
+	if !c.links.linksValid {
+		t.Fatal("chaining-disabled freeze should mark links valid")
+	}
+	for step := 0; step < 1000; step++ {
+		id := SuperblockID(r.Intn(len(blocks)))
+		if !c.Access(id) {
+			sb := blocks[id]
+			sb.Links = nil // the DisableChaining contract: links stripped
+			if err := c.Insert(sb); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if c.PatchedLinks() != 0 || c.stats.LinksPatched != 0 {
+		t.Errorf("chaining disabled: PatchedLinks=%d LinksPatched=%d, want 0",
+			c.PatchedLinks(), c.stats.LinksPatched)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFrozenRejectsDynamicMutation: AddLink errors, raw declare panics.
+func TestFrozenRejectsDynamicMutation(t *testing.T) {
+	blocks := []Superblock{{ID: 0, Size: 64}, {ID: 1, Size: 64}}
+	c, _ := NewFine(256)
+	c.FreezeLinks(blocks, false)
+	if err := c.Insert(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	err := c.AddLink(0, 1)
+	if err == nil || !strings.Contains(err.Error(), "frozen link adjacency") {
+		t.Errorf("AddLink on frozen cache: %v, want frozen-adjacency error", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dynamic declare on a frozen table should panic")
+		}
+	}()
+	c.links.declare(0, 1, c.Contains, &c.stats)
+}
+
+// TestFrozenValidateInsert covers the concrete validator both with and
+// without freeze-time link prevalidation.
+func TestFrozenValidateInsert(t *testing.T) {
+	blocks := []Superblock{
+		{ID: 0, Size: 64, Links: []SuperblockID{1}},
+		{ID: 1, Size: 64},
+	}
+	c, _ := NewFine(256)
+	c.FreezeLinks(blocks, false)
+	if !c.links.linksValid {
+		t.Fatal("clean rows should prevalidate")
+	}
+	if err := c.Insert(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		sb   Superblock
+		want string
+	}{
+		{Superblock{ID: 1 << 30, Size: 64}, "dense-ID limit"},
+		{Superblock{ID: 1, Size: 0}, "non-positive size"},
+		{Superblock{ID: 1, Size: 9999}, "exceeds cache capacity"},
+		{Superblock{ID: 0, Size: 64}, "already resident"},
+	}
+	for _, tc := range cases {
+		if err := c.Insert(tc.sb); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Insert(%+v) = %v, want %q", tc.sb, err, tc.want)
+		}
+	}
+
+	// Without prevalidation (dirty row -> linksValid false), a bad link
+	// target is still caught per insert.
+	dirty := []Superblock{{ID: 0, Size: 64, Links: []SuperblockID{1 << 30}}}
+	d, _ := NewFine(256)
+	d.FreezeLinks(dirty, false)
+	if d.links.linksValid {
+		t.Fatal("out-of-limit link target should fail prevalidation")
+	}
+	if err := d.Insert(dirty[0]); err == nil || !strings.Contains(err.Error(), "dense-ID limit") {
+		t.Errorf("Insert with invalid link = %v, want dense-ID limit error", err)
+	}
+}
+
+// TestBatchAccessStats pins the fold's equivalence to individual calls.
+func TestBatchAccessStats(t *testing.T) {
+	a, _ := NewFine(256)
+	b, _ := NewFine(256)
+	if err := a.Insert(Superblock{ID: 0, Size: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(Superblock{ID: 0, Size: 64}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []SuperblockID{0, 1, 0, 2, 0} {
+		a.Access(id)
+	}
+	b.BatchAccessStats(5, 3)
+	if a.stats.Accesses != b.stats.Accesses || a.stats.Hits != b.stats.Hits || a.stats.Misses != b.stats.Misses {
+		t.Errorf("batch fold diverges: %+v vs %+v", a.stats, b.stats)
+	}
+}
+
+// TestReserve pre-sizes the dense tables; inserts inside the span must
+// not reallocate them.
+func TestReserve(t *testing.T) {
+	c, _ := NewFine(4096)
+	c.Reserve(99)
+	if len(c.where) < 100 || len(c.links.resident) < 100 {
+		t.Fatalf("Reserve(99): where=%d links=%d, want >= 100", len(c.where), len(c.links.resident))
+	}
+	wherePtr := &c.where[0]
+	for id := SuperblockID(0); id < 100; id += 7 {
+		if err := c.Insert(Superblock{ID: id, Size: 32}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if &c.where[0] != wherePtr {
+		t.Error("insert within the reserved span reallocated the residency table")
+	}
+	if c.VirtualHead() != int64(15*32) {
+		t.Errorf("VirtualHead = %d, want %d", c.VirtualHead(), 15*32)
+	}
+}
+
+// TestLazyPatchedCountRequiresFreeze: enabling lazy counting on an
+// unfrozen cache is ignored (the dynamic path must keep eager counts).
+func TestLazyPatchedCountRequiresFreeze(t *testing.T) {
+	c, _ := NewFine(256)
+	c.SetLazyPatchedCount(true)
+	if c.links.deferPatched {
+		t.Fatal("lazy counting must not engage without frozen adjacency")
+	}
+	if err := c.Insert(Superblock{ID: 0, Size: 64, Links: []SuperblockID{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.PatchedLinks() != 1 {
+		t.Errorf("PatchedLinks = %d, want 1", c.PatchedLinks())
+	}
+}
+
+// TestFrozenFlushAndSamples drives the frozen eviction path through Flush
+// and sample recording (the sample branch of the frozen onEvict walks).
+func TestFrozenFlushAndSamples(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	blocks := frozenBlocks(r, 20, false)
+	for _, lazy := range []bool{false, true} {
+		c, _ := NewFine(600)
+		c.FreezeLinks(blocks, false)
+		c.SetLazyPatchedCount(lazy)
+		c.SetSampleRecording(true)
+		for step := 0; step < 500; step++ {
+			id := SuperblockID(r.Intn(len(blocks)))
+			if !c.Access(id) {
+				if err := c.Insert(blocks[id]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		c.Flush()
+		if c.Resident() != 0 {
+			t.Fatalf("lazy=%v: %d resident after Flush", lazy, c.Resident())
+		}
+		if c.PatchedLinks() != 0 {
+			t.Errorf("lazy=%v: PatchedLinks = %d after Flush, want 0", lazy, c.PatchedLinks())
+		}
+		if len(c.Samples()) == 0 {
+			t.Errorf("lazy=%v: no eviction samples recorded", lazy)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Errorf("lazy=%v: %v", lazy, err)
+		}
+	}
+}
+
+// TestFreezeEmptyTable: freezing a zero-block table must not break the
+// (vacuous) walks.
+func TestFreezeEmptyTable(t *testing.T) {
+	c, _ := NewFine(256)
+	c.FreezeLinks(nil, false)
+	if got := c.PatchedLinks(); got != 0 {
+		t.Errorf("PatchedLinks = %d, want 0", got)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

@@ -6,40 +6,83 @@ import "fmt"
 //
 // For each resident block it tracks the subset of declared links actually
 // *patched* into cached code (target resident at declaration time, or
-// resolved later when the target arrived), and a back-pointer table mapping
-// each block to the sources patched to jump to it.
+// resolved later when the target arrived), and enough reverse structure to
+// charge eviction for unlinking — the back-pointer table whose memory cost
+// Section 5.1 estimates at 16 bytes per link.
 //
-// A declared link whose target is absent waits in the pending table; when
-// the target is (re)inserted, the link is patched and counted as a
-// relink — this models DynamoRIO re-chaining through exit stubs after a
-// regeneration.
+// A declared link whose target is absent is pending; when the target is
+// (re)inserted, the link is patched and counted as a relink — this models
+// DynamoRIO re-chaining through exit stubs after a regeneration.
 //
-// Layout: the table is indexed by dense SuperblockIDs. Every frontend in
-// this repository (the DBT, the workload synthesizer, the interleaver)
-// assigns IDs densely from 0, so a flat []linkRecord replaces the four
-// map[SuperblockID]set tables the reference implementation uses (see
-// mapLinkTable in links_oracle_test.go). Each record holds small unordered
-// ID slices that are truncated — never freed — on eviction, so the table
-// stops allocating once the workload's link population has been seen: the
-// steady-state eviction path performs zero heap allocations.
-type linkRecord struct {
-	// patched lists the targets this block currently jumps to.
-	patched []SuperblockID
-	// backPtrs lists the sources patched to jump to this block — the
-	// back-pointer table whose memory cost Section 5.1 estimates at 16
-	// bytes per link.
-	backPtrs []SuperblockID
-	// pendIn lists the resident sources with a declared but unpatched link
-	// to this (absent) block.
-	pendIn []SuperblockID
-	// pendOut lists the absent targets this block has pending links to;
-	// it mirrors pendIn so eviction can scrub a block's pending
-	// declarations without scanning every record.
-	pendOut []SuperblockID
-}
-
+// Representation: the table stores the declared-edge relation and derives
+// patched/pending from residency instead of maintaining them as separate
+// mutable sets. For every source it keeps the targets declared during the
+// source's current residency (out, truncated when the source is evicted),
+// and for every target an append-only index of every source that ever
+// declared a link to it (in). A declared edge from->to is live while the
+// source is resident; a live edge is patched iff the target is resident,
+// pending otherwise:
+//
+//	live(from, to)    = resident(from) && to ∈ out[from]
+//	patched(from, to) = live(from, to) && resident(to)
+//	pending(from, to) = live(from, to) && !resident(to)
+//
+// This is equivalent to the explicit patched/backPtrs/pendIn/pendOut
+// bookkeeping it replaced (the map-based version survives as the
+// differential oracle in links_oracle_test.go): a patched link's target
+// eviction reinstates the pending link automatically because the edge
+// stays in out[from], and a source's eviction kills all its edges because
+// out[from] is truncated. What the rewrite buys is the eviction path:
+// processing an eviction set is a pure walk over the in/out lists — no
+// set removals, no pending reinstatement writes, no allocation — which
+// matters because eviction-side link maintenance dominates the replay
+// profile at high cache pressure.
+//
+// Layout: both tables are dense slices indexed by SuperblockID. Every
+// frontend in this repository assigns IDs densely from 0 (see the
+// dense-ID invariant in DESIGN.md). List entries are truncated — never
+// freed — so the table stops allocating once the workload's link
+// population has been seen: the steady-state insert and eviction paths
+// perform zero heap allocations.
 type linkTable struct {
-	recs []linkRecord
+	// out[from] holds the targets declared during from's current
+	// residency, deduplicated, in declaration order. Truncated (capacity
+	// kept) when from is evicted.
+	out [][]SuperblockID
+	// in[to] holds every source that ever declared a link to `to`,
+	// deduplicated, append-only. An entry is only meaningful when the
+	// edge is live; walks re-validate against out[from].
+	in [][]SuperblockID
+
+	// Frozen mode (see freeze): the declared-edge relation is a known
+	// immutable graph, stored in CSR form. Every walk becomes a
+	// sequential scan of a flat edge array plus a residency bit test —
+	// no per-edge set scans, no slice-header chasing — and liveness
+	// simplifies to resident(from), because a resident source always has
+	// exactly its frozen out-row declared.
+	frozen    bool
+	foutIdx   []int32
+	foutEdges []SuperblockID
+	finIdx    []int32
+	finEdges  []SuperblockID
+	// rowsExact means no raw link was dropped by freeze (no duplicates,
+	// no out-of-range targets), so every frozen row equals its raw row
+	// and declareAll can count stats from the CSR row alone.
+	rowsExact bool
+	// deferPatched (frozen mode only) stops maintaining patchedCount per
+	// operation; patchedLinks() recomputes it from residency on demand.
+	// Only safe when nothing observes the count mid-run — the fast replay
+	// kernel opts in (no verification wrapper, no census sampling), which
+	// deletes the eviction path's whole outbound bookkeeping walk.
+	deferPatched bool
+	// linksValid means every raw link row passed validateID at freeze
+	// time, so the owning cache's insert path can skip re-validating the
+	// row it is contractually bound to declare.
+	linksValid bool
+
+	// resident mirrors the owning cache's residency, maintained from
+	// onInsert/onEvict events so derivations need no callback per edge.
+	resident []bool
 
 	patchedCount int
 
@@ -55,19 +98,31 @@ func newLinkTable() *linkTable {
 
 // grow extends the dense tables to cover id.
 func (lt *linkTable) grow(id SuperblockID) {
-	if int(id) < len(lt.recs) {
+	if int(id) < len(lt.out) {
 		return
 	}
 	n := int(id) + 1
-	if n < 2*len(lt.recs) {
-		n = 2 * len(lt.recs)
+	if n < 2*len(lt.out) {
+		n = 2 * len(lt.out)
 	}
-	recs := make([]linkRecord, n)
-	copy(recs, lt.recs)
-	lt.recs = recs
+	out := make([][]SuperblockID, n)
+	copy(out, lt.out)
+	lt.out = out
+	in := make([][]SuperblockID, n)
+	copy(in, lt.in)
+	lt.in = in
+	resident := make([]bool, n)
+	copy(resident, lt.resident)
+	lt.resident = resident
 	marks := make([]uint32, n)
 	copy(marks, lt.marks)
 	lt.marks = marks
+}
+
+// reserve pre-sizes the tables for IDs in [0, maxID], avoiding the
+// doubling copies of incremental growth when the span is known up front.
+func (lt *linkTable) reserve(maxID SuperblockID) {
+	lt.grow(maxID)
 }
 
 // contains reports membership in an unordered ID set slice.
@@ -80,15 +135,145 @@ func contains(set []SuperblockID, id SuperblockID) bool {
 	return false
 }
 
-// remove deletes id from an unordered set slice by swap-with-last.
-func remove(set []SuperblockID, id SuperblockID) []SuperblockID {
-	for i, x := range set {
-		if x == id {
-			set[i] = set[len(set)-1]
-			return set[:len(set)-1]
+// freeze switches the table to frozen-adjacency mode. blocks is the dense
+// (ID-indexed) block table; blocks[id].Links is the immutable link row the
+// owner promises every future insertion of id will declare, verbatim.
+// chainingDisabled freezes an empty relation (the owner strips Links from
+// every insert).
+//
+// Under that contract, "declared during the source's current residency"
+// collapses to "source resident": a resident source always has exactly its
+// frozen row declared. The relation is stored as forward and reverse CSR
+// arrays, so insertion and eviction walks are sequential scans of flat
+// edge arrays with one residency test per edge — no per-edge set scans —
+// and the eviction path writes nothing but the residency and mark stamps.
+func (lt *linkTable) freeze(blocks []Superblock, chainingDisabled bool) {
+	n := len(blocks)
+	lt.frozen = true
+	lt.foutIdx = make([]int32, n+1)
+	lt.finIdx = make([]int32, n+1)
+	if n == 0 {
+		return
+	}
+	lt.grow(SuperblockID(n - 1))
+	if chainingDisabled {
+		// Inserts carry no links under this contract; nothing to validate.
+		lt.linksValid = true
+		return
+	}
+	// Pass 1: deduplicated out- and in-degrees. Targets outside [0, n)
+	// can never become resident under the frozen contract, so edges to
+	// them are inert and excluded from the relation; declareAll still
+	// scans the raw row for the per-declaration LinksPatched stat.
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	total := int32(0)
+	raw := int32(0)
+	lt.linksValid = true
+	for id := range blocks {
+		links := blocks[id].Links
+		raw += int32(len(links))
+		for i, to := range links {
+			if validateID(to) != nil {
+				lt.linksValid = false
+			}
+			if int(to) >= n || contains(links[:i], to) {
+				continue
+			}
+			outDeg[id]++
+			inDeg[to]++
+			total++
 		}
 	}
-	return set
+	lt.rowsExact = total == raw
+	var o int32
+	for id := 0; id < n; id++ {
+		lt.foutIdx[id] = o
+		o += outDeg[id]
+	}
+	lt.foutIdx[n] = o
+	o = 0
+	for id := 0; id < n; id++ {
+		lt.finIdx[id] = o
+		o += inDeg[id]
+	}
+	lt.finIdx[n] = o
+	// Pass 2: fill. Deduplicating the forward rows deduplicates the
+	// reverse rows for free (each edge contributes exactly once).
+	lt.foutEdges = make([]SuperblockID, total)
+	lt.finEdges = make([]SuperblockID, total)
+	outCur := make([]int32, n)
+	copy(outCur, lt.foutIdx[:n])
+	inCur := make([]int32, n)
+	copy(inCur, lt.finIdx[:n])
+	for id := range blocks {
+		links := blocks[id].Links
+		for i, to := range links {
+			if int(to) >= n || contains(links[:i], to) {
+				continue
+			}
+			lt.foutEdges[outCur[id]] = to
+			outCur[id]++
+			lt.finEdges[inCur[to]] = SuperblockID(id)
+			inCur[to]++
+		}
+	}
+}
+
+// foutRow returns id's frozen forward link row.
+func (lt *linkTable) foutRow(id SuperblockID) []SuperblockID {
+	if int(id)+1 >= len(lt.foutIdx) {
+		return nil
+	}
+	return lt.foutEdges[lt.foutIdx[id]:lt.foutIdx[id+1]]
+}
+
+// finRow returns id's frozen reverse link row.
+func (lt *linkTable) finRow(id SuperblockID) []SuperblockID {
+	if int(id)+1 >= len(lt.finIdx) {
+		return nil
+	}
+	return lt.finEdges[lt.finIdx[id]:lt.finIdx[id+1]]
+}
+
+// declareAll records, in frozen mode, the insertion-time declaration of a
+// block's full raw link row. Stats mirror declare(): LinksPatched counts
+// per declaration, duplicates included, while patchedCount counts the
+// deduplicated edges whose target is resident. The inserting block counts
+// as resident for its own self-link (the owning cache sets residency
+// before declaring, while the table's own flag is set in onInsert).
+func (lt *linkTable) declareAll(id SuperblockID, links []SuperblockID, stats *Stats) {
+	if len(links) == 0 {
+		return
+	}
+	resident := lt.resident
+	if lt.rowsExact {
+		// Frozen row == raw row: one pass covers both counters.
+		patched := 0
+		for _, to := range lt.foutRow(id) {
+			if to == id || resident[to] {
+				patched++
+			}
+		}
+		stats.LinksPatched += uint64(patched)
+		if !lt.deferPatched {
+			lt.patchedCount += patched
+		}
+		return
+	}
+	for _, to := range links {
+		if to == id || (int(to) < len(resident) && resident[to]) {
+			stats.LinksPatched++
+		}
+	}
+	if lt.deferPatched {
+		return
+	}
+	for _, to := range lt.foutRow(id) {
+		if to == id || resident[to] {
+			lt.patchedCount++
+		}
+	}
 }
 
 // markEvicted stamps the eviction set for O(1) membership tests.
@@ -104,123 +289,220 @@ func (lt *linkTable) evicted(id SuperblockID) bool {
 	return int(id) < len(lt.marks) && lt.marks[id] == lt.epoch
 }
 
-// patch records from->to as patched.
-func (lt *linkTable) patch(from, to SuperblockID) {
-	if from > to {
-		lt.grow(from)
-	} else {
-		lt.grow(to)
+// live reports whether the declared edge from->to is alive: the source
+// must be resident and the edge declared during its current residency.
+func (lt *linkTable) live(from, to SuperblockID) bool {
+	if lt.frozen {
+		return lt.resident[from] && contains(lt.foutRow(from), to)
 	}
-	f := &lt.recs[from]
-	if contains(f.patched, to) {
-		return
-	}
-	f.patched = append(f.patched, to)
-	lt.recs[to].backPtrs = append(lt.recs[to].backPtrs, from)
-	lt.patchedCount++
+	return lt.resident[from] && contains(lt.out[from], to)
 }
 
-func (lt *linkTable) addPending(from, to SuperblockID) {
-	if from > to {
-		lt.grow(from)
-	} else {
-		lt.grow(to)
-	}
-	t := &lt.recs[to]
-	if contains(t.pendIn, from) {
-		return
-	}
-	t.pendIn = append(t.pendIn, from)
-	lt.recs[from].pendOut = append(lt.recs[from].pendOut, to)
-}
-
-// declare records a link from a resident block and patches it when the
-// target is resident. resident reports residency; stats receives patch
-// counters.
+// declare records a link from a resident block; it is patched when the
+// target is resident and pending otherwise. resident reports residency
+// (the owning cache's view; during an insertion the table's own flag for
+// the inserting block is not yet set). stats receives patch counters.
 func (lt *linkTable) declare(from, to SuperblockID, resident func(SuperblockID) bool, stats *Stats) {
-	if resident(to) {
-		lt.patch(from, to)
-		stats.LinksPatched++
+	if lt.frozen {
+		panic("core: dynamic declare on a frozen link table")
+	}
+	if from > to {
+		lt.grow(from)
 	} else {
-		lt.addPending(from, to)
+		lt.grow(to)
 	}
-}
-
-// onInsert resolves pending links targeting the newly inserted block.
-func (lt *linkTable) onInsert(id SuperblockID, stats *Stats) {
-	if int(id) >= len(lt.recs) {
-		return
-	}
-	waiting := lt.recs[id].pendIn
-	if len(waiting) == 0 {
-		return
-	}
-	for _, from := range waiting {
-		lt.recs[from].pendOut = remove(lt.recs[from].pendOut, id)
-		lt.patch(from, id)
+	targetResident := resident(to)
+	if targetResident {
+		// Counted per declaration, duplicate or not, mirroring the cost
+		// of emitting the patch; the relation itself deduplicates below.
 		stats.LinksPatched++
-		stats.PendingRelinks++
 	}
-	lt.recs[id].pendIn = lt.recs[id].pendIn[:0]
+	if contains(lt.out[from], to) {
+		return
+	}
+	lt.out[from] = append(lt.out[from], to)
+	if !contains(lt.in[to], from) {
+		lt.in[to] = append(lt.in[to], from)
+	}
+	if targetResident {
+		lt.patchedCount++
+	}
 }
 
-// onEvict processes the eviction of a set of blocks in one invocation.
-// Links whose source is also being evicted die with the region for free;
-// links from surviving blocks must be unpatched one at a time, which is
-// what Equation 4 charges for. Unpatched (pending-style) re-links are
-// reinstated so the source re-chains if the target is regenerated.
+// onInsert marks id resident and resolves pending links targeting it:
+// every live inbound edge was necessarily pending (id was absent) and is
+// now patched.
+func (lt *linkTable) onInsert(id SuperblockID, stats *Stats) {
+	if lt.frozen {
+		if int(id) >= len(lt.resident) {
+			lt.grow(id)
+		}
+		resident := lt.resident
+		resident[id] = true
+		relinked := 0
+		for _, from := range lt.finRow(id) {
+			if from != id && resident[from] {
+				relinked++
+			}
+		}
+		if relinked > 0 {
+			if !lt.deferPatched {
+				lt.patchedCount += relinked
+			}
+			stats.LinksPatched += uint64(relinked)
+			stats.PendingRelinks += uint64(relinked)
+		}
+		return
+	}
+	lt.grow(id)
+	lt.resident[id] = true
+	for _, from := range lt.in[id] {
+		if from == id {
+			// A self-link is patched by its own declaration, which runs
+			// with the block already resident in the owning cache.
+			continue
+		}
+		if lt.resident[from] && contains(lt.out[from], id) {
+			lt.patchedCount++
+			stats.LinksPatched++
+			stats.PendingRelinks++
+		}
+	}
+}
+
+// onEvict processes the eviction of a set of blocks in one invocation and
+// returns how many of them had at least one patched inbound link from a
+// surviving source — the unlink events Equation 4 charges for. Links
+// whose source is also being evicted die with the region for free; links
+// from surviving blocks must be unpatched one at a time. The surviving
+// source's edge stays declared, so it re-chains (as a pending relink) if
+// the target is regenerated.
 //
 // The classification only matters for the intra/inter split in stats: by
 // construction every costed unlink crosses a unit boundary (the source
 // survives the flushed region).
-func (lt *linkTable) onEvict(ids []SuperblockID, stats *Stats, samples *EvictionSample) {
+func (lt *linkTable) onEvict(ids []SuperblockID, stats *Stats, samples *EvictionSample) uint64 {
 	lt.markEvicted(ids)
 	for _, id := range ids {
-		// Inbound patched links.
-		rec := &lt.recs[id]
-		for _, from := range rec.backPtrs {
-			if lt.evicted(from) {
-				stats.IntraUnitLinksFlushed++
-				continue
-			}
-			// Surviving source: unpatch, charge, and let it re-chain later.
-			lt.recs[from].patched = remove(lt.recs[from].patched, id)
-			lt.patchedCount--
-			stats.InterUnitLinksRemoved++
-			if samples != nil {
-				samples.LinksRemoved++
-			}
-			lt.addPending(from, id)
-		}
-		rec.backPtrs = rec.backPtrs[:0]
+		lt.resident[id] = false
 	}
-	// Outbound bookkeeping for each evicted block: scrub its patched links
-	// from targets' back-pointer sets and drop its pending declarations.
+	var events uint64
+	if lt.frozen {
+		// Frozen mode fuses both passes: liveness is just resident(from),
+		// so each evicted block's inbound and outbound rows are scanned
+		// once against the residency and mark tables, with no writes.
+		resident := lt.resident
+		finIdx, finEdges := lt.finIdx, lt.finEdges
+		if lt.deferPatched {
+			// Deferred counting: the outbound walk existed only to keep
+			// patchedCount current, so it disappears entirely.
+			for _, id := range ids {
+				unlinked := false
+				for _, from := range finEdges[finIdx[id]:finIdx[id+1]] {
+					if resident[from] {
+						stats.InterUnitLinksRemoved++
+						if samples != nil {
+							samples.LinksRemoved++
+						}
+						unlinked = true
+					} else if lt.evicted(from) {
+						stats.IntraUnitLinksFlushed++
+					}
+				}
+				if unlinked {
+					events++
+				}
+			}
+			return events
+		}
+		foutIdx, foutEdges := lt.foutIdx, lt.foutEdges
+		for _, id := range ids {
+			unlinked := false
+			for _, from := range finEdges[finIdx[id]:finIdx[id+1]] {
+				if resident[from] {
+					lt.patchedCount--
+					stats.InterUnitLinksRemoved++
+					if samples != nil {
+						samples.LinksRemoved++
+					}
+					unlinked = true
+				} else if lt.evicted(from) {
+					stats.IntraUnitLinksFlushed++
+				}
+			}
+			if unlinked {
+				events++
+			}
+			for _, to := range foutEdges[foutIdx[id]:foutIdx[id+1]] {
+				if resident[to] || lt.evicted(to) {
+					lt.patchedCount--
+				}
+			}
+		}
+		return events
+	}
+	// Inbound patched links: classify against the surviving residents.
+	// out sets are still intact, so liveness checks see the pre-eviction
+	// edge relation.
 	for _, id := range ids {
-		rec := &lt.recs[id]
-		for _, to := range rec.patched {
-			if !lt.evicted(to) {
-				lt.recs[to].backPtrs = remove(lt.recs[to].backPtrs, id)
+		unlinked := false
+		for _, from := range lt.in[id] {
+			if !contains(lt.out[from], id) {
+				continue // edge from an earlier residency of from; dead
 			}
-			lt.patchedCount--
+			if lt.resident[from] {
+				// Surviving source: unpatch and charge. The edge stays in
+				// out[from], which is exactly the pending reinstatement.
+				lt.patchedCount--
+				stats.InterUnitLinksRemoved++
+				if samples != nil {
+					samples.LinksRemoved++
+				}
+				unlinked = true
+			} else if lt.evicted(from) {
+				stats.IntraUnitLinksFlushed++
+			}
 		}
-		rec.patched = rec.patched[:0]
-		for _, to := range rec.pendOut {
-			lt.recs[to].pendIn = remove(lt.recs[to].pendIn, id)
+		if unlinked {
+			events++
 		}
-		rec.pendOut = rec.pendOut[:0]
 	}
+	// Outbound bookkeeping: each evicted block's patched links die with
+	// it. Links to surviving targets and intra-set links are both counted
+	// here (intra-set inbound links were classified above but not
+	// decremented, so every dying patched link is decremented once).
+	for _, id := range ids {
+		for _, to := range lt.out[id] {
+			if lt.resident[to] || lt.evicted(to) {
+				lt.patchedCount--
+			}
+		}
+		lt.out[id] = lt.out[id][:0]
+	}
+	return events
 }
 
 // unlinkEventsFor counts, before eviction, how many of the blocks in ids
-// have at least one inbound link from a surviving source. Call before
-// onEvict mutates the tables.
+// have at least one patched inbound link from a surviving source. Call
+// before onEvict; onEvict also returns this count, fused, for callers on
+// the hot path.
 func (lt *linkTable) unlinkEventsFor(ids []SuperblockID) uint64 {
 	lt.markEvicted(ids)
 	var events uint64
+	if lt.frozen {
+		for _, id := range ids {
+			for _, from := range lt.finRow(id) {
+				if !lt.evicted(from) && lt.resident[from] {
+					events++
+					break
+				}
+			}
+		}
+		return events
+	}
 	for _, id := range ids {
-		for _, from := range lt.recs[id].backPtrs {
-			if !lt.evicted(from) {
+		for _, from := range lt.in[id] {
+			if !lt.evicted(from) && lt.resident[from] && contains(lt.out[from], id) {
 				events++
 				break
 			}
@@ -231,8 +513,32 @@ func (lt *linkTable) unlinkEventsFor(ids []SuperblockID) uint64 {
 
 // census classifies patched links by unit token.
 func (lt *linkTable) census(unitOf func(SuperblockID) (int64, bool)) (intra, inter int) {
-	for from := range lt.recs {
-		set := lt.recs[from].patched
+	if lt.frozen {
+		for from := 0; from+1 < len(lt.foutIdx); from++ {
+			set := lt.foutEdges[lt.foutIdx[from]:lt.foutIdx[from+1]]
+			if len(set) == 0 {
+				continue
+			}
+			fu, ok := unitOf(SuperblockID(from))
+			if !ok {
+				continue
+			}
+			for _, to := range set {
+				tu, ok := unitOf(to)
+				if !ok {
+					continue
+				}
+				if fu == tu {
+					intra++
+				} else {
+					inter++
+				}
+			}
+		}
+		return intra, inter
+	}
+	for from := range lt.out {
+		set := lt.out[from]
 		if len(set) == 0 {
 			continue
 		}
@@ -257,41 +563,97 @@ func (lt *linkTable) census(unitOf func(SuperblockID) (int64, bool)) (intra, int
 
 // forEachPatched visits every patched link once.
 func (lt *linkTable) forEachPatched(fn func(from, to SuperblockID)) {
-	for from := range lt.recs {
-		for _, to := range lt.recs[from].patched {
-			fn(SuperblockID(from), to)
+	if lt.frozen {
+		for from := 0; from+1 < len(lt.foutIdx); from++ {
+			if !lt.resident[from] {
+				continue
+			}
+			for _, to := range lt.foutEdges[lt.foutIdx[from]:lt.foutIdx[from+1]] {
+				if lt.resident[to] {
+					fn(SuperblockID(from), to)
+				}
+			}
+		}
+		return
+	}
+	for from := range lt.out {
+		if !lt.resident[from] {
+			continue
+		}
+		for _, to := range lt.out[from] {
+			if int(to) < len(lt.resident) && lt.resident[to] {
+				fn(SuperblockID(from), to)
+			}
 		}
 	}
 }
 
-// patchedLinks returns the current patched link count.
-func (lt *linkTable) patchedLinks() int { return lt.patchedCount }
+// patchedLinks returns the current patched link count, recomputing it
+// from residency when counting is deferred.
+func (lt *linkTable) patchedLinks() int {
+	if lt.frozen && lt.deferPatched {
+		count := 0
+		resident := lt.resident
+		for from := 0; from+1 < len(lt.foutIdx); from++ {
+			if !resident[from] {
+				continue
+			}
+			for _, to := range lt.foutEdges[lt.foutIdx[from]:lt.foutIdx[from+1]] {
+				if resident[to] {
+					count++
+				}
+			}
+		}
+		return count
+	}
+	return lt.patchedCount
+}
 
 // checkInvariants verifies internal consistency; used by tests.
 func (lt *linkTable) checkInvariants() error {
-	count := 0
-	for from := range lt.recs {
-		for _, to := range lt.recs[from].patched {
-			if !contains(lt.recs[to].backPtrs, SuperblockID(from)) {
-				return fmt.Errorf("core: link %d->%d missing back-pointer", from, to)
+	if lt.frozen {
+		count := 0
+		for from := 0; from+1 < len(lt.foutIdx); from++ {
+			set := lt.foutEdges[lt.foutIdx[from]:lt.foutIdx[from+1]]
+			for i, to := range set {
+				if contains(set[:i], to) {
+					return fmt.Errorf("core: duplicate frozen edge %d->%d", from, to)
+				}
+				if !contains(lt.finRow(to), SuperblockID(from)) {
+					return fmt.Errorf("core: frozen edge %d->%d missing reverse entry", from, to)
+				}
+				if lt.resident[from] && lt.resident[to] {
+					count++
+				}
 			}
-			count++
+		}
+		if !lt.deferPatched && count != lt.patchedCount {
+			return fmt.Errorf("core: patched count %d != frozen recount %d", lt.patchedCount, count)
+		}
+		return nil
+	}
+	count := 0
+	for from := range lt.out {
+		set := lt.out[from]
+		if len(set) > 0 && !lt.resident[from] {
+			return fmt.Errorf("core: non-resident superblock %d has %d live edges", from, len(set))
+		}
+		for i, to := range set {
+			if contains(set[:i], to) {
+				return fmt.Errorf("core: duplicate edge %d->%d", from, to)
+			}
+			if !contains(lt.in[to], SuperblockID(from)) {
+				return fmt.Errorf("core: edge %d->%d missing reverse entry", from, to)
+			}
+			if lt.resident[to] {
+				count++
+			}
 		}
 	}
-	for to := range lt.recs {
-		for _, from := range lt.recs[to].backPtrs {
-			if !contains(lt.recs[from].patched, SuperblockID(to)) {
-				return fmt.Errorf("core: dangling back-pointer %d->%d", from, to)
-			}
-		}
-		for _, from := range lt.recs[to].pendIn {
-			if !contains(lt.recs[from].pendOut, SuperblockID(to)) {
-				return fmt.Errorf("core: pending link %d->%d missing pendOut mirror", from, to)
-			}
-		}
-		for _, t2 := range lt.recs[to].pendOut {
-			if !contains(lt.recs[t2].pendIn, SuperblockID(to)) {
-				return fmt.Errorf("core: pendOut %d->%d missing pendIn mirror", to, t2)
+	for to := range lt.in {
+		for i, from := range lt.in[to] {
+			if contains(lt.in[to][:i], from) {
+				return fmt.Errorf("core: duplicate reverse entry %d->%d", from, to)
 			}
 		}
 	}

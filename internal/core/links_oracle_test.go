@@ -208,9 +208,27 @@ func (lt *mapLinkTable) pendingPairs() map[linkPair]bool {
 
 func (lt *linkTable) pendingPairs() map[linkPair]bool {
 	out := make(map[linkPair]bool)
-	for to := range lt.recs {
-		for _, from := range lt.recs[to].pendIn {
-			out[linkPair{from, SuperblockID(to)}] = true
+	if lt.frozen {
+		for from := 0; from+1 < len(lt.foutIdx); from++ {
+			if !lt.resident[from] {
+				continue
+			}
+			for _, to := range lt.foutRow(SuperblockID(from)) {
+				if !lt.resident[to] {
+					out[linkPair{SuperblockID(from), to}] = true
+				}
+			}
+		}
+		return out
+	}
+	for from := range lt.out {
+		if !lt.resident[from] {
+			continue
+		}
+		for _, to := range lt.out[from] {
+			if int(to) >= len(lt.resident) || !lt.resident[to] {
+				out[linkPair{SuperblockID(from), to}] = true
+			}
 		}
 	}
 	return out

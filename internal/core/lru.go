@@ -269,11 +269,10 @@ func (c *LRUCache) Insert(sb Superblock) error {
 			c.stats.EvictionInvocations++
 			c.stats.BlocksEvicted += uint64(len(evicted))
 			c.stats.BytesEvicted += uint64(bytes)
-			c.stats.UnlinkEvents += c.links.unlinkEventsFor(evicted)
 			if c.resident == 0 {
 				c.stats.FullFlushes++
 			}
-			c.links.onEvict(evicted, &c.stats, nil)
+			c.stats.UnlinkEvents += c.links.onEvict(evicted, &c.stats, nil)
 		}
 	}
 	n := c.newNode(sb.ID, off, sb.Size)
@@ -327,8 +326,7 @@ func (c *LRUCache) Flush() {
 	c.stats.BlocksEvicted += uint64(len(evicted))
 	c.stats.BytesEvicted += uint64(bytes)
 	c.stats.FullFlushes++
-	c.stats.UnlinkEvents += c.links.unlinkEventsFor(evicted)
-	c.links.onEvict(evicted, &c.stats, nil)
+	c.stats.UnlinkEvents += c.links.onEvict(evicted, &c.stats, nil)
 }
 
 // LinkCensus implements Cache: every block is its own eviction unit, so

@@ -1,0 +1,302 @@
+// Replay kernels: the per-access critical path of the simulator.
+//
+// Run used to drive every access through the core.Cache interface and a
+// per-access Superblock struct copy. Profiling showed the single-run
+// replay loop floors the full report's wall clock (Sweep parallelizes
+// across (policy, trace) pairs, so the longest trace on one core
+// dictates latency). This file splits the loop into two kernels chosen
+// once per run:
+//
+//   - a devirtualized kernel for the FIFO family (*core.FIFOCache backs
+//     FLUSH, n-unit, and fine-grained FIFO): the hot loop calls concrete
+//     methods the compiler can inline, touches only a struct-of-arrays
+//     sizes table on hits, and accumulates AppInstructions as integer
+//     bytes;
+//   - a generic interface kernel that additionally handles census and
+//     occupancy sampling and the verification wrapper — the fallback for
+//     every other policy and for Options{Verify: true}.
+//
+// Both kernels produce bit-identical Results: sizes are whole bytes, so
+// every partial float sum the old loop computed was an exact multiple of
+// 0.25 and converting the integer byte total once at the end yields the
+// same float64. The kernel equality tests and the golden quick-report
+// test enforce this.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"dynocache/internal/check"
+	"dynocache/internal/core"
+	"dynocache/internal/trace"
+)
+
+// replayTables is the struct-of-arrays view of a trace's block table.
+// The hot loop indexes sizes (one int32 load per access); the full
+// Superblock definitions — which drag a Links slice header through the
+// loop when copied — are only touched on the miss path.
+type replayTables struct {
+	sizes  []int32           // id -> size; 0 marks an undefined ID
+	blocks []core.Superblock // id -> full definition, for Insert on miss
+}
+
+// buildTables densifies a block table in one pass, also computing the
+// largest block (for capacity flooring) and the total bytes (maxCache).
+func buildTables(name string, blocks map[core.SuperblockID]core.Superblock) (t replayTables, maxBlock, totalBytes int, err error) {
+	var maxID core.SuperblockID
+	for id, sb := range blocks {
+		if id > maxID {
+			maxID = id
+		}
+		if sb.Size > maxBlock {
+			maxBlock = sb.Size
+		}
+		totalBytes += sb.Size
+	}
+	if maxBlock == 0 {
+		return replayTables{}, 0, 0, fmt.Errorf("sim: trace %q is empty", name)
+	}
+	if maxBlock > math.MaxInt32 {
+		return replayTables{}, 0, 0, fmt.Errorf("sim: trace %q block size %d exceeds the replay table limit", name, maxBlock)
+	}
+	t.sizes = make([]int32, int(maxID)+1)
+	t.blocks = make([]core.Superblock, int(maxID)+1)
+	for id, sb := range blocks {
+		t.blocks[id] = sb
+		t.sizes[id] = int32(sb.Size)
+	}
+	return t, maxBlock, totalBytes, nil
+}
+
+// replay carries one run's state across kernel invocations, so the same
+// kernels serve Run (one chunk: the whole access slice) and RunStream
+// (many pooled chunks).
+type replay struct {
+	traceName string
+	tables    replayTables
+
+	raw   core.Cache
+	cache core.Cache       // raw, possibly wrapped by the checker
+	fc    *core.FIFOCache  // non-nil when raw is the FIFO family
+	chk   *check.Checked   // non-nil in Verify mode
+	fast  bool             // devirtualized kernel selected
+
+	opts Options
+	res  *Result
+
+	instrBytes    uint64 // AppInstructions accumulated as bytes
+	idx           int    // accesses replayed so far (global index)
+	censusSamples int
+}
+
+// newReplay sizes the cache, builds the dense tables, and selects the
+// kernel. nAccesses presizes the occupancy timeline; it may be an
+// estimate for streamed traces.
+func newReplay(name string, blocks map[core.SuperblockID]core.Superblock, nAccesses int, policy core.Policy, pressure int, opts Options) (*replay, error) {
+	tables, maxBlock, totalBytes, err := buildTables(name, blocks)
+	if err != nil {
+		return nil, err
+	}
+	if pressure < 1 {
+		return nil, fmt.Errorf("sim: pressure factor must be >= 1, got %d", pressure)
+	}
+	capacity := totalBytes / pressure
+	if opts.Capacity > 0 {
+		capacity = opts.Capacity
+	}
+	capacity = effectiveCapacity(capacity, maxBlock)
+	raw, err := policy.New(capacity)
+	if err != nil {
+		return nil, err
+	}
+	fc, _ := raw.(*core.FIFOCache)
+	if fc != nil {
+		fc.Reserve(core.SuperblockID(len(tables.sizes) - 1))
+		// Replays insert each block's fixed trace definition, so the link
+		// adjacency is known up front; freezing it turns the cache's link
+		// maintenance into flat CSR walks (see core.FreezeLinks).
+		fc.FreezeLinks(tables.blocks, opts.DisableChaining)
+		if opts.RecordSamples {
+			fc.SetSampleRecording(true)
+		}
+	}
+	rp := &replay{
+		traceName: name,
+		tables:    tables,
+		raw:       raw,
+		cache:     raw,
+		fc:        fc,
+		opts:      opts,
+		res: &Result{
+			Benchmark: name,
+			Policy:    policy,
+			Pressure:  pressure,
+			Capacity:  capacity,
+		},
+	}
+	if opts.Verify {
+		rp.chk = check.Wrap(raw, policy)
+		rp.cache = rp.chk
+	}
+	// The devirtualized kernel has no sampling or verification hooks;
+	// any of those sends the run down the generic interface loop.
+	rp.fast = fc != nil && rp.chk == nil &&
+		opts.CensusEvery <= 0 && opts.OccupancyEvery <= 0 && !opts.ForceGeneric
+	if rp.fast {
+		// Nothing on the fast path reads the patched-link count mid-run,
+		// so the cache can defer it to queries.
+		fc.SetLazyPatchedCount(true)
+	}
+	if opts.OccupancyEvery > 0 {
+		rp.res.Occupancy = make([]OccupancySample, 0, nAccesses/opts.OccupancyEvery+1)
+	}
+	return rp, nil
+}
+
+// replayChunk advances the replay over one batch of accesses.
+func (rp *replay) replayChunk(ids []core.SuperblockID) error {
+	if rp.fast {
+		return rp.replayFIFO(ids)
+	}
+	return rp.replayGeneric(ids)
+}
+
+// replayFIFO is the devirtualized kernel: monomorphic calls into
+// *core.FIFOCache that the compiler inlines, one int32 load per hit, and
+// integer instruction accounting. Steady state performs zero heap
+// allocations (enforced by TestZeroAllocReplayKernel).
+func (rp *replay) replayFIFO(ids []core.SuperblockID) error {
+	fc := rp.fc
+	sizes := rp.tables.sizes
+	instr := rp.instrBytes
+	// Access outcomes are tallied locally and folded into the cache's
+	// counters once per chunk (equivalent to per-access Access calls:
+	// nothing observes the counters mid-chunk on this path).
+	var hits uint64
+	for i, id := range ids {
+		if int(id) >= len(sizes) || sizes[id] == 0 {
+			rp.instrBytes = instr
+			fc.BatchAccessStats(uint64(i), hits)
+			return fmt.Errorf("sim: trace %q access %d references undefined block %d", rp.traceName, rp.idx+i, id)
+		}
+		instr += uint64(sizes[id])
+		if fc.Contains(id) {
+			hits++
+			continue
+		}
+		sb := rp.tables.blocks[id]
+		if rp.opts.DisableChaining {
+			sb.Links = nil
+		}
+		if err := fc.Insert(sb); err != nil {
+			rp.instrBytes = instr
+			fc.BatchAccessStats(uint64(i)+1, hits)
+			return fmt.Errorf("sim: trace %q access %d: %w", rp.traceName, rp.idx+i, err)
+		}
+	}
+	rp.instrBytes = instr
+	rp.idx += len(ids)
+	fc.BatchAccessStats(uint64(len(ids)), hits)
+	return nil
+}
+
+// replayGeneric is the portable interface kernel: it mirrors the
+// original Run loop (interface dispatch per access) and carries the
+// census, occupancy, and verification hooks.
+func (rp *replay) replayGeneric(ids []core.SuperblockID) error {
+	cache := rp.cache
+	sizes := rp.tables.sizes
+	opts := rp.opts
+	for i, id := range ids {
+		gi := rp.idx + i
+		if int(id) >= len(sizes) || sizes[id] == 0 {
+			return fmt.Errorf("sim: trace %q access %d references undefined block %d", rp.traceName, gi, id)
+		}
+		rp.instrBytes += uint64(sizes[id])
+		if !cache.Access(id) {
+			sb := rp.tables.blocks[id]
+			if opts.DisableChaining {
+				sb.Links = nil
+			}
+			if err := cache.Insert(sb); err != nil {
+				return fmt.Errorf("sim: trace %q access %d: %w", rp.traceName, gi, err)
+			}
+		}
+		if rp.chk != nil {
+			if err := rp.chk.Err(); err != nil {
+				return fmt.Errorf("sim: trace %q access %d: verification failed: %w", rp.traceName, gi, err)
+			}
+		}
+		if opts.CensusEvery > 0 && (gi+1)%opts.CensusEvery == 0 {
+			intra, inter := cache.LinkCensus()
+			rp.res.MeanIntraLinks += float64(intra)
+			rp.res.MeanInterLinks += float64(inter)
+			rp.res.MeanBackPtrBytes += float64(cache.BackPtrTableBytes())
+			rp.censusSamples++
+		}
+		if opts.OccupancyEvery > 0 && (gi+1)%opts.OccupancyEvery == 0 {
+			intra, inter := cache.LinkCensus()
+			rp.res.Occupancy = append(rp.res.Occupancy, OccupancySample{
+				Access:        uint64(gi + 1),
+				ResidentBytes: cache.ResidentBytes(),
+				Resident:      cache.Resident(),
+				LiveLinks:     intra + inter,
+			})
+		}
+	}
+	rp.idx += len(ids)
+	return nil
+}
+
+// finish folds the accumulated state into the Result.
+func (rp *replay) finish() *Result {
+	res := rp.res
+	if rp.censusSamples > 0 {
+		res.MeanIntraLinks /= float64(rp.censusSamples)
+		res.MeanInterLinks /= float64(rp.censusSamples)
+		res.MeanBackPtrBytes /= float64(rp.censusSamples)
+	}
+	// Sizes are whole bytes, so this single conversion equals the exact
+	// per-access float sum the loop used to maintain.
+	res.AppInstructions = float64(rp.instrBytes) / 4
+	res.Stats = *rp.cache.Stats()
+	if rp.fc != nil && rp.opts.RecordSamples {
+		res.Samples = rp.fc.Samples()
+	}
+	return res
+}
+
+// RunStream replays a streamed trace against the policy at the given
+// cache pressure without materializing the access sequence: accesses
+// are decoded into pooled chunk buffers (shared across concurrent
+// replays, e.g. sweep workers) and fed through the same kernels as Run,
+// so the result is identical to Run on the materialized trace.
+func RunStream(st *trace.Stream, policy core.Policy, pressure int, opts Options) (*Result, error) {
+	nAccesses := st.NumAccesses()
+	if nAccesses > math.MaxInt32 {
+		return nil, fmt.Errorf("sim: trace %q declares %d accesses, too many to replay", st.Name, nAccesses)
+	}
+	rp, err := newReplay(st.Name, st.Blocks, int(nAccesses), policy, pressure, opts)
+	if err != nil {
+		return nil, err
+	}
+	buf := trace.GetAccessBuf()
+	defer trace.PutAccessBuf(buf)
+	for {
+		n, err := st.Next(buf)
+		if n > 0 {
+			if rerr := rp.replayChunk(buf[:n]); rerr != nil {
+				return nil, rerr
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sim: trace %q: %w", st.Name, err)
+		}
+	}
+	return rp.finish(), nil
+}

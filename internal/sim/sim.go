@@ -13,7 +13,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"dynocache/internal/check"
 	"dynocache/internal/core"
 	"dynocache/internal/overhead"
 	"dynocache/internal/trace"
@@ -46,6 +45,11 @@ type Options struct {
 	// policies. The first violation aborts the run with full context.
 	// Verified runs produce byte-identical results to unverified ones.
 	Verify bool
+	// ForceGeneric disables the type-specialized replay kernels and
+	// drives every access through the portable core.Cache interface
+	// loop. Results are identical either way; benchmarks and the kernel
+	// differential tests use this to compare the two paths.
+	ForceGeneric bool
 }
 
 // OccupancySample is one point of the occupancy timeline.
@@ -139,109 +143,19 @@ func CapacityFor(tr *trace.Trace, pressure int) (int, error) {
 	return effectiveCapacity(tr.TotalBytes()/pressure, maxBlock), nil
 }
 
-// Run replays tr against the policy at the given cache pressure.
+// Run replays tr against the policy at the given cache pressure. The
+// replay dispatches to a type-specialized kernel when the policy's cache
+// is the FIFO family and no sampling or verification hooks are active;
+// see kernel.go.
 func Run(tr *trace.Trace, policy core.Policy, pressure int, opts Options) (*Result, error) {
-	// One pass over the block table serves capacity sizing and builds the
-	// dense lookup used by the replay loop (trace IDs are dense, so a flat
-	// slice replaces a map lookup per access).
-	var maxID core.SuperblockID
-	maxBlock := 0
-	for id, sb := range tr.Blocks {
-		if id > maxID {
-			maxID = id
-		}
-		if sb.Size > maxBlock {
-			maxBlock = sb.Size
-		}
-	}
-	if maxBlock == 0 {
-		return nil, fmt.Errorf("sim: trace %q is empty", tr.Name)
-	}
-	blocks := make([]core.Superblock, int(maxID)+1)
-	for id, sb := range tr.Blocks {
-		blocks[id] = sb
-	}
-
-	if pressure < 1 {
-		return nil, fmt.Errorf("sim: pressure factor must be >= 1, got %d", pressure)
-	}
-	capacity := tr.TotalBytes() / pressure
-	if opts.Capacity > 0 {
-		capacity = opts.Capacity
-	}
-	capacity = effectiveCapacity(capacity, maxBlock)
-	raw, err := policy.New(capacity)
+	rp, err := newReplay(tr.Name, tr.Blocks, len(tr.Accesses), policy, pressure, opts)
 	if err != nil {
 		return nil, err
 	}
-	if opts.RecordSamples {
-		if fc, ok := raw.(*core.FIFOCache); ok {
-			fc.SetSampleRecording(true)
-		}
+	if err := rp.replayChunk(tr.Accesses); err != nil {
+		return nil, err
 	}
-	cache := raw
-	var chk *check.Checked
-	if opts.Verify {
-		chk = check.Wrap(raw, policy)
-		cache = chk
-	}
-
-	res := &Result{
-		Benchmark: tr.Name,
-		Policy:    policy,
-		Pressure:  pressure,
-		Capacity:  capacity,
-	}
-	if opts.OccupancyEvery > 0 {
-		res.Occupancy = make([]OccupancySample, 0, len(tr.Accesses)/opts.OccupancyEvery+1)
-	}
-	var censusSamples int
-	for i, id := range tr.Accesses {
-		if int(id) >= len(blocks) || blocks[id].Size == 0 {
-			return nil, fmt.Errorf("sim: trace %q access %d references undefined block %d", tr.Name, i, id)
-		}
-		sb := blocks[id]
-		res.AppInstructions += float64(sb.Size) / 4
-		if !cache.Access(id) {
-			if opts.DisableChaining {
-				sb.Links = nil
-			}
-			if err := cache.Insert(sb); err != nil {
-				return nil, fmt.Errorf("sim: trace %q access %d: %w", tr.Name, i, err)
-			}
-		}
-		if chk != nil {
-			if err := chk.Err(); err != nil {
-				return nil, fmt.Errorf("sim: trace %q access %d: verification failed: %w", tr.Name, i, err)
-			}
-		}
-		if opts.CensusEvery > 0 && (i+1)%opts.CensusEvery == 0 {
-			intra, inter := cache.LinkCensus()
-			res.MeanIntraLinks += float64(intra)
-			res.MeanInterLinks += float64(inter)
-			res.MeanBackPtrBytes += float64(cache.BackPtrTableBytes())
-			censusSamples++
-		}
-		if opts.OccupancyEvery > 0 && (i+1)%opts.OccupancyEvery == 0 {
-			intra, inter := cache.LinkCensus()
-			res.Occupancy = append(res.Occupancy, OccupancySample{
-				Access:        uint64(i + 1),
-				ResidentBytes: cache.ResidentBytes(),
-				Resident:      cache.Resident(),
-				LiveLinks:     intra + inter,
-			})
-		}
-	}
-	if censusSamples > 0 {
-		res.MeanIntraLinks /= float64(censusSamples)
-		res.MeanInterLinks /= float64(censusSamples)
-		res.MeanBackPtrBytes /= float64(censusSamples)
-	}
-	res.Stats = *cache.Stats()
-	if fc, ok := raw.(*core.FIFOCache); ok && opts.RecordSamples {
-		res.Samples = fc.Samples()
-	}
-	return res, nil
+	return rp.finish(), nil
 }
 
 // SweepResult indexes results by [policy][benchmark].
@@ -252,10 +166,30 @@ type SweepResult struct {
 	Results [][]*Result
 }
 
+// runJob is the per-job replay Sweep dispatches to; tests of the sweep's
+// failure handling swap it for an instrumented stand-in.
+var runJob = Run
+
+// sweepWorkers caps the worker pool at the job count: a sweep of three
+// (policy, trace) pairs on a 64-core machine spawns three goroutines,
+// not 64 idle ones.
+func sweepWorkers(jobs int) int {
+	w := runtime.GOMAXPROCS(0)
+	if jobs < w {
+		w = jobs
+	}
+	return w
+}
+
 // Sweep replays every trace against every policy at one pressure factor,
 // in parallel across available CPUs. Results are deterministic: each
 // (policy, trace) simulation is independent and stored by index.
 func Sweep(traces []*trace.Trace, policies []core.Policy, pressure int, opts Options) (*SweepResult, error) {
+	return sweep(traces, policies, pressure, opts, sweepWorkers(len(policies)*len(traces)))
+}
+
+// sweep runs the job pool with an explicit worker count.
+func sweep(traces []*trace.Trace, policies []core.Policy, pressure int, opts Options, workers int) (*SweepResult, error) {
 	sw := &SweepResult{
 		Policies: policies,
 		Results:  make([][]*Result, len(policies)),
@@ -279,7 +213,6 @@ func Sweep(traces []*trace.Trace, policies []core.Policy, pressure int, opts Opt
 		firstErr error
 		failed   atomic.Bool
 	)
-	workers := runtime.GOMAXPROCS(0)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -290,7 +223,7 @@ func Sweep(traces []*trace.Trace, policies []core.Policy, pressure int, opts Opt
 				if failed.Load() {
 					continue
 				}
-				res, err := Run(traces[j.b], policies[j.p], pressure, opts)
+				res, err := runJob(traces[j.b], policies[j.p], pressure, opts)
 				if err != nil {
 					failed.Store(true)
 					errOnce.Do(func() {

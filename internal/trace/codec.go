@@ -84,9 +84,9 @@ func (t *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read deserializes a trace from r.
-func Read(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
+// decodeHeader reads the magic, version, name, and block table, leaving
+// br positioned at the access count. Shared by Read and NewStream.
+func decodeHeader(br *bufio.Reader) (*Trace, error) {
 	head := make([]byte, 4)
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("trace: read magic: %w", err)
@@ -149,26 +149,41 @@ func Read(r io.Reader) (*Trace, error) {
 			return nil, err
 		}
 	}
-	var nAccesses uint64
-	if err := binary.Read(br, binary.LittleEndian, &nAccesses); err != nil {
+	return t, nil
+}
+
+// Read deserializes a trace from r, materializing the full access
+// sequence. It is built on the streaming decoder; callers that replay
+// without needing the whole slice in memory should use NewStream.
+func Read(r io.Reader) (*Trace, error) {
+	st, err := NewStream(r)
+	if err != nil {
 		return nil, err
 	}
+	t := &Trace{Name: st.Name, Blocks: st.Blocks}
 	// Never trust a length field with an allocation: a corrupt header
 	// could claim 2^60 accesses. Preallocate a bounded amount and let
 	// append grow if the data really is that large.
-	prealloc := nAccesses
+	prealloc := st.NumAccesses()
 	if prealloc > 1<<20 {
 		prealloc = 1 << 20
 	}
 	if prealloc > 0 {
 		t.Accesses = make([]core.SuperblockID, 0, prealloc)
 	}
-	buf := make([]byte, 4)
-	for i := uint64(0); i < nAccesses; i++ {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("trace: access %d: %w", i, err)
+	buf := GetAccessBuf()
+	defer PutAccessBuf(buf)
+	for {
+		n, err := st.Next(buf)
+		if n > 0 {
+			t.Accesses = append(t.Accesses, buf[:n]...)
 		}
-		t.Accesses = append(t.Accesses, core.SuperblockID(binary.LittleEndian.Uint32(buf)))
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"dynocache/internal/core"
+)
+
+// Stream is an incremental decoder for the binary trace format: the
+// header and block table are decoded eagerly (capacity sizing and link
+// validation need the whole table), while the access sequence — the bulk
+// of a trace file — is decoded in caller-sized chunks on demand. A
+// replayer can therefore drive millions of accesses through the
+// simulator while holding only one chunk of them in memory, instead of
+// materializing the full access slice the way Read does.
+//
+// A Stream is single-use and not safe for concurrent use; concurrent
+// replays (e.g. sweep workers) each open their own Stream and share the
+// chunk-buffer pool (GetAccessBuf/PutAccessBuf).
+type Stream struct {
+	// Name is the benchmark name from the trace header.
+	Name string
+	// Blocks is the fully decoded superblock table (validated: no
+	// dangling link targets). Callers must not mutate it while streaming.
+	Blocks map[core.SuperblockID]core.Superblock
+
+	nAccesses uint64 // declared access count
+	read      uint64 // accesses decoded so far
+	br        *bufio.Reader
+	closer    io.Closer // non-nil when the stream owns the underlying file
+	scratch   []byte    // reused byte buffer for batched u32 decoding
+}
+
+// NewStream decodes the header and block table from r and returns a
+// stream positioned at the first access. Unlike Read, access IDs are not
+// validated against the block table — consumers that replay (package
+// sim) reject undefined IDs per access; consumers that need full
+// validation should use Read.
+func NewStream(r io.Reader) (*Stream, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	t, err := decodeHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.ValidateBlocks(); err != nil {
+		return nil, err
+	}
+	var nAccesses uint64
+	if err := binary.Read(br, binary.LittleEndian, &nAccesses); err != nil {
+		return nil, err
+	}
+	return &Stream{
+		Name:      t.Name,
+		Blocks:    t.Blocks,
+		nAccesses: nAccesses,
+		br:        br,
+	}, nil
+}
+
+// OpenStream opens a trace file for streaming. The returned stream owns
+// the file; call Close when done.
+func OpenStream(path string) (*Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	st, err := NewStream(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	st.closer = f
+	return st, nil
+}
+
+// NumAccesses returns the access count declared in the trace header.
+func (s *Stream) NumAccesses() uint64 { return s.nAccesses }
+
+// Remaining returns how many accesses have not been decoded yet.
+func (s *Stream) Remaining() uint64 { return s.nAccesses - s.read }
+
+// Next decodes up to len(dst) accesses into dst and returns how many
+// were filled. It returns (0, io.EOF) once every declared access has
+// been decoded. A short or corrupt file surfaces as a decoding error
+// carrying the index of the first undecodable access.
+func (s *Stream) Next(dst []core.SuperblockID) (int, error) {
+	if s.read == s.nAccesses {
+		return 0, io.EOF
+	}
+	n := uint64(len(dst))
+	if rem := s.nAccesses - s.read; n > rem {
+		n = rem
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	if s.scratch == nil {
+		s.scratch = make([]byte, 16*1024)
+	}
+	filled := uint64(0)
+	for filled < n {
+		k := n - filled
+		if max := uint64(len(s.scratch) / 4); k > max {
+			k = max
+		}
+		buf := s.scratch[:4*k]
+		if _, err := io.ReadFull(s.br, buf); err != nil {
+			return int(filled), fmt.Errorf("trace: access %d: %w", s.read+filled, err)
+		}
+		for i := uint64(0); i < k; i++ {
+			dst[filled+i] = core.SuperblockID(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		filled += k
+		s.read += k
+	}
+	return int(filled), nil
+}
+
+// Close releases the underlying file when the stream was opened with
+// OpenStream; it is a no-op for reader-backed streams.
+func (s *Stream) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	err := s.closer.Close()
+	s.closer = nil
+	return err
+}
+
+// AccessChunk is the length of pooled access buffers: large enough that
+// per-chunk overhead vanishes against replay work, small enough that a
+// full sweep's worth of concurrent streams stays in cache-friendly
+// territory (64Ki IDs = 256 KiB per worker).
+const AccessChunk = 1 << 16
+
+// accessBufPool shares chunk buffers across concurrent streaming
+// replays — sweep workers return their buffer when a run finishes, so a
+// sweep allocates at most one chunk per live worker, not per run.
+var accessBufPool = sync.Pool{
+	New: func() any {
+		buf := make([]core.SuperblockID, AccessChunk)
+		return &buf
+	},
+}
+
+// GetAccessBuf returns a pooled access buffer of length AccessChunk.
+func GetAccessBuf() []core.SuperblockID {
+	return *accessBufPool.Get().(*[]core.SuperblockID)
+}
+
+// PutAccessBuf returns a buffer obtained from GetAccessBuf to the pool.
+func PutAccessBuf(buf []core.SuperblockID) {
+	if cap(buf) < AccessChunk {
+		return
+	}
+	buf = buf[:AccessChunk]
+	accessBufPool.Put(&buf)
+}

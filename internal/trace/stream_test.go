@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dynocache/internal/core"
+)
+
+// drainStream decodes every access through chunks of the given size.
+func drainStream(t *testing.T, st *Stream, chunk int) []core.SuperblockID {
+	t.Helper()
+	var out []core.SuperblockID
+	dst := make([]core.SuperblockID, chunk)
+	for {
+		n, err := st.Next(dst)
+		out = append(out, dst[:n]...)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStreamMatchesRead(t *testing.T) {
+	tr := buildTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	want, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 2, 3, 64, len(tr.Accesses), len(tr.Accesses) + 7} {
+		st, err := NewStream(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Name != want.Name {
+			t.Fatalf("chunk %d: Name = %q, want %q", chunk, st.Name, want.Name)
+		}
+		if !reflect.DeepEqual(st.Blocks, want.Blocks) {
+			t.Fatalf("chunk %d: block tables differ", chunk)
+		}
+		if got := st.NumAccesses(); got != uint64(len(want.Accesses)) {
+			t.Fatalf("chunk %d: NumAccesses = %d, want %d", chunk, got, len(want.Accesses))
+		}
+		if got := drainStream(t, st, chunk); !reflect.DeepEqual(got, want.Accesses) {
+			t.Fatalf("chunk %d: accesses = %v, want %v", chunk, got, want.Accesses)
+		}
+		if st.Remaining() != 0 {
+			t.Fatalf("chunk %d: Remaining = %d after drain", chunk, st.Remaining())
+		}
+	}
+}
+
+func TestStreamV1Compat(t *testing.T) {
+	tr := buildTrace(t)
+	raw := writeV1(t, tr)
+	want, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStream(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Blocks, want.Blocks) {
+		t.Fatal("v1 block tables differ between Stream and Read")
+	}
+	if got := drainStream(t, st, 4); !reflect.DeepEqual(got, want.Accesses) {
+		t.Fatalf("v1 accesses = %v, want %v", got, want.Accesses)
+	}
+}
+
+func TestStreamNextAfterEOF(t *testing.T) {
+	tr := buildTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainStream(t, st, 16)
+	for i := 0; i < 2; i++ {
+		n, err := st.Next(make([]core.SuperblockID, 4))
+		if n != 0 || err != io.EOF {
+			t.Fatalf("Next after EOF = (%d, %v), want (0, io.EOF)", n, err)
+		}
+	}
+}
+
+func TestStreamEmptyDst(t *testing.T) {
+	tr := buildTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := st.Next(nil); n != 0 || err != nil {
+		t.Fatalf("Next(nil) = (%d, %v), want (0, nil)", n, err)
+	}
+	if got := drainStream(t, st, 3); len(got) != len(tr.Accesses) {
+		t.Fatalf("drained %d accesses after Next(nil), want %d", len(got), len(tr.Accesses))
+	}
+}
+
+func TestStreamTruncated(t *testing.T) {
+	tr := buildTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-way through the access section: the header decodes, the
+	// tail errors with the index of the first undecodable access.
+	raw := buf.Bytes()[:buf.Len()-6]
+	st, err := NewStream(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]core.SuperblockID, len(tr.Accesses))
+	_, err = st.Next(dst)
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("truncated access section: err = %v, want decode error", err)
+	}
+}
+
+func TestStreamHeaderErrors(t *testing.T) {
+	if _, err := NewStream(bytes.NewReader([]byte("JUNKJUNK"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Dangling link target: block validation runs eagerly.
+	tr := New("bad")
+	if err := tr.Define(core.Superblock{ID: 1, Size: 10}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Blocks[1] = core.Superblock{ID: 1, Size: 10, Links: []core.SuperblockID{99}}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStream(&buf); err == nil {
+		t.Error("dangling link target should fail eager validation")
+	}
+}
+
+func TestOpenStream(t *testing.T) {
+	tr := buildTrace(t)
+	path := filepath.Join(t.TempDir(), "t.trace")
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainStream(t, st, 4); !reflect.DeepEqual(got, tr.Accesses) {
+		t.Fatalf("accesses = %v, want %v", got, tr.Accesses)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal("second Close should be a no-op, got", err)
+	}
+	if _, err := OpenStream(filepath.Join(t.TempDir(), "missing.trace")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestAccessBufPool(t *testing.T) {
+	buf := GetAccessBuf()
+	if len(buf) != AccessChunk {
+		t.Fatalf("GetAccessBuf len = %d, want %d", len(buf), AccessChunk)
+	}
+	PutAccessBuf(buf)
+	// Undersized buffers are dropped, not pooled.
+	PutAccessBuf(make([]core.SuperblockID, 8))
+	if got := GetAccessBuf(); len(got) != AccessChunk {
+		t.Fatalf("pool returned %d-element buffer, want %d", len(got), AccessChunk)
+	}
+}
+
+// FuzzStream cross-checks the streaming decoder against Read on
+// arbitrary input: both must agree on accept/reject, and on accepted
+// input the decoded trace must be identical.
+func FuzzStream(f *testing.F) {
+	tr := buildTrace(f)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:buf.Len()-3])
+	f.Add([]byte("DYTRACE"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, wantErr := Read(bytes.NewReader(data))
+		st, err := NewStream(bytes.NewReader(data))
+		if err != nil {
+			if wantErr == nil {
+				t.Fatalf("Stream rejected input Read accepted: %v", err)
+			}
+			return
+		}
+		var accesses []core.SuperblockID
+		dst := make([]core.SuperblockID, 64)
+		for {
+			n, nerr := st.Next(dst)
+			accesses = append(accesses, dst[:n]...)
+			if nerr == io.EOF {
+				break
+			}
+			if nerr != nil {
+				// Read validates access IDs against the block table;
+				// Stream defers that to the consumer. Streaming may
+				// therefore fail later (truncation) or not at all.
+				return
+			}
+		}
+		if wantErr != nil {
+			// Read's extra validation (undefined access IDs) can reject
+			// input the streaming decoder structurally accepts.
+			return
+		}
+		if !reflect.DeepEqual(st.Blocks, want.Blocks) {
+			t.Fatal("block tables diverge")
+		}
+		if len(accesses) != len(want.Accesses) {
+			t.Fatalf("decoded %d accesses, Read got %d", len(accesses), len(want.Accesses))
+		}
+		for i := range accesses {
+			if accesses[i] != want.Accesses[i] {
+				t.Fatalf("access %d: %d != %d", i, accesses[i], want.Accesses[i])
+			}
+		}
+	})
+}

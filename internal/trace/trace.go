@@ -69,6 +69,13 @@ func (t *Trace) Validate() error {
 			return fmt.Errorf("trace: access %d references undefined superblock %d", i, id)
 		}
 	}
+	return t.ValidateBlocks()
+}
+
+// ValidateBlocks checks the block table alone: keys match embedded IDs
+// and every link target is defined. The streaming decoder runs this at
+// open time, before any access has been decoded.
+func (t *Trace) ValidateBlocks() error {
 	for id, sb := range t.Blocks {
 		if sb.ID != id {
 			return fmt.Errorf("trace: block table key %d holds superblock %d", id, sb.ID)

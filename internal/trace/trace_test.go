@@ -11,7 +11,7 @@ import (
 	"dynocache/internal/core"
 )
 
-func buildTrace(t *testing.T) *Trace {
+func buildTrace(t testing.TB) *Trace {
 	t.Helper()
 	tr := New("gzip")
 	blocks := []core.Superblock{

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Run the pinned benchmark suite and write BENCH_report.json.
+#
+#   scripts/bench.sh                 # full-scale replay trace (CI, reports)
+#   BENCH_SCALE=0.05 scripts/bench.sh  # quick smoke
+#
+# Environment:
+#   BENCH_SCALE     replay trace scale (default 1.0)
+#   BENCH_PRESSURE  cache pressure factor (default 2)
+#   BENCH_TIME      measurement window per benchmark (default 1s)
+#   BENCH_OUT       report path (default BENCH_report.json)
+#   BENCH_BASELINE  commit to measure an out-of-tree replay baseline at
+#                   (checked out into a throwaway worktree; sim.Run there
+#                   is timed on the same trace and embedded in the report)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${BENCH_SCALE:-1.0}"
+PRESSURE="${BENCH_PRESSURE:-2}"
+BENCHTIME="${BENCH_TIME:-1s}"
+OUT="${BENCH_OUT:-BENCH_report.json}"
+BASELINE="${BENCH_BASELINE:-}"
+
+BASEFLAGS=()
+if [[ -n "$BASELINE" ]]; then
+  WT="$(mktemp -d)/baseline"
+  git worktree add --quiet "$WT" "$BASELINE"
+  trap 'git worktree remove --force "$WT" >/dev/null 2>&1 || true' EXIT
+  mkdir -p "$WT/cmd/baseline-bench"
+  cp scripts/baseline_bench.go.txt "$WT/cmd/baseline-bench/main.go"
+  (cd "$WT" && go build -o /tmp/dynocache-baseline ./cmd/baseline-bench)
+  read -r NS ALLOCS < <(/tmp/dynocache-baseline -bench word -scale "$SCALE" -pressure "$PRESSURE" -benchtime "$BENCHTIME")
+  BASEFLAGS=(-baseline-commit "$(git rev-parse --short "$BASELINE")" -baseline-ns "$NS" -baseline-allocs "$ALLOCS")
+fi
+
+go build -o /tmp/dynocache-bench ./cmd/dynocache-bench
+/tmp/dynocache-bench -scale "$SCALE" -pressure "$PRESSURE" -benchtime "$BENCHTIME" -o "$OUT" "${BASEFLAGS[@]}"
+echo "wrote $OUT"

@@ -25,7 +25,7 @@ check() {
     fi
 }
 
-check ./internal/core 89.5
-check ./internal/sim 97.0
+check ./internal/core 90.9
+check ./internal/sim 97.8
 
 exit $fail
