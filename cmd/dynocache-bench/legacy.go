@@ -49,8 +49,8 @@ func legacyRun(tr *trace.Trace, policy core.Policy, pressure int, opts sim.Optio
 		return nil, err
 	}
 	if opts.RecordSamples {
-		if fc, ok := raw.(*core.FIFOCache); ok {
-			fc.SetSampleRecording(true)
+		if s, ok := raw.(sampleRecorder); ok {
+			s.SetSampleRecording(true)
 		}
 	}
 	cache := raw
@@ -100,8 +100,15 @@ func legacyRun(tr *trace.Trace, policy core.Policy, pressure int, opts sim.Optio
 		res.MeanBackPtrBytes /= float64(censusSamples)
 	}
 	res.Stats = *cache.Stats()
-	if fc, ok := raw.(*core.FIFOCache); ok && opts.RecordSamples {
-		res.Samples = fc.Samples()
+	if s, ok := raw.(sampleRecorder); ok && opts.RecordSamples {
+		res.Samples = s.Samples()
 	}
 	return res, nil
+}
+
+// sampleRecorder is any cache that can record eviction samples; every
+// engine-backed policy qualifies.
+type sampleRecorder interface {
+	SetSampleRecording(on bool)
+	Samples() []core.EvictionSample
 }

@@ -15,9 +15,22 @@
 // and insists the results are identical, so the speedups it reports are
 // speedups of the same computation.
 //
+// The replayed policy defaults to fine-grained FIFO and can be pinned to
+// any core policy name with -policy (e.g. -policy lru, -policy 8-unit,
+// -policy generational/8). A comparison row replays the same trace under
+// LRU so the report always carries at least one non-FIFO kernel number.
+//
+// With -gate, the freshly measured report is compared against a committed
+// one and the run fails if replay throughput regressed by more than
+// -gate-drop (default 15%). The gated metric is replay_speedup_vs_legacy —
+// a within-process ratio, so it transfers across machines of different
+// absolute speed.
+//
 // Usage:
 //
 //	dynocache-bench -scale 1.0 -pressure 2 -o BENCH_report.json
+//	dynocache-bench -policy lru -o -
+//	dynocache-bench -gate BENCH_report.json -o BENCH_report.ci.json
 package main
 
 import (
@@ -55,6 +68,7 @@ type benchReport struct {
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 
 	Trace    string  `json:"trace"`
+	Policy   string  `json:"policy"`
 	Blocks   int     `json:"blocks"`
 	Accesses int     `json:"accesses"`
 	Bytes    int     `json:"bytes"`
@@ -96,6 +110,7 @@ func main() {
 
 func run() error {
 	bench := flag.String("bench", "word", "Table 1 benchmark to replay (word is the largest)")
+	policyName := flag.String("policy", "fifo", "eviction policy for the replay rows (any name core.ParsePolicy accepts)")
 	scale := flag.Float64("scale", 1.0, "workload scale for the replay trace")
 	sweepScale := flag.Float64("sweep-scale", 0.05, "workload scale for the sweep benchmark")
 	pressure := flag.Int("pressure", 2, "cache pressure factor n (capacity = maxCache/n)")
@@ -104,6 +119,8 @@ func run() error {
 	baselineNs := flag.Float64("baseline-ns", 0, "out-of-tree baseline replay ns/op (same trace, scale, pressure)")
 	baselineAllocs := flag.Int64("baseline-allocs", 0, "out-of-tree baseline replay allocs/op")
 	benchtime := flag.String("benchtime", "1s", "measurement window per benchmark (longer = steadier on busy machines)")
+	gate := flag.String("gate", "", "committed report to gate against (fail on replay throughput regression)")
+	gateDrop := flag.Float64("gate-drop", 0.15, "max tolerated fractional drop of replay_speedup_vs_legacy under -gate")
 	flag.Parse()
 
 	// testing.Benchmark reads the measurement window from the testing
@@ -121,10 +138,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	policy := core.Policy{Kind: core.PolicyFine}
+	policy, err := core.ParsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	lruPolicy := core.Policy{Kind: core.PolicyLRU}
 
 	if err := selfCheck(tr, policy, *pressure); err != nil {
 		return err
+	}
+	if policy != lruPolicy {
+		if err := selfCheck(tr, lruPolicy, *pressure); err != nil {
+			return err
+		}
 	}
 
 	rep := &benchReport{
@@ -132,6 +158,7 @@ func run() error {
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Trace:       tr.Name,
+		Policy:      policy.String(),
 		Blocks:      tr.NumBlocks(),
 		Accesses:    len(tr.Accesses),
 		Bytes:       tr.TotalBytes(),
@@ -208,6 +235,20 @@ func run() error {
 		}
 	})
 
+	if policy != lruPolicy {
+		// The cross-policy comparison row: the same trace replayed under
+		// LRU on its devirtualized kernel, so the report always quantifies
+		// the engine's cost beyond the FIFO family.
+		record("replay/lru", accesses, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(tr, lruPolicy, *pressure, sim.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
 	sweepTraces, sweepAccesses, err := sweepWorkload(*sweepScale)
 	if err != nil {
 		return err
@@ -258,10 +299,44 @@ func run() error {
 	}
 	doc = append(doc, '\n')
 	if *out == "-" {
-		_, err = os.Stdout.Write(doc)
+		if _, err = os.Stdout.Write(doc); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, doc, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(*out, doc, 0o644)
+
+	if *gate != "" {
+		return gateAgainst(rep, *gate, *gateDrop)
+	}
+	return nil
+}
+
+// gateAgainst compares the fresh report's replay speedup against a
+// committed report and fails on a regression beyond maxDrop. The gated
+// metric is the specialized kernel's throughput relative to the frozen
+// legacy loop measured in the same process, which cancels out the raw
+// speed of the machine running the comparison.
+func gateAgainst(rep *benchReport, path string, maxDrop float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("gate: %w", err)
+	}
+	var committed benchReport
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		return fmt.Errorf("gate: parse %s: %w", path, err)
+	}
+	if committed.ReplaySpeedupVsLegacy <= 0 {
+		return fmt.Errorf("gate: %s has no replay_speedup_vs_legacy to gate against", path)
+	}
+	floor := committed.ReplaySpeedupVsLegacy * (1 - maxDrop)
+	fmt.Fprintf(os.Stderr, "gate: replay speedup vs legacy %.2fx, committed %.2fx, floor %.2fx\n",
+		rep.ReplaySpeedupVsLegacy, committed.ReplaySpeedupVsLegacy, floor)
+	if rep.ReplaySpeedupVsLegacy < floor {
+		return fmt.Errorf("gate: replay speedup vs legacy regressed to %.2fx, more than %.0f%% below the committed %.2fx (%s)",
+			rep.ReplaySpeedupVsLegacy, maxDrop*100, committed.ReplaySpeedupVsLegacy, path)
+	}
+	return nil
 }
 
 // selfCheck replays the trace once through every loop the report times

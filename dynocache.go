@@ -26,7 +26,6 @@ package dynocache
 import (
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
 
 	"dynocache/internal/core"
@@ -120,39 +119,11 @@ func NewCache(p Policy, capacity int) (Cache, error) { return p.New(capacity) }
 // "lru", "compacting-lru", "adaptive", "preemptive", "N-unit" (e.g.
 // "8-unit"), or "generational/N".
 func ParsePolicy(s string) (Policy, error) {
-	s = strings.ToLower(strings.TrimSpace(s))
-	switch s {
-	case "flush":
-		return Flush(), nil
-	case "fifo", "fine":
-		return FineGrained(), nil
-	case "lru":
-		return LRU(), nil
-	case "compacting-lru":
-		return Policy{Kind: core.PolicyCompactingLRU}, nil
-	case "adaptive":
-		return Adaptive(), nil
-	case "preemptive":
-		return PreemptiveFlush(), nil
+	p, err := core.ParsePolicy(s)
+	if err != nil {
+		return Policy{}, fmt.Errorf("dynocache: %s", strings.TrimPrefix(err.Error(), "core: "))
 	}
-	if rest, ok := strings.CutPrefix(s, "generational/"); ok {
-		n, err := strconv.Atoi(rest)
-		if err != nil || n < 1 {
-			return Policy{}, fmt.Errorf("dynocache: bad generational unit count %q", rest)
-		}
-		return Generational(n), nil
-	}
-	if unitStr, ok := strings.CutSuffix(s, "-unit"); ok {
-		n, err := strconv.Atoi(unitStr)
-		if err != nil || n < 1 {
-			return Policy{}, fmt.Errorf("dynocache: bad unit count %q", unitStr)
-		}
-		if n == 1 {
-			return Flush(), nil
-		}
-		return MediumGrained(n), nil
-	}
-	return Policy{}, fmt.Errorf("dynocache: unknown policy %q", s)
+	return p, nil
 }
 
 // Benchmarks returns the paper's 20 calibrated benchmark profiles

@@ -44,9 +44,39 @@ type structuralChecker interface {
 }
 
 // patchedCounter is implemented by caches exposing their patched-link
-// count (the FIFO family).
+// count (every in-tree policy).
 type patchedCounter interface {
 	PatchedLinks() int
+}
+
+// referenceOracle is a policy's independent reference model, replayed in
+// lockstep with the engine. Implementations must share no state with the
+// engine under test; everything is re-derived from the paper's semantics.
+type referenceOracle interface {
+	Access(id core.SuperblockID) bool
+	Insert(sb core.Superblock)
+	AddLink(from, to core.SuperblockID)
+	Flush()
+	Stats() *core.Stats
+	Contains(id core.SuperblockID) bool
+	Resident() int
+	ResidentBytes() int
+	PatchedLinks() int
+	BackPtrTableBytes() int
+	// forEachResident visits every oracle-resident block (a block in two
+	// generations may be visited twice); tallyBytes re-derives the
+	// occupied-byte sum for the oracle's own ledger self-check.
+	forEachResident(func(id core.SuperblockID))
+	tallyBytes() int
+}
+
+// generationalParts is what the generational oracle needs from the cache
+// under test to mirror its configuration: the live sub-cache geometries
+// (post-rounding) and the promotion threshold.
+type generationalParts interface {
+	Nursery() *core.FIFOCache
+	Tenured() *core.FIFOCache
+	PromotionThreshold() int
 }
 
 // Checked wraps a core.Cache and validates it after every operation. Two
@@ -58,13 +88,14 @@ type patchedCounter interface {
 //     CheckInvariants — the structural self-checks (queue tiling, no block
 //     resident twice, link/back-pointer symmetry, no dangling inter-unit
 //     links after unit flushes);
-//   - the oracle differ: for the FIFO family (FLUSH, n-unit, fine FIFO) a
-//     map-based reference simulator replays every operation and the two
-//     must agree on residency, resident counts and bytes, patched links,
-//     and the entire core.Stats counter set. FIFO circular eviction order
-//     and minimum-sufficient-bytes fine eviction are enforced here: any
-//     wrong victim choice desynchronizes the residency sets or the
-//     BytesEvicted counter.
+//   - the oracle differ: for the FIFO family (FLUSH, n-unit, fine FIFO),
+//     LRU, and the generational composite, a map-based reference simulator
+//     replays every operation and the two must agree on residency,
+//     resident counts and bytes, patched links, and the entire core.Stats
+//     counter set. FIFO circular eviction order, minimum-sufficient-bytes
+//     fine eviction, LRU victim recency and first-fit placement, and
+//     generational promotion are enforced here: any wrong victim choice
+//     desynchronizes the residency sets or the BytesEvicted counter.
 //
 // The wrapper is transparent: it never mutates the inner cache beyond
 // delegating, so a verified run produces byte-identical results to an
@@ -73,7 +104,7 @@ type patchedCounter interface {
 // checks are skipped so the original divergence is never masked.
 type Checked struct {
 	inner  core.Cache
-	oracle *Oracle // nil when the policy has no reference model
+	oracle referenceOracle // nil when the policy has no reference model
 	strict structuralChecker
 	// evictLEInsert enables the "evicted <= inserted" counter identity; it
 	// holds for single-arena policies but not for the generational cache,
@@ -87,8 +118,8 @@ type Checked struct {
 var _ core.Cache = (*Checked)(nil)
 
 // Wrap builds the verification wrapper for a cache instantiated from the
-// given policy. Every policy gets the invariant wall; the FIFO family
-// additionally gets the oracle differ.
+// given policy. Every policy gets the invariant wall; the FIFO family,
+// LRU, and the generational composite additionally get the oracle differ.
 func Wrap(inner core.Cache, p core.Policy) *Checked {
 	c := &Checked{inner: inner, evictLEInsert: p.Kind != core.PolicyGenerational}
 	if sc, ok := inner.(structuralChecker); ok {
@@ -100,6 +131,20 @@ func Wrap(inner core.Cache, p core.Policy) *Checked {
 		// equal-unit multiple); build the oracle over the same arena.
 		if o, err := NewOracle(p, inner.Capacity()); err == nil {
 			c.oracle = o
+		}
+	case core.PolicyLRU:
+		if o, err := newLRUOracle(inner.Capacity()); err == nil {
+			c.oracle = o
+		}
+	case core.PolicyGenerational:
+		// Mirror the engine's live geometry (nursery/tenured capacities
+		// after rounding, tenured unit count, promotion threshold) instead
+		// of re-deriving it from the policy spec, so the oracle cannot
+		// drift on integer-rounding details.
+		if g, ok := inner.(generationalParts); ok {
+			if o, err := newGenerationalOracle(g); err == nil {
+				c.oracle = o
+			}
 		}
 	}
 	return c
@@ -155,8 +200,8 @@ func (c *Checked) BackPtrTableBytes() int { return c.inner.BackPtrTableBytes() }
 
 // Samples forwards to the wrapped cache when it records eviction samples.
 func (c *Checked) Samples() []core.EvictionSample {
-	if fc, ok := c.inner.(*core.FIFOCache); ok {
-		return fc.Samples()
+	if s, ok := c.inner.(interface{ Samples() []core.EvictionSample }); ok {
+		return s.Samples()
 	}
 	return nil
 }
@@ -270,11 +315,13 @@ func (c *Checked) sweepResidency(op string, id core.SuperblockID) {
 	if c.first != nil {
 		return
 	}
-	for rid := range c.oracle.resident {
-		if !c.inner.Contains(rid) {
+	c.oracle.forEachResident(func(rid core.SuperblockID) {
+		if c.first == nil && !c.inner.Contains(rid) {
 			c.fail(op, id, fmt.Sprintf("oracle-resident block %d in engine", rid), "absent", "resident")
-			return
 		}
+	})
+	if c.first != nil {
+		return
 	}
 	if got, want := c.oracle.ResidentBytes(), c.oracle.tallyBytes(); got != want {
 		c.fail(op, id, "oracle byte counter vs tally", fmt.Sprint(got), fmt.Sprint(want))

@@ -41,7 +41,8 @@ func randomTrace(t *testing.T, name string, blocks, accesses int, seed uint64) *
 	return tr
 }
 
-// oraclePolicies is the FIFO family the oracle models.
+// oraclePolicies is every policy with a reference model: the FIFO family,
+// LRU, and the generational composite.
 func oraclePolicies() []core.Policy {
 	return []core.Policy{
 		{Kind: core.PolicyFlush},
@@ -49,6 +50,8 @@ func oraclePolicies() []core.Policy {
 		{Kind: core.PolicyUnits, Units: 8},
 		{Kind: core.PolicyUnits, Units: 64},
 		{Kind: core.PolicyFine},
+		{Kind: core.PolicyLRU},
+		{Kind: core.PolicyGenerational, Units: 8},
 	}
 }
 
@@ -102,11 +105,9 @@ func TestCheckedIsTransparent(t *testing.T) {
 
 func TestCheckedWithoutOracleStillRunsInvariantWall(t *testing.T) {
 	for _, p := range []core.Policy{
-		{Kind: core.PolicyLRU},
 		{Kind: core.PolicyCompactingLRU},
 		{Kind: core.PolicyAdaptive},
 		{Kind: core.PolicyPreemptive},
-		{Kind: core.PolicyGenerational, Units: 8},
 	} {
 		cache, err := p.New(4000)
 		if err != nil {
@@ -188,8 +189,8 @@ func TestCheckedCatchesOccupancyViolation(t *testing.T) {
 	}
 	broken := &brokenCapacityCache{Cache: inner, reported: 1000}
 	// No oracle on purpose (capacity lies would desync it immediately);
-	// PolicyLRU keys Wrap into invariant-wall-only mode.
-	chk := Wrap(broken, core.Policy{Kind: core.PolicyLRU})
+	// PolicyCompactingLRU keys Wrap into invariant-wall-only mode.
+	chk := Wrap(broken, core.Policy{Kind: core.PolicyCompactingLRU})
 	for i := 0; i < 100 && chk.Err() == nil; i++ {
 		id := core.SuperblockID(i)
 		if !chk.Access(id) {
@@ -207,8 +208,93 @@ func TestCheckedCatchesOccupancyViolation(t *testing.T) {
 
 func TestDiffRejectsPoliciesWithoutOracle(t *testing.T) {
 	tr := randomTrace(t, "nooracle", 50, 500, 1)
-	err := Diff(tr, core.Policy{Kind: core.PolicyLRU}, 2000)
+	err := Diff(tr, core.Policy{Kind: core.PolicyAdaptive}, 2000)
 	if err == nil || !strings.Contains(err.Error(), "no oracle") {
 		t.Fatalf("want a no-oracle error, got %v", err)
+	}
+}
+
+// TestCheckedCatchesNonLRUVictims wires a fine-grained FIFO engine to the
+// LRU oracle: with a reuse-heavy workload, FIFO evicts recently touched
+// blocks the oracle keeps, so the differ must trip with full context.
+func TestCheckedCatchesNonLRUVictims(t *testing.T) {
+	const capacity = 1000
+	inner, err := core.NewFine(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := Wrap(inner, core.Policy{Kind: core.PolicyLRU})
+	if !chk.HasOracle() {
+		t.Fatal("expected an LRU oracle")
+	}
+	r := stats.NewRand(0xCAFE, 9)
+	var tripped bool
+	for i := 0; i < 5000; i++ {
+		id := core.SuperblockID(r.Zipf(64, 0.9))
+		if !chk.Access(id) {
+			_ = chk.Insert(core.Superblock{ID: id, Size: 50 + int(id)})
+		}
+		if chk.Err() != nil {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatal("FIFO engine never diverged from the LRU oracle")
+	}
+	v, ok := chk.Err().(*Violation)
+	if !ok {
+		t.Fatalf("want *Violation, got %T", chk.Err())
+	}
+	if v.Step == 0 || v.Op == "" || v.Field == "" {
+		t.Fatalf("violation missing context: %+v", v)
+	}
+	if !strings.Contains(v.Error(), "step") {
+		t.Fatalf("unhelpful violation message: %v", v)
+	}
+}
+
+// lyingThreshold misreports the promotion threshold, so the generational
+// oracle promotes later than the engine: the first real promotion must
+// desynchronize occupancy (the tenured copy plus the dead nursery copy)
+// and trip the differ.
+type lyingThreshold struct {
+	*core.GenerationalCache
+}
+
+func (l *lyingThreshold) PromotionThreshold() int {
+	return l.GenerationalCache.PromotionThreshold() + 5
+}
+
+func TestCheckedCatchesWrongPromotionThreshold(t *testing.T) {
+	inner, err := core.NewGenerational(4000, 0.25, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := Wrap(&lyingThreshold{inner}, core.Policy{Kind: core.PolicyGenerational, Units: 8})
+	if !chk.HasOracle() {
+		t.Fatal("expected a generational oracle")
+	}
+	r := stats.NewRand(0xD00D, 9)
+	var tripped bool
+	for i := 0; i < 20000; i++ {
+		id := core.SuperblockID(r.Zipf(80, 0.9))
+		if !chk.Access(id) {
+			_ = chk.Insert(core.Superblock{ID: id, Size: 40 + int(id)})
+		}
+		if chk.Err() != nil {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatal("mismatched promotion thresholds never diverged")
+	}
+	v, ok := chk.Err().(*Violation)
+	if !ok {
+		t.Fatalf("want *Violation, got %T", chk.Err())
+	}
+	if v.Step == 0 || v.Op == "" || v.Field == "" {
+		t.Fatalf("violation missing context: %+v", v)
 	}
 }

@@ -14,8 +14,9 @@ import (
 // index, the superblock, and the first field the two engines disagreed on
 // — everything needed to shrink and replay the failure.
 //
-// Only the FIFO policy family (FLUSH, n-unit, fine FIFO) has an oracle;
-// other policies return an error immediately.
+// The FIFO policy family (FLUSH, n-unit, fine FIFO), LRU, and the
+// generational composite have oracles; other policies return an error
+// immediately.
 func Diff(tr *trace.Trace, policy core.Policy, capacity int) error {
 	cache, err := policy.New(capacity)
 	if err != nil {

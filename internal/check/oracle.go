@@ -90,6 +90,13 @@ func (o *Oracle) Resident() int { return len(o.resident) }
 // ResidentBytes returns the bytes currently occupied.
 func (o *Oracle) ResidentBytes() int { return o.liveBytes }
 
+// forEachResident visits every resident block.
+func (o *Oracle) forEachResident(fn func(id core.SuperblockID)) {
+	for id := range o.resident {
+		fn(id)
+	}
+}
+
 // tallyBytes re-derives the occupied-byte sum from the residency map,
 // cross-checking the running counter the fast path reports.
 func (o *Oracle) tallyBytes() int {

@@ -1,0 +1,190 @@
+package check
+
+import (
+	"fmt"
+
+	"dynocache/internal/core"
+)
+
+// generationalOracle is the reference simulator for the generational
+// composite: two FIFO-family Oracles (a fine-grained nursery, a
+// FLUSH/n-unit tenured side) plus map-backed promotion bookkeeping that
+// re-derives the wrapper's policy — promote a nursery block to the
+// tenured side at the configured hit threshold, route jumbo insertions
+// straight to tenured, count a promoted block's dead nursery copy toward
+// occupancy but not toward the resident-block count. The geometry is read
+// from the live cache under test (capacities after rounding, unit count,
+// threshold) so the oracle cannot drift on integer-rounding details; all
+// behavior is re-derived independently.
+type generationalOracle struct {
+	nursery *Oracle
+	tenured *Oracle
+
+	nurseryCap int
+	tenuredCap int
+	threshold  int
+
+	hitCounts map[core.SuperblockID]int
+	meta      map[core.SuperblockID]core.Superblock
+
+	stats      core.Stats // wrapper-level: accesses and insertions
+	aggregated core.Stats // scratch for Stats() aggregation
+}
+
+var _ referenceOracle = (*generationalOracle)(nil)
+
+func newGenerationalOracle(g generationalParts) (*generationalOracle, error) {
+	nursery, err := NewOracle(core.Policy{Kind: core.PolicyFine}, g.Nursery().Capacity())
+	if err != nil {
+		return nil, err
+	}
+	tp := core.Policy{Kind: core.PolicyFlush}
+	if u := g.Tenured().Units(); u > 1 {
+		tp = core.Policy{Kind: core.PolicyUnits, Units: u}
+	}
+	tenured, err := NewOracle(tp, g.Tenured().Capacity())
+	if err != nil {
+		return nil, err
+	}
+	if g.PromotionThreshold() < 1 {
+		return nil, fmt.Errorf("check: promotion threshold must be >= 1, got %d", g.PromotionThreshold())
+	}
+	return &generationalOracle{
+		nursery:    nursery,
+		tenured:    tenured,
+		nurseryCap: g.Nursery().Capacity(),
+		tenuredCap: g.Tenured().Capacity(),
+		threshold:  g.PromotionThreshold(),
+		hitCounts:  make(map[core.SuperblockID]int),
+		meta:       make(map[core.SuperblockID]core.Superblock),
+	}, nil
+}
+
+// Stats aggregates exactly the way GenerationalCache.Stats does: access
+// and insertion counters are the wrapper's, structural counters are
+// summed from the generations.
+func (o *generationalOracle) Stats() *core.Stats {
+	n, t := o.nursery.Stats(), o.tenured.Stats()
+	agg := o.stats
+	agg.EvictionInvocations = n.EvictionInvocations + t.EvictionInvocations
+	agg.BlocksEvicted = n.BlocksEvicted + t.BlocksEvicted
+	agg.BytesEvicted = n.BytesEvicted + t.BytesEvicted
+	agg.FullFlushes = n.FullFlushes + t.FullFlushes
+	agg.LinksPatched = n.LinksPatched + t.LinksPatched
+	agg.PendingRelinks = n.PendingRelinks + t.PendingRelinks
+	agg.UnlinkEvents = n.UnlinkEvents + t.UnlinkEvents
+	agg.InterUnitLinksRemoved = n.InterUnitLinksRemoved + t.InterUnitLinksRemoved
+	agg.IntraUnitLinksFlushed = n.IntraUnitLinksFlushed + t.IntraUnitLinksFlushed
+	o.aggregated = agg
+	return &o.aggregated
+}
+
+// Contains reports residency in either generation.
+func (o *generationalOracle) Contains(id core.SuperblockID) bool {
+	return o.tenured.Contains(id) || o.nursery.Contains(id)
+}
+
+// Resident counts blocks present in both generations once.
+func (o *generationalOracle) Resident() int {
+	n := o.tenured.Resident()
+	o.nursery.forEachResident(func(id core.SuperblockID) {
+		if !o.tenured.Contains(id) {
+			n++
+		}
+	})
+	return n
+}
+
+// ResidentBytes double-counts promoted blocks' dead nursery copies, which
+// genuinely occupy space.
+func (o *generationalOracle) ResidentBytes() int {
+	return o.nursery.ResidentBytes() + o.tenured.ResidentBytes()
+}
+
+func (o *generationalOracle) forEachResident(fn func(id core.SuperblockID)) {
+	o.nursery.forEachResident(fn)
+	o.tenured.forEachResident(fn)
+}
+
+func (o *generationalOracle) tallyBytes() int {
+	return o.nursery.tallyBytes() + o.tenured.tallyBytes()
+}
+
+// PatchedLinks sums the generations.
+func (o *generationalOracle) PatchedLinks() int {
+	return o.nursery.PatchedLinks() + o.tenured.PatchedLinks()
+}
+
+// BackPtrTableBytes sums the generations (the FLUSH tenured side reports
+// zero, as the engine does).
+func (o *generationalOracle) BackPtrTableBytes() int {
+	return o.nursery.BackPtrTableBytes() + o.tenured.BackPtrTableBytes()
+}
+
+// Access mirrors GenerationalCache.Access: a tenured hit is free, a
+// nursery hit bumps the promotion counter and may tenure the block.
+func (o *generationalOracle) Access(id core.SuperblockID) bool {
+	o.stats.Accesses++
+	if o.tenured.Contains(id) {
+		o.stats.Hits++
+		return true
+	}
+	if o.nursery.Contains(id) {
+		o.stats.Hits++
+		o.hitCounts[id]++
+		if o.hitCounts[id] >= o.threshold {
+			o.promote(id)
+		}
+		return true
+	}
+	o.stats.Misses++
+	return false
+}
+
+// promote copies a proven-hot block into the tenured generation, leaving
+// the dead nursery copy to age out.
+func (o *generationalOracle) promote(id core.SuperblockID) {
+	sb, ok := o.meta[id]
+	if !ok || o.tenured.Contains(id) {
+		return
+	}
+	if sb.Size > o.tenuredCap {
+		return // cannot ever tenure; keep serving from the nursery
+	}
+	o.tenured.Insert(sb)
+}
+
+// Insert mirrors GenerationalCache.Insert: new blocks enter the nursery,
+// jumbo blocks bypass it. Wrapper-level insertion counters are raised
+// here; the sub-oracles' own insertion counters are discarded by Stats,
+// exactly as the engine discards its sub-caches'.
+func (o *generationalOracle) Insert(sb core.Superblock) {
+	if sb.Size > o.nurseryCap {
+		o.tenured.Insert(sb)
+		o.meta[sb.ID] = sb
+		o.stats.InsertedBlocks++
+		o.stats.InsertedBytes += uint64(sb.Size)
+		return
+	}
+	o.nursery.Insert(sb)
+	o.meta[sb.ID] = sb
+	o.hitCounts[sb.ID] = 0
+	o.stats.InsertedBlocks++
+	o.stats.InsertedBytes += uint64(sb.Size)
+}
+
+// AddLink routes the link to whichever generation holds the source.
+func (o *generationalOracle) AddLink(from, to core.SuperblockID) {
+	if o.tenured.Contains(from) {
+		o.tenured.AddLink(from, to)
+		return
+	}
+	o.nursery.AddLink(from, to)
+}
+
+// Flush empties both generations and resets the promotion counters.
+func (o *generationalOracle) Flush() {
+	o.nursery.Flush()
+	o.tenured.Flush()
+	o.hitCounts = make(map[core.SuperblockID]int)
+}

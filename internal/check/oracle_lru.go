@@ -1,0 +1,199 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"dynocache/internal/core"
+)
+
+// lruOracle is the naive reference simulator for the LRU policy. Like the
+// FIFO Oracle, it shares no code with the dense-ID engine: residency is a
+// map, recency is a plain most-recent-first slice, and — crucially — the
+// first-fit allocator is re-derived on every placement by sorting the
+// occupied blocks and scanning the gaps between them, instead of
+// maintaining a coalesced hole list. The two formulations are
+// mathematically identical (the engine's coalesced holes ARE the gaps
+// between occupied regions), so any divergence in placement, victim
+// recency order, or eviction accounting surfaces as a residency or
+// counter mismatch.
+type lruOracle struct {
+	capacity int
+
+	resident  map[core.SuperblockID]oracleRegion
+	recency   []core.SuperblockID // most recently used first
+	liveBytes int
+
+	links *oracleLinks
+	stats core.Stats
+}
+
+type oracleRegion struct{ off, size int }
+
+var _ referenceOracle = (*lruOracle)(nil)
+
+func newLRUOracle(capacity int) (*lruOracle, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("check: oracle capacity must be positive, got %d", capacity)
+	}
+	return &lruOracle{
+		capacity: capacity,
+		resident: make(map[core.SuperblockID]oracleRegion),
+		links:    newOracleLinks(),
+	}, nil
+}
+
+// Stats exposes the oracle's cumulative counters.
+func (o *lruOracle) Stats() *core.Stats { return &o.stats }
+
+// Contains reports residency without touching counters.
+func (o *lruOracle) Contains(id core.SuperblockID) bool {
+	_, ok := o.resident[id]
+	return ok
+}
+
+// Resident returns the number of cached superblocks.
+func (o *lruOracle) Resident() int { return len(o.resident) }
+
+// ResidentBytes returns the bytes currently occupied.
+func (o *lruOracle) ResidentBytes() int { return o.liveBytes }
+
+func (o *lruOracle) forEachResident(fn func(id core.SuperblockID)) {
+	for id := range o.resident {
+		fn(id)
+	}
+}
+
+func (o *lruOracle) tallyBytes() int {
+	total := 0
+	for _, e := range o.resident {
+		total += e.size
+	}
+	return total
+}
+
+// PatchedLinks returns the number of currently patched chaining links.
+func (o *lruOracle) PatchedLinks() int { return o.links.patchedCount }
+
+// BackPtrTableBytes mirrors the engine's estimate: 16 bytes per link.
+func (o *lruOracle) BackPtrTableBytes() int { return 16 * o.links.patchedCount }
+
+// Access records a hit or miss; a hit moves the block to the recency
+// front.
+func (o *lruOracle) Access(id core.SuperblockID) bool {
+	o.stats.Accesses++
+	if !o.Contains(id) {
+		o.stats.Misses++
+		return false
+	}
+	o.stats.Hits++
+	o.promoteRecency(id)
+	return true
+}
+
+func (o *lruOracle) promoteRecency(id core.SuperblockID) {
+	for i, r := range o.recency {
+		if r == id {
+			copy(o.recency[1:i+1], o.recency[:i])
+			o.recency[0] = id
+			return
+		}
+	}
+}
+
+// alloc re-derives the free regions from the occupied blocks and returns
+// the first-fit offset.
+func (o *lruOracle) alloc(size int) (int, bool) {
+	occ := make([]oracleRegion, 0, len(o.resident))
+	for _, e := range o.resident {
+		occ = append(occ, e)
+	}
+	sort.Slice(occ, func(i, j int) bool { return occ[i].off < occ[j].off })
+	at := 0
+	for _, r := range occ {
+		if r.off-at >= size {
+			return at, true
+		}
+		at = r.off + r.size
+	}
+	if o.capacity-at >= size {
+		return at, true
+	}
+	return 0, false
+}
+
+// Insert places a superblock, evicting least-recently-used blocks one at
+// a time (retrying the allocator after each) until a gap fits. The caller
+// must only present blocks the engine accepted.
+func (o *lruOracle) Insert(sb core.Superblock) {
+	off, ok := o.alloc(sb.Size)
+	if !ok {
+		victims := make(map[core.SuperblockID]struct{})
+		var order []core.SuperblockID
+		var bytes int64
+		for {
+			k := len(o.recency)
+			if k == 0 {
+				break // unreachable: the engine validated size <= capacity
+			}
+			victim := o.recency[k-1]
+			o.recency = o.recency[:k-1]
+			e := o.resident[victim]
+			delete(o.resident, victim)
+			o.liveBytes -= e.size
+			victims[victim] = struct{}{}
+			order = append(order, victim)
+			bytes += int64(e.size)
+			if off, ok = o.alloc(sb.Size); ok {
+				break
+			}
+		}
+		o.stats.EvictionInvocations++
+		o.stats.BlocksEvicted += uint64(len(order))
+		o.stats.BytesEvicted += uint64(bytes)
+		if len(o.resident) == 0 {
+			o.stats.FullFlushes++
+		}
+		o.stats.UnlinkEvents += o.links.unlinkEventsFor(victims)
+		o.links.onEvict(order, victims, &o.stats)
+	}
+	o.resident[sb.ID] = oracleRegion{off: off, size: sb.Size}
+	o.recency = append(o.recency, 0)
+	copy(o.recency[1:], o.recency)
+	o.recency[0] = sb.ID
+	o.liveBytes += sb.Size
+	o.stats.InsertedBlocks++
+	o.stats.InsertedBytes += uint64(sb.Size)
+	for _, to := range sb.Links {
+		o.links.declare(sb.ID, to, o.Contains, &o.stats)
+	}
+	o.links.onInsert(sb.ID, &o.stats)
+}
+
+// AddLink declares a chaining link from a resident block.
+func (o *lruOracle) AddLink(from, to core.SuperblockID) {
+	o.links.declare(from, to, o.Contains, &o.stats)
+}
+
+// Flush empties the cache as one eviction invocation, in recency order.
+func (o *lruOracle) Flush() {
+	if len(o.resident) == 0 {
+		return
+	}
+	victims := make(map[core.SuperblockID]struct{})
+	order := append([]core.SuperblockID(nil), o.recency...)
+	var bytes int64
+	for _, id := range order {
+		victims[id] = struct{}{}
+		bytes += int64(o.resident[id].size)
+	}
+	o.resident = make(map[core.SuperblockID]oracleRegion)
+	o.recency = o.recency[:0]
+	o.liveBytes = 0
+	o.stats.EvictionInvocations++
+	o.stats.BlocksEvicted += uint64(len(order))
+	o.stats.BytesEvicted += uint64(bytes)
+	o.stats.FullFlushes++
+	o.stats.UnlinkEvents += o.links.unlinkEventsFor(victims)
+	o.links.onEvict(order, victims, &o.stats)
+}

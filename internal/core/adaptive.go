@@ -111,23 +111,30 @@ func NewAdaptive(cfg AdaptiveConfig) (*AdaptiveCache, error) {
 		return nil, err
 	}
 	base.name = "adaptive"
-	return &AdaptiveCache{FIFOCache: base, cfg: cfg, curUnits: cfg.InitialUnits, dir: 1}, nil
+	c := &AdaptiveCache{FIFOCache: base, cfg: cfg, curUnits: cfg.InitialUnits, dir: 1}
+	// Rebind the engine to the wrapper so insertions flow through the
+	// controller hook below.
+	base.bindPolicy(c)
+	return c, nil
 }
 
 // CurrentUnits returns the granularity currently in force.
 func (c *AdaptiveCache) CurrentUnits() int { return c.curUnits }
 
-// Insert implements Cache, running the controller between insertions.
-func (c *AdaptiveCache) Insert(sb Superblock) error {
-	if err := c.FIFOCache.Insert(sb); err != nil {
-		return err
-	}
+// ReadsCounters implements CounterReader: the controller below prices
+// each window from the live Stats, so batched access counters must be
+// flushed before every insertion.
+func (c *AdaptiveCache) ReadsCounters() bool { return true }
+
+// OnInserted implements VictimPolicy, running the controller between
+// insertions (changing the quantum is safe at any insertion boundary).
+func (c *AdaptiveCache) OnInserted(id SuperblockID, off int64, size int) {
+	c.FIFOCache.OnInserted(id, off, size)
 	c.sinceCtl++
 	if c.sinceCtl >= c.cfg.Window {
 		c.adjust()
 		c.sinceCtl = 0
 	}
-	return nil
 }
 
 // adjust prices the window just finished and hill-climbs: keep moving in

@@ -76,6 +76,8 @@ func TestZeroAllocSteadyState(t *testing.T) {
 		{"fine", func(cap int) (Cache, error) { return NewFine(cap) }},
 		{"8-unit", func(cap int) (Cache, error) { return NewUnits(cap, 8) }},
 		{"flush", func(cap int) (Cache, error) { return NewFlush(cap) }},
+		{"lru", func(cap int) (Cache, error) { return NewLRU(cap) }},
+		{"generational", func(cap int) (Cache, error) { return NewGenerational(cap, 0.25, 8, 2) }},
 	}
 	for _, tc := range evictionCases {
 		t.Run("evict-"+tc.name, func(t *testing.T) {

@@ -28,10 +28,10 @@ type CompactingLRUCache struct {
 	// endpoint; each needs its encoded jump target rewritten.
 	LinksRepatched uint64
 
-	// Reusable compaction scratch: the offset-sorted node list and an
-	// epoch-stamped moved set, so steady-state compaction allocates
-	// nothing.
-	compactScratch []*lruNode
+	// Reusable compaction scratch: the offset-sorted resident-ID list and
+	// an epoch-stamped moved set, so steady-state compaction allocates
+	// nothing beyond sort.Slice bookkeeping.
+	compactScratch []SuperblockID
 	movedMarks     []uint32
 	movedEpoch     uint32
 }
@@ -59,19 +59,12 @@ func NewCompactingLRU(capacity int) (*CompactingLRUCache, error) {
 }
 
 // fits reports whether some hole can take size bytes, without mutating.
-func (c *LRUCache) fits(size int) bool {
-	for _, h := range c.holes {
-		if h.size >= size {
-			return true
-		}
-	}
-	return false
-}
+func (c *LRUCache) fits(size int) bool { return c.holes.largest() >= size }
 
 // markMoved stamps id into the current compaction's moved set.
 func (c *CompactingLRUCache) markMoved(id SuperblockID) {
 	if int(id) >= len(c.movedMarks) {
-		marks := make([]uint32, len(c.nodes))
+		marks := make([]uint32, len(c.where))
 		copy(marks, c.movedMarks)
 		c.movedMarks = marks
 	}
@@ -86,29 +79,24 @@ func (c *CompactingLRUCache) moved(id SuperblockID) bool {
 // order, leaving one coalesced hole at the top, and accounts for the link
 // re-patching the move forces.
 func (c *CompactingLRUCache) compact() {
-	nodes := c.compactScratch[:0]
-	for _, n := range c.nodes {
-		if n != nil {
-			nodes = append(nodes, n)
-		}
+	ids := c.compactScratch[:0]
+	for id := c.head; id != lruNil; id = c.nextID[id] {
+		ids = append(ids, SuperblockID(id))
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i].off < nodes[j].off })
+	sort.Slice(ids, func(i, j int) bool { return c.where[ids[i]] < c.where[ids[j]] })
 	c.movedEpoch++
 	at := 0
 	var bytesMoved uint64
-	for _, n := range nodes {
-		if n.off != at {
-			c.markMoved(n.id)
-			bytesMoved += uint64(n.size)
-			n.off = at
+	for _, id := range ids {
+		if c.where[id] != int64(at) {
+			c.markMoved(id)
+			bytesMoved += uint64(c.sizes[id])
+			c.where[id] = int64(at)
 		}
-		at += n.size
+		at += int(c.sizes[id])
 	}
-	c.compactScratch = nodes
-	c.holes = c.holes[:0]
-	if at < c.capacity {
-		c.holes = append(c.holes, hole{off: at, size: c.capacity - at})
-	}
+	c.compactScratch = ids
+	c.holes.reset(at, c.capacity-at)
 	// Every patched link with a moved endpoint must be rewritten: if the
 	// source moved, its jump instruction moved with it (cheap) but the
 	// relative target changed; if the target moved, the source's encoded

@@ -1,0 +1,414 @@
+package core
+
+import "fmt"
+
+// Engine is the policy-agnostic half of every cache in this package: the
+// slot arena bookkeeping (dense where/size tables, resident counts, live
+// bytes), the Stats counter set, the link table (including frozen CSR
+// adjacency and lazy patched counting), eviction-sample recording, the
+// eviction hook, and the shared invariant checks. What it deliberately
+// does NOT contain is any notion of *which* blocks to evict or where to
+// place an insertion — that is the VictimPolicy's job.
+//
+// A concrete cache type (FIFOCache, LRUCache, ...) embeds an Engine by
+// value and implements VictimPolicy on itself; the constructor binds the
+// two with bindPolicy. The split keeps every policy on one set of cache
+// mechanics — exactly the property the paper's cross-policy comparisons
+// assume — and lets the replay kernels drive any policy through the same
+// devirtualized loop (see EngineBacked).
+//
+// An Engine must not be copied after first use (its policy holds a
+// pointer back to it through the embedding cache type).
+type Engine struct {
+	name     string
+	capacity int
+
+	pol            VictimPolicy
+	observesHits   bool
+	observesMisses bool
+
+	where     []int64 // id -> arena offset, absentVoff when not resident
+	sizes     []int32 // id -> size of the resident block
+	resident  int
+	liveBytes int64 // sum of resident block sizes
+
+	links *linkTable
+	stats Stats
+
+	// evictScratch is the reusable per-invocation victim list (in the
+	// policy's eviction order); valid only for the duration of one
+	// eviction invocation. Policies build their victim batches in it.
+	evictScratch []SuperblockID
+
+	recordSamples bool
+	samples       []EvictionSample
+
+	// evictHook, when set, observes every eviction (ids in eviction
+	// order) after residency is cleared and before link bookkeeping runs.
+	// The DBT uses it to unpatch stubs and drop hash-table entries for
+	// physically evicted superblocks. The slice is reused across
+	// invocations; hooks must not retain it.
+	evictHook func(ids []SuperblockID)
+}
+
+// VictimPolicy is the strategy half of a cache: it decides where incoming
+// blocks land and which resident blocks die, and optionally observes
+// access outcomes. Implementations keep only ordering state (queues,
+// recency lists, free lists); all residency, byte, counter, and link
+// bookkeeping belongs to the Engine. See DESIGN.md §12 for the full
+// contract, including what a policy may and may not touch.
+type VictimPolicy interface {
+	// Place returns the arena offset for an incoming block of size bytes,
+	// evicting resident blocks through Engine.evictBatch as needed. The
+	// engine has already validated the block (positive size, fits the
+	// capacity, not resident).
+	Place(size int) (int64, error)
+	// OnInserted records a completed insertion (id now resident at off)
+	// in the policy's ordering structures, and runs any per-insertion
+	// control (the adaptive controller hooks here).
+	OnInserted(id SuperblockID, off int64, size int)
+	// ObserveHit is called on each cache hit, after the hit counters,
+	// when Observes reports hits=true (LRU recency touches, the
+	// preemptive phase detector).
+	ObserveHit(id SuperblockID)
+	// ObserveMiss is the miss-side counterpart, called after the miss
+	// counters and before the subsequent Insert.
+	ObserveMiss(id SuperblockID)
+	// Observes declares which of the two observers the policy needs; the
+	// engine and the replay kernels skip the calls entirely otherwise.
+	Observes() (hits, misses bool)
+	// EvictAll empties the arena as one eviction invocation (Flush). The
+	// engine guarantees at least one block is resident.
+	EvictAll()
+	// UnitOf maps a resident block to its co-eviction group token for the
+	// link census (Figure 12's intra/inter-unit split).
+	UnitOf(id SuperblockID) (int64, bool)
+}
+
+// EngineBacked is satisfied by every cache built on the shared Engine.
+// The replay kernels use it to reach the engine's concrete methods
+// (Contains, Insert, BatchAccessStats) regardless of the policy on top.
+type EngineBacked interface {
+	Cache
+	ReplayEngine() *Engine
+}
+
+// CounterReader marks a policy whose hooks read the engine's Stats
+// mid-run (the adaptive controller prices its windows from the live
+// access counters inside OnInserted). Kernels that batch access counters
+// must flush them before every insertion for such policies; for every
+// other policy per-chunk folding is observably equivalent, and the
+// kernels exploit that.
+type CounterReader interface {
+	ReadsCounters() bool
+}
+
+// initEngine prepares an embedded engine in place.
+func (e *Engine) initEngine(name string, capacity int) {
+	e.name = name
+	e.capacity = capacity
+	e.links = newLinkTable()
+}
+
+// bindPolicy attaches the victim policy steering this engine. Wrapper
+// policies (adaptive, preemptive) rebind after construction so the
+// engine dispatches to their overridden observers.
+func (e *Engine) bindPolicy(pol VictimPolicy) {
+	e.pol = pol
+	e.observesHits, e.observesMisses = pol.Observes()
+}
+
+// ReplayEngine implements EngineBacked for every embedding cache type.
+func (e *Engine) ReplayEngine() *Engine { return e }
+
+// BoundPolicy returns the victim policy steering this engine.
+func (e *Engine) BoundPolicy() VictimPolicy { return e.pol }
+
+// Observers reports which access-outcome callbacks the bound policy
+// requires; the replay kernels hoist these flags out of the hot loop.
+func (e *Engine) Observers() (hits, misses bool) {
+	return e.observesHits, e.observesMisses
+}
+
+// Name implements Cache.
+func (e *Engine) Name() string { return e.name }
+
+// Capacity implements Cache.
+func (e *Engine) Capacity() int { return e.capacity }
+
+// Stats implements Cache.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// grow extends the dense residency tables to cover id.
+func (e *Engine) grow(id SuperblockID) {
+	if int(id) < len(e.where) {
+		return
+	}
+	n := int(id) + 1
+	if n < 2*len(e.where) {
+		n = 2 * len(e.where)
+	}
+	where := make([]int64, n)
+	for i := range where {
+		where[i] = absentVoff
+	}
+	copy(where, e.where)
+	e.where = where
+	sizes := make([]int32, n)
+	copy(sizes, e.sizes)
+	e.sizes = sizes
+}
+
+// Reserve pre-sizes the dense residency and link tables for IDs in
+// [0, maxID]. Purely an optimization: it avoids the doubling copies of
+// incremental growth when the caller knows the trace's ID span up front
+// (the replay kernels do).
+func (e *Engine) Reserve(maxID SuperblockID) {
+	e.grow(maxID)
+	e.links.reserve(maxID)
+}
+
+// FreezeLinks switches link maintenance to frozen-adjacency mode: blocks
+// is the dense (ID-indexed) block table, and blocks[id].Links is the
+// immutable link row every future Insert of id promises to declare
+// verbatim (or nil for every insert when chainingDisabled). AddLink is
+// rejected once frozen. The replay kernels uphold this contract — each
+// insertion replays the trace's fixed definition — and in exchange all
+// link bookkeeping becomes sequential scans of flat CSR arrays, which
+// dominates the replay profile at high cache pressure.
+func (e *Engine) FreezeLinks(blocks []Superblock, chainingDisabled bool) {
+	e.links.freeze(blocks, chainingDisabled)
+}
+
+// SetLazyPatchedCount defers patched-link counting to PatchedLinks (and
+// BackPtrTableBytes) queries instead of maintaining the count on every
+// insert and eviction. Requires frozen link adjacency, and is only safe
+// when nothing observes the count mid-run — no verification wrapper, no
+// census sampling. The fast replay kernel opts in; the count remains
+// queryable afterwards via on-demand recomputation.
+func (e *Engine) SetLazyPatchedCount(on bool) {
+	if on && !e.links.frozen {
+		return
+	}
+	e.links.deferPatched = on
+}
+
+// Contains implements Cache.
+func (e *Engine) Contains(id SuperblockID) bool {
+	return int(id) < len(e.where) && e.where[id] != absentVoff
+}
+
+// Access implements Cache, feeding the policy's observers when it has
+// any.
+func (e *Engine) Access(id SuperblockID) bool {
+	e.stats.Accesses++
+	if e.Contains(id) {
+		e.stats.Hits++
+		if e.observesHits {
+			e.pol.ObserveHit(id)
+		}
+		return true
+	}
+	e.stats.Misses++
+	if e.observesMisses {
+		e.pol.ObserveMiss(id)
+	}
+	return false
+}
+
+// BatchAccessStats folds a batch of access outcomes into the counters in
+// one call: accesses total probes, hits of which hit (the rest were
+// misses). Equivalent to that many Access calls; the replay kernel
+// accumulates between misses and flushes before every Insert, keeping
+// its per-access path to a single residency probe.
+func (e *Engine) BatchAccessStats(accesses, hits uint64) {
+	e.stats.Accesses += accesses
+	e.stats.Hits += hits
+	e.stats.Misses += accesses - hits
+}
+
+// Resident implements Cache.
+func (e *Engine) Resident() int { return e.resident }
+
+// ResidentBytes implements Cache.
+func (e *Engine) ResidentBytes() int { return int(e.liveBytes) }
+
+// SetSampleRecording enables or disables per-invocation eviction sample
+// capture (for the simulated PAPI measurements of Figure 9).
+func (e *Engine) SetSampleRecording(on bool) { e.recordSamples = on }
+
+// SetEvictHook registers a callback invoked with the IDs removed by each
+// eviction invocation, in eviction order. The slice is reused across
+// invocations; the hook must not retain it past its return.
+func (e *Engine) SetEvictHook(hook func(ids []SuperblockID)) { e.evictHook = hook }
+
+// Where returns the arena offset of a resident block (virtual for the
+// FIFO family, heap offset for LRU-family policies).
+func (e *Engine) Where(id SuperblockID) (off int64, ok bool) {
+	if !e.Contains(id) {
+		return 0, false
+	}
+	return e.where[id], true
+}
+
+// Samples returns the recorded eviction samples.
+func (e *Engine) Samples() []EvictionSample { return e.samples }
+
+// validateInsert mirrors the historical package-level helper with
+// concrete receivers so every check inlines on the insert hot path. The
+// messages must stay identical across policies.
+func (e *Engine) validateInsert(sb Superblock) error {
+	if err := validateID(sb.ID); err != nil {
+		return err
+	}
+	if !e.links.linksValid {
+		// With frozen, prevalidated adjacency the row was checked once at
+		// freeze time and inserts are bound to redeclare it verbatim.
+		for _, to := range sb.Links {
+			if err := validateID(to); err != nil {
+				return err
+			}
+		}
+	}
+	if sb.Size <= 0 {
+		return fmt.Errorf("core: superblock %d has non-positive size %d", sb.ID, sb.Size)
+	}
+	if sb.Size > e.capacity {
+		return fmt.Errorf("core: superblock %d (%d bytes) exceeds cache capacity %d", sb.ID, sb.Size, e.capacity)
+	}
+	if e.Contains(sb.ID) {
+		return fmt.Errorf("core: superblock %d is already resident", sb.ID)
+	}
+	return nil
+}
+
+// Insert implements Cache: validate, let the policy make room and choose
+// the offset, then run the engine's single binding path (residency
+// tables, counters, link declaration and relinking) and hand the
+// placement back to the policy's ordering structures.
+func (e *Engine) Insert(sb Superblock) error {
+	if err := e.validateInsert(sb); err != nil {
+		return err
+	}
+	// Concrete dispatch for the plain FIFO family (the replay kernels'
+	// dominant insert source): one itab compare instead of two interface
+	// calls per insertion. Wrapper policies (adaptive, preemptive) rebind
+	// to their own type and take the general path below.
+	if fc, ok := e.pol.(*FIFOCache); ok {
+		off, err := fc.Place(sb.Size)
+		if err != nil {
+			return err
+		}
+		e.bind(sb, off)
+		fc.OnInserted(sb.ID, off, sb.Size)
+		return nil
+	}
+	off, err := e.pol.Place(sb.Size)
+	if err != nil {
+		return err
+	}
+	e.bind(sb, off)
+	e.pol.OnInserted(sb.ID, off, sb.Size)
+	return nil
+}
+
+// bind makes sb resident at off and runs all insertion bookkeeping.
+func (e *Engine) bind(sb Superblock, off int64) {
+	e.grow(sb.ID)
+	e.where[sb.ID] = off
+	e.sizes[sb.ID] = int32(sb.Size)
+	e.resident++
+	e.liveBytes += int64(sb.Size)
+	e.stats.InsertedBlocks++
+	e.stats.InsertedBytes += uint64(sb.Size)
+	if e.links.frozen {
+		e.links.declareAll(sb.ID, sb.Links, &e.stats)
+	} else {
+		for _, to := range sb.Links {
+			e.links.declare(sb.ID, to, e.Contains, &e.stats)
+		}
+	}
+	e.links.onInsert(sb.ID, &e.stats)
+}
+
+// evictBatch completes one eviction invocation: order holds the victims
+// in the policy's eviction order, already removed from the policy's own
+// ordering structures. The engine clears residency, maintains every
+// counter (including the uniform full-flush rule: an invocation that
+// empties the cache counts as one), fires the eviction hook, records a
+// sample, and runs link bookkeeping. No-op on an empty batch.
+func (e *Engine) evictBatch(order []SuperblockID) {
+	if len(order) == 0 {
+		return
+	}
+	var bytes int64
+	for _, id := range order {
+		bytes += int64(e.sizes[id])
+		e.where[id] = absentVoff
+	}
+	e.resident -= len(order)
+	e.liveBytes -= bytes
+	if e.evictHook != nil {
+		e.evictHook(order)
+	}
+	e.stats.EvictionInvocations++
+	e.stats.BlocksEvicted += uint64(len(order))
+	e.stats.BytesEvicted += uint64(bytes)
+	if e.resident == 0 {
+		e.stats.FullFlushes++
+	}
+	var sample *EvictionSample
+	if e.recordSamples {
+		e.samples = append(e.samples, EvictionSample{Bytes: int(bytes), Blocks: len(order)})
+		sample = &e.samples[len(e.samples)-1]
+	}
+	e.stats.UnlinkEvents += e.links.onEvict(order, &e.stats, sample)
+}
+
+// AddLink implements Cache.
+func (e *Engine) AddLink(from, to SuperblockID) error {
+	if !e.Contains(from) {
+		return fmt.Errorf("core: AddLink from non-resident superblock %d", from)
+	}
+	if err := validateID(to); err != nil {
+		return err
+	}
+	if e.links.frozen {
+		return fmt.Errorf("core: AddLink on a cache with frozen link adjacency")
+	}
+	e.links.declare(from, to, e.Contains, &e.stats)
+	return nil
+}
+
+// Flush implements Cache: it empties the cache as one eviction
+// invocation regardless of policy (used by the preemptive-flush
+// detector).
+func (e *Engine) Flush() {
+	if e.resident == 0 {
+		return
+	}
+	e.pol.EvictAll()
+}
+
+// LinkCensus implements Cache, classifying patched links by the policy's
+// co-eviction units.
+func (e *Engine) LinkCensus() (intra, inter int) {
+	return e.links.census(e.pol.UnitOf)
+}
+
+// BackPtrTableBytes implements Cache. The paper estimates 16 bytes per
+// link (an 8-byte pointer plus an 8-byte list link); the FIFO family
+// overrides this for FLUSH mode, which needs no table at all.
+func (e *Engine) BackPtrTableBytes() int { return 16 * e.links.patchedLinks() }
+
+// PatchedLinks returns the number of currently patched chaining links.
+func (e *Engine) PatchedLinks() int { return e.links.patchedLinks() }
+
+// checkEngineInvariants validates the engine-owned state; cache types
+// call it from their CheckInvariants after their policy-side checks.
+func (e *Engine) checkEngineInvariants() error {
+	if int(e.liveBytes) > e.capacity {
+		return fmt.Errorf("core: resident bytes %d exceed capacity %d", e.liveBytes, e.capacity)
+	}
+	return e.links.checkInvariants()
+}

@@ -34,39 +34,21 @@ const absentVoff = -1
 // straddling the unit's upper boundary; that block's bytes were partly in
 // the flushed unit, and variable-size entries cannot be split (§3.3).
 //
-// Residency is tracked in dense slices indexed by SuperblockID (IDs are
-// frontend-assigned from 0; see the dense-ID invariant in DESIGN.md), and
-// each eviction invocation reuses a scratch victim list, so the hit path
-// and steady-state eviction perform no heap allocations.
+// The type is the Engine's FIFO-family VictimPolicy: the embedded Engine
+// owns residency, counters, and links, while this struct keeps only the
+// circular-buffer ordering state (the queue and the virtual head/tail).
+// Each eviction invocation reuses the engine's scratch victim list, so
+// the hit path and steady-state eviction perform no heap allocations.
 type FIFOCache struct {
-	name     string
-	capacity int
+	Engine
+
 	unitSize int // eviction quantum for modeUnit
 	nUnits   int // reported unit count: 1 flush, n unit, 0 fine
 	mode     evictionMode
 
 	head, tail int64 // virtual byte offsets; head-tail = resident bytes
 	queue      []fifoEntry
-	qfront     int     // index of the oldest live entry in queue
-	where      []int64 // id -> virtual offset, absentVoff when not resident
-	sizes      []int32 // id -> size of the resident block
-	resident   int
-
-	links *linkTable
-	stats Stats
-
-	// evictScratch is the reusable per-invocation victim list (FIFO
-	// order); valid only for the duration of one eviction invocation.
-	evictScratch []SuperblockID
-
-	recordSamples bool
-	samples       []EvictionSample
-
-	// evictHook, when set, observes every eviction (ids in FIFO order)
-	// before link bookkeeping runs. The DBT uses it to unpatch stubs and
-	// drop hash-table entries for physically evicted superblocks. The
-	// slice is reused across invocations; hooks must not retain it.
-	evictHook func(ids []SuperblockID)
+	qfront     int // index of the oldest live entry in queue
 }
 
 type fifoEntry struct {
@@ -75,7 +57,11 @@ type fifoEntry struct {
 	size int
 }
 
-var _ Cache = (*FIFOCache)(nil)
+var (
+	_ Cache        = (*FIFOCache)(nil)
+	_ VictimPolicy = (*FIFOCache)(nil)
+	_ EngineBacked = (*FIFOCache)(nil)
+)
 
 // NewFlush returns a cache that flushes entirely when it fills (the
 // coarsest granularity).
@@ -107,211 +93,52 @@ func newFIFO(name string, capacity, unitSize, nUnits int, mode evictionMode) (*F
 	if capacity <= 0 {
 		return nil, fmt.Errorf("core: capacity must be positive, got %d", capacity)
 	}
-	return &FIFOCache{
-		name:     name,
-		capacity: capacity,
+	c := &FIFOCache{
 		unitSize: unitSize,
 		nUnits:   nUnits,
 		mode:     mode,
-		links:    newLinkTable(),
-	}, nil
+	}
+	c.initEngine(name, capacity)
+	c.bindPolicy(c)
+	return c, nil
 }
-
-// Name implements Cache.
-func (c *FIFOCache) Name() string { return c.name }
-
-// Capacity implements Cache.
-func (c *FIFOCache) Capacity() int { return c.capacity }
 
 // Units implements Cache.
 func (c *FIFOCache) Units() int { return c.nUnits }
-
-// Stats implements Cache.
-func (c *FIFOCache) Stats() *Stats { return &c.stats }
-
-// grow extends the dense residency tables to cover id.
-func (c *FIFOCache) grow(id SuperblockID) {
-	if int(id) < len(c.where) {
-		return
-	}
-	n := int(id) + 1
-	if n < 2*len(c.where) {
-		n = 2 * len(c.where)
-	}
-	where := make([]int64, n)
-	for i := range where {
-		where[i] = absentVoff
-	}
-	copy(where, c.where)
-	c.where = where
-	sizes := make([]int32, n)
-	copy(sizes, c.sizes)
-	c.sizes = sizes
-}
-
-// Reserve pre-sizes the dense residency and link tables for IDs in
-// [0, maxID]. Purely an optimization: it avoids the doubling copies of
-// incremental growth when the caller knows the trace's ID span up front
-// (the replay kernels do).
-func (c *FIFOCache) Reserve(maxID SuperblockID) {
-	c.grow(maxID)
-	c.links.reserve(maxID)
-}
-
-// FreezeLinks switches link maintenance to frozen-adjacency mode: blocks
-// is the dense (ID-indexed) block table, and blocks[id].Links is the
-// immutable link row every future Insert of id promises to declare
-// verbatim (or nil for every insert when chainingDisabled). AddLink is
-// rejected once frozen. The replay kernels uphold this contract — each
-// insertion replays the trace's fixed definition — and in exchange all
-// link bookkeeping becomes sequential scans of flat CSR arrays, which
-// dominates the replay profile at high cache pressure.
-func (c *FIFOCache) FreezeLinks(blocks []Superblock, chainingDisabled bool) {
-	c.links.freeze(blocks, chainingDisabled)
-}
-
-// SetLazyPatchedCount defers patched-link counting to PatchedLinks (and
-// BackPtrTableBytes) queries instead of maintaining the count on every
-// insert and eviction. Requires frozen link adjacency, and is only safe
-// when nothing observes the count mid-run — no verification wrapper, no
-// census sampling. The fast replay kernel opts in; the count remains
-// queryable afterwards via on-demand recomputation.
-func (c *FIFOCache) SetLazyPatchedCount(on bool) {
-	if on && !c.links.frozen {
-		return
-	}
-	c.links.deferPatched = on
-}
-
-// Contains implements Cache.
-func (c *FIFOCache) Contains(id SuperblockID) bool {
-	return int(id) < len(c.where) && c.where[id] != absentVoff
-}
-
-// Access implements Cache.
-func (c *FIFOCache) Access(id SuperblockID) bool {
-	c.stats.Accesses++
-	if c.Contains(id) {
-		c.stats.Hits++
-		return true
-	}
-	c.stats.Misses++
-	return false
-}
-
-// BatchAccessStats folds a batch of access outcomes into the counters in
-// one call: accesses total probes, hits of which hit (the rest were
-// misses). Equivalent to that many Access calls; the replay kernel
-// accumulates per chunk and flushes once, keeping its per-access path to
-// a single residency probe.
-func (c *FIFOCache) BatchAccessStats(accesses, hits uint64) {
-	c.stats.Accesses += accesses
-	c.stats.Hits += hits
-	c.stats.Misses += accesses - hits
-}
-
-// Resident implements Cache.
-func (c *FIFOCache) Resident() int { return c.resident }
-
-// ResidentBytes implements Cache.
-func (c *FIFOCache) ResidentBytes() int { return int(c.head - c.tail) }
-
-// SetSampleRecording enables or disables per-invocation eviction sample
-// capture (for the simulated PAPI measurements of Figure 9).
-func (c *FIFOCache) SetSampleRecording(on bool) { c.recordSamples = on }
-
-// SetEvictHook registers a callback invoked with the IDs removed by each
-// eviction invocation, in FIFO order. The slice is reused across
-// invocations; the hook must not retain it past its return.
-func (c *FIFOCache) SetEvictHook(hook func(ids []SuperblockID)) { c.evictHook = hook }
-
-// Where returns the virtual byte offset of a resident block. The physical
-// placement is voff modulo Capacity().
-func (c *FIFOCache) Where(id SuperblockID) (voff int64, ok bool) {
-	if !c.Contains(id) {
-		return 0, false
-	}
-	return c.where[id], true
-}
 
 // VirtualHead returns the virtual offset at which the next insertion will
 // be placed.
 func (c *FIFOCache) VirtualHead() int64 { return c.head }
 
-// Samples returns the recorded eviction samples.
-func (c *FIFOCache) Samples() []EvictionSample { return c.samples }
-
-// validateInsert mirrors the package-level validateInsert with concrete
-// receivers so every check inlines on the insert hot path. The messages
-// must stay identical to the shared helper's.
-func (c *FIFOCache) validateInsert(sb Superblock) error {
-	if err := validateID(sb.ID); err != nil {
-		return err
-	}
-	if !c.links.linksValid {
-		// With frozen, prevalidated adjacency the row was checked once at
-		// freeze time and inserts are bound to redeclare it verbatim.
-		for _, to := range sb.Links {
-			if err := validateID(to); err != nil {
-				return err
-			}
-		}
-	}
-	if sb.Size <= 0 {
-		return fmt.Errorf("core: superblock %d has non-positive size %d", sb.ID, sb.Size)
-	}
-	if sb.Size > c.capacity {
-		return fmt.Errorf("core: superblock %d (%d bytes) exceeds cache capacity %d", sb.ID, sb.Size, c.capacity)
-	}
-	if c.Contains(sb.ID) {
-		return fmt.Errorf("core: superblock %d is already resident", sb.ID)
-	}
-	return nil
-}
-
-// Insert implements Cache.
-func (c *FIFOCache) Insert(sb Superblock) error {
-	if err := c.validateInsert(sb); err != nil {
-		return err
-	}
-	// Evict until [head, head+size) fits within the capacity window.
-	if c.head+int64(sb.Size)-c.tail > int64(c.capacity) {
-		c.evictFor(int64(sb.Size))
+// Place implements VictimPolicy: evict until [head, head+size) fits
+// within the capacity window, then claim the head.
+func (c *FIFOCache) Place(size int) (int64, error) {
+	if c.head+int64(size)-c.tail > int64(c.capacity) {
+		c.evictFor(int64(size))
 	}
 	voff := c.head
-	c.head += int64(sb.Size)
-	c.queue = append(c.queue, fifoEntry{id: sb.ID, voff: voff, size: sb.Size})
-	c.grow(sb.ID)
-	c.where[sb.ID] = voff
-	c.sizes[sb.ID] = int32(sb.Size)
-	c.resident++
-	c.stats.InsertedBlocks++
-	c.stats.InsertedBytes += uint64(sb.Size)
-	if c.links.frozen {
-		c.links.declareAll(sb.ID, sb.Links, &c.stats)
-	} else {
-		for _, to := range sb.Links {
-			c.links.declare(sb.ID, to, c.Contains, &c.stats)
-		}
-	}
-	c.links.onInsert(sb.ID, &c.stats)
-	return nil
+	c.head += int64(size)
+	return voff, nil
 }
 
-// AddLink implements Cache.
-func (c *FIFOCache) AddLink(from, to SuperblockID) error {
-	if !c.Contains(from) {
-		return fmt.Errorf("core: AddLink from non-resident superblock %d", from)
-	}
-	if err := validateID(to); err != nil {
-		return err
-	}
-	if c.links.frozen {
-		return fmt.Errorf("core: AddLink on a cache with frozen link adjacency")
-	}
-	c.links.declare(from, to, c.Contains, &c.stats)
-	return nil
+// OnInserted implements VictimPolicy: append the placed block to the
+// circular queue.
+func (c *FIFOCache) OnInserted(id SuperblockID, off int64, size int) {
+	c.queue = append(c.queue, fifoEntry{id: id, voff: off, size: size})
 }
+
+// ObserveHit implements VictimPolicy (FIFO ordering ignores hits).
+func (c *FIFOCache) ObserveHit(SuperblockID) {}
+
+// ObserveMiss implements VictimPolicy.
+func (c *FIFOCache) ObserveMiss(SuperblockID) {}
+
+// Observes implements VictimPolicy: the FIFO family needs no access
+// callbacks, which keeps the replay kernels' hit path branch-free.
+func (c *FIFOCache) Observes() (hits, misses bool) { return false, false }
+
+// EvictAll implements VictimPolicy.
+func (c *FIFOCache) EvictAll() { c.evictBelow(c.head) }
 
 // evictFor runs one eviction invocation making room for an insertion of
 // the given size.
@@ -332,63 +159,36 @@ func (c *FIFOCache) evictFor(size int64) {
 }
 
 // evictBelow removes, as a single eviction invocation, every block whose
-// start offset is below frontier.
+// start offset is below frontier. The queue is trimmed here; residency,
+// counters, and link bookkeeping run in the engine's evictBatch.
 func (c *FIFOCache) evictBelow(frontier int64) {
 	order := c.evictScratch[:0]
-	var bytes int64
 	for c.qfront < len(c.queue) && c.queue[c.qfront].voff < frontier {
-		e := c.queue[c.qfront]
+		order = append(order, c.queue[c.qfront].id)
 		c.qfront++
-		order = append(order, e.id)
-		bytes += int64(e.size)
-		c.where[e.id] = absentVoff
 	}
 	c.evictScratch = order
 	if len(order) == 0 {
 		return
 	}
-	c.resident -= len(order)
 	if c.qfront < len(c.queue) {
 		c.tail = c.queue[c.qfront].voff
 	} else {
 		c.tail = c.head
 		c.queue = c.queue[:0]
 		c.qfront = 0
-		c.stats.FullFlushes++
 	}
 	// Reclaim queue space once the dead prefix dominates.
 	if c.qfront > 1024 && c.qfront*2 > len(c.queue) {
 		c.queue = append(c.queue[:0], c.queue[c.qfront:]...)
 		c.qfront = 0
 	}
-
-	if c.evictHook != nil {
-		c.evictHook(order)
-	}
-
-	c.stats.EvictionInvocations++
-	c.stats.BlocksEvicted += uint64(len(order))
-	c.stats.BytesEvicted += uint64(bytes)
-
-	var sample *EvictionSample
-	if c.recordSamples {
-		c.samples = append(c.samples, EvictionSample{Bytes: int(bytes), Blocks: len(order)})
-		sample = &c.samples[len(c.samples)-1]
-	}
-	c.stats.UnlinkEvents += c.links.onEvict(order, &c.stats, sample)
+	c.evictBatch(order)
 }
 
-// Flush implements Cache: it empties the cache as one eviction invocation
-// regardless of granularity (used by the preemptive-flush policy).
-func (c *FIFOCache) Flush() {
-	if c.Resident() == 0 {
-		return
-	}
-	c.evictBelow(c.head)
-}
-
-// unitToken maps a resident block to its co-eviction group token.
-func (c *FIFOCache) unitToken(id SuperblockID) (int64, bool) {
+// UnitOf implements VictimPolicy, mapping a resident block to its
+// co-eviction group token.
+func (c *FIFOCache) UnitOf(id SuperblockID) (int64, bool) {
 	if !c.Contains(id) {
 		return 0, false
 	}
@@ -403,29 +203,21 @@ func (c *FIFOCache) unitToken(id SuperblockID) (int64, bool) {
 	}
 }
 
-// LinkCensus implements Cache.
-func (c *FIFOCache) LinkCensus() (intra, inter int) {
-	return c.links.census(c.unitToken)
-}
-
-// BackPtrTableBytes implements Cache. The paper estimates 16 bytes per
-// link (an 8-byte pointer plus an 8-byte list link); a FLUSH cache needs
-// no table at all because all links die together.
+// BackPtrTableBytes implements Cache, overriding the engine's default: a
+// FLUSH cache needs no back-pointer table at all because all links die
+// together.
 func (c *FIFOCache) BackPtrTableBytes() int {
 	if c.mode == modeFlush {
 		return 0
 	}
-	return 16 * c.links.patchedLinks()
+	return c.Engine.BackPtrTableBytes()
 }
-
-// PatchedLinks returns the number of currently patched chaining links.
-func (c *FIFOCache) PatchedLinks() int { return c.links.patchedLinks() }
 
 // CheckInvariants validates internal consistency; it is exported for tests
 // and returns the first violation found.
 func (c *FIFOCache) CheckInvariants() error {
-	if got := int(c.head - c.tail); got > c.capacity {
-		return fmt.Errorf("core: resident bytes %d exceed capacity %d", got, c.capacity)
+	if got := int(c.head - c.tail); got != c.ResidentBytes() {
+		return fmt.Errorf("core: virtual window %d != resident bytes %d", got, c.ResidentBytes())
 	}
 	var bytes int
 	prevEnd := c.tail
@@ -452,5 +244,5 @@ func (c *FIFOCache) CheckInvariants() error {
 	if c.resident != len(c.queue)-c.qfront {
 		return fmt.Errorf("core: index has %d blocks, queue has %d", c.resident, len(c.queue)-c.qfront)
 	}
-	return c.links.checkInvariants()
+	return c.checkEngineInvariants()
 }

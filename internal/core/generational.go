@@ -106,24 +106,74 @@ func (c *GenerationalCache) grow(id SuperblockID) {
 	c.hitCounts = hits
 }
 
+// PromotionThreshold returns the nursery hit count that triggers
+// promotion (used by the verification oracle to mirror the policy).
+func (c *GenerationalCache) PromotionThreshold() int { return c.threshold }
+
+// Reserve pre-sizes the promotion tables and both generations' dense
+// tables for IDs in [0, maxID].
+func (c *GenerationalCache) Reserve(maxID SuperblockID) {
+	c.grow(maxID)
+	c.nursery.Reserve(maxID)
+	c.tenured.Reserve(maxID)
+}
+
+// FreezeLinks freezes link adjacency in both generations; see
+// Engine.FreezeLinks for the contract. Promotion re-inserts the recorded
+// block metadata verbatim, which is exactly the frozen row.
+func (c *GenerationalCache) FreezeLinks(blocks []Superblock, chainingDisabled bool) {
+	c.nursery.FreezeLinks(blocks, chainingDisabled)
+	c.tenured.FreezeLinks(blocks, chainingDisabled)
+}
+
+// SetLazyPatchedCount defers patched-link counting in both generations;
+// see Engine.SetLazyPatchedCount for when this is safe.
+func (c *GenerationalCache) SetLazyPatchedCount(on bool) {
+	c.nursery.SetLazyPatchedCount(on)
+	c.tenured.SetLazyPatchedCount(on)
+}
+
+// PatchedLinks returns the number of currently patched chaining links
+// across both generations.
+func (c *GenerationalCache) PatchedLinks() int {
+	return c.nursery.PatchedLinks() + c.tenured.PatchedLinks()
+}
+
 // Contains implements Cache.
 func (c *GenerationalCache) Contains(id SuperblockID) bool {
 	return c.tenured.Contains(id) || c.nursery.Contains(id)
 }
 
-// Access implements Cache. A nursery hit may promote the block.
-func (c *GenerationalCache) Access(id SuperblockID) bool {
-	c.stats.Accesses++
+// HitFast is the replay kernel's access path: the policy side of Access
+// (promotion bookkeeping) without the wrapper's access counters, which
+// the kernel folds in batches via BatchAccessStats.
+func (c *GenerationalCache) HitFast(id SuperblockID) bool {
 	if c.tenured.Contains(id) {
-		c.stats.Hits++
 		return true
 	}
 	if c.nursery.Contains(id) {
-		c.stats.Hits++
 		c.hitCounts[id]++
 		if int(c.hitCounts[id]) >= c.threshold {
 			c.promote(id)
 		}
+		return true
+	}
+	return false
+}
+
+// BatchAccessStats folds a batch of access outcomes into the wrapper's
+// counters: accesses total probes, hits of which hit.
+func (c *GenerationalCache) BatchAccessStats(accesses, hits uint64) {
+	c.stats.Accesses += accesses
+	c.stats.Hits += hits
+	c.stats.Misses += accesses - hits
+}
+
+// Access implements Cache. A nursery hit may promote the block.
+func (c *GenerationalCache) Access(id SuperblockID) bool {
+	c.stats.Accesses++
+	if c.HitFast(id) {
+		c.stats.Hits++
 		return true
 	}
 	c.stats.Misses++

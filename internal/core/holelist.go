@@ -1,0 +1,389 @@
+package core
+
+// holeList indexes the free regions of the LRU arena: a two-level
+// chunked sorted array, ordered by hole offset. It replaces first a
+// sorted slice (linear scans and memmoves over the whole hole set) and
+// then an augmented treap (whose per-level recursion and max-repair
+// overhead dominated replay profiles): holes live in small fixed-size
+// buckets, with the per-bucket minimum offset and maximum hole size
+// mirrored in two flat summary arrays. Every operation is a short
+// linear scan of the summaries followed by a scan or memmove inside one
+// bucket — a few L1-resident cache lines, no pointers, no rebalancing —
+// and the steady state allocates nothing once the bucket array reaches
+// its high-water mark.
+//
+// The summary scans stay deliberately linear: a segment tree over the
+// bucket maxima and branch-free masked scans inside buckets were both
+// tried and measured slower on the replay benchmark, because the
+// summaries are a handful of contiguous cache lines and the mostly-
+// taken "keep scanning" branches predict well, while a tree descent
+// mispredicts at every level.
+//
+// Offsets and sizes are int32: NewLRU rejects capacities beyond int32
+// range, far above any code cache the paper considers.
+type holeList struct {
+	// minOff[i] and bmax[i] summarize buckets[i]: its first (lowest)
+	// hole offset and its largest hole size. Kept as flat parallel
+	// arrays so locate and first-fit scans touch contiguous memory.
+	minOff []int32
+	bmax   []int32
+	bucks  []holeBucket
+	count  int
+}
+
+// holeBucketCap is the fan-out: buckets split at this size and are
+// removed when they empty. 32 int32 pairs keep one bucket at four cache
+// lines while a ~1000-hole arena needs only ~40-60 summary entries.
+const holeBucketCap = 32
+
+type holeBucket struct {
+	n     int32
+	offs  [holeBucketCap]int32
+	sizes [holeBucketCap]int32
+}
+
+// reset empties the index, then installs a single hole covering
+// [off, off+size) when size > 0.
+func (l *holeList) reset(off, size int) {
+	l.minOff = l.minOff[:0]
+	l.bmax = l.bmax[:0]
+	l.bucks = l.bucks[:0]
+	l.count = 0
+	if size > 0 {
+		l.insert(off, size)
+	}
+}
+
+// insertBucket opens an empty bucket at position bi.
+func (l *holeList) insertBucket(bi int) {
+	l.minOff = append(l.minOff, 0)
+	copy(l.minOff[bi+1:], l.minOff[bi:])
+	l.bmax = append(l.bmax, 0)
+	copy(l.bmax[bi+1:], l.bmax[bi:])
+	l.bucks = append(l.bucks, holeBucket{})
+	copy(l.bucks[bi+1:], l.bucks[bi:])
+	l.bucks[bi] = holeBucket{}
+}
+
+// removeBucket drops the (empty) bucket at bi.
+func (l *holeList) removeBucket(bi int) {
+	l.minOff = append(l.minOff[:bi], l.minOff[bi+1:]...)
+	l.bmax = append(l.bmax[:bi], l.bmax[bi+1:]...)
+	l.bucks = append(l.bucks[:bi], l.bucks[bi+1:]...)
+}
+
+// recomputeMax refreshes bmax[bi] from the bucket's entries.
+func (l *holeList) recomputeMax(bi int) {
+	b := &l.bucks[bi]
+	m := int32(0)
+	for j := int32(0); j < b.n; j++ {
+		if b.sizes[j] > m {
+			m = b.sizes[j]
+		}
+	}
+	l.bmax[bi] = m
+}
+
+// split halves the full bucket bi, moving its upper entries into a new
+// successor bucket.
+func (l *holeList) split(bi int) {
+	l.insertBucket(bi + 1)
+	lo, hi := &l.bucks[bi], &l.bucks[bi+1]
+	half := int32(holeBucketCap / 2)
+	copy(hi.offs[:], lo.offs[half:])
+	copy(hi.sizes[:], lo.sizes[half:])
+	hi.n = holeBucketCap - half
+	lo.n = half
+	l.minOff[bi+1] = hi.offs[0]
+	l.recomputeMax(bi)
+	l.recomputeMax(bi + 1)
+}
+
+// insertEntry places a hole at position j of bucket bi, splitting first
+// when the bucket is full.
+func (l *holeList) insertEntry(bi int, j, off, size int32) {
+	if l.bucks[bi].n == holeBucketCap {
+		l.split(bi)
+		if j > l.bucks[bi].n {
+			j -= l.bucks[bi].n
+			bi++
+		}
+	}
+	b := &l.bucks[bi]
+	copy(b.offs[j+1:b.n+1], b.offs[j:b.n])
+	copy(b.sizes[j+1:b.n+1], b.sizes[j:b.n])
+	b.offs[j], b.sizes[j] = off, size
+	b.n++
+	if j == 0 {
+		l.minOff[bi] = off
+	}
+	if size > l.bmax[bi] {
+		l.bmax[bi] = size
+	}
+	l.count++
+}
+
+// deleteEntry removes entry j of bucket bi, dropping the bucket when it
+// empties.
+func (l *holeList) deleteEntry(bi int, j int32) {
+	b := &l.bucks[bi]
+	old := b.sizes[j]
+	copy(b.offs[j:b.n-1], b.offs[j+1:b.n])
+	copy(b.sizes[j:b.n-1], b.sizes[j+1:b.n])
+	b.n--
+	l.count--
+	if b.n == 0 {
+		l.removeBucket(bi)
+		return
+	}
+	if j == 0 {
+		l.minOff[bi] = b.offs[0]
+	}
+	if old == l.bmax[bi] {
+		l.recomputeMax(bi)
+	}
+}
+
+// insert adds a hole; offsets are unique by construction (holes never
+// overlap).
+func (l *holeList) insert(off, size int) {
+	o, s := int32(off), int32(size)
+	if len(l.bucks) == 0 {
+		l.insertBucket(0)
+		l.insertEntry(0, 0, o, s)
+		return
+	}
+	bi := l.locate(o)
+	if bi < 0 {
+		bi = 0
+	}
+	b := &l.bucks[bi]
+	j := int32(0)
+	for j < b.n && b.offs[j] < o {
+		j++
+	}
+	l.insertEntry(bi, j, o, s)
+}
+
+// locate returns the last bucket whose minimum offset is <= off, or -1
+// when off precedes every bucket.
+func (l *holeList) locate(off int32) int {
+	bi := -1
+	for i, m := range l.minOff {
+		if m > off {
+			break
+		}
+		bi = i
+	}
+	return bi
+}
+
+// allocFirstFit carves take bytes off the lowest-offset hole of at
+// least take bytes: one pass over the bucket maxima, one scan inside
+// the first qualifying bucket.
+func (l *holeList) allocFirstFit(take int) (off int, ok bool) {
+	t := int32(take)
+	for bi, m := range l.bmax {
+		if m < t {
+			continue
+		}
+		b := &l.bucks[bi]
+		for j := int32(0); j < b.n; j++ {
+			if b.sizes[j] < t {
+				continue
+			}
+			off = int(b.offs[j])
+			if b.sizes[j] == t {
+				l.deleteEntry(bi, j)
+				return off, true
+			}
+			b.offs[j] += t
+			b.sizes[j] -= t
+			if j == 0 {
+				l.minOff[bi] = b.offs[0]
+			}
+			if b.sizes[j]+t == l.bmax[bi] {
+				l.recomputeMax(bi)
+			}
+			return off, true
+		}
+	}
+	return 0, false
+}
+
+// freeAndTake returns the region [off, off+size) to the index,
+// coalescing it with adjacent holes, and — when the merged hole reaches
+// want bytes — immediately re-carves its first want bytes for the
+// caller, reporting the placement. This is the whole per-victim cost of
+// the LRU eviction loop.
+//
+// Checking only the merged hole suffices for the caller's first-fit
+// placement: freeAndTake runs after a failed allocFirstFit, so no other
+// hole fits want bytes, and each call touches exactly one region — the
+// merged hole is the unique candidate, and when it fits it is the first
+// fit by construction.
+func (l *holeList) freeAndTake(off, size, want int) (place int, taken bool) {
+	o, s, w := int32(off), int32(size), int32(want)
+	bi := l.locate(o)
+
+	// Bracket the freed region: with minOff[bi] <= o the predecessor is
+	// always inside bucket bi; the successor is the next entry, possibly
+	// the first of the next bucket.
+	pj := int32(-1)
+	predAdj, succAdj := false, false
+	var sbi int
+	var sj int32
+	if bi >= 0 {
+		b := &l.bucks[bi]
+		pj = b.n - 1
+		for b.offs[pj] > o {
+			pj--
+		}
+		predAdj = b.offs[pj]+b.sizes[pj] == o
+		sbi, sj = bi, pj+1
+		if sj == b.n {
+			sbi, sj = bi+1, 0
+		}
+	} else {
+		sbi, sj = 0, 0
+	}
+	if sbi < len(l.bucks) {
+		succAdj = o+s == l.bucks[sbi].offs[sj]
+	}
+
+	moff, msize := o, s
+	if predAdj {
+		moff = l.bucks[bi].offs[pj]
+		msize += l.bucks[bi].sizes[pj]
+	}
+	if succAdj {
+		msize += l.bucks[sbi].sizes[sj]
+	}
+	taken = msize >= w
+	if taken {
+		place = int(moff)
+	}
+
+	switch {
+	case predAdj && succAdj:
+		// The predecessor absorbs everything; deleting the successor
+		// (a higher entry, or a later bucket) leaves (bi, pj) stable.
+		l.deleteEntry(sbi, sj)
+		l.setEntry(bi, pj, moff, msize, w, taken)
+	case predAdj:
+		l.setEntry(bi, pj, moff, msize, w, taken)
+	case succAdj:
+		l.setEntry(sbi, sj, moff, msize, w, taken)
+	default:
+		if !taken {
+			if bi >= 0 {
+				l.insertEntry(bi, pj+1, o, s)
+			} else if len(l.bucks) == 0 {
+				l.insertBucket(0)
+				l.insertEntry(0, 0, o, s)
+			} else {
+				l.insertEntry(0, 0, o, s)
+			}
+		} else if msize > w {
+			// The freed region alone fits: the remainder is a fresh hole.
+			l.insert(int(moff+w), int(msize-w))
+		}
+	}
+	return place, taken
+}
+
+// setEntry rewrites the merged hole at (bi, j) to (off, size), carving
+// its first want bytes when taken. The rewritten bounds stay strictly
+// between the entry's neighbors (the merge consumed the only regions in
+// between), so the position is preserved.
+func (l *holeList) setEntry(bi int, j, off, size, want int32, taken bool) {
+	if taken {
+		if size == want {
+			l.deleteEntry(bi, j)
+			return
+		}
+		off += want
+		size -= want
+	}
+	b := &l.bucks[bi]
+	old := b.sizes[j]
+	b.offs[j], b.sizes[j] = off, size
+	if j == 0 {
+		l.minOff[bi] = off
+	}
+	switch {
+	case size > l.bmax[bi]:
+		l.bmax[bi] = size
+	case old == l.bmax[bi] && size < old:
+		l.recomputeMax(bi)
+	}
+}
+
+// largest returns the biggest hole size, 0 when the arena is full.
+func (l *holeList) largest() int {
+	m := int32(0)
+	for _, v := range l.bmax {
+		if v > m {
+			m = v
+		}
+	}
+	return int(m)
+}
+
+// ascend visits every hole in offset order.
+func (l *holeList) ascend(fn func(off, size int)) {
+	for bi := range l.bucks {
+		b := &l.bucks[bi]
+		for j := int32(0); j < b.n; j++ {
+			fn(int(b.offs[j]), int(b.sizes[j]))
+		}
+	}
+}
+
+// checkInvariants validates the chunked-array structure: bucket sizes,
+// summary mirrors, global offset order, and the entry count.
+func (l *holeList) checkInvariants() error {
+	if len(l.minOff) != len(l.bucks) || len(l.bmax) != len(l.bucks) {
+		return errHoleSummary
+	}
+	total := 0
+	last := int32(-1)
+	for bi := range l.bucks {
+		b := &l.bucks[bi]
+		if b.n < 1 || b.n > holeBucketCap {
+			return errHoleBucketSize
+		}
+		if l.minOff[bi] != b.offs[0] {
+			return errHoleSummary
+		}
+		m := int32(0)
+		for j := int32(0); j < b.n; j++ {
+			if b.offs[j] <= last {
+				return errHoleOrder
+			}
+			last = b.offs[j]
+			if b.sizes[j] > m {
+				m = b.sizes[j]
+			}
+		}
+		if l.bmax[bi] != m {
+			return errHoleSummary
+		}
+		total += int(b.n)
+	}
+	if total != l.count {
+		return errHoleCount
+	}
+	return nil
+}
+
+var (
+	errHoleOrder      = holeListError("hole list violates offset order")
+	errHoleSummary    = holeListError("hole list summary arrays stale")
+	errHoleBucketSize = holeListError("hole list bucket size out of range")
+	errHoleCount      = holeListError("hole list count stale")
+)
+
+type holeListError string
+
+func (e holeListError) Error() string { return string(e) }

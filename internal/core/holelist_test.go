@@ -1,0 +1,146 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHoleListGrowthAndDrain drives the chunked array through bucket
+// splits (ascending inserts fill and split the last bucket) and bucket
+// removal (exact-fit allocations drain entries one by one), checking
+// structural invariants at every boundary.
+func TestHoleListGrowthAndDrain(t *testing.T) {
+	var l holeList
+	l.reset(0, 0)
+	const n = 3 * holeBucketCap // enough one-byte holes to force splits
+	for i := 0; i < n; i++ {
+		l.insert(i*2, 1) // disjoint: gaps prevent accidental adjacency
+		if err := l.checkInvariants(); err != nil {
+			t.Fatalf("after insert %d: %v", i, err)
+		}
+	}
+	if l.count != n {
+		t.Fatalf("count = %d, want %d", l.count, n)
+	}
+	if len(l.bucks) < 2 {
+		t.Fatalf("expected bucket splits, got %d bucket(s)", len(l.bucks))
+	}
+	if l.largest() != 1 {
+		t.Fatalf("largest = %d, want 1", l.largest())
+	}
+	prev := -1
+	l.ascend(func(off, size int) {
+		if off <= prev {
+			t.Fatalf("ascend out of order: %d after %d", off, prev)
+		}
+		prev = off
+	})
+	// No hole fits 2 bytes.
+	if _, ok := l.allocFirstFit(2); ok {
+		t.Fatal("allocFirstFit(2) succeeded with only 1-byte holes")
+	}
+	// Exact fits drain in offset order and empty every bucket.
+	for i := 0; i < n; i++ {
+		off, ok := l.allocFirstFit(1)
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if off != i*2 {
+			t.Fatalf("alloc %d placed at %d, want %d (first fit)", i, off, i*2)
+		}
+	}
+	if l.count != 0 || len(l.bucks) != 0 {
+		t.Fatalf("drained list has count %d, %d buckets", l.count, len(l.bucks))
+	}
+	if l.largest() != 0 {
+		t.Fatalf("largest on empty list = %d, want 0", l.largest())
+	}
+	if err := l.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHoleListReverseInsert exercises locate and in-bucket memmoves by
+// inserting in descending offset order.
+func TestHoleListReverseInsert(t *testing.T) {
+	var l holeList
+	l.reset(0, 0)
+	const n = 2 * holeBucketCap
+	for i := n - 1; i >= 0; i-- {
+		l.insert(i*3, 2)
+		if err := l.checkInvariants(); err != nil {
+			t.Fatalf("after insert at %d: %v", i*3, err)
+		}
+	}
+	if l.count != n {
+		t.Fatalf("count = %d, want %d", l.count, n)
+	}
+	// Carving one byte off a 2-byte hole leaves the remainder in place.
+	off, ok := l.allocFirstFit(1)
+	if !ok || off != 0 {
+		t.Fatalf("allocFirstFit(1) = (%d, %v), want (0, true)", off, ok)
+	}
+	if err := l.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHoleListFreeAndTakeMerging pins the eviction-loop contract: frees
+// coalesce with both neighbors, and the placement is carved out of the
+// merged hole the moment it reaches the requested size.
+func TestHoleListFreeAndTakeMerging(t *testing.T) {
+	var l holeList
+	l.reset(0, 256)
+	if off, ok := l.allocFirstFit(256); !ok || off != 0 {
+		t.Fatalf("draining alloc = (%d, %v)", off, ok)
+	}
+	huge := 1 << 20 // never satisfiable: frees must just insert holes
+	if _, taken := l.freeAndTake(0, 64, huge); taken {
+		t.Fatal("64-byte free satisfied a huge request")
+	}
+	if _, taken := l.freeAndTake(128, 64, huge); taken {
+		t.Fatal("disjoint free satisfied a huge request")
+	}
+	if err := l.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if l.count != 2 {
+		t.Fatalf("count = %d, want 2 disjoint holes", l.count)
+	}
+	// Freeing the gap merges all three regions into [0,192) and the
+	// request is satisfied at the merged hole's base.
+	place, taken := l.freeAndTake(64, 64, 192)
+	if !taken || place != 0 {
+		t.Fatalf("merged freeAndTake = (%d, %v), want (0, true)", place, taken)
+	}
+	if l.count != 0 {
+		t.Fatalf("count = %d after exact merged take, want 0", l.count)
+	}
+	// Free region alone fits: remainder becomes a fresh hole.
+	place, taken = l.freeAndTake(192, 64, 32)
+	if !taken || place != 192 {
+		t.Fatalf("self-fitting freeAndTake = (%d, %v), want (192, true)", place, taken)
+	}
+	if l.largest() != 32 {
+		t.Fatalf("largest = %d, want the 32-byte remainder", l.largest())
+	}
+	if err := l.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHoleListErrorStrings(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want string
+	}{
+		{errHoleOrder, "order"},
+		{errHoleSummary, "summary"},
+		{errHoleBucketSize, "bucket"},
+		{errHoleCount, "count"},
+	} {
+		if !strings.Contains(tc.err.Error(), tc.want) {
+			t.Errorf("%v does not mention %q", tc.err, tc.want)
+		}
+	}
+}

@@ -289,15 +289,6 @@ func (lt *linkTable) evicted(id SuperblockID) bool {
 	return int(id) < len(lt.marks) && lt.marks[id] == lt.epoch
 }
 
-// live reports whether the declared edge from->to is alive: the source
-// must be resident and the edge declared during its current residency.
-func (lt *linkTable) live(from, to SuperblockID) bool {
-	if lt.frozen {
-		return lt.resident[from] && contains(lt.foutRow(from), to)
-	}
-	return lt.resident[from] && contains(lt.out[from], to)
-}
-
 // declare records a link from a resident block; it is patched when the
 // target is resident and pending otherwise. resident reports residency
 // (the owning cache's view; during an insertion the table's own flag for

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -15,27 +16,25 @@ import (
 // total free space (pure fragmentation evictions) and how much of the
 // arena sits in unusable holes.
 //
-// Like the FIFO family, residency is indexed by dense SuperblockID, and
-// eviction reuses scratch buffers plus a node free list so the steady
-// state allocates nothing.
+// The type is the Engine's recency VictimPolicy: the embedded Engine owns
+// residency, offsets, sizes, counters, and links, while this struct keeps
+// only the ordering state — an intrusive recency list over dense IDs and
+// the hole index. Everything is flat int32 slices, so the steady state
+// allocates nothing and the hot paths never chase pointers.
 type LRUCache struct {
-	name     string
-	capacity int
+	Engine
 
-	nodes    []*lruNode // id -> node, nil when not resident
-	resident int
-	// Recency list: mru.next ... lru; sentinel-free doubly linked list.
-	mru, lru *lruNode
+	// Intrusive recency list: prevID/nextID are doubly-linked-list
+	// neighbors indexed by SuperblockID, valid only while the block is
+	// resident (the engine's where table is the membership test).
+	// head is the most recently used block, tail the eviction victim.
+	prevID, nextID []int32
+	head, tail     int32
 
-	holes []hole // sorted by offset, coalesced
-
-	links *linkTable
-	stats Stats
-
-	// evictScratch is the reusable per-invocation victim list.
-	evictScratch []SuperblockID
-	// freeNodes recycles evicted list nodes.
-	freeNodes []*lruNode
+	holes holeList // free regions, first-fit by lowest offset
+	// freeBytes mirrors the holes' byte sum so aggregate-space queries in
+	// the eviction loop are O(1); CheckInvariants re-tallies it.
+	freeBytes int
 
 	// FragEvictions counts blocks evicted while total free space already
 	// exceeded the incoming block's size: evictions forced purely by
@@ -48,336 +47,236 @@ type LRUCache struct {
 	preEvict func(size int) bool
 }
 
-type lruNode struct {
-	id         SuperblockID
-	off, size  int
-	prev, next *lruNode
-}
+const lruNil = int32(-1)
 
-type hole struct{ off, size int }
-
-var _ Cache = (*LRUCache)(nil)
+var (
+	_ Cache        = (*LRUCache)(nil)
+	_ VictimPolicy = (*LRUCache)(nil)
+	_ EngineBacked = (*LRUCache)(nil)
+)
 
 // NewLRU returns an LRU cache with the given capacity in bytes.
 func NewLRU(capacity int) (*LRUCache, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("core: capacity must be positive, got %d", capacity)
 	}
-	return &LRUCache{
-		name:     "LRU",
-		capacity: capacity,
-		holes:    []hole{{off: 0, size: capacity}},
-		links:    newLinkTable(),
-	}, nil
+	if capacity > math.MaxInt32 {
+		return nil, fmt.Errorf("core: LRU capacity %d exceeds the hole index limit", capacity)
+	}
+	c := &LRUCache{head: lruNil, tail: lruNil}
+	c.holes.reset(0, capacity)
+	c.freeBytes = capacity
+	c.initEngine("LRU", capacity)
+	c.bindPolicy(c)
+	return c, nil
 }
-
-// Name implements Cache.
-func (c *LRUCache) Name() string { return c.name }
-
-// Capacity implements Cache.
-func (c *LRUCache) Capacity() int { return c.capacity }
 
 // Units implements Cache: LRU evicts single blocks, like fine-grained FIFO.
 func (c *LRUCache) Units() int { return 0 }
 
-// Stats implements Cache.
-func (c *LRUCache) Stats() *Stats { return &c.stats }
-
-// grow extends the dense node table to cover id.
-func (c *LRUCache) grow(id SuperblockID) {
-	if int(id) < len(c.nodes) {
+// growList extends the dense list tables to cover id.
+func (c *LRUCache) growList(id SuperblockID) {
+	if int(id) < len(c.prevID) {
 		return
 	}
 	n := int(id) + 1
-	if n < 2*len(c.nodes) {
-		n = 2 * len(c.nodes)
+	if n < 2*len(c.prevID) {
+		n = 2 * len(c.prevID)
 	}
-	nodes := make([]*lruNode, n)
-	copy(nodes, c.nodes)
-	c.nodes = nodes
+	prev := make([]int32, n)
+	copy(prev, c.prevID)
+	c.prevID = prev
+	next := make([]int32, n)
+	copy(next, c.nextID)
+	c.nextID = next
 }
 
-// node returns the resident node for id, or nil.
-func (c *LRUCache) node(id SuperblockID) *lruNode {
-	if int(id) >= len(c.nodes) {
-		return nil
-	}
-	return c.nodes[id]
-}
-
-// Contains implements Cache.
-func (c *LRUCache) Contains(id SuperblockID) bool { return c.node(id) != nil }
-
-// Resident implements Cache.
-func (c *LRUCache) Resident() int { return c.resident }
-
-// ResidentBytes implements Cache.
-func (c *LRUCache) ResidentBytes() int {
-	free := 0
-	for _, h := range c.holes {
-		free += h.size
-	}
-	return c.capacity - free
+// Reserve pre-sizes the engine tables and the recency list for IDs in
+// [0, maxID].
+func (c *LRUCache) Reserve(maxID SuperblockID) {
+	c.Engine.Reserve(maxID)
+	c.growList(maxID)
 }
 
 // FreeBytes returns the total free space across all holes.
-func (c *LRUCache) FreeBytes() int { return c.capacity - c.ResidentBytes() }
+func (c *LRUCache) FreeBytes() int { return c.freeBytes }
 
 // LargestHole returns the size of the biggest contiguous free region.
-func (c *LRUCache) LargestHole() int {
-	best := 0
-	for _, h := range c.holes {
-		if h.size > best {
-			best = h.size
-		}
-	}
-	return best
-}
+func (c *LRUCache) LargestHole() int { return c.holes.largest() }
 
-// Access implements Cache; a hit refreshes recency.
-func (c *LRUCache) Access(id SuperblockID) bool {
-	c.stats.Accesses++
-	n := c.node(id)
-	if n == nil {
-		c.stats.Misses++
-		return false
-	}
-	c.stats.Hits++
-	c.touch(n)
-	return true
-}
+// ObserveHit implements VictimPolicy; a hit refreshes recency.
+func (c *LRUCache) ObserveHit(id SuperblockID) { c.touch(int32(id)) }
 
-func (c *LRUCache) touch(n *lruNode) {
-	if c.mru == n {
+// ObserveMiss implements VictimPolicy.
+func (c *LRUCache) ObserveMiss(SuperblockID) {}
+
+// Observes implements VictimPolicy: LRU needs the hit stream for recency.
+func (c *LRUCache) Observes() (hits, misses bool) { return true, false }
+
+// touch moves the resident block id to the front of the recency list.
+func (c *LRUCache) touch(id int32) {
+	if c.head == id {
 		return
 	}
-	c.unlink(n)
-	n.next = c.mru
-	if c.mru != nil {
-		c.mru.prev = n
+	c.unlink(id)
+	c.pushFront(id)
+}
+
+// pushFront makes id the most recently used block.
+func (c *LRUCache) pushFront(id int32) {
+	c.prevID[id] = lruNil
+	c.nextID[id] = c.head
+	if c.head != lruNil {
+		c.prevID[c.head] = id
 	}
-	c.mru = n
-	if c.lru == nil {
-		c.lru = n
+	c.head = id
+	if c.tail == lruNil {
+		c.tail = id
 	}
 }
 
-func (c *LRUCache) unlink(n *lruNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
-	} else if c.mru == n {
-		c.mru = n.next
+// unlink removes the resident block id from the recency list.
+func (c *LRUCache) unlink(id int32) {
+	p, n := c.prevID[id], c.nextID[id]
+	if p != lruNil {
+		c.nextID[p] = n
+	} else {
+		c.head = n
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
-	} else if c.lru == n {
-		c.lru = n.prev
+	if n != lruNil {
+		c.prevID[n] = p
+	} else {
+		c.tail = p
 	}
-	n.prev, n.next = nil, nil
 }
 
-// newNode takes a node from the free list or allocates one.
-func (c *LRUCache) newNode(id SuperblockID, off, size int) *lruNode {
-	if k := len(c.freeNodes); k > 0 {
-		n := c.freeNodes[k-1]
-		c.freeNodes = c.freeNodes[:k-1]
-		*n = lruNode{id: id, off: off, size: size}
-		return n
-	}
-	return &lruNode{id: id, off: off, size: size}
-}
-
-// retire removes a resident node from the index and recycles it.
-func (c *LRUCache) retire(n *lruNode) {
-	c.nodes[n.id] = nil
-	c.resident--
-	c.freeNodes = append(c.freeNodes, n)
-}
-
-// alloc finds a first-fit hole; ok is false when no hole is big enough.
+// alloc carves size bytes off the first-fit hole; ok is false when no
+// hole is big enough.
 func (c *LRUCache) alloc(size int) (int, bool) {
-	for i, h := range c.holes {
-		if h.size >= size {
-			off := h.off
-			if h.size == size {
-				c.holes = append(c.holes[:i], c.holes[i+1:]...)
-			} else {
-				c.holes[i] = hole{off: h.off + size, size: h.size - size}
-			}
-			return off, true
-		}
-	}
-	return 0, false
-}
-
-// free returns a region to the hole list, coalescing neighbors.
-func (c *LRUCache) free(off, size int) {
-	i := sort.Search(len(c.holes), func(i int) bool { return c.holes[i].off >= off })
-	c.holes = append(c.holes, hole{})
-	copy(c.holes[i+1:], c.holes[i:])
-	c.holes[i] = hole{off: off, size: size}
-	// Coalesce with successor, then predecessor.
-	if i+1 < len(c.holes) && c.holes[i].off+c.holes[i].size == c.holes[i+1].off {
-		c.holes[i].size += c.holes[i+1].size
-		c.holes = append(c.holes[:i+1], c.holes[i+2:]...)
-	}
-	if i > 0 && c.holes[i-1].off+c.holes[i-1].size == c.holes[i].off {
-		c.holes[i-1].size += c.holes[i].size
-		c.holes = append(c.holes[:i], c.holes[i+1:]...)
-	}
-}
-
-// Insert implements Cache: evict least-recently-used blocks until a
-// first-fit hole accommodates the new superblock.
-func (c *LRUCache) Insert(sb Superblock) error {
-	if err := validateInsert(c, sb); err != nil {
-		return err
-	}
-	off, ok := c.alloc(sb.Size)
+	off, ok := c.holes.allocFirstFit(size)
 	if !ok {
-		evicted := c.evictScratch[:0]
-		var bytes int
-		for {
-			if c.preEvict != nil && c.preEvict(sb.Size) {
-				if off, ok = c.alloc(sb.Size); ok {
-					break
-				}
-			}
-			victim := c.lru
-			if victim == nil {
-				// Whole cache freed and it still doesn't fit: impossible
-				// given the validateInsert capacity check.
-				c.evictScratch = evicted
-				return fmt.Errorf("core: LRU could not place %d bytes in empty cache", sb.Size)
-			}
-			if c.FreeBytes() >= sb.Size {
-				// There is room in aggregate, yet no hole fits: this
-				// eviction is forced by fragmentation alone.
-				c.FragEvictions++
-			}
-			c.unlink(victim)
-			c.free(victim.off, victim.size)
-			evicted = append(evicted, victim.id)
-			bytes += victim.size
-			c.retire(victim)
-			if off, ok = c.alloc(sb.Size); ok {
+		return 0, false
+	}
+	c.freeBytes -= size
+	return off, true
+}
+
+// Place implements VictimPolicy: evict least-recently-used blocks until a
+// first-fit hole accommodates the new superblock.
+func (c *LRUCache) Place(size int) (int64, error) {
+	if off, ok := c.alloc(size); ok {
+		return int64(off), nil
+	}
+	evicted := c.evictScratch[:0]
+	var off int
+	for {
+		if c.preEvict != nil && c.preEvict(size) {
+			if o, ok := c.alloc(size); ok {
+				off = o
 				break
 			}
 		}
-		c.evictScratch = evicted
-		if len(evicted) > 0 {
-			c.stats.EvictionInvocations++
-			c.stats.BlocksEvicted += uint64(len(evicted))
-			c.stats.BytesEvicted += uint64(bytes)
-			if c.resident == 0 {
-				c.stats.FullFlushes++
-			}
-			c.stats.UnlinkEvents += c.links.onEvict(evicted, &c.stats, nil)
+		victim := c.tail
+		if victim == lruNil {
+			// Whole cache freed and it still doesn't fit: impossible
+			// given the engine's capacity check.
+			c.evictScratch = evicted
+			c.evictBatch(evicted)
+			return 0, fmt.Errorf("core: LRU could not place %d bytes in empty cache", size)
 		}
-	}
-	n := c.newNode(sb.ID, off, sb.Size)
-	c.grow(sb.ID)
-	c.nodes[sb.ID] = n
-	c.resident++
-	c.touch(n)
-	c.stats.InsertedBlocks++
-	c.stats.InsertedBytes += uint64(sb.Size)
-	for _, to := range sb.Links {
-		c.links.declare(sb.ID, to, c.Contains, &c.stats)
-	}
-	c.links.onInsert(sb.ID, &c.stats)
-	return nil
-}
-
-// AddLink implements Cache.
-func (c *LRUCache) AddLink(from, to SuperblockID) error {
-	if !c.Contains(from) {
-		return fmt.Errorf("core: AddLink from non-resident superblock %d", from)
-	}
-	if err := validateID(to); err != nil {
-		return err
-	}
-	c.links.declare(from, to, c.Contains, &c.stats)
-	return nil
-}
-
-// Flush implements Cache.
-func (c *LRUCache) Flush() {
-	if c.resident == 0 {
-		return
-	}
-	evicted := c.evictScratch[:0]
-	var bytes int
-	for n := c.mru; n != nil; n = n.next {
-		evicted = append(evicted, n.id)
-		bytes += n.size
-	}
-	for n := c.mru; n != nil; {
-		next := n.next
-		n.prev, n.next = nil, nil
-		c.retire(n)
-		n = next
+		if c.FreeBytes() >= size {
+			// There is room in aggregate, yet no hole fits: this
+			// eviction is forced by fragmentation alone.
+			c.FragEvictions++
+		}
+		c.unlink(victim)
+		c.freeBytes += int(c.sizes[victim])
+		// freeAndTake both returns the victim's bytes and, the moment the
+		// merged hole fits, carves the placement out of it — one hole-index
+		// pass per victim, and the merged hole is provably the first fit
+		// (see freeAndTake).
+		place, ok := c.holes.freeAndTake(int(c.where[victim]), int(c.sizes[victim]), size)
+		evicted = append(evicted, SuperblockID(victim))
+		if ok {
+			c.freeBytes -= size
+			off = place
+			break
+		}
 	}
 	c.evictScratch = evicted
-	c.mru, c.lru = nil, nil
-	c.holes = c.holes[:0]
-	c.holes = append(c.holes, hole{off: 0, size: c.capacity})
-	c.stats.EvictionInvocations++
-	c.stats.BlocksEvicted += uint64(len(evicted))
-	c.stats.BytesEvicted += uint64(bytes)
-	c.stats.FullFlushes++
-	c.stats.UnlinkEvents += c.links.onEvict(evicted, &c.stats, nil)
+	c.evictBatch(evicted)
+	return int64(off), nil
 }
 
-// LinkCensus implements Cache: every block is its own eviction unit, so
-// only self-links are intra-unit.
-func (c *LRUCache) LinkCensus() (intra, inter int) {
-	return c.links.census(func(id SuperblockID) (int64, bool) {
-		n := c.node(id)
-		if n == nil {
-			return 0, false
-		}
-		return int64(n.off), true
-	})
+// OnInserted implements VictimPolicy: make the placed block most recently
+// used. Offsets and sizes live in the engine's tables.
+func (c *LRUCache) OnInserted(id SuperblockID, off int64, size int) {
+	c.growList(id)
+	c.pushFront(int32(id))
 }
 
-// BackPtrTableBytes implements Cache.
-func (c *LRUCache) BackPtrTableBytes() int { return 16 * c.links.patchedLinks() }
+// EvictAll implements VictimPolicy.
+func (c *LRUCache) EvictAll() {
+	order := c.evictScratch[:0]
+	for id := c.head; id != lruNil; id = c.nextID[id] {
+		order = append(order, SuperblockID(id))
+	}
+	c.evictScratch = order
+	c.head, c.tail = lruNil, lruNil
+	c.holes.reset(0, c.capacity)
+	c.freeBytes = c.capacity
+	c.evictBatch(order)
+}
+
+// UnitOf implements VictimPolicy: every block is its own eviction unit,
+// so only self-links are intra-unit.
+func (c *LRUCache) UnitOf(id SuperblockID) (int64, bool) {
+	return c.Where(id)
+}
 
 // CheckInvariants validates allocator and list consistency.
 func (c *LRUCache) CheckInvariants() error {
-	// Holes sorted, non-overlapping, non-adjacent, in range.
-	for i, h := range c.holes {
+	if err := c.holes.checkInvariants(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	// Holes sorted, non-overlapping, non-adjacent, in range; the running
+	// byte counter matches the tally.
+	type region struct{ off, size int }
+	holes := make([]region, 0, c.holes.count)
+	tally := 0
+	c.holes.ascend(func(off, size int) {
+		holes = append(holes, region{off, size})
+		tally += size
+	})
+	for i, h := range holes {
 		if h.size <= 0 || h.off < 0 || h.off+h.size > c.capacity {
 			return fmt.Errorf("core: bad hole %+v", h)
 		}
 		if i > 0 {
-			prev := c.holes[i-1]
+			prev := holes[i-1]
 			if prev.off+prev.size >= h.off {
 				return fmt.Errorf("core: holes %+v and %+v overlap or touch", prev, h)
 			}
 		}
 	}
+	if tally != c.freeBytes {
+		return fmt.Errorf("core: free-byte counter %d != hole tally %d", c.freeBytes, tally)
+	}
+	if got := c.capacity - c.FreeBytes(); got != c.ResidentBytes() {
+		return fmt.Errorf("core: allocator accounts %d resident bytes, engine %d", got, c.ResidentBytes())
+	}
 	// Blocks and holes partition the arena.
-	type region struct{ off, size int }
-	regions := make([]region, 0, c.resident+len(c.holes))
-	live := 0
-	for id, n := range c.nodes {
-		if n == nil {
+	regions := make([]region, 0, c.resident+len(holes))
+	for id, voff := range c.where {
+		if voff == absentVoff {
 			continue
 		}
-		if n.id != SuperblockID(id) {
-			return fmt.Errorf("core: node for %d carries id %d", id, n.id)
-		}
-		regions = append(regions, region{n.off, n.size})
-		live++
+		regions = append(regions, region{int(voff), int(c.sizes[id])})
 	}
-	if live != c.resident {
-		return fmt.Errorf("core: resident count %d != indexed nodes %d", c.resident, live)
+	if len(regions) != c.resident {
+		return fmt.Errorf("core: resident count %d != occupied regions %d", c.resident, len(regions))
 	}
-	for _, h := range c.holes {
-		regions = append(regions, region{h.off, h.size})
-	}
+	regions = append(regions, holes...)
 	sort.Slice(regions, func(i, j int) bool { return regions[i].off < regions[j].off })
 	at := 0
 	for _, r := range regions {
@@ -391,9 +290,9 @@ func (c *LRUCache) CheckInvariants() error {
 	}
 	// Recency list contains exactly the resident blocks.
 	seen := 0
-	for n := c.mru; n != nil; n = n.next {
-		if c.node(n.id) != n {
-			return fmt.Errorf("core: recency node %d not indexed", n.id)
+	for id := c.head; id != lruNil; id = c.nextID[id] {
+		if !c.Contains(SuperblockID(id)) {
+			return fmt.Errorf("core: recency node %d not resident", id)
 		}
 		seen++
 		if seen > c.resident {
@@ -401,7 +300,7 @@ func (c *LRUCache) CheckInvariants() error {
 		}
 	}
 	if seen != c.resident {
-		return fmt.Errorf("core: recency list has %d nodes, index has %d", seen, c.resident)
+		return fmt.Errorf("core: recency list has %d nodes, engine has %d resident", seen, c.resident)
 	}
-	return c.links.checkInvariants()
+	return c.checkEngineInvariants()
 }

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // PolicyKind enumerates the eviction policies in this package.
 type PolicyKind uint8
@@ -74,6 +78,49 @@ func (p Policy) New(capacity int) (Cache, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown policy kind %d", p.Kind)
 	}
+}
+
+// ParsePolicy parses a policy display name: "flush", "fifo" (or "fine"),
+// "lru", "compacting-lru", "adaptive", "preemptive", "N-unit" (e.g.
+// "8-unit", with "1-unit" meaning FLUSH), or "generational/N" (bare
+// "generational" defaults to 8 tenured units). It accepts every name
+// Policy.String produces.
+func ParsePolicy(s string) (Policy, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "flush":
+		return Policy{Kind: PolicyFlush}, nil
+	case "fifo", "fine":
+		return Policy{Kind: PolicyFine}, nil
+	case "lru":
+		return Policy{Kind: PolicyLRU}, nil
+	case "compacting-lru":
+		return Policy{Kind: PolicyCompactingLRU}, nil
+	case "adaptive":
+		return Policy{Kind: PolicyAdaptive}, nil
+	case "preemptive", "preemptive-flush":
+		return Policy{Kind: PolicyPreemptive}, nil
+	case "generational":
+		return Policy{Kind: PolicyGenerational, Units: 8}, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "generational/"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 1 {
+			return Policy{}, fmt.Errorf("core: bad generational unit count %q", rest)
+		}
+		return Policy{Kind: PolicyGenerational, Units: n}, nil
+	}
+	if unitStr, ok := strings.CutSuffix(s, "-unit"); ok {
+		n, err := strconv.Atoi(unitStr)
+		if err != nil || n < 1 {
+			return Policy{}, fmt.Errorf("core: bad unit count %q", unitStr)
+		}
+		if n == 1 {
+			return Policy{Kind: PolicyFlush}, nil
+		}
+		return Policy{Kind: PolicyUnits, Units: n}, nil
+	}
+	return Policy{}, fmt.Errorf("core: unknown policy %q", s)
 }
 
 // GranularitySweep returns the paper's x-axis: FLUSH, then 2..maxUnits

@@ -51,26 +51,35 @@ func NewPreemptiveFlush(capacity, window int, threshold, minFill float64) (*Pree
 		return nil, err
 	}
 	base.name = "preemptive-flush"
-	return &PreemptiveFlushCache{
+	c := &PreemptiveFlushCache{
 		FIFOCache: base,
 		window:    window,
 		threshold: threshold,
 		minFill:   minFill,
 		recent:    make([]bool, window),
-	}, nil
+	}
+	// Rebind the engine to the wrapper so the access stream feeds the
+	// phase detector through the observers below.
+	base.bindPolicy(c)
+	return c, nil
 }
 
-// Access implements Cache, feeding the phase detector.
-func (c *PreemptiveFlushCache) Access(id SuperblockID) bool {
-	hit := c.FIFOCache.Access(id)
-	c.observe(!hit)
-	if !hit && c.phaseChange() {
+// ObserveHit implements VictimPolicy, feeding the phase detector.
+func (c *PreemptiveFlushCache) ObserveHit(SuperblockID) { c.observe(false) }
+
+// ObserveMiss implements VictimPolicy: a miss both feeds the detector and
+// may trip the preemptive flush.
+func (c *PreemptiveFlushCache) ObserveMiss(SuperblockID) {
+	c.observe(true)
+	if c.phaseChange() {
 		c.Flush()
 		c.PreemptiveFlushes++
 		c.resetDetector()
 	}
-	return hit
 }
+
+// Observes implements VictimPolicy: the detector watches every outcome.
+func (c *PreemptiveFlushCache) Observes() (hits, misses bool) { return true, true }
 
 func (c *PreemptiveFlushCache) observe(miss bool) {
 	if c.recentCount == c.window {

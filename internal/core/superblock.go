@@ -145,25 +145,3 @@ type Cache interface {
 	// Stats exposes the cumulative counters.
 	Stats() *Stats
 }
-
-// validateInsert performs the checks shared by all policies.
-func validateInsert(c Cache, sb Superblock) error {
-	if err := validateID(sb.ID); err != nil {
-		return err
-	}
-	for _, to := range sb.Links {
-		if err := validateID(to); err != nil {
-			return err
-		}
-	}
-	if sb.Size <= 0 {
-		return fmt.Errorf("core: superblock %d has non-positive size %d", sb.ID, sb.Size)
-	}
-	if sb.Size > c.Capacity() {
-		return fmt.Errorf("core: superblock %d (%d bytes) exceeds cache capacity %d", sb.ID, sb.Size, c.Capacity())
-	}
-	if c.Contains(sb.ID) {
-		return fmt.Errorf("core: superblock %d is already resident", sb.ID)
-	}
-	return nil
-}

@@ -224,6 +224,17 @@ func (s *Service) register(name string, shardIdx int, idSpan core.SuperblockID) 
 	sh.nextBase += idSpan
 	s.tenants[name] = t
 	sh.tenants = append(sh.tenants, t)
+	// Pre-size the engine's dense ID tables for the tenant's remapped
+	// range, so batch replay never pays grow-reallocations under the
+	// shard lock. Every in-tree policy exposes Reserve through the shared
+	// engine; third-party caches simply skip the warm-up.
+	raw := sh.cache
+	if sh.chk != nil {
+		raw = sh.chk.Unwrap()
+	}
+	if r, ok := raw.(interface{ Reserve(core.SuperblockID) }); ok {
+		r.Reserve(sh.nextBase - 1)
+	}
 	return t, nil
 }
 

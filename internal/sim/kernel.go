@@ -4,23 +4,31 @@
 // per-access Superblock struct copy. Profiling showed the single-run
 // replay loop floors the full report's wall clock (Sweep parallelizes
 // across (policy, trace) pairs, so the longest trace on one core
-// dictates latency). This file splits the loop into two kernels chosen
-// once per run:
+// dictates latency). This file splits the loop into kernels chosen once
+// per run:
 //
-//   - a devirtualized kernel for the FIFO family (*core.FIFOCache backs
-//     FLUSH, n-unit, and fine-grained FIFO): the hot loop calls concrete
-//     methods the compiler can inline, touches only a struct-of-arrays
-//     sizes table on hits, and accumulates AppInstructions as integer
-//     bytes;
+//   - a devirtualized engine kernel for every cache built on core.Engine
+//     (the whole in-tree policy zoo except generational): the hot loop
+//     calls concrete engine methods the compiler inlines, touches only a
+//     struct-of-arrays sizes table on hits, accumulates AppInstructions
+//     as integer bytes, and dispatches to the policy's hit/miss
+//     observers only when the policy declares it needs them (the FIFO
+//     family declares neither, keeping its hit path branch-free);
+//   - a generational kernel for *core.GenerationalCache, whose composite
+//     two-generation structure has no single engine: same shape, with
+//     the promotion logic reached through a concrete HitFast call;
 //   - a generic interface kernel that additionally handles census and
 //     occupancy sampling and the verification wrapper — the fallback for
-//     every other policy and for Options{Verify: true}.
+//     Options{Verify: true} and third-party core.Cache implementations.
 //
-// Both kernels produce bit-identical Results: sizes are whole bytes, so
+// All kernels produce bit-identical Results: sizes are whole bytes, so
 // every partial float sum the old loop computed was an exact multiple of
 // 0.25 and converting the integer byte total once at the end yields the
-// same float64. The kernel equality tests and the golden quick-report
-// test enforce this.
+// same float64. Access counters are folded into the cache in batches,
+// always flushed before an Insert so policies that read their own
+// counters mid-run (the adaptive controller) observe exactly the values
+// the per-access interface loop would produce. The kernel equality tests
+// and the golden quick-report test enforce this.
 package sim
 
 import (
@@ -78,10 +86,22 @@ type replay struct {
 	tables    replayTables
 
 	raw   core.Cache
-	cache core.Cache       // raw, possibly wrapped by the checker
-	fc    *core.FIFOCache  // non-nil when raw is the FIFO family
-	chk   *check.Checked   // non-nil in Verify mode
-	fast  bool             // devirtualized kernel selected
+	cache core.Cache // raw, possibly wrapped by the checker
+	chk   *check.Checked // non-nil in Verify mode
+	fast  bool           // devirtualized kernel selected
+
+	// Devirtualized dispatch state: eng is non-nil when raw is built on
+	// the shared engine (every in-tree policy but generational); gen is
+	// non-nil for the generational composite. obsHit/obsMiss hoist the
+	// policy's observer declaration out of the hot loop; ctrReads marks a
+	// core.CounterReader policy (counters flushed before every insert);
+	// lean selects the minimal loop when none of the three apply.
+	eng             *core.Engine
+	pol             core.VictimPolicy
+	obsHit, obsMiss bool
+	ctrReads        bool
+	lean            bool
+	gen             *core.GenerationalCache
 
 	opts Options
 	res  *Result
@@ -89,6 +109,14 @@ type replay struct {
 	instrBytes    uint64 // AppInstructions accumulated as bytes
 	idx           int    // accesses replayed so far (global index)
 	censusSamples int
+}
+
+// sampler is the cache-side eviction sample recorder; every engine-backed
+// cache satisfies it (the generational composite deliberately does not:
+// its two generations have no merged invocation order).
+type sampler interface {
+	SetSampleRecording(on bool)
+	Samples() []core.EvictionSample
 }
 
 // newReplay sizes the cache, builds the dense tables, and selects the
@@ -111,15 +139,28 @@ func newReplay(name string, blocks map[core.SuperblockID]core.Superblock, nAcces
 	if err != nil {
 		return nil, err
 	}
-	fc, _ := raw.(*core.FIFOCache)
-	if fc != nil {
-		fc.Reserve(core.SuperblockID(len(tables.sizes) - 1))
-		// Replays insert each block's fixed trace definition, so the link
-		// adjacency is known up front; freezing it turns the cache's link
-		// maintenance into flat CSR walks (see core.FreezeLinks).
-		fc.FreezeLinks(tables.blocks, opts.DisableChaining)
-		if opts.RecordSamples {
-			fc.SetSampleRecording(true)
+	maxID := core.SuperblockID(len(tables.sizes) - 1)
+	var eng *core.Engine
+	var gen *core.GenerationalCache
+	// Replays insert each block's fixed trace definition, so the link
+	// adjacency is known up front; freezing it turns the cache's link
+	// maintenance into flat CSR walks (see core.FreezeLinks).
+	if r, ok := raw.(interface{ Reserve(core.SuperblockID) }); ok {
+		// Through the cache, not the engine: policies with their own dense
+		// tables (the LRU recency list, generational promotion state)
+		// shadow Engine.Reserve to pre-size those too.
+		r.Reserve(maxID)
+	}
+	if eb, ok := raw.(core.EngineBacked); ok {
+		eng = eb.ReplayEngine()
+		eng.FreezeLinks(tables.blocks, opts.DisableChaining)
+	} else if g, ok := raw.(*core.GenerationalCache); ok {
+		gen = g
+		gen.FreezeLinks(tables.blocks, opts.DisableChaining)
+	}
+	if opts.RecordSamples {
+		if s, ok := raw.(sampler); ok {
+			s.SetSampleRecording(true)
 		}
 	}
 	rp := &replay{
@@ -127,7 +168,8 @@ func newReplay(name string, blocks map[core.SuperblockID]core.Superblock, nAcces
 		tables:    tables,
 		raw:       raw,
 		cache:     raw,
-		fc:        fc,
+		eng:       eng,
+		gen:       gen,
 		opts:      opts,
 		res: &Result{
 			Benchmark: name,
@@ -136,18 +178,30 @@ func newReplay(name string, blocks map[core.SuperblockID]core.Superblock, nAcces
 			Capacity:  capacity,
 		},
 	}
+	if eng != nil {
+		rp.pol = eng.BoundPolicy()
+		rp.obsHit, rp.obsMiss = eng.Observers()
+		if cr, ok := rp.pol.(core.CounterReader); ok {
+			rp.ctrReads = cr.ReadsCounters()
+		}
+		rp.lean = !rp.obsHit && !rp.obsMiss && !rp.ctrReads
+	}
 	if opts.Verify {
 		rp.chk = check.Wrap(raw, policy)
 		rp.cache = rp.chk
 	}
-	// The devirtualized kernel has no sampling or verification hooks;
+	// The devirtualized kernels have no sampling or verification hooks;
 	// any of those sends the run down the generic interface loop.
-	rp.fast = fc != nil && rp.chk == nil &&
+	rp.fast = (eng != nil || gen != nil) && rp.chk == nil &&
 		opts.CensusEvery <= 0 && opts.OccupancyEvery <= 0 && !opts.ForceGeneric
 	if rp.fast {
 		// Nothing on the fast path reads the patched-link count mid-run,
 		// so the cache can defer it to queries.
-		fc.SetLazyPatchedCount(true)
+		if eng != nil {
+			eng.SetLazyPatchedCount(true)
+		} else {
+			gen.SetLazyPatchedCount(true)
+		}
 	}
 	if opts.OccupancyEvery > 0 {
 		rp.res.Occupancy = make([]OccupancySample, 0, nAccesses/opts.OccupancyEvery+1)
@@ -158,31 +212,36 @@ func newReplay(name string, blocks map[core.SuperblockID]core.Superblock, nAcces
 // replayChunk advances the replay over one batch of accesses.
 func (rp *replay) replayChunk(ids []core.SuperblockID) error {
 	if rp.fast {
-		return rp.replayFIFO(ids)
+		if rp.eng != nil {
+			if rp.lean {
+				return rp.replayEngineLean(ids)
+			}
+			return rp.replayEngine(ids)
+		}
+		return rp.replayGen(ids)
 	}
 	return rp.replayGeneric(ids)
 }
 
-// replayFIFO is the devirtualized kernel: monomorphic calls into
-// *core.FIFOCache that the compiler inlines, one int32 load per hit, and
-// integer instruction accounting. Steady state performs zero heap
-// allocations (enforced by TestZeroAllocReplayKernel).
-func (rp *replay) replayFIFO(ids []core.SuperblockID) error {
-	fc := rp.fc
+// replayEngineLean is the minimal engine kernel for policies with no
+// access observers and no counter-reading hooks (the FIFO family): one
+// inlined residency probe per hit, access counters derived from the loop
+// index and folded once per chunk. Nothing on this path observes the
+// counters mid-chunk, so per-chunk folding is equivalent to per-access
+// Access calls.
+func (rp *replay) replayEngineLean(ids []core.SuperblockID) error {
+	e := rp.eng
 	sizes := rp.tables.sizes
 	instr := rp.instrBytes
-	// Access outcomes are tallied locally and folded into the cache's
-	// counters once per chunk (equivalent to per-access Access calls:
-	// nothing observes the counters mid-chunk on this path).
 	var hits uint64
 	for i, id := range ids {
 		if int(id) >= len(sizes) || sizes[id] == 0 {
 			rp.instrBytes = instr
-			fc.BatchAccessStats(uint64(i), hits)
+			e.BatchAccessStats(uint64(i), hits)
 			return fmt.Errorf("sim: trace %q access %d references undefined block %d", rp.traceName, rp.idx+i, id)
 		}
 		instr += uint64(sizes[id])
-		if fc.Contains(id) {
+		if e.Contains(id) {
 			hits++
 			continue
 		}
@@ -190,15 +249,115 @@ func (rp *replay) replayFIFO(ids []core.SuperblockID) error {
 		if rp.opts.DisableChaining {
 			sb.Links = nil
 		}
-		if err := fc.Insert(sb); err != nil {
+		if err := e.Insert(sb); err != nil {
 			rp.instrBytes = instr
-			fc.BatchAccessStats(uint64(i)+1, hits)
+			e.BatchAccessStats(uint64(i)+1, hits)
 			return fmt.Errorf("sim: trace %q access %d: %w", rp.traceName, rp.idx+i, err)
 		}
 	}
 	rp.instrBytes = instr
 	rp.idx += len(ids)
-	fc.BatchAccessStats(uint64(len(ids)), hits)
+	e.BatchAccessStats(uint64(len(ids)), hits)
+	return nil
+}
+
+// replayEngine is the devirtualized kernel for engine-backed caches
+// whose policy observes accesses or reads counters: monomorphic calls
+// into *core.Engine that the compiler inlines, one int32 load per hit,
+// and integer instruction accounting. The policy's hit/miss observers
+// are dispatched only when the policy declares it needs them (hoisted
+// flags). Steady state performs zero heap allocations (enforced by
+// TestZeroAllocReplayKernel).
+//
+// Access outcomes are tallied locally and folded into the cache's
+// counters in batches. For core.CounterReader policies the batch is
+// flushed before every Insert, so hooks that read the counters (the
+// adaptive controller) observe exactly the per-access values the
+// interface loop would produce; for everyone else the fold happens once
+// per chunk, which nothing on this path can distinguish.
+func (rp *replay) replayEngine(ids []core.SuperblockID) error {
+	e := rp.eng
+	pol := rp.pol
+	obsHit, obsMiss := rp.obsHit, rp.obsMiss
+	ctrReads := rp.ctrReads
+	sizes := rp.tables.sizes
+	instr := rp.instrBytes
+	var accs, hits uint64
+	for i, id := range ids {
+		if int(id) >= len(sizes) || sizes[id] == 0 {
+			rp.instrBytes = instr
+			e.BatchAccessStats(accs, hits)
+			return fmt.Errorf("sim: trace %q access %d references undefined block %d", rp.traceName, rp.idx+i, id)
+		}
+		instr += uint64(sizes[id])
+		if e.Contains(id) {
+			accs++
+			hits++
+			if obsHit {
+				pol.ObserveHit(id)
+			}
+			continue
+		}
+		accs++
+		if ctrReads {
+			e.BatchAccessStats(accs, hits)
+			accs, hits = 0, 0
+		}
+		if obsMiss {
+			pol.ObserveMiss(id)
+		}
+		sb := rp.tables.blocks[id]
+		if rp.opts.DisableChaining {
+			sb.Links = nil
+		}
+		if err := e.Insert(sb); err != nil {
+			rp.instrBytes = instr
+			e.BatchAccessStats(accs, hits)
+			return fmt.Errorf("sim: trace %q access %d: %w", rp.traceName, rp.idx+i, err)
+		}
+	}
+	rp.instrBytes = instr
+	rp.idx += len(ids)
+	e.BatchAccessStats(accs, hits)
+	return nil
+}
+
+// replayGen is the devirtualized kernel for the generational composite,
+// which has no single engine: the promotion logic runs through a
+// concrete HitFast call and the wrapper's counters are batch-folded with
+// the same flush-before-Insert discipline as replayEngine.
+func (rp *replay) replayGen(ids []core.SuperblockID) error {
+	g := rp.gen
+	sizes := rp.tables.sizes
+	instr := rp.instrBytes
+	var accs, hits uint64
+	for i, id := range ids {
+		if int(id) >= len(sizes) || sizes[id] == 0 {
+			rp.instrBytes = instr
+			g.BatchAccessStats(accs, hits)
+			return fmt.Errorf("sim: trace %q access %d references undefined block %d", rp.traceName, rp.idx+i, id)
+		}
+		instr += uint64(sizes[id])
+		if g.HitFast(id) {
+			accs++
+			hits++
+			continue
+		}
+		accs++
+		g.BatchAccessStats(accs, hits)
+		accs, hits = 0, 0
+		sb := rp.tables.blocks[id]
+		if rp.opts.DisableChaining {
+			sb.Links = nil
+		}
+		if err := g.Insert(sb); err != nil {
+			rp.instrBytes = instr
+			return fmt.Errorf("sim: trace %q access %d: %w", rp.traceName, rp.idx+i, err)
+		}
+	}
+	rp.instrBytes = instr
+	rp.idx += len(ids)
+	g.BatchAccessStats(accs, hits)
 	return nil
 }
 
@@ -262,8 +421,10 @@ func (rp *replay) finish() *Result {
 	// per-access float sum the loop used to maintain.
 	res.AppInstructions = float64(rp.instrBytes) / 4
 	res.Stats = *rp.cache.Stats()
-	if rp.fc != nil && rp.opts.RecordSamples {
-		res.Samples = rp.fc.Samples()
+	if rp.opts.RecordSamples {
+		if s, ok := rp.raw.(sampler); ok {
+			res.Samples = s.Samples()
+		}
 	}
 	return res
 }

@@ -43,6 +43,9 @@ func TestKernelEquality(t *testing.T) {
 		{Kind: core.PolicyUnits, Units: 8},
 		{Kind: core.PolicyFine},
 		{Kind: core.PolicyLRU},
+		{Kind: core.PolicyCompactingLRU},
+		{Kind: core.PolicyAdaptive},
+		{Kind: core.PolicyPreemptive},
 		{Kind: core.PolicyGenerational, Units: 8},
 	}
 	optSets := []Options{
@@ -73,6 +76,53 @@ func TestKernelEquality(t *testing.T) {
 			if !reflect.DeepEqual(fast, streamed) {
 				t.Errorf("%s: streamed replay diverges:\n got %+v\nwant %+v", name, fast, streamed)
 			}
+		}
+	}
+}
+
+// TestKernelPatchedCountMode pins the laziness contract: the fast
+// kernels defer the patched-link count to queries
+// (SetLazyPatchedCount), and nothing observable may depend on that —
+// replaying with eager per-event counting must yield byte-identical
+// Results for every policy the fast path serves.
+func TestKernelPatchedCountMode(t *testing.T) {
+	tr := testTraces(t, 0.3, "gzip")[0]
+	for _, policy := range []core.Policy{
+		{Kind: core.PolicyFlush},
+		{Kind: core.PolicyUnits, Units: 8},
+		{Kind: core.PolicyFine},
+		{Kind: core.PolicyLRU},
+		{Kind: core.PolicyCompactingLRU},
+		{Kind: core.PolicyAdaptive},
+		{Kind: core.PolicyPreemptive},
+		{Kind: core.PolicyGenerational, Units: 8},
+	} {
+		results := make([]*Result, 2)
+		for eager := 0; eager < 2; eager++ {
+			rp, err := newReplay(tr.Name, tr.Blocks, len(tr.Accesses), policy, 3, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rp.fast {
+				t.Fatalf("%s: expected the devirtualized kernel", policy)
+			}
+			if eager == 1 {
+				// Undo the fast path's deferral: count patched links per
+				// event, as the generic loop does.
+				if rp.eng != nil {
+					rp.eng.SetLazyPatchedCount(false)
+				} else {
+					rp.gen.SetLazyPatchedCount(false)
+				}
+			}
+			if err := rp.replayChunk(tr.Accesses); err != nil {
+				t.Fatal(err)
+			}
+			results[eager] = rp.finish()
+		}
+		if !reflect.DeepEqual(results[0], results[1]) {
+			t.Errorf("%s: lazy and eager patched-count replays diverge:\n lazy  %+v\n eager %+v",
+				policy, results[0], results[1])
 		}
 	}
 }
@@ -112,35 +162,48 @@ func TestKernelChunkingInvariance(t *testing.T) {
 	}
 }
 
-// TestKernelUndefinedBlockError pins the error contract both kernels
-// share: the failing access's global index and block ID.
+// TestKernelUndefinedBlockError pins the error contract all three
+// kernels (engine, generational, generic) share: the failing access's
+// global index and block ID.
 func TestKernelUndefinedBlockError(t *testing.T) {
 	tr := trace.New("bad")
 	if err := tr.Define(core.Superblock{ID: 0, Size: 64}); err != nil {
 		t.Fatal(err)
 	}
 	tr.Accesses = []core.SuperblockID{0, 0, 7}
-	for _, force := range []bool{false, true} {
-		_, err := Run(tr, core.Policy{Kind: core.PolicyFine}, 1, Options{ForceGeneric: force})
-		if err == nil {
-			t.Fatalf("generic=%v: undefined block should fail", force)
-		}
-		if want := `trace "bad" access 2 references undefined block 7`; !strings.Contains(err.Error(), want) {
-			t.Errorf("generic=%v: error %q does not contain %q", force, err, want)
+	for _, policy := range []core.Policy{
+		{Kind: core.PolicyFine}, // lean engine kernel
+		{Kind: core.PolicyLRU},  // observing engine kernel
+		{Kind: core.PolicyGenerational, Units: 2},
+	} {
+		for _, force := range []bool{false, true} {
+			_, err := Run(tr, policy, 1, Options{ForceGeneric: force})
+			if err == nil {
+				t.Fatalf("%s generic=%v: undefined block should fail", policy, force)
+			}
+			if want := `trace "bad" access 2 references undefined block 7`; !strings.Contains(err.Error(), want) {
+				t.Errorf("%s generic=%v: error %q does not contain %q", policy, force, err, want)
+			}
 		}
 	}
 }
 
 // TestZeroAllocReplayKernel enforces the devirtualized kernel's
 // steady-state guarantee: once the cache's dense tables have grown to the
-// trace's ID span, replaying allocates nothing, for every FIFO-family
-// granularity.
+// trace's ID span, replaying allocates nothing — for the FIFO family and
+// for every policy the engine split moved onto the same arena core.
+// Compacting-LRU is exempt: its defragmentation pass sorts resident
+// blocks with sort.Slice, which allocates by design.
 func TestZeroAllocReplayKernel(t *testing.T) {
 	tr := testTraces(t, 0.3, "gzip")[0]
 	for _, policy := range []core.Policy{
 		{Kind: core.PolicyFlush},
 		{Kind: core.PolicyUnits, Units: 8},
 		{Kind: core.PolicyFine},
+		{Kind: core.PolicyLRU},
+		{Kind: core.PolicyAdaptive},
+		{Kind: core.PolicyPreemptive},
+		{Kind: core.PolicyGenerational, Units: 8},
 	} {
 		rp, err := newReplay(tr.Name, tr.Blocks, len(tr.Accesses), policy, 3, Options{})
 		if err != nil {
@@ -185,14 +248,20 @@ func TestKernelInsertError(t *testing.T) {
 	blocks := map[core.SuperblockID]core.Superblock{
 		0: {ID: 0, Size: 64, Links: []core.SuperblockID{1 << 30}},
 	}
-	for _, force := range []bool{false, true} {
-		rp, err := newReplay("badlink", blocks, 1, core.Policy{Kind: core.PolicyFine}, 1, Options{ForceGeneric: force})
-		if err != nil {
-			t.Fatal(err)
-		}
-		err = rp.replayChunk([]core.SuperblockID{0})
-		if err == nil || !strings.Contains(err.Error(), "dense-ID limit") {
-			t.Errorf("generic=%v: replay with invalid link = %v, want dense-ID limit error", force, err)
+	for _, policy := range []core.Policy{
+		{Kind: core.PolicyFine}, // lean engine kernel
+		{Kind: core.PolicyLRU},  // observing engine kernel
+		{Kind: core.PolicyGenerational, Units: 2},
+	} {
+		for _, force := range []bool{false, true} {
+			rp, err := newReplay("badlink", blocks, 1, policy, 1, Options{ForceGeneric: force})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = rp.replayChunk([]core.SuperblockID{0})
+			if err == nil || !strings.Contains(err.Error(), "dense-ID limit") {
+				t.Errorf("%s generic=%v: replay with invalid link = %v, want dense-ID limit error", policy, force, err)
+			}
 		}
 	}
 }
@@ -237,6 +306,26 @@ func TestRunStreamErrors(t *testing.T) {
 	}
 	if _, err := RunStream(st, policy, 2, Options{}); err == nil {
 		t.Error("truncated stream should fail the replay")
+	}
+
+	// A structurally valid stream whose access section references an
+	// undefined block must surface the kernel's error through RunStream.
+	bad := trace.New("badstream")
+	if err := bad.Define(core.Superblock{ID: 0, Size: 64}); err != nil {
+		t.Fatal(err)
+	}
+	bad.Accesses = []core.SuperblockID{0, 9}
+	buf.Reset()
+	if err := bad.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err = trace.NewStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunStream(st, policy, 2, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "undefined block 9") {
+		t.Errorf("streamed undefined block = %v, want undefined-block error", err)
 	}
 }
 

@@ -9,6 +9,9 @@
 #   BENCH_PRESSURE  cache pressure factor (default 2)
 #   BENCH_TIME      measurement window per benchmark (default 1s)
 #   BENCH_OUT       report path (default BENCH_report.json)
+#   BENCH_POLICY    eviction policy for the replay rows (default fifo)
+#   BENCH_GATE      committed report to gate against: the run fails if
+#                   replay_speedup_vs_legacy drops >15% below it
 #   BENCH_BASELINE  commit to measure an out-of-tree replay baseline at
 #                   (checked out into a throwaway worktree; sim.Run there
 #                   is timed on the same trace and embedded in the report)
@@ -19,7 +22,14 @@ SCALE="${BENCH_SCALE:-1.0}"
 PRESSURE="${BENCH_PRESSURE:-2}"
 BENCHTIME="${BENCH_TIME:-1s}"
 OUT="${BENCH_OUT:-BENCH_report.json}"
+POLICY="${BENCH_POLICY:-fifo}"
+GATE="${BENCH_GATE:-}"
 BASELINE="${BENCH_BASELINE:-}"
+
+GATEFLAGS=()
+if [[ -n "$GATE" ]]; then
+  GATEFLAGS=(-gate "$GATE")
+fi
 
 BASEFLAGS=()
 if [[ -n "$BASELINE" ]]; then
@@ -34,5 +44,6 @@ if [[ -n "$BASELINE" ]]; then
 fi
 
 go build -o /tmp/dynocache-bench ./cmd/dynocache-bench
-/tmp/dynocache-bench -scale "$SCALE" -pressure "$PRESSURE" -benchtime "$BENCHTIME" -o "$OUT" "${BASEFLAGS[@]}"
+/tmp/dynocache-bench -scale "$SCALE" -pressure "$PRESSURE" -benchtime "$BENCHTIME" \
+  -policy "$POLICY" -o "$OUT" "${BASEFLAGS[@]}" "${GATEFLAGS[@]}"
 echo "wrote $OUT"

@@ -25,7 +25,7 @@ check() {
     fi
 }
 
-check ./internal/core 90.9
-check ./internal/sim 97.8
+check ./internal/core 93.6
+check ./internal/sim 98.5
 
 exit $fail
