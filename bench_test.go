@@ -6,6 +6,7 @@ package dynocache
 // cmd/dynocache-experiments binary for the full-scale reproduction.
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
@@ -412,4 +413,43 @@ func BenchmarkRandSampling(b *testing.B) {
 		acc += r.LogNormal(244, 0.9)
 	}
 	_ = acc
+}
+
+// TestReplayStreamSteadyAllocs pins the streaming-replay allocation
+// profile: decoding the block table must not allocate per field (the
+// binary.Read regression that once put replay/stream at ~116k allocs/op),
+// and the access path must stay chunk-pooled. The budget scales with the
+// block table — map entries, link-arena chunks, engine tables — never
+// with the access count.
+func TestReplayStreamSteadyAllocs(t *testing.T) {
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := p.Scaled(0.3).Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc bytes.Buffer
+	if err := tr.Write(&enc); err != nil {
+		t.Fatal(err)
+	}
+	raw := enc.Bytes()
+	run := func() {
+		st, err := trace.NewStream(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.RunStream(st, FineGrained(), 2, sim.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the chunk-buffer pool
+	avg := testing.AllocsPerRun(3, run)
+	limit := float64(tr.NumBlocks())
+	if avg > limit {
+		t.Errorf("streaming replay allocates %.0f objects/run for a %d-block trace (limit %.0f ≈ 1/block)",
+			avg, tr.NumBlocks(), limit)
+	}
+	t.Logf("streaming replay: %.0f allocs/run over %d blocks, %d accesses", avg, tr.NumBlocks(), len(tr.Accesses))
 }

@@ -36,11 +36,15 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"reflect"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -51,7 +55,9 @@ import (
 	"dynocache/internal/workload"
 )
 
-// benchResult is one benchmark's line in the report.
+// benchResult is one benchmark's line in the report. GOMAXPROCS is
+// recorded per row, not just at the top level, because the scaling
+// sweep re-pins it between rows.
 type benchResult struct {
 	Name           string  `json:"name"`
 	Iterations     int     `json:"iterations"`
@@ -59,6 +65,17 @@ type benchResult struct {
 	AccessesPerSec float64 `json:"accesses_per_sec,omitempty"`
 	AllocsPerOp    int64   `json:"allocs_per_op"`
 	BytesPerOp     int64   `json:"bytes_per_op"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+}
+
+// scalingInfo summarizes the GOMAXPROCS sweep of the contended service
+// configuration (shards = procs, two tenants per shard). Efficiency is
+// normalized throughput: (APS at max procs / APS at min procs) divided
+// by (max procs / min procs) — 1.0 is perfect linear scaling.
+type scalingInfo struct {
+	Procs          []int     `json:"procs"`
+	AccessesPerSec []float64 `json:"accesses_per_sec"`
+	Efficiency     float64   `json:"efficiency"`
 }
 
 // benchReport is the JSON document bench.sh commits as BENCH_report.json.
@@ -76,6 +93,11 @@ type benchReport struct {
 	Pressure int     `json:"pressure"`
 
 	Benchmarks []benchResult `json:"benchmarks"`
+
+	// Scaling is the multi-core scaling sweep of the shared-nothing
+	// service (service/replay-batch/pN rows), absent when the sweep was
+	// disabled with -cpu "".
+	Scaling *scalingInfo `json:"scaling,omitempty"`
 
 	// Baseline, when provided (-baseline-commit/-baseline-ns), records a
 	// measurement of this same replay workload taken from a checkout of
@@ -121,6 +143,8 @@ func run() error {
 	benchtime := flag.String("benchtime", "1s", "measurement window per benchmark (longer = steadier on busy machines)")
 	gate := flag.String("gate", "", "committed report to gate against (fail on replay throughput regression)")
 	gateDrop := flag.Float64("gate-drop", 0.15, "max tolerated fractional drop of replay_speedup_vs_legacy under -gate")
+	cpuList := flag.String("cpu", "auto", "comma-separated GOMAXPROCS values for the service scaling sweep (e.g. 1,2,4,8); 'auto' = powers of two up to NumCPU; '' disables the sweep")
+	scalingFloor := flag.Float64("scaling-floor", 0, "fail unless scaling efficiency reaches this floor (0 disables; only applied when the sweep spans >1 proc)")
 	flag.Parse()
 
 	// testing.Benchmark reads the measurement window from the testing
@@ -152,6 +176,9 @@ func run() error {
 			return err
 		}
 	}
+	if err := serviceSelfCheck(tr, policy, *pressure); err != nil {
+		return err
+	}
 
 	rep := &benchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -180,6 +207,7 @@ func run() error {
 			NsPerOp:     float64(r.NsPerOp()),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		}
 		if perOpAccesses > 0 && r.NsPerOp() > 0 {
 			br.AccessesPerSec = float64(perOpAccesses) / (float64(r.NsPerOp()) / 1e9)
@@ -267,14 +295,77 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Service rows measure steady-state batch replay: the service is
+	// built (tables reserved, owner goroutines started) once per row
+	// outside the timed loop and warmed with one full replay, so
+	// allocs/op reflects the replay protocol itself — the envelope pool,
+	// the MPSC handoff, and the owner's devirtualized loop.
+	sb, err := newServiceBench(tr, policy, capacity, 1, 1)
+	if err != nil {
+		return err
+	}
+	if err := sb.replay(tr); err != nil {
+		return err
+	}
 	record("service/replay-batch", accesses, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if err := serviceReplay(tr, policy, capacity); err != nil {
+			if err := sb.replay(tr); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+	sb.close()
+
+	procs, err := parseCPUList(*cpuList)
+	if err != nil {
+		return err
+	}
+	if len(procs) > 0 {
+		// The contended scaling configuration: shards = procs, two
+		// tenants pinned per shard, every tenant replaying the full trace
+		// concurrently. One op therefore grows with p (2p full replays),
+		// so accesses/sec — not ns/op — is the comparable metric.
+		prev := runtime.GOMAXPROCS(0)
+		var aps []float64
+		for _, p := range procs {
+			runtime.GOMAXPROCS(p)
+			sbp, err := newServiceBench(tr, policy, capacity, p, 2)
+			if err != nil {
+				return err
+			}
+			if err := sbp.replay(tr); err != nil {
+				return err
+			}
+			r := record(fmt.Sprintf("service/replay-batch/p%d", p), 2*p*accesses, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := sbp.replay(tr); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			sbp.close()
+			aps = append(aps, r.AccessesPerSec)
+		}
+		runtime.GOMAXPROCS(prev)
+		rep.Scaling = &scalingInfo{Procs: procs, AccessesPerSec: aps}
+		first, last := 0, len(procs)-1
+		if aps[first] > 0 && procs[last] > procs[first] {
+			rep.Scaling.Efficiency = (aps[last] / aps[first]) / (float64(procs[last]) / float64(procs[first]))
+		} else if procs[last] == procs[first] {
+			// A single-point sweep (e.g. a 1-core machine) cannot measure
+			// scaling; record perfect efficiency so the committed report
+			// carries a value, and let multi-core runners gate for real.
+			rep.Scaling.Efficiency = 1.0
+		}
+		fmt.Fprintf(os.Stderr, "scaling efficiency at p%d (vs p%d): %.2f\n",
+			procs[last], procs[first], rep.Scaling.Efficiency)
+		if *scalingFloor > 0 && procs[last] > procs[first] && rep.Scaling.Efficiency < *scalingFloor {
+			return fmt.Errorf("scaling efficiency %.2f at %d procs is below the required floor %.2f",
+				rep.Scaling.Efficiency, procs[last], *scalingFloor)
+		}
+	}
 
 	if legacyAPS > 0 {
 		rep.ReplaySpeedupVsLegacy = specializedAPS / legacyAPS
@@ -336,7 +427,49 @@ func gateAgainst(rep *benchReport, path string, maxDrop float64) error {
 		return fmt.Errorf("gate: replay speedup vs legacy regressed to %.2fx, more than %.0f%% below the committed %.2fx (%s)",
 			rep.ReplaySpeedupVsLegacy, maxDrop*100, committed.ReplaySpeedupVsLegacy, path)
 	}
+	return gateScaling(rep, &committed, path, maxDrop)
+}
+
+// gateScaling compares multi-core scaling efficiency against the
+// committed report. Efficiency is a within-process ratio like the replay
+// speedup, but it is only comparable when both runs swept the same
+// GOMAXPROCS ladder — a report generated on a 1-core box records a
+// single-point sweep, which a 4-core runner must not be judged against
+// (nor vice versa), so mismatched ladders warn and skip instead of
+// failing.
+func gateScaling(rep, committed *benchReport, path string, maxDrop float64) error {
+	if committed.Scaling == nil || rep.Scaling == nil {
+		return nil
+	}
+	cp, fp := committed.Scaling.Procs, rep.Scaling.Procs
+	if !equalInts(cp, fp) {
+		fmt.Fprintf(os.Stderr, "gate: scaling sweep procs %v differ from committed %v (%s); skipping scaling comparison\n",
+			fp, cp, path)
+		return nil
+	}
+	if len(cp) < 2 || cp[len(cp)-1] <= cp[0] {
+		return nil // single-point sweep measures nothing
+	}
+	floor := committed.Scaling.Efficiency * (1 - maxDrop)
+	fmt.Fprintf(os.Stderr, "gate: scaling efficiency %.2f, committed %.2f, floor %.2f\n",
+		rep.Scaling.Efficiency, committed.Scaling.Efficiency, floor)
+	if rep.Scaling.Efficiency < floor {
+		return fmt.Errorf("gate: scaling efficiency regressed to %.2f, more than %.0f%% below the committed %.2f (%s)",
+			rep.Scaling.Efficiency, maxDrop*100, committed.Scaling.Efficiency, path)
+	}
 	return nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // selfCheck replays the trace once through every loop the report times
@@ -403,30 +536,168 @@ func sweepWorkload(scale float64) ([]*trace.Trace, int, error) {
 	return traces, accesses, nil
 }
 
-// serviceReplay drives the trace through a single-shard service tenant
-// with ReplayBatch, chunked the way a client would submit it.
-func serviceReplay(tr *trace.Trace, policy core.Policy, capacity int) error {
-	svc, err := service.New(service.Config{Shards: 1, Policy: policy, ShardCapacity: capacity})
-	if err != nil {
-		return err
+// parseCPUList resolves the -cpu flag into a sorted, deduplicated
+// GOMAXPROCS ladder. "auto" yields the powers of two up to NumCPU (with
+// NumCPU itself always included), "" disables the sweep entirely.
+func parseCPUList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
 	}
+	var procs []int
+	if s == "auto" {
+		n := runtime.NumCPU()
+		for p := 1; p < n; p *= 2 {
+			procs = append(procs, p)
+		}
+		procs = append(procs, n)
+	} else {
+		for _, f := range strings.Split(s, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || p < 1 {
+				return nil, fmt.Errorf("bad -cpu entry %q (want positive integers)", f)
+			}
+			procs = append(procs, p)
+		}
+	}
+	sort.Ints(procs)
+	out := procs[:0]
+	for i, p := range procs {
+		if i == 0 || p != procs[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// traceSpan returns the dense ID universe of a trace (max ID + 1).
+func traceSpan(tr *trace.Trace) core.SuperblockID {
 	var maxID core.SuperblockID
 	for id := range tr.Blocks {
 		if id > maxID {
 			maxID = id
 		}
 	}
-	tn, err := svc.Register(tr.Name, maxID+1)
-	if err != nil {
-		return err
-	}
-	regen := func(id core.SuperblockID) (core.Superblock, error) {
+	return maxID + 1
+}
+
+// traceRegen returns a regeneration callback serving blocks from the
+// trace's table.
+func traceRegen(tr *trace.Trace) func(core.SuperblockID) (core.Superblock, error) {
+	return func(id core.SuperblockID) (core.Superblock, error) {
 		sb, ok := tr.Blocks[id]
 		if !ok {
 			return core.Superblock{}, fmt.Errorf("undefined block %d", id)
 		}
 		return sb, nil
 	}
+}
+
+// serviceBench is one service benchmark configuration: a running
+// shared-nothing service plus its registered tenants, reused across
+// benchmark iterations so the timed loop measures steady-state replay,
+// not construction.
+type serviceBench struct {
+	svc     *service.Service
+	tenants []*service.Tenant
+	regen   func(core.SuperblockID) (core.Superblock, error)
+}
+
+// newServiceBench builds a service with the given shard count and
+// tenantsPerShard tenants pinned round-robin onto the shards.
+func newServiceBench(tr *trace.Trace, policy core.Policy, capacity, shards, tenantsPerShard int) (*serviceBench, error) {
+	svc, err := service.New(service.Config{Shards: shards, Policy: policy, ShardCapacity: capacity})
+	if err != nil {
+		return nil, err
+	}
+	span := traceSpan(tr)
+	tenants := make([]*service.Tenant, shards*tenantsPerShard)
+	for i := range tenants {
+		tn, err := svc.RegisterPinned(fmt.Sprintf("tenant-%d", i), i%shards, span)
+		if err != nil {
+			svc.Close()
+			return nil, err
+		}
+		tenants[i] = tn
+	}
+	return &serviceBench{svc: svc, tenants: tenants, regen: traceRegen(tr)}, nil
+}
+
+func (sb *serviceBench) close() { sb.svc.Close() }
+
+// replay drives every tenant through the full trace via ReplayBatch in
+// AccessChunk batches, concurrently when there is more than one tenant
+// (retrying on backpressure with the hinted delay, capped to keep
+// retries responsive).
+func (sb *serviceBench) replay(tr *trace.Trace) error {
+	if len(sb.tenants) == 1 {
+		return sb.replayOne(tr, sb.tenants[0])
+	}
+	errc := make(chan error, len(sb.tenants))
+	for _, tn := range sb.tenants {
+		go func(tn *service.Tenant) {
+			errc <- sb.replayOne(tr, tn)
+		}(tn)
+	}
+	var firstErr error
+	for range sb.tenants {
+		if err := <-errc; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (sb *serviceBench) replayOne(tr *trace.Trace, tn *service.Tenant) error {
+	ids := tr.Accesses
+	for len(ids) > 0 {
+		n := trace.AccessChunk
+		if n > len(ids) {
+			n = len(ids)
+		}
+		for {
+			err := tn.ReplayBatch(ids[:n], sb.regen)
+			if err == nil {
+				break
+			}
+			var busy *service.BacklogError
+			if !errors.As(err, &busy) {
+				return err
+			}
+			delay := busy.RetryAfter
+			if delay > 2*time.Millisecond {
+				delay = 2 * time.Millisecond
+			}
+			time.Sleep(delay)
+		}
+		ids = ids[n:]
+	}
+	return nil
+}
+
+// serviceSelfCheck proves the service's owner-goroutine replay is
+// bit-identical to a solo sim replay before any service row is timed: a
+// tenant alone on one shard replays the trace and its ledger must equal
+// the solo kernel's counters field for field, with the double-entry
+// ledger closing on top.
+func serviceSelfCheck(tr *trace.Trace, policy core.Policy, pressure int) error {
+	capacity, err := sim.CapacityFor(tr, pressure)
+	if err != nil {
+		return err
+	}
+	want, err := sim.Run(tr, policy, pressure, sim.Options{})
+	if err != nil {
+		return err
+	}
+	svc, err := service.New(service.Config{Shards: 1, Policy: policy, ShardCapacity: capacity})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	tn, err := svc.Register(tr.Name, traceSpan(tr))
+	if err != nil {
+		return err
+	}
+	regen := traceRegen(tr)
 	ids := tr.Accesses
 	for len(ids) > 0 {
 		n := trace.AccessChunk
@@ -437,6 +708,27 @@ func serviceReplay(tr *trace.Trace, policy core.Policy, capacity int) error {
 			return err
 		}
 		ids = ids[n:]
+	}
+	if err := svc.CheckConsistency(); err != nil {
+		return fmt.Errorf("self-check: %w", err)
+	}
+	got, ws := tn.Stats(), want.Stats
+	for _, c := range []struct {
+		name      string
+		got, want uint64
+	}{
+		{"Accesses", got.Accesses, ws.Accesses},
+		{"Hits", got.Hits, ws.Hits},
+		{"Misses", got.Misses, ws.Misses},
+		{"InsertedBlocks", got.InsertedBlocks, ws.InsertedBlocks},
+		{"InsertedBytes", got.InsertedBytes, ws.InsertedBytes},
+		{"EvictionInvocations", got.EvictionInvocations, ws.EvictionInvocations},
+		{"BlocksEvicted", got.BlocksEvicted, ws.BlocksEvicted},
+		{"BytesEvicted", got.BytesEvicted, ws.BytesEvicted},
+	} {
+		if c.got != c.want {
+			return fmt.Errorf("self-check: service %s = %d diverges from solo replay's %d", c.name, c.got, c.want)
+		}
 	}
 	return nil
 }

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -141,6 +142,7 @@ func run(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer svc.Close()
 	for i, r := range runs {
 		span := core.SuperblockID(r.tr.NumBlocks())
 		if dedicated {
@@ -153,8 +155,8 @@ func run(w io.Writer) error {
 		}
 	}
 
-	fmt.Fprintf(w, "dynocache-serve: %d tenants over %d shards (%s, %d B/shard, batch %d, queue %d, verify %v)\n",
-		*tenants, nShards, policy, capacity, *batch, *queue, *check)
+	fmt.Fprintf(w, "dynocache-serve: %d tenants over %d shards (%s, %d B/shard, batch %d, queue %d, verify %v, GOMAXPROCS %d)\n",
+		*tenants, nShards, policy, capacity, *batch, *queue, *check, runtime.GOMAXPROCS(0))
 
 	// Drive the tenants; a watchdog converts a deadlock into a failure
 	// instead of a hang.

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dynocache/internal/core"
+)
+
+// ErrClosed is returned by every registration and batch entry point once
+// Close has begun: the shard owners are draining or gone.
+var ErrClosed = errors.New("service: closed")
+
+// BacklogError reports that a shard's admission queue was full. Clients
+// should back off for roughly RetryAfter and resubmit the same batch.
+type BacklogError struct {
+	Shard      int
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *BacklogError) Error() string {
+	return fmt.Sprintf("service: shard %d backlogged, retry after %v", e.Shard, e.RetryAfter)
+}
+
+// opKind selects the owner-side handler for an envelope.
+type opKind uint8
+
+const (
+	opAccess opKind = iota
+	opInsert
+	opReplay
+	opRegister
+	opCheck
+)
+
+// envelope is one request travelling the MPSC queue to a shard's owner
+// goroutine. Envelopes are pooled: a batch entry point gets one from the
+// service pool, the owner fills the result fields and signals done, and
+// the submitter copies the results out and returns it — steady-state
+// batch traffic allocates no envelopes, no channels, nothing.
+//
+// The submitter blocks on done until the owner finishes, so the owner may
+// read the request fields (including caller-owned slices) without copying
+// and the submitter may read the results without further synchronization.
+type envelope struct {
+	op     opKind
+	tenant *Tenant
+
+	// Request payload.
+	ids    []core.SuperblockID
+	blocks []core.Superblock
+	regen  func(core.SuperblockID) (core.Superblock, error)
+	name   string            // opRegister
+	span   core.SuperblockID // opRegister
+
+	// Results.
+	missed    []core.SuperblockID // opAccess: freshly allocated; ownership passes to the caller
+	inserted  int                 // opInsert
+	newTenant *Tenant             // opRegister
+	err       error
+
+	// done carries completion from the owner back to the submitter;
+	// capacity 1, allocated once and reused with the envelope.
+	done chan struct{}
+}
+
+// getEnv takes a pooled envelope.
+func (s *Service) getEnv() *envelope {
+	return s.envPool.Get().(*envelope)
+}
+
+// putEnv clears an envelope (keeping its completion channel) and returns
+// it to the pool. Callers must extract any results they need first.
+func (s *Service) putEnv(env *envelope) {
+	*env = envelope{done: env.done}
+	s.envPool.Put(env)
+}

@@ -1,13 +1,21 @@
 // Package service turns the single-threaded code-cache engine into a
-// thread-safe, sharded, multi-tenant cache service.
+// thread-safe, sharded, multi-tenant cache service with a shared-nothing
+// core.
 //
 // The paper motivates bounded code caches by multiprogramming (§2.3):
 // several programs pressure one cache at once. ShareJIT pushes the same
 // idea to production shape — one shared code cache serving many concurrent
 // clients. This package is that frontend for the dynocache engine:
 //
-//   - the arena is split into independent shards, each one core.Cache
-//     behind its own mutex, so unrelated tenants never contend;
+//   - the arena is split into independent shards, each exclusively owned
+//     by one owner goroutine — no shard mutex exists, so unrelated
+//     tenants never contend and the owner replays against the concrete
+//     engine with the same devirtualized, zero-allocation loop as the
+//     solo replay kernels;
+//   - clients submit work as batches (AccessBatch / InsertBatch /
+//     ReplayBatch) carried by pooled envelopes over a per-shard MPSC
+//     queue; one queue handoff amortizes over many cache operations and
+//     the steady-state replay path allocates nothing;
 //   - tenants are routed to shards by name hash (or pinned explicitly),
 //     and tenants that share a shard share its cache capacity, the way
 //     ShareJIT clients share one translation cache; each tenant declares
@@ -15,14 +23,15 @@
 //     IDs onto a contiguous per-shard base (exactly the discipline
 //     workload.Interleave uses), so tenants can never alias each other's
 //     code;
-//   - the client protocol is batched (AccessBatch / InsertBatch /
-//     ReplayBatch) so one lock acquisition amortizes over many cache
-//     operations;
-//   - admission is bounded: each shard accepts at most QueueDepth
-//     concurrent batches, and excess load is rejected with a
-//     retry-after hint instead of queueing without bound;
-//   - every counter is double-entry: per-tenant stats accumulate under
-//     the same shard lock as the engine's own core.Stats, and
+//   - admission is queue-depth-based: each shard accepts at most
+//     QueueDepth in-flight batches, and excess load is rejected with a
+//     *BacklogError retry-after hint (scaled by an EWMA of owner-measured
+//     batch service times) instead of queueing without bound;
+//   - stats readers (ShardStats / AggregateStats / Tenant.Stats) never
+//     block the hot path: the owner publishes copy-on-write snapshots via
+//     atomic pointers at batch boundaries, and only when a reader asked;
+//   - every counter is double-entry: per-tenant stats accumulate on the
+//     owner goroutine alongside the engine's own core.Stats, and
 //     CheckConsistency proves the two ledgers agree, on top of the
 //     per-operation invariant wall internal/check provides in Verify
 //     mode.
@@ -34,120 +43,56 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"dynocache/internal/check"
 	"dynocache/internal/core"
 )
 
-// DefaultQueueDepth bounds concurrent batches per shard when Config leaves
+// DefaultQueueDepth bounds in-flight batches per shard when Config leaves
 // QueueDepth zero.
 const DefaultQueueDepth = 32
 
 // Config describes the shard layout of a Service.
 type Config struct {
-	// Shards is the number of independent cache shards (>= 1).
+	// Shards is the number of independent cache shards (>= 1), each with
+	// its own owner goroutine.
 	Shards int
 	// Policy is the eviction policy instantiated in every shard.
 	Policy core.Policy
 	// ShardCapacity is the arena size of each shard in bytes.
 	ShardCapacity int
-	// QueueDepth bounds the batches a shard admits at once (queued on the
-	// shard mutex plus executing). Load beyond it is rejected with a
-	// *BacklogError. 0 means DefaultQueueDepth.
+	// QueueDepth bounds the batches a shard admits at once (queued for
+	// the owner plus executing); it is also the request channel's buffer,
+	// so admitted batches never block on the queue itself. Load beyond it
+	// is rejected with a *BacklogError. 0 means DefaultQueueDepth.
 	QueueDepth int
 	// Verify wraps every shard in the check package's invariant wall (and
 	// oracle differ for FIFO-family policies): each cache operation is
-	// validated while the shard lock is held.
+	// validated on the owner goroutine.
 	Verify bool
 }
-
-// BacklogError reports that a shard's admission queue was full. Clients
-// should back off for roughly RetryAfter and resubmit the same batch.
-type BacklogError struct {
-	Shard      int
-	RetryAfter time.Duration
-}
-
-// Error implements error.
-func (e *BacklogError) Error() string {
-	return fmt.Sprintf("service: shard %d backlogged, retry after %v", e.Shard, e.RetryAfter)
-}
-
-// TenantStats is one tenant's side of the double-entry ledger: the subset
-// of core.Stats attributable to a single client, plus service-level
-// admission counters. Eviction counters are attributed to the tenant whose
-// insert triggered the eviction (the victim blocks may belong to any
-// tenant on the shard).
-type TenantStats struct {
-	Accesses uint64
-	Hits     uint64
-	Misses   uint64
-
-	InsertedBlocks uint64
-	InsertedBytes  uint64
-
-	EvictionInvocations uint64
-	BlocksEvicted       uint64
-	BytesEvicted        uint64
-
-	Batches  uint64 // batches admitted and executed
-	Rejected uint64 // batches refused with a BacklogError
-}
-
-// shard is one lock domain: a cache, its admission gate, and the tenants
-// routed to it.
-type shard struct {
-	idx   int
-	depth int // admission bound (Config.QueueDepth)
-	mu    sync.Mutex
-	cache core.Cache     // the engine, possibly wrapped
-	chk   *check.Checked // non-nil in Verify mode
-
-	// pending counts batches admitted but not yet finished (waiting on mu
-	// or executing); admission compares it against the queue depth without
-	// taking the lock.
-	pending atomic.Int64
-	// ewmaNanos tracks recent batch service time for retry-after hints.
-	ewmaNanos atomic.Int64
-
-	tenants  []*Tenant         // registered tenants routed here (guarded by Service.mu)
-	nextBase core.SuperblockID // next free tenant ID base (guarded by Service.mu)
-}
-
-// Tenant is a registered client's handle. All methods are safe for
-// concurrent use, but a single tenant is typically driven by one
-// goroutine.
-type Tenant struct {
-	name  string
-	shard *shard
-	// base/span place the tenant's dense ID range [0, span) at
-	// [base, base+span) in its shard's ID space, so co-located tenants
-	// never collide and the shard's slice-indexed tables stay compact.
-	base  core.SuperblockID
-	span  core.SuperblockID
-	stats TenantStats // guarded by shard.mu, except Rejected
-	// rejected is updated outside the shard lock (rejection happens at
-	// admission, before the lock) and folded into Stats() snapshots.
-	rejected atomic.Uint64
-}
-
-// Name returns the tenant's registered name.
-func (t *Tenant) Name() string { return t.name }
-
-// Shard returns the index of the shard this tenant is routed to.
-func (t *Tenant) Shard() int { return t.shard.idx }
 
 // Service is the sharded multi-tenant frontend over core caches.
 type Service struct {
 	cfg    Config
 	shards []*shard
 
+	envPool sync.Pool
+
 	mu      sync.Mutex
 	tenants map[string]*Tenant
+	// regMu serializes whole registrations (dup-check through owner
+	// placement through map insert), so the name map only ever holds
+	// fully constructed tenants.
+	regMu sync.Mutex
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	stop      chan struct{}
 }
 
-// New builds a service with cfg.Shards independent caches.
+// New builds a service with cfg.Shards independent caches and starts one
+// owner goroutine per shard. Call Close to stop them.
 func New(cfg Config) (*Service, error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("service: need at least 1 shard, got %d", cfg.Shards)
@@ -158,24 +103,65 @@ func New(cfg Config) (*Service, error) {
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
-	s := &Service{cfg: cfg, tenants: make(map[string]*Tenant)}
+	s := &Service{
+		cfg:     cfg,
+		tenants: make(map[string]*Tenant),
+		stop:    make(chan struct{}),
+	}
+	s.envPool.New = func() any { return &envelope{done: make(chan struct{}, 1)} }
 	for i := 0; i < cfg.Shards; i++ {
 		raw, err := cfg.Policy.New(cfg.ShardCapacity)
 		if err != nil {
 			return nil, fmt.Errorf("service: shard %d: %w", i, err)
 		}
-		sh := &shard{idx: i, depth: cfg.QueueDepth, cache: raw}
+		sh := &shard{
+			idx:       i,
+			depth:     cfg.QueueDepth,
+			svc:       s,
+			reqs:      make(chan *envelope, cfg.QueueDepth),
+			ctl:       make(chan *envelope),
+			nudge:     make(chan struct{}, 1),
+			ownerDone: make(chan struct{}),
+			cache:     raw,
+		}
+		sh.snapCond = sync.NewCond(&sh.snapMu)
+		sh.snap.Store(&statsSnap{})
 		if cfg.Verify {
 			sh.chk = check.Wrap(raw, cfg.Policy)
 			sh.cache = sh.chk
+		} else if eb, ok := raw.(core.EngineBacked); ok {
+			sh.eng = eb.ReplayEngine()
+			sh.pol = sh.eng.BoundPolicy()
+			sh.obsHit, sh.obsMiss = sh.eng.Observers()
+			if cr, ok := sh.pol.(core.CounterReader); ok {
+				sh.ctrReads = cr.ReadsCounters()
+			}
 		}
 		s.shards = append(s.shards, sh)
+	}
+	for _, sh := range s.shards {
+		go sh.ownerLoop()
 	}
 	return s, nil
 }
 
 // NumShards returns the shard count.
 func (s *Service) NumShards() int { return len(s.shards) }
+
+// Close stops the shard owners. Batches already admitted (including ones
+// racing the close) are drained to completion first; submissions arriving
+// after Close begins fail with ErrClosed. Close is idempotent and returns
+// once every owner has exited; the service's state remains readable
+// (stats, consistency checks) afterwards.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		close(s.stop)
+		for _, sh := range s.shards {
+			<-sh.ownerDone
+		}
+	})
+}
 
 // routeFor hashes a tenant name onto a shard index.
 func (s *Service) routeFor(name string) int {
@@ -203,6 +189,10 @@ func (s *Service) RegisterPinned(name string, shard int, idSpan core.SuperblockI
 	return s.register(name, shard, idSpan)
 }
 
+// register validates the request, then hands placement to the shard's
+// owner goroutine as an opRegister control envelope — the owner mutates
+// its tenant list and ID-base allocator between batches, so registration
+// can safely race batch submission from other tenants.
 func (s *Service) register(name string, shardIdx int, idSpan core.SuperblockID) (*Tenant, error) {
 	if name == "" {
 		return nil, fmt.Errorf("service: tenant name must be non-empty")
@@ -210,31 +200,31 @@ func (s *Service) register(name string, shardIdx int, idSpan core.SuperblockID) 
 	if idSpan < 1 {
 		return nil, fmt.Errorf("service: tenant %q declares empty ID span", name)
 	}
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tenants[name]; ok {
+	_, dup := s.tenants[name]
+	s.mu.Unlock()
+	if dup {
 		return nil, fmt.Errorf("service: tenant %q already registered", name)
 	}
 	sh := s.shards[shardIdx]
-	if sh.nextBase > core.MaxSuperblockID-idSpan {
-		return nil, fmt.Errorf("service: shard %d ID space exhausted registering %q (base %d + span %d > %d)",
-			shardIdx, name, sh.nextBase, idSpan, core.MaxSuperblockID)
+	env := s.getEnv()
+	env.op = opRegister
+	env.name = name
+	env.span = idSpan
+	if !sh.control(env) {
+		s.putEnv(env)
+		return nil, ErrClosed
 	}
-	t := &Tenant{name: name, shard: sh, base: sh.nextBase, span: idSpan}
-	sh.nextBase += idSpan
+	t, err := env.newTenant, env.err
+	s.putEnv(env)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
 	s.tenants[name] = t
-	sh.tenants = append(sh.tenants, t)
-	// Pre-size the engine's dense ID tables for the tenant's remapped
-	// range, so batch replay never pays grow-reallocations under the
-	// shard lock. Every in-tree policy exposes Reserve through the shared
-	// engine; third-party caches simply skip the warm-up.
-	raw := sh.cache
-	if sh.chk != nil {
-		raw = sh.chk.Unwrap()
-	}
-	if r, ok := raw.(interface{ Reserve(core.SuperblockID) }); ok {
-		r.Reserve(sh.nextBase - 1)
-	}
+	s.mu.Unlock()
 	return t, nil
 }
 
@@ -246,211 +236,26 @@ func (s *Service) Tenant(name string) (*Tenant, bool) {
 	return t, ok
 }
 
-// admit reserves an admission slot on the shard, or rejects with a
-// *BacklogError carrying a retry hint scaled by the current backlog.
-func (sh *shard) admit(depth int) error {
-	if n := sh.pending.Add(1); int(n) > depth {
-		sh.pending.Add(-1)
-		ewma := time.Duration(sh.ewmaNanos.Load())
-		if ewma <= 0 {
-			ewma = 100 * time.Microsecond
-		}
-		return &BacklogError{Shard: sh.idx, RetryAfter: time.Duration(n) * ewma}
+// TenantNames returns the registered tenant names, sorted.
+func (s *Service) TenantNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.tenants))
+	for n := range s.tenants {
+		names = append(names, n)
 	}
-	return nil
-}
-
-// finish releases the admission slot and folds the batch's service time
-// into the retry-hint EWMA (α = 1/8; a plain store is fine — the value is
-// a hint, not an invariant).
-func (sh *shard) finish(start time.Time) {
-	last := time.Since(start).Nanoseconds()
-	old := sh.ewmaNanos.Load()
-	sh.ewmaNanos.Store(old - old/8 + last/8)
-	sh.pending.Add(-1)
-}
-
-// verifyErr surfaces the first invariant-wall violation in Verify mode.
-// Called with the shard lock held.
-func (sh *shard) verifyErr() error {
-	if sh.chk == nil {
-		return nil
-	}
-	return sh.chk.Err()
-}
-
-// AccessBatch looks up every id under one lock acquisition and returns the
-// ids that missed, in order. The caller regenerates the missing blocks and
-// submits them with InsertBatch.
-func (t *Tenant) AccessBatch(ids []core.SuperblockID) (missed []core.SuperblockID, err error) {
-	sh := t.shard
-	if err := sh.admit(sh.depth); err != nil {
-		t.rejected.Add(1)
-		return nil, err
-	}
-	start := time.Now()
-	defer sh.finish(start)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	for _, id := range ids {
-		if id >= t.span {
-			return missed, fmt.Errorf("service: tenant %q access %d outside declared ID span %d", t.name, id, t.span)
-		}
-		t.stats.Accesses++
-		if sh.cache.Access(t.base + id) {
-			t.stats.Hits++
-		} else {
-			t.stats.Misses++
-			missed = append(missed, id)
-		}
-	}
-	t.stats.Batches++
-	return missed, sh.verifyErr()
-}
-
-// remap translates a tenant-local superblock into the shard's ID space.
-func (t *Tenant) remap(sb core.Superblock) (core.Superblock, error) {
-	if sb.ID >= t.span {
-		return sb, fmt.Errorf("service: tenant %q block %d outside declared ID span %d", t.name, sb.ID, t.span)
-	}
-	sb.ID += t.base
-	if len(sb.Links) > 0 {
-		links := make([]core.SuperblockID, len(sb.Links))
-		for i, to := range sb.Links {
-			if to >= t.span {
-				return sb, fmt.Errorf("service: tenant %q link target %d outside declared ID span %d", t.name, to, t.span)
-			}
-			links[i] = t.base + to
-		}
-		sb.Links = links
-	}
-	return sb, nil
-}
-
-// InsertBatch installs regenerated blocks under one lock acquisition.
-// Blocks that became resident since the miss was observed (another tenant
-// on the shard regenerated them first) are skipped, not errors — sharing
-// translations is the point of a shared cache. Returns how many blocks
-// this call actually inserted.
-func (t *Tenant) InsertBatch(blocks []core.Superblock) (inserted int, err error) {
-	sh := t.shard
-	if err := sh.admit(sh.depth); err != nil {
-		t.rejected.Add(1)
-		return 0, err
-	}
-	start := time.Now()
-	defer sh.finish(start)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	before := snapshotEvictions(sh.cache.Stats())
-	for _, sb := range blocks {
-		mapped, err := t.remap(sb)
-		if err != nil {
-			t.creditEvictions(before)
-			return inserted, err
-		}
-		if sh.cache.Contains(mapped.ID) {
-			continue
-		}
-		if err := sh.cache.Insert(mapped); err != nil {
-			t.creditEvictions(before)
-			return inserted, fmt.Errorf("service: tenant %q shard %d: %w", t.name, sh.idx, err)
-		}
-		inserted++
-		t.stats.InsertedBlocks++
-		t.stats.InsertedBytes += uint64(mapped.Size)
-	}
-	t.creditEvictions(before)
-	t.stats.Batches++
-	return inserted, sh.verifyErr()
-}
-
-// ReplayBatch runs the miss-driven replay protocol (access, regenerate on
-// miss, insert — exactly what package sim does single-threaded) for a
-// batch of ids under one lock acquisition. regen supplies the superblock
-// for a missed id. This is the client driver the load harness uses: with a
-// tenant alone on its shard, the tenant's counters after ReplayBatch
-// replay are bit-identical to a single-threaded sim replay of the same
-// stream.
-func (t *Tenant) ReplayBatch(ids []core.SuperblockID, regen func(core.SuperblockID) (core.Superblock, error)) error {
-	sh := t.shard
-	if err := sh.admit(sh.depth); err != nil {
-		t.rejected.Add(1)
-		return err
-	}
-	start := time.Now()
-	defer sh.finish(start)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	before := snapshotEvictions(sh.cache.Stats())
-	for _, id := range ids {
-		if id >= t.span {
-			t.creditEvictions(before)
-			return fmt.Errorf("service: tenant %q access %d outside declared ID span %d", t.name, id, t.span)
-		}
-		t.stats.Accesses++
-		if sh.cache.Access(t.base + id) {
-			t.stats.Hits++
-			continue
-		}
-		t.stats.Misses++
-		sb, err := regen(id)
-		if err != nil {
-			t.creditEvictions(before)
-			return fmt.Errorf("service: tenant %q regenerate %d: %w", t.name, id, err)
-		}
-		mapped, err := t.remap(sb)
-		if err != nil {
-			t.creditEvictions(before)
-			return err
-		}
-		if err := sh.cache.Insert(mapped); err != nil {
-			t.creditEvictions(before)
-			return fmt.Errorf("service: tenant %q shard %d: %w", t.name, sh.idx, err)
-		}
-		t.stats.InsertedBlocks++
-		t.stats.InsertedBytes += uint64(mapped.Size)
-	}
-	t.creditEvictions(before)
-	t.stats.Batches++
-	return sh.verifyErr()
-}
-
-// evictionCounters is the slice of core.Stats attributed per tenant.
-type evictionCounters struct {
-	invocations, blocks, bytes uint64
-}
-
-func snapshotEvictions(s *core.Stats) evictionCounters {
-	return evictionCounters{s.EvictionInvocations, s.BlocksEvicted, s.BytesEvicted}
-}
-
-// creditEvictions attributes the evictions since before to this tenant.
-// Called with the shard lock held.
-func (t *Tenant) creditEvictions(before evictionCounters) {
-	now := snapshotEvictions(t.shard.cache.Stats())
-	t.stats.EvictionInvocations += now.invocations - before.invocations
-	t.stats.BlocksEvicted += now.blocks - before.blocks
-	t.stats.BytesEvicted += now.bytes - before.bytes
-}
-
-// Stats snapshots the tenant's ledger.
-func (t *Tenant) Stats() TenantStats {
-	t.shard.mu.Lock()
-	s := t.stats
-	t.shard.mu.Unlock()
-	s.Rejected = t.rejected.Load()
-	return s
+	sort.Strings(names)
+	return names
 }
 
 // ShardStats snapshots every shard's engine-side core.Stats, indexed by
-// shard.
+// shard. Readers never block the owners' hot path: each shard returns its
+// published copy-on-write snapshot, refreshed to cover every batch that
+// completed before this call.
 func (s *Service) ShardStats() []core.Stats {
 	out := make([]core.Stats, len(s.shards))
 	for i, sh := range s.shards {
-		sh.mu.Lock()
-		out[i] = *sh.cache.Stats()
-		sh.mu.Unlock()
+		out[i] = sh.statsSnapshot()
 	}
 	return out
 }
@@ -478,78 +283,26 @@ func (s *Service) AggregateStats() core.Stats {
 }
 
 // CheckConsistency closes the double-entry ledger: for every shard, the
-// tenant-side counters must sum exactly to the engine-side core.Stats, the
-// invariant wall (Verify mode) must be clean, and caches that self-validate
-// must pass their structural checks. Quiesce the service before calling —
-// in-flight batches hold shard locks, so the check serializes with them
-// but a snapshot taken mid-burst reflects whichever batches finished.
+// tenant-side counters must sum exactly to the engine-side core.Stats,
+// the invariant wall (Verify mode) must be clean, and caches that
+// self-validate must pass their structural checks. The check runs on each
+// shard's owner goroutine, naturally serialized with batches; a snapshot
+// taken mid-burst reflects whichever batches finished. After Close the
+// shards are quiesced and the check reads them directly.
 func (s *Service) CheckConsistency() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, sh := range s.shards {
-		sh.mu.Lock()
-		err := sh.checkLedgerLocked()
-		sh.mu.Unlock()
+		env := s.getEnv()
+		env.op = opCheck
+		var err error
+		if sh.control(env) {
+			err = env.err
+		} else {
+			err = sh.checkLedger()
+		}
+		s.putEnv(env)
 		if err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-type structuralChecker interface{ CheckInvariants() error }
-
-// checkLedgerLocked verifies one shard with its lock held.
-func (sh *shard) checkLedgerLocked() error {
-	if err := sh.verifyErr(); err != nil {
-		return fmt.Errorf("service: shard %d invariant wall: %w", sh.idx, err)
-	}
-	if sc, ok := sh.cache.(structuralChecker); ok {
-		if err := sc.CheckInvariants(); err != nil {
-			return fmt.Errorf("service: shard %d structure: %w", sh.idx, err)
-		}
-	}
-	var sum TenantStats
-	for _, t := range sh.tenants {
-		sum.Accesses += t.stats.Accesses
-		sum.Hits += t.stats.Hits
-		sum.Misses += t.stats.Misses
-		sum.InsertedBlocks += t.stats.InsertedBlocks
-		sum.InsertedBytes += t.stats.InsertedBytes
-		sum.EvictionInvocations += t.stats.EvictionInvocations
-		sum.BlocksEvicted += t.stats.BlocksEvicted
-		sum.BytesEvicted += t.stats.BytesEvicted
-	}
-	eng := sh.cache.Stats()
-	for _, c := range []struct {
-		name           string
-		tenant, engine uint64
-	}{
-		{"Accesses", sum.Accesses, eng.Accesses},
-		{"Hits", sum.Hits, eng.Hits},
-		{"Misses", sum.Misses, eng.Misses},
-		{"InsertedBlocks", sum.InsertedBlocks, eng.InsertedBlocks},
-		{"InsertedBytes", sum.InsertedBytes, eng.InsertedBytes},
-		{"EvictionInvocations", sum.EvictionInvocations, eng.EvictionInvocations},
-		{"BlocksEvicted", sum.BlocksEvicted, eng.BlocksEvicted},
-		{"BytesEvicted", sum.BytesEvicted, eng.BytesEvicted},
-	} {
-		if c.tenant != c.engine {
-			return fmt.Errorf("service: shard %d ledger mismatch on %s: tenants sum to %d, engine counted %d",
-				sh.idx, c.name, c.tenant, c.engine)
-		}
-	}
-	return nil
-}
-
-// TenantNames returns the registered tenant names, sorted.
-func (s *Service) TenantNames() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.tenants))
-	for n := range s.tenants {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
 }

@@ -1,0 +1,572 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynocache/internal/check"
+	"dynocache/internal/core"
+)
+
+// statsSnap is one published copy-on-write snapshot of a shard's
+// engine-side counters, stamped with the mutation generation it reflects.
+type statsSnap struct {
+	gen   uint64
+	stats core.Stats
+}
+
+// tenantSnap is one published snapshot of a tenant's ledger.
+type tenantSnap struct {
+	gen   uint64
+	stats TenantStats
+}
+
+// shard is one shared-nothing domain: an owner goroutine that exclusively
+// owns a cache and the ledgers of the tenants routed to it. Callers never
+// touch shard state; they submit pooled envelopes over the MPSC request
+// queue and the owner executes them one at a time. The fields below the
+// marker are owner-private: no lock guards them because no other
+// goroutine reads or writes them while the owner is alive.
+type shard struct {
+	idx   int
+	depth int // admission bound (Config.QueueDepth)
+	svc   *Service
+
+	// reqs is the batched MPSC data queue; its capacity is the admission
+	// depth, so an admitted envelope never blocks the submitter on send.
+	reqs chan *envelope
+	// ctl carries registrations and consistency checks. It is unbuffered:
+	// a send commits only when the owner actively receives, so control
+	// submitters select on ownerDone and can never strand on a dead owner.
+	ctl chan *envelope
+	// nudge wakes an idle owner to publish a snapshot for a waiting
+	// reader (capacity 1; senders never block).
+	nudge chan struct{}
+	// ownerDone is closed after the owner has drained and exited.
+	ownerDone chan struct{}
+
+	// pending counts batches admitted but not yet finished; admission
+	// compares it against the queue depth without any lock, and the owner
+	// decrements it before signaling completion.
+	pending atomic.Int64
+	// ewmaNanos mirrors the owner's batch service-time EWMA for
+	// retry-after hints.
+	ewmaNanos atomic.Int64
+
+	// Snapshot publication: the owner bumps doneGen after every mutation
+	// and publishes a snapshot only when a reader asked for one (wantSnap),
+	// so the hot path never allocates. Readers block on snapCond until the
+	// published generation catches up with the mutations they observed.
+	doneGen  atomic.Uint64
+	snap     atomic.Pointer[statsSnap]
+	wantSnap atomic.Bool
+	snapMu   sync.Mutex
+	snapCond *sync.Cond
+
+	// --- owner-private state below: exclusively owned by the owner
+	// goroutine while it runs, readable by anyone after ownerDone ---
+
+	cache core.Cache     // the engine, possibly wrapped
+	chk   *check.Checked // non-nil in Verify mode
+
+	// Devirtualized fast path (nil/false when Verify wraps the cache or
+	// the policy's cache is not engine-backed): the owner replays against
+	// the concrete *core.Engine with observer dispatch hoisted out of the
+	// loop, exactly like sim's specialized kernels.
+	eng      *core.Engine
+	pol      core.VictimPolicy
+	obsHit   bool
+	obsMiss  bool
+	ctrReads bool
+
+	gen         uint64 // mutation generation, mirrored into doneGen
+	ewma        int64  // batch service-time EWMA (α = 1/8)
+	tenants     []*Tenant
+	nextBase    core.SuperblockID
+	linkScratch []core.SuperblockID // reusable link-remap buffer (fast path only)
+}
+
+// submit runs one data-path envelope through the shard: admission check,
+// queue send, wait for the owner. On success the envelope's result fields
+// are filled; the caller still owns the envelope.
+func (sh *shard) submit(env *envelope) error {
+	svc := sh.svc
+	if svc.closed.Load() {
+		return ErrClosed
+	}
+	if n := sh.pending.Add(1); int(n) > sh.depth {
+		sh.pending.Add(-1)
+		ewma := time.Duration(sh.ewmaNanos.Load())
+		if ewma <= 0 {
+			ewma = 100 * time.Microsecond
+		}
+		return &BacklogError{Shard: sh.idx, RetryAfter: time.Duration(n) * ewma}
+	}
+	// Re-check after taking the slot: Close observes pending, so a
+	// submitter that raced the closed flag either backs out here or is
+	// already visible to the drain loop and will be executed.
+	if svc.closed.Load() {
+		sh.pending.Add(-1)
+		return ErrClosed
+	}
+	sh.reqs <- env
+	<-env.done
+	return nil
+}
+
+// control submits a register/check envelope, bypassing batch admission.
+// Returns false when the owner has exited (service closed) — by then the
+// shard is quiesced, so the caller may fall back to direct access.
+func (sh *shard) control(env *envelope) bool {
+	select {
+	case sh.ctl <- env:
+		<-env.done
+		return true
+	case <-sh.ownerDone:
+		return false
+	}
+}
+
+// ownerLoop is the shard's owner goroutine: it drains the request and
+// control queues until Close, then finishes every already-admitted batch,
+// publishes a final snapshot, and exits.
+func (sh *shard) ownerLoop() {
+	for {
+		select {
+		case env := <-sh.reqs:
+			sh.execute(env)
+		case env := <-sh.ctl:
+			sh.executeCtl(env)
+		case <-sh.nudge:
+			sh.publishIfWanted()
+		case <-sh.svc.stop:
+			sh.drain()
+			sh.publish()
+			close(sh.ownerDone)
+			return
+		}
+	}
+}
+
+// drain finishes every batch admitted before (or racing) Close. A
+// submitter that incremented pending either sends its envelope — which
+// the non-blocking receive will see — or observes the closed flag and
+// backs out, decrementing pending; the loop exits once both queues are
+// visibly empty and no admission slot is held.
+func (sh *shard) drain() {
+	for {
+		select {
+		case env := <-sh.reqs:
+			sh.execute(env)
+		default:
+			if sh.pending.Load() == 0 {
+				return
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// execute runs one data-path envelope, updates the service-time EWMA,
+// releases the admission slot, and signals the submitter. The admission
+// slot is released before the done signal so tests (and clients) that
+// observe a completed batch see pending already decremented.
+func (sh *shard) execute(env *envelope) {
+	start := time.Now()
+	switch env.op {
+	case opAccess:
+		env.missed, env.err = sh.execAccess(env.tenant, env.ids)
+	case opInsert:
+		env.inserted, env.err = sh.execInsert(env.tenant, env.blocks)
+	case opReplay:
+		env.err = sh.execReplay(env.tenant, env.ids, env.regen)
+	}
+	sh.gen++
+	sh.doneGen.Store(sh.gen)
+	sh.publishIfWanted()
+	last := time.Since(start).Nanoseconds()
+	sh.ewma = sh.ewma - sh.ewma/8 + last/8
+	sh.ewmaNanos.Store(sh.ewma)
+	sh.pending.Add(-1)
+	env.done <- struct{}{}
+}
+
+// executeCtl runs one control envelope on the owner. Registration mutates
+// the tenant list, so it bumps the generation like a data batch;
+// consistency checks are pure reads.
+func (sh *shard) executeCtl(env *envelope) {
+	switch env.op {
+	case opRegister:
+		env.newTenant, env.err = sh.execRegister(env.name, env.span)
+		sh.gen++
+		sh.doneGen.Store(sh.gen)
+		sh.publishIfWanted()
+	case opCheck:
+		env.err = sh.checkLedger()
+	}
+	env.done <- struct{}{}
+}
+
+// verifyErr surfaces the first invariant-wall violation in Verify mode.
+func (sh *shard) verifyErr() error {
+	if sh.chk == nil {
+		return nil
+	}
+	return sh.chk.Err()
+}
+
+// execAccess looks up every id and returns the ones that missed, in
+// order. The missed slice is freshly allocated — its ownership passes to
+// the submitting client.
+func (sh *shard) execAccess(t *Tenant, ids []core.SuperblockID) (missed []core.SuperblockID, err error) {
+	if e := sh.eng; e != nil {
+		base := t.base
+		var accs, hits uint64
+		for _, id := range ids {
+			if id >= t.span {
+				e.BatchAccessStats(accs, hits)
+				t.foldAccesses(accs, hits)
+				return missed, fmt.Errorf("service: tenant %q access %d outside declared ID span %d", t.name, id, t.span)
+			}
+			accs++
+			if e.Contains(base + id) {
+				hits++
+				if sh.obsHit {
+					sh.pol.ObserveHit(base + id)
+				}
+				continue
+			}
+			if sh.obsMiss {
+				sh.pol.ObserveMiss(base + id)
+			}
+			missed = append(missed, id)
+		}
+		e.BatchAccessStats(accs, hits)
+		t.foldAccesses(accs, hits)
+		t.stats.Batches++
+		return missed, nil
+	}
+	for _, id := range ids {
+		if id >= t.span {
+			return missed, fmt.Errorf("service: tenant %q access %d outside declared ID span %d", t.name, id, t.span)
+		}
+		t.stats.Accesses++
+		if sh.cache.Access(t.base + id) {
+			t.stats.Hits++
+		} else {
+			t.stats.Misses++
+			missed = append(missed, id)
+		}
+	}
+	t.stats.Batches++
+	return missed, sh.verifyErr()
+}
+
+// execInsert installs regenerated blocks. Blocks that became resident
+// since the miss was observed (another tenant on the shard regenerated
+// them first) are skipped, not errors — sharing translations is the point
+// of a shared cache.
+func (sh *shard) execInsert(t *Tenant, blocks []core.Superblock) (inserted int, err error) {
+	fast := sh.eng != nil
+	before := snapshotEvictions(sh.cache.Stats())
+	for _, sb := range blocks {
+		mapped, merr := sh.remap(t, sb, fast)
+		if merr != nil {
+			t.creditEvictions(before)
+			return inserted, merr
+		}
+		if sh.cache.Contains(mapped.ID) {
+			continue
+		}
+		if ierr := sh.cache.Insert(mapped); ierr != nil {
+			t.creditEvictions(before)
+			return inserted, fmt.Errorf("service: tenant %q shard %d: %w", t.name, sh.idx, ierr)
+		}
+		inserted++
+		t.stats.InsertedBlocks++
+		t.stats.InsertedBytes += uint64(mapped.Size)
+	}
+	t.creditEvictions(before)
+	t.stats.Batches++
+	return inserted, sh.verifyErr()
+}
+
+// execReplay runs the miss-driven replay protocol (access, regenerate on
+// miss, insert — exactly what package sim does single-threaded) for a
+// batch of ids.
+func (sh *shard) execReplay(t *Tenant, ids []core.SuperblockID, regen func(core.SuperblockID) (core.Superblock, error)) error {
+	if sh.eng != nil {
+		return sh.execReplayEngine(t, ids, regen)
+	}
+	before := snapshotEvictions(sh.cache.Stats())
+	for _, id := range ids {
+		if id >= t.span {
+			t.creditEvictions(before)
+			return fmt.Errorf("service: tenant %q access %d outside declared ID span %d", t.name, id, t.span)
+		}
+		t.stats.Accesses++
+		if sh.cache.Access(t.base + id) {
+			t.stats.Hits++
+			continue
+		}
+		t.stats.Misses++
+		sb, err := regen(id)
+		if err != nil {
+			t.creditEvictions(before)
+			return fmt.Errorf("service: tenant %q regenerate %d: %w", t.name, id, err)
+		}
+		mapped, err := sh.remap(t, sb, false)
+		if err != nil {
+			t.creditEvictions(before)
+			return err
+		}
+		if err := sh.cache.Insert(mapped); err != nil {
+			t.creditEvictions(before)
+			return fmt.Errorf("service: tenant %q shard %d: %w", t.name, sh.idx, err)
+		}
+		t.stats.InsertedBlocks++
+		t.stats.InsertedBytes += uint64(mapped.Size)
+	}
+	t.creditEvictions(before)
+	t.stats.Batches++
+	return sh.verifyErr()
+}
+
+// execReplayEngine is the zero-allocation replay loop against the
+// concrete engine, mirroring sim's specialized kernel discipline: access
+// and hit counters fold in batches via BatchAccessStats, observer
+// dispatch is hoisted to pre-resolved flags, and counter-reading policies
+// (core.CounterReader) get their flush before every Insert so OnInserted
+// sees exact counters. Error paths reconcile the partial tallies before
+// returning so the double-entry ledger stays balanced.
+func (sh *shard) execReplayEngine(t *Tenant, ids []core.SuperblockID, regen func(core.SuperblockID) (core.Superblock, error)) error {
+	e := sh.eng
+	base := t.base
+	before := snapshotEvictions(e.Stats())
+	var accs, hits uint64
+	for _, id := range ids {
+		if id >= t.span {
+			e.BatchAccessStats(accs, hits)
+			t.foldAccesses(accs, hits)
+			t.creditEvictions(before)
+			return fmt.Errorf("service: tenant %q access %d outside declared ID span %d", t.name, id, t.span)
+		}
+		accs++
+		if e.Contains(base + id) {
+			hits++
+			if sh.obsHit {
+				sh.pol.ObserveHit(base + id)
+			}
+			continue
+		}
+		if sh.ctrReads {
+			e.BatchAccessStats(accs, hits)
+			t.foldAccesses(accs, hits)
+			accs, hits = 0, 0
+		}
+		if sh.obsMiss {
+			sh.pol.ObserveMiss(base + id)
+		}
+		sb, err := regen(id)
+		if err != nil {
+			e.BatchAccessStats(accs, hits)
+			t.foldAccesses(accs, hits)
+			t.creditEvictions(before)
+			return fmt.Errorf("service: tenant %q regenerate %d: %w", t.name, id, err)
+		}
+		mapped, err := sh.remap(t, sb, true)
+		if err != nil {
+			e.BatchAccessStats(accs, hits)
+			t.foldAccesses(accs, hits)
+			t.creditEvictions(before)
+			return err
+		}
+		if err := e.Insert(mapped); err != nil {
+			e.BatchAccessStats(accs, hits)
+			t.foldAccesses(accs, hits)
+			t.creditEvictions(before)
+			return fmt.Errorf("service: tenant %q shard %d: %w", t.name, sh.idx, err)
+		}
+		t.stats.InsertedBlocks++
+		t.stats.InsertedBytes += uint64(mapped.Size)
+	}
+	e.BatchAccessStats(accs, hits)
+	t.foldAccesses(accs, hits)
+	t.creditEvictions(before)
+	t.stats.Batches++
+	return nil
+}
+
+// remap translates a tenant-local superblock into the shard's ID space.
+// On the devirtualized fast path the links go through the shard's
+// reusable scratch buffer — safe because the engine's link table copies
+// link values at declare time and never retains the slice. The generic
+// path allocates fresh links: Verify mode's oracle retains inserted
+// superblocks, and third-party caches may too.
+func (sh *shard) remap(t *Tenant, sb core.Superblock, reuseScratch bool) (core.Superblock, error) {
+	if sb.ID >= t.span {
+		return sb, fmt.Errorf("service: tenant %q block %d outside declared ID span %d", t.name, sb.ID, t.span)
+	}
+	sb.ID += t.base
+	if n := len(sb.Links); n > 0 {
+		var links []core.SuperblockID
+		if reuseScratch {
+			if cap(sh.linkScratch) < n {
+				sh.linkScratch = make([]core.SuperblockID, 2*n)
+			}
+			links = sh.linkScratch[:n]
+		} else {
+			links = make([]core.SuperblockID, n)
+		}
+		for i, to := range sb.Links {
+			if to >= t.span {
+				return sb, fmt.Errorf("service: tenant %q link target %d outside declared ID span %d", t.name, to, t.span)
+			}
+			links[i] = t.base + to
+		}
+		sb.Links = links
+	}
+	return sb, nil
+}
+
+// execRegister places a tenant on the shard: contiguous ID-base remap,
+// tenant list append, and a dense-table warm-up so batch replay never
+// pays grow-reallocations on the hot path.
+func (sh *shard) execRegister(name string, idSpan core.SuperblockID) (*Tenant, error) {
+	if sh.nextBase > core.MaxSuperblockID-idSpan {
+		return nil, fmt.Errorf("service: shard %d ID space exhausted registering %q (base %d + span %d > %d)",
+			sh.idx, name, sh.nextBase, idSpan, core.MaxSuperblockID)
+	}
+	t := &Tenant{name: name, shard: sh, base: sh.nextBase, span: idSpan}
+	sh.nextBase += idSpan
+	sh.tenants = append(sh.tenants, t)
+	// Pre-size the engine's dense ID tables for the tenant's remapped
+	// range. Every in-tree policy exposes Reserve through the shared
+	// engine; third-party caches simply skip the warm-up.
+	raw := sh.cache
+	if sh.chk != nil {
+		raw = sh.chk.Unwrap()
+	}
+	if r, ok := raw.(interface{ Reserve(core.SuperblockID) }); ok {
+		r.Reserve(sh.nextBase - 1)
+	}
+	return t, nil
+}
+
+// publishIfWanted publishes a snapshot only if a reader asked for one
+// since the last publication — the steady-state batch path pays one
+// atomic swap and nothing else.
+func (sh *shard) publishIfWanted() {
+	if !sh.wantSnap.Swap(false) {
+		return
+	}
+	sh.publish()
+}
+
+// publish snapshots the engine counters and every tenant ledger at the
+// current generation and wakes waiting readers. The shard snapshot is
+// stored under snapMu so a reader can never miss the broadcast: it either
+// sees the fresh snapshot before waiting or is on the condition variable
+// when the broadcast fires.
+func (sh *shard) publish() {
+	for _, t := range sh.tenants {
+		t.snap.Store(&tenantSnap{gen: sh.gen, stats: t.stats})
+	}
+	s := &statsSnap{gen: sh.gen, stats: *sh.cache.Stats()}
+	sh.snapMu.Lock()
+	sh.snap.Store(s)
+	sh.snapMu.Unlock()
+	sh.snapCond.Broadcast()
+}
+
+// refresh blocks until the published snapshots are at least as new as
+// every mutation that completed before the call. Readers that find a
+// fresh snapshot return without synchronizing with the owner at all;
+// stale readers ask the owner to publish at its next batch boundary (or
+// immediately, when idle, via nudge) and wait. After the owner exits its
+// final publication carries the final generation, so post-Close readers
+// always take the fast path.
+func (sh *shard) refresh() {
+	g := sh.doneGen.Load()
+	if s := sh.snap.Load(); s.gen >= g {
+		return
+	}
+	sh.snapMu.Lock()
+	for sh.snap.Load().gen < g {
+		sh.wantSnap.Store(true)
+		select {
+		case sh.nudge <- struct{}{}:
+		default:
+		}
+		sh.snapCond.Wait()
+	}
+	sh.snapMu.Unlock()
+}
+
+// statsSnapshot returns the shard's engine-side counters, at least as new
+// as every batch that completed before the call.
+func (sh *shard) statsSnapshot() core.Stats {
+	sh.refresh()
+	return sh.snap.Load().stats
+}
+
+// tenantSnapshot returns one tenant's ledger with the same freshness
+// guarantee as statsSnapshot.
+func (sh *shard) tenantSnapshot(t *Tenant) TenantStats {
+	sh.refresh()
+	if s := t.snap.Load(); s != nil {
+		return s.stats
+	}
+	return TenantStats{}
+}
+
+type structuralChecker interface{ CheckInvariants() error }
+
+// checkLedger verifies one shard: invariant wall, structural checks, and
+// the double-entry ledger (tenant counters must sum exactly to the
+// engine's core.Stats). It runs on the owner goroutine as an opCheck
+// control envelope — naturally serialized with batches — or directly
+// once the owner has exited and the shard is quiesced.
+func (sh *shard) checkLedger() error {
+	if err := sh.verifyErr(); err != nil {
+		return fmt.Errorf("service: shard %d invariant wall: %w", sh.idx, err)
+	}
+	if sc, ok := sh.cache.(structuralChecker); ok {
+		if err := sc.CheckInvariants(); err != nil {
+			return fmt.Errorf("service: shard %d structure: %w", sh.idx, err)
+		}
+	}
+	var sum TenantStats
+	for _, t := range sh.tenants {
+		sum.Accesses += t.stats.Accesses
+		sum.Hits += t.stats.Hits
+		sum.Misses += t.stats.Misses
+		sum.InsertedBlocks += t.stats.InsertedBlocks
+		sum.InsertedBytes += t.stats.InsertedBytes
+		sum.EvictionInvocations += t.stats.EvictionInvocations
+		sum.BlocksEvicted += t.stats.BlocksEvicted
+		sum.BytesEvicted += t.stats.BytesEvicted
+	}
+	eng := sh.cache.Stats()
+	for _, c := range []struct {
+		name           string
+		tenant, engine uint64
+	}{
+		{"Accesses", sum.Accesses, eng.Accesses},
+		{"Hits", sum.Hits, eng.Hits},
+		{"Misses", sum.Misses, eng.Misses},
+		{"InsertedBlocks", sum.InsertedBlocks, eng.InsertedBlocks},
+		{"InsertedBytes", sum.InsertedBytes, eng.InsertedBytes},
+		{"EvictionInvocations", sum.EvictionInvocations, eng.EvictionInvocations},
+		{"BlocksEvicted", sum.BlocksEvicted, eng.BlocksEvicted},
+		{"BytesEvicted", sum.BytesEvicted, eng.BytesEvicted},
+	} {
+		if c.tenant != c.engine {
+			return fmt.Errorf("service: shard %d ledger mismatch on %s: tenants sum to %d, engine counted %d",
+				sh.idx, c.name, c.tenant, c.engine)
+		}
+	}
+	return nil
+}

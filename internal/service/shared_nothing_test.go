@@ -1,0 +1,300 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dynocache/internal/core"
+	"dynocache/internal/sim"
+)
+
+// TestZeroAllocServiceBatch is the service-layer twin of sim's
+// TestZeroAllocReplayKernel: once a tenant's tables are warm and the
+// shard is in eviction steady state, a ReplayBatch round trip — envelope
+// checkout, queue handoff, owner-side devirtualized replay with link
+// remapping, stats fold, envelope return — must allocate nothing.
+func TestZeroAllocServiceBatch(t *testing.T) {
+	tr := synth(t, "gzip", 0.3)
+	capacity, err := sim.CapacityFor(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{
+		Shards:        1,
+		Policy:        core.Policy{Kind: core.PolicyUnits, Units: 8},
+		ShardCapacity: capacity,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ten, err := svc.RegisterPinned("gzip", 0, span(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten.shard.eng == nil {
+		t.Fatal("units policy should take the devirtualized engine path")
+	}
+	regen := func(id core.SuperblockID) (core.Superblock, error) {
+		return tr.Blocks[id], nil
+	}
+	// Warm up: one full replay pass fills the cache past capacity (steady
+	// eviction churn), sizes the owner's link scratch, and seeds the
+	// envelope pool.
+	replayAll(t, ten, tr, 4096)
+	chunk := tr.Accesses[:4096]
+	avg := testing.AllocsPerRun(5, func() {
+		if err := ten.ReplayBatch(chunk, regen); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state ReplayBatch allocates %.1f objects per batch, want 0", avg)
+	}
+	if err := svc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// gatedRegen blocks every regeneration until release is closed, pinning
+// the shard owner mid-batch so tests can hold the queue full for as long
+// as they need.
+type gatedRegen struct {
+	release chan struct{}
+	entered chan struct{} // receives one token per regen call
+}
+
+func newGatedRegen() *gatedRegen {
+	return &gatedRegen{
+		release: make(chan struct{}),
+		entered: make(chan struct{}, 64),
+	}
+}
+
+func (g *gatedRegen) regen(id core.SuperblockID) (core.Superblock, error) {
+	g.entered <- struct{}{}
+	<-g.release
+	return core.Superblock{ID: id, Size: 64}, nil
+}
+
+// Saturating a shard's queue with genuinely in-flight batches (not a
+// hand-tweaked counter) must reject the next submission with a
+// BacklogError whose retry hint scales with the backlog, and the rejected
+// batches must be counted on the tenant.
+func TestBackpressureUnderSaturatedQueue(t *testing.T) {
+	const depth = 2
+	svc, err := New(Config{
+		Shards:        1,
+		Policy:        core.Policy{Kind: core.PolicyFine},
+		ShardCapacity: 1 << 16,
+		QueueDepth:    depth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ten, err := svc.Register("a", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := newGatedRegen()
+	var wg sync.WaitGroup
+	for i := 0; i < depth; i++ {
+		wg.Add(1)
+		go func(id core.SuperblockID) {
+			defer wg.Done()
+			if err := ten.ReplayBatch([]core.SuperblockID{id}, gate.regen); err != nil {
+				t.Error(err)
+			}
+		}(core.SuperblockID(i))
+	}
+	// Wait until the owner is pinned inside the first batch; the second
+	// occupies the remaining queue slot (pending reaches depth).
+	<-gate.entered
+	deadline := time.Now().Add(5 * time.Second)
+	for ten.shard.pending.Load() < depth {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never saturated")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	_, err = ten.AccessBatch([]core.SuperblockID{0})
+	var busy *BacklogError
+	if !errors.As(err, &busy) {
+		t.Fatalf("want BacklogError from saturated queue, got %v", err)
+	}
+	if busy.Shard != 0 || busy.RetryAfter <= 0 {
+		t.Fatalf("bad backlog hint: %+v", busy)
+	}
+	close(gate.release)
+	wg.Wait()
+	if got := ten.Stats().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+	if got := ten.Stats().Batches; got != depth {
+		t.Fatalf("Batches = %d, want %d", got, depth)
+	}
+	if err := svc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Close must drain: batches in flight when Close begins complete
+// normally, Close blocks until the owners have finished them, and only
+// then do the owner goroutines exit. Submissions after Close fail with
+// ErrClosed, stats and the consistency check remain readable, and a
+// second Close is a no-op.
+func TestCloseDrainsInFlightBatches(t *testing.T) {
+	svc, err := New(Config{
+		Shards:        2,
+		Policy:        core.Policy{Kind: core.PolicyFine},
+		ShardCapacity: 1 << 16,
+		QueueDepth:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := svc.RegisterPinned("a", 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := newGatedRegen()
+	const inflight = 3
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(id core.SuperblockID) {
+			defer wg.Done()
+			if err := ten.ReplayBatch([]core.SuperblockID{id}, gate.regen); err != nil {
+				t.Errorf("in-flight batch failed across Close: %v", err)
+			}
+		}(core.SuperblockID(i))
+	}
+	<-gate.entered // owner pinned mid-batch
+	// Wait until the other batches hold admission slots too, so all three
+	// are genuinely in flight when Close begins.
+	deadline := time.Now().Add(5 * time.Second)
+	for ten.shard.pending.Load() < inflight {
+		if time.Now().After(deadline) {
+			t.Fatal("batches never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	closed := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a batch was still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate.release)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned after batches drained")
+	}
+	wg.Wait()
+	if err := ten.ReplayBatch([]core.SuperblockID{0}, gate.regen); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReplayBatch after Close = %v, want ErrClosed", err)
+	}
+	if _, err := svc.Register("late", 8); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Register after Close = %v, want ErrClosed", err)
+	}
+	if got := ten.Stats().Accesses; got != inflight {
+		t.Fatalf("Accesses = %d after drain, want %d", got, inflight)
+	}
+	if err := svc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	svc.Close() // idempotent
+}
+
+// Registration is an owner-side control operation; racing it against
+// batch traffic from already-registered tenants (and against stats
+// readers) must neither corrupt the ledger nor trip the race detector.
+func TestRegisterRacesBatchSubmission(t *testing.T) {
+	svc, err := New(Config{
+		Shards:        1,
+		Policy:        core.Policy{Kind: core.PolicyUnits, Units: 4},
+		ShardCapacity: 1 << 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	first, err := svc.Register("tenant-0", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]core.SuperblockID, 32)
+	for i := range ids {
+		ids[i] = core.SuperblockID(i)
+	}
+	regen := func(id core.SuperblockID) (core.Superblock, error) {
+		return core.Superblock{ID: id, Size: 96 + int(id)}, nil
+	}
+	stopTraffic := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopTraffic:
+				return
+			default:
+			}
+			for {
+				err := first.ReplayBatch(ids, regen)
+				if err == nil {
+					break
+				}
+				var busy *BacklogError
+				if !errors.As(err, &busy) {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	// Register a stream of tenants onto the same shard while the batch
+	// traffic runs, immediately exercising each new tenant once.
+	const newcomers = 24
+	names := make([]string, 0, newcomers)
+	for i := 0; i < newcomers; i++ {
+		name := "tenant-" + string(rune('a'+i))
+		ten, err := svc.Register(name, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+		for {
+			err := ten.ReplayBatch(ids[:4], regen)
+			if err == nil {
+				break
+			}
+			var busy *BacklogError
+			if !errors.As(err, &busy) {
+				t.Fatal(err)
+			}
+		}
+		if st := ten.Stats(); st.Accesses != 4 {
+			t.Fatalf("%s: accesses %d right after first batch, want 4", name, st.Accesses)
+		}
+	}
+	close(stopTraffic)
+	wg.Wait()
+	for _, name := range names {
+		if _, ok := svc.Tenant(name); !ok {
+			t.Errorf("tenant %q lost", name)
+		}
+	}
+	if err := svc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package service
+
+import (
+	"sync/atomic"
+
+	"dynocache/internal/core"
+)
+
+// TenantStats is one tenant's side of the double-entry ledger: the subset
+// of core.Stats attributable to a single client, plus service-level
+// admission counters. Eviction counters are attributed to the tenant whose
+// insert triggered the eviction (the victim blocks may belong to any
+// tenant on the shard).
+type TenantStats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+
+	InsertedBlocks uint64
+	InsertedBytes  uint64
+
+	EvictionInvocations uint64
+	BlocksEvicted       uint64
+	BytesEvicted        uint64
+
+	Batches  uint64 // batches admitted and executed
+	Rejected uint64 // batches refused with a BacklogError
+}
+
+// Tenant is a registered client's handle. All methods are safe for
+// concurrent use, but a single tenant is typically driven by one
+// goroutine.
+type Tenant struct {
+	name  string
+	shard *shard
+	// base/span place the tenant's dense ID range [0, span) at
+	// [base, base+span) in its shard's ID space, so co-located tenants
+	// never collide and the shard's slice-indexed tables stay compact.
+	base core.SuperblockID
+	span core.SuperblockID
+	// stats is the ledger, owned by the shard's owner goroutine; readers
+	// go through published snapshots (snap), never the live field.
+	stats TenantStats
+	snap  atomic.Pointer[tenantSnap]
+	// rejected is updated on the submitting goroutine (rejection happens
+	// at admission, before the envelope is queued) and folded into
+	// Stats() snapshots.
+	rejected atomic.Uint64
+}
+
+// Name returns the tenant's registered name.
+func (t *Tenant) Name() string { return t.name }
+
+// Shard returns the index of the shard this tenant is routed to.
+func (t *Tenant) Shard() int { return t.shard.idx }
+
+// Stats snapshots the tenant's ledger, at least as new as every batch
+// that completed before the call.
+func (t *Tenant) Stats() TenantStats {
+	s := t.shard.tenantSnapshot(t)
+	s.Rejected = t.rejected.Load()
+	return s
+}
+
+// foldAccesses merges a batch-folded access tally into the ledger,
+// mirroring the engine's own BatchAccessStats bookkeeping.
+func (t *Tenant) foldAccesses(accs, hits uint64) {
+	t.stats.Accesses += accs
+	t.stats.Hits += hits
+	t.stats.Misses += accs - hits
+}
+
+// evictionCounters is the slice of core.Stats attributed per tenant.
+type evictionCounters struct {
+	invocations, blocks, bytes uint64
+}
+
+func snapshotEvictions(s *core.Stats) evictionCounters {
+	return evictionCounters{s.EvictionInvocations, s.BlocksEvicted, s.BytesEvicted}
+}
+
+// creditEvictions attributes the evictions since before to this tenant.
+// Runs on the owner goroutine.
+func (t *Tenant) creditEvictions(before evictionCounters) {
+	now := snapshotEvictions(t.shard.cache.Stats())
+	t.stats.EvictionInvocations += now.invocations - before.invocations
+	t.stats.BlocksEvicted += now.blocks - before.blocks
+	t.stats.BytesEvicted += now.bytes - before.bytes
+}
+
+// AccessBatch looks up every id in one owner-side batch and returns the
+// ids that missed, in order. The caller regenerates the missing blocks
+// and submits them with InsertBatch.
+func (t *Tenant) AccessBatch(ids []core.SuperblockID) ([]core.SuperblockID, error) {
+	sh := t.shard
+	env := sh.svc.getEnv()
+	env.op = opAccess
+	env.tenant = t
+	env.ids = ids
+	if err := t.submitErr(sh.submit(env)); err != nil {
+		sh.svc.putEnv(env)
+		return nil, err
+	}
+	missed, err := env.missed, env.err
+	sh.svc.putEnv(env)
+	return missed, err
+}
+
+// InsertBatch installs regenerated blocks in one owner-side batch.
+// Returns how many blocks this call actually inserted (blocks already
+// resident are skipped, not errors).
+func (t *Tenant) InsertBatch(blocks []core.Superblock) (int, error) {
+	sh := t.shard
+	env := sh.svc.getEnv()
+	env.op = opInsert
+	env.tenant = t
+	env.blocks = blocks
+	if err := t.submitErr(sh.submit(env)); err != nil {
+		sh.svc.putEnv(env)
+		return 0, err
+	}
+	inserted, err := env.inserted, env.err
+	sh.svc.putEnv(env)
+	return inserted, err
+}
+
+// ReplayBatch runs the miss-driven replay protocol (access, regenerate on
+// miss, insert — exactly what package sim does single-threaded) for a
+// batch of ids in one owner-side batch. regen supplies the superblock for
+// a missed id. This is the client driver the load harness uses: with a
+// tenant alone on its shard, the tenant's counters after ReplayBatch
+// replay are bit-identical to a single-threaded sim replay of the same
+// stream. The steady-state path allocates nothing: pooled envelope,
+// owner-side link scratch, batch-folded counters.
+func (t *Tenant) ReplayBatch(ids []core.SuperblockID, regen func(core.SuperblockID) (core.Superblock, error)) error {
+	sh := t.shard
+	env := sh.svc.getEnv()
+	env.op = opReplay
+	env.tenant = t
+	env.ids = ids
+	env.regen = regen
+	if err := t.submitErr(sh.submit(env)); err != nil {
+		sh.svc.putEnv(env)
+		return err
+	}
+	err := env.err
+	sh.svc.putEnv(env)
+	return err
+}
+
+// submitErr counts rejections on the tenant before handing the submission
+// error back.
+func (t *Tenant) submitErr(err error) error {
+	if err != nil {
+		if _, ok := err.(*BacklogError); ok {
+			t.rejected.Add(1)
+		}
+	}
+	return err
+}

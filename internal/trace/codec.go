@@ -84,66 +84,104 @@ func (t *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
+// linkArenaChunk sizes the block-table link arena: link rows are carved
+// out of shared chunks this long, so decoding costs one allocation per
+// chunk instead of one per linked block.
+const linkArenaChunk = 4096
+
 // decodeHeader reads the magic, version, name, and block table, leaving
 // br positioned at the access count. Shared by Read and NewStream.
+//
+// Every field is decoded manually out of a reused scratch buffer;
+// binary.Read is off-limits here because it allocates per call (its
+// internal buffer plus the escaping destination), which for a
+// five-field-per-block table used to dominate the whole streaming-replay
+// allocation profile (~6 allocations × tens of thousands of blocks).
 func decodeHeader(br *bufio.Reader) (*Trace, error) {
-	head := make([]byte, 4)
-	if _, err := io.ReadFull(br, head); err != nil {
+	const fixedV2 = 18 // id u32 + srcPC u64 + size u32 + nLinks u16
+	const fixedV1 = 10 // id u32 + size u32 + nLinks u16
+	scratch := make([]byte, fixedV2)
+	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
 		return nil, fmt.Errorf("trace: read magic: %w", err)
 	}
-	if string(head) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", head)
+	if string(scratch[:4]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", scratch[:4])
 	}
-	var ver uint16
-	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
 		return nil, err
 	}
+	ver := binary.LittleEndian.Uint16(scratch)
 	if ver != 1 && ver != version {
 		return nil, fmt.Errorf("trace: unsupported version %d", ver)
 	}
-	var nameLen uint16
-	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-		return nil, err
-	}
+	nameLen := binary.LittleEndian.Uint16(scratch[2:])
 	nameBuf := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, nameBuf); err != nil {
 		return nil, err
 	}
 	t := New(string(nameBuf))
-	var nBlocks uint32
-	if err := binary.Read(br, binary.LittleEndian, &nBlocks); err != nil {
+	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
 		return nil, err
 	}
+	nBlocks := binary.LittleEndian.Uint32(scratch)
+	// Link rows are subslices of shared fixed-size chunks. Chunks are
+	// never grown in place — growing would move the backing array and
+	// invalidate rows already handed out — and oversized rows get a
+	// dedicated allocation. Full slice expressions cap each row so a
+	// consumer appending to its links cannot stomp a neighbor's.
+	var (
+		arena     []core.SuperblockID
+		arenaUsed int
+		linkBuf   []byte
+	)
 	for i := uint32(0); i < nBlocks; i++ {
+		fixed := fixedV2
+		if ver < 2 {
+			fixed = fixedV1
+		}
+		b := scratch[:fixed]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, fmt.Errorf("trace: block %d: %w", i, err)
+		}
 		var id, size uint32
 		var srcPC uint64
 		var nLinks uint16
-		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
-			return nil, fmt.Errorf("trace: block %d: %w", i, err)
-		}
 		if ver >= 2 {
-			if err := binary.Read(br, binary.LittleEndian, &srcPC); err != nil {
-				return nil, fmt.Errorf("trace: block %d srcPC: %w", i, err)
-			}
-		}
-		if err := binary.Read(br, binary.LittleEndian, &size); err != nil {
-			return nil, err
-		}
-		if err := binary.Read(br, binary.LittleEndian, &nLinks); err != nil {
-			return nil, err
+			id = binary.LittleEndian.Uint32(b)
+			srcPC = binary.LittleEndian.Uint64(b[4:])
+			size = binary.LittleEndian.Uint32(b[12:])
+			nLinks = binary.LittleEndian.Uint16(b[16:])
+		} else {
+			id = binary.LittleEndian.Uint32(b)
+			size = binary.LittleEndian.Uint32(b[4:])
+			nLinks = binary.LittleEndian.Uint16(b[8:])
 		}
 		// nil for a link-free block, so a decoded trace is DeepEqual to the
 		// one that was encoded (frontends leave Links nil when empty).
 		var links []core.SuperblockID
-		if nLinks > 0 {
-			links = make([]core.SuperblockID, nLinks)
-		}
-		for j := range links {
-			var to uint32
-			if err := binary.Read(br, binary.LittleEndian, &to); err != nil {
-				return nil, err
+		if n := int(nLinks); n > 0 {
+			need := 4 * n
+			if cap(linkBuf) < need {
+				linkBuf = make([]byte, need)
 			}
-			links[j] = core.SuperblockID(to)
+			lb := linkBuf[:need]
+			if _, err := io.ReadFull(br, lb); err != nil {
+				return nil, fmt.Errorf("trace: block %d links: %w", i, err)
+			}
+			switch {
+			case n > linkArenaChunk:
+				links = make([]core.SuperblockID, n)
+			default:
+				if arenaUsed+n > len(arena) {
+					arena = make([]core.SuperblockID, linkArenaChunk)
+					arenaUsed = 0
+				}
+				links = arena[arenaUsed : arenaUsed+n : arenaUsed+n]
+				arenaUsed += n
+			}
+			for j := 0; j < n; j++ {
+				links[j] = core.SuperblockID(binary.LittleEndian.Uint32(lb[4*j:]))
+			}
 		}
 		if err := t.Define(core.Superblock{ID: core.SuperblockID(id), SrcPC: srcPC, Size: int(size), Links: links}); err != nil {
 			return nil, err

@@ -50,10 +50,11 @@ func NewStream(r io.Reader) (*Stream, error) {
 	if err := t.ValidateBlocks(); err != nil {
 		return nil, err
 	}
-	var nAccesses uint64
-	if err := binary.Read(br, binary.LittleEndian, &nAccesses); err != nil {
+	var count [8]byte
+	if _, err := io.ReadFull(br, count[:]); err != nil {
 		return nil, err
 	}
+	nAccesses := binary.LittleEndian.Uint64(count[:])
 	return &Stream{
 		Name:      t.Name,
 		Blocks:    t.Blocks,

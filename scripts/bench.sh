@@ -10,8 +10,14 @@
 #   BENCH_TIME      measurement window per benchmark (default 1s)
 #   BENCH_OUT       report path (default BENCH_report.json)
 #   BENCH_POLICY    eviction policy for the replay rows (default fifo)
+#   BENCH_CPU       GOMAXPROCS ladder for the service scaling sweep
+#                   (default auto = powers of two up to NumCPU; '' skips)
+#   BENCH_SCALING_FLOOR  fail unless scaling efficiency reaches this floor
+#                   (only applied when the sweep spans more than one proc)
 #   BENCH_GATE      committed report to gate against: the run fails if
-#                   replay_speedup_vs_legacy drops >15% below it
+#                   replay_speedup_vs_legacy (or the scaling efficiency,
+#                   when both reports swept the same proc ladder) drops
+#                   >15% below it
 #   BENCH_BASELINE  commit to measure an out-of-tree replay baseline at
 #                   (checked out into a throwaway worktree; sim.Run there
 #                   is timed on the same trace and embedded in the report)
@@ -23,6 +29,8 @@ PRESSURE="${BENCH_PRESSURE:-2}"
 BENCHTIME="${BENCH_TIME:-1s}"
 OUT="${BENCH_OUT:-BENCH_report.json}"
 POLICY="${BENCH_POLICY:-fifo}"
+CPU="${BENCH_CPU:-auto}"
+SCALING_FLOOR="${BENCH_SCALING_FLOOR:-0}"
 GATE="${BENCH_GATE:-}"
 BASELINE="${BENCH_BASELINE:-}"
 
@@ -45,5 +53,6 @@ fi
 
 go build -o /tmp/dynocache-bench ./cmd/dynocache-bench
 /tmp/dynocache-bench -scale "$SCALE" -pressure "$PRESSURE" -benchtime "$BENCHTIME" \
-  -policy "$POLICY" -o "$OUT" "${BASEFLAGS[@]}" "${GATEFLAGS[@]}"
+  -policy "$POLICY" -cpu "$CPU" -scaling-floor "$SCALING_FLOOR" \
+  -o "$OUT" "${BASEFLAGS[@]}" "${GATEFLAGS[@]}"
 echo "wrote $OUT"
