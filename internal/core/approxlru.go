@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ApproxLRUCache approximates recency eviction by random-probe timestamp
+// sampling, the Redis-style alternative to an exact LRU: every access
+// stamps a flat lastUsed array with a logical tick, and eviction draws
+// approxLRUProbes random residents and takes the stalest. There is no
+// intrusive recency list — hits cost one array store instead of a
+// doubly-linked-list splice, and eviction trades exactness for a few
+// cache-friendly probes into a dense array.
+//
+// The approximation is deliberately cheap rather than faithful: with k
+// probes the victim is expected to sit in the stalest ~1/(k+1) tail of
+// the recency distribution, so hot blocks are overwhelmingly safe and
+// the measured miss-rate delta against exact LRU stays small (bounded by
+// the differential tests in internal/check). The probe sequence comes
+// from a fixed-seed splitmix64 generator, so replays are bit-stable and
+// the policy's decisions are equivariant under ID permutation: probes
+// select positions in the dense resident array, never ID values.
+type ApproxLRUCache struct {
+	Engine
+
+	// lastUsed[id] is the logical tick of id's most recent access or
+	// insertion; tick increases monotonically, so stamps are unique.
+	lastUsed []int64
+	tick     int64
+
+	// live is the dense resident-ID array the sampler probes; order is
+	// insertion order perturbed by swap-removal, which is itself a
+	// deterministic function of the access sequence.
+	live []int32
+
+	rng uint64 // splitmix64 state, fixed seed for reproducibility
+
+	holes holeList // free regions, first-fit by lowest offset
+	// freeBytes mirrors the holes' byte sum; CheckInvariants re-tallies it.
+	freeBytes int
+
+	// FragEvictions and BurstCarves mirror the LRU counters: evictions
+	// forced despite sufficient aggregate free space, and batched
+	// carve/merge passes (see LRUCache).
+	FragEvictions uint64
+	BurstCarves   uint64
+
+	// runIDs/runOffs/runSizes stage one victim run chunk for the batched
+	// carve; fixed arrays keep the steady state allocation-free.
+	runIDs, runOffs, runSizes [evictRunChunk]int32
+}
+
+// approxLRUProbes is the sample width per eviction: 8 probes puts the
+// victim in the stalest ~11% of residents in expectation, the same
+// operating point approx-LRU caches and Redis's allkeys-lru default use.
+const approxLRUProbes = 8
+
+// approxLRUSeed is the fixed splitmix64 seed; a constant keeps replays
+// bit-stable across runs and platforms.
+const approxLRUSeed = 0x9E3779B97F4A7C15
+
+var (
+	_ Cache        = (*ApproxLRUCache)(nil)
+	_ VictimPolicy = (*ApproxLRUCache)(nil)
+	_ EngineBacked = (*ApproxLRUCache)(nil)
+)
+
+// NewApproxLRU returns a sampling-LRU cache with the given capacity in
+// bytes.
+func NewApproxLRU(capacity int) (*ApproxLRUCache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("core: capacity must be positive, got %d", capacity)
+	}
+	if capacity > math.MaxInt32 {
+		return nil, fmt.Errorf("core: approx-LRU capacity %d exceeds the hole index limit", capacity)
+	}
+	c := &ApproxLRUCache{rng: approxLRUSeed}
+	c.holes.reset(0, capacity)
+	c.freeBytes = capacity
+	c.initEngine("approx-LRU", capacity)
+	c.bindPolicy(c)
+	return c, nil
+}
+
+// Units implements Cache: sampling LRU evicts single blocks.
+func (c *ApproxLRUCache) Units() int { return 0 }
+
+// grow extends the timestamp table to cover id.
+func (c *ApproxLRUCache) grow(id SuperblockID) {
+	if int(id) < len(c.lastUsed) {
+		return
+	}
+	n := int(id) + 1
+	if n < 2*len(c.lastUsed) {
+		n = 2 * len(c.lastUsed)
+	}
+	lu := make([]int64, n)
+	copy(lu, c.lastUsed)
+	c.lastUsed = lu
+}
+
+// Reserve pre-sizes the engine tables, the timestamp table, and the
+// resident array for IDs in [0, maxID].
+func (c *ApproxLRUCache) Reserve(maxID SuperblockID) {
+	c.Engine.Reserve(maxID)
+	c.grow(maxID)
+	if cap(c.live) < int(maxID)+1 {
+		live := make([]int32, len(c.live), int(maxID)+1)
+		copy(live, c.live)
+		c.live = live
+	}
+}
+
+// FreeBytes returns the total free space across all holes.
+func (c *ApproxLRUCache) FreeBytes() int { return c.freeBytes }
+
+// LargestHole returns the size of the biggest contiguous free region.
+func (c *ApproxLRUCache) LargestHole() int { return c.holes.largest() }
+
+// ObserveHit implements VictimPolicy: a hit restamps the timestamp — the
+// whole point of the approximation, one store instead of a list splice.
+func (c *ApproxLRUCache) ObserveHit(id SuperblockID) {
+	c.lastUsed[id] = c.tick
+	c.tick++
+}
+
+// ObserveMiss implements VictimPolicy.
+func (c *ApproxLRUCache) ObserveMiss(SuperblockID) {}
+
+// Observes implements VictimPolicy: the sampler needs the hit stream.
+func (c *ApproxLRUCache) Observes() (hits, misses bool) { return true, false }
+
+// nextRand advances the splitmix64 stream.
+func (c *ApproxLRUCache) nextRand() uint64 {
+	c.rng += 0x9E3779B97F4A7C15
+	z := c.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// sampleVictim draws approxLRUProbes positions from the resident array
+// and swap-removes the one with the stalest timestamp. Duplicate probes
+// resolve to the first occurrence (stamps are unique per block), keeping
+// selection deterministic.
+func (c *ApproxLRUCache) sampleVictim() int32 {
+	n := len(c.live)
+	best := int(c.nextRand() % uint64(n))
+	bt := c.lastUsed[c.live[best]]
+	for i := 1; i < approxLRUProbes; i++ {
+		k := int(c.nextRand() % uint64(n))
+		if st := c.lastUsed[c.live[k]]; st < bt {
+			best, bt = k, st
+		}
+	}
+	id := c.live[best]
+	c.live[best] = c.live[n-1]
+	c.live = c.live[:n-1]
+	return id
+}
+
+// alloc carves size bytes off the first-fit hole.
+func (c *ApproxLRUCache) alloc(size int) (int, bool) {
+	off, ok := c.holes.allocFirstFit(size)
+	if !ok {
+		return 0, false
+	}
+	c.freeBytes -= size
+	return off, true
+}
+
+// Place implements VictimPolicy: sample-evict stale blocks until a
+// first-fit hole accommodates the new superblock, retiring each victim
+// run through the batched freeRunAndTake carve. Victims staged but not
+// consumed by the carve return to the resident array.
+func (c *ApproxLRUCache) Place(size int) (int64, error) {
+	if off, ok := c.alloc(size); ok {
+		return int64(off), nil
+	}
+	evicted := c.evictScratch[:0]
+	var off int
+	for {
+		n := 0
+		for n < evictRunChunk && len(c.live) > 0 {
+			victim := c.sampleVictim()
+			c.runIDs[n] = victim
+			c.runOffs[n] = int32(c.where[victim])
+			c.runSizes[n] = c.sizes[victim]
+			n++
+		}
+		if n == 0 {
+			c.evictScratch = evicted
+			c.evictBatch(evicted)
+			return 0, fmt.Errorf("core: approx-LRU could not place %d bytes in empty cache", size)
+		}
+		place, taken, used := c.holes.freeRunAndTake(c.runOffs[:n], c.runSizes[:n], size)
+		c.BurstCarves++
+		for i := 0; i < used; i++ {
+			if c.freeBytes >= size {
+				c.FragEvictions++
+			}
+			c.freeBytes += int(c.runSizes[i])
+			evicted = append(evicted, SuperblockID(c.runIDs[i]))
+		}
+		// Staged victims the carve did not need stay resident.
+		for i := used; i < n; i++ {
+			c.live = append(c.live, c.runIDs[i])
+		}
+		if taken {
+			c.freeBytes -= size
+			off = place
+			break
+		}
+	}
+	c.evictScratch = evicted
+	c.evictBatch(evicted)
+	return int64(off), nil
+}
+
+// OnInserted implements VictimPolicy: stamp the new block and add it to
+// the resident array.
+func (c *ApproxLRUCache) OnInserted(id SuperblockID, off int64, size int) {
+	c.grow(id)
+	c.lastUsed[id] = c.tick
+	c.tick++
+	c.live = append(c.live, int32(id))
+}
+
+// EvictAll implements VictimPolicy.
+func (c *ApproxLRUCache) EvictAll() {
+	order := c.evictScratch[:0]
+	for _, id := range c.live {
+		order = append(order, SuperblockID(id))
+	}
+	c.evictScratch = order
+	c.live = c.live[:0]
+	c.holes.reset(0, c.capacity)
+	c.freeBytes = c.capacity
+	c.evictBatch(order)
+}
+
+// UnitOf implements VictimPolicy: every block is its own eviction unit.
+func (c *ApproxLRUCache) UnitOf(id SuperblockID) (int64, bool) {
+	return c.Where(id)
+}
+
+// CheckInvariants validates allocator and resident-array consistency.
+func (c *ApproxLRUCache) CheckInvariants() error {
+	if err := c.holes.checkInvariants(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	type region struct{ off, size int }
+	holes := make([]region, 0, c.holes.count)
+	tally := 0
+	c.holes.ascend(func(off, size int) {
+		holes = append(holes, region{off, size})
+		tally += size
+	})
+	for i, h := range holes {
+		if h.size <= 0 || h.off < 0 || h.off+h.size > c.capacity {
+			return fmt.Errorf("core: bad hole %+v", h)
+		}
+		if i > 0 {
+			prev := holes[i-1]
+			if prev.off+prev.size >= h.off {
+				return fmt.Errorf("core: holes %+v and %+v overlap or touch", prev, h)
+			}
+		}
+	}
+	if tally != c.freeBytes {
+		return fmt.Errorf("core: free-byte counter %d != hole tally %d", c.freeBytes, tally)
+	}
+	if got := c.capacity - c.FreeBytes(); got != c.ResidentBytes() {
+		return fmt.Errorf("core: allocator accounts %d resident bytes, engine %d", got, c.ResidentBytes())
+	}
+	// Blocks and holes partition the arena.
+	regions := make([]region, 0, c.resident+len(holes))
+	for id, voff := range c.where {
+		if voff == absentVoff {
+			continue
+		}
+		regions = append(regions, region{int(voff), int(c.sizes[id])})
+	}
+	if len(regions) != c.resident {
+		return fmt.Errorf("core: resident count %d != occupied regions %d", c.resident, len(regions))
+	}
+	regions = append(regions, holes...)
+	sort.Slice(regions, func(i, j int) bool { return regions[i].off < regions[j].off })
+	at := 0
+	for _, r := range regions {
+		if r.off != at {
+			return fmt.Errorf("core: arena gap/overlap at %d (next region at %d)", at, r.off)
+		}
+		at += r.size
+	}
+	if at != c.capacity {
+		return fmt.Errorf("core: arena regions end at %d, capacity %d", at, c.capacity)
+	}
+	// The resident array holds exactly the resident blocks, once each.
+	if len(c.live) != c.resident {
+		return fmt.Errorf("core: resident array has %d entries, engine has %d resident", len(c.live), c.resident)
+	}
+	seen := make(map[int32]bool, len(c.live))
+	for _, id := range c.live {
+		if seen[id] {
+			return fmt.Errorf("core: resident array repeats block %d", id)
+		}
+		seen[id] = true
+		if !c.Contains(SuperblockID(id)) {
+			return fmt.Errorf("core: resident-array block %d not resident", id)
+		}
+	}
+	return c.checkEngineInvariants()
+}

@@ -13,11 +13,13 @@ package core
 // its high-water mark.
 //
 // The summary scans stay deliberately linear: a segment tree over the
-// bucket maxima and branch-free masked scans inside buckets were both
-// tried and measured slower on the replay benchmark, because the
-// summaries are a handful of contiguous cache lines and the mostly-
-// taken "keep scanning" branches predict well, while a tree descent
-// mispredicts at every level.
+// bucket maxima was tried and measured slower on the replay benchmark,
+// because eviction bursts grow a hole on almost every victim — the
+// update stream is raise-dominated — and the tree pays an O(log
+// buckets) chain of dependent loads per raise, where the flat
+// summaries absorb a raise with two compares. Lowers (the expensive
+// linear rescans) are rare: only when the group or global maximum
+// itself shrinks.
 //
 // Offsets and sizes are int32: NewLRU rejects capacities beyond int32
 // range, far above any code cache the paper considers.
@@ -29,7 +31,22 @@ type holeList struct {
 	bmax   []int32
 	bucks  []holeBucket
 	count  int
+
+	// smax[g] is the largest hole size across buckets [g*holeGroup,
+	// (g+1)*holeGroup), and gmax the exact global maximum — a third
+	// summary level above bmax. First-fit scans consult gmax to fail in
+	// O(1) (the common case under pressure: every insert tries
+	// allocFirstFit before evicting) and smax to skip 64 buckets at a
+	// time; heavily fragmented arenas hold thousands of small holes, and
+	// without the group level every successful allocation waded through
+	// hundreds of bucket maxima. Rescans happen only when a group's (or
+	// the global) maximum shrinks, far rarer than the scans they save.
+	smax []int32
+	gmax int32
 }
+
+// holeGroup is the number of buckets summarized per smax entry.
+const holeGroup = 64
 
 // holeBucketCap is the fan-out: buckets split at this size and are
 // removed when they empty. 32 int32 pairs keep one bucket at four cache
@@ -48,13 +65,18 @@ func (l *holeList) reset(off, size int) {
 	l.minOff = l.minOff[:0]
 	l.bmax = l.bmax[:0]
 	l.bucks = l.bucks[:0]
+	l.smax = l.smax[:0]
 	l.count = 0
+	l.gmax = 0
 	if size > 0 {
 		l.insert(off, size)
 	}
 }
 
-// insertBucket opens an empty bucket at position bi.
+// insertBucket opens an empty bucket at position bi. The bucket shift
+// moves every later bmax entry across group boundaries, so the group
+// summaries are rebuilt wholesale — one pass over bmax, on the rare
+// split/empty path only.
 func (l *holeList) insertBucket(bi int) {
 	l.minOff = append(l.minOff, 0)
 	copy(l.minOff[bi+1:], l.minOff[bi:])
@@ -63,6 +85,7 @@ func (l *holeList) insertBucket(bi int) {
 	l.bucks = append(l.bucks, holeBucket{})
 	copy(l.bucks[bi+1:], l.bucks[bi:])
 	l.bucks[bi] = holeBucket{}
+	l.rebuildSmax()
 }
 
 // removeBucket drops the (empty) bucket at bi.
@@ -70,6 +93,58 @@ func (l *holeList) removeBucket(bi int) {
 	l.minOff = append(l.minOff[:bi], l.minOff[bi+1:]...)
 	l.bmax = append(l.bmax[:bi], l.bmax[bi+1:]...)
 	l.bucks = append(l.bucks[:bi], l.bucks[bi+1:]...)
+	l.rebuildSmax()
+}
+
+// rebuildSmax recomputes every group summary from bmax.
+func (l *holeList) rebuildSmax() {
+	ng := (len(l.bmax) + holeGroup - 1) / holeGroup
+	for cap(l.smax) < ng {
+		l.smax = append(l.smax[:cap(l.smax)], 0)
+	}
+	l.smax = l.smax[:ng]
+	for gi := 0; gi < ng; gi++ {
+		l.rescanSmax(gi)
+	}
+}
+
+// rescanSmax recomputes group gi's summary from its bucket maxima.
+func (l *holeList) rescanSmax(gi int) {
+	base := gi * holeGroup
+	end := base + holeGroup
+	if end > len(l.bmax) {
+		end = len(l.bmax)
+	}
+	m := int32(0)
+	for _, v := range l.bmax[base:end] {
+		if v > m {
+			m = v
+		}
+	}
+	l.smax[gi] = m
+}
+
+// bmaxRaised propagates a grown bucket maximum up the summary levels.
+func (l *holeList) bmaxRaised(bi int, size int32) {
+	if gi := bi / holeGroup; size > l.smax[gi] {
+		l.smax[gi] = size
+	}
+	if size > l.gmax {
+		l.gmax = size
+	}
+}
+
+// bmaxLowered repairs the summary levels after bucket bi's maximum
+// dropped from old (bmax[bi] must already hold the new value).
+func (l *holeList) bmaxLowered(bi int, old int32) {
+	gi := bi / holeGroup
+	if old != l.smax[gi] {
+		return
+	}
+	l.rescanSmax(gi)
+	if old == l.gmax {
+		l.rescanGmax()
+	}
 }
 
 // recomputeMax refreshes bmax[bi] from the bucket's entries.
@@ -97,6 +172,12 @@ func (l *holeList) split(bi int) {
 	l.minOff[bi+1] = hi.offs[0]
 	l.recomputeMax(bi)
 	l.recomputeMax(bi + 1)
+	// Both bucket maxima may have dropped from the pre-split value; the
+	// entry multiset is unchanged, so gmax holds, but the groups rescan.
+	l.rescanSmax(bi / holeGroup)
+	if g := (bi + 1) / holeGroup; g != bi/holeGroup {
+		l.rescanSmax(g)
+	}
 }
 
 // insertEntry places a hole at position j of bucket bi, splitting first
@@ -119,6 +200,7 @@ func (l *holeList) insertEntry(bi int, j, off, size int32) {
 	}
 	if size > l.bmax[bi] {
 		l.bmax[bi] = size
+		l.bmaxRaised(bi, size)
 	}
 	l.count++
 }
@@ -134,6 +216,9 @@ func (l *holeList) deleteEntry(bi int, j int32) {
 	l.count--
 	if b.n == 0 {
 		l.removeBucket(bi)
+		if old == l.gmax {
+			l.rescanGmax()
+		}
 		return
 	}
 	if j == 0 {
@@ -141,7 +226,20 @@ func (l *holeList) deleteEntry(bi int, j int32) {
 	}
 	if old == l.bmax[bi] {
 		l.recomputeMax(bi)
+		l.bmaxLowered(bi, old)
 	}
+}
+
+// rescanGmax recomputes the cached global maximum from the group
+// summaries. Called only when a hole of size gmax shrinks or disappears.
+func (l *holeList) rescanGmax() {
+	m := int32(0)
+	for _, v := range l.smax {
+		if v > m {
+			m = v
+		}
+	}
+	l.gmax = m
 }
 
 // insert adds a hole; offsets are unique by construction (holes never
@@ -166,16 +264,22 @@ func (l *holeList) insert(off, size int) {
 }
 
 // locate returns the last bucket whose minimum offset is <= off, or -1
-// when off precedes every bucket.
+// when off precedes every bucket. Unlike the first-fit scan over the
+// size maxima (where the linear walk wins — see the type comment), this
+// is a pure predecessor search over a sorted array, and with bursty
+// workloads calling it per freed region the binary search measures
+// clearly faster once the arena holds more than a handful of buckets.
 func (l *holeList) locate(off int32) int {
-	bi := -1
-	for i, m := range l.minOff {
-		if m > off {
-			break
+	lo, hi := 0, len(l.minOff)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l.minOff[mid] <= off {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		bi = i
 	}
-	return bi
+	return lo - 1
 }
 
 // allocFirstFit carves take bytes off the lowest-offset hole of at
@@ -183,29 +287,45 @@ func (l *holeList) locate(off int32) int {
 // the first qualifying bucket.
 func (l *holeList) allocFirstFit(take int) (off int, ok bool) {
 	t := int32(take)
-	for bi, m := range l.bmax {
-		if m < t {
+	if t > l.gmax {
+		// No hole can fit: the common case under pressure, answered
+		// without touching the summaries.
+		return 0, false
+	}
+	for gi, gm := range l.smax {
+		if gm < t {
 			continue
 		}
-		b := &l.bucks[bi]
-		for j := int32(0); j < b.n; j++ {
-			if b.sizes[j] < t {
+		base := gi * holeGroup
+		end := base + holeGroup
+		if end > len(l.bmax) {
+			end = len(l.bmax)
+		}
+		for bi := base; bi < end; bi++ {
+			if l.bmax[bi] < t {
 				continue
 			}
-			off = int(b.offs[j])
-			if b.sizes[j] == t {
-				l.deleteEntry(bi, j)
+			b := &l.bucks[bi]
+			for j := int32(0); j < b.n; j++ {
+				if b.sizes[j] < t {
+					continue
+				}
+				off = int(b.offs[j])
+				if b.sizes[j] == t {
+					l.deleteEntry(bi, j)
+					return off, true
+				}
+				b.offs[j] += t
+				b.sizes[j] -= t
+				if j == 0 {
+					l.minOff[bi] = b.offs[0]
+				}
+				if old := b.sizes[j] + t; old == l.bmax[bi] {
+					l.recomputeMax(bi)
+					l.bmaxLowered(bi, old)
+				}
 				return off, true
 			}
-			b.offs[j] += t
-			b.sizes[j] -= t
-			if j == 0 {
-				l.minOff[bi] = b.offs[0]
-			}
-			if b.sizes[j]+t == l.bmax[bi] {
-				l.recomputeMax(bi)
-			}
-			return off, true
 		}
 	}
 	return 0, false
@@ -314,20 +434,145 @@ func (l *holeList) setEntry(bi int, j, off, size, want int32, taken bool) {
 	switch {
 	case size > l.bmax[bi]:
 		l.bmax[bi] = size
+		l.bmaxRaised(bi, size)
 	case old == l.bmax[bi] && size < old:
 		l.recomputeMax(bi)
+		l.bmaxLowered(bi, old)
 	}
 }
 
 // largest returns the biggest hole size, 0 when the arena is full.
-func (l *holeList) largest() int {
-	m := int32(0)
-	for _, v := range l.bmax {
-		if v > m {
-			m = v
+func (l *holeList) largest() int { return int(l.gmax) }
+
+// freeRunAndTake retires a whole eviction burst in one fused pass: it
+// frees the regions offs[i]..offs[i]+sizes[i] in order, merging each
+// into the index exactly as freeAndTake would, and stops the moment the
+// merged hole containing the just-freed region reaches want bytes —
+// carving the placement from that hole's base. It returns the placement,
+// whether it fit, and how many regions were consumed; unconsumed regions
+// are untouched.
+//
+// Fusing the burst into one pass buys two things over calling
+// freeAndTake per victim. First, the bracket of the hole grown by the
+// previous region is carried across iterations: when the next region
+// extends that same hole — the common case, because first-fit places
+// insertion-order neighbors at adjacent offsets and LRU evicts them in
+// insertion-adjacent runs — the predecessor search is skipped entirely
+// and the hole grows in place. Second, the want check runs against the
+// one merged hole each region touches, which is the unique first-fit
+// candidate: no other hole fit want bytes when the burst began, and no
+// earlier region's merge reached want (or the pass would have stopped).
+func (l *holeList) freeRunAndTake(offs, sizes []int32, want int) (place int, taken bool, used int) {
+	w := int32(want)
+	// Bracket cache: the entry grown by the previous region — its bucket,
+	// index, and bounds. Valid only when cbi >= 0. Eviction runs walk
+	// address-clustered blocks in both directions, so a region abutting
+	// the cached hole on either side skips the predecessor search.
+	cbi := -1
+	var cj, cstart, cend int32
+	for used = 0; used < len(offs); used++ {
+		o, s := offs[used], sizes[used]
+
+		var bi int
+		var pj, sj int32
+		var sbi int
+		predAdj := false
+		succAdj := false
+		if cbi >= 0 && o == cend {
+			// The region extends the hole the previous region grew: the
+			// bracket is already known, no predecessor search needed.
+			bi, pj, predAdj = cbi, cj, true
+			sbi, sj = bi, pj+1
+			if sj == l.bucks[bi].n {
+				sbi, sj = bi+1, 0
+			}
+			succAdj = sbi < len(l.bucks) && o+s == l.bucks[sbi].offs[sj]
+		} else if cbi >= 0 && o+s == cstart {
+			// The region grows the cached hole downward: the cached entry
+			// is the successor; its in-bucket predecessor is one step away.
+			sbi, sj, succAdj = cbi, cj, true
+			if cj > 0 {
+				bi, pj = cbi, cj-1
+			} else if cbi > 0 {
+				bi, pj = cbi-1, l.bucks[cbi-1].n-1
+			} else {
+				bi, pj = -1, -1
+			}
+			predAdj = pj >= 0 && l.bucks[bi].offs[pj]+l.bucks[bi].sizes[pj] == o
+			if !predAdj {
+				// The switch below distinguishes pred/succ merges by the
+				// flags; bi/pj are only read when predAdj holds.
+				bi, pj = sbi, sj-1
+			}
+		} else {
+			if bi = l.locate(o); bi >= 0 {
+				b := &l.bucks[bi]
+				pj = b.n - 1
+				for b.offs[pj] > o {
+					pj--
+				}
+				predAdj = b.offs[pj]+b.sizes[pj] == o
+				sbi, sj = bi, pj+1
+				if sj == b.n {
+					sbi, sj = bi+1, 0
+				}
+			} else {
+				pj = -1
+				sbi, sj = 0, 0
+			}
+			succAdj = sbi < len(l.bucks) && o+s == l.bucks[sbi].offs[sj]
+		}
+
+		moff, msize := o, s
+		if predAdj {
+			moff = l.bucks[bi].offs[pj]
+			msize += l.bucks[bi].sizes[pj]
+		}
+		if succAdj {
+			msize += l.bucks[sbi].sizes[sj]
+		}
+		taken = msize >= w
+		if taken {
+			place = int(moff)
+		}
+
+		switch {
+		case predAdj && succAdj:
+			// The predecessor absorbs everything; deleting the successor
+			// (a higher entry, or a later bucket) leaves (bi, pj) stable.
+			l.deleteEntry(sbi, sj)
+			l.setEntry(bi, pj, moff, msize, w, taken)
+			cbi, cj, cstart, cend = bi, pj, moff, moff+msize
+		case predAdj:
+			l.setEntry(bi, pj, moff, msize, w, taken)
+			cbi, cj, cstart, cend = bi, pj, moff, moff+msize
+		case succAdj:
+			l.setEntry(sbi, sj, moff, msize, w, taken)
+			cbi, cj, cstart, cend = sbi, sj, moff, moff+msize
+		default:
+			if !taken {
+				// A fresh hole; inserting may split buckets, so the
+				// bracket cache is invalidated rather than chased.
+				cbi = -1
+				if bi >= 0 {
+					l.insertEntry(bi, pj+1, o, s)
+				} else if len(l.bucks) == 0 {
+					l.insertBucket(0)
+					l.insertEntry(0, 0, o, s)
+				} else {
+					l.insertEntry(0, 0, o, s)
+				}
+			} else if msize > w {
+				// The freed region alone fits: the remainder is a fresh hole.
+				l.insert(int(moff+w), int(msize-w))
+			}
+		}
+		if taken {
+			used++
+			return place, true, used
 		}
 	}
-	return int(m)
+	return 0, false, used
 }
 
 // ascend visits every hole in offset order.
@@ -374,6 +619,33 @@ func (l *holeList) checkInvariants() error {
 	if total != l.count {
 		return errHoleCount
 	}
+	ng := (len(l.bmax) + holeGroup - 1) / holeGroup
+	if len(l.smax) != ng {
+		return errHoleGmax
+	}
+	g := int32(0)
+	for gi := 0; gi < ng; gi++ {
+		base := gi * holeGroup
+		end := base + holeGroup
+		if end > len(l.bmax) {
+			end = len(l.bmax)
+		}
+		m := int32(0)
+		for _, v := range l.bmax[base:end] {
+			if v > m {
+				m = v
+			}
+		}
+		if l.smax[gi] != m {
+			return errHoleGmax
+		}
+		if m > g {
+			g = m
+		}
+	}
+	if l.gmax != g {
+		return errHoleGmax
+	}
 	return nil
 }
 
@@ -382,6 +654,7 @@ var (
 	errHoleSummary    = holeListError("hole list summary arrays stale")
 	errHoleBucketSize = holeListError("hole list bucket size out of range")
 	errHoleCount      = holeListError("hole list count stale")
+	errHoleGmax       = holeListError("hole list cached global max stale")
 )
 
 type holeListError string

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// holeModel is the brute-force reference for the chunked hole index: a
+// per-byte free bitmap over a small arena. Maximal free runs are the
+// holes; first-fit, coalescing, and byte conservation all fall out of
+// recomputing runs from scratch after every operation.
+type holeModel struct {
+	free []bool
+}
+
+func newHoleModel(n int) *holeModel { return &holeModel{free: make([]bool, n)} }
+
+// runs returns the maximal free runs in offset order.
+func (m *holeModel) runs() (offs, sizes []int) {
+	for i := 0; i < len(m.free); {
+		if !m.free[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(m.free) && m.free[j] {
+			j++
+		}
+		offs = append(offs, i)
+		sizes = append(sizes, j-i)
+		i = j
+	}
+	return offs, sizes
+}
+
+// firstFit returns the lowest-offset free run of at least take bytes.
+func (m *holeModel) firstFit(take int) (int, bool) {
+	offs, sizes := m.runs()
+	for i, s := range sizes {
+		if s >= take {
+			return offs[i], true
+		}
+	}
+	return 0, false
+}
+
+func (m *holeModel) mark(off, size int, free bool) {
+	for i := off; i < off+size; i++ {
+		m.free[i] = free
+	}
+}
+
+func (m *holeModel) freeBytes() int {
+	n := 0
+	for _, f := range m.free {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// collect snapshots a holeList as parallel off/size slices.
+func collectHoles(l *holeList) (offs, sizes []int) {
+	l.ascend(func(off, size int) {
+		offs = append(offs, off)
+		sizes = append(sizes, size)
+	})
+	return offs, sizes
+}
+
+// checkAgainstModel asserts that l holds exactly the model's maximal
+// free runs: same holes in the same order means no overlaps, no missed
+// coalescing, and exact free-byte conservation.
+func checkAgainstModel(t *testing.T, step int, l *holeList, m *holeModel) {
+	t.Helper()
+	if err := l.checkInvariants(); err != nil {
+		t.Fatalf("step %d: %v", step, err)
+	}
+	gotOffs, gotSizes := collectHoles(l)
+	wantOffs, wantSizes := m.runs()
+	if len(gotOffs) != len(wantOffs) {
+		t.Fatalf("step %d: %d holes, model has %d", step, len(gotOffs), len(wantOffs))
+	}
+	total := 0
+	for i := range gotOffs {
+		if gotOffs[i] != wantOffs[i] || gotSizes[i] != wantSizes[i] {
+			t.Fatalf("step %d: hole %d is [%d,+%d), model has [%d,+%d)",
+				step, i, gotOffs[i], gotSizes[i], wantOffs[i], wantSizes[i])
+		}
+		total += gotSizes[i]
+	}
+	if total != m.freeBytes() {
+		t.Fatalf("step %d: holes sum to %d bytes, model frees %d", step, total, m.freeBytes())
+	}
+}
+
+// holeDriver interprets a byte string as an adversarial operation
+// sequence over a small arena, holding three states in lockstep: the
+// bitmap model, a holeList driven per-region through freeAndTake, and a
+// holeList driven through the batched freeRunAndTake. Every step checks
+// structural invariants, model equality (which implies no overlapping
+// holes and exact free-byte conservation), and agreement between the
+// per-victim and batched carve paths.
+func holeDriver(t *testing.T, data []byte) {
+	const arena = 512
+	m := newHoleModel(arena)
+	var single, batched holeList
+	single.reset(0, 0)
+	batched.reset(0, 0)
+
+	next := func() int {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return int(b)
+	}
+
+	// pickAllocated chooses a fully-allocated region seeded by the fuzz
+	// bytes; returns ok=false when the arena has no allocated byte.
+	pickAllocated := func() (off, size int, ok bool) {
+		start := next() * arena / 256
+		for i := 0; i < arena; i++ {
+			p := (start + i) % arena
+			if !m.free[p] {
+				end := p
+				limit := next()%32 + 1
+				for end < arena && !m.free[end] && end-p < limit {
+					end++
+				}
+				return p, end - p, true
+			}
+		}
+		return 0, 0, false
+	}
+
+	for step := 0; len(data) > 0 && step < 4096; step++ {
+		switch next() % 3 {
+		case 0: // first-fit allocation
+			take := next()%96 + 1
+			wantOff, wantOK := m.firstFit(take)
+			gotOff, gotOK := single.allocFirstFit(take)
+			batOff, batOK := batched.allocFirstFit(take)
+			if gotOK != wantOK || (gotOK && gotOff != wantOff) {
+				t.Fatalf("step %d: allocFirstFit(%d) = (%d, %v), model wants (%d, %v)",
+					step, take, gotOff, gotOK, wantOff, wantOK)
+			}
+			if batOK != gotOK || batOff != gotOff {
+				t.Fatalf("step %d: batched list alloc diverges: (%d, %v) vs (%d, %v)",
+					step, batOff, batOK, gotOff, gotOK)
+			}
+			if gotOK {
+				m.mark(gotOff, take, false)
+			}
+		case 1: // single free-and-take
+			o, s, ok := pickAllocated()
+			if !ok {
+				continue
+			}
+			want := next()%128 + 1
+			place, taken := single.freeAndTake(o, s, want)
+			bp, bt, bu := batched.freeRunAndTake([]int32{int32(o)}, []int32{int32(s)}, want)
+			if bt != taken || (taken && bp != place) || bu != 1 {
+				t.Fatalf("step %d: freeRunAndTake single region = (%d, %v, %d), freeAndTake = (%d, %v)",
+					step, bp, bt, bu, place, taken)
+			}
+			m.mark(o, s, true)
+			if taken {
+				m.mark(place, want, false)
+			}
+		case 2: // burst: several disjoint regions through both carve paths
+			k := next()%6 + 1
+			offs := make([]int32, 0, k)
+			sizes := make([]int32, 0, k)
+			staged := newHoleModel(arena)
+			for i := 0; i < k; i++ {
+				o, s, ok := pickAllocated()
+				if !ok {
+					break
+				}
+				overlaps := false
+				for p := o; p < o+s; p++ {
+					if staged.free[p] {
+						overlaps = true
+						break
+					}
+				}
+				if overlaps {
+					continue
+				}
+				staged.mark(o, s, true)
+				offs = append(offs, int32(o))
+				sizes = append(sizes, int32(s))
+			}
+			if len(offs) == 0 {
+				continue
+			}
+			want := next()%160 + 1
+			// Mirror the LRU eviction loop: per-victim carve until taken.
+			sPlace, sTaken, sUsed := 0, false, 0
+			for i := range offs {
+				sUsed++
+				sPlace, sTaken = single.freeAndTake(int(offs[i]), int(sizes[i]), want)
+				if sTaken {
+					break
+				}
+			}
+			bPlace, bTaken, bUsed := batched.freeRunAndTake(offs, sizes, want)
+			if bTaken != sTaken || bUsed != sUsed || (bTaken && bPlace != sPlace) {
+				t.Fatalf("step %d: batched carve = (%d, %v, %d), per-victim = (%d, %v, %d)",
+					step, bPlace, bTaken, bUsed, sPlace, sTaken, sUsed)
+			}
+			for i := 0; i < sUsed; i++ {
+				m.mark(int(offs[i]), int(sizes[i]), true)
+			}
+			if sTaken {
+				m.mark(sPlace, want, false)
+			}
+		}
+		checkAgainstModel(t, step, &single, m)
+		checkAgainstModel(t, step, &batched, m)
+	}
+}
+
+// TestHoleListAdversarial drives long seeded-random operation sequences
+// through the property driver, covering bucket splits and drains,
+// coalescing in every adjacency shape, self-fitting frees whose merged
+// run exceeds the request (the remainder must come back as a hole), and
+// per-victim vs batched carve agreement.
+func TestHoleListAdversarial(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, 8192)
+		rng.Read(data)
+		holeDriver(t, data)
+	}
+}
+
+// TestHoleListSelfFittingRun pins the merged-run-bigger-than-want edge
+// directly: a batched run whose first region alone exceeds the request
+// must stop after one region, place at the region base, and return the
+// oversized remainder to the index.
+func TestHoleListSelfFittingRun(t *testing.T) {
+	var l holeList
+	l.reset(0, 256)
+	if off, ok := l.allocFirstFit(256); !ok || off != 0 {
+		t.Fatalf("draining alloc = (%d, %v)", off, ok)
+	}
+	place, taken, used := l.freeRunAndTake(
+		[]int32{64, 0}, []int32{128, 64}, 32)
+	if !taken || place != 64 || used != 1 {
+		t.Fatalf("freeRunAndTake = (%d, %v, %d), want (64, true, 1)", place, taken, used)
+	}
+	if l.largest() != 96 {
+		t.Fatalf("largest = %d, want the 96-byte remainder", l.largest())
+	}
+	if err := l.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzHoleList lets the fuzzer shape the operation sequence directly.
+func FuzzHoleList(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 64, 1, 10, 3, 50, 2, 3, 5, 9, 7, 80})
+	rng := rand.New(rand.NewSource(42))
+	seed := make([]byte, 512)
+	rng.Read(seed)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		holeDriver(t, data)
+	})
+}

@@ -41,6 +41,16 @@ type LRUCache struct {
 	// fragmentation, the cost FIFO circular buffers avoid.
 	FragEvictions uint64
 
+	// BurstCarves counts hole-index burst passes (freeRunAndTake calls):
+	// with batching, a fragmentation burst that evicts dozens of blocks
+	// costs one carve/merge pass per evictRunChunk victims instead of one
+	// per victim. BlocksEvicted / BurstCarves is the amortization factor.
+	BurstCarves uint64
+
+	// runIDs/runOffs/runSizes stage one victim run chunk for the batched
+	// carve; fixed arrays keep the steady state allocation-free.
+	runIDs, runOffs, runSizes [evictRunChunk]int32
+
 	// preEvict, when set, runs before each eviction step; returning true
 	// means it made room by other means (the compacting variant
 	// defragments here) and allocation should be retried.
@@ -48,6 +58,11 @@ type LRUCache struct {
 }
 
 const lruNil = int32(-1)
+
+// evictRunChunk bounds how many recency-tail victims are staged per
+// freeRunAndTake pass. Bursts rarely exceed it (the word trace averages
+// ~37 victims per burst); larger chunks just grow the scratch.
+const evictRunChunk = 64
 
 var (
 	_ Cache        = (*LRUCache)(nil)
@@ -163,14 +178,70 @@ func (c *LRUCache) alloc(size int) (int, bool) {
 
 // Place implements VictimPolicy: evict least-recently-used blocks until a
 // first-fit hole accommodates the new superblock.
+//
+// The plain LRU path batches the fragmentation burst: it stages the
+// contiguous victim run off the recency tail and retires it through one
+// freeRunAndTake carve/merge pass per chunk, which selects the same
+// victims and the same placement as the per-victim loop (see
+// freeRunAndTake) while touching the hole index once. The compacting
+// variant keeps the per-victim loop because preEvict may defragment
+// between steps.
 func (c *LRUCache) Place(size int) (int64, error) {
 	if off, ok := c.alloc(size); ok {
 		return int64(off), nil
 	}
+	if c.preEvict != nil {
+		return c.placeCompacting(size)
+	}
 	evicted := c.evictScratch[:0]
 	var off int
 	for {
-		if c.preEvict != nil && c.preEvict(size) {
+		n := 0
+		for v := c.tail; v != lruNil && n < evictRunChunk; v = c.prevID[v] {
+			c.runIDs[n] = v
+			c.runOffs[n] = int32(c.where[v])
+			c.runSizes[n] = c.sizes[v]
+			n++
+		}
+		if n == 0 {
+			// Whole cache freed and it still doesn't fit: impossible
+			// given the engine's capacity check.
+			c.evictScratch = evicted
+			c.evictBatch(evicted)
+			return 0, fmt.Errorf("core: LRU could not place %d bytes in empty cache", size)
+		}
+		place, taken, used := c.holes.freeRunAndTake(c.runOffs[:n], c.runSizes[:n], size)
+		c.BurstCarves++
+		for i := 0; i < used; i++ {
+			if c.freeBytes >= size {
+				// There is room in aggregate, yet no hole fits: this
+				// eviction is forced by fragmentation alone.
+				c.FragEvictions++
+			}
+			victim := c.runIDs[i]
+			c.unlink(victim)
+			c.freeBytes += int(c.runSizes[i])
+			evicted = append(evicted, SuperblockID(victim))
+		}
+		if taken {
+			c.freeBytes -= size
+			off = place
+			break
+		}
+	}
+	c.evictScratch = evicted
+	c.evictBatch(evicted)
+	return int64(off), nil
+}
+
+// placeCompacting is the per-victim eviction loop used when a preEvict
+// hook is installed: the hook may defragment between steps, so victims
+// must be retired one at a time with the hook consulted before each.
+func (c *LRUCache) placeCompacting(size int) (int64, error) {
+	evicted := c.evictScratch[:0]
+	var off int
+	for {
+		if c.preEvict(size) {
 			if o, ok := c.alloc(size); ok {
 				off = o
 				break
@@ -178,15 +249,11 @@ func (c *LRUCache) Place(size int) (int64, error) {
 		}
 		victim := c.tail
 		if victim == lruNil {
-			// Whole cache freed and it still doesn't fit: impossible
-			// given the engine's capacity check.
 			c.evictScratch = evicted
 			c.evictBatch(evicted)
 			return 0, fmt.Errorf("core: LRU could not place %d bytes in empty cache", size)
 		}
 		if c.FreeBytes() >= size {
-			// There is room in aggregate, yet no hole fits: this
-			// eviction is forced by fragmentation alone.
 			c.FragEvictions++
 		}
 		c.unlink(victim)

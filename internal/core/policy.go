@@ -19,6 +19,7 @@ const (
 	PolicyAdaptive
 	PolicyPreemptive
 	PolicyGenerational
+	PolicyApproxLRU
 )
 
 // Policy is a declarative cache specification, the unit of parameter
@@ -39,6 +40,8 @@ func (p Policy) String() string {
 		return "FIFO"
 	case PolicyLRU:
 		return "LRU"
+	case PolicyApproxLRU:
+		return "approx-LRU"
 	case PolicyCompactingLRU:
 		return "compacting-LRU"
 	case PolicyAdaptive:
@@ -63,6 +66,8 @@ func (p Policy) New(capacity int) (Cache, error) {
 		return NewFine(capacity)
 	case PolicyLRU:
 		return NewLRU(capacity)
+	case PolicyApproxLRU:
+		return NewApproxLRU(capacity)
 	case PolicyCompactingLRU:
 		return NewCompactingLRU(capacity)
 	case PolicyAdaptive:
@@ -81,7 +86,7 @@ func (p Policy) New(capacity int) (Cache, error) {
 }
 
 // ParsePolicy parses a policy display name: "flush", "fifo" (or "fine"),
-// "lru", "compacting-lru", "adaptive", "preemptive", "N-unit" (e.g.
+// "lru", "approx-lru", "compacting-lru", "adaptive", "preemptive", "N-unit" (e.g.
 // "8-unit", with "1-unit" meaning FLUSH), or "generational/N" (bare
 // "generational" defaults to 8 tenured units). It accepts every name
 // Policy.String produces.
@@ -94,6 +99,8 @@ func ParsePolicy(s string) (Policy, error) {
 		return Policy{Kind: PolicyFine}, nil
 	case "lru":
 		return Policy{Kind: PolicyLRU}, nil
+	case "approx-lru", "approxlru":
+		return Policy{Kind: PolicyApproxLRU}, nil
 	case "compacting-lru":
 		return Policy{Kind: PolicyCompactingLRU}, nil
 	case "adaptive":

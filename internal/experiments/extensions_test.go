@@ -96,6 +96,12 @@ func TestAblationsSummary(t *testing.T) {
 	if r.PreemptiveVsFlush <= 0 || r.GenerationalVsFlat <= 0 {
 		t.Errorf("degenerate ratios: %+v", r)
 	}
+	// Sampling must track exact recency within the differential bound
+	// internal/check enforces (±20% relative plus slack), and cannot
+	// plausibly beat exact LRU by a wide margin either.
+	if r.ApproxLRUVsExact < 0.75 || r.ApproxLRUVsExact > 1.3 {
+		t.Errorf("approx-LRU/exact miss-rate ratio = %.3f, expected within [0.75, 1.3]", r.ApproxLRUVsExact)
+	}
 	if !strings.Contains(r.Table().String(), "ablations") {
 		t.Fatal("table render broken")
 	}

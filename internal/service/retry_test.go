@@ -1,0 +1,108 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dynocache/internal/core"
+)
+
+// TestRetryUnitDecaysAcrossIdle pins the admission-side aging of the
+// retry-after hint: the owner only refreshes the EWMA when a batch
+// completes, so after an idle or quiesced stretch the quoted unit must
+// decay toward the cold-start floor instead of replaying burst-era
+// service times at the first client of the next burst.
+func TestRetryUnitDecaysAcrossIdle(t *testing.T) {
+	var sh shard
+	// Cold start: no batch measured yet.
+	if got := sh.retryUnit(); got != ewmaColdStart {
+		t.Fatalf("cold-start unit = %v, want %v", got, ewmaColdStart)
+	}
+	const burst = 80 * time.Millisecond
+	now := time.Now()
+	sh.ewmaNanos.Store(int64(burst))
+
+	// Fresh: a just-completed batch quotes the EWMA essentially unaged
+	// (allow one halving of slop in case this test goroutine stalls).
+	sh.lastBatchNanos.Store(now.UnixNano())
+	if got := sh.retryUnit(); got > burst || got < burst/2 {
+		t.Fatalf("fresh unit = %v, want ~%v", got, burst)
+	}
+
+	// Four half-lives idle: one sixteenth, within a halving of slop.
+	sh.lastBatchNanos.Store(now.Add(-4 * ewmaIdleHalfLife).UnixNano())
+	if got := sh.retryUnit(); got > burst/16 || got < burst/64 {
+		t.Fatalf("unit after 4 half-lives = %v, want ~%v", got, burst/16)
+	}
+
+	// Deep idle: floored at the cold-start unit, never zero.
+	sh.lastBatchNanos.Store(now.Add(-time.Minute).UnixNano())
+	if got := sh.retryUnit(); got != ewmaColdStart {
+		t.Fatalf("deep-idle unit = %v, want floor %v", got, ewmaColdStart)
+	}
+}
+
+// TestRetryHintConcurrentWithOwner hammers admission-side retryUnit
+// reads against owner-side EWMA and last-batch stores: eight submitters
+// against a depth-1 queue guarantee a steady stream of rejections racing
+// live batch completions. Every hint must stay positive; the data-race
+// detector covers the rest.
+func TestRetryHintConcurrentWithOwner(t *testing.T) {
+	svc, err := New(Config{
+		Shards:        1,
+		Policy:        core.Policy{Kind: core.PolicyFine},
+		ShardCapacity: 1 << 16,
+		QueueDepth:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ten, err := svc.Register("a", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+		rejected atomic.Int64
+	)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids := []core.SuperblockID{core.SuperblockID(w % 16)}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := ten.AccessBatch(ids); err != nil {
+					var busy *BacklogError
+					if !errors.As(err, &busy) {
+						t.Error(err)
+						return
+					}
+					if busy.RetryAfter <= 0 {
+						t.Errorf("non-positive retry hint %v", busy.RetryAfter)
+						return
+					}
+					rejected.Add(1)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if rejected.Load() == 0 {
+		t.Fatal("depth-1 queue under 8 submitters never rejected; saturation path untested")
+	}
+	if err := svc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

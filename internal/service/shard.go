@@ -52,8 +52,11 @@ type shard struct {
 	// decrements it before signaling completion.
 	pending atomic.Int64
 	// ewmaNanos mirrors the owner's batch service-time EWMA for
-	// retry-after hints.
-	ewmaNanos atomic.Int64
+	// retry-after hints; lastBatchNanos is the wall-clock completion
+	// time of the owner's most recent batch, read by admission to age
+	// the hint across idle gaps (see submit).
+	ewmaNanos      atomic.Int64
+	lastBatchNanos atomic.Int64
 
 	// Snapshot publication: the owner bumps doneGen after every mutation
 	// and publishes a snapshot only when a reader asked for one (wantSnap),
@@ -98,11 +101,7 @@ func (sh *shard) submit(env *envelope) error {
 	}
 	if n := sh.pending.Add(1); int(n) > sh.depth {
 		sh.pending.Add(-1)
-		ewma := time.Duration(sh.ewmaNanos.Load())
-		if ewma <= 0 {
-			ewma = 100 * time.Microsecond
-		}
-		return &BacklogError{Shard: sh.idx, RetryAfter: time.Duration(n) * ewma}
+		return &BacklogError{Shard: sh.idx, RetryAfter: time.Duration(n) * sh.retryUnit()}
 	}
 	// Re-check after taking the slot: Close observes pending, so a
 	// submitter that raced the closed flag either backs out here or is
@@ -114,6 +113,41 @@ func (sh *shard) submit(env *envelope) error {
 	sh.reqs <- env
 	<-env.done
 	return nil
+}
+
+// ewmaColdStart is the retry-after unit quoted before the owner has
+// measured a batch, and the floor idle decay ages a stale EWMA down to.
+const ewmaColdStart = 100 * time.Microsecond
+
+// ewmaIdleHalfLife is the idle-decay half-life of the retry-after hint:
+// admission halves the quoted EWMA for every interval this long that the
+// shard has gone without completing a batch.
+const ewmaIdleHalfLife = 50 * time.Millisecond
+
+// retryUnit returns the per-queue-slot retry-after hint. The owner only
+// updates the EWMA when a batch completes, so a hint frozen at burst-era
+// service times would go stale across an idle or quiesced stretch and
+// tell the first client of the next burst to back off far too long.
+// Admission ages the hint instead: one halving per ewmaIdleHalfLife
+// elapsed since the last completed batch, flooring at the cold-start
+// unit so the hint never reaches zero.
+func (sh *shard) retryUnit() time.Duration {
+	ewma := sh.ewmaNanos.Load()
+	if ewma <= 0 {
+		return ewmaColdStart
+	}
+	if last := sh.lastBatchNanos.Load(); last > 0 {
+		if h := (time.Now().UnixNano() - last) / int64(ewmaIdleHalfLife); h > 0 {
+			if h > 30 {
+				h = 30
+			}
+			ewma >>= uint(h)
+		}
+	}
+	if ewma < int64(ewmaColdStart) {
+		ewma = int64(ewmaColdStart)
+	}
+	return time.Duration(ewma)
 }
 
 // control submits a register/check envelope, bypassing batch admission.
@@ -186,9 +220,11 @@ func (sh *shard) execute(env *envelope) {
 	sh.gen++
 	sh.doneGen.Store(sh.gen)
 	sh.publishIfWanted()
-	last := time.Since(start).Nanoseconds()
+	end := time.Now()
+	last := end.Sub(start).Nanoseconds()
 	sh.ewma = sh.ewma - sh.ewma/8 + last/8
 	sh.ewmaNanos.Store(sh.ewma)
+	sh.lastBatchNanos.Store(end.UnixNano())
 	sh.pending.Add(-1)
 	env.done <- struct{}{}
 }

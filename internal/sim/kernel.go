@@ -71,7 +71,21 @@ func buildTables(name string, blocks map[core.SuperblockID]core.Superblock) (t r
 	}
 	t.sizes = make([]int32, int(maxID)+1)
 	t.blocks = make([]core.Superblock, int(maxID)+1)
+	// Link rows are copied into a tables-owned arena rather than aliased:
+	// streamed replays recycle the decoder's block table (and the pooled
+	// chunks backing its link rows) as soon as these tables are built, so
+	// nothing here may point into the decoded structures.
+	totalLinks := 0
+	for _, sb := range blocks {
+		totalLinks += len(sb.Links)
+	}
+	linkArena := make([]core.SuperblockID, 0, totalLinks)
 	for id, sb := range blocks {
+		if len(sb.Links) > 0 {
+			start := len(linkArena)
+			linkArena = append(linkArena, sb.Links...)
+			sb.Links = linkArena[start:len(linkArena):len(linkArena)]
+		}
 		t.blocks[id] = sb
 		t.sizes[id] = int32(sb.Size)
 	}
@@ -86,7 +100,7 @@ type replay struct {
 	tables    replayTables
 
 	raw   core.Cache
-	cache core.Cache // raw, possibly wrapped by the checker
+	cache core.Cache     // raw, possibly wrapped by the checker
 	chk   *check.Checked // non-nil in Verify mode
 	fast  bool           // devirtualized kernel selected
 
@@ -98,6 +112,8 @@ type replay struct {
 	// lean selects the minimal loop when none of the three apply.
 	eng             *core.Engine
 	pol             core.VictimPolicy
+	lru             *core.LRUCache       // non-nil for plain LRU: devirtualized hit path
+	alru            *core.ApproxLRUCache // non-nil for ApproxLRU: devirtualized hit path
 	obsHit, obsMiss bool
 	ctrReads        bool
 	lean            bool
@@ -180,6 +196,14 @@ func newReplay(name string, blocks map[core.SuperblockID]core.Superblock, nAcces
 	}
 	if eng != nil {
 		rp.pol = eng.BoundPolicy()
+		// Recency policies observe every hit; a concrete receiver turns
+		// that per-hit interface dispatch into a direct (inlinable) call.
+		switch p := rp.pol.(type) {
+		case *core.LRUCache:
+			rp.lru = p
+		case *core.ApproxLRUCache:
+			rp.alru = p
+		}
 		rp.obsHit, rp.obsMiss = eng.Observers()
 		if cr, ok := rp.pol.(core.CounterReader); ok {
 			rp.ctrReads = cr.ReadsCounters()
@@ -278,6 +302,7 @@ func (rp *replay) replayEngineLean(ids []core.SuperblockID) error {
 func (rp *replay) replayEngine(ids []core.SuperblockID) error {
 	e := rp.eng
 	pol := rp.pol
+	lru, alru := rp.lru, rp.alru
 	obsHit, obsMiss := rp.obsHit, rp.obsMiss
 	ctrReads := rp.ctrReads
 	sizes := rp.tables.sizes
@@ -293,7 +318,12 @@ func (rp *replay) replayEngine(ids []core.SuperblockID) error {
 		if e.Contains(id) {
 			accs++
 			hits++
-			if obsHit {
+			switch {
+			case lru != nil:
+				lru.ObserveHit(id)
+			case alru != nil:
+				alru.ObserveHit(id)
+			case obsHit:
 				pol.ObserveHit(id)
 			}
 			continue
@@ -443,6 +473,10 @@ func RunStream(st *trace.Stream, policy core.Policy, pressure int, opts Options)
 	if err != nil {
 		return nil, err
 	}
+	// The replay owns private copies of everything it needs from the
+	// block table; recycle the decoder's structures before the long
+	// replay loop rather than after it.
+	st.ReleaseBlocks()
 	buf := trace.GetAccessBuf()
 	defer trace.PutAccessBuf(buf)
 	for {

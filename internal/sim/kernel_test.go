@@ -43,6 +43,7 @@ func TestKernelEquality(t *testing.T) {
 		{Kind: core.PolicyUnits, Units: 8},
 		{Kind: core.PolicyFine},
 		{Kind: core.PolicyLRU},
+		{Kind: core.PolicyApproxLRU},
 		{Kind: core.PolicyCompactingLRU},
 		{Kind: core.PolicyAdaptive},
 		{Kind: core.PolicyPreemptive},
@@ -92,6 +93,7 @@ func TestKernelPatchedCountMode(t *testing.T) {
 		{Kind: core.PolicyUnits, Units: 8},
 		{Kind: core.PolicyFine},
 		{Kind: core.PolicyLRU},
+		{Kind: core.PolicyApproxLRU},
 		{Kind: core.PolicyCompactingLRU},
 		{Kind: core.PolicyAdaptive},
 		{Kind: core.PolicyPreemptive},
@@ -201,6 +203,7 @@ func TestZeroAllocReplayKernel(t *testing.T) {
 		{Kind: core.PolicyUnits, Units: 8},
 		{Kind: core.PolicyFine},
 		{Kind: core.PolicyLRU},
+		{Kind: core.PolicyApproxLRU},
 		{Kind: core.PolicyAdaptive},
 		{Kind: core.PolicyPreemptive},
 		{Kind: core.PolicyGenerational, Units: 8},

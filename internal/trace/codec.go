@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"dynocache/internal/core"
 )
@@ -89,39 +90,66 @@ func (t *Trace) Write(w io.Writer) error {
 // chunk instead of one per linked block.
 const linkArenaChunk = 4096
 
+// linkArenaPool and blockMapPool recycle the two block-table structures
+// a decode allocates: the fixed-size link-arena chunks and the
+// superblock map. Streaming replays decode a fresh block table per
+// trace but copy everything into dense kernel tables immediately, so
+// the decoded structures are garbage moments after NewStream returns;
+// recycling them through Stream.ReleaseBlocks removes the per-replay
+// churn. Materialized traces (Read) keep their block table for life and
+// simply never return the structures — the pools refill on demand.
+var (
+	linkArenaPool = sync.Pool{
+		New: func() any {
+			s := make([]core.SuperblockID, linkArenaChunk)
+			return &s
+		},
+	}
+	blockMapPool = sync.Pool{
+		New: func() any {
+			return make(map[core.SuperblockID]core.Superblock)
+		},
+	}
+)
+
 // decodeHeader reads the magic, version, name, and block table, leaving
-// br positioned at the access count. Shared by Read and NewStream.
+// br positioned at the access count. Shared by Read and NewStream. The
+// returned arena chunks back the decoded link rows; a caller that drops
+// the block table may recycle them (see Stream.ReleaseBlocks), one that
+// keeps it must not.
 //
 // Every field is decoded manually out of a reused scratch buffer;
 // binary.Read is off-limits here because it allocates per call (its
 // internal buffer plus the escaping destination), which for a
 // five-field-per-block table used to dominate the whole streaming-replay
 // allocation profile (~6 allocations × tens of thousands of blocks).
-func decodeHeader(br *bufio.Reader) (*Trace, error) {
+func decodeHeader(br *bufio.Reader) (*Trace, []*[]core.SuperblockID, error) {
 	const fixedV2 = 18 // id u32 + srcPC u64 + size u32 + nLinks u16
 	const fixedV1 = 10 // id u32 + size u32 + nLinks u16
 	scratch := make([]byte, fixedV2)
 	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
-		return nil, fmt.Errorf("trace: read magic: %w", err)
+		return nil, nil, fmt.Errorf("trace: read magic: %w", err)
 	}
 	if string(scratch[:4]) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", scratch[:4])
+		return nil, nil, fmt.Errorf("trace: bad magic %q", scratch[:4])
 	}
 	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ver := binary.LittleEndian.Uint16(scratch)
 	if ver != 1 && ver != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+		return nil, nil, fmt.Errorf("trace: unsupported version %d", ver)
 	}
 	nameLen := binary.LittleEndian.Uint16(scratch[2:])
 	nameBuf := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, nameBuf); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	t := New(string(nameBuf))
+	t.Blocks = blockMapPool.Get().(map[core.SuperblockID]core.Superblock)
+	var arenas []*[]core.SuperblockID
 	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	nBlocks := binary.LittleEndian.Uint32(scratch)
 	// Link rows are subslices of shared fixed-size chunks. Chunks are
@@ -141,7 +169,7 @@ func decodeHeader(br *bufio.Reader) (*Trace, error) {
 		}
 		b := scratch[:fixed]
 		if _, err := io.ReadFull(br, b); err != nil {
-			return nil, fmt.Errorf("trace: block %d: %w", i, err)
+			return nil, nil, fmt.Errorf("trace: block %d: %w", i, err)
 		}
 		var id, size uint32
 		var srcPC uint64
@@ -166,14 +194,16 @@ func decodeHeader(br *bufio.Reader) (*Trace, error) {
 			}
 			lb := linkBuf[:need]
 			if _, err := io.ReadFull(br, lb); err != nil {
-				return nil, fmt.Errorf("trace: block %d links: %w", i, err)
+				return nil, nil, fmt.Errorf("trace: block %d links: %w", i, err)
 			}
 			switch {
 			case n > linkArenaChunk:
 				links = make([]core.SuperblockID, n)
 			default:
 				if arenaUsed+n > len(arena) {
-					arena = make([]core.SuperblockID, linkArenaChunk)
+					chunk := linkArenaPool.Get().(*[]core.SuperblockID)
+					arenas = append(arenas, chunk)
+					arena = *chunk
 					arenaUsed = 0
 				}
 				links = arena[arenaUsed : arenaUsed+n : arenaUsed+n]
@@ -184,10 +214,10 @@ func decodeHeader(br *bufio.Reader) (*Trace, error) {
 			}
 		}
 		if err := t.Define(core.Superblock{ID: core.SuperblockID(id), SrcPC: srcPC, Size: int(size), Links: links}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return t, nil
+	return t, arenas, nil
 }
 
 // Read deserializes a trace from r, materializing the full access

@@ -34,6 +34,10 @@ type Stream struct {
 	br        *bufio.Reader
 	closer    io.Closer // non-nil when the stream owns the underlying file
 	scratch   []byte    // reused byte buffer for batched u32 decoding
+
+	// arenas are the pooled link-arena chunks backing Blocks' link rows,
+	// recycled by ReleaseBlocks together with the block map itself.
+	arenas []*[]core.SuperblockID
 }
 
 // NewStream decodes the header and block table from r and returns a
@@ -43,7 +47,7 @@ type Stream struct {
 // validation should use Read.
 func NewStream(r io.Reader) (*Stream, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	t, err := decodeHeader(br)
+	t, arenas, err := decodeHeader(br)
 	if err != nil {
 		return nil, err
 	}
@@ -60,6 +64,7 @@ func NewStream(r io.Reader) (*Stream, error) {
 		Blocks:    t.Blocks,
 		nAccesses: nAccesses,
 		br:        br,
+		arenas:    arenas,
 	}, nil
 }
 
@@ -120,6 +125,27 @@ func (s *Stream) Next(dst []core.SuperblockID) (int, error) {
 		s.read += k
 	}
 	return int(filled), nil
+}
+
+// ReleaseBlocks recycles the decoded block table — the superblock map
+// and the pooled arena chunks backing its link rows — once the caller
+// has copied everything it needs into its own structures (e.g. the
+// replay kernel's dense tables). After the call, Blocks is nil and any
+// previously obtained Superblock.Links slices are invalid: the chunks
+// will back a future decode. Callers that keep the table (Read) simply
+// never release. Close does not imply release, because Read transfers
+// ownership of Blocks to the materialized trace after the stream is
+// exhausted.
+func (s *Stream) ReleaseBlocks() {
+	if s.Blocks != nil {
+		clear(s.Blocks)
+		blockMapPool.Put(s.Blocks)
+		s.Blocks = nil
+	}
+	for _, a := range s.arenas {
+		linkArenaPool.Put(a)
+	}
+	s.arenas = nil
 }
 
 // Close releases the underlying file when the stream was opened with

@@ -26,6 +26,7 @@ check() {
 }
 
 check ./internal/core 93.6
-check ./internal/sim 98.5
+check ./internal/sim 98.6
+check ./internal/check 76.5
 
 exit $fail
