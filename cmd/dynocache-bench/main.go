@@ -9,6 +9,12 @@
 //   - a full granularity sweep (every FIFO-family policy times every
 //     Table 1 benchmark at quick scale) — the parallel path the
 //     experiments suite spends its time in;
+//   - the multi-configuration kernel pair: the granularity ladder times a
+//     pressure ladder on the replay trace, once as sequential per-config
+//     replays (sweep/perconfig) and once through the single-pass kernel
+//     (sweep/singlepass), plus the representative-interval estimator over
+//     the same ladder's turnover regime on word and vortex
+//     (sweep/sampled);
 //   - the service's ReplayBatch loop, a tenant alone on one shard.
 //
 // Before timing anything it replays the trace through every loop once
@@ -127,6 +133,22 @@ type benchReport struct {
 	// ReplaySpeedupVsBaseline is the same ratio against the out-of-tree
 	// baseline measurement, when one was provided.
 	ReplaySpeedupVsBaseline float64 `json:"replay_speedup_vs_baseline,omitempty"`
+
+	// SweepSpeedupVsPerConfig is the single-pass multi-configuration
+	// kernel's throughput over sequential per-config replays of the
+	// identical granularity x pressure ladder on the replay trace — a
+	// within-process ratio, gated committed-relative like the replay
+	// speedup.
+	SweepSpeedupVsPerConfig float64 `json:"sweep_speedup_vs_perconfig,omitempty"`
+
+	// SampledMissRateError and SampledMissRateBound record the
+	// representative-interval estimator's worst absolute miss-rate error
+	// against the full replay over the sampled row's configurations (word
+	// and vortex, turnover-regime pressures), and the worst error bound
+	// the estimator reported for them. The self-check fails the run if
+	// any error exceeds its bound or the two-point acceptance line.
+	SampledMissRateError float64 `json:"sampled_missrate_error,omitempty"`
+	SampledMissRateBound float64 `json:"sampled_missrate_bound,omitempty"`
 }
 
 // baselineInfo is an externally measured replay datum for comparison.
@@ -330,6 +352,66 @@ func run() error {
 		}
 	})
 
+	// The kernel-vs-kernel pair: the same granularity x pressure ladder on
+	// the replay trace, sequentially per config and through the single-pass
+	// kernel. Both rows count ladder-equivalent accesses, so the APS ratio
+	// is the kernel's speedup on identical work.
+	ladderCfgs := pressureLadder(sweepPolicies, []int{1, 2, 3, 4, 6, 8})
+	if err := singlePassSelfCheck(tr, ladderCfgs); err != nil {
+		return err
+	}
+	perConfigAPS := record("sweep/perconfig", accesses*len(ladderCfgs), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range ladderCfgs {
+				if _, err := sim.Run(tr, cfg.Policy, cfg.Pressure, sim.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}).AccessesPerSec
+	singlePassAPS := record("sweep/singlepass", accesses*len(ladderCfgs), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunConfigs(tr, ladderCfgs, sim.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}).AccessesPerSec
+	if perConfigAPS > 0 {
+		rep.SweepSpeedupVsPerConfig = singlePassAPS / perConfigAPS
+	}
+
+	// The sampling row replays only representative intervals but estimates
+	// the whole ladder, so it counts full-ladder-equivalent accesses: its
+	// APS is effective throughput, comparable against sweep/singlepass.
+	// Restricted to the turnover regime (pressure >= 3) where the
+	// estimator is accurate; the self-check holds every estimate to its
+	// own bound and the two-point acceptance line before timing starts.
+	sampledCfgs := pressureLadder(sweepPolicies, []int{3, 4, 6, 8})
+	sampledTraces, err := sampledWorkload(tr, *scale)
+	if err != nil {
+		return err
+	}
+	sampledEff := 0
+	for _, str := range sampledTraces {
+		sampledEff += len(str.Accesses) * len(sampledCfgs)
+	}
+	rep.SampledMissRateError, rep.SampledMissRateBound, err = sampledSelfCheck(sampledTraces, sampledCfgs)
+	if err != nil {
+		return err
+	}
+	record("sweep/sampled", sampledEff, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, str := range sampledTraces {
+				if _, err := sim.RunConfigsSampled(str, sampledCfgs, sim.SampleOptions{}, sim.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
 	capacity, err := sim.CapacityFor(tr, *pressure)
 	if err != nil {
 		return err
@@ -416,6 +498,11 @@ func run() error {
 	if rep.ApproxLRUCostVsGeneric > 0 {
 		fmt.Fprintf(os.Stderr, "approxlru cost vs generic: %.2fx\n", rep.ApproxLRUCostVsGeneric)
 	}
+	if rep.SweepSpeedupVsPerConfig > 0 {
+		fmt.Fprintf(os.Stderr, "sweep speedup vs per-config: %.2fx\n", rep.SweepSpeedupVsPerConfig)
+	}
+	fmt.Fprintf(os.Stderr, "sampled miss-rate error %.4f (worst bound %.4f)\n",
+		rep.SampledMissRateError, rep.SampledMissRateBound)
 
 	if *baselineNs > 0 {
 		rep.Baseline = &baselineInfo{
@@ -475,7 +562,27 @@ func gateAgainst(rep *benchReport, path string, maxDrop float64) error {
 	if err := gateRecency(rep, &committed, path, maxDrop); err != nil {
 		return err
 	}
+	if err := gateSweepSpeedup(rep, &committed, path, maxDrop); err != nil {
+		return err
+	}
 	return gateScaling(rep, &committed, path, maxDrop)
+}
+
+// gateSweepSpeedup holds the single-pass kernel's speedup over per-config
+// replays to its committed value — the same committed-relative clause the
+// replay speedup uses, since both are within-process ratios.
+func gateSweepSpeedup(rep, committed *benchReport, path string, maxDrop float64) error {
+	if rep.SweepSpeedupVsPerConfig <= 0 || committed.SweepSpeedupVsPerConfig <= 0 {
+		return nil // row absent on one side; nothing comparable
+	}
+	floor := committed.SweepSpeedupVsPerConfig * (1 - maxDrop)
+	fmt.Fprintf(os.Stderr, "gate: sweep speedup vs per-config %.2fx, committed %.2fx, floor %.2fx\n",
+		rep.SweepSpeedupVsPerConfig, committed.SweepSpeedupVsPerConfig, floor)
+	if rep.SweepSpeedupVsPerConfig < floor {
+		return fmt.Errorf("gate: sweep speedup vs per-config regressed to %.2fx, more than %.0f%% below the committed %.2fx (%s)",
+			rep.SweepSpeedupVsPerConfig, maxDrop*100, committed.SweepSpeedupVsPerConfig, path)
+	}
+	return nil
 }
 
 // lruCostCeiling is the absolute target for the exact-LRU kernel:
@@ -610,6 +717,106 @@ func selfCheck(tr *trace.Trace, policy core.Policy, pressure int) error {
 		return fmt.Errorf("self-check: streamed replay: %w", err)
 	}
 	return check("stream", got)
+}
+
+// pressureLadder crosses the granularity sweep with a pressure ladder
+// into the multi-configuration kernel's input.
+func pressureLadder(policies []core.Policy, pressures []int) []sim.SweepConfig {
+	cfgs := make([]sim.SweepConfig, 0, len(policies)*len(pressures))
+	for _, pol := range policies {
+		for _, p := range pressures {
+			cfgs = append(cfgs, sim.SweepConfig{Policy: pol, Pressure: p})
+		}
+	}
+	return cfgs
+}
+
+// singlePassSelfCheck proves the multi-configuration kernel is the same
+// computation as the per-config replays it is timed against: every
+// core.Stats field must match bit for bit over the whole ladder.
+func singlePassSelfCheck(tr *trace.Trace, cfgs []sim.SweepConfig) error {
+	multi, err := sim.RunConfigs(tr, cfgs, sim.Options{})
+	if err != nil {
+		return fmt.Errorf("self-check: single-pass replay: %w", err)
+	}
+	for i, cfg := range cfgs {
+		single, err := sim.Run(tr, cfg.Policy, cfg.Pressure, sim.Options{})
+		if err != nil {
+			return fmt.Errorf("self-check: per-config replay %s p%d: %w", cfg.Policy, cfg.Pressure, err)
+		}
+		if !reflect.DeepEqual(multi[i].Stats, single.Stats) {
+			return fmt.Errorf("self-check: single-pass stats diverge from per-config at %s p%d:\n got %+v\nwant %+v",
+				cfg.Policy, cfg.Pressure, multi[i].Stats, single.Stats)
+		}
+	}
+	return nil
+}
+
+// sampledMaxAbsError is the sampling estimator's acceptance line on the
+// calibrated traces in the turnover regime: two points of absolute
+// miss-rate error (measured worst cases at full scale: word 0.0098,
+// vortex 0.0189).
+const sampledMaxAbsError = 0.02
+
+// sampledSelfCheck runs the estimator against the full replay on every
+// sampled-row trace and fails unless each estimate sits within its own
+// reported bound and the acceptance line. Returns the worst error and
+// worst bound for the report.
+func sampledSelfCheck(traces []*trace.Trace, cfgs []sim.SweepConfig) (maxErr, maxBound float64, err error) {
+	for _, tr := range traces {
+		full, err := sim.RunConfigs(tr, cfgs, sim.Options{})
+		if err != nil {
+			return 0, 0, fmt.Errorf("self-check: full replay of %s: %w", tr.Name, err)
+		}
+		ss, err := sim.RunConfigsSampled(tr, cfgs, sim.SampleOptions{}, sim.Options{})
+		if err != nil {
+			return 0, 0, fmt.Errorf("self-check: sampled replay of %s: %w", tr.Name, err)
+		}
+		for i, cfg := range cfgs {
+			e := ss.Results[i].MissRate - full[i].Stats.MissRate()
+			if e < 0 {
+				e = -e
+			}
+			if e > ss.Results[i].ErrorBound {
+				return 0, 0, fmt.Errorf("self-check: sampled %s %s p%d error %.4f exceeds its own bound %.4f",
+					tr.Name, cfg.Policy, cfg.Pressure, e, ss.Results[i].ErrorBound)
+			}
+			if e > sampledMaxAbsError {
+				return 0, 0, fmt.Errorf("self-check: sampled %s %s p%d error %.4f over the %.2f acceptance line",
+					tr.Name, cfg.Policy, cfg.Pressure, e, sampledMaxAbsError)
+			}
+			if e > maxErr {
+				maxErr = e
+			}
+			if ss.Results[i].ErrorBound > maxBound {
+				maxBound = ss.Results[i].ErrorBound
+			}
+		}
+	}
+	return maxErr, maxBound, nil
+}
+
+// sampledWorkload returns the sampling row's traces — word and vortex at
+// the replay scale, reusing the already synthesized replay trace when it
+// is one of them.
+func sampledWorkload(tr *trace.Trace, scale float64) ([]*trace.Trace, error) {
+	var out []*trace.Trace
+	for _, name := range []string{"word", "vortex"} {
+		if tr.Name == name {
+			out = append(out, tr)
+			continue
+		}
+		p, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		str, err := p.Scaled(scale).Synthesize()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, str)
+	}
+	return out, nil
 }
 
 // sweepWorkload synthesizes every Table 1 benchmark at the given scale

@@ -1,0 +1,135 @@
+// Package check_test hosts the single-pass differential suite: it needs
+// internal/sim, which itself imports check for the verify oracle, so
+// these tests live outside the check package to break the cycle.
+package check_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dynocache/internal/core"
+	"dynocache/internal/sim"
+	"dynocache/internal/trace"
+	"dynocache/internal/workload"
+)
+
+// sampledMaxAbsError bounds how far the representative-interval
+// estimator may drift from the full replay on the calibrated workloads
+// in the turnover regime (pressure >= 3, where warmup eviction exceeds a
+// full capacity and the sampled cache state converges). Measured worst
+// cases at full scale: word 0.98, vortex 1.89 points absolute; two
+// points is the acceptance line with the remaining headroom left to the
+// estimator's own reported bound, which the test also enforces.
+const sampledMaxAbsError = 0.02
+
+// singlePassConfigs is the policy x pressure matrix the differential
+// tests sweep: the full granularity ladder under light through heavy
+// cache pressure.
+func singlePassConfigs(pressures []int) []sim.SweepConfig {
+	var cfgs []sim.SweepConfig
+	for _, pol := range core.GranularitySweep(8) {
+		for _, p := range pressures {
+			cfgs = append(cfgs, sim.SweepConfig{Policy: pol, Pressure: p})
+		}
+	}
+	return cfgs
+}
+
+// sweepWorkloads synthesizes the calibrated differential workloads at a
+// small scale — the single-pass kernel must match the per-config replay
+// on every trace shape, not just the ones it is fast on.
+func sweepWorkloads(t *testing.T) []*trace.Trace {
+	t.Helper()
+	var out []*trace.Trace
+	for _, name := range []string{"gzip", "word", "crafty"} {
+		out = append(out, scaledTrace(t, name, 0.05))
+	}
+	return out
+}
+
+func scaledTrace(t *testing.T, name string, scale float64) *trace.Trace {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := p.Scaled(scale).Synthesize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSinglePassMatchesPerConfig is the exactness contract for the
+// multi-configuration sweep kernel: over the policy x pressure x trace
+// matrix, every core.Stats field of the single-pass replay must equal
+// the per-config replay's bit for bit. On divergence the first differing
+// field is named with both values, so a kernel regression points at the
+// counter it broke rather than a blob diff.
+func TestSinglePassMatchesPerConfig(t *testing.T) {
+	cfgs := singlePassConfigs([]int{1, 2, 4, 8})
+	for _, tr := range sweepWorkloads(t) {
+		multi, err := sim.RunConfigs(tr, cfgs, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range cfgs {
+			single, err := sim.Run(tr, cfg.Policy, cfg.Pressure, sim.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs, ws := reflect.ValueOf(multi[i].Stats), reflect.ValueOf(single.Stats)
+			for f := 0; f < gs.NumField(); f++ {
+				if !reflect.DeepEqual(gs.Field(f).Interface(), ws.Field(f).Interface()) {
+					t.Errorf("%s %s p%d: first divergence at Stats.%s = %v (single-pass), want %v (per-config)",
+						tr.Name, cfg.Policy, cfg.Pressure, gs.Type().Field(f).Name,
+						gs.Field(f).Interface(), ws.Field(f).Interface())
+					break
+				}
+			}
+			if multi[i].Capacity != single.Capacity {
+				t.Errorf("%s %s p%d: capacity %d (single-pass), want %d",
+					tr.Name, cfg.Policy, cfg.Pressure, multi[i].Capacity, single.Capacity)
+			}
+		}
+	}
+}
+
+// TestSampledSweepErrorBound holds the sampling estimator to its
+// acceptance line on the full-scale calibrated traces: in the turnover
+// regime every configuration's estimate must sit within two points
+// absolute of the full replay AND within the estimator's own reported
+// error bound — a bound that underpromises is as broken as an estimate
+// that misses.
+func TestSampledSweepErrorBound(t *testing.T) {
+	cfgs := singlePassConfigs([]int{3, 4, 6, 8})
+	for _, name := range []string{"word", "vortex"} {
+		tr := scaledTrace(t, name, 1.0)
+		full, err := sim.RunConfigs(tr, cfgs, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := sim.RunConfigsSampled(tr, cfgs, sim.SampleOptions{}, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst float64
+		for i, cfg := range cfgs {
+			e := math.Abs(ss.Results[i].MissRate - full[i].Stats.MissRate())
+			if e > worst {
+				worst = e
+			}
+			if e > sampledMaxAbsError {
+				t.Errorf("%s %s p%d: sampled %.4f vs full %.4f — error %.4f over the %.2f acceptance line",
+					name, cfg.Policy, cfg.Pressure, ss.Results[i].MissRate, full[i].Stats.MissRate(), e, sampledMaxAbsError)
+			}
+			if e > ss.Results[i].ErrorBound {
+				t.Errorf("%s %s p%d: error %.4f exceeds the estimator's own bound %.4f",
+					name, cfg.Policy, cfg.Pressure, e, ss.Results[i].ErrorBound)
+			}
+		}
+		t.Logf("%s: %d clusters over %d intervals, coverage %.2f, worst error %.4f",
+			name, ss.Clusters, ss.Intervals, ss.Coverage, worst)
+	}
+}

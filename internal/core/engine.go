@@ -180,6 +180,16 @@ func (e *Engine) FreezeLinks(blocks []Superblock, chainingDisabled bool) {
 	e.links.freeze(blocks, chainingDisabled)
 }
 
+// FreezeLinksShared is FreezeLinks over a prebuilt FrozenAdjacency,
+// letting concurrent replays of the same trace share one immutable CSR
+// relation instead of each rebuilding it (the adjacency is only read;
+// residency and counters stay per-cache). The same insert contract
+// applies: every Insert of id must declare exactly the link row the
+// adjacency was built from.
+func (e *Engine) FreezeLinksShared(fa *FrozenAdjacency) {
+	e.links.freezeShared(fa)
+}
+
 // SetLazyPatchedCount defers patched-link counting to PatchedLinks (and
 // BackPtrTableBytes) queries instead of maintaining the count on every
 // insert and eviction. Requires frozen link adjacency, and is only safe
@@ -261,7 +271,7 @@ func (e *Engine) validateInsert(sb Superblock) error {
 	if err := validateID(sb.ID); err != nil {
 		return err
 	}
-	if !e.links.linksValid {
+	if !e.links.prevalidated() {
 		// With frozen, prevalidated adjacency the row was checked once at
 		// freeze time and inserts are bound to redeclare it verbatim.
 		for _, to := range sb.Links {

@@ -92,10 +92,10 @@ func TestFrozenMatchesDynamic(t *testing.T) {
 				frozen.Reserve(SuperblockID(len(blocks) - 1))
 				frozen.FreezeLinks(blocks, false)
 				frozen.SetLazyPatchedCount(lazy)
-				if dirty && frozen.links.rowsExact {
+				if dirty && frozen.links.fa.rowsExact {
 					t.Fatalf("%s: dirty rows should not be exact", name)
 				}
-				if !dirty && !frozen.links.rowsExact {
+				if !dirty && !frozen.links.fa.rowsExact {
 					t.Fatalf("%s: clean rows should be exact", name)
 				}
 
@@ -196,7 +196,7 @@ func TestFreezeChainingDisabled(t *testing.T) {
 	blocks := frozenBlocks(r, 30, false)
 	c, _ := NewFine(700)
 	c.FreezeLinks(blocks, true)
-	if !c.links.linksValid {
+	if !c.links.fa.linksValid {
 		t.Fatal("chaining-disabled freeze should mark links valid")
 	}
 	for step := 0; step < 1000; step++ {
@@ -247,7 +247,7 @@ func TestFrozenValidateInsert(t *testing.T) {
 	}
 	c, _ := NewFine(256)
 	c.FreezeLinks(blocks, false)
-	if !c.links.linksValid {
+	if !c.links.fa.linksValid {
 		t.Fatal("clean rows should prevalidate")
 	}
 	if err := c.Insert(blocks[0]); err != nil {
@@ -273,7 +273,7 @@ func TestFrozenValidateInsert(t *testing.T) {
 	dirty := []Superblock{{ID: 0, Size: 64, Links: []SuperblockID{1 << 30}}}
 	d, _ := NewFine(256)
 	d.FreezeLinks(dirty, false)
-	if d.links.linksValid {
+	if d.links.fa.linksValid {
 		t.Fatal("out-of-limit link target should fail prevalidation")
 	}
 	if err := d.Insert(dirty[0]); err == nil || !strings.Contains(err.Error(), "dense-ID limit") {
@@ -369,6 +369,47 @@ func TestFrozenFlushAndSamples(t *testing.T) {
 		if err := c.CheckInvariants(); err != nil {
 			t.Errorf("lazy=%v: %v", lazy, err)
 		}
+	}
+}
+
+// TestFrozenCSRAccessors pins the raw-CSR view the replay kernels hoist
+// into their hot loops: the offset/edge arrays must describe exactly the
+// rows OutRow/InRow serve, out-of-range IDs must yield empty rows, and
+// the exported metadata must match the construction-time flags.
+func TestFrozenCSRAccessors(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	blocks := frozenBlocks(r, 50, true)
+	fa := NewFrozenAdjacency(blocks)
+	if fa.NumBlocks() != len(blocks) {
+		t.Fatalf("NumBlocks = %d, want %d", fa.NumBlocks(), len(blocks))
+	}
+	if fa.RowsExact() != fa.rowsExact || fa.LinksValid() != fa.linksValid {
+		t.Fatal("accessor flags diverge from construction state")
+	}
+	for pass, csr := range []func() ([]int32, []SuperblockID){fa.OutCSR, fa.InCSR} {
+		idx, edges := csr()
+		if len(idx) != len(blocks)+1 || int(idx[len(blocks)]) != len(edges) {
+			t.Fatalf("pass %d: CSR shape idx=%d edges=%d for %d blocks", pass, len(idx), len(edges), len(blocks))
+		}
+		for id := SuperblockID(0); int(id) < len(blocks); id++ {
+			row := fa.OutRow(id)
+			if pass == 1 {
+				row = fa.InRow(id)
+			}
+			if !reflect.DeepEqual(append([]SuperblockID{}, edges[idx[id]:idx[id+1]]...), append([]SuperblockID{}, row...)) {
+				t.Fatalf("pass %d: CSR row %d diverges from the row accessor", pass, id)
+			}
+		}
+	}
+	beyond := SuperblockID(len(blocks) + 5)
+	if fa.OutRow(beyond) != nil || fa.InRow(beyond) != nil {
+		t.Error("rows beyond the dense span must be empty")
+	}
+	if err := ValidateID(0); err != nil {
+		t.Errorf("ValidateID(0) = %v", err)
+	}
+	if err := ValidateID(1 << 30); err == nil {
+		t.Error("ValidateID must reject IDs over the dense-table limit")
 	}
 }
 

@@ -1,0 +1,162 @@
+package core
+
+// FrozenAdjacency is the immutable CSR form of a trace's declared-link
+// relation: forward and reverse edge arrays over dense SuperblockIDs.
+// It used to live inside each cache's linkTable, rebuilt per run; pulling
+// it out makes the (per-run-static, read-only) graph shareable across
+// every cache simulating the same trace — the multi-configuration sweep
+// kernel drives dozens of cache states off one adjacency, and sweep
+// workers replaying the same trace under different policies share it
+// instead of re-deduplicating the link rows per (policy, pressure) job.
+//
+// A FrozenAdjacency is immutable after construction and safe for
+// concurrent readers. All mutable link state (residency, patched counts,
+// eviction marks) stays in the owning linkTable.
+type FrozenAdjacency struct {
+	n         int
+	foutIdx   []int32
+	foutEdges []SuperblockID
+	finIdx    []int32
+	finEdges  []SuperblockID
+	// rowsExact means no raw link was dropped during construction (no
+	// duplicates, no out-of-range targets), so every frozen row equals
+	// its raw row and declaration-time stats can be counted from the CSR
+	// row alone.
+	rowsExact bool
+	// linksValid means every raw link row passed validateID at build
+	// time, so insert paths bound to redeclare the row verbatim can skip
+	// re-validating it.
+	linksValid bool
+}
+
+// NewFrozenAdjacency compiles a dense (ID-indexed) block table's link
+// rows into CSR form. Targets outside [0, len(blocks)) can never become
+// resident under the frozen contract, so edges to them are inert and
+// excluded from the relation; duplicate declarations collapse to one
+// edge. See linkTable.freeze for how declaration-time stats still honor
+// the raw rows when either reduction applies.
+func NewFrozenAdjacency(blocks []Superblock) *FrozenAdjacency {
+	n := len(blocks)
+	fa := &FrozenAdjacency{
+		n:       n,
+		foutIdx: make([]int32, n+1),
+		finIdx:  make([]int32, n+1),
+	}
+	if n == 0 {
+		return fa
+	}
+	// Pass 1: deduplicated out- and in-degrees.
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	total := int32(0)
+	raw := int32(0)
+	fa.linksValid = true
+	for id := range blocks {
+		links := blocks[id].Links
+		raw += int32(len(links))
+		for i, to := range links {
+			if validateID(to) != nil {
+				fa.linksValid = false
+			}
+			if int(to) >= n || contains(links[:i], to) {
+				continue
+			}
+			outDeg[id]++
+			inDeg[to]++
+			total++
+		}
+	}
+	fa.rowsExact = total == raw
+	var o int32
+	for id := 0; id < n; id++ {
+		fa.foutIdx[id] = o
+		o += outDeg[id]
+	}
+	fa.foutIdx[n] = o
+	o = 0
+	for id := 0; id < n; id++ {
+		fa.finIdx[id] = o
+		o += inDeg[id]
+	}
+	fa.finIdx[n] = o
+	// Pass 2: fill. Deduplicating the forward rows deduplicates the
+	// reverse rows for free (each edge contributes exactly once).
+	fa.foutEdges = make([]SuperblockID, total)
+	fa.finEdges = make([]SuperblockID, total)
+	outCur := make([]int32, n)
+	copy(outCur, fa.foutIdx[:n])
+	inCur := make([]int32, n)
+	copy(inCur, fa.finIdx[:n])
+	for id := range blocks {
+		links := blocks[id].Links
+		for i, to := range links {
+			if int(to) >= n || contains(links[:i], to) {
+				continue
+			}
+			fa.foutEdges[outCur[id]] = to
+			outCur[id]++
+			fa.finEdges[inCur[to]] = SuperblockID(id)
+			inCur[to]++
+		}
+	}
+	return fa
+}
+
+// EmptyAdjacency returns a frozen relation with no edges over n blocks —
+// the chaining-disabled contract, where the owner strips Links from
+// every insert so there is nothing to validate or walk.
+func EmptyAdjacency(n int) *FrozenAdjacency {
+	return &FrozenAdjacency{
+		n:          n,
+		foutIdx:    make([]int32, n+1),
+		finIdx:     make([]int32, n+1),
+		linksValid: n > 0,
+	}
+}
+
+// NumBlocks returns the dense ID span the adjacency covers.
+func (fa *FrozenAdjacency) NumBlocks() int { return fa.n }
+
+// RowsExact reports whether every frozen row equals its raw link row.
+func (fa *FrozenAdjacency) RowsExact() bool { return fa.rowsExact }
+
+// LinksValid reports whether every raw link row passed ID validation at
+// build time.
+func (fa *FrozenAdjacency) LinksValid() bool { return fa.linksValid }
+
+// OutRow returns id's forward link row. The slice aliases the immutable
+// edge array; callers must not modify it.
+func (fa *FrozenAdjacency) OutRow(id SuperblockID) []SuperblockID {
+	if int(id)+1 >= len(fa.foutIdx) {
+		return nil
+	}
+	return fa.foutEdges[fa.foutIdx[id]:fa.foutIdx[id+1]]
+}
+
+// InRow returns id's reverse link row (every source declaring a link to
+// id). The slice aliases the immutable edge array; callers must not
+// modify it.
+func (fa *FrozenAdjacency) InRow(id SuperblockID) []SuperblockID {
+	if int(id)+1 >= len(fa.finIdx) {
+		return nil
+	}
+	return fa.finEdges[fa.finIdx[id]:fa.finIdx[id+1]]
+}
+
+// OutCSR exposes the raw forward CSR (row offsets and edge array) so
+// replay kernels can hoist the slice headers out of their hot loops.
+// Both slices alias immutable storage; callers must not modify them.
+func (fa *FrozenAdjacency) OutCSR() (idx []int32, edges []SuperblockID) {
+	return fa.foutIdx, fa.foutEdges
+}
+
+// InCSR is OutCSR for the reverse adjacency.
+func (fa *FrozenAdjacency) InCSR() (idx []int32, edges []SuperblockID) {
+	return fa.finIdx, fa.finEdges
+}
+
+// ValidateID reports whether an ID fits the dense-table limit, with the
+// same error the cache insert paths produce. Exported for replay kernels
+// that validate link rows themselves when the adjacency was not
+// prevalidated.
+func ValidateID(id SuperblockID) error { return validateID(id) }

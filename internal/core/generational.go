@@ -126,6 +126,13 @@ func (c *GenerationalCache) FreezeLinks(blocks []Superblock, chainingDisabled bo
 	c.tenured.FreezeLinks(blocks, chainingDisabled)
 }
 
+// FreezeLinksShared freezes both generations over one prebuilt, shared
+// adjacency; see Engine.FreezeLinksShared.
+func (c *GenerationalCache) FreezeLinksShared(fa *FrozenAdjacency) {
+	c.nursery.FreezeLinksShared(fa)
+	c.tenured.FreezeLinksShared(fa)
+}
+
 // SetLazyPatchedCount defers patched-link counting in both generations;
 // see Engine.SetLazyPatchedCount for when this is safe.
 func (c *GenerationalCache) SetLazyPatchedCount(on bool) {

@@ -55,30 +55,20 @@ type linkTable struct {
 	in [][]SuperblockID
 
 	// Frozen mode (see freeze): the declared-edge relation is a known
-	// immutable graph, stored in CSR form. Every walk becomes a
-	// sequential scan of a flat edge array plus a residency bit test —
-	// no per-edge set scans, no slice-header chasing — and liveness
-	// simplifies to resident(from), because a resident source always has
-	// exactly its frozen out-row declared.
-	frozen    bool
-	foutIdx   []int32
-	foutEdges []SuperblockID
-	finIdx    []int32
-	finEdges  []SuperblockID
-	// rowsExact means no raw link was dropped by freeze (no duplicates,
-	// no out-of-range targets), so every frozen row equals its raw row
-	// and declareAll can count stats from the CSR row alone.
-	rowsExact bool
+	// immutable graph, stored in CSR form by a FrozenAdjacency — possibly
+	// shared, read-only, with other caches replaying the same trace.
+	// Every walk becomes a sequential scan of a flat edge array plus a
+	// residency bit test — no per-edge set scans, no slice-header chasing
+	// — and liveness simplifies to resident(from), because a resident
+	// source always has exactly its frozen out-row declared.
+	frozen bool
+	fa     *FrozenAdjacency
 	// deferPatched (frozen mode only) stops maintaining patchedCount per
 	// operation; patchedLinks() recomputes it from residency on demand.
 	// Only safe when nothing observes the count mid-run — the fast replay
 	// kernel opts in (no verification wrapper, no census sampling), which
 	// deletes the eviction path's whole outbound bookkeeping walk.
 	deferPatched bool
-	// linksValid means every raw link row passed validateID at freeze
-	// time, so the owning cache's insert path can skip re-validating the
-	// row it is contractually bound to declare.
-	linksValid bool
 
 	// resident mirrors the owning cache's residency, maintained from
 	// onInsert/onEvict events so derivations need no callback per edge.
@@ -149,91 +139,40 @@ func contains(set []SuperblockID, id SuperblockID) bool {
 // and the eviction path writes nothing but the residency and mark stamps.
 func (lt *linkTable) freeze(blocks []Superblock, chainingDisabled bool) {
 	n := len(blocks)
+	if chainingDisabled || n == 0 {
+		// Inserts carry no links under the disabled contract (nothing to
+		// validate or walk), and an empty table has no relation at all.
+		lt.freezeShared(EmptyAdjacency(n))
+		return
+	}
+	lt.freezeShared(NewFrozenAdjacency(blocks))
+}
+
+// freezeShared switches the table to frozen-adjacency mode over a
+// prebuilt (possibly shared) immutable relation. The adjacency is only
+// read; all mutable state stays in this table.
+func (lt *linkTable) freezeShared(fa *FrozenAdjacency) {
 	lt.frozen = true
-	lt.foutIdx = make([]int32, n+1)
-	lt.finIdx = make([]int32, n+1)
-	if n == 0 {
-		return
+	lt.fa = fa
+	if fa.n > 0 {
+		lt.grow(SuperblockID(fa.n - 1))
 	}
-	lt.grow(SuperblockID(n - 1))
-	if chainingDisabled {
-		// Inserts carry no links under this contract; nothing to validate.
-		lt.linksValid = true
-		return
-	}
-	// Pass 1: deduplicated out- and in-degrees. Targets outside [0, n)
-	// can never become resident under the frozen contract, so edges to
-	// them are inert and excluded from the relation; declareAll still
-	// scans the raw row for the per-declaration LinksPatched stat.
-	outDeg := make([]int32, n)
-	inDeg := make([]int32, n)
-	total := int32(0)
-	raw := int32(0)
-	lt.linksValid = true
-	for id := range blocks {
-		links := blocks[id].Links
-		raw += int32(len(links))
-		for i, to := range links {
-			if validateID(to) != nil {
-				lt.linksValid = false
-			}
-			if int(to) >= n || contains(links[:i], to) {
-				continue
-			}
-			outDeg[id]++
-			inDeg[to]++
-			total++
-		}
-	}
-	lt.rowsExact = total == raw
-	var o int32
-	for id := 0; id < n; id++ {
-		lt.foutIdx[id] = o
-		o += outDeg[id]
-	}
-	lt.foutIdx[n] = o
-	o = 0
-	for id := 0; id < n; id++ {
-		lt.finIdx[id] = o
-		o += inDeg[id]
-	}
-	lt.finIdx[n] = o
-	// Pass 2: fill. Deduplicating the forward rows deduplicates the
-	// reverse rows for free (each edge contributes exactly once).
-	lt.foutEdges = make([]SuperblockID, total)
-	lt.finEdges = make([]SuperblockID, total)
-	outCur := make([]int32, n)
-	copy(outCur, lt.foutIdx[:n])
-	inCur := make([]int32, n)
-	copy(inCur, lt.finIdx[:n])
-	for id := range blocks {
-		links := blocks[id].Links
-		for i, to := range links {
-			if int(to) >= n || contains(links[:i], to) {
-				continue
-			}
-			lt.foutEdges[outCur[id]] = to
-			outCur[id]++
-			lt.finEdges[inCur[to]] = SuperblockID(id)
-			inCur[to]++
-		}
-	}
+}
+
+// prevalidated reports whether every raw link row was ID-validated at
+// freeze time, letting the owner's insert path skip re-validation.
+func (lt *linkTable) prevalidated() bool {
+	return lt.fa != nil && lt.fa.linksValid
 }
 
 // foutRow returns id's frozen forward link row.
 func (lt *linkTable) foutRow(id SuperblockID) []SuperblockID {
-	if int(id)+1 >= len(lt.foutIdx) {
-		return nil
-	}
-	return lt.foutEdges[lt.foutIdx[id]:lt.foutIdx[id+1]]
+	return lt.fa.OutRow(id)
 }
 
 // finRow returns id's frozen reverse link row.
 func (lt *linkTable) finRow(id SuperblockID) []SuperblockID {
-	if int(id)+1 >= len(lt.finIdx) {
-		return nil
-	}
-	return lt.finEdges[lt.finIdx[id]:lt.finIdx[id+1]]
+	return lt.fa.InRow(id)
 }
 
 // declareAll records, in frozen mode, the insertion-time declaration of a
@@ -247,7 +186,7 @@ func (lt *linkTable) declareAll(id SuperblockID, links []SuperblockID, stats *St
 		return
 	}
 	resident := lt.resident
-	if lt.rowsExact {
+	if lt.fa.rowsExact {
 		// Frozen row == raw row: one pass covers both counters.
 		patched := 0
 		for _, to := range lt.foutRow(id) {
@@ -383,7 +322,7 @@ func (lt *linkTable) onEvict(ids []SuperblockID, stats *Stats, samples *Eviction
 		// so each evicted block's inbound and outbound rows are scanned
 		// once against the residency and mark tables, with no writes.
 		resident := lt.resident
-		finIdx, finEdges := lt.finIdx, lt.finEdges
+		finIdx, finEdges := lt.fa.finIdx, lt.fa.finEdges
 		if lt.deferPatched {
 			// Deferred counting: the outbound walk existed only to keep
 			// patchedCount current, so it disappears entirely.
@@ -406,7 +345,7 @@ func (lt *linkTable) onEvict(ids []SuperblockID, stats *Stats, samples *Eviction
 			}
 			return events
 		}
-		foutIdx, foutEdges := lt.foutIdx, lt.foutEdges
+		foutIdx, foutEdges := lt.fa.foutIdx, lt.fa.foutEdges
 		for _, id := range ids {
 			unlinked := false
 			for _, from := range finEdges[finIdx[id]:finIdx[id+1]] {
@@ -505,8 +444,8 @@ func (lt *linkTable) unlinkEventsFor(ids []SuperblockID) uint64 {
 // census classifies patched links by unit token.
 func (lt *linkTable) census(unitOf func(SuperblockID) (int64, bool)) (intra, inter int) {
 	if lt.frozen {
-		for from := 0; from+1 < len(lt.foutIdx); from++ {
-			set := lt.foutEdges[lt.foutIdx[from]:lt.foutIdx[from+1]]
+		for from := 0; from+1 < len(lt.fa.foutIdx); from++ {
+			set := lt.fa.foutEdges[lt.fa.foutIdx[from]:lt.fa.foutIdx[from+1]]
 			if len(set) == 0 {
 				continue
 			}
@@ -555,11 +494,11 @@ func (lt *linkTable) census(unitOf func(SuperblockID) (int64, bool)) (intra, int
 // forEachPatched visits every patched link once.
 func (lt *linkTable) forEachPatched(fn func(from, to SuperblockID)) {
 	if lt.frozen {
-		for from := 0; from+1 < len(lt.foutIdx); from++ {
+		for from := 0; from+1 < len(lt.fa.foutIdx); from++ {
 			if !lt.resident[from] {
 				continue
 			}
-			for _, to := range lt.foutEdges[lt.foutIdx[from]:lt.foutIdx[from+1]] {
+			for _, to := range lt.fa.foutEdges[lt.fa.foutIdx[from]:lt.fa.foutIdx[from+1]] {
 				if lt.resident[to] {
 					fn(SuperblockID(from), to)
 				}
@@ -585,11 +524,11 @@ func (lt *linkTable) patchedLinks() int {
 	if lt.frozen && lt.deferPatched {
 		count := 0
 		resident := lt.resident
-		for from := 0; from+1 < len(lt.foutIdx); from++ {
+		for from := 0; from+1 < len(lt.fa.foutIdx); from++ {
 			if !resident[from] {
 				continue
 			}
-			for _, to := range lt.foutEdges[lt.foutIdx[from]:lt.foutIdx[from+1]] {
+			for _, to := range lt.fa.foutEdges[lt.fa.foutIdx[from]:lt.fa.foutIdx[from+1]] {
 				if resident[to] {
 					count++
 				}
@@ -604,8 +543,8 @@ func (lt *linkTable) patchedLinks() int {
 func (lt *linkTable) checkInvariants() error {
 	if lt.frozen {
 		count := 0
-		for from := 0; from+1 < len(lt.foutIdx); from++ {
-			set := lt.foutEdges[lt.foutIdx[from]:lt.foutIdx[from+1]]
+		for from := 0; from+1 < len(lt.fa.foutIdx); from++ {
+			set := lt.fa.foutEdges[lt.fa.foutIdx[from]:lt.fa.foutIdx[from+1]]
 			for i, to := range set {
 				if contains(set[:i], to) {
 					return fmt.Errorf("core: duplicate frozen edge %d->%d", from, to)

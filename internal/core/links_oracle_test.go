@@ -209,7 +209,7 @@ func (lt *mapLinkTable) pendingPairs() map[linkPair]bool {
 func (lt *linkTable) pendingPairs() map[linkPair]bool {
 	out := make(map[linkPair]bool)
 	if lt.frozen {
-		for from := 0; from+1 < len(lt.foutIdx); from++ {
+		for from := 0; from+1 < len(lt.fa.foutIdx); from++ {
 			if !lt.resident[from] {
 				continue
 			}

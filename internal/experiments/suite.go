@@ -190,7 +190,10 @@ func (s *Suite) Sweep(pressure int) (*sim.SweepResult, error) {
 	if sw, ok := s.sweeps[pressure]; ok {
 		return sw, nil
 	}
-	sw, err := sim.Sweep(s.traces, s.Policies(), pressure, sim.Options{CensusEvery: s.cfg.CensusEvery, Verify: s.cfg.Verify})
+	// SinglePass drives the whole granularity ladder through the
+	// multi-configuration kernel, one pass per trace; under Verify the
+	// option is inert and the sweep falls back to per-config jobs.
+	sw, err := sim.Sweep(s.traces, s.Policies(), pressure, sim.Options{CensusEvery: s.cfg.CensusEvery, Verify: s.cfg.Verify, SinglePass: true})
 	if err != nil {
 		return nil, err
 	}

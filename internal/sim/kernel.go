@@ -48,6 +48,21 @@ import (
 type replayTables struct {
 	sizes  []int32           // id -> size; 0 marks an undefined ID
 	blocks []core.Superblock // id -> full definition, for Insert on miss
+	// adj is the trace's immutable CSR link relation, built once here and
+	// shared by every cache replaying these tables (sweep jobs, the
+	// multi-configuration kernel); chaining-disabled runs substitute an
+	// empty relation instead.
+	adj *core.FrozenAdjacency
+}
+
+// adjacency returns the link relation a replay with the given options
+// must freeze: the shared trace adjacency, or an empty relation when
+// chaining is disabled (inserts strip their link rows).
+func (t *replayTables) adjacency(opts Options) *core.FrozenAdjacency {
+	if opts.DisableChaining {
+		return core.EmptyAdjacency(len(t.blocks))
+	}
+	return t.adj
 }
 
 // buildTables densifies a block table in one pass, also computing the
@@ -89,6 +104,7 @@ func buildTables(name string, blocks map[core.SuperblockID]core.Superblock) (t r
 		t.blocks[id] = sb
 		t.sizes[id] = int32(sb.Size)
 	}
+	t.adj = core.NewFrozenAdjacency(t.blocks)
 	return t, maxBlock, totalBytes, nil
 }
 
@@ -143,6 +159,13 @@ func newReplay(name string, blocks map[core.SuperblockID]core.Superblock, nAcces
 	if err != nil {
 		return nil, err
 	}
+	return newReplayFromTables(name, tables, maxBlock, totalBytes, nAccesses, policy, pressure, opts)
+}
+
+// newReplayFromTables is newReplay over prebuilt dense tables: sweeps
+// build a trace's tables (and its frozen link adjacency) once and share
+// them across every (policy, pressure) job replaying that trace.
+func newReplayFromTables(name string, tables replayTables, maxBlock, totalBytes, nAccesses int, policy core.Policy, pressure int, opts Options) (*replay, error) {
 	if pressure < 1 {
 		return nil, fmt.Errorf("sim: pressure factor must be >= 1, got %d", pressure)
 	}
@@ -169,10 +192,10 @@ func newReplay(name string, blocks map[core.SuperblockID]core.Superblock, nAcces
 	}
 	if eb, ok := raw.(core.EngineBacked); ok {
 		eng = eb.ReplayEngine()
-		eng.FreezeLinks(tables.blocks, opts.DisableChaining)
+		eng.FreezeLinksShared(tables.adjacency(opts))
 	} else if g, ok := raw.(*core.GenerationalCache); ok {
 		gen = g
-		gen.FreezeLinks(tables.blocks, opts.DisableChaining)
+		gen.FreezeLinksShared(tables.adjacency(opts))
 	}
 	if opts.RecordSamples {
 		if s, ok := raw.(sampler); ok {

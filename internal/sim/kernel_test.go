@@ -235,11 +235,36 @@ func TestSweepWorkerCap(t *testing.T) {
 	// even on single-core machines.
 	old := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(old)
-	if got := sweepWorkers(1); got != 1 {
-		t.Errorf("sweepWorkers(1) = %d, want 1", got)
+	if got := sweepWorkers(1, 0); got != 1 {
+		t.Errorf("sweepWorkers(1, 0) = %d, want 1", got)
 	}
-	if got := sweepWorkers(54); got != 4 {
-		t.Errorf("sweepWorkers(54) = %d, want GOMAXPROCS=4", got)
+	if got := sweepWorkers(54, 0); got != 4 {
+		t.Errorf("sweepWorkers(54, 0) = %d, want GOMAXPROCS=4", got)
+	}
+}
+
+// TestSweepWorkerMemoryCap pins the memory side of the worker cap: when
+// the per-job footprint eats the budget, the pool shrinks below the CPU
+// count — but never below one worker, however large a single job is.
+func TestSweepWorkerMemoryCap(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	oldBudget := sweepMemoryBudget
+	defer func() { sweepMemoryBudget = oldBudget }()
+
+	sweepMemoryBudget = 1 << 20
+	if got := sweepWorkers(54, 300<<10); got != 3 {
+		t.Errorf("sweepWorkers with 1MiB budget / 300KiB jobs = %d, want 3", got)
+	}
+	if got := sweepWorkers(54, 64<<20); got != 1 {
+		t.Errorf("sweepWorkers with oversized jobs = %d, want 1 (never starve)", got)
+	}
+	// A zero estimate means unknown footprint: CPU cap only.
+	if got := sweepWorkers(54, 0); got != 8 {
+		t.Errorf("sweepWorkers with unknown footprint = %d, want GOMAXPROCS=8", got)
+	}
+	if detectMemoryBudget() <= 0 {
+		t.Error("detectMemoryBudget must return a positive budget")
 	}
 }
 
@@ -340,7 +365,7 @@ func TestSweepDrainsAfterFailure(t *testing.T) {
 	policies := core.GranularitySweep(4)
 	calls := 0
 	orig := runJob
-	runJob = func(tr *trace.Trace, policy core.Policy, pressure int, opts Options) (*Result, error) {
+	runJob = func(tr *trace.Trace, tabs *traceTables, policy core.Policy, pressure int, opts Options) (*Result, error) {
 		calls++
 		return nil, fmt.Errorf("boom %d", calls)
 	}

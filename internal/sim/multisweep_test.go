@@ -1,0 +1,413 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dynocache/internal/core"
+	"dynocache/internal/trace"
+)
+
+// diffResults compares two Results field by field, naming the first
+// divergence (Stats fields by name) for debuggability.
+func diffResults(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: nil result (got=%v want=%v)", label, got != nil, want != nil)
+	}
+	gs, ws := reflect.ValueOf(got.Stats), reflect.ValueOf(want.Stats)
+	for i := 0; i < gs.NumField(); i++ {
+		if !reflect.DeepEqual(gs.Field(i).Interface(), ws.Field(i).Interface()) {
+			t.Errorf("%s: Stats.%s = %v, want %v", label,
+				gs.Type().Field(i).Name, gs.Field(i).Interface(), ws.Field(i).Interface())
+			return
+		}
+	}
+	if got.Capacity != want.Capacity {
+		t.Errorf("%s: Capacity = %d, want %d", label, got.Capacity, want.Capacity)
+	}
+	if got.AppInstructions != want.AppInstructions {
+		t.Errorf("%s: AppInstructions = %g, want %g", label, got.AppInstructions, want.AppInstructions)
+	}
+	if got.MeanIntraLinks != want.MeanIntraLinks || got.MeanInterLinks != want.MeanInterLinks ||
+		got.MeanBackPtrBytes != want.MeanBackPtrBytes {
+		t.Errorf("%s: census means = (%g, %g, %g), want (%g, %g, %g)", label,
+			got.MeanIntraLinks, got.MeanInterLinks, got.MeanBackPtrBytes,
+			want.MeanIntraLinks, want.MeanInterLinks, want.MeanBackPtrBytes)
+	}
+	if !reflect.DeepEqual(got.Occupancy, want.Occupancy) {
+		t.Errorf("%s: occupancy timelines diverge (%d vs %d samples)", label,
+			len(got.Occupancy), len(want.Occupancy))
+	}
+}
+
+// TestRunConfigsMatchesRun is the kernel-level differential: every
+// (policy, pressure, options) point must produce the same Result through
+// the multi-configuration kernel as through the per-config path.
+func TestRunConfigsMatchesRun(t *testing.T) {
+	traces := testTraces(t, 0.05, "word", "vortex", "gzip")
+	policies := core.GranularitySweep(8)
+	for _, tr := range traces {
+		for _, opts := range []Options{
+			{},
+			{CensusEvery: 700},
+			{OccupancyEvery: 900},
+			{CensusEvery: 500, OccupancyEvery: 500},
+			{DisableChaining: true},
+		} {
+			var cfgs []SweepConfig
+			for _, pol := range policies {
+				for _, pressure := range []int{1, 2, 6} {
+					cfgs = append(cfgs, SweepConfig{Policy: pol, Pressure: pressure})
+				}
+			}
+			got, err := RunConfigs(tr, cfgs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(cfgs) {
+				t.Fatalf("RunConfigs returned %d results for %d configs", len(got), len(cfgs))
+			}
+			for i, cfg := range cfgs {
+				runOpts := opts
+				want, err := Run(tr, cfg.Policy, cfg.Pressure, runOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				diffResults(t, fmt.Sprintf("%s/%s/p%d/opts%+v", tr.Name, cfg.Policy, cfg.Pressure, opts),
+					got[i], want)
+			}
+		}
+	}
+}
+
+// TestRunConfigsCapacityLadder pins the explicit-capacity sizing path: a
+// ladder of capacities over one policy in one pass must match Run's
+// Options.Capacity override point for point.
+func TestRunConfigsCapacityLadder(t *testing.T) {
+	tr := testTraces(t, 0.1, "vortex")[0]
+	var cfgs []SweepConfig
+	caps := []int{3000, 6000, 12000, 24000, 48000}
+	for _, cp := range caps {
+		cfgs = append(cfgs, SweepConfig{Policy: core.Policy{Kind: core.PolicyFine}, Pressure: 1, Capacity: cp})
+	}
+	got, err := RunConfigs(tr, cfgs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cp := range caps {
+		want, err := Run(tr, core.Policy{Kind: core.PolicyFine}, 1, Options{Capacity: cp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffResults(t, fmt.Sprintf("capacity %d", cp), got[i], want)
+	}
+	// Miss rate must be monotonically non-increasing up the ladder.
+	for i := 1; i < len(got); i++ {
+		if got[i].Stats.MissRate() > got[i-1].Stats.MissRate() {
+			t.Errorf("capacity %d: miss rate %g above smaller cache's %g",
+				caps[i], got[i].Stats.MissRate(), got[i-1].Stats.MissRate())
+		}
+	}
+}
+
+// TestRunConfigsBatchesWideLadders proves ladders wider than one pass
+// (64 configs) split transparently.
+func TestRunConfigsBatchesWideLadders(t *testing.T) {
+	tr := testTraces(t, 0.05, "gzip")[0]
+	var cfgs []SweepConfig
+	for i := 0; i < 70; i++ {
+		cfgs = append(cfgs, SweepConfig{Policy: core.Policy{Kind: core.PolicyFine}, Pressure: 1, Capacity: 2000 + 100*i})
+	}
+	got, err := RunConfigs(tr, cfgs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 70 {
+		t.Fatalf("got %d results, want 70", len(got))
+	}
+	for _, i := range []int{0, 63, 64, 69} {
+		want, err := Run(tr, cfgs[i].Policy, 1, Options{Capacity: cfgs[i].Capacity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffResults(t, fmt.Sprintf("batched config %d", i), got[i], want)
+	}
+}
+
+// TestRunConfigsStreamMatchesMaterialized pins chunking invariance: the
+// streamed multi-config replay equals the materialized one.
+func TestRunConfigsStreamMatchesMaterialized(t *testing.T) {
+	tr := testTraces(t, 0.1, "word")[0]
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.NewStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfgs []SweepConfig
+	for _, pol := range core.GranularitySweep(8) {
+		cfgs = append(cfgs, SweepConfig{Policy: pol, Pressure: 2})
+	}
+	streamed, err := RunConfigsStream(st, cfgs, Options{CensusEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := RunConfigs(tr, cfgs, Options{CensusEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		diffResults(t, fmt.Sprintf("streamed %s", cfgs[i].Policy), streamed[i], direct[i])
+	}
+}
+
+// TestSweepSinglePassMatchesPerConfig proves Options.SinglePass routing
+// is invisible in the results, including with policies the kernel cannot
+// take (mixed per-config fallback).
+func TestSweepSinglePassMatchesPerConfig(t *testing.T) {
+	traces := testTraces(t, 0.05, "word", "gzip")
+	policies := append(core.GranularitySweep(8), core.Policy{Kind: core.PolicyLRU})
+	for _, pressure := range []int{2, 8} {
+		base, err := Sweep(traces, policies, pressure, Options{CensusEvery: 800})
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := Sweep(traces, policies, pressure, Options{CensusEvery: 800, SinglePass: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range policies {
+			for b := range traces {
+				diffResults(t, fmt.Sprintf("p=%s b=%s pressure=%d", policies[p], traces[b].Name, pressure),
+					single.Results[p][b], base.Results[p][b])
+			}
+		}
+	}
+}
+
+// TestSinglePassFallsBackForVerify: Verify (and friends) must silently
+// use the per-config path, not fail.
+func TestSinglePassFallsBackForVerify(t *testing.T) {
+	traces := testTraces(t, 0.05, "gzip")
+	policies := core.GranularitySweep(4)
+	sw, err := Sweep(traces, policies, 2, Options{SinglePass: true, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Sweep(traces, policies, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range policies {
+		diffResults(t, policies[p].String(), sw.Results[p][0], base.Results[p][0])
+	}
+}
+
+// TestRunConfigsErrors covers the kernel's validation and failure paths.
+func TestRunConfigsErrors(t *testing.T) {
+	tr := testTraces(t, 0.05, "gzip")[0]
+	fine := core.Policy{Kind: core.PolicyFine}
+
+	if _, err := RunConfigs(tr, nil, Options{}); err == nil {
+		t.Error("empty config list should fail")
+	}
+	if _, err := RunConfigs(tr, []SweepConfig{{Policy: fine, Pressure: 0}}, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "pressure factor") {
+		t.Errorf("pressure 0 = %v, want pressure error", err)
+	}
+	if _, err := RunConfigs(tr, []SweepConfig{{Policy: core.Policy{Kind: core.PolicyLRU}, Pressure: 2}}, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "FIFO-family") {
+		t.Errorf("LRU config = %v, want FIFO-family error", err)
+	}
+	if _, err := RunConfigs(tr, []SweepConfig{{Policy: core.Policy{Kind: core.PolicyUnits, Units: 1}, Pressure: 2}}, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "n >= 2") {
+		t.Errorf("1-unit config = %v, want construction error", err)
+	}
+	if _, err := RunConfigs(tr, []SweepConfig{{Policy: fine, Pressure: 2}}, Options{Verify: true}); err == nil {
+		t.Error("Verify should be rejected by RunConfigs")
+	}
+
+	// Undefined access mid-stream, with the same error shape as Run.
+	bad := trace.New("bad")
+	if err := bad.Define(core.Superblock{ID: 0, Size: 64}); err != nil {
+		t.Fatal(err)
+	}
+	bad.Accesses = []core.SuperblockID{0, 9}
+	_, err := RunConfigs(bad, []SweepConfig{{Policy: fine, Pressure: 1}}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "undefined block 9") {
+		t.Errorf("undefined access = %v, want undefined-block error", err)
+	}
+	_, werr := Run(bad, fine, 1, Options{})
+	if werr == nil || err.Error() != werr.Error() {
+		t.Errorf("error text diverges from Run: %v vs %v", err, werr)
+	}
+}
+
+// TestSweepSharedTablesAcrossJobs pins the memoization satellite: one
+// table build per trace regardless of how many (policy, pressure) jobs
+// replay it. The job seam receives the prebuilt tables; identical
+// pointers across jobs prove sharing.
+func TestSweepSharedTablesAcrossJobs(t *testing.T) {
+	traces := testTraces(t, 0.05, "gzip", "vortex")
+	policies := core.GranularitySweep(4)
+	seen := make(map[string]map[*traceTables]bool)
+	orig := runJob
+	runJob = func(tr *trace.Trace, tabs *traceTables, policy core.Policy, pressure int, opts Options) (*Result, error) {
+		if seen[tr.Name] == nil {
+			seen[tr.Name] = make(map[*traceTables]bool)
+		}
+		seen[tr.Name][tabs] = true
+		return orig(tr, tabs, policy, pressure, opts)
+	}
+	defer func() { runJob = orig }()
+	if _, err := sweep(traces, policies, 2, Options{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	for name, ptrs := range seen {
+		if len(ptrs) != 1 {
+			t.Errorf("trace %q used %d table builds across jobs, want 1 shared", name, len(ptrs))
+		}
+	}
+	if len(seen) != len(traces) {
+		t.Errorf("saw tables for %d traces, want %d", len(seen), len(traces))
+	}
+}
+
+// dirtyLinkTrace builds a synthetic trace whose link rows carry the raw
+// irregularities the frozen adjacency reduces away — duplicate
+// declarations and targets outside the dense table — so the kernel's
+// raw-row declaration accounting (the rowsExact=false path) is exercised
+// differentially against the per-config engine.
+func dirtyLinkTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr := trace.New("dirty-links")
+	const n = 40
+	for i := 0; i < n; i++ {
+		links := []core.SuperblockID{
+			core.SuperblockID((i + 1) % n),
+			core.SuperblockID((i + 1) % n), // duplicate declaration
+			core.SuperblockID(n + 3),       // out of the dense table
+			core.SuperblockID(i),           // self-link
+		}
+		if err := tr.Define(core.Superblock{ID: core.SuperblockID(i), Size: 48 + 16*(i%5), Links: links}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6000; i++ {
+		tr.Accesses = append(tr.Accesses, core.SuperblockID((i*7+i/13)%n))
+	}
+	return tr
+}
+
+// TestRunConfigsDirtyLinkRows: the kernel must match the per-config
+// engine on raw link rows that the frozen CSR cannot represent exactly.
+func TestRunConfigsDirtyLinkRows(t *testing.T) {
+	tr := dirtyLinkTrace(t)
+	var cfgs []SweepConfig
+	for _, pol := range core.GranularitySweep(4) {
+		for _, p := range []int{1, 3} {
+			cfgs = append(cfgs, SweepConfig{Policy: pol, Pressure: p})
+		}
+	}
+	multi, err := RunConfigs(tr, cfgs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		single, err := Run(tr, cfg.Policy, cfg.Pressure, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffResults(t, fmt.Sprintf("%s p%d", cfg.Policy, cfg.Pressure), multi[i], single)
+	}
+}
+
+// TestRunConfigsQueueGrowth forces the insertion queue past its presized
+// length: the constructor estimates the live set from the trace's mean
+// block size, so a trace whose accessed blocks are far smaller than its
+// mean (large never-accessed blocks drag the average up) overflows the
+// estimate and must grow the buffer mid-replay without corrupting state.
+func TestRunConfigsQueueGrowth(t *testing.T) {
+	tr := trace.New("queue-growth")
+	const small = 10000
+	for i := 0; i < small; i++ {
+		if err := tr.Define(core.Superblock{ID: core.SuperblockID(i), Size: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if err := tr.Define(core.Superblock{ID: core.SuperblockID(small + i), Size: 800}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < small; i++ {
+		tr.Accesses = append(tr.Accesses, core.SuperblockID(i))
+	}
+	cfg := SweepConfig{Policy: core.Policy{Kind: core.PolicyFine}, Pressure: 7}
+	multi, err := RunConfigs(tr, []SweepConfig{cfg}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := multi[0].Stats.InsertedBlocks; got != small {
+		t.Fatalf("InsertedBlocks = %d, want %d (every access a compulsory miss)", got, small)
+	}
+	single, err := Run(tr, cfg.Policy, cfg.Pressure, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffResults(t, "queue growth", multi[0], single)
+}
+
+// TestRunConfigsEmptyTrace: table building fails before any kernel is
+// constructed.
+func TestRunConfigsEmptyTrace(t *testing.T) {
+	cfgs := []SweepConfig{{Policy: core.Policy{Kind: core.PolicyFine}, Pressure: 2}}
+	if _, err := RunConfigs(trace.New("empty"), cfgs, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "empty") {
+		t.Errorf("empty trace = %v, want empty-trace error", err)
+	}
+}
+
+// TestRunConfigsStreamTooWide: a streamed trace cannot be re-read, so
+// ladders wider than one kernel pass must be rejected up front.
+func TestRunConfigsStreamTooWide(t *testing.T) {
+	tr := testTraces(t, 0.05, "gzip")[0]
+	var enc bytes.Buffer
+	if err := tr.Write(&enc); err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.NewStream(bytes.NewReader(enc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]SweepConfig, maxConfigsPerPass+1)
+	for i := range cfgs {
+		cfgs[i] = SweepConfig{Policy: core.Policy{Kind: core.PolicyFine}, Pressure: i + 1}
+	}
+	if _, err := RunConfigsStream(st, cfgs, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "cannot batch") {
+		t.Errorf("wide streamed ladder = %v, want batching error", err)
+	}
+}
+
+// TestRunConfigsInvalidLink: when freeze-time prevalidation fails (a
+// link target over the dense-ID limit), the kernel must re-validate per
+// insert and surface the same error shape as the engine.
+func TestRunConfigsInvalidLink(t *testing.T) {
+	tr := trace.New("bad-link")
+	if err := tr.Define(core.Superblock{ID: 0, Size: 64, Links: []core.SuperblockID{1 << 30}}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Accesses = []core.SuperblockID{0}
+	cfgs := []SweepConfig{{Policy: core.Policy{Kind: core.PolicyFine}, Pressure: 1}}
+	if _, err := RunConfigs(tr, cfgs, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "dense-ID limit") {
+		t.Errorf("invalid link target = %v, want dense-ID limit error", err)
+	}
+}

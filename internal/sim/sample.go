@@ -1,0 +1,553 @@
+// Representative interval sampling for the multi-configuration sweep
+// kernel (Bueno et al., PAPERS.md): instead of replaying a whole trace,
+// partition it into fixed-length intervals, cluster the intervals by
+// access-frequency signature, and replay one representative per cluster
+// (with warmup) — estimating each configuration's miss rate as an exact
+// compulsory term plus the cluster-weighted capacity-miss rate of the
+// representatives, with a measured cross-validation error bound.
+//
+// The estimator is reliable in the turnover regime — configurations whose
+// cache evicts at least a capacity's worth of bytes during warmup, so the
+// sampled state converges to the full replay's before measurement. Below
+// that (pressure near 1 on large traces) the eviction period exceeds any
+// affordable window; the estimator falls back to charging unseen blocks
+// at the capacity-ratio turnover probability and reports the charge's
+// uncertainty in the bound, which widens accordingly. DESIGN.md §14 has
+// the full error model.
+//
+// The detector is deterministic and total: any access stream and any
+// option values produce a well-defined phase partition, so it can be
+// fuzzed against adversarial streams (see FuzzPhaseDetector).
+//
+// Sampling is unsafe on regeneration-storm traces — streams whose miss
+// behavior is dominated by rare, abrupt working-set turnovers. A storm
+// confined to one unsampled interval of a cluster is invisible to the
+// representative, and the cross-validation bound only widens if the
+// farthest member happens to catch it. DESIGN.md §14 discusses the
+// failure mode; the error bound is an estimate, not a guarantee.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"dynocache/internal/core"
+	"dynocache/internal/trace"
+)
+
+// SampleOptions tunes the phase detector and the sampled replay.
+type SampleOptions struct {
+	// IntervalLen is the number of accesses per interval. Non-positive
+	// selects the default: len(accesses)/64, floored at 2048 — about 64
+	// intervals for typical traces.
+	IntervalLen int
+	// Warmup is the number of accesses replayed (unmeasured) before each
+	// sampled interval to reconstruct cache state. Non-positive selects
+	// twice the interval length.
+	Warmup int
+	// Threshold is the L1 signature distance below which an interval
+	// joins an existing cluster (signatures are probability vectors, so
+	// distances lie in [0, 2]). Non-positive selects 0.10.
+	Threshold float64
+}
+
+// sigDims is the signature width: access IDs hash into this many
+// frequency buckets.
+const sigDims = 64
+
+// Cross-validation bound shaping: the weighted representative-vs-farthest
+// disagreement is scaled by sampleSafety and floored at sampleBoundFloor,
+// absorbing the estimator's cold-start bias and cluster inhomogeneity.
+const (
+	sampleSafety     = 2.0
+	sampleBoundFloor = 0.015
+	// probeBlend weights the farthest-member probe into the cluster
+	// estimate: the medoid is mass-representative but the cluster mean
+	// sits part-way toward the edge the probe measures.
+	probeBlend = 0.25
+	// unitChurnSlack widens a unit-granularity config's bound when its
+	// arena never turned over during warmup: unit reclaim evicts live
+	// blocks on a cycle far longer than any sampled window, a residual
+	// the sample cannot observe.
+	unitChurnSlack = 0.10
+)
+
+// Interval is one fixed-length slice of the access stream.
+type Interval struct {
+	Start, End int // access index range [Start, End)
+	Cluster    int // index into PhaseSet.Clusters
+}
+
+// Cluster groups intervals with similar signatures. The representative is
+// the cluster's medoid — the member minimizing total signature distance
+// to the rest, so it is never an accidental outlier like the first
+// interval of the stream (compulsory-miss-dense) can be. Farthest is the
+// member whose signature lies farthest from the medoid's — the
+// cross-validation probe.
+type Cluster struct {
+	Rep      int   // interval index of the representative (medoid)
+	Members  []int // interval indices in stream order (includes Rep)
+	Farthest int   // member farthest from the medoid (== Rep when singleton)
+	Weight   float64
+}
+
+// PhaseSet is the detector's partition of a stream.
+type PhaseSet struct {
+	IntervalLen int
+	Intervals   []Interval
+	Clusters    []Cluster
+}
+
+// mix64 is the splitmix64 finalizer — a cheap, deterministic hash
+// spreading dense superblock IDs across signature buckets.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// sampleDefaults resolves non-positive options against the stream length.
+func sampleDefaults(n int, opts SampleOptions) SampleOptions {
+	if opts.IntervalLen <= 0 {
+		opts.IntervalLen = n / 64
+		if opts.IntervalLen < 2048 {
+			opts.IntervalLen = 2048
+		}
+	}
+	if opts.Warmup <= 0 {
+		opts.Warmup = 2 * opts.IntervalLen
+	}
+	if opts.Threshold <= 0 {
+		opts.Threshold = 0.10
+	}
+	return opts
+}
+
+// DetectPhases partitions the access stream into fixed-length intervals
+// and clusters them by L1 distance between hashed access-frequency
+// signatures (leader clustering: an interval joins the nearest leader
+// within Threshold, else starts a new cluster). The result is
+// deterministic in (accesses, opts). An empty stream yields an empty
+// partition.
+func DetectPhases(accesses []core.SuperblockID, opts SampleOptions) *PhaseSet {
+	n := len(accesses)
+	opts = sampleDefaults(n, opts)
+	ps := &PhaseSet{IntervalLen: opts.IntervalLen}
+	if n == 0 {
+		return ps
+	}
+	nInt := (n + opts.IntervalLen - 1) / opts.IntervalLen
+	sigs := make([][sigDims]float64, nInt)
+	for i := 0; i < nInt; i++ {
+		start := i * opts.IntervalLen
+		end := start + opts.IntervalLen
+		if end > n {
+			end = n
+		}
+		for _, id := range accesses[start:end] {
+			sigs[i][mix64(uint64(id))%sigDims]++
+		}
+		inv := 1 / float64(end-start)
+		for d := range sigs[i] {
+			sigs[i][d] *= inv
+		}
+		ps.Intervals = append(ps.Intervals, Interval{Start: start, End: end})
+	}
+	// Leader clustering against frozen leader signatures: an interval
+	// joins the nearest leader within Threshold, else becomes a new
+	// leader. Leaders only assign membership; the representative is
+	// re-picked below.
+	leaders := []int{}
+	for i := range ps.Intervals {
+		bestC, bestD := -1, math.Inf(1)
+		for c, ld := range leaders {
+			if d := l1(&sigs[ld], &sigs[i]); d < bestD {
+				bestC, bestD = c, d
+			}
+		}
+		if bestC < 0 || bestD > opts.Threshold {
+			ps.Clusters = append(ps.Clusters, Cluster{Members: []int{i}})
+			leaders = append(leaders, i)
+			ps.Intervals[i].Cluster = len(ps.Clusters) - 1
+			continue
+		}
+		ps.Clusters[bestC].Members = append(ps.Clusters[bestC].Members, i)
+		ps.Intervals[i].Cluster = bestC
+	}
+	// Representative = medoid (min total distance to members, lowest index
+	// on ties), Farthest = max distance from the medoid (again lowest
+	// index on ties) — both deterministic. Intervals starting inside the
+	// stream's first Warmup accesses cannot be fully warmed (and sit in
+	// the compulsory-dense cold-fill region), so they are skipped as
+	// representatives whenever the cluster has any warmable member.
+	for c := range ps.Clusters {
+		cl := &ps.Clusters[c]
+		var acc int
+		warmable := false
+		for _, m := range cl.Members {
+			acc += ps.Intervals[m].End - ps.Intervals[m].Start
+			if ps.Intervals[m].Start >= opts.Warmup {
+				warmable = true
+			}
+		}
+		cl.Weight = float64(acc) / float64(n)
+		best := math.Inf(1)
+		for _, m := range cl.Members {
+			if warmable && ps.Intervals[m].Start < opts.Warmup {
+				continue
+			}
+			var tot float64
+			for _, o := range cl.Members {
+				tot += l1(&sigs[m], &sigs[o])
+			}
+			if tot < best {
+				best, cl.Rep = tot, m
+			}
+		}
+		far := -1.0
+		for _, m := range cl.Members {
+			if warmable && ps.Intervals[m].Start < opts.Warmup {
+				continue
+			}
+			if d := l1(&sigs[cl.Rep], &sigs[m]); d > far {
+				far, cl.Farthest = d, m
+			}
+		}
+	}
+	return ps
+}
+
+func l1(a, b *[sigDims]float64) float64 {
+	var d float64
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}
+
+// SampledResult is one configuration's estimate from a sampled replay.
+type SampledResult struct {
+	Config SweepConfig
+	// MissRate is the exact compulsory rate plus the cluster-weighted
+	// capacity-miss rate measured over representative intervals (medoid
+	// blended with the farthest-member probe).
+	MissRate float64
+	// ErrorBound is the measured error estimate: the weighted
+	// representative-vs-farthest cross-validation disagreement scaled by
+	// sampleSafety (for singleton clusters, the representative window's
+	// half-vs-half disagreement stands in — there is no distinct probe,
+	// but within-window temporal variance still signals boundary
+	// misalignment, e.g. unit-rotation phase), plus the turnover-charge
+	// uncertainty for configs whose cache never turned over during
+	// warmup, plus sampleBoundFloor. An estimate of the absolute
+	// miss-rate error vs full replay, not a guarantee.
+	ErrorBound float64
+}
+
+// SampledSweep is the outcome of a sampled multi-configuration replay.
+type SampledSweep struct {
+	Intervals int
+	Clusters  int
+	// SampledAccesses counts the accesses actually replayed (warmup and
+	// measured, representatives and cross-validation probes), per kernel
+	// pass over the configuration list.
+	SampledAccesses int
+	// Coverage is the fraction of the stream inside measured intervals.
+	Coverage float64
+	Results  []SampledResult
+}
+
+// RunConfigsSampled estimates every configuration's miss rate from
+// representative intervals instead of a full replay: DetectPhases picks
+// the intervals, each cluster's representative is replayed through the
+// multi-configuration kernel after a warmup replay, and each cluster with
+// more than one member is cross-validated by also replaying its farthest
+// member. Census, occupancy, and verification options are not supported —
+// sampling estimates miss rates, nothing else.
+//
+// Cold-start decomposition: a full replay's misses split into compulsory
+// (each distinct block's first trace access — always a miss in every
+// FIFO-family configuration, so exactly countable from the stream alone)
+// and capacity misses (re-insertions after eviction). Sampling only needs
+// to estimate the capacity component:
+//
+//	missRate ≈ distinctBlocks/n  +  Σ_cluster weight × capRate(rep)
+//
+// Within a sampled window, each measured-window miss is classified
+// against the trace's global first-touch table: a compulsory miss
+// (excluded — the exact term covers it), an "unknown" (first window
+// touch of a block with pre-window history the cold cache cannot see),
+// or a re-touch miss (the block was inserted earlier in the window and
+// evicted — genuine capacity behavior). Unknowns are charged as capacity
+// misses at the config's steady-state turnover probability
+// 1 - capacity/totalBytes: under the FIFO family a long-untouched
+// block's residency depends only on whether its last insertion still
+// fits the arena, which that ratio approximates. The charge's
+// uncertainty, min(p, 1-p) × unknownRate, is added to the error bound —
+// so low-pressure configs whose eviction period exceeds the window
+// report honestly wide bounds instead of confident noise.
+func RunConfigsSampled(tr *trace.Trace, cfgs []SweepConfig, sopts SampleOptions, opts Options) (*SampledSweep, error) {
+	if opts.CensusEvery > 0 || opts.OccupancyEvery > 0 {
+		return nil, fmt.Errorf("sim: sampled replay of %q estimates miss rates only (no census/occupancy sampling)", tr.Name)
+	}
+	if len(tr.Accesses) == 0 {
+		return nil, fmt.Errorf("sim: trace %q has no accesses to sample", tr.Name)
+	}
+	tabs, err := buildTraceTables(tr)
+	if err != nil {
+		return nil, err
+	}
+	sopts = sampleDefaults(len(tr.Accesses), sopts)
+	ps := DetectPhases(tr.Accesses, sopts)
+	ss := &SampledSweep{
+		Intervals: len(ps.Intervals),
+		Clusters:  len(ps.Clusters),
+		Results:   make([]SampledResult, len(cfgs)),
+	}
+	base := 0.0 // exact compulsory term
+	st := newSampleState(tr, tabs, cfgs, opts, sopts.Warmup)
+	base = float64(st.distinct) / float64(len(tr.Accesses))
+	for i := range ss.Results {
+		ss.Results[i].Config = cfgs[i]
+		ss.Results[i].MissRate = base
+	}
+	measured := 0
+	for _, cl := range ps.Clusters {
+		rep, err := st.measure(ps.Intervals[cl.Rep])
+		if err != nil {
+			return nil, err
+		}
+		measured += ps.Intervals[cl.Rep].End - ps.Intervals[cl.Rep].Start
+		var probe *intervalMeasure
+		if cl.Farthest != cl.Rep {
+			probe, err = st.measure(ps.Intervals[cl.Farthest])
+			if err != nil {
+				return nil, err
+			}
+			measured += ps.Intervals[cl.Farthest].End - ps.Intervals[cl.Farthest].Start
+		}
+		for i := range cfgs {
+			est := rep.capRate[i]
+			if probe != nil {
+				// The medoid sits at the cluster's center and the probe at
+				// its edge; the cluster's true mean lies between, closer
+				// to the medoid — blend accordingly, and keep the spread
+				// as the cross-validation term.
+				est = (1-probeBlend)*rep.capRate[i] + probeBlend*probe.capRate[i]
+				ss.Results[i].ErrorBound += sampleSafety * cl.Weight * math.Abs(probe.capRate[i]-rep.capRate[i])
+			} else {
+				// Singleton cluster: no distinct probe exists, so the
+				// cross-validation term would vanish and the bound collapse
+				// to the floor even when the window's measurement is
+				// boundary-biased (unit-granularity policies' reclaim
+				// cadence is longer than a window, so where the boundary
+				// lands matters). The representative's half-vs-half miss
+				// rate disagreement is the same signal measured within the
+				// window; its mean is the estimate, so half the spread is
+				// the disagreement scale.
+				ss.Results[i].ErrorBound += sampleSafety * cl.Weight * rep.halfSpread[i] / 2
+			}
+			ss.Results[i].MissRate += cl.Weight * est
+			ss.Results[i].ErrorBound += cl.Weight * rep.uncertainty[i]
+		}
+	}
+	ss.SampledAccesses = st.replayed
+	for i := range ss.Results {
+		ss.Results[i].ErrorBound += sampleBoundFloor
+		if ss.Results[i].MissRate > 1 {
+			ss.Results[i].MissRate = 1
+		}
+	}
+	ss.Coverage = float64(measured) / float64(len(tr.Accesses))
+	return ss, nil
+}
+
+// sampleState carries the per-trace machinery shared by every interval
+// measurement: the prebuilt tables, the global first-touch table, and a
+// seen-epoch scratch for classifying first-in-window touches.
+type sampleState struct {
+	tr     *trace.Trace
+	tabs   *traceTables
+	cfgs   []SweepConfig
+	opts   Options
+	warmup int
+
+	firstTouch []int32 // id -> access index of its first trace occurrence
+	distinct   int     // distinct blocks accessed = exact compulsory misses
+	seen       []uint32
+	epoch      uint32
+
+	// kernels holds one reusable multi-config kernel per batch of
+	// maxConfigsPerPass configs, reset between windows.
+	kernels []*multiReplay
+
+	replayed int // accesses replayed per kernel pass, warmup included
+}
+
+// intervalMeasure is one sampled window's per-config capacity-miss rate,
+// the uncertainty of its unknown-touch charge, and the raw miss-rate
+// disagreement between the window's two halves (the singleton-cluster
+// cross-validation signal).
+type intervalMeasure struct {
+	capRate     []float64
+	uncertainty []float64
+	halfSpread  []float64
+}
+
+func newSampleState(tr *trace.Trace, tabs *traceTables, cfgs []SweepConfig, opts Options, warmup int) *sampleState {
+	span := len(tabs.tables.sizes)
+	st := &sampleState{
+		tr: tr, tabs: tabs, cfgs: cfgs, opts: opts, warmup: warmup,
+		firstTouch: make([]int32, span),
+		seen:       make([]uint32, span),
+	}
+	for i := range st.firstTouch {
+		st.firstTouch[i] = -1
+	}
+	for i, id := range tr.Accesses {
+		if int(id) < span && st.firstTouch[id] < 0 {
+			st.firstTouch[id] = int32(i)
+			st.distinct++
+		}
+	}
+	return st
+}
+
+// measure replays [iv.Start-warmup, iv.End) from a cold cache and returns
+// each configuration's capacity-miss rate over [iv.Start, iv.End), with
+// compulsory misses excluded and unknown touches charged at the config's
+// turnover probability (see RunConfigsSampled).
+func (st *sampleState) measure(iv Interval) (*intervalMeasure, error) {
+	ws := iv.Start - st.warmup
+	if ws < 0 {
+		ws = 0
+	}
+	accesses := st.tr.Accesses
+	// Classify the measured window's first-in-window touches: compulsory
+	// (exact, excluded) vs unknown (pre-window history invisible to the
+	// sample).
+	// Out-of-span IDs are skipped here: the kernel replay below reports
+	// them as undefined-block errors with the access index.
+	st.epoch++
+	for _, id := range accesses[ws:iv.Start] {
+		if int(id) < len(st.seen) {
+			st.seen[id] = st.epoch
+		}
+	}
+	var compulsory, unknown int
+	for j := iv.Start; j < iv.End; j++ {
+		id := accesses[j]
+		if int(id) >= len(st.seen) || st.seen[id] == st.epoch {
+			continue
+		}
+		st.seen[id] = st.epoch
+		if st.firstTouch[id] == int32(j) {
+			compulsory++
+		} else {
+			unknown++
+		}
+	}
+	span := float64(iv.End - iv.Start)
+	mid := iv.Start + (iv.End-iv.Start)/2
+	m := &intervalMeasure{
+		capRate:     make([]float64, 0, len(st.cfgs)),
+		uncertainty: make([]float64, 0, len(st.cfgs)),
+		halfSpread:  make([]float64, 0, len(st.cfgs)),
+	}
+	for start, ki := 0, 0; start < len(st.cfgs); start, ki = start+maxConfigsPerPass, ki+1 {
+		end := min(start+maxConfigsPerPass, len(st.cfgs))
+		batch := st.cfgs[start:end]
+		var mr *multiReplay
+		if ki < len(st.kernels) {
+			mr = st.kernels[ki]
+			mr.reset()
+		} else {
+			var err error
+			mr, err = newMultiReplay(st.tr.Name, st.tabs, iv.End-ws, batch, st.opts)
+			if err != nil {
+				return nil, err
+			}
+			st.kernels = append(st.kernels, mr)
+		}
+		if err := mr.replayChunk(accesses[ws:iv.Start]); err != nil {
+			return nil, err
+		}
+		warm := make([]uint64, len(batch))
+		warmEv := make([]uint64, len(batch))
+		for c := range batch {
+			warm[c] = mr.stats[c].InsertedBlocks
+			warmEv[c] = mr.stats[c].BytesEvicted
+		}
+		// Replay the measured window in two halves with a snapshot between:
+		// the halves' raw miss-rate disagreement is the singleton-cluster
+		// cross-validation signal.
+		if err := mr.replayChunk(accesses[iv.Start:mid]); err != nil {
+			return nil, err
+		}
+		half := make([]uint64, len(batch))
+		for c := range batch {
+			half[c] = mr.stats[c].InsertedBlocks
+		}
+		if err := mr.replayChunk(accesses[mid:iv.End]); err != nil {
+			return nil, err
+		}
+		for c := range batch {
+			if h1, h2 := float64(mid-iv.Start), float64(iv.End-mid); h1 > 0 && h2 > 0 {
+				r1 := float64(half[c]-warm[c]) / h1
+				r2 := float64(mr.stats[c].InsertedBlocks-half[c]) / h2
+				m.halfSpread = append(m.halfSpread, math.Abs(r1-r2))
+			} else {
+				m.halfSpread = append(m.halfSpread, 0)
+			}
+		}
+		for c := range batch {
+			misses := float64(mr.stats[c].InsertedBlocks-warm[c]) - float64(compulsory)
+			if warmEv[c] >= uint64(mr.arenaCap[c]) {
+				// The warmup turned the cache over at least once: every
+				// cold-start artifact has been evicted and the sampled
+				// state approximates the full replay's, so measured
+				// misses are trusted as-is (compulsory excluded — the
+				// exact term covers those).
+				if misses < 0 {
+					misses = 0
+				}
+				m.capRate = append(m.capRate, misses/span)
+				m.uncertainty = append(m.uncertainty, 0)
+				continue
+			}
+			// Cache never turned over during warmup: first-in-window
+			// misses on blocks with pre-window history ("unknown") are
+			// cold-start artifacts. Keep only re-touch misses and charge
+			// unknowns at the config's turnover probability, reporting
+			// the charge's uncertainty.
+			reTouch := misses - float64(unknown)
+			if reTouch < 0 {
+				reTouch = 0
+			}
+			missP := 1 - float64(mr.arenaCap[c])/float64(st.tabs.totalBytes)
+			if missP < 0 {
+				missP = 0
+			}
+			m.capRate = append(m.capRate, (reTouch+missP*float64(unknown))/span)
+			u := missP
+			if 1-missP < u {
+				u = 1 - missP
+			}
+			uncert := u * float64(unknown) / span
+			if mr.mode[c] == mcUnit {
+				// Unit-granularity reclaim churns slowly even when the
+				// arena fits the whole working set (evicting a unit frees
+				// live blocks that later re-miss) — a cycle far longer
+				// than any sampled window, affecting every resident block
+				// rather than just first-in-window touches. Widen the
+				// bound by an absolute slack proportional to the unit's
+				// share of the trace.
+				uncert += unitChurnSlack * float64(mr.unitSize[c]) / float64(st.tabs.totalBytes)
+			}
+			m.uncertainty = append(m.uncertainty, uncert)
+		}
+	}
+	st.replayed += iv.End - ws
+	return m, nil
+}

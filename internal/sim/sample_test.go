@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dynocache/internal/core"
+)
+
+// TestDetectPhasesPartition pins the detector's structural contract on
+// real traces: intervals tile the stream exactly, every interval belongs
+// to exactly one cluster, representatives and probes are members, and
+// cluster weights sum to 1.
+func TestDetectPhasesPartition(t *testing.T) {
+	for _, tr := range testTraces(t, 0.1, "word", "vortex", "gzip") {
+		ps := DetectPhases(tr.Accesses, SampleOptions{})
+		checkPhaseSet(t, ps, len(tr.Accesses))
+	}
+}
+
+// checkPhaseSet asserts every structural invariant of a phase partition.
+func checkPhaseSet(t *testing.T, ps *PhaseSet, n int) {
+	t.Helper()
+	if n == 0 {
+		if len(ps.Intervals) != 0 || len(ps.Clusters) != 0 {
+			t.Fatalf("empty stream produced %d intervals, %d clusters", len(ps.Intervals), len(ps.Clusters))
+		}
+		return
+	}
+	next := 0
+	for i, iv := range ps.Intervals {
+		if iv.Start != next || iv.End <= iv.Start {
+			t.Fatalf("interval %d = [%d, %d), want start %d and positive length", i, iv.Start, iv.End, next)
+		}
+		next = iv.End
+		if iv.Cluster < 0 || iv.Cluster >= len(ps.Clusters) {
+			t.Fatalf("interval %d names cluster %d of %d", i, iv.Cluster, len(ps.Clusters))
+		}
+	}
+	if next != n {
+		t.Fatalf("intervals cover [0, %d), want [0, %d)", next, n)
+	}
+	seen := make(map[int]bool)
+	var weight float64
+	for c, cl := range ps.Clusters {
+		if len(cl.Members) == 0 {
+			t.Fatalf("cluster %d has no members", c)
+		}
+		repOK, farOK := false, false
+		for _, m := range cl.Members {
+			if seen[m] {
+				t.Fatalf("interval %d appears in more than one cluster", m)
+			}
+			seen[m] = true
+			if ps.Intervals[m].Cluster != c {
+				t.Fatalf("interval %d is a member of cluster %d but names %d", m, c, ps.Intervals[m].Cluster)
+			}
+			repOK = repOK || m == cl.Rep
+			farOK = farOK || m == cl.Farthest
+		}
+		if !repOK || !farOK {
+			t.Fatalf("cluster %d: Rep %d (member: %v) / Farthest %d (member: %v)", c, cl.Rep, repOK, cl.Farthest, farOK)
+		}
+		weight += cl.Weight
+	}
+	if len(seen) != len(ps.Intervals) {
+		t.Fatalf("%d intervals clustered, want %d", len(seen), len(ps.Intervals))
+	}
+	if math.Abs(weight-1) > 1e-9 {
+		t.Fatalf("cluster weights sum to %g, want 1", weight)
+	}
+}
+
+// TestDetectPhasesDeterministic: identical input must produce the
+// identical partition.
+func TestDetectPhasesDeterministic(t *testing.T) {
+	tr := testTraces(t, 0.1, "vortex")[0]
+	a := DetectPhases(tr.Accesses, SampleOptions{})
+	b := DetectPhases(tr.Accesses, SampleOptions{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("DetectPhases is not deterministic on identical input")
+	}
+}
+
+// TestDetectPhasesWarmableRep: a cluster with members past the warmup
+// prefix must not pick an unwarmable representative or probe — the
+// stream's cold-fill region is compulsory-miss-dense and cannot be
+// warmed, so measuring it would bias the whole cluster's estimate.
+func TestDetectPhasesWarmableRep(t *testing.T) {
+	tr := testTraces(t, 1.0, "gzip")[0]
+	opts := sampleDefaults(len(tr.Accesses), SampleOptions{})
+	ps := DetectPhases(tr.Accesses, opts)
+	for c, cl := range ps.Clusters {
+		warmable := false
+		for _, m := range cl.Members {
+			if ps.Intervals[m].Start >= opts.Warmup {
+				warmable = true
+			}
+		}
+		if !warmable {
+			continue
+		}
+		if ps.Intervals[cl.Rep].Start < opts.Warmup {
+			t.Errorf("cluster %d picked unwarmable representative %d (start %d < warmup %d)",
+				c, cl.Rep, ps.Intervals[cl.Rep].Start, opts.Warmup)
+		}
+		if ps.Intervals[cl.Farthest].Start < opts.Warmup {
+			t.Errorf("cluster %d picked unwarmable probe %d", c, cl.Farthest)
+		}
+	}
+}
+
+// TestDetectPhasesEmpty: the detector is total — an empty stream yields
+// an empty partition, not a panic.
+func TestDetectPhasesEmpty(t *testing.T) {
+	ps := DetectPhases(nil, SampleOptions{})
+	checkPhaseSet(t, ps, 0)
+}
+
+// TestRunConfigsSampledAgainstFull is the estimator's honesty contract
+// on a real trace: every configuration's sampled miss rate must lie
+// within its own reported error bound of the full replay's, and the
+// estimate must be a valid rate.
+func TestRunConfigsSampledAgainstFull(t *testing.T) {
+	tr := testTraces(t, 1.0, "gzip")[0]
+	var cfgs []SweepConfig
+	for _, pol := range core.GranularitySweep(8) {
+		for _, pressure := range []int{1, 2, 4, 8} {
+			cfgs = append(cfgs, SweepConfig{Policy: pol, Pressure: pressure})
+		}
+	}
+	full, err := RunConfigs(tr, cfgs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := RunConfigsSampled(tr, cfgs, SampleOptions{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Results) != len(cfgs) {
+		t.Fatalf("sampled %d results for %d configs", len(ss.Results), len(cfgs))
+	}
+	if ss.Coverage <= 0 || ss.Coverage > 1 || ss.SampledAccesses <= 0 {
+		t.Fatalf("coverage %g, sampled accesses %d", ss.Coverage, ss.SampledAccesses)
+	}
+	for i, r := range ss.Results {
+		if r.Config != cfgs[i] {
+			t.Fatalf("result %d carries config %+v, want %+v", i, r.Config, cfgs[i])
+		}
+		if r.MissRate < 0 || r.MissRate > 1 || r.ErrorBound <= 0 {
+			t.Errorf("%s/p%d: miss rate %g, bound %g", r.Config.Policy, r.Config.Pressure, r.MissRate, r.ErrorBound)
+		}
+		if e := math.Abs(r.MissRate - full[i].Stats.MissRate()); e > r.ErrorBound {
+			t.Errorf("%s/p%d: sampled %.4f vs full %.4f — error %.4f above reported bound %.4f",
+				r.Config.Policy, r.Config.Pressure, r.MissRate, full[i].Stats.MissRate(), e, r.ErrorBound)
+		}
+	}
+}
+
+// TestRunConfigsSampledSingletonClusters pins the short-trace regime
+// where every cluster is a singleton: the farthest-member probe equals
+// the representative, so the bound's cross-validation term must come
+// from the window's half-vs-half disagreement instead of collapsing to
+// the floor. Unit-granularity policies at moderate pressure are the
+// sharp case — their reclaim cadence is longer than a window, and the
+// measured error exceeds the floor without the half-spread term.
+func TestRunConfigsSampledSingletonClusters(t *testing.T) {
+	tr := testTraces(t, 0.5, "gzip")[0]
+	var cfgs []SweepConfig
+	for _, pol := range core.GranularitySweep(8) {
+		for _, pressure := range []int{2, 4, 8} {
+			cfgs = append(cfgs, SweepConfig{Policy: pol, Pressure: pressure})
+		}
+	}
+	full, err := RunConfigs(tr, cfgs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := RunConfigsSampled(tr, cfgs, SampleOptions{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Clusters != ss.Intervals {
+		t.Skipf("trace no longer clusters into singletons (%d clusters over %d intervals)", ss.Clusters, ss.Intervals)
+	}
+	for i, r := range ss.Results {
+		if e := math.Abs(r.MissRate - full[i].Stats.MissRate()); e > r.ErrorBound {
+			t.Errorf("%s/p%d: sampled %.4f vs full %.4f — error %.4f above reported bound %.4f",
+				r.Config.Policy, r.Config.Pressure, r.MissRate, full[i].Stats.MissRate(), e, r.ErrorBound)
+		}
+	}
+}
+
+// TestRunConfigsSampledDeterministic: two sampled runs over the same
+// trace and options must agree exactly.
+func TestRunConfigsSampledDeterministic(t *testing.T) {
+	tr := testTraces(t, 0.2, "vortex")[0]
+	cfgs := []SweepConfig{
+		{Policy: core.Policy{Kind: core.PolicyFine}, Pressure: 4},
+		{Policy: core.Policy{Kind: core.PolicyFlush}, Pressure: 2},
+	}
+	a, err := RunConfigsSampled(tr, cfgs, SampleOptions{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunConfigsSampled(tr, cfgs, SampleOptions{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sampled replay is not deterministic")
+	}
+}
+
+// TestRunConfigsSampledErrors covers the rejection paths: census and
+// occupancy sampling are incompatible with interval sampling, and an
+// access-free trace has nothing to sample.
+func TestRunConfigsSampledErrors(t *testing.T) {
+	tr := testTraces(t, 0.05, "gzip")[0]
+	cfgs := []SweepConfig{{Policy: core.Policy{Kind: core.PolicyFine}, Pressure: 2}}
+	if _, err := RunConfigsSampled(tr, cfgs, SampleOptions{}, Options{CensusEvery: 100}); err == nil {
+		t.Error("census sampling should be rejected")
+	}
+	if _, err := RunConfigsSampled(tr, cfgs, SampleOptions{}, Options{OccupancyEvery: 100}); err == nil {
+		t.Error("occupancy sampling should be rejected")
+	}
+	empty := testTraces(t, 0.05, "gzip")[0]
+	empty.Accesses = nil
+	if _, err := RunConfigsSampled(empty, cfgs, SampleOptions{}, Options{}); err == nil {
+		t.Error("empty access stream should be rejected")
+	}
+}
+
+// FuzzPhaseDetector drives the detector with adversarial streams and
+// asserts the partition invariants plus determinism hold for any input.
+func FuzzPhaseDetector(f *testing.F) {
+	f.Add([]byte{}, 16, 8, float64(0.1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, 4, 2, float64(0.5))
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 255}, 2, 0, float64(0))
+	f.Add([]byte{7}, 0, -3, float64(-1))
+	f.Fuzz(func(t *testing.T, raw []byte, intervalLen, warmup int, threshold float64) {
+		accesses := make([]core.SuperblockID, len(raw))
+		for i, b := range raw {
+			accesses[i] = core.SuperblockID(b)
+		}
+		// Tiny explicit interval lengths on long streams make leader
+		// clustering quadratic in the interval count; cap the count so the
+		// fuzzer probes adversarial *streams*, not pathological runtimes.
+		if intervalLen > 0 && intervalLen < len(raw)/256 {
+			intervalLen = len(raw) / 256
+		}
+		opts := SampleOptions{IntervalLen: intervalLen, Warmup: warmup, Threshold: threshold}
+		ps := DetectPhases(accesses, opts)
+		checkPhaseSet(t, ps, len(accesses))
+		if again := DetectPhases(accesses, opts); !reflect.DeepEqual(ps, again) {
+			t.Fatal("detector not deterministic")
+		}
+	})
+}
+
+// TestRunConfigsSampledUndefinedAccess: a replay error inside a sampled
+// window (an access naming an undefined block) must propagate out.
+func TestRunConfigsSampledUndefinedAccess(t *testing.T) {
+	tr := testTraces(t, 0.05, "gzip")[0]
+	tr.Accesses = append([]core.SuperblockID{}, tr.Accesses...)
+	tr.Accesses[len(tr.Accesses)/2] = 1 << 25 // defined nowhere
+	cfgs := []SweepConfig{{Policy: core.Policy{Kind: core.PolicyFine}, Pressure: 2}}
+	if _, err := RunConfigsSampled(tr, cfgs, SampleOptions{}, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "undefined block") {
+		t.Errorf("undefined access = %v, want undefined-block error", err)
+	}
+}

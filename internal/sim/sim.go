@@ -9,7 +9,10 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -50,6 +53,13 @@ type Options struct {
 	// loop. Results are identical either way; benchmarks and the kernel
 	// differential tests use this to compare the two paths.
 	ForceGeneric bool
+	// SinglePass routes Sweep's FIFO-family policies through the
+	// multi-configuration kernel: one pass over each trace drives every
+	// granularity's cache state simultaneously (see multisweep.go),
+	// producing Stats identical to the per-config jobs. Policies outside
+	// the FIFO family, and sweeps needing Verify, RecordSamples, or
+	// ForceGeneric, fall back to per-config jobs automatically.
+	SinglePass bool
 }
 
 // OccupancySample is one point of the occupancy timeline.
@@ -166,29 +176,141 @@ type SweepResult struct {
 	Results [][]*Result
 }
 
-// runJob is the per-job replay Sweep dispatches to; tests of the sweep's
-// failure handling swap it for an instrumented stand-in.
-var runJob = Run
+// traceTables bundles one trace's prebuilt dense replay tables (and its
+// frozen link adjacency) with the sizing facts capacity derivation
+// needs. Sweeps build one per trace and share it across every job
+// replaying that trace.
+type traceTables struct {
+	tables     replayTables
+	maxBlock   int
+	totalBytes int
+}
 
-// sweepWorkers caps the worker pool at the job count: a sweep of three
-// (policy, trace) pairs on a 64-core machine spawns three goroutines,
-// not 64 idle ones.
-func sweepWorkers(jobs int) int {
+func buildTraceTables(tr *trace.Trace) (*traceTables, error) {
+	tables, maxBlock, totalBytes, err := buildTables(tr.Name, tr.Blocks)
+	if err != nil {
+		return nil, err
+	}
+	return &traceTables{tables: tables, maxBlock: maxBlock, totalBytes: totalBytes}, nil
+}
+
+// runJob is the per-(policy, trace) replay Sweep dispatches to; tests of
+// the sweep's failure handling swap it for an instrumented stand-in.
+var runJob = runTraceJob
+
+func runTraceJob(tr *trace.Trace, tabs *traceTables, policy core.Policy, pressure int, opts Options) (*Result, error) {
+	rp, err := newReplayFromTables(tr.Name, tabs.tables, tabs.maxBlock, tabs.totalBytes,
+		len(tr.Accesses), policy, pressure, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := rp.replayChunk(tr.Accesses); err != nil {
+		return nil, err
+	}
+	return rp.finish(), nil
+}
+
+// sweepMemoryBudget bounds the simulation state the sweep worker pool
+// may hold live at once; workers are capped so that workers*perJobBytes
+// stays under it (a capacity ladder multiplies per-job footprint).
+// Detected from the machine's available memory; tests override it.
+var sweepMemoryBudget = detectMemoryBudget()
+
+// detectMemoryBudget reads MemAvailable from /proc/meminfo and budgets
+// half of it, falling back to 4 GiB where the file is absent.
+func detectMemoryBudget() int64 {
+	const fallback = 4 << 30
+	data, err := os.ReadFile("/proc/meminfo")
+	if err != nil {
+		return fallback
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "MemAvailable:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			break
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || kb <= 0 {
+			break
+		}
+		return kb * 1024 / 2
+	}
+	return fallback
+}
+
+// sweepWorkers caps the worker pool at the job count (a sweep of three
+// jobs on a 64-core machine spawns three goroutines, not 64 idle ones)
+// and at the memory budget: perJobBytes is the peak per-job simulation
+// footprint, 0 when unknown.
+func sweepWorkers(jobs int, perJobBytes int64) int {
 	w := runtime.GOMAXPROCS(0)
 	if jobs < w {
 		w = jobs
 	}
+	if perJobBytes > 0 {
+		if byMem := sweepMemoryBudget / perJobBytes; int64(w) > byMem {
+			w = int(byMem)
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
 	return w
+}
+
+// sweepJobFootprint estimates the worst-case per-job simulation state in
+// bytes across the sweep's traces: the dense per-ID tables every replay
+// keeps (offsets, sizes, residency, queue entries), multiplied by the
+// config count for multi-configuration jobs (each config holds its own
+// offset column and queue).
+func sweepJobFootprint(tabs []*traceTables, nMulti int) int64 {
+	var worst int64
+	for _, tt := range tabs {
+		span := int64(len(tt.tables.sizes))
+		per := span * 48
+		if nMulti > 0 {
+			if m := span * int64(24*nMulti+16); m > per {
+				per = m
+			}
+		}
+		if per > worst {
+			worst = per
+		}
+	}
+	return worst
+}
+
+// singlePassPolicy reports whether the multi-configuration kernel can
+// simulate the policy (the FIFO family: one shared arena model, modes
+// differing only in frontier advance).
+func singlePassPolicy(p core.Policy) bool {
+	switch p.Kind {
+	case core.PolicyFlush, core.PolicyUnits, core.PolicyFine:
+		return true
+	}
+	return false
+}
+
+// singlePassEligible reports whether the sweep as a whole may route
+// FIFO-family policies through the multi-configuration kernel.
+func singlePassEligible(opts Options) bool {
+	return opts.SinglePass && !opts.Verify && !opts.RecordSamples && !opts.ForceGeneric
 }
 
 // Sweep replays every trace against every policy at one pressure factor,
 // in parallel across available CPUs. Results are deterministic: each
-// (policy, trace) simulation is independent and stored by index.
+// simulation is independent and stored by index. With Options.SinglePass
+// the FIFO-family policies are simulated together, one multi-config job
+// per trace, with identical results.
 func Sweep(traces []*trace.Trace, policies []core.Policy, pressure int, opts Options) (*SweepResult, error) {
-	return sweep(traces, policies, pressure, opts, sweepWorkers(len(policies)*len(traces)))
+	return sweep(traces, policies, pressure, opts, 0)
 }
 
-// sweep runs the job pool with an explicit worker count.
+// sweep runs the job pool; workers <= 0 sizes the pool from the job
+// count and the memory budget.
 func sweep(traces []*trace.Trace, policies []core.Policy, pressure int, opts Options, workers int) (*SweepResult, error) {
 	sw := &SweepResult{
 		Policies: policies,
@@ -197,15 +319,48 @@ func sweep(traces []*trace.Trace, policies []core.Policy, pressure int, opts Opt
 	for _, tr := range traces {
 		sw.Benchmarks = append(sw.Benchmarks, tr.Name)
 	}
-	type job struct{ p, b int }
-	jobs := make(chan job, len(policies)*len(traces))
 	for p := range policies {
 		sw.Results[p] = make([]*Result, len(traces))
+	}
+	// One table build per trace, shared by every job replaying it.
+	tabs := make([]*traceTables, len(traces))
+	for b, tr := range traces {
+		tt, err := buildTraceTables(tr)
+		if err != nil {
+			return nil, fmt.Errorf("sim: sweep (benchmark %q): %w", tr.Name, err)
+		}
+		tabs[b] = tt
+	}
+	// Partition policies: multiIdx are covered by one single-pass job per
+	// trace, perConfig run as individual (policy, trace) jobs.
+	var multiIdx, perConfig []int
+	for p, pol := range policies {
+		if singlePassEligible(opts) && singlePassPolicy(pol) {
+			multiIdx = append(multiIdx, p)
+		} else {
+			perConfig = append(perConfig, p)
+		}
+	}
+	type job struct{ p, b int } // p == -1: multi-config job covering multiIdx
+	njobs := len(perConfig) * len(traces)
+	if len(multiIdx) > 0 {
+		njobs += len(traces)
+	}
+	jobs := make(chan job, njobs)
+	for b := range traces {
+		if len(multiIdx) > 0 {
+			jobs <- job{-1, b}
+		}
+	}
+	for _, p := range perConfig {
 		for b := range traces {
 			jobs <- job{p, b}
 		}
 	}
 	close(jobs)
+	if workers <= 0 {
+		workers = sweepWorkers(njobs, sweepJobFootprint(tabs, len(multiIdx)))
+	}
 
 	var (
 		wg       sync.WaitGroup
@@ -223,16 +378,31 @@ func sweep(traces []*trace.Trace, policies []core.Policy, pressure int, opts Opt
 				if failed.Load() {
 					continue
 				}
-				res, err := runJob(traces[j.b], policies[j.p], pressure, opts)
+				var err error
+				if j.p < 0 {
+					var results []*Result
+					results, err = runMultiJob(traces[j.b], tabs[j.b], policies, multiIdx, pressure, opts)
+					if err == nil {
+						for k, p := range multiIdx {
+							sw.Results[p][j.b] = results[k]
+						}
+					} else {
+						err = fmt.Errorf("sim: sweep (single-pass, benchmark %q): %w", traces[j.b].Name, err)
+					}
+				} else {
+					var res *Result
+					res, err = runJob(traces[j.b], tabs[j.b], policies[j.p], pressure, opts)
+					if err == nil {
+						sw.Results[j.p][j.b] = res
+					} else {
+						err = fmt.Errorf("sim: sweep (policy %s, benchmark %q): %w",
+							policies[j.p], traces[j.b].Name, err)
+					}
+				}
 				if err != nil {
 					failed.Store(true)
-					errOnce.Do(func() {
-						firstErr = fmt.Errorf("sim: sweep (policy %s, benchmark %q): %w",
-							policies[j.p], traces[j.b].Name, err)
-					})
-					continue
+					errOnce.Do(func() { firstErr = err })
 				}
-				sw.Results[j.p][j.b] = res
 			}
 		}()
 	}
