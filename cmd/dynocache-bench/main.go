@@ -141,6 +141,16 @@ type benchReport struct {
 	// speedup.
 	SweepSpeedupVsPerConfig float64 `json:"sweep_speedup_vs_perconfig,omitempty"`
 
+	// MigrateFlipPauseMaxNs and MigrateFlipPauseAvgNs record the
+	// client-visible frozen window of a live tenant migration (fence-up to
+	// fence-drop) over the service/migrate row's handoffs. The max is
+	// gated by an absolute ceiling (-flip-ceiling), not committed-relative:
+	// the pause is scheduler-sensitive at the microsecond scale, and the
+	// property that matters is "a flip never blocks clients for long", not
+	// a ratio to a previous run.
+	MigrateFlipPauseMaxNs int64 `json:"migrate_flip_pause_max_ns,omitempty"`
+	MigrateFlipPauseAvgNs int64 `json:"migrate_flip_pause_avg_ns,omitempty"`
+
 	// SampledMissRateError and SampledMissRateBound record the
 	// representative-interval estimator's worst absolute miss-rate error
 	// against the full replay over the sampled row's configurations (word
@@ -181,6 +191,7 @@ func run() error {
 	gateDrop := flag.Float64("gate-drop", 0.15, "max tolerated fractional drop of replay_speedup_vs_legacy under -gate")
 	cpuList := flag.String("cpu", "auto", "comma-separated GOMAXPROCS values for the service scaling sweep (e.g. 1,2,4,8); 'auto' = powers of two up to NumCPU; '' disables the sweep")
 	scalingFloor := flag.Float64("scaling-floor", 0, "fail unless scaling efficiency reaches this floor (0 disables; only applied when the sweep spans >1 proc)")
+	flipCeiling := flag.Duration("flip-ceiling", 50*time.Millisecond, "fail if any live-migration flip pause exceeds this (0 disables)")
 	flag.Parse()
 
 	// testing.Benchmark reads the measurement window from the testing
@@ -437,6 +448,53 @@ func run() error {
 		}
 	})
 	sb.close()
+
+	// Migration row: one tenant populated with the full trace ping-pongs
+	// between two shards. An op is a round trip — two live handoffs moving
+	// the whole resident span — ending where it started, so every
+	// iteration relocates the same state. AccessesPerSec is meaningless
+	// here; the row's ns/op is the handoff cost and the report carries the
+	// flip-pause ceiling check.
+	msvc, err := service.New(service.Config{Shards: 2, Policy: policy, ShardCapacity: capacity})
+	if err != nil {
+		return err
+	}
+	mtn, err := msvc.RegisterPinned(tr.Name, 0, traceSpan(tr))
+	if err != nil {
+		msvc.Close()
+		return err
+	}
+	msb := &serviceBench{svc: msvc, tenants: []*service.Tenant{mtn}, regen: traceRegen(tr)}
+	if err := msb.replay(tr); err != nil {
+		msvc.Close()
+		return err
+	}
+	record("service/migrate", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := msvc.Migrate(tr.Name, 1); err != nil {
+				b.Fatal(err)
+			}
+			if err := msvc.Migrate(tr.Name, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err := msvc.CheckConsistency(); err != nil {
+		msvc.Close()
+		return fmt.Errorf("service/migrate: ledger broken after handoffs: %w", err)
+	}
+	migStats := msvc.MigrationStats()
+	msb.close()
+	rep.MigrateFlipPauseMaxNs = migStats.FlipPauseMax.Nanoseconds()
+	if migStats.Completed > 0 {
+		rep.MigrateFlipPauseAvgNs = migStats.FlipPauseTotal.Nanoseconds() / int64(migStats.Completed)
+	}
+	fmt.Fprintf(os.Stderr, "migrate flip pause: avg %v, max %v over %d handoffs\n",
+		time.Duration(rep.MigrateFlipPauseAvgNs), migStats.FlipPauseMax, migStats.Completed)
+	if *flipCeiling > 0 && migStats.FlipPauseMax > *flipCeiling {
+		return fmt.Errorf("service/migrate: flip pause %v exceeds the %v ceiling", migStats.FlipPauseMax, *flipCeiling)
+	}
 
 	procs, err := parseCPUList(*cpuList)
 	if err != nil {

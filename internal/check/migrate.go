@@ -1,0 +1,259 @@
+package check
+
+import (
+	"fmt"
+
+	"dynocache/internal/core"
+)
+
+// Migration support for the verification wrapper: Checked implements
+// core.SpanMigrator when the wrapped cache does, and the FIFO-family
+// oracle follows every extraction/installation in lockstep — including
+// the cross-check that the engine's extracted manifest (IDs, sizes,
+// eviction order) matches the reference model's own view of the span.
+//
+// Reference models without a migration mirror (LRU, generational) detach
+// on the first migration: the invariant wall (structural self-checks +
+// counter algebra) stays up, but lockstep differencing ends. The service
+// layer's double-entry ledger and solo-replay equality still cover those
+// policies end to end.
+
+// spanMirror is implemented by reference oracles that can follow a live
+// span migration.
+type spanMirror interface {
+	extractSpan(c *Checked, base, span core.SuperblockID, st *core.TenantState)
+	installSpan(base core.SuperblockID, st *core.TenantState)
+}
+
+var _ core.SpanMigrator = (*Checked)(nil)
+
+// ExtractSpan implements core.SpanMigrator. Violations are recorded and
+// surfaced through Err / the next Insert, exactly like the other
+// operations — never through this error return, which reports only the
+// engine's own refusal (in which case nothing was mutated on either
+// side).
+func (c *Checked) ExtractSpan(base, span core.SuperblockID) (*core.TenantState, error) {
+	mig, ok := c.inner.(core.SpanMigrator)
+	if !ok {
+		return nil, fmt.Errorf("check: policy %q does not support span migration", c.inner.Name())
+	}
+	st, err := mig.ExtractSpan(base, span)
+	c.step++
+	if err != nil {
+		return nil, err
+	}
+	if c.first == nil && c.oracle != nil {
+		if om, ok := c.oracle.(spanMirror); ok {
+			om.extractSpan(c, base, span, st)
+			c.compare("ExtractSpan", base)
+			c.sweepResidency("ExtractSpan", base)
+		} else {
+			c.oracle = nil
+		}
+	}
+	c.checkAlgebra("ExtractSpan", base)
+	c.checkStructure("ExtractSpan", base)
+	return st, nil
+}
+
+// InstallSpan implements core.SpanMigrator. The imported block/byte
+// totals widen the eviction-algebra identity: relocated blocks can be
+// evicted here without ever having been inserted here.
+func (c *Checked) InstallSpan(base core.SuperblockID, st *core.TenantState) error {
+	mig, ok := c.inner.(core.SpanMigrator)
+	if !ok {
+		return fmt.Errorf("check: policy %q does not support span migration", c.inner.Name())
+	}
+	if err := mig.InstallSpan(base, st); err != nil {
+		return err
+	}
+	c.step++
+	c.importedBlocks += uint64(len(st.Blocks))
+	c.importedBytes += uint64(st.Bytes)
+	if c.first == nil && c.oracle != nil {
+		if om, ok := c.oracle.(spanMirror); ok {
+			om.installSpan(base, st)
+			c.compare("InstallSpan", base)
+			c.sweepResidency("InstallSpan", base)
+		} else {
+			c.oracle = nil
+		}
+	}
+	c.checkAlgebra("InstallSpan", base)
+	c.checkStructure("InstallSpan", base)
+	return nil
+}
+
+// extractSpan mirrors a span departure in the FIFO-family oracle and
+// cross-checks the engine's extracted manifest against the model's own
+// view of the span: same blocks, same sizes, same eviction order.
+func (o *Oracle) extractSpan(c *Checked, base, span core.SuperblockID, st *core.TenantState) {
+	inSpan := func(id core.SuperblockID) bool { return id >= base && id-base < span }
+	victims := make(map[core.SuperblockID]struct{})
+	var order []oracleEntry
+	var kept []oracleEntry
+	var removed int64
+	for _, e := range o.fifo {
+		if inSpan(e.id) {
+			victims[e.id] = struct{}{}
+			order = append(order, e)
+			removed += int64(e.size)
+			delete(o.resident, e.id)
+			o.liveBytes -= e.size
+			continue
+		}
+		e.voff -= removed
+		o.resident[e.id] = e
+		kept = append(kept, e)
+	}
+	o.fifo = kept
+	o.head -= removed
+	if len(kept) > 0 {
+		o.tail = kept[0].voff
+	} else {
+		o.tail = o.head
+	}
+	if len(order) != len(st.Blocks) {
+		c.fail("ExtractSpan", base, "extracted manifest length",
+			fmt.Sprint(len(st.Blocks)), fmt.Sprint(len(order)))
+	} else {
+		for i, e := range order {
+			b := st.Blocks[i]
+			if base+b.ID != e.id || int(b.Size) != e.size {
+				c.fail("ExtractSpan", base, fmt.Sprintf("extracted manifest entry %d", i),
+					fmt.Sprintf("id=%d size=%d", base+b.ID, b.Size),
+					fmt.Sprintf("id=%d size=%d", e.id, e.size))
+				break
+			}
+		}
+	}
+	o.links.onExtract(base, span, victims, &o.stats)
+}
+
+// installSpan mirrors a span arrival: exact-geometry adoption when the
+// arena is empty and the state is contiguous (matching the engine's
+// condition), the append path with real evictions otherwise. The link
+// relation is rebuilt silently — no patch-cost charges — mirroring
+// bindMigrated.
+func (o *Oracle) installSpan(base core.SuperblockID, st *core.TenantState) {
+	if len(o.resident) == 0 {
+		o.fifo = o.fifo[:0]
+		if st.Contiguous() {
+			o.tail = st.Blocks[0].Off
+			o.head = o.tail
+			for _, b := range st.Blocks {
+				e := oracleEntry{id: base + b.ID, voff: b.Off, size: int(b.Size)}
+				o.head += int64(b.Size)
+				o.fifo = append(o.fifo, e)
+				o.resident[e.id] = e
+				o.liveBytes += e.size
+				o.links.rebuildSilent(base, b, o.Contains)
+			}
+			return
+		}
+	}
+	for _, b := range st.Blocks {
+		size := int(b.Size)
+		if o.head+int64(size)-o.tail > int64(o.capacity) {
+			need := o.head + int64(size) - int64(o.capacity)
+			var frontier int64
+			switch o.mode {
+			case core.PolicyFlush:
+				frontier = o.head
+			case core.PolicyUnits:
+				q := int64(o.unitSize)
+				frontier = (need + q - 1) / q * q
+			default:
+				frontier = need
+			}
+			o.evictBelow(frontier)
+		}
+		e := oracleEntry{id: base + b.ID, voff: o.head, size: size}
+		o.head += int64(size)
+		o.fifo = append(o.fifo, e)
+		o.resident[e.id] = e
+		o.liveBytes += e.size
+		o.links.rebuildSilent(base, b, o.Contains)
+	}
+}
+
+// onExtract severs the span boundary in the map-backed link model with
+// the engine's exact accounting: departing blocks' outbound patched
+// edges die free; survivors' patched edges into the span are unpatched
+// one at a time (InterUnitLinksRemoved, one UnlinkEvent per departing
+// block with at least one) and NOT reinstated as pending; pending
+// declarations crossing the boundary sever silently; intra-span edges
+// travel with the state.
+func (l *oracleLinks) onExtract(base, span core.SuperblockID, victims map[core.SuperblockID]struct{}, stats *core.Stats) {
+	inSpan := func(id core.SuperblockID) bool { return id >= base && id-base < span }
+	for id := range victims {
+		for to := range l.patched[id] {
+			if _, also := victims[to]; !also {
+				delete(l.backPtrs[to], id)
+				if len(l.backPtrs[to]) == 0 {
+					delete(l.backPtrs, to)
+				}
+			}
+			l.patchedCount--
+		}
+		delete(l.patched, id)
+	}
+	var events uint64
+	for id := range victims {
+		unlinked := false
+		for from := range l.backPtrs[id] {
+			if _, also := victims[from]; also {
+				continue
+			}
+			delete(l.patched[from], id)
+			if len(l.patched[from]) == 0 {
+				delete(l.patched, from)
+			}
+			l.patchedCount--
+			stats.InterUnitLinksRemoved++
+			unlinked = true
+		}
+		delete(l.backPtrs, id)
+		if unlinked {
+			events++
+		}
+	}
+	stats.UnlinkEvents += events
+	for to, set := range l.pendIn {
+		if inSpan(to) {
+			// Sources are either departing (their intra-span pending rows
+			// travel with the state) or out-of-span survivors (severed
+			// free, matching the engine's edge removal).
+			delete(l.pendIn, to)
+			continue
+		}
+		for from := range set {
+			if _, dep := victims[from]; dep {
+				delete(set, from)
+			}
+		}
+		if len(set) == 0 {
+			delete(l.pendIn, to)
+		}
+	}
+}
+
+// rebuildSilent re-establishes one relocated block's link rows without
+// patch-cost charges, mirroring declareSilent + onInsertSilent.
+func (l *oracleLinks) rebuildSilent(base core.SuperblockID, b core.MigratedBlock, resident func(core.SuperblockID) bool) {
+	id := base + b.ID
+	for _, to := range b.Links {
+		t := base + to
+		if resident(t) {
+			l.patch(id, t)
+		} else {
+			addTo(l.pendIn, t, id)
+		}
+	}
+	if waiting := l.pendIn[id]; len(waiting) > 0 {
+		delete(l.pendIn, id)
+		for from := range waiting {
+			l.patch(from, id)
+		}
+	}
+}

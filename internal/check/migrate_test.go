@@ -1,0 +1,163 @@
+package check
+
+import (
+	"testing"
+
+	"dynocache/internal/core"
+	"dynocache/internal/stats"
+)
+
+func driveChecked(t *testing.T, c *Checked, seed uint64, n, idRange int) {
+	t.Helper()
+	r := stats.NewRand(seed, 5)
+	sizes := make(map[core.SuperblockID]int)
+	for i := 0; i < n; i++ {
+		id := core.SuperblockID(r.Intn(idRange))
+		size, ok := sizes[id]
+		if !ok {
+			size = 10 + r.Intn(120)
+			sizes[id] = size
+		}
+		var links []core.SuperblockID
+		for j := 0; j < r.Geometric(1.7) && j < 6; j++ {
+			links = append(links, core.SuperblockID(r.Intn(idRange)))
+		}
+		if !c.Access(id) {
+			if err := c.Insert(core.Superblock{ID: id, Size: size, Links: links}); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestOracleFollowsMigration migrates the whole span between wrapped
+// FIFO-family caches mid-stream; the oracle must stay in lockstep (full
+// Stats equality, manifest cross-check) through every hop.
+func TestOracleFollowsMigration(t *testing.T) {
+	policies := []core.Policy{
+		{Kind: core.PolicyFlush},
+		{Kind: core.PolicyUnits, Units: 8},
+		{Kind: core.PolicyFine},
+	}
+	for _, p := range policies {
+		t.Run(p.String(), func(t *testing.T) {
+			mk := func() *Checked {
+				inner, err := p.New(1000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := Wrap(inner, p)
+				if !c.HasOracle() {
+					t.Fatal("FIFO family must have an oracle")
+				}
+				return c
+			}
+			cur := mk()
+			for hop := 0; hop < 3; hop++ {
+				driveChecked(t, cur, uint64(13+hop), 2000, 300)
+				st, err := cur.ExtractSpan(0, 300)
+				if err != nil {
+					t.Fatalf("hop %d extract: %v", hop, err)
+				}
+				if err := cur.Err(); err != nil {
+					t.Fatalf("hop %d source wall: %v", hop, err)
+				}
+				if !cur.HasOracle() {
+					t.Fatal("FIFO oracle must survive migration, not detach")
+				}
+				next := mk()
+				if err := next.InstallSpan(0, st); err != nil {
+					t.Fatalf("hop %d install: %v", hop, err)
+				}
+				if err := next.Err(); err != nil {
+					t.Fatalf("hop %d dest wall: %v", hop, err)
+				}
+				cur = next
+			}
+			driveChecked(t, cur, 99, 2000, 300)
+			if err := cur.Err(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOracleMigrationSharedSpans exercises the append install path (two
+// interleaved spans, partial extraction) under the oracle differ.
+func TestOracleMigrationSharedSpans(t *testing.T) {
+	p := core.Policy{Kind: core.PolicyFine}
+	mk := func() *Checked {
+		inner, err := p.New(4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Wrap(inner, p)
+	}
+	src, dst := mk(), mk()
+	// Interleave two spans on the source; pre-load the destination so the
+	// install cannot adopt and must append (and possibly evict).
+	for i := core.SuperblockID(0); i < 60; i++ {
+		if err := src.Insert(core.Superblock{ID: i, Size: 20}); err != nil {
+			t.Fatal(err)
+		}
+		links := []core.SuperblockID{1000 + (i+1)%60}
+		if err := src.Insert(core.Superblock{ID: 1000 + i, Size: 25, Links: links}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := core.SuperblockID(0); i < 80; i++ {
+		if err := dst.Insert(core.Superblock{ID: 5000 + i, Size: 40}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := src.ExtractSpan(1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatalf("source wall after partial extraction: %v", err)
+	}
+	if err := dst.InstallSpan(2000, st); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Err(); err != nil {
+		t.Fatalf("destination wall after append install: %v", err)
+	}
+	driveChecked(t, dst, 5, 3000, 120)
+	if err := dst.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLRUOracleDetachesOnMigration: reference models without a migration
+// mirror detach (keeping the invariant wall) instead of diverging.
+func TestLRUOracleDetachesOnMigration(t *testing.T) {
+	p := core.Policy{Kind: core.PolicyLRU}
+	inner, err := p.New(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Wrap(inner, p)
+	if !c.HasOracle() {
+		t.Fatal("LRU should start with an oracle")
+	}
+	driveChecked(t, c, 21, 1000, 200)
+	st, err := c.ExtractSpan(0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HasOracle() {
+		t.Fatal("LRU oracle should detach on migration")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallSpan(0, st); err != nil {
+		t.Fatal(err)
+	}
+	// The invariant wall stays active after detach.
+	driveChecked(t, c, 22, 1000, 200)
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,6 +33,8 @@ const (
 	opReplay
 	opRegister
 	opCheck
+	opExtract
+	opInstall
 )
 
 // envelope is one request travelling the MPSC queue to a shard's owner
@@ -54,6 +56,7 @@ type envelope struct {
 	regen  func(core.SuperblockID) (core.Superblock, error)
 	name   string            // opRegister
 	span   core.SuperblockID // opRegister
+	mig    *migrationPacket  // opInstall request / opExtract result
 
 	// Results.
 	missed    []core.SuperblockID // opAccess: freshly allocated; ownership passes to the caller

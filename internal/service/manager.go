@@ -1,0 +1,210 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Manager is the load-aware rebalancing control loop: it samples
+// per-tenant throughput, detects a persistently overloaded shard, and
+// migrates one tenant at a time off the hot shard. Hysteresis comes from
+// three directions — an imbalance has to exceed Threshold for Patience
+// consecutive ticks, moves are rate-limited by Cooldown, and a candidate
+// is only moved when the projected post-move peak improves by at least
+// Improvement — so the manager never thrashes tenants between shards on
+// workload noise.
+type Manager struct {
+	svc *Service
+	cfg ManagerConfig
+
+	migrations atomic.Uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// ManagerConfig tunes the rebalancing loop. Zero values select the
+// defaults noted per field.
+type ManagerConfig struct {
+	// Interval is the sampling period (default 200ms).
+	Interval time.Duration
+	// Threshold arms a migration when the busiest shard's access rate
+	// exceeds this multiple of the mean shard rate (default 1.5).
+	Threshold float64
+	// Patience is how many consecutive over-threshold ticks are required
+	// before a migration fires (default 2).
+	Patience int
+	// Cooldown is the minimum gap between migrations (default
+	// 3*Interval).
+	Cooldown time.Duration
+	// Improvement is the fractional reduction of the peak shard rate a
+	// candidate move must project before it is taken (default 0.05).
+	Improvement float64
+}
+
+func (c *ManagerConfig) applyDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = 200 * time.Millisecond
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 1.5
+	}
+	if c.Patience <= 0 {
+		c.Patience = 2
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 3 * c.Interval
+	}
+	if c.Improvement <= 0 {
+		c.Improvement = 0.05
+	}
+}
+
+// StartManager launches the rebalancing loop against this service. Stop
+// it with Manager.Stop; it also exits when the service closes.
+func (s *Service) StartManager(cfg ManagerConfig) *Manager {
+	cfg.applyDefaults()
+	m := &Manager{
+		svc:  s,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go m.loop()
+	return m
+}
+
+// Stop halts the loop and waits for it to exit. Idempotent.
+func (m *Manager) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+// Migrations returns how many migrations this manager has completed.
+func (m *Manager) Migrations() uint64 { return m.migrations.Load() }
+
+func (m *Manager) loop() {
+	defer close(m.done)
+	tick := time.NewTicker(m.cfg.Interval)
+	defer tick.Stop()
+	lastAcc := map[string]uint64{} // per-tenant cumulative accesses at the previous tick
+	streak := 0
+	var lastMove time.Time
+	primed := false // first tick only establishes the baseline
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.svc.stop:
+			return
+		case <-tick.C:
+		}
+		if m.rebalanceTick(lastAcc, &streak, &lastMove, primed) {
+			primed = true
+		}
+	}
+}
+
+// rebalanceTick samples one interval and migrates at most one tenant.
+// Returns true once a baseline sample exists.
+func (m *Manager) rebalanceTick(lastAcc map[string]uint64, streak *int, lastMove *time.Time, primed bool) bool {
+	s := m.svc
+	type load struct {
+		name  string
+		shard int
+		delta uint64
+	}
+	var tenants []load
+	shardDelta := make([]uint64, s.NumShards())
+	for _, name := range s.TenantNames() {
+		t, ok := s.Tenant(name)
+		if !ok {
+			continue
+		}
+		acc := t.Stats().Accesses
+		delta := acc - lastAcc[name]
+		lastAcc[name] = acc
+		idx := t.Shard()
+		tenants = append(tenants, load{name, idx, delta})
+		shardDelta[idx] += delta
+	}
+	if !primed || len(shardDelta) < 2 {
+		return true
+	}
+
+	var total, maxD, minD uint64
+	hot, cold := 0, 0
+	minD = ^uint64(0)
+	for i, d := range shardDelta {
+		total += d
+		if d > maxD {
+			maxD, hot = d, i
+		}
+		if d < minD {
+			minD, cold = d, i
+		}
+	}
+	mean := float64(total) / float64(len(shardDelta))
+	if mean <= 0 || float64(maxD) < m.cfg.Threshold*mean {
+		*streak = 0
+		return true
+	}
+	*streak++
+	if *streak < m.cfg.Patience || time.Since(*lastMove) < m.cfg.Cooldown {
+		return true
+	}
+
+	// Candidate selection. Two regimes:
+	//
+	// Dominated shard — one tenant produces most of the hot shard's
+	// traffic. Moving the dominator cannot lower the access-count peak
+	// (it saturates wherever it lands), but its shard-mates are queueing
+	// behind it; the win is isolation, so the busiest *sibling* is moved
+	// to the coldest shard. Once the dominator sits alone there is
+	// nothing left to move and the manager goes quiet — no thrash.
+	//
+	// Spread shard — several comparable tenants. Move the busiest one to
+	// the coldest shard, but only when the projected post-move peak
+	// drops by at least Improvement.
+	var hotTs []load
+	for _, tl := range tenants {
+		if tl.shard == hot {
+			hotTs = append(hotTs, tl)
+		}
+	}
+	sort.Slice(hotTs, func(i, j int) bool { return hotTs[i].delta > hotTs[j].delta })
+	if len(hotTs) == 0 {
+		return true
+	}
+	best := ""
+	if top := hotTs[0]; float64(top.delta) >= 0.5*float64(maxD) {
+		if len(hotTs) > 1 {
+			best = hotTs[1].name
+		}
+	} else if top.delta > 0 {
+		peak := float64(maxD - top.delta)
+		if landed := float64(minD + top.delta); landed > peak {
+			peak = landed
+		}
+		for i, d := range shardDelta {
+			if i != hot && i != cold && float64(d) > peak {
+				peak = float64(d)
+			}
+		}
+		if peak <= float64(maxD)*(1-m.cfg.Improvement) {
+			best = top.name
+		}
+	}
+	if best == "" {
+		return true
+	}
+	if err := s.Migrate(best, cold); err == nil {
+		m.migrations.Add(1)
+		*lastMove = time.Now()
+		*streak = 0
+	}
+	return true
+}

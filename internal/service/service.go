@@ -86,6 +86,24 @@ type Service struct {
 	// fully constructed tenants.
 	regMu sync.Mutex
 
+	// routes is the versioned routing table: an immutable epoch-stamped
+	// name→shard map swapped atomically on every placement change
+	// (registration or migration flip). Readers pay one atomic load.
+	routes atomic.Pointer[routeTable]
+	// migMu serializes migrations: at most one tenant is in the frozen
+	// extract→install→flip window at a time, and post-Close rollback
+	// installs on quiesced shards are fenced against direct ledger reads.
+	migMu sync.Mutex
+
+	// Migration observability, exported via MigrationStats.
+	migStarted   atomic.Uint64
+	migCompleted atomic.Uint64
+	migAborted   atomic.Uint64
+	migBytes     atomic.Uint64
+	flipLastNs   atomic.Int64
+	flipMaxNs    atomic.Int64
+	flipTotalNs  atomic.Int64
+
 	closed    atomic.Bool
 	closeOnce sync.Once
 	stop      chan struct{}
@@ -109,6 +127,7 @@ func New(cfg Config) (*Service, error) {
 		stop:    make(chan struct{}),
 	}
 	s.envPool.New = func() any { return &envelope{done: make(chan struct{}, 1)} }
+	s.routes.Store(&routeTable{shardOf: map[string]int{}})
 	for i := 0; i < cfg.Shards; i++ {
 		raw, err := cfg.Policy.New(cfg.ShardCapacity)
 		if err != nil {
@@ -224,6 +243,7 @@ func (s *Service) register(name string, shardIdx int, idSpan core.SuperblockID) 
 	}
 	s.mu.Lock()
 	s.tenants[name] = t
+	s.setRouteLocked(name, shardIdx)
 	s.mu.Unlock()
 	return t, nil
 }
@@ -297,7 +317,12 @@ func (s *Service) CheckConsistency() error {
 		if sh.control(env) {
 			err = env.err
 		} else {
+			// Owner exited: the shard is quiesced, but a post-Close
+			// migration rollback may still be re-installing directly —
+			// fence with the migration lock before reading owner state.
+			s.migMu.Lock()
 			err = sh.checkLedger()
+			s.migMu.Unlock()
 		}
 		s.putEnv(env)
 		if err != nil {

@@ -350,7 +350,7 @@ func TestBackpressureRejection(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Fill the only admission slot by hand, as an in-flight batch would.
-	sh := ten.shard
+	sh := ten.sh.Load()
 	sh.pending.Add(1)
 	_, err = ten.AccessBatch([]core.SuperblockID{0})
 	var busy *BacklogError

@@ -88,7 +88,33 @@ type shard struct {
 	ewma        int64  // batch service-time EWMA (α = 1/8)
 	tenants     []*Tenant
 	nextBase    core.SuperblockID
-	linkScratch []core.SuperblockID // reusable link-remap buffer (fast path only)
+	linkScratch []core.SuperblockID // reusable link-remap buffer (fast only)
+
+	// Migration bookkeeping. A departing tenant's ledger is charged to
+	// xferOut on extraction, an arriving one's to xferIn on installation,
+	// which keeps the per-shard double-entry identity
+	//   sum(tenant ledgers) + xferOut == engine counters + xferIn
+	// exact mid- and post-migration (engine counters are cumulative and
+	// never follow the tenant). freeSpans recycles vacated ID ranges so
+	// churn does not exhaust the shard's ID space.
+	xferIn    TenantStats
+	xferOut   TenantStats
+	freeSpans []idSpan
+}
+
+// idSpan is a vacated [base, base+span) ID range available for reuse.
+type idSpan struct {
+	base, span core.SuperblockID
+}
+
+// migrationPacket carries a tenant between owner goroutines: the handle,
+// its extracted resident state, and the ledger snapshot the destination
+// charges to xferIn. Only the migration coordinator (Service.Migrate,
+// holding migMu) touches a packet between the two control envelopes.
+type migrationPacket struct {
+	tenant *Tenant
+	state  *core.TenantState
+	ledger TenantStats
 }
 
 // submit runs one data-path envelope through the shard: admission check,
@@ -98,6 +124,13 @@ func (sh *shard) submit(env *envelope) error {
 	svc := sh.svc
 	if svc.closed.Load() {
 		return ErrClosed
+	}
+	// Fast-path migration fence: a frozen tenant (or one whose route
+	// already flipped away from this shard) is refused before taking an
+	// admission slot. The authoritative check is the owner-side guard in
+	// execute — this one just keeps the queue clear of doomed envelopes.
+	if t := env.tenant; t != nil && (t.migrating.Load() || t.sh.Load() != sh) {
+		return &BacklogError{Shard: sh.idx, RetryAfter: sh.retryUnit()}
 	}
 	if n := sh.pending.Add(1); int(n) > sh.depth {
 		sh.pending.Add(-1)
@@ -208,6 +241,18 @@ func (sh *shard) drain() {
 // slot is released before the done signal so tests (and clients) that
 // observe a completed batch see pending already decremented.
 func (sh *shard) execute(env *envelope) {
+	// Owner-side migration guard: an envelope admitted just before the
+	// tenant froze may be executed after the extraction control envelope
+	// (the owner's select does not order reqs ahead of ctl). The tenant's
+	// state is gone from this shard by then, so the batch is bounced with
+	// a retry-after instead — it is never partially applied, never lost
+	// (the client retries), and never double-applied (it did not run).
+	if t := env.tenant; t != nil && (t.migrating.Load() || t.sh.Load() != sh) {
+		env.err = &BacklogError{Shard: sh.idx, RetryAfter: sh.retryUnit()}
+		sh.pending.Add(-1)
+		env.done <- struct{}{}
+		return
+	}
 	start := time.Now()
 	switch env.op {
 	case opAccess:
@@ -239,10 +284,120 @@ func (sh *shard) executeCtl(env *envelope) {
 		sh.gen++
 		sh.doneGen.Store(sh.gen)
 		sh.publishIfWanted()
+	case opExtract:
+		env.mig, env.err = sh.execExtract(env.tenant)
+		sh.gen++
+		sh.doneGen.Store(sh.gen)
+		sh.publishIfWanted()
+	case opInstall:
+		env.err = sh.execInstall(env.mig)
+		sh.gen++
+		sh.doneGen.Store(sh.gen)
+		sh.publishIfWanted()
 	case opCheck:
 		env.err = sh.checkLedger()
 	}
 	env.done <- struct{}{}
+}
+
+// migrator returns the shard cache's span-migration interface. In Verify
+// mode the checked wrapper implements it (and mirrors the migration in
+// the oracle); on the fast path the concrete cache must.
+func (sh *shard) migrator() (core.SpanMigrator, bool) {
+	m, ok := sh.cache.(core.SpanMigrator)
+	return m, ok
+}
+
+// execExtract removes a frozen tenant from this shard: its resident span
+// leaves the cache as a TenantState, its ledger moves to the xferOut
+// column, and its ID range is parked for reuse. Runs on the owner, so it
+// is serialized against every batch; the tenant's migrating flag was set
+// before the control envelope was sent, so no later batch can slip in.
+func (sh *shard) execExtract(t *Tenant) (*migrationPacket, error) {
+	idx := -1
+	for i, x := range sh.tenants {
+		if x == t {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("service: tenant %q is not on shard %d", t.name, sh.idx)
+	}
+	mig, ok := sh.migrator()
+	if !ok {
+		return nil, fmt.Errorf("service: shard %d cache %q does not support span migration", sh.idx, sh.cache.Name())
+	}
+	st, err := mig.ExtractSpan(t.base, t.span)
+	if err != nil {
+		return nil, fmt.Errorf("service: shard %d extract %q: %w", sh.idx, t.name, err)
+	}
+	sh.tenants = append(sh.tenants[:idx], sh.tenants[idx+1:]...)
+	sh.xferOut.addLedger(t.stats)
+	sh.freeSpans = append(sh.freeSpans, idSpan{t.base, t.span})
+	return &migrationPacket{tenant: t, state: st, ledger: t.stats}, nil
+}
+
+// execInstall places a migrating tenant on this shard: an ID range is
+// allocated (recycling an exactly-matching vacated span when one exists),
+// the extracted state is installed — any room-making evictions are real
+// and credited to the arriving tenant — and the ledger is charged to
+// xferIn. InstallSpan validates before mutating, so on error this shard
+// is untouched and the coordinator can re-install on the source.
+func (sh *shard) execInstall(pkt *migrationPacket) error {
+	t := pkt.tenant
+	mig, ok := sh.migrator()
+	if !ok {
+		return fmt.Errorf("service: shard %d cache %q does not support span migration", sh.idx, sh.cache.Name())
+	}
+	base, fromFree, err := sh.allocSpan(t.span)
+	if err != nil {
+		return err
+	}
+	before := snapshotEvictions(sh.cache.Stats())
+	if ierr := mig.InstallSpan(base, pkt.state); ierr != nil {
+		if fromFree {
+			sh.freeSpans = append(sh.freeSpans, idSpan{base, t.span})
+		} else {
+			sh.nextBase = base
+		}
+		return fmt.Errorf("service: shard %d install %q: %w", sh.idx, t.name, ierr)
+	}
+	t.base = base
+	sh.tenants = append(sh.tenants, t)
+	sh.xferIn.addLedger(pkt.ledger)
+	t.creditEvictions(sh, before)
+	// Same dense-table warm-up as registration, so post-migration replay
+	// never pays grow-reallocations.
+	raw := sh.cache
+	if sh.chk != nil {
+		raw = sh.chk.Unwrap()
+	}
+	if r, ok := raw.(interface{ Reserve(core.SuperblockID) }); ok {
+		r.Reserve(base + t.span - 1)
+	}
+	return nil
+}
+
+// allocSpan finds an ID range for an arriving tenant: an exactly-sized
+// vacated span if one is parked (scanned newest-first), else fresh space
+// at nextBase. Reports whether the range came from the free list so a
+// failed install can return it.
+func (sh *shard) allocSpan(span core.SuperblockID) (base core.SuperblockID, fromFree bool, err error) {
+	for i := len(sh.freeSpans) - 1; i >= 0; i-- {
+		if sh.freeSpans[i].span == span {
+			base = sh.freeSpans[i].base
+			sh.freeSpans = append(sh.freeSpans[:i], sh.freeSpans[i+1:]...)
+			return base, true, nil
+		}
+	}
+	if sh.nextBase > core.MaxSuperblockID-span {
+		return 0, false, fmt.Errorf("service: shard %d ID space exhausted installing span %d (base %d + span > %d)",
+			sh.idx, span, sh.nextBase, core.MaxSuperblockID)
+	}
+	base = sh.nextBase
+	sh.nextBase += span
+	return base, false, nil
 }
 
 // verifyErr surfaces the first invariant-wall violation in Verify mode.
@@ -310,21 +465,21 @@ func (sh *shard) execInsert(t *Tenant, blocks []core.Superblock) (inserted int, 
 	for _, sb := range blocks {
 		mapped, merr := sh.remap(t, sb, fast)
 		if merr != nil {
-			t.creditEvictions(before)
+			t.creditEvictions(sh, before)
 			return inserted, merr
 		}
 		if sh.cache.Contains(mapped.ID) {
 			continue
 		}
 		if ierr := sh.cache.Insert(mapped); ierr != nil {
-			t.creditEvictions(before)
+			t.creditEvictions(sh, before)
 			return inserted, fmt.Errorf("service: tenant %q shard %d: %w", t.name, sh.idx, ierr)
 		}
 		inserted++
 		t.stats.InsertedBlocks++
 		t.stats.InsertedBytes += uint64(mapped.Size)
 	}
-	t.creditEvictions(before)
+	t.creditEvictions(sh, before)
 	t.stats.Batches++
 	return inserted, sh.verifyErr()
 }
@@ -339,7 +494,7 @@ func (sh *shard) execReplay(t *Tenant, ids []core.SuperblockID, regen func(core.
 	before := snapshotEvictions(sh.cache.Stats())
 	for _, id := range ids {
 		if id >= t.span {
-			t.creditEvictions(before)
+			t.creditEvictions(sh, before)
 			return fmt.Errorf("service: tenant %q access %d outside declared ID span %d", t.name, id, t.span)
 		}
 		t.stats.Accesses++
@@ -350,22 +505,22 @@ func (sh *shard) execReplay(t *Tenant, ids []core.SuperblockID, regen func(core.
 		t.stats.Misses++
 		sb, err := regen(id)
 		if err != nil {
-			t.creditEvictions(before)
+			t.creditEvictions(sh, before)
 			return fmt.Errorf("service: tenant %q regenerate %d: %w", t.name, id, err)
 		}
 		mapped, err := sh.remap(t, sb, false)
 		if err != nil {
-			t.creditEvictions(before)
+			t.creditEvictions(sh, before)
 			return err
 		}
 		if err := sh.cache.Insert(mapped); err != nil {
-			t.creditEvictions(before)
+			t.creditEvictions(sh, before)
 			return fmt.Errorf("service: tenant %q shard %d: %w", t.name, sh.idx, err)
 		}
 		t.stats.InsertedBlocks++
 		t.stats.InsertedBytes += uint64(mapped.Size)
 	}
-	t.creditEvictions(before)
+	t.creditEvictions(sh, before)
 	t.stats.Batches++
 	return sh.verifyErr()
 }
@@ -386,7 +541,7 @@ func (sh *shard) execReplayEngine(t *Tenant, ids []core.SuperblockID, regen func
 		if id >= t.span {
 			e.BatchAccessStats(accs, hits)
 			t.foldAccesses(accs, hits)
-			t.creditEvictions(before)
+			t.creditEvictions(sh, before)
 			return fmt.Errorf("service: tenant %q access %d outside declared ID span %d", t.name, id, t.span)
 		}
 		accs++
@@ -409,20 +564,20 @@ func (sh *shard) execReplayEngine(t *Tenant, ids []core.SuperblockID, regen func
 		if err != nil {
 			e.BatchAccessStats(accs, hits)
 			t.foldAccesses(accs, hits)
-			t.creditEvictions(before)
+			t.creditEvictions(sh, before)
 			return fmt.Errorf("service: tenant %q regenerate %d: %w", t.name, id, err)
 		}
 		mapped, err := sh.remap(t, sb, true)
 		if err != nil {
 			e.BatchAccessStats(accs, hits)
 			t.foldAccesses(accs, hits)
-			t.creditEvictions(before)
+			t.creditEvictions(sh, before)
 			return err
 		}
 		if err := e.Insert(mapped); err != nil {
 			e.BatchAccessStats(accs, hits)
 			t.foldAccesses(accs, hits)
-			t.creditEvictions(before)
+			t.creditEvictions(sh, before)
 			return fmt.Errorf("service: tenant %q shard %d: %w", t.name, sh.idx, err)
 		}
 		t.stats.InsertedBlocks++
@@ -430,7 +585,7 @@ func (sh *shard) execReplayEngine(t *Tenant, ids []core.SuperblockID, regen func
 	}
 	e.BatchAccessStats(accs, hits)
 	t.foldAccesses(accs, hits)
-	t.creditEvictions(before)
+	t.creditEvictions(sh, before)
 	t.stats.Batches++
 	return nil
 }
@@ -470,13 +625,14 @@ func (sh *shard) remap(t *Tenant, sb core.Superblock, reuseScratch bool) (core.S
 // execRegister places a tenant on the shard: contiguous ID-base remap,
 // tenant list append, and a dense-table warm-up so batch replay never
 // pays grow-reallocations on the hot path.
-func (sh *shard) execRegister(name string, idSpan core.SuperblockID) (*Tenant, error) {
-	if sh.nextBase > core.MaxSuperblockID-idSpan {
+func (sh *shard) execRegister(name string, span core.SuperblockID) (*Tenant, error) {
+	if sh.nextBase > core.MaxSuperblockID-span {
 		return nil, fmt.Errorf("service: shard %d ID space exhausted registering %q (base %d + span %d > %d)",
-			sh.idx, name, sh.nextBase, idSpan, core.MaxSuperblockID)
+			sh.idx, name, sh.nextBase, span, core.MaxSuperblockID)
 	}
-	t := &Tenant{name: name, shard: sh, base: sh.nextBase, span: idSpan}
-	sh.nextBase += idSpan
+	t := &Tenant{name: name, base: sh.nextBase, span: span}
+	t.sh.Store(sh)
+	sh.nextBase += span
 	sh.tenants = append(sh.tenants, t)
 	// Pre-size the engine's dense ID tables for the tenant's remapped
 	// range. Every in-tree policy exposes Reserve through the shared
@@ -574,33 +730,34 @@ func (sh *shard) checkLedger() error {
 			return fmt.Errorf("service: shard %d structure: %w", sh.idx, err)
 		}
 	}
+	// Double-entry identity with migration transfer columns: engine
+	// counters are cumulative and stay behind when a tenant leaves, and a
+	// tenant's ledger arrives with history the engine never saw, so
+	//   sum(tenant ledgers) + xferOut == engine + xferIn
+	// holds exactly on every shard, mid-migration included (each side of
+	// a migration is updated atomically within one control envelope).
 	var sum TenantStats
 	for _, t := range sh.tenants {
-		sum.Accesses += t.stats.Accesses
-		sum.Hits += t.stats.Hits
-		sum.Misses += t.stats.Misses
-		sum.InsertedBlocks += t.stats.InsertedBlocks
-		sum.InsertedBytes += t.stats.InsertedBytes
-		sum.EvictionInvocations += t.stats.EvictionInvocations
-		sum.BlocksEvicted += t.stats.BlocksEvicted
-		sum.BytesEvicted += t.stats.BytesEvicted
+		sum.addLedger(t.stats)
 	}
+	sum.addLedger(sh.xferOut)
 	eng := sh.cache.Stats()
+	in := &sh.xferIn
 	for _, c := range []struct {
 		name           string
 		tenant, engine uint64
 	}{
-		{"Accesses", sum.Accesses, eng.Accesses},
-		{"Hits", sum.Hits, eng.Hits},
-		{"Misses", sum.Misses, eng.Misses},
-		{"InsertedBlocks", sum.InsertedBlocks, eng.InsertedBlocks},
-		{"InsertedBytes", sum.InsertedBytes, eng.InsertedBytes},
-		{"EvictionInvocations", sum.EvictionInvocations, eng.EvictionInvocations},
-		{"BlocksEvicted", sum.BlocksEvicted, eng.BlocksEvicted},
-		{"BytesEvicted", sum.BytesEvicted, eng.BytesEvicted},
+		{"Accesses", sum.Accesses, eng.Accesses + in.Accesses},
+		{"Hits", sum.Hits, eng.Hits + in.Hits},
+		{"Misses", sum.Misses, eng.Misses + in.Misses},
+		{"InsertedBlocks", sum.InsertedBlocks, eng.InsertedBlocks + in.InsertedBlocks},
+		{"InsertedBytes", sum.InsertedBytes, eng.InsertedBytes + in.InsertedBytes},
+		{"EvictionInvocations", sum.EvictionInvocations, eng.EvictionInvocations + in.EvictionInvocations},
+		{"BlocksEvicted", sum.BlocksEvicted, eng.BlocksEvicted + in.BlocksEvicted},
+		{"BytesEvicted", sum.BytesEvicted, eng.BytesEvicted + in.BytesEvicted},
 	} {
 		if c.tenant != c.engine {
-			return fmt.Errorf("service: shard %d ledger mismatch on %s: tenants sum to %d, engine counted %d",
+			return fmt.Errorf("service: shard %d ledger mismatch on %s: tenants+xferOut sum to %d, engine+xferIn counted %d",
 				sh.idx, c.name, c.tenant, c.engine)
 		}
 	}

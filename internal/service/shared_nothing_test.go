@@ -34,7 +34,7 @@ func TestZeroAllocServiceBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ten.shard.eng == nil {
+	if ten.sh.Load().eng == nil {
 		t.Fatal("units policy should take the devirtualized engine path")
 	}
 	regen := func(id core.SuperblockID) (core.Superblock, error) {
@@ -114,7 +114,7 @@ func TestBackpressureUnderSaturatedQueue(t *testing.T) {
 	// occupies the remaining queue slot (pending reaches depth).
 	<-gate.entered
 	deadline := time.Now().Add(5 * time.Second)
-	for ten.shard.pending.Load() < depth {
+	for ten.sh.Load().pending.Load() < depth {
 		if time.Now().After(deadline) {
 			t.Fatal("queue never saturated")
 		}
@@ -176,7 +176,7 @@ func TestCloseDrainsInFlightBatches(t *testing.T) {
 	// Wait until the other batches hold admission slots too, so all three
 	// are genuinely in flight when Close begins.
 	deadline := time.Now().Add(5 * time.Second)
-	for ten.shard.pending.Load() < inflight {
+	for ten.sh.Load().pending.Load() < inflight {
 		if time.Now().After(deadline) {
 			t.Fatal("batches never queued")
 		}

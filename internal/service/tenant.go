@@ -27,19 +27,52 @@ type TenantStats struct {
 	Rejected uint64 // batches refused with a BacklogError
 }
 
+// addLedger folds the eight engine-backed ledger columns of b into a.
+// The service-level admission counters (Batches, Rejected) are not part
+// of the double-entry identity and are left alone.
+func (a *TenantStats) addLedger(b TenantStats) {
+	a.Accesses += b.Accesses
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	a.InsertedBlocks += b.InsertedBlocks
+	a.InsertedBytes += b.InsertedBytes
+	a.EvictionInvocations += b.EvictionInvocations
+	a.BlocksEvicted += b.BlocksEvicted
+	a.BytesEvicted += b.BytesEvicted
+}
+
 // Tenant is a registered client's handle. All methods are safe for
 // concurrent use, but a single tenant is typically driven by one
 // goroutine.
+//
+// A tenant's shard binding is no longer fixed at registration: the
+// rebalancer may migrate the tenant's resident state to another shard.
+// Entry points load the current shard atomically; during the frozen
+// window of a migration every submission is refused with a BacklogError
+// (retry-after), and the first retry after the flip lands on the new
+// shard.
 type Tenant struct {
-	name  string
-	shard *shard
+	name string
+	// sh is the tenant's current shard. Written only under the service's
+	// migration lock (and once at registration, before the handle is
+	// published); read atomically by every entry point.
+	sh atomic.Pointer[shard]
+	// migrating fences the freeze→extract→install→flip window: while
+	// set, admission and the owner-side guard bounce the tenant's
+	// batches with a BacklogError so nothing can land on a shard that no
+	// longer (or does not yet) hold the tenant's state.
+	migrating atomic.Bool
 	// base/span place the tenant's dense ID range [0, span) at
 	// [base, base+span) in its shard's ID space, so co-located tenants
 	// never collide and the shard's slice-indexed tables stay compact.
+	// base is owner-owned: it is rewritten when a migration installs the
+	// tenant at a new shard-local range, always on the owning goroutine.
 	base core.SuperblockID
 	span core.SuperblockID
 	// stats is the ledger, owned by the shard's owner goroutine; readers
-	// go through published snapshots (snap), never the live field.
+	// go through published snapshots (snap), never the live field. The
+	// ledger travels with the tenant across migrations (the departing
+	// shard charges it to xferOut, the receiving shard to xferIn).
 	stats TenantStats
 	snap  atomic.Pointer[tenantSnap]
 	// rejected is updated on the submitting goroutine (rejection happens
@@ -51,13 +84,14 @@ type Tenant struct {
 // Name returns the tenant's registered name.
 func (t *Tenant) Name() string { return t.name }
 
-// Shard returns the index of the shard this tenant is routed to.
-func (t *Tenant) Shard() int { return t.shard.idx }
+// Shard returns the index of the shard this tenant is currently routed
+// to. After Migrate returns, Shard reflects the new placement.
+func (t *Tenant) Shard() int { return t.sh.Load().idx }
 
 // Stats snapshots the tenant's ledger, at least as new as every batch
 // that completed before the call.
 func (t *Tenant) Stats() TenantStats {
-	s := t.shard.tenantSnapshot(t)
+	s := t.sh.Load().tenantSnapshot(t)
 	s.Rejected = t.rejected.Load()
 	return s
 }
@@ -80,9 +114,11 @@ func snapshotEvictions(s *core.Stats) evictionCounters {
 }
 
 // creditEvictions attributes the evictions since before to this tenant.
-// Runs on the owner goroutine.
-func (t *Tenant) creditEvictions(before evictionCounters) {
-	now := snapshotEvictions(t.shard.cache.Stats())
+// Runs on the owner goroutine of sh, which must be the shard whose cache
+// the before snapshot was taken from (during an install that shard is
+// not yet the tenant's published one, so it is passed explicitly).
+func (t *Tenant) creditEvictions(sh *shard, before evictionCounters) {
+	now := snapshotEvictions(sh.cache.Stats())
 	t.stats.EvictionInvocations += now.invocations - before.invocations
 	t.stats.BlocksEvicted += now.blocks - before.blocks
 	t.stats.BytesEvicted += now.bytes - before.bytes
@@ -92,7 +128,7 @@ func (t *Tenant) creditEvictions(before evictionCounters) {
 // ids that missed, in order. The caller regenerates the missing blocks
 // and submits them with InsertBatch.
 func (t *Tenant) AccessBatch(ids []core.SuperblockID) ([]core.SuperblockID, error) {
-	sh := t.shard
+	sh := t.sh.Load()
 	env := sh.svc.getEnv()
 	env.op = opAccess
 	env.tenant = t
@@ -103,14 +139,14 @@ func (t *Tenant) AccessBatch(ids []core.SuperblockID) ([]core.SuperblockID, erro
 	}
 	missed, err := env.missed, env.err
 	sh.svc.putEnv(env)
-	return missed, err
+	return missed, t.submitErr(err)
 }
 
 // InsertBatch installs regenerated blocks in one owner-side batch.
 // Returns how many blocks this call actually inserted (blocks already
 // resident are skipped, not errors).
 func (t *Tenant) InsertBatch(blocks []core.Superblock) (int, error) {
-	sh := t.shard
+	sh := t.sh.Load()
 	env := sh.svc.getEnv()
 	env.op = opInsert
 	env.tenant = t
@@ -121,7 +157,7 @@ func (t *Tenant) InsertBatch(blocks []core.Superblock) (int, error) {
 	}
 	inserted, err := env.inserted, env.err
 	sh.svc.putEnv(env)
-	return inserted, err
+	return inserted, t.submitErr(err)
 }
 
 // ReplayBatch runs the miss-driven replay protocol (access, regenerate on
@@ -133,7 +169,7 @@ func (t *Tenant) InsertBatch(blocks []core.Superblock) (int, error) {
 // stream. The steady-state path allocates nothing: pooled envelope,
 // owner-side link scratch, batch-folded counters.
 func (t *Tenant) ReplayBatch(ids []core.SuperblockID, regen func(core.SuperblockID) (core.Superblock, error)) error {
-	sh := t.shard
+	sh := t.sh.Load()
 	env := sh.svc.getEnv()
 	env.op = opReplay
 	env.tenant = t
@@ -145,11 +181,12 @@ func (t *Tenant) ReplayBatch(ids []core.SuperblockID, regen func(core.Superblock
 	}
 	err := env.err
 	sh.svc.putEnv(env)
-	return err
+	return t.submitErr(err)
 }
 
 // submitErr counts rejections on the tenant before handing the submission
-// error back.
+// error back. Both admission rejections and owner-side migration-guard
+// rejections surface as *BacklogError.
 func (t *Tenant) submitErr(err error) error {
 	if err != nil {
 		if _, ok := err.(*BacklogError); ok {

@@ -25,7 +25,7 @@ check() {
     fi
 }
 
-check ./internal/core 93.6
+check ./internal/core 94.5
 # sim re-baselined when the multi-configuration sweep kernel and interval
 # sampling landed: the new files' remaining gaps are cgroup memory-budget
 # detection and streamed-replay error plumbing, both exercised only in
